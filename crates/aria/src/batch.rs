@@ -1,0 +1,488 @@
+//! Single-node Aria batch execution.
+//!
+//! This is the reference implementation of the protocol — used directly by
+//! unit/property tests and by the Aria ablation benchmark — while
+//! `se-stateflow` distributes the same three phases across workers:
+//!
+//! 1. **Execute**: every transaction of the batch runs against the state as
+//!    of the batch start (the *snapshot*), buffering reads and writes in a
+//!    [`TxnBuffer`]; deferred writes are invisible to other transactions of
+//!    the same batch.
+//! 2. **Reserve + decide**: reservations install the lowest reader/writer
+//!    id per key; the [`CommitRule`] yields per-transaction decisions.
+//! 3. **Commit**: committed write sets are installed in ascending
+//!    transaction-id order; aborted transactions are re-enqueued at the
+//!    head of the next batch *keeping their ids*, so the lowest aborted id
+//!    always commits next time — deterministic progress, no starvation.
+
+use std::collections::HashMap;
+
+use se_lang::{EntityRef, EntityState};
+
+use crate::reservation::{CommitRule, ReservationTable};
+use crate::types::{Decision, TxnBuffer, TxnId};
+
+/// The committed key-value state transactions run against.
+pub type Store = HashMap<EntityRef, EntityState>;
+
+/// Execution context handed to a transaction's logic during the execute
+/// phase.
+pub struct TxnCtx<'a> {
+    committed: &'a Store,
+    /// Buffered accesses of this transaction.
+    pub buffer: TxnBuffer,
+}
+
+impl TxnCtx<'_> {
+    /// Reads an entity as this transaction sees it (committed snapshot +
+    /// own writes). Returns `None` for unknown entities.
+    pub fn read(&mut self, entity: &EntityRef) -> Option<EntityState> {
+        let committed = self.committed.get(entity)?;
+        Some(self.buffer.overlay_read(entity, committed))
+    }
+
+    /// Reads, applies `f`, and buffers the resulting attribute changes.
+    /// Returns `false` for unknown entities.
+    pub fn update(&mut self, entity: &EntityRef, f: impl FnOnce(&mut EntityState)) -> bool {
+        let Some(before) = self.read(entity) else { return false };
+        let mut after = before.clone();
+        f(&mut after);
+        self.buffer.record_effects(entity, &before, &after);
+        true
+    }
+}
+
+/// One transaction's outcome within a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// The transaction id.
+    pub txn: TxnId,
+    /// Commit or abort.
+    pub decision: Decision,
+}
+
+/// Result of executing one batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchResult {
+    /// Ids that committed, ascending.
+    pub committed: Vec<TxnId>,
+    /// Ids that aborted and must re-run, ascending.
+    pub aborted: Vec<TxnId>,
+}
+
+/// Executes one batch of `(id, job)` pairs against `store`.
+///
+/// `exec` runs a job's logic inside the execute phase. Committed writes are
+/// installed before returning; aborted ids are reported for re-execution.
+pub fn run_batch<J>(
+    store: &mut Store,
+    batch: &[(TxnId, J)],
+    mut exec: impl FnMut(&J, &mut TxnCtx<'_>),
+    rule: CommitRule,
+) -> BatchResult {
+    // Execute phase: all against the same snapshot (`store` is not mutated).
+    let mut buffers: Vec<(TxnId, TxnBuffer)> = Vec::with_capacity(batch.len());
+    for (id, job) in batch {
+        let mut ctx = TxnCtx { committed: store, buffer: TxnBuffer::new() };
+        exec(job, &mut ctx);
+        buffers.push((*id, ctx.buffer));
+    }
+
+    // Reservation phase.
+    let mut table = ReservationTable::new();
+    for (id, buf) in &buffers {
+        table.reserve(*id, buf);
+    }
+
+    // Decide + commit phase (ascending id order — determinism).
+    buffers.sort_by_key(|(id, _)| *id);
+    let mut result = BatchResult::default();
+    for (id, buf) in buffers {
+        match table.decide(id, &buf, rule) {
+            Decision::Commit => {
+                for (entity, writes) in buf.writes {
+                    let st = store.entry(entity).or_default();
+                    for (attr, value) in writes {
+                        st.insert(attr, value);
+                    }
+                }
+                result.committed.push(id);
+            }
+            Decision::Abort => result.aborted.push(id),
+        }
+    }
+    result
+}
+
+/// Statistics of a run-to-completion schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of batches executed.
+    pub batches: usize,
+    /// Total transaction executions (≥ jobs; re-executions count).
+    pub executions: usize,
+    /// Total commits (== number of jobs on completion).
+    pub commits: usize,
+    /// Total aborts (== executions − commits).
+    pub aborts: usize,
+    /// Commits that went through the serial fallback.
+    pub fallback_commits: usize,
+}
+
+impl ScheduleStats {
+    /// Fraction of executions that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        if self.executions == 0 {
+            return 0.0;
+        }
+        self.aborts as f64 / self.executions as f64
+    }
+}
+
+/// What to do with transactions that abort in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Re-enqueue at the head of the next batch, keeping ids (the lowest
+    /// aborted id always commits next round; under heavy skew this degrades
+    /// to ~1 hot-key commit per batch — the retry storm the Aria paper's
+    /// fallback exists to prevent).
+    #[default]
+    Retry,
+    /// Aria's fallback, simplified: execute the batch's aborted
+    /// transactions serially in id order against committed state before the
+    /// next batch starts. (Real Aria runs the fallback with Calvin-style
+    /// per-key locks for parallelism; serial execution is semantically
+    /// identical and deterministic.)
+    Serial,
+}
+
+/// Runs `jobs` to completion in batches of at most `batch_size`,
+/// handling aborted transactions per the fallback policy.
+pub fn run_to_completion<J>(
+    store: &mut Store,
+    jobs: Vec<J>,
+    exec: impl FnMut(&J, &mut TxnCtx<'_>),
+    rule: CommitRule,
+    batch_size: usize,
+) -> ScheduleStats {
+    run_to_completion_with(store, jobs, exec, rule, batch_size, FallbackPolicy::Retry)
+}
+
+/// [`run_to_completion`] with an explicit [`FallbackPolicy`].
+pub fn run_to_completion_with<J>(
+    store: &mut Store,
+    jobs: Vec<J>,
+    mut exec: impl FnMut(&J, &mut TxnCtx<'_>),
+    rule: CommitRule,
+    batch_size: usize,
+    fallback: FallbackPolicy,
+) -> ScheduleStats {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut stats = ScheduleStats::default();
+    let mut queue: std::collections::VecDeque<(TxnId, J)> =
+        jobs.into_iter().enumerate().map(|(i, j)| (i as TxnId, j)).collect();
+
+    while !queue.is_empty() {
+        let take = queue.len().min(batch_size);
+        let batch: Vec<(TxnId, J)> = queue.drain(..take).collect();
+        stats.batches += 1;
+        stats.executions += batch.len();
+        let result = run_batch(store, &batch, &mut exec, rule);
+        stats.commits += result.committed.len();
+        stats.aborts += result.aborted.len();
+        let mut by_id: HashMap<TxnId, J> = batch.into_iter().collect();
+        match fallback {
+            FallbackPolicy::Retry => {
+                // Re-enqueue aborted jobs at the front, ascending id.
+                for id in result.aborted.iter().rev() {
+                    let job = by_id.remove(id).expect("aborted id came from this batch");
+                    queue.push_front((*id, job));
+                }
+            }
+            FallbackPolicy::Serial => {
+                // A single-transaction batch can never lose a conflict.
+                for id in &result.aborted {
+                    let job = by_id.remove(id).expect("aborted id came from this batch");
+                    let single = [(*id, job)];
+                    let r = run_batch(store, &single, &mut exec, rule);
+                    debug_assert_eq!(r.committed, vec![*id]);
+                    stats.executions += 1;
+                    stats.commits += 1;
+                    stats.fallback_commits += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_lang::Value;
+
+    fn er(k: &str) -> EntityRef {
+        EntityRef::new("Account", k)
+    }
+
+    fn store_with_accounts(n: usize, balance: i64) -> Store {
+        (0..n)
+            .map(|i| {
+                (
+                    er(&format!("a{i}")),
+                    EntityState::from([("balance".to_string(), Value::Int(balance))]),
+                )
+            })
+            .collect()
+    }
+
+    /// A transfer job: move `amount` from one account to another iff funds
+    /// suffice (the YCSB+T transaction: 2 reads + 2 writes).
+    #[derive(Debug, Clone)]
+    struct Transfer {
+        from: String,
+        to: String,
+        amount: i64,
+    }
+
+    fn exec_transfer(t: &Transfer, ctx: &mut TxnCtx<'_>) {
+        let from = er(&t.from);
+        let to = er(&t.to);
+        let Some(src) = ctx.read(&from) else { return };
+        let bal = src["balance"].as_int().unwrap();
+        if bal < t.amount {
+            return;
+        }
+        ctx.update(&from, |s| {
+            let b = s["balance"].as_int().unwrap();
+            s.insert("balance".into(), Value::Int(b - t.amount));
+        });
+        ctx.update(&to, |s| {
+            let b = s["balance"].as_int().unwrap();
+            s.insert("balance".into(), Value::Int(b + t.amount));
+        });
+    }
+
+    fn total(store: &Store) -> i64 {
+        store.values().map(|s| s["balance"].as_int().unwrap()).sum()
+    }
+
+    #[test]
+    fn disjoint_batch_commits_everything() {
+        let mut store = store_with_accounts(8, 100);
+        let jobs: Vec<Transfer> = (0..4)
+            .map(|i| Transfer {
+                from: format!("a{}", 2 * i),
+                to: format!("a{}", 2 * i + 1),
+                amount: 10,
+            })
+            .collect();
+        let stats =
+            run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Reordering, 64);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(total(&store), 800);
+        assert_eq!(store[&er("a0")]["balance"], Value::Int(90));
+        assert_eq!(store[&er("a1")]["balance"], Value::Int(110));
+    }
+
+    #[test]
+    fn conflicting_batch_aborts_and_retries() {
+        let mut store = store_with_accounts(3, 100);
+        // All transfers touch a0: heavy conflict.
+        let jobs: Vec<Transfer> = (0..8)
+            .map(|i| Transfer { from: "a0".into(), to: format!("a{}", 1 + i % 2), amount: 5 })
+            .collect();
+        let stats =
+            run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 64);
+        assert_eq!(stats.commits, 8, "every transaction eventually commits");
+        assert!(stats.aborts > 0, "contention must cause aborts");
+        assert!(stats.batches > 1);
+        // a0 lost 8 * 5.
+        assert_eq!(store[&er("a0")]["balance"], Value::Int(60));
+        assert_eq!(total(&store), 300, "conservation");
+    }
+
+    #[test]
+    fn snapshot_isolation_within_batch() {
+        // Two transfers out of a0 in one batch, balance only covers one at
+        // snapshot view each — both see 100 and pass the check, but WAW on
+        // a0 aborts the higher id; after retry both apply.
+        let mut store = store_with_accounts(3, 100);
+        let jobs = vec![
+            Transfer { from: "a0".into(), to: "a1".into(), amount: 80 },
+            Transfer { from: "a0".into(), to: "a2".into(), amount: 80 },
+        ];
+        let stats =
+            run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 64);
+        assert_eq!(stats.batches, 2);
+        // Second transfer re-ran against committed balance 20 < 80: no-op.
+        assert_eq!(store[&er("a0")]["balance"], Value::Int(20));
+        assert_eq!(store[&er("a1")]["balance"], Value::Int(180));
+        assert_eq!(store[&er("a2")]["balance"], Value::Int(100));
+        assert_eq!(total(&store), 300);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let jobs: Vec<Transfer> = (0..32)
+            .map(|i| Transfer {
+                from: format!("a{}", i % 5),
+                to: format!("a{}", (i + 3) % 5),
+                amount: (i as i64 % 7) + 1,
+            })
+            .collect();
+        let run = || {
+            let mut store = store_with_accounts(5, 50);
+            let stats = run_to_completion(
+                &mut store,
+                jobs.clone(),
+                exec_transfer,
+                CommitRule::Reordering,
+                8,
+            );
+            let mut flat: Vec<(String, i64)> = store
+                .iter()
+                .map(|(r, s)| (r.key.clone(), s["balance"].as_int().unwrap()))
+                .collect();
+            flat.sort();
+            (stats, flat)
+        };
+        assert_eq!(run(), run(), "deterministic protocol must reproduce exactly");
+    }
+
+    #[test]
+    fn reordering_never_aborts_more_than_basic() {
+        for seed in 0..5u64 {
+            let jobs: Vec<Transfer> = (0..64)
+                .map(|i| {
+                    let h = i as u64 * 2654435761 + seed * 97;
+                    Transfer {
+                        from: format!("a{}", h % 6),
+                        to: format!("a{}", (h / 7) % 6),
+                        amount: 1,
+                    }
+                })
+                .collect();
+            let mut s1 = store_with_accounts(6, 1000);
+            let basic =
+                run_to_completion(&mut s1, jobs.clone(), exec_transfer, CommitRule::Basic, 16);
+            let mut s2 = store_with_accounts(6, 1000);
+            let reord = run_to_completion(
+                &mut s2,
+                jobs.clone(),
+                exec_transfer,
+                CommitRule::Reordering,
+                16,
+            );
+            assert!(
+                reord.aborts <= basic.aborts,
+                "seed {seed}: reordering {} > basic {}",
+                reord.aborts,
+                basic.aborts
+            );
+            assert_eq!(total(&s1), 6000);
+            assert_eq!(total(&s2), 6000);
+        }
+    }
+
+    #[test]
+    fn basic_rule_matches_serial_execution() {
+        // With the Basic rule, committing in id order is a valid serial
+        // order; the final state must equal serially executing the jobs in
+        // a deterministic completion order. We verify conservation and
+        // determinism plus commit count here; full serial-equivalence is
+        // covered by the per-batch property: committed txns have no RAW, so
+        // they saw exactly the state a serial execution would show them.
+        let jobs: Vec<Transfer> = (0..20)
+            .map(|i| Transfer { from: format!("a{}", i % 3), to: "a3".into(), amount: 2 })
+            .collect();
+        let mut store = store_with_accounts(4, 100);
+        let stats = run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 4);
+        assert_eq!(stats.commits, 20);
+        assert_eq!(total(&store), 400);
+        // a3 received at most 20*2 (some may be no-ops only if funds ran
+        // out, which they don't here: each source pays ≤ 14).
+        assert_eq!(store[&er("a3")]["balance"], Value::Int(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_panics() {
+        let mut store = Store::new();
+        run_to_completion(
+            &mut store,
+            vec![Transfer { from: "a".into(), to: "b".into(), amount: 1 }],
+            exec_transfer,
+            CommitRule::Basic,
+            0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+    use se_lang::Value;
+
+    fn er(k: &str) -> EntityRef {
+        EntityRef::new("Account", k)
+    }
+
+    #[derive(Clone)]
+    struct Incr(String);
+
+    fn exec_incr(j: &Incr, ctx: &mut TxnCtx<'_>) {
+        ctx.update(&er(&j.0), |s| {
+            let v = s["n"].as_int().unwrap();
+            s.insert("n".into(), Value::Int(v + 1));
+        });
+    }
+
+    fn hot_store() -> Store {
+        Store::from([(er("hot"), EntityState::from([("n".to_string(), Value::Int(0))]))])
+    }
+
+    #[test]
+    fn serial_fallback_converges_in_one_round() {
+        // 32 increments of one key in one batch: with Retry that is 32
+        // batches; with Serial it is 1 batch + 31 fallback commits.
+        let jobs: Vec<Incr> = (0..32).map(|_| Incr("hot".into())).collect();
+
+        let mut s1 = hot_store();
+        let retry = run_to_completion_with(
+            &mut s1, jobs.clone(), exec_incr, CommitRule::Basic, 64, FallbackPolicy::Retry,
+        );
+        let mut s2 = hot_store();
+        let serial = run_to_completion_with(
+            &mut s2, jobs, exec_incr, CommitRule::Basic, 64, FallbackPolicy::Serial,
+        );
+
+        assert_eq!(s1[&er("hot")]["n"], Value::Int(32));
+        assert_eq!(s2[&er("hot")]["n"], Value::Int(32), "same final state");
+        assert_eq!(retry.batches, 32);
+        assert_eq!(serial.batches, 1);
+        assert_eq!(serial.fallback_commits, 31);
+        assert!(serial.executions <= retry.executions);
+    }
+
+    #[test]
+    fn fallback_preserves_exactly_once() {
+        let jobs: Vec<Incr> =
+            (0..100).map(|i| Incr(if i % 3 == 0 { "hot".into() } else { format!("k{i}") })).collect();
+        let mut store = hot_store();
+        for i in 0..100 {
+            if i % 3 != 0 {
+                store.insert(
+                    er(&format!("k{i}")),
+                    EntityState::from([("n".to_string(), Value::Int(0))]),
+                );
+            }
+        }
+        let stats = run_to_completion_with(
+            &mut store, jobs, exec_incr, CommitRule::Reordering, 16, FallbackPolicy::Serial,
+        );
+        assert_eq!(stats.commits, 100);
+        assert_eq!(store[&er("hot")]["n"], Value::Int(34), "each hot increment exactly once");
+    }
+}

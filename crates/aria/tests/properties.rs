@@ -1,0 +1,158 @@
+//! Property-based tests of the Aria protocol: determinism, conservation,
+//! exactly-once effects, policy equivalence, and the reordering dominance
+//! claim — over randomly generated transfer/audit workloads.
+
+use proptest::prelude::*;
+
+use se_aria::{
+    run_to_completion_with, CommitRule, FallbackPolicy, Store, TxnCtx,
+};
+use se_lang::{EntityRef, EntityState, Value};
+
+#[derive(Debug, Clone)]
+enum Job {
+    Transfer { from: usize, to: usize, amount: i64 },
+    Audit { a: usize, b: usize },
+}
+
+fn account(i: usize) -> EntityRef {
+    EntityRef::new("Account", format!("a{i}"))
+}
+
+fn exec_job(job: &Job, ctx: &mut TxnCtx<'_>) {
+    match job {
+        Job::Transfer { from, to, amount } => {
+            // Ample balances: transfers always succeed, making final state
+            // order-independent (pure deltas) — any duplication or loss is
+            // detectable exactly.
+            ctx.update(&account(*from), |s| {
+                let b = s["balance"].as_int().unwrap();
+                s.insert("balance".into(), Value::Int(b - amount));
+            });
+            ctx.update(&account(*to), |s| {
+                let b = s["balance"].as_int().unwrap();
+                s.insert("balance".into(), Value::Int(b + amount));
+            });
+        }
+        Job::Audit { a, b } => {
+            let _ = ctx.read(&account(*a));
+            let _ = ctx.read(&account(*b));
+        }
+    }
+}
+
+fn fresh_store(n: usize) -> Store {
+    (0..n)
+        .map(|i| {
+            (account(i), EntityState::from([("balance".to_string(), Value::Int(1_000_000))]))
+        })
+        .collect()
+}
+
+fn balances(store: &Store, n: usize) -> Vec<i64> {
+    (0..n).map(|i| store[&account(i)]["balance"].as_int().unwrap()).collect()
+}
+
+fn arb_jobs(n_accounts: usize) -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(
+        (0..n_accounts, 0..n_accounts, 1i64..20, any::<bool>()).prop_map(
+            move |(a, b, amount, is_transfer)| {
+                let b = if a == b { (b + 1) % n_accounts } else { b };
+                if is_transfer {
+                    Job::Transfer { from: a, to: b, amount }
+                } else {
+                    Job::Audit { a, b }
+                }
+            },
+        ),
+        1..80,
+    )
+}
+
+const N: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Exactly-once: the final balances equal the initial balances plus the
+    /// net transfer deltas, no matter the batching, rule or fallback.
+    #[test]
+    fn effects_apply_exactly_once(
+        jobs in arb_jobs(N),
+        batch_size in 1usize..32,
+        rule in prop_oneof![Just(CommitRule::Basic), Just(CommitRule::Reordering)],
+        fallback in prop_oneof![Just(FallbackPolicy::Retry), Just(FallbackPolicy::Serial)],
+    ) {
+        let mut expected = vec![1_000_000i64; N];
+        for j in &jobs {
+            if let Job::Transfer { from, to, amount } = j {
+                expected[*from] -= amount;
+                expected[*to] += amount;
+            }
+        }
+        let mut store = fresh_store(N);
+        let stats = run_to_completion_with(&mut store, jobs, exec_job, rule, batch_size, fallback);
+        prop_assert_eq!(balances(&store, N), expected);
+        prop_assert_eq!(stats.commits, stats.executions - stats.aborts);
+    }
+
+    /// Determinism: identical inputs produce identical schedules and state.
+    #[test]
+    fn schedule_is_deterministic(jobs in arb_jobs(N), batch_size in 1usize..32) {
+        let run = || {
+            let mut store = fresh_store(N);
+            let stats = run_to_completion_with(
+                &mut store, jobs.clone(), exec_job, CommitRule::Reordering, batch_size,
+                FallbackPolicy::Retry,
+            );
+            (stats, balances(&store, N))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Both fallback policies converge to the same final state.
+    #[test]
+    fn fallback_policies_agree_on_state(jobs in arb_jobs(N), batch_size in 1usize..32) {
+        let run = |fallback| {
+            let mut store = fresh_store(N);
+            run_to_completion_with(
+                &mut store, jobs.clone(), exec_job, CommitRule::Reordering, batch_size, fallback,
+            );
+            balances(&store, N)
+        };
+        prop_assert_eq!(run(FallbackPolicy::Retry), run(FallbackPolicy::Serial));
+    }
+
+    /// Deterministic reordering never aborts more than the basic rule, and
+    /// the serial fallback never needs more batches than retry.
+    #[test]
+    fn reordering_dominates_basic(jobs in arb_jobs(N), batch_size in 1usize..32) {
+        let run = |rule, fallback| {
+            let mut store = fresh_store(N);
+            run_to_completion_with(&mut store, jobs.clone(), exec_job, rule, batch_size, fallback)
+        };
+        let basic = run(CommitRule::Basic, FallbackPolicy::Retry);
+        let reorder = run(CommitRule::Reordering, FallbackPolicy::Retry);
+        prop_assert!(reorder.aborts <= basic.aborts,
+            "reordering {} > basic {}", reorder.aborts, basic.aborts);
+        let serial = run(CommitRule::Reordering, FallbackPolicy::Serial);
+        prop_assert!(serial.batches <= reorder.batches);
+    }
+
+    /// Money is conserved at every batch size even under pure contention.
+    #[test]
+    fn conservation_under_hot_keys(amounts in proptest::collection::vec(1i64..10, 1..60), batch_size in 1usize..16) {
+        let jobs: Vec<Job> = amounts
+            .iter()
+            .map(|a| Job::Transfer { from: 0, to: 1, amount: *a })
+            .collect();
+        let mut store = fresh_store(2);
+        run_to_completion_with(
+            &mut store, jobs, exec_job, CommitRule::Basic, batch_size, FallbackPolicy::Serial,
+        );
+        let total: i64 = balances(&store, 2).iter().sum();
+        prop_assert_eq!(total, 2_000_000);
+        let net: i64 = amounts.iter().sum();
+        prop_assert_eq!(balances(&store, 2), vec![1_000_000 - net, 1_000_000 + net]);
+    }
+}

@@ -1,0 +1,109 @@
+//! **Microbenchmark M1** — compiler pipeline cost.
+//!
+//! The paper's compilation happens once at deployment, but its cost scales
+//! with program size and with the number of remote calls (each call splits
+//! the function and enlarges the state machine). This criterion bench
+//! measures the full pipeline (type check → normalize → call graph → split →
+//! liveness → machines → graph assembly) over (a) the reference programs
+//! and (b) generated methods with 1–64 remote calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use se_lang::builder::*;
+use se_lang::{Program, Type, Value};
+
+/// A method performing `n` sequential remote calls interleaved with
+/// arithmetic and branching — worst-case splitting input.
+fn program_with_calls(n: usize) -> Program {
+    let cell = ClassBuilder::new("Cell")
+        .attr_default("cell_id", Type::Str, Value::Str(String::new()))
+        .attr_default("v", Type::Int, Value::Int(0))
+        .key("cell_id")
+        .method(
+            MethodBuilder::new("addv")
+                .param("n", Type::Int)
+                .returns(Type::Int)
+                .body(vec![attr_add("v", var("n")), ret(attr("v"))]),
+        )
+        .build();
+
+    let mut body = vec![assign_ty("acc", Type::Int, int(0))];
+    for i in 0..n {
+        let tmp = format!("r{i}");
+        body.push(assign(
+            &tmp,
+            call(var("c"), "addv", vec![add(var("acc"), int(i as i64))]),
+        ));
+        body.push(if_else(
+            gt(var(&tmp), int(100)),
+            vec![assign("acc", sub(var("acc"), var(&tmp)))],
+            vec![assign("acc", add(var("acc"), var(&tmp)))],
+        ));
+    }
+    body.push(ret(var("acc")));
+
+    let app = ClassBuilder::new("App")
+        .attr_default("app_id", Type::Str, Value::Str(String::new()))
+        .key("app_id")
+        .method(
+            MethodBuilder::new("run")
+                .param("c", Type::entity("Cell"))
+                .returns(Type::Int)
+                .body(body),
+        )
+        .build();
+    Program::new(vec![app, cell])
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for (name, program) in [
+        ("figure1", se_lang::programs::figure1_program()),
+        ("counter", se_lang::programs::counter_program()),
+        ("tpcc", se_workloads::tpcc::tpcc_program()),
+        ("ycsb", se_workloads::ycsb_program()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| se_core::compile(std::hint::black_box(&program)).expect("compiles"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compile_scaling");
+    for n in [1usize, 4, 16, 64] {
+        let program = program_with_calls(n);
+        group.bench_with_input(BenchmarkId::new("remote_calls", n), &program, |b, p| {
+            b.iter(|| se_core::compile(std::hint::black_box(p)).expect("compiles"))
+        });
+        // Record the block counts so the report shows splitting growth.
+        let graph = se_core::compile(&program).unwrap();
+        let m = graph.program.method_or_err("App", "run").unwrap();
+        eprintln!(
+            "  {n} calls → {} blocks, {} suspension points",
+            m.blocks.len(),
+            m.suspension_points()
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compile_passes");
+    let program = program_with_calls(16);
+    group.bench_function("typecheck", |b| {
+        b.iter(|| se_lang::typecheck::check_program(std::hint::black_box(&program)))
+    });
+    group.bench_function("normalize", |b| {
+        b.iter(|| se_compiler::normalize_program(std::hint::black_box(&program)))
+    });
+    let normalized = se_compiler::normalize_program(&program);
+    group.bench_function("callgraph", |b| {
+        b.iter(|| se_compiler::CallGraph::build(std::hint::black_box(&normalized)).unwrap())
+    });
+    let method = normalized.class("App").unwrap().method("run").unwrap().clone();
+    group.bench_function("split", |b| {
+        b.iter(|| se_compiler::split_method("App", std::hint::black_box(&method)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Shared harness utilities for the figure/table benchmarks.
+//!
+//! Every bench target regenerates one artifact of the paper's evaluation
+//! (see DESIGN.md §5 and EXPERIMENTS.md). Absolute numbers depend on the
+//! simulated-network calibration below; the *shapes* — who wins, by roughly
+//! what factor, where saturation starts — are what EXPERIMENTS.md records.
+//!
+//! Environment knobs:
+//!
+//! * `SE_TIME_SCALE` — multiply every simulated duration (default **1.0**).
+//!   Smaller values speed wall-clock time but let OS scheduling noise
+//!   (which does not scale) distort the small simulated delays; keep ≥ 0.5
+//!   for publishable numbers.
+//! * `SE_REQUESTS` — requests per Figure-3 cell (default 1200).
+//! * `SE_FIG4_REQUESTS` — requests per Figure-4 point (default 2000).
+//! * `SE_KEYS` — YCSB key-space size (default 1000).
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use se_core::{NetConfig, StatefunConfig, StateflowConfig};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The global time scale for benches.
+pub fn time_scale() -> f64 {
+    env_f64("SE_TIME_SCALE", 1.0)
+}
+
+/// Requests per Figure-3 cell.
+pub fn fig3_requests() -> usize {
+    env_usize("SE_REQUESTS", 600)
+}
+
+/// Requests per Figure-4 point.
+pub fn fig4_requests() -> usize {
+    env_usize("SE_FIG4_REQUESTS", 1500)
+}
+
+/// YCSB key-space size ("1000 records" scale).
+pub fn key_count() -> usize {
+    env_usize("SE_KEYS", 1000)
+}
+
+/// The calibrated simulated network for benchmark runs.
+///
+/// Calibration rationale (paper §3–4): a Kafka produce/consume hop costs a
+/// few ms; the remote-function HTTP hop slightly less; internal channels an
+/// order of magnitude less. StateFun pays broker round trips on ingress,
+/// loopback and egress plus remote-runtime round trips per function;
+/// StateFlow pays internal hops plus its batch interval.
+pub fn bench_net() -> NetConfig {
+    NetConfig {
+        broker_hop: Duration::from_micros(8_000),
+        remote_fn_hop: Duration::from_micros(2_000),
+        f2f_hop: Duration::from_micros(1_000),
+        per_kib: Duration::from_micros(15),
+        time_scale: time_scale(),
+    }
+}
+
+/// StateFun deployment for benches: 3 partition tasks + 3 remote workers
+/// (the paper's half/half split of 6 system cores), no checkpoints (lowest
+/// latency, as the paper's latency figures imply).
+pub fn statefun_bench_config() -> StatefunConfig {
+    StatefunConfig {
+        partitions: 3,
+        remote_workers: 3,
+        net: bench_net(),
+        service_time: Duration::from_micros(900),
+        checkpoint: se_core::CheckpointMode::None,
+        failure: Default::default(),
+    }
+}
+
+/// StateFlow deployment for benches: 1 coordinator + 5 workers (the paper's
+/// split of 6 system cores), 10 ms batches, snapshots off during
+/// measurement.
+pub fn stateflow_bench_config() -> StateflowConfig {
+    StateflowConfig {
+        workers: 5,
+        net: bench_net(),
+        batch_interval: Duration::from_millis(10).mul_f64(time_scale()),
+        max_batch: 512,
+        commit_rule: se_aria::CommitRule::Reordering,
+        fallback: se_aria::FallbackPolicy::Serial,
+        snapshot_every_batches: 0,
+        service_time: Duration::from_micros(300),
+        failure: Default::default(),
+    }
+}
+
+/// One labeled measurement row, serialized into the bench report JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (e.g. "A-zipfian").
+    pub label: String,
+    /// System name.
+    pub system: String,
+    /// Offered load, requests/s.
+    pub rps: f64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Samples measured.
+    pub count: usize,
+    /// Errored requests.
+    pub errors: usize,
+}
+
+impl Row {
+    /// Builds a row from a driver report.
+    pub fn from_report(
+        label: impl Into<String>,
+        system: impl Into<String>,
+        rps: f64,
+        report: &se_workloads::RunReport,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            system: system.into(),
+            rps,
+            mean_ms: ms(report.latency.mean),
+            p50_ms: ms(report.latency.p50),
+            p99_ms: ms(report.latency.p99),
+            count: report.latency.count,
+            errors: report.errors,
+        }
+    }
+}
+
+/// Prints a markdown table of rows and writes them as JSON under
+/// `bench_results/<name>.json` for EXPERIMENTS.md.
+pub fn emit(name: &str, title: &str, rows: &[Row]) {
+    println!("\n## {title}\n");
+    println!("| label | system | offered rps | mean ms | p50 ms | p99 ms | n | errors |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in rows {
+        println!(
+            "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {} | {} |",
+            r.label, r.system, r.rps, r.mean_ms, r.p50_ms, r.p99_ms, r.count, r.errors
+        );
+    }
+    let dir = std::path::Path::new("bench_results");
+    let _ = std::fs::create_dir_all(dir);
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(rows).expect("serialize rows"));
+    }
+}
+
+/// Formats a duration in milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -1,0 +1,437 @@
+//! An in-process, Kafka-like message broker.
+//!
+//! The StateFun deployment of the paper uses Kafka three ways: as the
+//! ingress ("a Kafka source pushes events to the ingress router"), as the
+//! egress sink, and "to re-insert an event to the streaming dataflow,
+//! thereby avoiding cyclic dataflows" (§3). The experiments' latency profile
+//! is dominated by these round trips, so the broker models exactly the
+//! properties that matter:
+//!
+//! * **topics with key-hashed partitions** (stable routing, see
+//!   [`se_ir::partition_for`]);
+//! * **offset-addressed, replayable logs** — records are never destroyed by
+//!   consumption, and consumer groups track committed offsets, which is what
+//!   makes exactly-once recovery possible;
+//! * **hop latency** — a record becomes *visible* to consumers only after
+//!   the produce+consume network cost from [`NetConfig`] has elapsed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use se_dataflow::NetConfig;
+use se_ir::partition_for;
+
+/// Broker operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The topic does not exist.
+    UnknownTopic(String),
+    /// The partition index is out of range for the topic.
+    UnknownPartition {
+        /// Topic name.
+        topic: String,
+        /// Requested partition.
+        partition: usize,
+    },
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownTopic(t) => write!(f, "unknown topic `{t}`"),
+            BrokerError::UnknownPartition { topic, partition } => {
+                write!(f, "topic `{topic}` has no partition {partition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A record as seen by a consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsumerRecord<T> {
+    /// Offset within the partition.
+    pub offset: u64,
+    /// Producer-supplied routing key.
+    pub key: String,
+    /// Payload.
+    pub value: T,
+}
+
+struct Entry<T> {
+    key: String,
+    value: T,
+    visible_at: Instant,
+}
+
+struct Partition<T> {
+    entries: Mutex<Vec<Entry<T>>>,
+    appended: Condvar,
+}
+
+struct TopicData<T> {
+    partitions: Vec<Partition<T>>,
+}
+
+struct Inner<T> {
+    topics: Mutex<HashMap<String, Arc<TopicData<T>>>>,
+    // (group, topic, partition) → committed offset
+    offsets: Mutex<HashMap<(String, String, usize), u64>>,
+    net: NetConfig,
+}
+
+/// A shareable broker handle.
+pub struct Broker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Broker<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Clone> Broker<T> {
+    /// A broker with the given network model.
+    pub fn new(net: NetConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                topics: Mutex::new(HashMap::new()),
+                offsets: Mutex::new(HashMap::new()),
+                net,
+            }),
+        }
+    }
+
+    /// The broker's network model.
+    pub fn net(&self) -> &NetConfig {
+        &self.inner.net
+    }
+
+    /// Creates a topic with `partitions` partitions (idempotent).
+    pub fn create_topic(&self, name: &str, partitions: usize) {
+        assert!(partitions > 0, "topics need at least one partition");
+        let mut topics = self.inner.topics.lock();
+        topics.entry(name.to_owned()).or_insert_with(|| {
+            Arc::new(TopicData {
+                partitions: (0..partitions)
+                    .map(|_| Partition { entries: Mutex::new(Vec::new()), appended: Condvar::new() })
+                    .collect(),
+            })
+        });
+    }
+
+    fn topic(&self, name: &str) -> Result<Arc<TopicData<T>>, BrokerError> {
+        self.inner
+            .topics
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BrokerError::UnknownTopic(name.to_owned()))
+    }
+
+    /// Number of partitions of a topic.
+    pub fn partitions(&self, topic: &str) -> Result<usize, BrokerError> {
+        Ok(self.topic(topic)?.partitions.len())
+    }
+
+    /// Produces a record routed by `key`; `bytes` is the payload size used
+    /// for the latency model. Returns `(partition, offset)`.
+    ///
+    /// The record becomes visible to consumers only after the produce and
+    /// consume hops have elapsed — that is the Kafka round-trip cost the
+    /// paper attributes StateFun's latency to.
+    pub fn produce(
+        &self,
+        topic: &str,
+        key: &str,
+        value: T,
+        bytes: usize,
+    ) -> Result<(usize, u64), BrokerError> {
+        let t = self.topic(topic)?;
+        let partition = partition_for(key, t.partitions.len());
+        let delay = self.inner.net.broker_latency(bytes) * 2;
+        let p = &t.partitions[partition];
+        let mut entries = p.entries.lock();
+        let offset = entries.len() as u64;
+        entries.push(Entry {
+            key: key.to_owned(),
+            value,
+            visible_at: Instant::now() + delay,
+        });
+        drop(entries);
+        p.appended.notify_all();
+        Ok((partition, offset))
+    }
+
+    /// Produces a record to an explicit partition, bypassing key routing.
+    /// Used for control records that must reach *every* partition, e.g.
+    /// checkpoint barriers.
+    pub fn produce_to(
+        &self,
+        topic: &str,
+        partition: usize,
+        key: &str,
+        value: T,
+        bytes: usize,
+    ) -> Result<u64, BrokerError> {
+        let t = self.topic(topic)?;
+        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
+            topic: topic.to_owned(),
+            partition,
+        })?;
+        let delay = self.inner.net.broker_latency(bytes) * 2;
+        let mut entries = p.entries.lock();
+        let offset = entries.len() as u64;
+        entries.push(Entry { key: key.to_owned(), value, visible_at: Instant::now() + delay });
+        drop(entries);
+        p.appended.notify_all();
+        Ok(offset)
+    }
+
+    /// Fetches up to `max` *visible* records from `offset` onward.
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: usize,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<ConsumerRecord<T>>, BrokerError> {
+        let t = self.topic(topic)?;
+        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
+            topic: topic.to_owned(),
+            partition,
+        })?;
+        let entries = p.entries.lock();
+        Ok(Self::visible_from(&entries, offset, max))
+    }
+
+    /// Like [`Broker::fetch`], but blocks up to `timeout` for at least one
+    /// visible record.
+    pub fn fetch_blocking(
+        &self,
+        topic: &str,
+        partition: usize,
+        offset: u64,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<ConsumerRecord<T>>, BrokerError> {
+        let t = self.topic(topic)?;
+        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
+            topic: topic.to_owned(),
+            partition,
+        })?;
+        let deadline = Instant::now() + timeout;
+        let mut entries = p.entries.lock();
+        loop {
+            let got = Self::visible_from(&entries, offset, max);
+            if !got.is_empty() {
+                return Ok(got);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            // Wake when the next pending record becomes visible, a new
+            // record is appended, or the deadline passes.
+            let next_visible = entries
+                .get(offset as usize..)
+                .and_then(|s| s.iter().map(|e| e.visible_at).min())
+                .unwrap_or(deadline);
+            p.appended.wait_until(&mut entries, next_visible.min(deadline));
+        }
+    }
+
+    fn visible_from(entries: &[Entry<T>], offset: u64, max: usize) -> Vec<ConsumerRecord<T>> {
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for (i, e) in entries.iter().enumerate().skip(offset as usize) {
+            // Offsets must be consumed in order; stop at the first
+            // not-yet-visible record to preserve log order.
+            if e.visible_at > now || out.len() >= max {
+                break;
+            }
+            out.push(ConsumerRecord { offset: i as u64, key: e.key.clone(), value: e.value.clone() });
+        }
+        out
+    }
+
+    /// The next offset that would be assigned in a partition (log end).
+    pub fn end_offset(&self, topic: &str, partition: usize) -> Result<u64, BrokerError> {
+        let t = self.topic(topic)?;
+        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
+            topic: topic.to_owned(),
+            partition,
+        })?;
+        let len = p.entries.lock().len() as u64;
+        Ok(len)
+    }
+
+    /// Commits a consumer group's offset (the next offset to read).
+    pub fn commit(&self, group: &str, topic: &str, partition: usize, offset: u64) {
+        self.inner
+            .offsets
+            .lock()
+            .insert((group.to_owned(), topic.to_owned(), partition), offset);
+    }
+
+    /// The committed offset of a group (0 when none committed yet).
+    pub fn committed(&self, group: &str, topic: &str, partition: usize) -> u64 {
+        self.inner
+            .offsets
+            .lock()
+            .get(&(group.to_owned(), topic.to_owned(), partition))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker() -> Broker<String> {
+        let b = Broker::new(NetConfig::fast_test());
+        b.create_topic("events", 4);
+        b
+    }
+
+    #[test]
+    fn produce_fetch_roundtrip() {
+        let b = broker();
+        let (p, o) = b.produce("events", "alice", "hello".into(), 0).unwrap();
+        assert_eq!(o, 0);
+        std::thread::sleep(Duration::from_millis(2));
+        let got = b.fetch("events", p, 0, 10).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, "hello");
+        assert_eq!(got[0].key, "alice");
+    }
+
+    #[test]
+    fn key_routing_is_stable_and_matches_partition_for() {
+        let b = broker();
+        let (p1, _) = b.produce("events", "alice", "a".into(), 0).unwrap();
+        let (p2, _) = b.produce("events", "alice", "b".into(), 0).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1, partition_for("alice", 4));
+    }
+
+    #[test]
+    fn visibility_delay_enforced() {
+        let mut net = NetConfig::fast_test();
+        net.broker_hop = Duration::from_millis(30);
+        let b = Broker::new(net);
+        b.create_topic("t", 1);
+        b.produce("t", "k", "v".to_string(), 0).unwrap();
+        assert!(b.fetch("t", 0, 0, 10).unwrap().is_empty(), "not visible yet");
+        std::thread::sleep(Duration::from_millis(70));
+        assert_eq!(b.fetch("t", 0, 0, 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn order_preserved_within_partition() {
+        let b = broker();
+        for i in 0..20 {
+            b.produce("events", "bob", format!("m{i}"), 0).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        let p = partition_for("bob", 4);
+        let got = b.fetch("events", p, 0, 100).unwrap();
+        let values: Vec<String> = got.iter().map(|r| r.value.clone()).collect();
+        assert_eq!(values, (0..20).map(|i| format!("m{i}")).collect::<Vec<_>>());
+        assert_eq!(got.last().unwrap().offset, 19);
+    }
+
+    #[test]
+    fn consumer_groups_track_independent_offsets() {
+        let b = broker();
+        b.commit("g1", "events", 0, 5);
+        b.commit("g2", "events", 0, 9);
+        assert_eq!(b.committed("g1", "events", 0), 5);
+        assert_eq!(b.committed("g2", "events", 0), 9);
+        assert_eq!(b.committed("g3", "events", 0), 0);
+    }
+
+    #[test]
+    fn replay_from_committed_offset() {
+        let b = broker();
+        let p = partition_for("carol", 4);
+        for i in 0..5 {
+            b.produce("events", "carol", format!("m{i}"), 0).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        // Consume two, commit, "crash", replay from committed.
+        let first = b.fetch("events", p, 0, 2).unwrap();
+        b.commit("g", "events", p, first.last().unwrap().offset + 1);
+        let replayed = b.fetch("events", p, b.committed("g", "events", p), 100).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[0].value, "m2");
+    }
+
+    #[test]
+    fn blocking_fetch_wakes_on_produce() {
+        let b = broker();
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || {
+            b2.fetch_blocking("events", partition_for("k", 4), 0, 10, Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        b.produce("events", "k", "late".into(), 0).unwrap();
+        let got = h.join().unwrap().unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn blocking_fetch_times_out_empty() {
+        let b = broker();
+        let got = b
+            .fetch_blocking("events", 0, 0, 10, Duration::from_millis(30))
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn unknown_topic_and_partition_error() {
+        let b = broker();
+        assert_eq!(
+            b.fetch("nope", 0, 0, 1).unwrap_err(),
+            BrokerError::UnknownTopic("nope".into())
+        );
+        assert!(matches!(
+            b.fetch("events", 99, 0, 1).unwrap_err(),
+            BrokerError::UnknownPartition { .. }
+        ));
+    }
+
+    #[test]
+    fn end_offset_counts_invisible_records() {
+        let mut net = NetConfig::fast_test();
+        net.broker_hop = Duration::from_secs(10);
+        let b = Broker::new(net);
+        b.create_topic("t", 1);
+        b.produce("t", "k", "v".to_string(), 0).unwrap();
+        assert_eq!(b.end_offset("t", 0).unwrap(), 1);
+        assert!(b.fetch("t", 0, 0, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_get_unique_offsets() {
+        let b = Broker::new(NetConfig::fast_test());
+        b.create_topic("t", 1);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    (0..100).map(|i| b.produce("t", "k", format!("{t}-{i}"), 0).unwrap().1).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,272 @@
+//! Function call-graph construction and recursion rejection.
+//!
+//! "In the second round of analysis, classes that interact with each other
+//! are identified in order to create a function call graph" (§2.1). The call
+//! graph serves two purposes here:
+//!
+//! 1. **Recursion rejection** — "the functions cannot be recursive" (§2.2):
+//!    unrolling a recursive program into a finite state machine would yield
+//!    infinite automata (§5), so any cycle in the method-level call graph is
+//!    an analysis error.
+//! 2. **Topology** — the class-level projection of the graph supplies the
+//!    operator-to-operator call edges of the dataflow graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use se_lang::typecheck::check_method_collect_calls;
+use se_lang::{LangError, Program};
+
+/// A method node: `(class name, method name)`.
+pub type MethodNode = (String, String);
+
+/// The program's function call graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CallGraph {
+    /// All method nodes, including ones that make or receive no calls.
+    pub nodes: BTreeSet<MethodNode>,
+    /// Caller → set of callees.
+    pub edges: BTreeMap<MethodNode, BTreeSet<MethodNode>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph, using the type checker's inference to resolve
+    /// each call site's target class.
+    ///
+    /// Assumes the program already passed [`se_lang::typecheck::check_program`];
+    /// any residual resolution error is reported.
+    pub fn build(program: &Program) -> Result<CallGraph, Vec<LangError>> {
+        let mut graph = CallGraph::default();
+        let mut errors = Vec::new();
+        for class in &program.classes {
+            for method in &class.methods {
+                let node: MethodNode = (class.name.clone(), method.name.clone());
+                graph.nodes.insert(node.clone());
+                let callees =
+                    check_method_collect_calls(program, class, method, &mut errors);
+                for callee in callees {
+                    graph.edges.entry(node.clone()).or_default().insert(callee);
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(graph)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Callees of a method (empty set if none).
+    pub fn callees(&self, node: &MethodNode) -> BTreeSet<MethodNode> {
+        self.edges.get(node).cloned().unwrap_or_default()
+    }
+
+    /// The class-level projection: which classes call into which.
+    pub fn class_edges(&self) -> BTreeSet<(String, String)> {
+        self.edges
+            .iter()
+            .flat_map(|((caller_class, _), callees)| {
+                callees.iter().map(move |(callee_class, _)| {
+                    (caller_class.clone(), callee_class.clone())
+                })
+            })
+            .collect()
+    }
+
+    /// Rejects recursion: returns the offending cycle as an error if the
+    /// method-level graph is cyclic.
+    pub fn check_no_recursion(&self) -> Result<(), LangError> {
+        // DFS with an explicit path for cycle reporting.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<&MethodNode, Color> =
+            self.nodes.iter().map(|n| (n, Color::White)).collect();
+
+        fn dfs<'a>(
+            node: &'a MethodNode,
+            graph: &'a CallGraph,
+            color: &mut BTreeMap<&'a MethodNode, Color>,
+            path: &mut Vec<&'a MethodNode>,
+        ) -> Option<Vec<MethodNode>> {
+            color.insert(node, Color::Gray);
+            path.push(node);
+            if let Some(callees) = graph.edges.get(node) {
+                for callee in callees {
+                    match color.get(callee).copied().unwrap_or(Color::White) {
+                        Color::Gray => {
+                            // Found a cycle: slice the path from the repeat.
+                            let start =
+                                path.iter().position(|n| *n == callee).unwrap_or(0);
+                            let mut cycle: Vec<MethodNode> =
+                                path[start..].iter().map(|n| (*n).clone()).collect();
+                            cycle.push(callee.clone());
+                            return Some(cycle);
+                        }
+                        Color::White => {
+                            // Callee may be absent from nodes if it was
+                            // unresolved; treat as leaf.
+                            if graph.nodes.contains(callee) {
+                                if let Some(c) = dfs(callee, graph, color, path) {
+                                    return Some(c);
+                                }
+                            }
+                        }
+                        Color::Black => {}
+                    }
+                }
+            }
+            path.pop();
+            color.insert(node, Color::Black);
+            None
+        }
+
+        for node in &self.nodes {
+            if color[node] == Color::White {
+                let mut path = Vec::new();
+                if let Some(cycle) = dfs(node, self, &mut color, &mut path) {
+                    let pretty = cycle
+                        .iter()
+                        .map(|(c, m)| format!("{c}.{m}"))
+                        .collect::<Vec<_>>()
+                        .join(" → ");
+                    return Err(LangError::analysis(format!(
+                        "recursive call chain is not allowed (unbounded recursion would \
+                         yield an infinite state machine): {pretty}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum call-chain depth from any root (acyclic graphs only); used to
+    /// size runtime hop limits.
+    pub fn max_depth(&self) -> usize {
+        fn depth(
+            node: &MethodNode,
+            graph: &CallGraph,
+            memo: &mut BTreeMap<MethodNode, usize>,
+        ) -> usize {
+            if let Some(&d) = memo.get(node) {
+                return d;
+            }
+            let d = graph
+                .callees(node)
+                .iter()
+                .filter(|c| graph.nodes.contains(*c))
+                .map(|c| 1 + depth(c, graph, memo))
+                .max()
+                .unwrap_or(0);
+            memo.insert(node.clone(), d);
+            d
+        }
+        let mut memo = BTreeMap::new();
+        self.nodes.iter().map(|n| depth(n, self, &mut memo)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_lang::builder::*;
+    use se_lang::programs::{chain_program, counter_program, figure1_program};
+    use se_lang::{Type, Value};
+
+    #[test]
+    fn figure1_graph_shape() {
+        let g = CallGraph::build(&figure1_program()).unwrap();
+        let buy = ("User".to_string(), "buy_item".to_string());
+        let callees = g.callees(&buy);
+        assert!(callees.contains(&("Item".to_string(), "price".to_string())));
+        assert!(callees.contains(&("Item".to_string(), "update_stock".to_string())));
+        assert!(g.check_no_recursion().is_ok());
+        assert_eq!(
+            g.class_edges(),
+            BTreeSet::from([("User".to_string(), "Item".to_string())])
+        );
+        assert_eq!(g.max_depth(), 1);
+    }
+
+    #[test]
+    fn counter_has_no_edges() {
+        let g = CallGraph::build(&counter_program()).unwrap();
+        assert!(g.edges.is_empty());
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.max_depth(), 0);
+    }
+
+    #[test]
+    fn chain_depth() {
+        let g = CallGraph::build(&chain_program(3)).unwrap();
+        assert!(g.check_no_recursion().is_ok());
+        assert_eq!(g.max_depth(), 3);
+    }
+
+    fn self_recursive_program() -> Program {
+        // Node.ping(other: Node) calls other.ping(other) — method-level
+        // self-loop, which is recursion even though `other` is a different
+        // instance.
+        let node = ClassBuilder::new("Node")
+            .attr_default("id", Type::Str, Value::Str(String::new()))
+            .key("id")
+            .method(
+                MethodBuilder::new("ping")
+                    .param("other", Type::entity("Node"))
+                    .returns(Type::Unit)
+                    .body(vec![expr_stmt(call(var("other"), "ping", vec![var("other")]))]),
+            )
+            .build();
+        Program::new(vec![node])
+    }
+
+    #[test]
+    fn direct_recursion_rejected() {
+        let g = CallGraph::build(&self_recursive_program()).unwrap();
+        let err = g.check_no_recursion().unwrap_err();
+        assert!(err.to_string().contains("Node.ping → Node.ping"), "{err}");
+    }
+
+    #[test]
+    fn mutual_recursion_rejected() {
+        let a = ClassBuilder::new("A")
+            .attr_default("id", Type::Str, Value::Str(String::new()))
+            .key("id")
+            .method(
+                MethodBuilder::new("f")
+                    .param("b", Type::entity("B"))
+                    .param("a", Type::entity("A"))
+                    .returns(Type::Unit)
+                    .body(vec![expr_stmt(call(var("b"), "g", vec![var("a"), var("b")]))]),
+            )
+            .build();
+        let b = ClassBuilder::new("B")
+            .attr_default("id", Type::Str, Value::Str(String::new()))
+            .key("id")
+            .method(
+                MethodBuilder::new("g")
+                    .param("a", Type::entity("A"))
+                    .param("b", Type::entity("B"))
+                    .returns(Type::Unit)
+                    .body(vec![expr_stmt(call(var("a"), "f", vec![var("b"), var("a")]))]),
+            )
+            .build();
+        let g = CallGraph::build(&Program::new(vec![a, b])).unwrap();
+        let err = g.check_no_recursion().unwrap_err();
+        assert!(err.to_string().contains("recursive call chain"), "{err}");
+    }
+
+    #[test]
+    fn call_through_attribute_resolved() {
+        // chain_program calls through `self.next`, an attribute — resolution
+        // must work for Attr targets, not just parameters.
+        let g = CallGraph::build(&chain_program(1)).unwrap();
+        let c0 = ("C0".to_string(), "relay".to_string());
+        assert_eq!(
+            g.callees(&c0),
+            BTreeSet::from([("C1".to_string(), "relay".to_string())])
+        );
+    }
+}

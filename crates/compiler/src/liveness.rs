@@ -1,0 +1,260 @@
+//! Live-variable analysis over block CFGs.
+//!
+//! The paper: "each function that was split takes as arguments the variables
+//! it references in its body and returns the variables it defines" (§2.4).
+//! A block's *arguments* are exactly its live-in variables: computed by the
+//! classic backward dataflow
+//!
+//! ```text
+//! live_in(b)  = use(b) ∪ (live_out(b) \ def(b))
+//! live_out(b) = ⋃ over successors s of live_in(s)
+//! ```
+//!
+//! with one refinement: the successor of a [`Terminator::RemoteCall`] binds
+//! the call's `result_var` on entry, so that variable is *defined* by the
+//! edge and excluded from what the suspension frame must carry.
+
+use std::collections::BTreeSet;
+
+use se_ir::{CompiledMethod, Terminator};
+use se_lang::{Expr, Stmt};
+
+/// Computes and stores `params` (live-ins) for every block of the method.
+pub fn assign_block_params(method: &mut CompiledMethod) {
+    let n = method.blocks.len();
+    let mut use_sets: Vec<BTreeSet<String>> = Vec::with_capacity(n);
+    let mut def_sets: Vec<BTreeSet<String>> = Vec::with_capacity(n);
+    for blk in &method.blocks {
+        let (uses, defs) = block_use_def(&blk.stmts, &blk.terminator);
+        use_sets.push(uses);
+        def_sets.push(defs);
+    }
+
+    let mut live_in: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    // Iterate to fixpoint (terminates: sets only grow, bounded by vars).
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let mut out: BTreeSet<String> = BTreeSet::new();
+            match &method.blocks[i].terminator {
+                Terminator::RemoteCall { result_var, resume, .. } => {
+                    let mut succ_in = live_in[resume.0 as usize].clone();
+                    if let Some(rv) = result_var {
+                        succ_in.remove(rv);
+                    }
+                    out.extend(succ_in);
+                }
+                t => {
+                    for s in t.successors() {
+                        out.extend(live_in[s.0 as usize].iter().cloned());
+                    }
+                }
+            }
+            let mut new_in = use_sets[i].clone();
+            new_in.extend(out.difference(&def_sets[i]).cloned());
+            if new_in != live_in[i] {
+                live_in[i] = new_in;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (blk, ins) in method.blocks.iter_mut().zip(live_in) {
+        blk.params = ins.into_iter().collect();
+    }
+}
+
+/// Sequentially scans a block computing upward-exposed uses and definitions.
+fn block_use_def(stmts: &[Stmt], terminator: &Terminator) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut uses = BTreeSet::new();
+    let mut defs = BTreeSet::new();
+
+    let record_expr = |e: &Expr, defs: &BTreeSet<String>, uses: &mut BTreeSet<String>| {
+        let mut referenced = BTreeSet::new();
+        e.referenced_vars(&mut referenced);
+        for v in referenced {
+            if !defs.contains(&v) {
+                uses.insert(v);
+            }
+        }
+    };
+
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { name, value, .. } => {
+                record_expr(value, &defs, &mut uses);
+                defs.insert(name.clone());
+            }
+            Stmt::AttrAssign { value, .. } => record_expr(value, &defs, &mut uses),
+            Stmt::Return(e) | Stmt::Expr(e) => record_expr(e, &defs, &mut uses),
+            // Split blocks are straight-line; control flow never appears
+            // inside them. Defensive: treat nested bodies conservatively.
+            Stmt::If { cond, then_body, else_body } => {
+                record_expr(cond, &defs, &mut uses);
+                let (u1, _) = block_use_def(then_body, &Terminator::Jump(se_ir::BlockId(0)));
+                let (u2, _) = block_use_def(else_body, &Terminator::Jump(se_ir::BlockId(0)));
+                for v in u1.into_iter().chain(u2) {
+                    if !defs.contains(&v) {
+                        uses.insert(v);
+                    }
+                }
+            }
+            Stmt::While { cond, body } | Stmt::ForList { iterable: cond, body, .. } => {
+                record_expr(cond, &defs, &mut uses);
+                let (u, _) = block_use_def(body, &Terminator::Jump(se_ir::BlockId(0)));
+                for v in u {
+                    if !defs.contains(&v) {
+                        uses.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    match terminator {
+        Terminator::Return(e) => record_expr(e, &defs, &mut uses),
+        Terminator::Jump(_) => {}
+        Terminator::Branch { cond, .. } => record_expr(cond, &defs, &mut uses),
+        Terminator::RemoteCall { target, args, .. } => {
+            record_expr(target, &defs, &mut uses);
+            for a in args {
+                record_expr(a, &defs, &mut uses);
+            }
+        }
+    }
+    (uses, defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize_method;
+    use crate::split::split_method;
+    use se_lang::builder::*;
+    use se_lang::Type;
+
+    fn compiled(body: Vec<Stmt>, params: Vec<(&str, Type)>, ret_ty: Type) -> CompiledMethod {
+        let mut mb = MethodBuilder::new("m").returns(ret_ty);
+        for (n, t) in params {
+            mb = mb.param(n, t);
+        }
+        let method = normalize_method(&mb.body(body).build());
+        split_method("T", &method).unwrap()
+    }
+
+    #[test]
+    fn suspension_frame_carries_only_referenced_vars() {
+        // unused is never referenced after the call ⇒ not live at resume.
+        let m = compiled(
+            vec![
+                assign("unused", int(99)),
+                assign("keep", int(7)),
+                assign("p", call(var("item"), "price", vec![])),
+                ret(add(var("keep"), var("p"))),
+            ],
+            vec![("item", Type::entity("Item"))],
+            Type::Int,
+        );
+        assert_eq!(m.blocks.len(), 2);
+        let resume_params = &m.blocks[1].params;
+        assert!(resume_params.contains(&"keep".to_string()), "{m:#?}");
+        assert!(resume_params.contains(&"p".to_string()));
+        assert!(!resume_params.contains(&"unused".to_string()));
+        assert!(!resume_params.contains(&"item".to_string()));
+    }
+
+    #[test]
+    fn result_var_excluded_from_frame_liveness_rule() {
+        // live_out of the calling block excludes the result var even though
+        // the resume block reads it: it is defined by the call edge.
+        let m = compiled(
+            vec![
+                assign("p", call(var("item"), "price", vec![])),
+                ret(var("p")),
+            ],
+            vec![("item", Type::entity("Item"))],
+            Type::Int,
+        );
+        // Entry block's live-in: only `item` (used by the call itself).
+        assert_eq!(m.blocks[0].params, vec!["item".to_string()]);
+        // Resume block's live-in: `p`.
+        assert_eq!(m.blocks[1].params, vec!["p".to_string()]);
+    }
+
+    #[test]
+    fn loop_carried_variables_stay_live() {
+        let m = compiled(
+            vec![
+                assign("i", int(0)),
+                assign("acc", int(0)),
+                while_(
+                    lt(var("i"), var("n")),
+                    vec![
+                        assign("acc", add(var("acc"), var("i"))),
+                        assign("i", add(var("i"), int(1))),
+                    ],
+                ),
+                ret(var("acc")),
+            ],
+            vec![("n", Type::Int)],
+            Type::Int,
+        );
+        // The loop head must keep i, acc and n live around the back edge.
+        let head = m
+            .blocks
+            .iter()
+            .find(|b| matches!(b.terminator, Terminator::Branch { .. }))
+            .expect("loop head");
+        for v in ["i", "acc", "n"] {
+            assert!(head.params.contains(&v.to_string()), "{v} missing: {m:#?}");
+        }
+    }
+
+    #[test]
+    fn call_in_loop_keeps_iterator_state_live() {
+        let m = compiled(
+            vec![
+                assign("acc", int(0)),
+                for_list(
+                    "x",
+                    var("xs"),
+                    vec![
+                        assign("r", call(var("a"), "f", vec![var("x")])),
+                        assign("acc", add(var("acc"), var("r"))),
+                    ],
+                ),
+                ret(var("acc")),
+            ],
+            vec![("xs", Type::list(Type::Int)), ("a", Type::entity("A"))],
+            Type::Int,
+        );
+        // The resume block after the in-loop call must keep the desugared
+        // iterator/index temps alive (paper §2.5: events carry information
+        // about previous iterations).
+        let resume = m
+            .blocks
+            .iter()
+            .find_map(|b| match &b.terminator {
+                Terminator::RemoteCall { resume, .. } => Some(*resume),
+                _ => None,
+            })
+            .expect("suspension point");
+        let params = &m.block(resume).params;
+        assert!(params.iter().any(|p| p.starts_with("__it")), "{m:#?}");
+        assert!(params.iter().any(|p| p.starts_with("__ix")), "{m:#?}");
+        assert!(params.contains(&"a".to_string()), "a is needed next iteration: {m:#?}");
+    }
+
+    #[test]
+    fn entry_params_subset_of_method_params() {
+        let m = compiled(
+            vec![ret(var("b"))],
+            vec![("a", Type::Int), ("b", Type::Int)],
+            Type::Int,
+        );
+        assert_eq!(m.blocks[0].params, vec!["b".to_string()], "a is dead on entry");
+    }
+}

@@ -1,0 +1,473 @@
+//! Remote-call normalization (A-normal form for calls).
+//!
+//! The paper's running example splits `total_price = amount * item.price()`
+//! by first *evaluating the arguments for the remote call* and suspending
+//! (§2.4). To make the splitting pass (crate::split) only ever deal with
+//! statement-level calls, this pass hoists every remote call out of compound
+//! expressions into a fresh temporary assignment:
+//!
+//! ```text
+//! total_price: int = amount * item.price()
+//!     ⇒ __c0 = item.price()
+//!       total_price: int = amount * __c0
+//! ```
+//!
+//! Three constructs need extra care to preserve source semantics:
+//!
+//! * **short-circuit `and`/`or`** whose operands contain calls are rewritten
+//!   into explicit `if` statements, so a call in the right operand still only
+//!   executes when the left operand demands it;
+//! * **`while` conditions** containing calls are rewritten into the standard
+//!   "evaluate before loop + re-evaluate at end of body" form, because the
+//!   hoisted evaluation must re-run every iteration;
+//! * **`if` conditions** and **`for` iterables** are evaluated once, so their
+//!   hoisted prelude simply precedes the statement.
+//!
+//! After this pass the invariant consumed by `split` holds: a call appears
+//! only as the *entire* right-hand side of an `Assign` or as a bare `Expr`
+//! statement.
+
+use se_lang::{CallExpr, EntityClass, Expr, Method, Program, Stmt};
+
+/// Fresh-name generator for compiler temporaries.
+///
+/// Temporaries use the `__` prefix, which the builder-facing DSL treats as
+/// reserved (the paper's Python compiler similarly introduces
+/// `update_stock_arg`-style temporaries).
+#[derive(Debug, Default)]
+pub struct TempGen {
+    next: u32,
+}
+
+impl TempGen {
+    /// Creates a generator starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh name with the given role tag, e.g. `__c3`.
+    pub fn fresh(&mut self, tag: &str) -> String {
+        let n = self.next;
+        self.next += 1;
+        format!("__{tag}{n}")
+    }
+}
+
+/// Normalizes every method of every class in the program.
+pub fn normalize_program(program: &Program) -> Program {
+    Program {
+        classes: program
+            .classes
+            .iter()
+            .map(|c| EntityClass {
+                name: c.name.clone(),
+                attrs: c.attrs.clone(),
+                key_attr: c.key_attr.clone(),
+                methods: c.methods.iter().map(normalize_method).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Normalizes a single method.
+pub fn normalize_method(method: &Method) -> Method {
+    let mut gen = TempGen::new();
+    Method {
+        name: method.name.clone(),
+        params: method.params.clone(),
+        ret: method.ret.clone(),
+        body: normalize_stmts(&method.body, &mut gen),
+        transactional: method.transactional,
+    }
+}
+
+/// Normalizes a statement sequence.
+pub fn normalize_stmts(stmts: &[Stmt], gen: &mut TempGen) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        normalize_stmt(s, gen, &mut out);
+    }
+    out
+}
+
+fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
+    match stmt {
+        Stmt::Assign { name, ty, value } => {
+            if !value.contains_call() {
+                out.push(stmt.clone());
+                return;
+            }
+            // Keep a top-level call in place (it is already in split form)
+            // but normalize its target and arguments.
+            if let Expr::Call(c) = value {
+                let call = normalize_call_parts(c, gen, out);
+                out.push(Stmt::Assign { name: name.clone(), ty: ty.clone(), value: call });
+            } else {
+                let v = normalize_expr(value, gen, out);
+                out.push(Stmt::Assign { name: name.clone(), ty: ty.clone(), value: v });
+            }
+        }
+        Stmt::AttrAssign { attr, value } => {
+            let v = if value.contains_call() {
+                normalize_expr(value, gen, out)
+            } else {
+                value.clone()
+            };
+            out.push(Stmt::AttrAssign { attr: attr.clone(), value: v });
+        }
+        Stmt::Return(e) => {
+            let v = if e.contains_call() { normalize_expr(e, gen, out) } else { e.clone() };
+            out.push(Stmt::Return(v));
+        }
+        Stmt::Expr(e) => {
+            if !e.contains_call() {
+                out.push(stmt.clone());
+                return;
+            }
+            if let Expr::Call(c) = e {
+                let call = normalize_call_parts(c, gen, out);
+                out.push(Stmt::Expr(call));
+            } else {
+                let v = normalize_expr(e, gen, out);
+                out.push(Stmt::Expr(v));
+            }
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            // `if` conditions are evaluated exactly once: hoist before.
+            let c = if cond.contains_call() {
+                normalize_expr(cond, gen, out)
+            } else {
+                cond.clone()
+            };
+            out.push(Stmt::If {
+                cond: c,
+                then_body: normalize_stmts(then_body, gen),
+                else_body: normalize_stmts(else_body, gen),
+            });
+        }
+        Stmt::While { cond, body } => {
+            if !cond.contains_call() {
+                out.push(Stmt::While { cond: cond.clone(), body: normalize_stmts(body, gen) });
+                return;
+            }
+            // `while <call-bearing cond>` re-evaluates each iteration:
+            //   pre…; while c { body; pre…; }
+            let mut pre = Vec::new();
+            let c = normalize_expr(cond, gen, &mut pre);
+            out.extend(pre.iter().cloned());
+            let mut new_body = normalize_stmts(body, gen);
+            new_body.extend(pre);
+            out.push(Stmt::While { cond: c, body: new_body });
+        }
+        Stmt::ForList { var, iterable, body } => {
+            // The iterable is evaluated once: hoist before.
+            let it = if iterable.contains_call() {
+                normalize_expr(iterable, gen, out)
+            } else {
+                iterable.clone()
+            };
+            out.push(Stmt::ForList {
+                var: var.clone(),
+                iterable: it,
+                body: normalize_stmts(body, gen),
+            });
+        }
+    }
+}
+
+/// Normalizes an expression, emitting hoisted statements into `out` and
+/// returning the (call-free) replacement expression.
+fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
+    if !expr.contains_call() {
+        return expr.clone();
+    }
+    match expr {
+        Expr::Call(c) => {
+            let call = normalize_call_parts(c, gen, out);
+            let tmp = gen.fresh("c");
+            out.push(Stmt::Assign { name: tmp.clone(), ty: None, value: call });
+            Expr::Var(tmp)
+        }
+        Expr::Binary(op, l, r) if op.is_logical() => {
+            // Short-circuit-preserving rewrite. `a and b` becomes:
+            //   __sc = bool(a)
+            //   if __sc: __sc = bool(b)
+            // (`a or b` guards with `not __sc`.) `bool(x)` is `not not x`.
+            let to_bool = |e: Expr| {
+                Expr::Unary(
+                    se_lang::UnOp::Not,
+                    Box::new(Expr::Unary(se_lang::UnOp::Not, Box::new(e))),
+                )
+            };
+            let lv = normalize_expr(l, gen, out);
+            let sc = gen.fresh("sc");
+            out.push(Stmt::Assign { name: sc.clone(), ty: None, value: to_bool(lv) });
+            let mut rhs_pre = Vec::new();
+            let rv = normalize_expr(r, gen, &mut rhs_pre);
+            rhs_pre.push(Stmt::Assign { name: sc.clone(), ty: None, value: to_bool(rv) });
+            let guard = match op {
+                se_lang::BinOp::And => Expr::Var(sc.clone()),
+                se_lang::BinOp::Or => {
+                    Expr::Unary(se_lang::UnOp::Not, Box::new(Expr::Var(sc.clone())))
+                }
+                _ => unreachable!("is_logical"),
+            };
+            out.push(Stmt::If { cond: guard, then_body: rhs_pre, else_body: vec![] });
+            Expr::Var(sc)
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = normalize_expr(l, gen, out);
+            let rv = normalize_expr(r, gen, out);
+            Expr::Binary(*op, Box::new(lv), Box::new(rv))
+        }
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(normalize_expr(e, gen, out))),
+        Expr::Builtin(b, args) => {
+            Expr::Builtin(*b, args.iter().map(|a| normalize_expr(a, gen, out)).collect())
+        }
+        Expr::Index(b, i) => Expr::Index(
+            Box::new(normalize_expr(b, gen, out)),
+            Box::new(normalize_expr(i, gen, out)),
+        ),
+        Expr::ListLit(items) => {
+            Expr::ListLit(items.iter().map(|a| normalize_expr(a, gen, out)).collect())
+        }
+        // Leaves cannot contain calls; contains_call() was checked above.
+        Expr::Lit(_) | Expr::Var(_) | Expr::Attr(_) => unreachable!("leaf contains no call"),
+    }
+}
+
+/// Normalizes a call's target and arguments (for a call kept at statement
+/// level), returning the rebuilt call expression.
+fn normalize_call_parts(c: &CallExpr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
+    let target = normalize_expr(&c.target, gen, out);
+    let args = c.args.iter().map(|a| normalize_expr(a, gen, out)).collect();
+    Expr::Call(CallExpr { target: Box::new(target), method: c.method.clone(), args })
+}
+
+/// Checks the post-normalization invariant: calls only appear as the whole
+/// RHS of an `Assign` or as a bare `Expr` statement. Returns a description
+/// of the first violation.
+pub fn check_normalized(stmts: &[Stmt]) -> Result<(), String> {
+    fn expr_clean(e: &Expr) -> bool {
+        !e.contains_call()
+    }
+    fn call_parts_clean(c: &CallExpr) -> bool {
+        expr_clean(&c.target) && c.args.iter().all(expr_clean)
+    }
+    for s in stmts {
+        match s {
+            Stmt::Assign { value: Expr::Call(c), .. } | Stmt::Expr(Expr::Call(c)) => {
+                if !call_parts_clean(c) {
+                    return Err(format!("nested call inside call parts: {c:?}"));
+                }
+            }
+            Stmt::Assign { value, .. } | Stmt::AttrAssign { value, .. } => {
+                if !expr_clean(value) {
+                    return Err(format!("call not at statement level: {value:?}"));
+                }
+            }
+            Stmt::Return(e) | Stmt::Expr(e) => {
+                if !expr_clean(e) {
+                    return Err(format!("call not at statement level: {e:?}"));
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                if !expr_clean(cond) {
+                    return Err(format!("call in if condition: {cond:?}"));
+                }
+                check_normalized(then_body)?;
+                check_normalized(else_body)?;
+            }
+            Stmt::While { cond, body } => {
+                if !expr_clean(cond) {
+                    return Err(format!("call in while condition: {cond:?}"));
+                }
+                check_normalized(body)?;
+            }
+            Stmt::ForList { iterable, body, .. } => {
+                if !expr_clean(iterable) {
+                    return Err(format!("call in for iterable: {iterable:?}"));
+                }
+                check_normalized(body)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_lang::builder::*;
+    use se_lang::programs::figure1_program;
+
+    fn norm(stmts: Vec<Stmt>) -> Vec<Stmt> {
+        let mut gen = TempGen::new();
+        let out = normalize_stmts(&stmts, &mut gen);
+        check_normalized(&out).expect("normalization must establish the invariant");
+        out
+    }
+
+    #[test]
+    fn hoists_call_from_binary() {
+        // total = amount * item.price()
+        let stmts = vec![assign("total", mul(var("amount"), call(var("item"), "price", vec![])))];
+        let out = norm(stmts);
+        assert_eq!(out.len(), 2);
+        assert!(
+            matches!(&out[0], Stmt::Assign { name, value: Expr::Call(_), .. } if name == "__c0")
+        );
+        assert!(matches!(&out[1], Stmt::Assign { name, .. } if name == "total"));
+    }
+
+    #[test]
+    fn keeps_top_level_call_in_place() {
+        let stmts = vec![assign("x", call(var("item"), "price", vec![]))];
+        let out = norm(stmts);
+        assert_eq!(out.len(), 1, "already-normal statement should be unchanged");
+    }
+
+    #[test]
+    fn hoists_nested_call_in_args() {
+        // x = a.f(b.g())
+        let stmts =
+            vec![assign("x", call(var("a"), "f", vec![call(var("b"), "g", vec![])]))];
+        let out = norm(stmts);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], Stmt::Assign { value: Expr::Call(c), .. } if c.method == "g"));
+        assert!(matches!(&out[1], Stmt::Assign { value: Expr::Call(c), .. } if c.method == "f"));
+    }
+
+    #[test]
+    fn return_with_call_hoisted() {
+        let stmts = vec![ret(call(var("a"), "f", vec![]))];
+        let out = norm(stmts);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[1], Stmt::Return(Expr::Var(_))));
+    }
+
+    #[test]
+    fn while_condition_reevaluated() {
+        // while a.more(): x = x + 1
+        let stmts = vec![while_(
+            call(var("a"), "more", vec![]),
+            vec![assign("x", add(var("x"), int(1)))],
+        )];
+        let out = norm(stmts);
+        // pre (call assign) + while
+        assert_eq!(out.len(), 2);
+        let Stmt::While { body, .. } = &out[1] else { panic!("expected while") };
+        // body = original body + re-evaluation of the call
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[1], Stmt::Assign { value: Expr::Call(_), .. }));
+    }
+
+    #[test]
+    fn short_circuit_and_preserved() {
+        // x = flag and a.f()   — a.f() must be guarded by `if flag`
+        let stmts = vec![assign("x", and(var("flag"), call(var("a"), "f", vec![])))];
+        let out = norm(stmts);
+        // [__sc = bool(flag), if __sc { __c = a.f(); __sc = bool(__c) }, x = __sc]
+        let has_guarded_call = out.iter().any(|s| match s {
+            Stmt::If { then_body, .. } => {
+                then_body.iter().any(|s| matches!(s, Stmt::Assign { value: Expr::Call(_), .. }))
+            }
+            _ => false,
+        });
+        assert!(has_guarded_call, "call must be inside the guard: {out:#?}");
+        // No bare call outside the if.
+        for s in &out {
+            if let Stmt::Assign { value: Expr::Call(_), .. } = s {
+                panic!("unguarded call: {out:#?}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_circuit_or_guard_negated() {
+        let stmts = vec![assign("x", or(var("flag"), call(var("a"), "f", vec![])))];
+        let out = norm(stmts);
+        let guard_negated = out.iter().any(|s| match s {
+            Stmt::If { cond: Expr::Unary(se_lang::UnOp::Not, _), then_body, .. } => {
+                then_body.iter().any(|s| matches!(s, Stmt::Assign { value: Expr::Call(_), .. }))
+            }
+            _ => false,
+        });
+        assert!(guard_negated, "or-guard must be negated: {out:#?}");
+    }
+
+    #[test]
+    fn logical_without_calls_untouched() {
+        let stmts = vec![assign("x", and(var("a"), var("b")))];
+        let out = norm(stmts);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], Stmt::Assign { value: Expr::Binary(..), .. }));
+    }
+
+    #[test]
+    fn figure1_program_normalizes_clean() {
+        let p = normalize_program(&figure1_program());
+        for c in &p.classes {
+            for m in &c.methods {
+                check_normalized(&m.body)
+                    .unwrap_or_else(|e| panic!("{}.{}: {e}", c.name, m.name));
+            }
+        }
+        // buy_item's first statement is now the hoisted price() call.
+        let buy = p.class("User").unwrap().method("buy_item").unwrap();
+        assert!(
+            matches!(&buy.body[0], Stmt::Assign { value: Expr::Call(c), .. } if c.method == "price")
+        );
+    }
+
+    #[test]
+    fn if_condition_call_hoisted_before() {
+        let stmts = vec![if_(call(var("a"), "check", vec![]), vec![ret(int(1))])];
+        let out = norm(stmts);
+        assert!(matches!(&out[0], Stmt::Assign { value: Expr::Call(_), .. }));
+        assert!(matches!(&out[1], Stmt::If { cond: Expr::Var(_), .. }));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let stmts = vec![
+            assign("total", mul(var("amount"), call(var("item"), "price", vec![]))),
+            ret(var("total")),
+        ];
+        let once = norm(stmts);
+        let mut gen = TempGen::new();
+        let twice = normalize_stmts(&once, &mut gen);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn semantics_preserved_under_local_execution() {
+        // Execute figure1 both raw and normalized; results must agree.
+        use se_lang::{LocalExecutor, Value};
+        let raw = figure1_program();
+        let normd = normalize_program(&raw);
+        se_lang::typecheck::check_program(&normd)
+            .unwrap_or_else(|e| panic!("normalized program fails typecheck: {e:?}"));
+        let run = |p: &se_lang::Program| {
+            let mut exec = LocalExecutor::new(p);
+            let user =
+                exec.create("User", "alice", [("balance".into(), Value::Int(100))]).unwrap();
+            let item = exec
+                .create(
+                    "Item",
+                    "laptop",
+                    [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                )
+                .unwrap();
+            let r = exec
+                .invoke(&user, "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+                .unwrap();
+            (
+                r,
+                exec.store().state(&user).unwrap()["balance"].clone(),
+                exec.store().state(&item).unwrap()["stock"].clone(),
+            )
+        };
+        assert_eq!(run(&raw), run(&normd));
+    }
+}

@@ -1,0 +1,479 @@
+//! Function splitting: lowering a (normalized) method body into a CFG of
+//! split-function blocks.
+//!
+//! This implements §2.4 of the paper: "The algorithm traverses the
+//! statements of a function definition and the function is split either when
+//! a remote call occurs or on a control-flow structure."
+//!
+//! * A statement-level remote call ends the current block with a
+//!   [`Terminator::RemoteCall`] naming the continuation block.
+//! * An `if` yields "one definition that evaluates its conditional, one that
+//!   evaluates the 'true' path, and one that evaluates the 'false' path" — a
+//!   [`Terminator::Branch`] plus two arm blocks and a join block.
+//! * Loops yield a head block re-evaluating the condition, a body block
+//!   looping back, and an after block; `for` loops are desugared with
+//!   explicit iterator/index temporaries — the "additional state" the paper
+//!   adds to the state machine to "keep track of the current iteration"
+//!   (§2.5).
+//!
+//! A post-pass removes empty indirection blocks and unreachable code so the
+//! emitted state machine is minimal; block parameters (live-ins) are then
+//!   filled in by [`crate::liveness`].
+
+use se_ir::{Block, BlockId, CompiledMethod, Terminator};
+use se_lang::builder as b;
+use se_lang::{Expr, LangError, Method, Stmt, Value};
+
+use crate::liveness::assign_block_params;
+use crate::normalize::{check_normalized, TempGen};
+
+/// Splits one normalized method into its block CFG.
+///
+/// The input must satisfy the normalization invariant (calls only at
+/// statement level); violations are analysis errors.
+pub fn split_method(class_name: &str, method: &Method) -> Result<CompiledMethod, LangError> {
+    check_normalized(&method.body).map_err(|e| {
+        LangError::analysis(format!(
+            "{class_name}.{}: splitting requires normalized input: {e}",
+            method.name
+        ))
+    })?;
+
+    let mut lower = Lowerer { blocks: Vec::new(), gen: TempGen::new() };
+    let entry = lower.new_block();
+    let exit = lower.new_block();
+    lower.blocks[exit.0 as usize].terminator = Some(Terminator::Return(Expr::Lit(Value::Unit)));
+    lower.lower_seq(&method.body, entry, exit);
+
+    let mut blocks: Vec<Block> = lower
+        .blocks
+        .into_iter()
+        .map(|ub| Block {
+            id: ub.id,
+            params: Vec::new(),
+            stmts: ub.stmts,
+            terminator: ub.terminator.expect("all blocks terminated by lowering"),
+        })
+        .collect();
+
+    thread_jumps(&mut blocks);
+    merge_single_pred_jumps(&mut blocks);
+    let blocks = drop_unreachable_and_renumber(blocks);
+
+    let mut compiled = CompiledMethod {
+        name: method.name.clone(),
+        params: method.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+        ret: method.ret.clone(),
+        transactional: method.transactional,
+        blocks,
+        entry: BlockId(0),
+    };
+    assign_block_params(&mut compiled);
+    compiled.validate().map_err(LangError::analysis)?;
+    Ok(compiled)
+}
+
+struct UBlock {
+    id: BlockId,
+    stmts: Vec<Stmt>,
+    terminator: Option<Terminator>,
+}
+
+struct Lowerer {
+    blocks: Vec<UBlock>,
+    gen: TempGen,
+}
+
+impl Lowerer {
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(UBlock { id, stmts: Vec::new(), terminator: None });
+        id
+    }
+
+    fn push(&mut self, block: BlockId, stmt: Stmt) {
+        self.blocks[block.0 as usize].stmts.push(stmt);
+    }
+
+    fn terminate(&mut self, block: BlockId, t: Terminator) {
+        let slot = &mut self.blocks[block.0 as usize].terminator;
+        debug_assert!(slot.is_none(), "block {block} terminated twice");
+        *slot = Some(t);
+    }
+
+    /// Lowers `stmts` into the CFG starting at `cur`; control continues at
+    /// `exit` if the sequence falls through.
+    fn lower_seq(&mut self, stmts: &[Stmt], mut cur: BlockId, exit: BlockId) {
+        for stmt in stmts {
+            match stmt {
+                // Statement-level remote call: suspend here. Anything after
+                // this statement goes into the continuation block.
+                Stmt::Assign { name, value: Expr::Call(c), .. } => {
+                    let resume = self.new_block();
+                    self.terminate(
+                        cur,
+                        Terminator::RemoteCall {
+                            target: (*c.target).clone(),
+                            method: c.method.clone(),
+                            args: c.args.clone(),
+                            result_var: Some(name.clone()),
+                            resume,
+                        },
+                    );
+                    cur = resume;
+                }
+                Stmt::Expr(Expr::Call(c)) => {
+                    let resume = self.new_block();
+                    self.terminate(
+                        cur,
+                        Terminator::RemoteCall {
+                            target: (*c.target).clone(),
+                            method: c.method.clone(),
+                            args: c.args.clone(),
+                            result_var: None,
+                            resume,
+                        },
+                    );
+                    cur = resume;
+                }
+                Stmt::Return(e) => {
+                    self.terminate(cur, Terminator::Return(e.clone()));
+                    // Statements after a return are dead; the paper's Python
+                    // front end would never produce them, drop silently.
+                    return;
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    let then_blk = self.new_block();
+                    let else_blk = self.new_block();
+                    let join = self.new_block();
+                    self.terminate(
+                        cur,
+                        Terminator::Branch { cond: cond.clone(), then_blk, else_blk },
+                    );
+                    self.lower_seq(then_body, then_blk, join);
+                    self.lower_seq(else_body, else_blk, join);
+                    cur = join;
+                }
+                Stmt::While { cond, body } => {
+                    let head = self.new_block();
+                    let body_blk = self.new_block();
+                    let after = self.new_block();
+                    self.terminate(cur, Terminator::Jump(head));
+                    self.terminate(
+                        head,
+                        Terminator::Branch { cond: cond.clone(), then_blk: body_blk, else_blk: after },
+                    );
+                    self.lower_seq(body, body_blk, head);
+                    cur = after;
+                }
+                Stmt::ForList { var, iterable, body } => {
+                    // Desugar to an index loop over a snapshot of the list:
+                    //   __itN = iterable; __ixN = 0
+                    //   head: if __ixN < len(__itN) goto body else after
+                    //   body: var = __itN[__ixN]; __ixN += 1; …body…; goto head
+                    let it = self.gen.fresh("it");
+                    let ix = self.gen.fresh("ix");
+                    self.push(cur, b::assign(&it, iterable.clone()));
+                    self.push(cur, b::assign(&ix, b::int(0)));
+                    let head = self.new_block();
+                    let body_blk = self.new_block();
+                    let after = self.new_block();
+                    self.terminate(cur, Terminator::Jump(head));
+                    self.terminate(
+                        head,
+                        Terminator::Branch {
+                            cond: b::lt(b::var(&ix), b::len(b::var(&it))),
+                            then_blk: body_blk,
+                            else_blk: after,
+                        },
+                    );
+                    self.push(body_blk, b::assign(var, b::index(b::var(&it), b::var(&ix))));
+                    self.push(body_blk, b::assign(&ix, b::add(b::var(&ix), b::int(1))));
+                    self.lower_seq(body, body_blk, head);
+                    cur = after;
+                }
+                // Plain statements accumulate in the current block.
+                Stmt::Assign { .. } | Stmt::AttrAssign { .. } | Stmt::Expr(_) => {
+                    self.push(cur, stmt.clone());
+                }
+            }
+        }
+        self.terminate(cur, Terminator::Jump(exit));
+    }
+}
+
+/// Retargets terminator edges through chains of empty `Jump`-only blocks.
+fn thread_jumps(blocks: &mut [Block]) {
+    let resolve = |start: BlockId, blocks: &[Block]| -> BlockId {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut cur = start;
+        loop {
+            if !seen.insert(cur) {
+                return cur; // cycle of empty jumps (infinite loop in source)
+            }
+            let blk = &blocks[cur.0 as usize];
+            match (&blk.stmts.is_empty(), &blk.terminator) {
+                (true, Terminator::Jump(next)) => cur = *next,
+                _ => return cur,
+            }
+        }
+    };
+    for i in 0..blocks.len() {
+        let mut t = blocks[i].terminator.clone();
+        match &mut t {
+            Terminator::Jump(to) => *to = resolve(*to, blocks),
+            Terminator::Branch { then_blk, else_blk, .. } => {
+                *then_blk = resolve(*then_blk, blocks);
+                *else_blk = resolve(*else_blk, blocks);
+            }
+            Terminator::RemoteCall { resume, .. } => *resume = resolve(*resume, blocks),
+            Terminator::Return(_) => {}
+        }
+        blocks[i].terminator = t;
+    }
+}
+
+/// Merges `A → Jump(B)` where B has exactly one predecessor into A.
+fn merge_single_pred_jumps(blocks: &mut [Block]) {
+    loop {
+        // Count predecessors; the entry block gets a virtual predecessor.
+        let mut preds = vec![0usize; blocks.len()];
+        preds[0] += 1;
+        for blk in blocks.iter() {
+            for s in blk.terminator.successors() {
+                preds[s.0 as usize] += 1;
+            }
+        }
+        let mut merged = false;
+        for i in 0..blocks.len() {
+            let Terminator::Jump(target) = blocks[i].terminator else { continue };
+            let t = target.0 as usize;
+            if t == i || preds[t] != 1 {
+                continue;
+            }
+            let donor_stmts = std::mem::take(&mut blocks[t].stmts);
+            let donor_term = blocks[t].terminator.clone();
+            blocks[i].stmts.extend(donor_stmts);
+            blocks[i].terminator = donor_term;
+            // Leave the donor as an unreachable stub; the renumber pass
+            // removes it.
+            blocks[t].terminator = Terminator::Return(Expr::Lit(Value::Unit));
+            merged = true;
+            break;
+        }
+        if !merged {
+            return;
+        }
+    }
+}
+
+/// Drops blocks unreachable from the entry and renumbers in DFS preorder.
+fn drop_unreachable_and_renumber(blocks: Vec<Block>) -> Vec<Block> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; blocks.len()];
+    let mut stack = vec![BlockId(0)];
+    while let Some(id) = stack.pop() {
+        let i = id.0 as usize;
+        if seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        order.push(id);
+        // Push successors in reverse so they pop in natural order.
+        for s in blocks[i].terminator.successors().into_iter().rev() {
+            stack.push(s);
+        }
+    }
+    let mut remap = vec![u32::MAX; blocks.len()];
+    for (new, old) in order.iter().enumerate() {
+        remap[old.0 as usize] = new as u32;
+    }
+    let mut out: Vec<Block> = Vec::with_capacity(order.len());
+    for old in order {
+        let mut blk = blocks[old.0 as usize].clone();
+        blk.id = BlockId(remap[old.0 as usize]);
+        match &mut blk.terminator {
+            Terminator::Jump(to) => to.0 = remap[to.0 as usize],
+            Terminator::Branch { then_blk, else_blk, .. } => {
+                then_blk.0 = remap[then_blk.0 as usize];
+                else_blk.0 = remap[else_blk.0 as usize];
+            }
+            Terminator::RemoteCall { resume, .. } => resume.0 = remap[resume.0 as usize],
+            Terminator::Return(_) => {}
+        }
+        out.push(blk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize_method;
+    use se_ir::StateMachine;
+    use se_lang::builder::*;
+    use se_lang::programs::figure1_program;
+    use se_lang::Type;
+
+    fn split(body: Vec<Stmt>, params: Vec<(&str, Type)>, ret_ty: Type) -> CompiledMethod {
+        let mut mb = MethodBuilder::new("m").returns(ret_ty);
+        for (n, t) in params {
+            mb = mb.param(n, t);
+        }
+        let method = mb.body(body).build();
+        let normalized = normalize_method(&method);
+        split_method("T", &normalized).unwrap()
+    }
+
+    #[test]
+    fn simple_method_is_one_block() {
+        let m = split(vec![ret(add(var("a"), int(1)))], vec![("a", Type::Int)], Type::Int);
+        assert!(m.is_simple(), "no calls, no control flow ⇒ single block: {m:#?}");
+        assert_eq!(m.suspension_points(), 0);
+    }
+
+    #[test]
+    fn straightline_call_splits_in_two() {
+        // Matches the paper's buy_item_0/buy_item_1 example shape.
+        let m = split(
+            vec![
+                assign("total", mul(var("amount"), call(var("item"), "price", vec![]))),
+                ret(var("total")),
+            ],
+            vec![("amount", Type::Int), ("item", Type::entity("Item"))],
+            Type::Int,
+        );
+        assert_eq!(m.blocks.len(), 2, "{m:#?}");
+        assert_eq!(m.suspension_points(), 1);
+        assert!(matches!(
+            m.blocks[0].terminator,
+            Terminator::RemoteCall { resume: BlockId(1), .. }
+        ));
+    }
+
+    #[test]
+    fn if_without_calls_still_splits() {
+        // "the function is split … on a control-flow structure" (§2.4)
+        let m = split(
+            vec![
+                if_else(lt(var("a"), int(0)), vec![assign("x", int(1))], vec![assign("x", int(2))]),
+                ret(var("x")),
+            ],
+            vec![("a", Type::Int)],
+            Type::Int,
+        );
+        // cond block + two arm blocks + join ⇒ 4 after simplification.
+        assert_eq!(m.blocks.len(), 4, "{m:#?}");
+        assert!(matches!(m.blocks[0].terminator, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn early_return_arms_skip_join() {
+        let m = split(
+            vec![
+                if_(lt(var("a"), int(0)), vec![ret(int(-1))]),
+                ret(var("a")),
+            ],
+            vec![("a", Type::Int)],
+            Type::Int,
+        );
+        // Branch block; then-arm returns; else-arm threads to the join that
+        // returns a. After merging: branch + 2 return blocks.
+        assert_eq!(m.blocks.len(), 3, "{m:#?}");
+        let sm = StateMachine::from_method(&m);
+        assert!(sm.fully_reachable());
+        assert!(!sm.has_cycle());
+    }
+
+    #[test]
+    fn while_loop_forms_cycle() {
+        let m = split(
+            vec![
+                assign("i", int(0)),
+                while_(lt(var("i"), var("n")), vec![assign("i", add(var("i"), int(1)))]),
+                ret(var("i")),
+            ],
+            vec![("n", Type::Int)],
+            Type::Int,
+        );
+        let sm = StateMachine::from_method(&m);
+        assert!(sm.has_cycle(), "loop must form a cycle: {m:#?}");
+        assert!(sm.fully_reachable());
+        assert_eq!(m.suspension_points(), 0);
+    }
+
+    #[test]
+    fn for_loop_desugars_with_index_state() {
+        let m = split(
+            vec![
+                assign("acc", int(0)),
+                for_list("x", var("xs"), vec![assign("acc", add(var("acc"), var("x")))]),
+                ret(var("acc")),
+            ],
+            vec![("xs", Type::list(Type::Int))],
+            Type::Int,
+        );
+        let sm = StateMachine::from_method(&m);
+        assert!(sm.has_cycle());
+        // The desugared loop tracks iteration via __ix0 — the paper's
+        // "additional state" for loop tracking.
+        let uses_index = m
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .any(|s| matches!(s, Stmt::Assign { name, .. } if name.starts_with("__ix")));
+        assert!(uses_index, "{m:#?}");
+    }
+
+    #[test]
+    fn call_inside_loop_suspends_per_iteration() {
+        // for x in xs: a.f(x)  — one suspension point in the body block.
+        let m = split(
+            vec![for_list("x", var("xs"), vec![expr_stmt(call(var("a"), "f", vec![var("x")]))])],
+            vec![("xs", Type::list(Type::Int)), ("a", Type::entity("A"))],
+            Type::Unit,
+        );
+        assert_eq!(m.suspension_points(), 1);
+        let sm = StateMachine::from_method(&m);
+        assert!(sm.has_cycle(), "loop with call still cycles: {}", sm.to_dot());
+    }
+
+    #[test]
+    fn figure1_buy_item_golden() {
+        let program = crate::normalize::normalize_program(&figure1_program());
+        let buy = program.class("User").unwrap().method("buy_item").unwrap();
+        let m = split_method("User", buy).unwrap();
+
+        // Three remote calls: price, update_stock(-amount), compensating
+        // update_stock(amount).
+        assert_eq!(m.suspension_points(), 3, "{m:#?}");
+        // Entry suspends immediately on price() (no prior statements).
+        assert!(matches!(
+            &m.blocks[0].terminator,
+            Terminator::RemoteCall { method, .. } if method == "price"
+        ));
+        let sm = StateMachine::from_method(&m);
+        assert!(sm.fully_reachable());
+        assert!(!sm.has_cycle());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn dead_code_after_return_dropped() {
+        let m = split(
+            vec![ret(int(1)), assign("dead", int(2))],
+            vec![],
+            Type::Int,
+        );
+        assert!(m.is_simple());
+        assert!(m.blocks[0].stmts.is_empty());
+    }
+
+    #[test]
+    fn getter_method_shape() {
+        let program = crate::normalize::normalize_program(&figure1_program());
+        let price = program.class("Item").unwrap().method("price").unwrap();
+        let m = split_method("Item", price).unwrap();
+        assert!(m.is_simple());
+    }
+}

@@ -1,0 +1,418 @@
+//! Property-based equivalence: executing a *compiled* (normalized, split)
+//! program through the event protocol must produce exactly the same results
+//! and final entity states as interpreting the *source* program directly.
+//!
+//! This is the paper's central correctness claim — program transformation to
+//! dataflows does not change program semantics — tested over randomly
+//! generated imperative methods containing arithmetic, attribute state,
+//! conditionals, bounded loops, for-loops and remote calls.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use se_compiler::compile;
+use se_ir::{drive_chain, Invocation, RequestId};
+use se_lang::builder::*;
+use se_lang::{
+    EntityRef, EntityState, LocalExecutor, Method, Program, Stmt, Type, Value,
+};
+
+/// The fixed callee class: an integer cell with getter/setter/adder and a
+/// conditional method exercising control flow on the remote side.
+fn cell_class() -> se_lang::EntityClass {
+    ClassBuilder::new("Cell")
+        .attr_default("cell_id", Type::Str, Value::Str(String::new()))
+        .attr_default("v", Type::Int, Value::Int(0))
+        .key("cell_id")
+        .method(MethodBuilder::new("getv").returns(Type::Int).body(vec![ret(attr("v"))]))
+        .method(
+            MethodBuilder::new("setv")
+                .param("n", Type::Int)
+                .returns(Type::Int)
+                .body(vec![attr_assign("v", var("n")), ret(attr("v"))]),
+        )
+        .method(
+            MethodBuilder::new("addv")
+                .param("n", Type::Int)
+                .returns(Type::Int)
+                .body(vec![attr_add("v", var("n")), ret(attr("v"))]),
+        )
+        .method(
+            MethodBuilder::new("clamp_pos")
+                .returns(Type::Int)
+                .body(vec![
+                    if_(lt(attr("v"), int(0)), vec![attr_assign("v", int(0))]),
+                    ret(attr("v")),
+                ]),
+        )
+        .build()
+}
+
+/// Builds the driver program: class `App` with the generated method `run`.
+fn program_with(run: Method) -> Program {
+    let app = ClassBuilder::new("App")
+        .attr_default("app_id", Type::Str, Value::Str(String::new()))
+        .attr_default("x", Type::Int, Value::Int(3))
+        .attr_default("y", Type::Int, Value::Int(-2))
+        .key("app_id")
+        .method(run)
+        .build();
+    Program::new(vec![app, cell_class()])
+}
+
+// ---------------------------------------------------------------------------
+// AST generators
+// ---------------------------------------------------------------------------
+
+/// Integer expression over the in-scope variables.
+fn arb_int_expr(scope: Vec<String>) -> impl Strategy<Value = se_lang::Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(int),
+        proptest::sample::select(scope).prop_map(|v| var(&v)),
+        Just(attr("x")),
+        Just(attr("y")),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| min2(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| max2(a, b)),
+            inner.clone().prop_map(neg),
+            inner.prop_map(abs),
+        ]
+    })
+}
+
+/// Boolean condition over in-scope variables.
+fn arb_cond(scope: Vec<String>) -> impl Strategy<Value = se_lang::Expr> {
+    (arb_int_expr(scope.clone()), arb_int_expr(scope), 0..6u8).prop_map(|(a, b, op)| match op {
+        0 => lt(a, b),
+        1 => le(a, b),
+        2 => gt(a, b),
+        3 => ge(a, b),
+        4 => eq(a, b),
+        _ => ne(a, b),
+    })
+}
+
+/// A remote call statement assigning into `name`. The callee is one of the
+/// two Cell entities (passed as parameters `c1`, `c2`).
+fn arb_call_stmt(scope: Vec<String>, name: String) -> impl Strategy<Value = Stmt> {
+    (
+        prop_oneof![Just("c1"), Just("c2")],
+        prop_oneof![Just("getv"), Just("setv"), Just("addv"), Just("clamp_pos")],
+        arb_int_expr(scope),
+    )
+        .prop_map(move |(cell, method, argexpr)| {
+            let args = match method {
+                "setv" | "addv" => vec![argexpr],
+                _ => vec![],
+            };
+            assign(&name, call(var(cell), method, args))
+        })
+}
+
+/// Statement-sequence generator. `scope` holds defined int variables;
+/// `depth` bounds nesting; fresh variable names come from `counter`.
+fn arb_stmts(
+    scope: Vec<String>,
+    depth: u32,
+    counter: u32,
+) -> impl Strategy<Value = (Vec<Stmt>, Vec<String>)> {
+    // Generate 1..4 statements sequentially, threading scope through.
+    let one = move |scope: Vec<String>, counter: u32| -> BoxedStrategy<(Vec<Stmt>, Vec<String>)> {
+        let fresh = format!("v{counter}");
+        let mut choices: Vec<BoxedStrategy<(Vec<Stmt>, Vec<String>)>> = Vec::new();
+
+        // assign fresh = int-expr
+        {
+            let fresh2 = fresh.clone();
+            let scope2 = scope.clone();
+            choices.push(
+                arb_int_expr(scope.clone())
+                    .prop_map(move |e| {
+                        let mut s2 = scope2.clone();
+                        s2.push(fresh2.clone());
+                        (vec![assign(&fresh2, e)], s2)
+                    })
+                    .boxed(),
+            );
+        }
+        // self.x / self.y = int-expr
+        {
+            let scope2 = scope.clone();
+            choices.push(
+                (prop_oneof![Just("x"), Just("y")], arb_int_expr(scope.clone()))
+                    .prop_map(move |(a, e)| (vec![attr_assign(a, e)], scope2.clone()))
+                    .boxed(),
+            );
+        }
+        // remote call: fresh = cell.m(...)
+        {
+            let fresh2 = fresh.clone();
+            let scope2 = scope.clone();
+            choices.push(
+                arb_call_stmt(scope.clone(), fresh.clone())
+                    .prop_map(move |s| {
+                        let mut s2 = scope2.clone();
+                        s2.push(fresh2.clone());
+                        (vec![s], s2)
+                    })
+                    .boxed(),
+            );
+        }
+        if depth > 0 {
+            // if / else with independently generated arms; arm-local vars do
+            // not escape (conservative scope threading).
+            {
+                let scope2 = scope.clone();
+                choices.push(
+                    (
+                        arb_cond(scope.clone()),
+                        arb_stmts(scope.clone(), depth - 1, counter + 100),
+                        arb_stmts(scope.clone(), depth - 1, counter + 200),
+                    )
+                        .prop_map(move |(c, (t, _), (e, _))| {
+                            (vec![if_else(c, t, e)], scope2.clone())
+                        })
+                        .boxed(),
+                );
+            }
+            // bounded while loop: i = 0; while i < k { i += 1; body }
+            {
+                let scope2 = scope.clone();
+                let ivar = format!("i{counter}");
+                choices.push(
+                    (1i64..4, arb_stmts(scope.clone(), depth - 1, counter + 300))
+                        .prop_map(move |(k, (body, _))| {
+                            let mut stmts = vec![assign(&ivar, int(0))];
+                            let mut loop_body = vec![assign(&ivar, add(var(&ivar), int(1)))];
+                            loop_body.extend(body);
+                            stmts.push(while_(lt(var(&ivar), int(k)), loop_body));
+                            (stmts, scope2.clone())
+                        })
+                        .boxed(),
+                );
+            }
+            // for loop over a literal list
+            {
+                let scope2 = scope.clone();
+                let lvar = format!("e{counter}");
+                let mut inner_scope = scope.clone();
+                inner_scope.push(lvar.clone());
+                choices.push(
+                    (
+                        proptest::collection::vec(-5i64..5, 0..4),
+                        arb_stmts(inner_scope, depth - 1, counter + 400),
+                    )
+                        .prop_map(move |(items, (body, _))| {
+                            let lit_list = list(items.iter().map(|i| int(*i)).collect());
+                            (vec![for_list(&lvar, lit_list, body)], scope2.clone())
+                        })
+                        .boxed(),
+                );
+            }
+        }
+        proptest::strategy::Union::new(choices).boxed()
+    };
+
+    // Chain 1..4 statements.
+    one(scope, counter)
+        .prop_flat_map(move |(s1, sc1)| {
+            one(sc1, counter + 1).prop_flat_map(move |(s2, sc2)| {
+                let s1 = s1.clone();
+                one(sc2, counter + 2).prop_map(move |(s3, sc3)| {
+                    let mut all = s1.clone();
+                    all.extend(s2.clone());
+                    all.extend(s3);
+                    (all, sc3)
+                })
+            })
+        })
+        .boxed()
+}
+
+/// A complete generated method `run(p, q, c1: Cell, c2: Cell) -> int`.
+fn arb_run_method() -> impl Strategy<Value = Method> {
+    let scope = vec!["p".to_string(), "q".to_string()];
+    (arb_stmts(scope.clone(), 2, 0), arb_int_expr(scope))
+        .prop_map(|((mut body, scope_after), ret_expr)| {
+            // Return either the generated expression or the last defined var.
+            let _ = &scope_after;
+            body.push(ret(ret_expr));
+            MethodBuilder::new("run")
+                .param("p", Type::Int)
+                .param("q", Type::Int)
+                .param("c1", Type::entity("Cell"))
+                .param("c2", Type::entity("Cell"))
+                .returns(Type::Int)
+                .body(body)
+                .build()
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Execution harnesses
+// ---------------------------------------------------------------------------
+
+type Outcome = (Result<Value, String>, Vec<(String, Value)>);
+
+/// Runs via the source interpreter (oracle).
+fn run_interpreted(program: &Program, p: i64, q: i64) -> Outcome {
+    let mut exec = LocalExecutor::new(program);
+    let app = exec.create("App", "app", []).unwrap();
+    let c1 = exec.create("Cell", "c1", [("v".into(), Value::Int(10))]).unwrap();
+    let c2 = exec.create("Cell", "c2", [("v".into(), Value::Int(-7))]).unwrap();
+    let result = exec
+        .invoke(
+            &app,
+            "run",
+            vec![Value::Int(p), Value::Int(q), Value::Ref(c1), Value::Ref(c2)],
+        )
+        .map_err(|e| e.to_string());
+    (result, collect_states(|r| exec.store().state(r).cloned()))
+}
+
+/// Runs via the compiled block CFG and the event protocol.
+fn run_compiled(program: &Program, p: i64, q: i64) -> Outcome {
+    let graph = compile(program).expect("generated program must compile");
+    let mut store: HashMap<EntityRef, EntityState> = HashMap::new();
+    let app = EntityRef::new("App", "app");
+    let c1 = EntityRef::new("Cell", "c1");
+    let c2 = EntityRef::new("Cell", "c2");
+    store.insert(app.clone(), program.class("App").unwrap().initial_state("app", []));
+    store.insert(
+        c1.clone(),
+        program.class("Cell").unwrap().initial_state("c1", [("v".into(), Value::Int(10))]),
+    );
+    store.insert(
+        c2.clone(),
+        program.class("Cell").unwrap().initial_state("c2", [("v".into(), Value::Int(-7))]),
+    );
+
+    let root = Invocation::root(
+        RequestId(1),
+        app,
+        "run",
+        vec![Value::Int(p), Value::Int(q), Value::Ref(c1), Value::Ref(c2)],
+    );
+    let cell = RefCell::new(store);
+    let resp = drive_chain(
+        &graph.program,
+        root,
+        |r| {
+            cell.borrow()
+                .get(r)
+                .cloned()
+                .ok_or_else(|| se_lang::LangError::runtime(format!("missing {r}")))
+        },
+        |r, s| {
+            cell.borrow_mut().insert(r.clone(), s);
+        },
+        10_000,
+    );
+    let store = cell.into_inner();
+    (resp.result.map_err(|e| e.to_string()), collect_states(|r| store.get(r).cloned()))
+}
+
+fn collect_states(get: impl Fn(&EntityRef) -> Option<EntityState>) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for (class, key, attrs) in
+        [("App", "app", vec!["x", "y"]), ("Cell", "c1", vec!["v"]), ("Cell", "c2", vec!["v"])]
+    {
+        let st = get(&EntityRef::new(class, key)).expect("entity exists");
+        for a in attrs {
+            out.push((format!("{class}.{key}.{a}"), st[a].clone()));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Compiled execution ≡ direct interpretation, for results and all
+    /// reachable entity state.
+    #[test]
+    fn compiled_equals_interpreted(method in arb_run_method(), p in -10i64..10, q in -10i64..10) {
+        let program = program_with(method);
+        // Generated programs are type-correct by construction.
+        prop_assert!(se_lang::typecheck::check_program(&program).is_ok(),
+            "generator produced ill-typed program");
+        let oracle = run_interpreted(&program, p, q);
+        let compiled = run_compiled(&program, p, q);
+        prop_assert_eq!(oracle, compiled);
+    }
+}
+
+/// Deterministic regression: Figure 1 equivalence across many inputs.
+#[test]
+fn figure1_equivalence_exhaustive_inputs() {
+    let program = se_lang::programs::figure1_program();
+    let graph = compile(&program).unwrap();
+    for balance in [0i64, 10, 59, 60, 61, 1000] {
+        for stock in [0i64, 1, 2, 5] {
+            for amount in [0i64, 1, 2, 3, 7] {
+                // Oracle.
+                let mut exec = LocalExecutor::new(&program);
+                let user =
+                    exec.create("User", "u", [("balance".into(), Value::Int(balance))]).unwrap();
+                let item = exec
+                    .create(
+                        "Item",
+                        "i",
+                        [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(stock))],
+                    )
+                    .unwrap();
+                let want = exec
+                    .invoke(&user, "buy_item", vec![Value::Int(amount), Value::Ref(item.clone())])
+                    .unwrap();
+                let want_state = (
+                    exec.store().state(&user).unwrap()["balance"].clone(),
+                    exec.store().state(&item).unwrap()["stock"].clone(),
+                );
+
+                // Compiled.
+                let mut store: HashMap<EntityRef, EntityState> = HashMap::new();
+                store.insert(
+                    user.clone(),
+                    program
+                        .class("User")
+                        .unwrap()
+                        .initial_state("u", [("balance".into(), Value::Int(balance))]),
+                );
+                store.insert(
+                    item.clone(),
+                    program.class("Item").unwrap().initial_state(
+                        "i",
+                        [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(stock))],
+                    ),
+                );
+                let cell = RefCell::new(store);
+                let resp = drive_chain(
+                    &graph.program,
+                    Invocation::root(
+                        RequestId(1),
+                        user.clone(),
+                        "buy_item",
+                        vec![Value::Int(amount), Value::Ref(item.clone())],
+                    ),
+                    |r| Ok(cell.borrow()[r].clone()),
+                    |r, s| {
+                        cell.borrow_mut().insert(r.clone(), s);
+                    },
+                    100,
+                );
+                let store = cell.into_inner();
+                assert_eq!(resp.result.unwrap(), want, "balance={balance} stock={stock} amount={amount}");
+                let got_state =
+                    (store[&user]["balance"].clone(), store[&item]["stock"].clone());
+                assert_eq!(got_state, want_state, "balance={balance} stock={stock} amount={amount}");
+            }
+        }
+    }
+}

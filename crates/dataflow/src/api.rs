@@ -1,0 +1,141 @@
+//! The runtime-facing client API implemented by every execution engine.
+//!
+//! "The choice of a runtime system is completely independent of the
+//! application layer, which allows switching to different runtime systems
+//! with no changes to the application code" (§1). This trait is that
+//! boundary: the Local executor, the StateFun-style runtime and the
+//! StateFlow runtime all implement [`EntityRuntime`], and everything above
+//! (examples, workloads, benchmarks) is written against it.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use se_lang::{EntityRef, LangError, Value};
+
+/// A pending response to an asynchronous invocation.
+pub struct ResponseWaiter {
+    rx: channel::Receiver<Result<Value, LangError>>,
+    issued: Instant,
+}
+
+impl ResponseWaiter {
+    /// Creates a waiter and the sender used to complete it.
+    pub fn new() -> (ResponseCompleter, ResponseWaiter) {
+        let (tx, rx) = channel::bounded(1);
+        (ResponseCompleter { tx }, ResponseWaiter { rx, issued: Instant::now() })
+    }
+
+    /// A waiter that is already completed (for immediate errors).
+    pub fn ready(result: Result<Value, LangError>) -> ResponseWaiter {
+        let (c, w) = Self::new();
+        c.complete(result);
+        w
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<Value, LangError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(LangError::runtime("runtime shut down before responding")))
+    }
+
+    /// Blocks up to `timeout`; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Value, LangError>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Result<Value, LangError>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// When the invocation was issued (for latency measurement).
+    pub fn issued_at(&self) -> Instant {
+        self.issued
+    }
+}
+
+/// Completion side of a [`ResponseWaiter`].
+pub struct ResponseCompleter {
+    tx: channel::Sender<Result<Value, LangError>>,
+}
+
+impl ResponseCompleter {
+    /// Delivers the response (ignores an already-dropped waiter).
+    pub fn complete(&self, result: Result<Value, LangError>) {
+        let _ = self.tx.try_send(result);
+    }
+}
+
+/// A deployed stateful-entity application, whatever the engine underneath.
+pub trait EntityRuntime: Send + Sync {
+    /// Human-readable engine name (for reports).
+    fn name(&self) -> &str;
+
+    /// Creates an entity instance, blocking until it is durable in the
+    /// owning partition.
+    fn create(
+        &self,
+        class: &str,
+        key: &str,
+        init: Vec<(String, Value)>,
+    ) -> Result<EntityRef, LangError>;
+
+    /// Invokes a method asynchronously, returning a waiter for the result.
+    fn call_async(&self, target: EntityRef, method: &str, args: Vec<Value>) -> ResponseWaiter;
+
+    /// Invokes a method and blocks for the result.
+    fn call(&self, target: EntityRef, method: &str, args: Vec<Value>) -> Result<Value, LangError> {
+        self.call_async(target, method, args).wait()
+    }
+
+    /// Whether this engine executes multi-entity invocations transactionally
+    /// (StateFun does not — the paper skips its transactional workloads).
+    fn supports_transactions(&self) -> bool;
+
+    /// Stops all engine threads. Pending invocations may error.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiter_roundtrip() {
+        let (c, w) = ResponseWaiter::new();
+        c.complete(Ok(Value::Int(5)));
+        assert_eq!(w.wait().unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn ready_waiter() {
+        let w = ResponseWaiter::ready(Err(LangError::runtime("nope")));
+        assert!(w.wait().is_err());
+    }
+
+    #[test]
+    fn dropped_completer_yields_error() {
+        let (c, w) = ResponseWaiter::new();
+        drop(c);
+        assert!(w.wait().unwrap_err().to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn timeout_and_poll() {
+        let (c, w) = ResponseWaiter::new();
+        assert!(w.try_wait().is_none());
+        assert!(w.wait_timeout(Duration::from_millis(10)).is_none());
+        c.complete(Ok(Value::Unit));
+        assert_eq!(w.try_wait(), Some(Ok(Value::Unit)));
+    }
+
+    #[test]
+    fn double_complete_is_harmless() {
+        let (c, w) = ResponseWaiter::new();
+        c.complete(Ok(Value::Int(1)));
+        c.complete(Ok(Value::Int(2)));
+        assert_eq!(w.wait().unwrap(), Value::Int(1));
+    }
+}

@@ -1,0 +1,261 @@
+//! A delay queue: the in-process stand-in for a network link.
+//!
+//! Senders enqueue messages with a delivery delay; the receiver sees a
+//! message only once its delivery instant has passed. This is how simulated
+//! hop latency (see [`crate::net::NetConfig`]) is imposed *without blocking
+//! the sender* — an operator thread hands a message to the link and keeps
+//! processing, exactly like a real NIC, so queueing delay under load emerges
+//! naturally at the receiver.
+//!
+//! FIFO is preserved among messages with equal delivery instants via a
+//! monotonically increasing sequence number.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+struct Entry<T> {
+    due: Instant,
+    seq: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct Shared<T> {
+    heap: Mutex<(BinaryHeap<Reverse<Entry<T>>>, u64)>,
+    available: Condvar,
+    senders: AtomicUsize,
+}
+
+/// Sending half of a delay queue. Cloning adds a sender.
+pub struct DelaySender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for DelaySender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for DelaySender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake the receiver so it can observe closure.
+            self.shared.available.notify_all();
+        }
+    }
+}
+
+impl<T> DelaySender<T> {
+    /// Enqueues `msg` for delivery after `delay`.
+    pub fn send_after(&self, msg: T, delay: Duration) {
+        let due = Instant::now() + delay;
+        let mut guard = self.shared.heap.lock();
+        let seq = guard.1;
+        guard.1 += 1;
+        guard.0.push(Reverse(Entry { due, seq, msg }));
+        drop(guard);
+        self.shared.available.notify_one();
+    }
+
+    /// Enqueues `msg` for immediate delivery.
+    pub fn send(&self, msg: T) {
+        self.send_after(msg, Duration::ZERO);
+    }
+}
+
+/// Receiving half of a delay queue.
+pub struct DelayReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> DelayReceiver<T> {
+    /// Receives the next due message, waiting at most `timeout`.
+    ///
+    /// Returns `None` on timeout, or when all senders are dropped and the
+    /// queue holds no due-or-future messages.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.shared.heap.lock();
+        loop {
+            let now = Instant::now();
+            // Due message ready?
+            if let Some(Reverse(head)) = guard.0.peek() {
+                if head.due <= now {
+                    let Reverse(e) = guard.0.pop().expect("peeked");
+                    return Some(e.msg);
+                }
+                // Wait until the head is due or the deadline passes.
+                let wait_until = head.due.min(deadline);
+                if wait_until <= now {
+                    return None;
+                }
+                self.shared.available.wait_until(&mut guard, wait_until);
+            } else {
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return None;
+                }
+                if now >= deadline {
+                    return None;
+                }
+                self.shared.available.wait_until(&mut guard, deadline);
+            }
+            if Instant::now() >= deadline && guard.0.peek().map(|Reverse(e)| e.due > deadline).unwrap_or(true) {
+                return None;
+            }
+        }
+    }
+
+    /// Non-blocking receive of a due message.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut guard = self.shared.heap.lock();
+        if let Some(Reverse(head)) = guard.0.peek() {
+            if head.due <= Instant::now() {
+                let Reverse(e) = guard.0.pop().expect("peeked");
+                return Some(e.msg);
+            }
+        }
+        None
+    }
+
+    /// Number of queued (due or pending) messages.
+    pub fn len(&self) -> usize {
+        self.shared.heap.lock().0.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether all senders were dropped.
+    pub fn is_closed(&self) -> bool {
+        self.shared.senders.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Creates a connected delay-queue pair.
+pub fn delay_channel<T>() -> (DelaySender<T>, DelayReceiver<T>) {
+    let shared = Arc::new(Shared {
+        heap: Mutex::new((BinaryHeap::new(), 0)),
+        available: Condvar::new(),
+        senders: AtomicUsize::new(1),
+    });
+    (DelaySender { shared: Arc::clone(&shared) }, DelayReceiver { shared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_delivery() {
+        let (tx, rx) = delay_channel();
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Some(1));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Some(2));
+    }
+
+    #[test]
+    fn delayed_delivery_orders_by_due_time() {
+        let (tx, rx) = delay_channel();
+        tx.send_after("late", Duration::from_millis(60));
+        tx.send_after("early", Duration::from_millis(10));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Some("early"));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Some("late"));
+    }
+
+    #[test]
+    fn fifo_among_equal_delays() {
+        let (tx, rx) = delay_channel();
+        for i in 0..100 {
+            tx.send(i);
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Some(i));
+        }
+    }
+
+    #[test]
+    fn not_delivered_early() {
+        let (tx, rx) = delay_channel();
+        tx.send_after((), Duration::from_millis(80));
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), None, "too early");
+        let got = rx.recv_timeout(Duration::from_millis(500));
+        assert_eq!(got, Some(()));
+        assert!(start.elapsed() >= Duration::from_millis(70), "delivered too early");
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (tx, rx) = delay_channel::<u8>();
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(tx);
+    }
+
+    #[test]
+    fn closed_and_empty_returns_none_quickly() {
+        let (tx, rx) = delay_channel::<u8>();
+        drop(tx);
+        assert!(rx.is_closed());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), None);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = delay_channel();
+        let handle = std::thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send_after(i, Duration::from_micros(i % 7 * 10));
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 1000 {
+            if let Some(v) = rx.recv_timeout(Duration::from_secs(2)) {
+                got.push(v);
+            } else {
+                panic!("timed out with {} received", got.len());
+            }
+        }
+        handle.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_only_due() {
+        let (tx, rx) = delay_channel();
+        tx.send_after(1, Duration::from_secs(10));
+        assert_eq!(rx.try_recv(), None);
+        tx.send(2);
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Failure injection for exactly-once testing.
+//!
+//! A [`FailurePlan`] arms a one-shot "crash" that fires when a named node
+//! has processed a configured number of events. Runtimes consult
+//! [`FailurePlan::should_fail`] in their processing loops and, when it
+//! fires, simulate a crash by discarding the node's volatile state and
+//! entering recovery. The exactly-once integration tests assert that
+//! post-recovery results equal a failure-free oracle run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, one-shot failure trigger.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    node: String,
+    countdown: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl FailurePlan {
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        Self { inner: None }
+    }
+
+    /// Fails node `node` after it has processed `after_events` events.
+    pub fn fail_node_after(node: impl Into<String>, after_events: u64) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                node: node.into(),
+                countdown: AtomicU64::new(after_events),
+                fired: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Called by `node` once per processed event; returns `true` exactly
+    /// once — at the moment the crash should happen.
+    pub fn should_fail(&self, node: &str) -> bool {
+        let Some(inner) = &self.inner else { return false };
+        if inner.node != node || inner.fired.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Decrement the countdown; fire when it reaches zero.
+        let prev = inner
+            .countdown
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| c.checked_sub(1))
+            .unwrap_or(0);
+        if prev == 1 || prev == 0 {
+            // Only the transition may fire, and only once.
+            if !inner.fired.swap(true, Ordering::SeqCst) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the planned failure has already fired.
+    pub fn has_fired(&self) -> bool {
+        self.inner.as_ref().map(|i| i.fired.load(Ordering::SeqCst)).unwrap_or(false)
+    }
+
+    /// Whether a failure is planned at all (fired or not).
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let p = FailurePlan::none();
+        for _ in 0..100 {
+            assert!(!p.should_fail("w0"));
+        }
+        assert!(!p.has_fired());
+    }
+
+    #[test]
+    fn fires_once_at_threshold() {
+        let p = FailurePlan::fail_node_after("w1", 3);
+        assert!(!p.should_fail("w1")); // 1st event
+        assert!(!p.should_fail("w1")); // 2nd
+        assert!(p.should_fail("w1")); // 3rd: fire
+        assert!(p.has_fired());
+        assert!(!p.should_fail("w1")); // never again
+    }
+
+    #[test]
+    fn other_nodes_unaffected() {
+        let p = FailurePlan::fail_node_after("w1", 1);
+        assert!(!p.should_fail("w0"));
+        assert!(p.should_fail("w1"));
+        assert!(!p.should_fail("w2"));
+    }
+
+    #[test]
+    fn concurrent_counting_fires_exactly_once() {
+        let p = FailurePlan::fail_node_after("w", 500);
+        let fired = std::sync::Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = p.clone();
+                let fired = std::sync::Arc::clone(&fired);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        if p.should_fail("w") {
+                            fired.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # se-dataflow — the streaming-dataflow substrate
+//!
+//! Engine-level building blocks shared by both runtime implementations
+//! (`se-statefun`, `se-stateflow`):
+//!
+//! * [`net`] — the simulated cluster network (per-hop latency, time scale);
+//! * [`delay`] — delay queues imposing hop latency without blocking senders;
+//! * [`state`] — per-partition entity state stores;
+//! * [`snapshot`] — consistent-snapshot (epoch) storage for exactly-once;
+//! * [`source`] — replayable, offset-addressed ingress logs;
+//! * [`failure`] — one-shot failure injection for recovery tests;
+//! * [`metrics`] — latency histograms and per-component overhead timers.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod delay;
+pub mod failure;
+pub mod metrics;
+pub mod net;
+pub mod snapshot;
+pub mod source;
+pub mod state;
+
+pub use api::{EntityRuntime, ResponseCompleter, ResponseWaiter};
+pub use delay::{delay_channel, DelayReceiver, DelaySender};
+pub use failure::FailurePlan;
+pub use metrics::{ComponentTimers, LatencyRecorder, LatencySummary, Throughput};
+pub use net::{burn, NetConfig};
+pub use snapshot::{Epoch, SnapshotStore};
+pub use source::{ReplayableSource, SourceReader};
+pub use state::StateStore;

@@ -1,0 +1,164 @@
+//! Consistent-snapshot storage (Chandy–Lamport / Flink-style epochs).
+//!
+//! "For fault-tolerance StateFlow implements the consistent snapshots
+//! protocol alongside a replayable source as an ingress, allowing StateFlow
+//! to rollback messages and restore the snapshot upon failure" (§3).
+//!
+//! The store keeps, per epoch, one state blob per participating node plus
+//! the source offsets at the snapshot point. An epoch is *complete* once
+//! every expected node has contributed; recovery always restores the latest
+//! complete epoch — incomplete epochs (a failure mid-snapshot) are ignored.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Epoch number; epoch 0 is "initial state".
+pub type Epoch = u64;
+
+#[derive(Debug, Clone)]
+struct EpochData<S> {
+    expected: usize,
+    states: BTreeMap<String, S>,
+    source_offsets: BTreeMap<String, u64>,
+}
+
+/// Thread-safe snapshot store for node states of type `S`.
+#[derive(Debug)]
+pub struct SnapshotStore<S> {
+    epochs: Mutex<BTreeMap<Epoch, EpochData<S>>>,
+}
+
+impl<S: Clone> Default for SnapshotStore<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Clone> SnapshotStore<S> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self { epochs: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Declares a new epoch and how many node contributions complete it.
+    pub fn begin_epoch(&self, epoch: Epoch, expected_nodes: usize) {
+        let mut g = self.epochs.lock();
+        g.entry(epoch).or_insert(EpochData {
+            expected: expected_nodes,
+            states: BTreeMap::new(),
+            source_offsets: BTreeMap::new(),
+        });
+    }
+
+    /// Stores node `node`'s state for `epoch`.
+    ///
+    /// # Panics
+    /// Panics if the epoch was never begun — contributing to an undeclared
+    /// epoch is a protocol bug.
+    pub fn put(&self, epoch: Epoch, node: &str, state: S) {
+        let mut g = self.epochs.lock();
+        let data = g.get_mut(&epoch).expect("epoch must be begun before contributions");
+        data.states.insert(node.to_owned(), state);
+    }
+
+    /// Records a source's read offset at the epoch boundary.
+    pub fn put_source_offset(&self, epoch: Epoch, source: &str, offset: u64) {
+        let mut g = self.epochs.lock();
+        let data = g.get_mut(&epoch).expect("epoch must be begun before contributions");
+        data.source_offsets.insert(source.to_owned(), offset);
+    }
+
+    /// Whether all expected nodes contributed to `epoch`.
+    pub fn is_complete(&self, epoch: Epoch) -> bool {
+        self.epochs
+            .lock()
+            .get(&epoch)
+            .map(|d| d.states.len() >= d.expected)
+            .unwrap_or(false)
+    }
+
+    /// The newest complete epoch, if any.
+    pub fn latest_complete(&self) -> Option<Epoch> {
+        let g = self.epochs.lock();
+        g.iter().rev().find(|(_, d)| d.states.len() >= d.expected).map(|(e, _)| *e)
+    }
+
+    /// Node `node`'s state at `epoch`.
+    pub fn get(&self, epoch: Epoch, node: &str) -> Option<S> {
+        self.epochs.lock().get(&epoch).and_then(|d| d.states.get(node).cloned())
+    }
+
+    /// Source offset recorded at `epoch`.
+    pub fn source_offset(&self, epoch: Epoch, source: &str) -> Option<u64> {
+        self.epochs.lock().get(&epoch).and_then(|d| d.source_offsets.get(source).copied())
+    }
+
+    /// Drops all epochs older than `keep_from` (checkpoint retention).
+    pub fn truncate_before(&self, keep_from: Epoch) {
+        self.epochs.lock().retain(|e, _| *e >= keep_from);
+    }
+
+    /// Number of stored epochs.
+    pub fn epoch_count(&self) -> usize {
+        self.epochs.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_completion() {
+        let store = SnapshotStore::<Vec<u8>>::new();
+        store.begin_epoch(1, 2);
+        store.put(1, "w0", vec![1]);
+        assert!(!store.is_complete(1));
+        assert_eq!(store.latest_complete(), None);
+        store.put(1, "w1", vec![2]);
+        assert!(store.is_complete(1));
+        assert_eq!(store.latest_complete(), Some(1));
+        assert_eq!(store.get(1, "w0"), Some(vec![1]));
+    }
+
+    #[test]
+    fn latest_complete_skips_incomplete() {
+        let store = SnapshotStore::<u32>::new();
+        store.begin_epoch(1, 1);
+        store.put(1, "w0", 10);
+        store.begin_epoch(2, 2);
+        store.put(2, "w0", 20); // w1 never contributes: epoch 2 incomplete
+        assert_eq!(store.latest_complete(), Some(1), "incomplete epoch must be ignored");
+    }
+
+    #[test]
+    fn source_offsets_travel_with_epoch() {
+        let store = SnapshotStore::<u32>::new();
+        store.begin_epoch(3, 1);
+        store.put(3, "w0", 1);
+        store.put_source_offset(3, "ingress", 42);
+        assert_eq!(store.source_offset(3, "ingress"), Some(42));
+        assert_eq!(store.source_offset(3, "other"), None);
+    }
+
+    #[test]
+    fn truncation_retains_recent() {
+        let store = SnapshotStore::<u32>::new();
+        for e in 1..=5 {
+            store.begin_epoch(e, 1);
+            store.put(e, "w0", e as u32);
+        }
+        store.truncate_before(4);
+        assert_eq!(store.epoch_count(), 2);
+        assert_eq!(store.latest_complete(), Some(5));
+        assert_eq!(store.get(3, "w0"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "begun")]
+    fn contribution_to_unknown_epoch_panics() {
+        let store = SnapshotStore::<u32>::new();
+        store.put(9, "w0", 1);
+    }
+}

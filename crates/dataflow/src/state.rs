@@ -1,0 +1,157 @@
+//! Managed operator state: the per-partition entity store.
+//!
+//! "Since operators can be partitioned across multiple cluster nodes, each
+//! partition stores a set of stateful entities indexed by their unique key"
+//! (§2.3). Every runtime task owns one `StateStore` per partition; snapshots
+//! clone it wholesale (states are plain values, so a clone is a consistent
+//! point-in-time image).
+
+use std::collections::HashMap;
+
+use se_lang::{EntityRef, EntityState, LangError, Value};
+
+/// Entities owned by one operator partition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateStore {
+    entities: HashMap<EntityRef, EntityState>,
+}
+
+impl StateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) an entity's state.
+    pub fn insert(&mut self, r: EntityRef, state: EntityState) {
+        self.entities.insert(r, state);
+    }
+
+    /// Reads an entity's state.
+    pub fn get(&self, r: &EntityRef) -> Option<&EntityState> {
+        self.entities.get(r)
+    }
+
+    /// Reads an entity's state, erroring if absent.
+    pub fn get_or_err(&self, r: &EntityRef) -> Result<&EntityState, LangError> {
+        self.get(r).ok_or_else(|| LangError::runtime(format!("unknown entity {r}")))
+    }
+
+    /// Clones an entity's state, erroring if absent.
+    pub fn get_cloned(&self, r: &EntityRef) -> Result<EntityState, LangError> {
+        self.get_or_err(r).cloned()
+    }
+
+    /// Mutable access to an entity's state.
+    pub fn get_mut(&mut self, r: &EntityRef) -> Option<&mut EntityState> {
+        self.entities.get_mut(r)
+    }
+
+    /// Whether the entity exists.
+    pub fn contains(&self, r: &EntityRef) -> bool {
+        self.entities.contains_key(r)
+    }
+
+    /// Removes an entity, returning its state.
+    pub fn remove(&mut self, r: &EntityRef) -> Option<EntityState> {
+        self.entities.remove(r)
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the store holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Iterates `(ref, state)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&EntityRef, &EntityState)> {
+        self.entities.iter()
+    }
+
+    /// Applies a single attribute write (used by transactional commit).
+    pub fn apply_write(&mut self, r: &EntityRef, attr: &str, value: Value) -> Result<(), LangError> {
+        let st = self
+            .entities
+            .get_mut(r)
+            .ok_or_else(|| LangError::runtime(format!("unknown entity {r}")))?;
+        st.insert(attr.to_owned(), value);
+        Ok(())
+    }
+
+    /// Approximate serialized size of the whole store, in bytes; drives the
+    /// state-(de)serialization component of the overhead experiment.
+    pub fn approx_size(&self) -> usize {
+        self.entities
+            .iter()
+            .map(|(r, s)| {
+                16 + r.class.len()
+                    + r.key.len()
+                    + s.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(key: &str, balance: i64) -> (EntityRef, EntityState) {
+        let r = EntityRef::new("User", key);
+        let mut s = EntityState::new();
+        s.insert("balance".into(), Value::Int(balance));
+        (r, s)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut store = StateStore::new();
+        let (r, s) = user("alice", 10);
+        store.insert(r.clone(), s);
+        assert!(store.contains(&r));
+        assert_eq!(store.get(&r).unwrap()["balance"], Value::Int(10));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_entity_errors() {
+        let store = StateStore::new();
+        let r = EntityRef::new("User", "ghost");
+        assert!(store.get_or_err(&r).unwrap_err().to_string().contains("unknown entity"));
+    }
+
+    #[test]
+    fn apply_write_updates() {
+        let mut store = StateStore::new();
+        let (r, s) = user("alice", 10);
+        store.insert(r.clone(), s);
+        store.apply_write(&r, "balance", Value::Int(99)).unwrap();
+        assert_eq!(store.get(&r).unwrap()["balance"], Value::Int(99));
+        let ghost = EntityRef::new("User", "ghost");
+        assert!(store.apply_write(&ghost, "balance", Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn snapshot_clone_is_point_in_time() {
+        let mut store = StateStore::new();
+        let (r, s) = user("alice", 10);
+        store.insert(r.clone(), s);
+        let snap = store.clone();
+        store.apply_write(&r, "balance", Value::Int(0)).unwrap();
+        assert_eq!(snap.get(&r).unwrap()["balance"], Value::Int(10), "snapshot must not move");
+    }
+
+    #[test]
+    fn approx_size_reflects_payload() {
+        let mut store = StateStore::new();
+        let r = EntityRef::new("Blob", "b");
+        let mut s = EntityState::new();
+        s.insert("data".into(), Value::Bytes(vec![0; 50 * 1024]));
+        store.insert(r, s);
+        assert!(store.approx_size() >= 50 * 1024);
+    }
+}

@@ -1,0 +1,237 @@
+//! Split-function blocks: the unit the compiler produces and runtimes run.
+//!
+//! The paper (§2.4) splits an imperative method at every remote call and at
+//! control-flow constructs, producing multiple function definitions
+//! (`buy_item_0`, `buy_item_1`, …) where each split function "takes as
+//! arguments the variables it references in its body and returns the
+//! variables it defines". We represent the result as a control-flow graph of
+//! [`Block`]s:
+//!
+//! * a block's `params` are exactly its live-in variables (the "arguments");
+//! * a block body is straight-line code containing **no** remote calls;
+//! * remote calls appear only as the block [`Terminator`], which names the
+//!   continuation block (`resume`) — continuation-passing style at the
+//!   block level.
+
+use serde::{Deserialize, Serialize};
+
+use se_lang::{Expr, Stmt, Type};
+
+/// Index of a block within its method's CFG; block 0 is the entry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// How control leaves a block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Return `expr` to the caller (or the external client at the root).
+    Return(Expr),
+    /// Unconditionally continue at another block of the same method — a
+    /// same-entity transition, executed without any network hop.
+    Jump(BlockId),
+    /// Conditional transition.
+    Branch {
+        /// Condition to evaluate.
+        cond: Expr,
+        /// Block for the true path (paper: the "'true' path" function).
+        then_blk: BlockId,
+        /// Block for the false path.
+        else_blk: BlockId,
+    },
+    /// Suspend this method and invoke `method` on a remote entity; when the
+    /// remote call's value arrives back, execution resumes at `resume` with
+    /// the value bound to `result_var`.
+    RemoteCall {
+        /// Expression evaluating to the callee entity reference. After
+        /// normalization this is always a `Var` or `Attr` read.
+        target: Expr,
+        /// Callee method name.
+        method: String,
+        /// Argument expressions, evaluated before suspension (the paper's
+        /// `buy_item_0` evaluates `update_stock_arg = amount` up front).
+        args: Vec<Expr>,
+        /// Variable to bind the returned value to, if used.
+        result_var: Option<String>,
+        /// Continuation block.
+        resume: BlockId,
+    },
+}
+
+impl Terminator {
+    /// Blocks this terminator can transfer control to (within the method).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Return(_) => vec![],
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            Terminator::RemoteCall { resume, .. } => vec![*resume],
+        }
+    }
+}
+
+/// One split function: straight-line statements plus a terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// This block's id.
+    pub id: BlockId,
+    /// Live-in variables — the "arguments" of the split function. Runtimes
+    /// carry exactly these in the event environment when entering the block.
+    pub params: Vec<String>,
+    /// Straight-line statements (no control flow, no remote calls).
+    pub stmts: Vec<Stmt>,
+    /// How control leaves the block.
+    pub terminator: Terminator,
+}
+
+impl Block {
+    /// Whether this block suspends on a remote call.
+    pub fn is_suspension_point(&self) -> bool {
+        matches!(self.terminator, Terminator::RemoteCall { .. })
+    }
+}
+
+/// A compiled method: its CFG of blocks plus the original signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledMethod {
+    /// Method name.
+    pub name: String,
+    /// Parameter names and types, in order.
+    pub params: Vec<(String, Type)>,
+    /// Declared return type.
+    pub ret: Type,
+    /// `@transactional` marker carried from the source.
+    pub transactional: bool,
+    /// All blocks; `blocks[i].id == BlockId(i)`.
+    pub blocks: Vec<Block>,
+    /// Entry block (always `BlockId(0)`).
+    pub entry: BlockId,
+}
+
+impl CompiledMethod {
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range — ids are produced by the compiler
+    /// and an unknown id is a compiler bug, not a runtime condition.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Number of remote-call suspension points (how many times the original
+    /// function was split due to calls).
+    pub fn suspension_points(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_suspension_point()).count()
+    }
+
+    /// Whether the method runs in a single block (no splitting happened —
+    /// "for simple functions that do not call other remote functions, both
+    /// the translation and the execution is straightforward", §2.3).
+    pub fn is_simple(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Validates internal consistency: successor ids in range, entry in
+    /// range, and no remote call inside block bodies.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entry.0 as usize >= self.blocks.len() {
+            return Err(format!("method {}: entry {} out of range", self.name, self.entry));
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.id.0 as usize != i {
+                return Err(format!("method {}: block #{i} has id {}", self.name, b.id));
+            }
+            for s in &b.stmts {
+                if s.contains_call() {
+                    return Err(format!(
+                        "method {}: block {} body contains a remote call",
+                        self.name, b.id
+                    ));
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &b.terminator {
+                if cond.contains_call() {
+                    return Err(format!(
+                        "method {}: block {} branch condition contains a remote call",
+                        self.name, b.id
+                    ));
+                }
+            }
+            for succ in b.terminator.successors() {
+                if succ.0 as usize >= self.blocks.len() {
+                    return Err(format!(
+                        "method {}: block {} references unknown block {succ}",
+                        self.name, b.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_lang::builder::*;
+
+    fn simple_method() -> CompiledMethod {
+        CompiledMethod {
+            name: "get".into(),
+            params: vec![],
+            ret: Type::Int,
+            transactional: false,
+            blocks: vec![Block {
+                id: BlockId(0),
+                params: vec![],
+                stmts: vec![],
+                terminator: Terminator::Return(attr("n")),
+            }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn simple_method_properties() {
+        let m = simple_method();
+        assert!(m.is_simple());
+        assert_eq!(m.suspension_points(), 0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_successor() {
+        let mut m = simple_method();
+        m.blocks[0].terminator = Terminator::Jump(BlockId(9));
+        assert!(m.validate().unwrap_err().contains("unknown block"));
+    }
+
+    #[test]
+    fn validate_rejects_call_in_body() {
+        let mut m = simple_method();
+        m.blocks[0].stmts.push(expr_stmt(call(var("x"), "m", vec![])));
+        assert!(m.validate().unwrap_err().contains("contains a remote call"));
+    }
+
+    #[test]
+    fn successors_enumerated() {
+        let t = Terminator::Branch { cond: lit(true), then_blk: BlockId(1), else_blk: BlockId(2) };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Return(int(0)).successors().is_empty());
+        let rc = Terminator::RemoteCall {
+            target: var("item"),
+            method: "price".into(),
+            args: vec![],
+            result_var: Some("p".into()),
+            resume: BlockId(3),
+        };
+        assert_eq!(rc.successors(), vec![BlockId(3)]);
+    }
+}

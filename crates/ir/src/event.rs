@@ -1,0 +1,220 @@
+//! Events that flow through the dataflow graph.
+//!
+//! "An operator cannot be 'called' directly, like a function of an object.
+//! Instead, an event has to enter the dataflow and reach the operator
+//! holding the code of that entity" (§2.3). [`Invocation`] is that event.
+//!
+//! When a split function suspends on a remote call, "the state machine is
+//! inserted into the function-calling event; as the event flows through the
+//! system the execution graph is traversed and the proper functions are
+//! called; the execution graph stores intermediate results" (§2.5). The
+//! [`Frame`] stack carries exactly that: per-caller continuation block and
+//! environment (the intermediate results).
+
+use serde::{Deserialize, Serialize};
+
+use se_lang::{ClassName, EntityRef, Env, LangError, Value};
+
+use crate::block::BlockId;
+
+/// Identifier of a root request (a client-issued invocation). Also serves as
+/// the transaction id on transactional runtimes — one root invocation is one
+/// transaction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// A suspended caller waiting for a remote call to return.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Entity whose method is suspended.
+    pub entity: EntityRef,
+    /// Suspended method name.
+    pub method: String,
+    /// Block to resume at when the callee returns.
+    pub resume: BlockId,
+    /// Live variables at the suspension point — pruned to exactly the
+    /// resume block's parameters ("the variables it references").
+    pub env: Env,
+    /// Variable to bind the callee's return value to.
+    pub result_var: Option<String>,
+}
+
+/// How an invocation enters an operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InvocationKind {
+    /// Fresh call of a method with evaluated arguments.
+    Start {
+        /// Evaluated argument values, positionally matching the signature.
+        args: Vec<Value>,
+    },
+    /// Resumption of a previously suspended method: re-enter at `block` with
+    /// the saved environment and the remote call's `result` bound to
+    /// `result_var`.
+    Resume {
+        /// Continuation block.
+        block: BlockId,
+        /// Saved live variables.
+        env: Env,
+        /// The remote call's return value.
+        result: Value,
+        /// Name to bind `result` to (if the call's value is used).
+        result_var: Option<String>,
+    },
+}
+
+/// A function-invocation event traversing the dataflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Root request this event belongs to.
+    pub request: RequestId,
+    /// Entity the event is routed to (partitioned on `target.key`).
+    pub target: EntityRef,
+    /// Method to run (or resume) on the target.
+    pub method: String,
+    /// Start or resume.
+    pub kind: InvocationKind,
+    /// Suspended callers, innermost last.
+    pub stack: Vec<Frame>,
+}
+
+impl Invocation {
+    /// A root invocation as issued by a client.
+    pub fn root(request: RequestId, target: EntityRef, method: &str, args: Vec<Value>) -> Self {
+        Self {
+            request,
+            target,
+            method: method.to_owned(),
+            kind: InvocationKind::Start { args },
+            stack: Vec::new(),
+        }
+    }
+
+    /// Approximate wire size in bytes; the network simulation charges
+    /// per-KB cost on this.
+    pub fn approx_size(&self) -> usize {
+        let env_size = |env: &Env| -> usize {
+            env.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>()
+        };
+        let kind = match &self.kind {
+            InvocationKind::Start { args } => {
+                args.iter().map(Value::approx_size).sum::<usize>()
+            }
+            InvocationKind::Resume { env, result, .. } => env_size(env) + result.approx_size(),
+        };
+        let stack: usize = self
+            .stack
+            .iter()
+            .map(|f| 32 + f.entity.key.len() + f.method.len() + env_size(&f.env))
+            .sum();
+        32 + self.target.key.len() + self.method.len() + kind + stack
+    }
+}
+
+/// Terminal outcome of a root request, delivered to the egress router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Root request this responds to.
+    pub request: RequestId,
+    /// The method's return value, or the error that aborted the chain.
+    pub result: Result<Value, LangError>,
+}
+
+/// A client-facing operation: either create an entity or invoke a method.
+///
+/// Entity creation is modeled as a routed operation (it must reach the
+/// partition that will own the key) rather than compiling `__init__`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EntityOp {
+    /// Create an instance of `class` with key `key`; `init` overrides
+    /// declared attribute defaults.
+    Create {
+        /// Class to instantiate.
+        class: ClassName,
+        /// Partitioning key of the new entity.
+        key: String,
+        /// Attribute overrides.
+        init: Vec<(String, Value)>,
+    },
+    /// Invoke (or resume) a method.
+    Invoke(Invocation),
+}
+
+impl EntityOp {
+    /// The entity this operation must be routed to.
+    pub fn routing_target(&self) -> EntityRef {
+        match self {
+            EntityOp::Create { class, key, .. } => EntityRef::new(class.clone(), key.clone()),
+            EntityOp::Invoke(inv) => inv.target.clone(),
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            EntityOp::Create { class, key, init } => {
+                16 + class.len()
+                    + key.len()
+                    + init.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>()
+            }
+            EntityOp::Invoke(inv) => inv.approx_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_invocation_shape() {
+        let inv = Invocation::root(
+            RequestId(7),
+            EntityRef::new("User", "alice"),
+            "buy_item",
+            vec![Value::Int(2)],
+        );
+        assert_eq!(inv.stack.len(), 0);
+        assert!(matches!(inv.kind, InvocationKind::Start { ref args } if args.len() == 1));
+        assert_eq!(inv.request.to_string(), "req7");
+    }
+
+    #[test]
+    fn approx_size_grows_with_stack_and_env() {
+        let mut inv = Invocation::root(
+            RequestId(1),
+            EntityRef::new("User", "alice"),
+            "buy_item",
+            vec![Value::Int(2)],
+        );
+        let base = inv.approx_size();
+        inv.stack.push(Frame {
+            entity: EntityRef::new("User", "alice"),
+            method: "buy_item".into(),
+            resume: BlockId(1),
+            env: Env::from([("total".to_string(), Value::Int(60))]),
+            result_var: Some("ok".into()),
+        });
+        assert!(inv.approx_size() > base);
+    }
+
+    #[test]
+    fn routing_target_for_ops() {
+        let c = EntityOp::Create { class: "Item".into(), key: "laptop".into(), init: vec![] };
+        assert_eq!(c.routing_target(), EntityRef::new("Item", "laptop"));
+        let i = EntityOp::Invoke(Invocation::root(
+            RequestId(1),
+            EntityRef::new("User", "u"),
+            "m",
+            vec![],
+        ));
+        assert_eq!(i.routing_target(), EntityRef::new("User", "u"));
+    }
+}

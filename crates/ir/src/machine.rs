@@ -1,0 +1,282 @@
+//! The execution state machine derived from a split method.
+//!
+//! The paper (§2.5): "For every split function we maintain an execution
+//! graph that tracks the execution stage of a given stateful entity's
+//! function invocation. … The process of deriving the state machine consists
+//! of unrolling the control flow graph of the program."
+//!
+//! The CFG of blocks *is* the state machine — this module materializes it in
+//! an inspectable form (states, labeled transitions, reachability) and can
+//! render Graphviz for documentation and debugging.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{BlockId, CompiledMethod, Terminator};
+
+/// A labeled transition between execution stages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transition {
+    /// Unconditional fall-through.
+    Jump {
+        /// Target stage.
+        to: BlockId,
+    },
+    /// Conditional, true arm.
+    BranchTrue {
+        /// Target stage.
+        to: BlockId,
+    },
+    /// Conditional, false arm.
+    BranchFalse {
+        /// Target stage.
+        to: BlockId,
+    },
+    /// Suspension on a remote call; taken when the callee's return value
+    /// arrives. Each call site maps to its own transition so that "calls to
+    /// the same method may result in a different state in the automata,
+    /// ensuring each state has as a next state the correct return point"
+    /// (paper §5, Program Analysis).
+    CallReturn {
+        /// Callee method name.
+        method: String,
+        /// Target stage (the continuation block).
+        to: BlockId,
+    },
+    /// Terminal: the invocation returns to its caller.
+    Return,
+}
+
+impl Transition {
+    /// The target stage, if the transition is not terminal.
+    pub fn target(&self) -> Option<BlockId> {
+        match self {
+            Transition::Jump { to }
+            | Transition::BranchTrue { to }
+            | Transition::BranchFalse { to }
+            | Transition::CallReturn { to, .. } => Some(*to),
+            Transition::Return => None,
+        }
+    }
+}
+
+/// The state machine of one method: one state per block, with labeled edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateMachine {
+    /// Owning method name (for display).
+    pub method: String,
+    /// Per-state outgoing transitions, indexed by `BlockId.0`.
+    pub transitions: Vec<Vec<Transition>>,
+    /// Entry state.
+    pub entry: BlockId,
+}
+
+impl StateMachine {
+    /// Derives the state machine of a compiled method.
+    pub fn from_method(m: &CompiledMethod) -> Self {
+        let transitions = m
+            .blocks
+            .iter()
+            .map(|b| match &b.terminator {
+                Terminator::Return(_) => vec![Transition::Return],
+                Terminator::Jump(to) => vec![Transition::Jump { to: *to }],
+                Terminator::Branch { then_blk, else_blk, .. } => vec![
+                    Transition::BranchTrue { to: *then_blk },
+                    Transition::BranchFalse { to: *else_blk },
+                ],
+                Terminator::RemoteCall { method, resume, .. } => {
+                    vec![Transition::CallReturn { method: method.clone(), to: *resume }]
+                }
+            })
+            .collect();
+        Self { method: m.name.clone(), transitions, entry: m.entry }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// States reachable from the entry.
+    pub fn reachable(&self) -> BTreeSet<BlockId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![self.entry];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            for t in &self.transitions[s.0 as usize] {
+                if let Some(to) = t.target() {
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every state is reachable from the entry (the compiler should
+    /// never emit dead states).
+    pub fn fully_reachable(&self) -> bool {
+        self.reachable().len() == self.state_count()
+    }
+
+    /// Whether any state can reach itself again — i.e. the method contains a
+    /// loop. Loop iterations are tracked by extra environment state (§2.5).
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.state_count();
+        let mut color = vec![Color::White; n];
+        // Explicit stack of (node, next-transition-index).
+        let mut stack: Vec<(usize, usize)> = vec![(self.entry.0 as usize, 0)];
+        color[self.entry.0 as usize] = Color::Gray;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let ts = &self.transitions[node];
+            if *idx < ts.len() {
+                let i = *idx;
+                *idx += 1;
+                if let Some(to) = ts[i].target() {
+                    let to = to.0 as usize;
+                    match color[to] {
+                        Color::Gray => return true,
+                        Color::White => {
+                            color[to] = Color::Gray;
+                            stack.push((to, 0));
+                        }
+                        Color::Black => {}
+                    }
+                }
+            } else {
+                color[node] = Color::Black;
+                stack.pop();
+            }
+        }
+        false
+    }
+
+    /// Graphviz `dot` rendering of the execution graph.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.method);
+        let _ = writeln!(out, "  rankdir=LR; node [shape=box, fontname=monospace];");
+        for (i, ts) in self.transitions.iter().enumerate() {
+            let _ = writeln!(out, "  b{i} [label=\"{}_{i}\"];", self.method);
+            for t in ts {
+                match t {
+                    Transition::Jump { to } => {
+                        let _ = writeln!(out, "  b{i} -> b{};", to.0);
+                    }
+                    Transition::BranchTrue { to } => {
+                        let _ = writeln!(out, "  b{i} -> b{} [label=\"true\"];", to.0);
+                    }
+                    Transition::BranchFalse { to } => {
+                        let _ = writeln!(out, "  b{i} -> b{} [label=\"false\"];", to.0);
+                    }
+                    Transition::CallReturn { method, to } => {
+                        let _ = writeln!(
+                            out,
+                            "  b{i} -> b{} [label=\"call {method}()\", style=dashed];",
+                            to.0
+                        );
+                    }
+                    Transition::Return => {
+                        let _ = writeln!(out, "  b{i} -> ret;");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "  ret [shape=doublecircle, label=\"return\"];");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use se_lang::builder::*;
+    use se_lang::Type;
+
+    fn method_with(blocks: Vec<Block>) -> CompiledMethod {
+        CompiledMethod {
+            name: "m".into(),
+            params: vec![],
+            ret: Type::Unit,
+            transactional: false,
+            blocks,
+            entry: BlockId(0),
+        }
+    }
+
+    fn blk(id: u32, terminator: Terminator) -> Block {
+        Block { id: BlockId(id), params: vec![], stmts: vec![], terminator }
+    }
+
+    #[test]
+    fn derives_transitions() {
+        let m = method_with(vec![
+            blk(
+                0,
+                Terminator::RemoteCall {
+                    target: var("item"),
+                    method: "price".into(),
+                    args: vec![],
+                    result_var: Some("p".into()),
+                    resume: BlockId(1),
+                },
+            ),
+            blk(1, Terminator::Branch { cond: lit(true), then_blk: BlockId(2), else_blk: BlockId(3) }),
+            blk(2, Terminator::Return(int(1))),
+            blk(3, Terminator::Return(int(0))),
+        ]);
+        let sm = StateMachine::from_method(&m);
+        assert_eq!(sm.state_count(), 4);
+        assert!(sm.fully_reachable());
+        assert!(!sm.has_cycle());
+        assert_eq!(
+            sm.transitions[0],
+            vec![Transition::CallReturn { method: "price".into(), to: BlockId(1) }]
+        );
+    }
+
+    #[test]
+    fn cycle_detected_for_loops() {
+        let m = method_with(vec![
+            blk(0, Terminator::Branch { cond: lit(true), then_blk: BlockId(1), else_blk: BlockId(2) }),
+            blk(1, Terminator::Jump(BlockId(0))),
+            blk(2, Terminator::Return(int(0))),
+        ]);
+        let sm = StateMachine::from_method(&m);
+        assert!(sm.has_cycle());
+        assert!(sm.fully_reachable());
+    }
+
+    #[test]
+    fn unreachable_state_detected() {
+        let m = method_with(vec![
+            blk(0, Terminator::Return(int(0))),
+            blk(1, Terminator::Return(int(1))),
+        ]);
+        let sm = StateMachine::from_method(&m);
+        assert!(!sm.fully_reachable());
+    }
+
+    #[test]
+    fn dot_contains_states_and_edges() {
+        let m = method_with(vec![
+            blk(0, Terminator::Jump(BlockId(1))),
+            blk(1, Terminator::Return(int(0))),
+        ]);
+        let dot = StateMachine::from_method(&m).to_dot();
+        assert!(dot.contains("b0 -> b1"));
+        assert!(dot.contains("doublecircle"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Key-based partition routing.
+//!
+//! "This key() function is used by a routing and translation mechanism to
+//! partition and distribute the load among parallel instances of that entity
+//! within a cluster" (§2.2). The hash must be *stable across processes and
+//! runs* — replay-based recovery re-routes the same events and must land
+//! them on the same partitions — so we use FNV-1a rather than the std
+//! `RandomState` hasher.
+
+/// FNV-1a 64-bit hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The partition (0-based) that owns entity key `key` among `partitions`.
+///
+/// # Panics
+/// Panics if `partitions == 0`.
+pub fn partition_for(key: &str, partitions: usize) -> usize {
+    assert!(partitions > 0, "partition count must be positive");
+    (fnv1a(key.as_bytes()) % partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(partition_for("alice", 4), partition_for("alice", 4));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+
+    #[test]
+    fn in_range_and_spread() {
+        let n = 7;
+        let mut seen = vec![0usize; n];
+        for i in 0..1000 {
+            let p = partition_for(&format!("key{i}"), n);
+            assert!(p < n);
+            seen[p] += 1;
+        }
+        // Every partition receives a reasonable share of 1000 uniform keys.
+        for (p, count) in seen.iter().enumerate() {
+            assert!(*count > 50, "partition {p} got only {count}/1000 keys");
+        }
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a test vector: fnv1a("") == offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partitions_panics() {
+        partition_for("x", 0);
+    }
+}

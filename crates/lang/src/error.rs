@@ -1,0 +1,114 @@
+//! Error types shared by the language, compiler and runtimes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Any error raised while analyzing, compiling or executing an entity
+/// program.
+///
+/// Serializable because runtime errors must travel inside dataflow events
+/// back to the egress router (a failed invocation is still a response).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LangError {
+    /// A value had the wrong runtime type.
+    TypeMismatch {
+        /// Type the operation required.
+        expected: String,
+        /// Type that was actually present.
+        actual: String,
+    },
+    /// A variable was read before being defined.
+    UndefinedVariable(String),
+    /// `self.<attr>` does not exist on the entity.
+    UndefinedAttribute(String),
+    /// A method was invoked that the target class does not define.
+    UndefinedMethod {
+        /// Class that was targeted.
+        class: String,
+        /// Method that does not exist.
+        method: String,
+    },
+    /// A class was referenced that the program does not define.
+    UndefinedClass(String),
+    /// Wrong number of call arguments.
+    ArityMismatch {
+        /// Method being called.
+        method: String,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// The interpreter exceeded its step budget (runaway loop).
+    StepBudgetExhausted,
+    /// Static analysis rejected the program (message explains why).
+    Analysis(String),
+    /// The runtime failed outside of program logic (routing, state, ...).
+    Runtime(String),
+}
+
+impl LangError {
+    /// Convenience constructor for [`LangError::TypeMismatch`].
+    pub fn type_mismatch(expected: impl Into<String>, actual: impl Into<String>) -> Self {
+        LangError::TypeMismatch { expected: expected.into(), actual: actual.into() }
+    }
+
+    /// Convenience constructor for [`LangError::Analysis`].
+    pub fn analysis(msg: impl Into<String>) -> Self {
+        LangError::Analysis(msg.into())
+    }
+
+    /// Convenience constructor for [`LangError::Runtime`].
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        LangError::Runtime(msg.into())
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            LangError::UndefinedVariable(v) => write!(f, "undefined variable `{v}`"),
+            LangError::UndefinedAttribute(a) => write!(f, "undefined attribute `self.{a}`"),
+            LangError::UndefinedMethod { class, method } => {
+                write!(f, "class `{class}` has no method `{method}`")
+            }
+            LangError::UndefinedClass(c) => write!(f, "undefined class `{c}`"),
+            LangError::ArityMismatch { method, expected, actual } => {
+                write!(f, "`{method}` expects {expected} argument(s), got {actual}")
+            }
+            LangError::DivisionByZero => write!(f, "division by zero"),
+            LangError::StepBudgetExhausted => write!(f, "interpreter step budget exhausted"),
+            LangError::Analysis(m) => write!(f, "analysis error: {m}"),
+            LangError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            LangError::type_mismatch("int", "str").to_string(),
+            "type mismatch: expected int, got str"
+        );
+        assert_eq!(
+            LangError::UndefinedMethod { class: "User".into(), method: "x".into() }.to_string(),
+            "class `User` has no method `x`"
+        );
+        assert_eq!(
+            LangError::ArityMismatch { method: "buy".into(), expected: 2, actual: 1 }.to_string(),
+            "`buy` expects 2 argument(s), got 1"
+        );
+    }
+}

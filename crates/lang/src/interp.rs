@@ -1,0 +1,687 @@
+//! Tree-walking interpreter for entity methods.
+//!
+//! Two consumers:
+//! 1. The **Local runtime** (paper §3): synchronous execution against a
+//!    HashMap-backed store for development and testing; remote calls recurse
+//!    through a [`CallHandler`].
+//! 2. The **dataflow runtimes**: after function splitting, each block is
+//!    straight-line code whose remote calls live only in block *terminators*;
+//!    the runtimes execute block bodies with [`DenyRemoteCalls`] (a call in a
+//!    body would be a compiler bug) and perform the terminator call through
+//!    the dataflow instead.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{BinOp, Builtin, Expr, Stmt, UnOp};
+use crate::error::LangError;
+use crate::value::{EntityRef, EntityState, Value};
+
+/// A method-local variable environment (Python function locals).
+///
+/// Ordered map so that environments captured inside events serialize
+/// deterministically — replay determinism depends on it.
+pub type Env = BTreeMap<String, Value>;
+
+/// How the interpreter performs method calls on *other* entities.
+pub trait CallHandler {
+    /// Invokes `method` on the entity identified by `target` with `args`,
+    /// returning the method's result.
+    fn call(
+        &mut self,
+        target: &EntityRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, LangError>;
+}
+
+/// A [`CallHandler`] that rejects every remote call.
+///
+/// Block bodies produced by the splitting pass must be free of remote calls;
+/// runtimes execute them with this handler so a violation fails loudly.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DenyRemoteCalls;
+
+impl CallHandler for DenyRemoteCalls {
+    fn call(
+        &mut self,
+        target: &EntityRef,
+        method: &str,
+        _args: Vec<Value>,
+    ) -> Result<Value, LangError> {
+        Err(LangError::runtime(format!(
+            "unexpected remote call {target}.{method}() inside a split block body"
+        )))
+    }
+}
+
+/// Result of executing a statement sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Flow {
+    /// Fell through the end of the sequence.
+    Normal,
+    /// A `return` was executed with this value.
+    Return(Value),
+}
+
+/// Default number of evaluation steps before aborting (runaway `while`).
+pub const DEFAULT_STEP_BUDGET: u64 = 10_000_000;
+
+/// Tree-walking evaluator over one method activation.
+///
+/// The interpreter is deliberately stateless across invocations: all state it
+/// touches is the entity's attribute map (`state`), the local environment
+/// (`env`) and whatever the [`CallHandler`] encapsulates. That statelessness
+/// is what lets the same evaluator run inside every runtime.
+#[derive(Debug)]
+pub struct Interpreter {
+    /// Remaining evaluation steps.
+    budget: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Interpreter with the default step budget.
+    pub fn new() -> Self {
+        Self { budget: DEFAULT_STEP_BUDGET }
+    }
+
+    /// Interpreter with an explicit step budget.
+    pub fn with_budget(budget: u64) -> Self {
+        Self { budget }
+    }
+
+    fn tick(&mut self) -> Result<(), LangError> {
+        if self.budget == 0 {
+            return Err(LangError::StepBudgetExhausted);
+        }
+        self.budget -= 1;
+        Ok(())
+    }
+
+    /// Executes `stmts` until completion or `return`.
+    pub fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        state: &mut EntityState,
+        handler: &mut dyn CallHandler,
+    ) -> Result<Flow, LangError> {
+        for stmt in stmts {
+            if let Flow::Return(v) = self.exec_stmt(stmt, env, state, handler)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Executes a single statement.
+    pub fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut Env,
+        state: &mut EntityState,
+        handler: &mut dyn CallHandler,
+    ) -> Result<Flow, LangError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Assign { name, value, .. } => {
+                let v = self.eval(value, env, state, handler)?;
+                env.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::AttrAssign { attr, value } => {
+                let v = self.eval(value, env, state, handler)?;
+                if !state.contains_key(attr) {
+                    return Err(LangError::UndefinedAttribute(attr.clone()));
+                }
+                state.insert(attr.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let c = self.eval(cond, env, state, handler)?;
+                if c.truthy() {
+                    self.exec_stmts(then_body, env, state, handler)
+                } else {
+                    self.exec_stmts(else_body, env, state, handler)
+                }
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    self.tick()?;
+                    let c = self.eval(cond, env, state, handler)?;
+                    if !c.truthy() {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_stmts(body, env, state, handler)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForList { var, iterable, body } => {
+                let items = self.eval(iterable, env, state, handler)?;
+                let items = items.as_list()?.to_vec();
+                for item in items {
+                    self.tick()?;
+                    env.insert(var.clone(), item);
+                    if let Flow::Return(v) = self.exec_stmts(body, env, state, handler)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = self.eval(e, env, state, handler)?;
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, env, state, handler)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Evaluates an expression.
+    pub fn eval(
+        &mut self,
+        expr: &Expr,
+        env: &mut Env,
+        state: &mut EntityState,
+        handler: &mut dyn CallHandler,
+    ) -> Result<Value, LangError> {
+        self.tick()?;
+        match expr {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Var(name) => {
+                env.get(name).cloned().ok_or_else(|| LangError::UndefinedVariable(name.clone()))
+            }
+            Expr::Attr(name) => {
+                state.get(name).cloned().ok_or_else(|| LangError::UndefinedAttribute(name.clone()))
+            }
+            Expr::Binary(op, l, r) => {
+                if op.is_logical() {
+                    // Short-circuit evaluation.
+                    let lv = self.eval(l, env, state, handler)?;
+                    return Ok(match op {
+                        BinOp::And if !lv.truthy() => Value::Bool(false),
+                        BinOp::Or if lv.truthy() => Value::Bool(true),
+                        _ => Value::Bool(self.eval(r, env, state, handler)?.truthy()),
+                    });
+                }
+                let lv = self.eval(l, env, state, handler)?;
+                let rv = self.eval(r, env, state, handler)?;
+                eval_binop(*op, lv, rv)
+            }
+            Expr::Unary(op, e) => {
+                let v = self.eval(e, env, state, handler)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(LangError::type_mismatch("int|float", other.type_name())),
+                    },
+                }
+            }
+            Expr::Builtin(b, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, state, handler)?);
+                }
+                eval_builtin(*b, vals)
+            }
+            Expr::Index(base, idx) => {
+                let b = self.eval(base, env, state, handler)?;
+                let i = self.eval(idx, env, state, handler)?;
+                eval_index(&b, &i)
+            }
+            Expr::ListLit(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for it in items {
+                    vals.push(self.eval(it, env, state, handler)?);
+                }
+                Ok(Value::List(vals))
+            }
+            Expr::Call(c) => {
+                let target = self.eval(&c.target, env, state, handler)?;
+                let target = target.as_ref()?.clone();
+                let mut args = Vec::with_capacity(c.args.len());
+                for a in &c.args {
+                    args.push(self.eval(a, env, state, handler)?);
+                }
+                handler.call(&target, &c.method, args)
+            }
+        }
+    }
+}
+
+/// Evaluates a non-logical binary operator on two values.
+pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, LangError> {
+    use BinOp::*;
+    match op {
+        Add => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(b))),
+            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(a + &b)),
+            (Value::List(mut a), Value::List(b)) => {
+                a.extend(b);
+                Ok(Value::List(a))
+            }
+            (Value::Bytes(mut a), Value::Bytes(b)) => {
+                a.extend(b);
+                Ok(Value::Bytes(a))
+            }
+            (a, b) => numeric_float(a, b, |x, y| x + y),
+        },
+        Sub => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(b))),
+            (a, b) => numeric_float(a, b, |x, y| x - y),
+        },
+        Mul => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(b))),
+            (a, b) => numeric_float(a, b, |x, y| x * y),
+        },
+        Div => match (l, r) {
+            (Value::Int(_), Value::Int(0)) => Err(LangError::DivisionByZero),
+            // Integer division truncates (money stays integral in the
+            // workloads; differs from Python's true division — documented).
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_div(b))),
+            (a, b) => {
+                let (x, y) = (a.as_float()?, b.as_float()?);
+                if y == 0.0 {
+                    return Err(LangError::DivisionByZero);
+                }
+                Ok(Value::Float(x / y))
+            }
+        },
+        Mod => match (l, r) {
+            (Value::Int(_), Value::Int(0)) => Err(LangError::DivisionByZero),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_rem(b))),
+            (a, b) => {
+                Err(LangError::type_mismatch("int % int", format!("{} % {}", a.type_name(), b.type_name())))
+            }
+        },
+        Eq => Ok(Value::Bool(values_eq(&l, &r))),
+        Ne => Ok(Value::Bool(!values_eq(&l, &r))),
+        Lt | Le | Gt | Ge => {
+            let ord = compare(&l, &r)?;
+            Ok(Value::Bool(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+        And | Or => unreachable!("logical ops are short-circuited by the caller"),
+    }
+}
+
+fn numeric_float(
+    a: Value,
+    b: Value,
+    f: impl FnOnce(f64, f64) -> f64,
+) -> Result<Value, LangError> {
+    Ok(Value::Float(f(a.as_float()?, b.as_float()?)))
+}
+
+fn values_eq(l: &Value, r: &Value) -> bool {
+    match (l, r) {
+        (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+        (a, b) => a == b,
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, LangError> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+        (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+        (a, b) => {
+            let (x, y) = (a.as_float()?, b.as_float()?);
+            x.partial_cmp(&y)
+                .ok_or_else(|| LangError::runtime("NaN is not comparable".to_string()))
+        }
+    }
+}
+
+/// Evaluates a builtin on already-evaluated arguments.
+pub fn eval_builtin(b: Builtin, mut args: Vec<Value>) -> Result<Value, LangError> {
+    if args.len() != b.arity() {
+        return Err(LangError::ArityMismatch {
+            method: format!("{b:?}"),
+            expected: b.arity(),
+            actual: args.len(),
+        });
+    }
+    match b {
+        Builtin::Len => {
+            let n = match &args[0] {
+                Value::Str(s) => s.len(),
+                Value::Bytes(x) => x.len(),
+                Value::List(l) => l.len(),
+                Value::Map(m) => m.len(),
+                other => return Err(LangError::type_mismatch("sized", other.type_name())),
+            };
+            Ok(Value::Int(n as i64))
+        }
+        Builtin::Abs => match &args[0] {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            other => Err(LangError::type_mismatch("int|float", other.type_name())),
+        },
+        Builtin::Min | Builtin::Max => {
+            let b_is_min = matches!(b, Builtin::Min);
+            let rhs = args.pop().expect("arity checked");
+            let lhs = args.pop().expect("arity checked");
+            let ord = compare(&lhs, &rhs)?;
+            Ok(if ord.is_le() == b_is_min { lhs } else { rhs })
+        }
+        Builtin::ToStr => Ok(Value::Str(match &args[0] {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })),
+        Builtin::Append => {
+            let x = args.pop().expect("arity checked");
+            let l = args.pop().expect("arity checked");
+            match l {
+                Value::List(mut items) => {
+                    items.push(x);
+                    Ok(Value::List(items))
+                }
+                other => Err(LangError::type_mismatch("list", other.type_name())),
+            }
+        }
+        Builtin::Contains => {
+            let x = args.pop().expect("arity checked");
+            let coll = args.pop().expect("arity checked");
+            let found = match (&coll, &x) {
+                (Value::List(items), _) => items.iter().any(|v| values_eq(v, &x)),
+                (Value::Map(m), Value::Str(k)) => m.contains_key(k),
+                (Value::Str(s), Value::Str(sub)) => s.contains(sub.as_str()),
+                (other, _) => {
+                    return Err(LangError::type_mismatch("list|map|str", other.type_name()))
+                }
+            };
+            Ok(Value::Bool(found))
+        }
+        Builtin::Get => {
+            let k = args.pop().expect("arity checked");
+            let m = args.pop().expect("arity checked");
+            match (m, k) {
+                (Value::Map(m), Value::Str(k)) => Ok(m.get(&k).cloned().unwrap_or(Value::Unit)),
+                (m, _) => Err(LangError::type_mismatch("map", m.type_name())),
+            }
+        }
+        Builtin::Put => {
+            let v = args.pop().expect("arity checked");
+            let k = args.pop().expect("arity checked");
+            let m = args.pop().expect("arity checked");
+            match (m, k) {
+                (Value::Map(mut m), Value::Str(k)) => {
+                    m.insert(k, v);
+                    Ok(Value::Map(m))
+                }
+                (m, _) => Err(LangError::type_mismatch("map", m.type_name())),
+            }
+        }
+        Builtin::Zeros => {
+            let n = args[0].as_int()?;
+            if n < 0 {
+                return Err(LangError::runtime("zeros(n) requires n >= 0"));
+            }
+            Ok(Value::Bytes(vec![0u8; n as usize]))
+        }
+    }
+}
+
+/// Evaluates `base[index]`.
+pub fn eval_index(base: &Value, idx: &Value) -> Result<Value, LangError> {
+    match (base, idx) {
+        (Value::List(items), Value::Int(i)) => {
+            let len = items.len() as i64;
+            // Python-style negative indexing.
+            let j = if *i < 0 { i + len } else { *i };
+            if j < 0 || j >= len {
+                return Err(LangError::runtime(format!("list index {i} out of range (len {len})")));
+            }
+            Ok(items[j as usize].clone())
+        }
+        (Value::Map(m), Value::Str(k)) => m
+            .get(k)
+            .cloned()
+            .ok_or_else(|| LangError::runtime(format!("key {k:?} not found"))),
+        (Value::Str(s), Value::Int(i)) => {
+            let chars: Vec<char> = s.chars().collect();
+            let len = chars.len() as i64;
+            let j = if *i < 0 { i + len } else { *i };
+            if j < 0 || j >= len {
+                return Err(LangError::runtime(format!("str index {i} out of range (len {len})")));
+            }
+            Ok(Value::Str(chars[j as usize].to_string()))
+        }
+        (b, i) => Err(LangError::type_mismatch(
+            "indexable",
+            format!("{}[{}]", b.type_name(), i.type_name()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn run(stmts: &[Stmt], env: &mut Env, state: &mut EntityState) -> Result<Flow, LangError> {
+        Interpreter::new().exec_stmts(stmts, env, state, &mut DenyRemoteCalls)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let body = vec![assign("x", add(int(2), mul(int(3), int(4)))), ret(var("x"))];
+        let mut env = Env::new();
+        let mut state = EntityState::new();
+        assert_eq!(run(&body, &mut env, &mut state).unwrap(), Flow::Return(Value::Int(14)));
+    }
+
+    #[test]
+    fn attr_read_write() {
+        let body = vec![attr_add("stock", var("amount")), ret(ge(attr("stock"), int(0)))];
+        let mut env = Env::from([("amount".to_string(), Value::Int(-5))]);
+        let mut state = EntityState::from([("stock".to_string(), Value::Int(3))]);
+        let flow = run(&body, &mut env, &mut state).unwrap();
+        assert_eq!(flow, Flow::Return(Value::Bool(false)));
+        assert_eq!(state["stock"], Value::Int(-2));
+    }
+
+    #[test]
+    fn attr_assign_requires_declared_attr() {
+        let body = vec![attr_assign("ghost", int(1))];
+        let mut env = Env::new();
+        let mut state = EntityState::new();
+        assert_eq!(
+            run(&body, &mut env, &mut state).unwrap_err(),
+            LangError::UndefinedAttribute("ghost".into())
+        );
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let body = vec![if_else(
+            lt(var("a"), int(10)),
+            vec![ret(lit("small"))],
+            vec![ret(lit("big"))],
+        )];
+        let mut state = EntityState::new();
+        let mut env = Env::from([("a".to_string(), Value::Int(3))]);
+        assert_eq!(
+            run(&body, &mut env, &mut state).unwrap(),
+            Flow::Return(Value::Str("small".into()))
+        );
+        let mut env = Env::from([("a".to_string(), Value::Int(30))]);
+        assert_eq!(
+            run(&body, &mut env, &mut state).unwrap(),
+            Flow::Return(Value::Str("big".into()))
+        );
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // i = 0; acc = 0; while i < 5 { acc += i; i += 1 }; return acc
+        let body = vec![
+            assign("i", int(0)),
+            assign("acc", int(0)),
+            while_(
+                lt(var("i"), int(5)),
+                vec![
+                    assign("acc", add(var("acc"), var("i"))),
+                    assign("i", add(var("i"), int(1))),
+                ],
+            ),
+            ret(var("acc")),
+        ];
+        let mut env = Env::new();
+        let mut state = EntityState::new();
+        assert_eq!(run(&body, &mut env, &mut state).unwrap(), Flow::Return(Value::Int(10)));
+    }
+
+    #[test]
+    fn for_list_iterates_and_early_returns() {
+        let body = vec![
+            for_list(
+                "x",
+                lit(Value::List(vec![Value::Int(1), Value::Int(7), Value::Int(3)])),
+                vec![if_(gt(var("x"), int(5)), vec![ret(var("x"))])],
+            ),
+            ret(int(-1)),
+        ];
+        let mut env = Env::new();
+        let mut state = EntityState::new();
+        assert_eq!(run(&body, &mut env, &mut state).unwrap(), Flow::Return(Value::Int(7)));
+    }
+
+    #[test]
+    fn runaway_loop_hits_budget() {
+        let body = vec![while_(lit(true), vec![assign("x", int(1))])];
+        let mut env = Env::new();
+        let mut state = EntityState::new();
+        let err = Interpreter::with_budget(10_000)
+            .exec_stmts(&body, &mut env, &mut state, &mut DenyRemoteCalls)
+            .unwrap_err();
+        assert_eq!(err, LangError::StepBudgetExhausted);
+    }
+
+    #[test]
+    fn short_circuit_does_not_eval_rhs() {
+        // `false and (1/0)` must not raise.
+        let e = and(lit(false), div(int(1), int(0)));
+        let mut env = Env::new();
+        let mut state = EntityState::new();
+        let v = Interpreter::new().eval(&e, &mut env, &mut state, &mut DenyRemoteCalls).unwrap();
+        assert_eq!(v, Value::Bool(false));
+        let e = or(lit(true), div(int(1), int(0)));
+        let v = Interpreter::new().eval(&e, &mut env, &mut state, &mut DenyRemoteCalls).unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(eval_binop(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::Int(1), Value::Int(0)).unwrap_err(),
+            LangError::DivisionByZero
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::Float(1.0), Value::Int(2)).unwrap(),
+            Value::Float(0.5)
+        );
+    }
+
+    #[test]
+    fn string_and_list_concat() {
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::Str("ab".into()), Value::Str("cd".into())).unwrap(),
+            Value::Str("abcd".into())
+        );
+        assert_eq!(
+            eval_binop(
+                BinOp::Add,
+                Value::List(vec![Value::Int(1)]),
+                Value::List(vec![Value::Int(2)])
+            )
+            .unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn mixed_numeric_equality() {
+        assert_eq!(
+            eval_binop(BinOp::Eq, Value::Int(2), Value::Float(2.0)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(
+            eval_builtin(Builtin::Len, vec![Value::Str("abc".into())]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_builtin(Builtin::Min, vec![Value::Int(2), Value::Int(5)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_builtin(Builtin::Max, vec![Value::Int(2), Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_builtin(Builtin::Zeros, vec![Value::Int(4)]).unwrap(),
+            Value::Bytes(vec![0; 4])
+        );
+        assert_eq!(
+            eval_builtin(
+                Builtin::Append,
+                vec![Value::List(vec![Value::Int(1)]), Value::Int(2)]
+            )
+            .unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+        let m = eval_builtin(
+            Builtin::Put,
+            vec![Value::Map(Default::default()), Value::Str("k".into()), Value::Int(9)],
+        )
+        .unwrap();
+        assert_eq!(
+            eval_builtin(Builtin::Get, vec![m.clone(), Value::Str("k".into())]).unwrap(),
+            Value::Int(9)
+        );
+        assert_eq!(
+            eval_builtin(Builtin::Get, vec![m, Value::Str("absent".into())]).unwrap(),
+            Value::Unit
+        );
+    }
+
+    #[test]
+    fn indexing_negative_and_oob() {
+        let l = Value::List(vec![Value::Int(10), Value::Int(20)]);
+        assert_eq!(eval_index(&l, &Value::Int(-1)).unwrap(), Value::Int(20));
+        assert!(eval_index(&l, &Value::Int(2)).is_err());
+        assert_eq!(eval_index(&Value::Str("hey".into()), &Value::Int(1)).unwrap(), Value::Str("e".into()));
+    }
+
+    #[test]
+    fn deny_remote_calls_rejects() {
+        let e = call(var("item"), "price", vec![]);
+        let mut env =
+            Env::from([("item".to_string(), Value::Ref(EntityRef::new("Item", "laptop")))]);
+        let mut state = EntityState::new();
+        let err =
+            Interpreter::new().eval(&e, &mut env, &mut state, &mut DenyRemoteCalls).unwrap_err();
+        assert!(err.to_string().contains("unexpected remote call"));
+    }
+}

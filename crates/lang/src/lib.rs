@@ -1,0 +1,53 @@
+//! # se-lang — the stateful-entity programming model
+//!
+//! This crate is the programmer-facing layer of the paper *"Stateful
+//! Entities: Object-oriented Cloud Applications as Distributed Dataflows"*
+//! (CIDR 2023): an imperative, object-oriented, transactional programming
+//! model in which applications are sets of **entity classes** whose
+//! instances are partitioned across a cluster by key and may call methods on
+//! each other.
+//!
+//! The paper embeds the model in Python; this reproduction embeds it in Rust
+//! as an AST plus a fluent [`builder`] DSL. Everything downstream — the
+//! compiler pipeline (`se-compiler`), the IR (`se-ir`), and the runtimes
+//! (`se-statefun`, `se-stateflow`) — consumes the [`ast::Program`] defined
+//! here.
+//!
+//! ```
+//! use se_lang::{LocalExecutor, Value};
+//!
+//! let program = se_lang::programs::figure1_program();
+//! se_lang::typecheck::check_program(&program).unwrap();
+//!
+//! let mut exec = LocalExecutor::new(&program);
+//! let user = exec.create("User", "alice", [("balance".into(), Value::Int(100))]).unwrap();
+//! let item = exec.create("Item", "laptop", [
+//!     ("price".into(), Value::Int(30)),
+//!     ("stock".into(), Value::Int(5)),
+//! ]).unwrap();
+//! let ok = exec.invoke(&user, "buy_item", vec![Value::Int(2), Value::Ref(item)]).unwrap();
+//! assert_eq!(ok, Value::Bool(true));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod error;
+pub mod interp;
+pub mod local;
+pub mod pretty;
+pub mod programs;
+pub mod typecheck;
+pub mod types;
+pub mod value;
+
+pub use ast::{
+    AttrDef, BinOp, Builtin, CallExpr, EntityClass, Expr, Method, Param, Program, Stmt, UnOp,
+};
+pub use error::LangError;
+pub use interp::{CallHandler, DenyRemoteCalls, Env, Flow, Interpreter};
+pub use local::{LocalExecutor, LocalStore};
+pub use typecheck::check_program;
+pub use types::Type;
+pub use value::{ClassName, EntityRef, EntityState, Value};

@@ -1,0 +1,303 @@
+//! Pretty-printer: renders entity programs back to the Python-like surface
+//! syntax of the paper (Figure 1), for documentation, diffs and debugging.
+//!
+//! The output is *display* syntax, not a parsable round-trip format — the
+//! model is an internal DSL, so the canonical form of a program is its AST.
+
+use std::fmt::Write;
+
+use crate::ast::{BinOp, Builtin, EntityClass, Expr, Method, Program, Stmt, UnOp};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Renders a whole program.
+pub fn program_to_source(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, class) in program.classes.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&class_to_source(class));
+    }
+    out
+}
+
+/// Renders one class.
+pub fn class_to_source(class: &EntityClass) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "@entity");
+    let _ = writeln!(out, "class {}:", class.name);
+    for attr in &class.attrs {
+        let _ = writeln!(
+            out,
+            "    {}: {} = {}",
+            attr.name,
+            type_name(&attr.ty),
+            literal(&attr.default)
+        );
+    }
+    let _ = writeln!(out, "\n    def __key__(self):\n        return self.{}", class.key_attr);
+    for method in &class.methods {
+        out.push('\n');
+        out.push_str(&method_to_source(method, 1));
+    }
+    out
+}
+
+/// Renders one method at the given indentation level (1 = class member).
+pub fn method_to_source(method: &Method, indent: usize) -> String {
+    let pad = "    ".repeat(indent);
+    let mut out = String::new();
+    if method.transactional {
+        let _ = writeln!(out, "{pad}@transactional");
+    }
+    let params: Vec<String> = std::iter::once("self".to_owned())
+        .chain(method.params.iter().map(|p| format!("{}: {}", p.name, type_name(&p.ty))))
+        .collect();
+    let _ = writeln!(
+        out,
+        "{pad}def {}({}) -> {}:",
+        method.name,
+        params.join(", "),
+        type_name(&method.ret)
+    );
+    if method.body.is_empty() {
+        let _ = writeln!(out, "{pad}    pass");
+    } else {
+        for stmt in &method.body {
+            out.push_str(&stmt_to_source(stmt, indent + 1));
+        }
+    }
+    out
+}
+
+/// Renders a statement (with trailing newline) at an indentation level.
+pub fn stmt_to_source(stmt: &Stmt, indent: usize) -> String {
+    let pad = "    ".repeat(indent);
+    let mut out = String::new();
+    match stmt {
+        Stmt::Assign { name, ty, value } => {
+            let ann = ty.as_ref().map(|t| format!(": {}", type_name(t))).unwrap_or_default();
+            let _ = writeln!(out, "{pad}{name}{ann} = {}", expr_to_source(value));
+        }
+        Stmt::AttrAssign { attr, value } => {
+            let _ = writeln!(out, "{pad}self.{attr} = {}", expr_to_source(value));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}if {}:", expr_to_source(cond));
+            body(&mut out, then_body, indent + 1);
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                body(&mut out, else_body, indent + 1);
+            }
+        }
+        Stmt::While { cond, body: b } => {
+            let _ = writeln!(out, "{pad}while {}:", expr_to_source(cond));
+            body(&mut out, b, indent + 1);
+        }
+        Stmt::ForList { var, iterable, body: b } => {
+            let _ = writeln!(out, "{pad}for {var} in {}:", expr_to_source(iterable));
+            body(&mut out, b, indent + 1);
+        }
+        Stmt::Return(e) => {
+            if matches!(e, Expr::Lit(Value::Unit)) {
+                let _ = writeln!(out, "{pad}return");
+            } else {
+                let _ = writeln!(out, "{pad}return {}", expr_to_source(e));
+            }
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{pad}{}", expr_to_source(e));
+        }
+    }
+    out
+}
+
+fn body(out: &mut String, stmts: &[Stmt], indent: usize) {
+    if stmts.is_empty() {
+        let _ = writeln!(out, "{}pass", "    ".repeat(indent));
+    } else {
+        for s in stmts {
+            out.push_str(&stmt_to_source(s, indent));
+        }
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_source(expr: &Expr) -> String {
+    render(expr, 0)
+}
+
+/// Precedence-aware rendering: parenthesize only when the child binds
+/// weaker than the context requires.
+fn render(expr: &Expr, min_prec: u8) -> String {
+    let (text, prec) = match expr {
+        Expr::Lit(v) => (literal(v), 100),
+        Expr::Var(v) => (v.clone(), 100),
+        Expr::Attr(a) => (format!("self.{a}"), 100),
+        Expr::Binary(op, l, r) => {
+            let p = binop_prec(*op);
+            // Left-associative: left child may be equal precedence.
+            (
+                format!("{} {} {}", render(l, p), binop_symbol(*op), render(r, p + 1)),
+                p,
+            )
+        }
+        Expr::Unary(op, e) => {
+            let (sym, p) = match op {
+                UnOp::Not => ("not ", 30u8),
+                UnOp::Neg => ("-", 60),
+            };
+            (format!("{sym}{}", render(e, p + 1)), p)
+        }
+        Expr::Builtin(b, args) => {
+            let name = match b {
+                Builtin::Len => "len",
+                Builtin::Abs => "abs",
+                Builtin::Min => "min",
+                Builtin::Max => "max",
+                Builtin::ToStr => "str",
+                Builtin::Append => "append",
+                Builtin::Contains => "contains",
+                Builtin::Get => "get",
+                Builtin::Put => "put",
+                Builtin::Zeros => "zeros",
+            };
+            (format!("{name}({})", args_src(args)), 100)
+        }
+        Expr::Index(base, idx) => {
+            (format!("{}[{}]", render(base, 90), render(idx, 0)), 90)
+        }
+        Expr::ListLit(items) => (format!("[{}]", args_src(items)), 100),
+        Expr::Call(c) => (
+            format!("{}.{}({})", render(&c.target, 90), c.method, args_src(&c.args)),
+            90,
+        ),
+    };
+    if prec < min_prec {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+fn args_src(args: &[Expr]) -> String {
+    args.iter().map(|a| render(a, 0)).collect::<Vec<_>>().join(", ")
+}
+
+fn binop_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => 10,
+        And => 20,
+        Eq | Ne | Lt | Le | Gt | Ge => 40,
+        Add | Sub => 50,
+        Mul | Div | Mod => 55,
+    }
+}
+
+fn binop_symbol(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Mod => "%",
+        Eq => "==",
+        Ne => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        And => "and",
+        Or => "or",
+    }
+}
+
+fn type_name(t: &Type) -> String {
+    t.to_string()
+}
+
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Unit => "None".into(),
+        Value::Bool(true) => "True".into(),
+        Value::Bool(false) => "False".into(),
+        Value::Bytes(b) if b.is_empty() => "b\"\"".into(),
+        Value::Bytes(b) => format!("bytes[{}]", b.len()),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::programs::figure1_program;
+
+    #[test]
+    fn figure1_renders_like_the_paper() {
+        let src = program_to_source(&figure1_program());
+        for needle in [
+            "@entity",
+            "class User:",
+            "class Item:",
+            "def __key__(self):",
+            "@transactional",
+            "def buy_item(self, amount: int, item: Item) -> bool:",
+            "total_price: int = amount * item.price()",
+            "if self.balance < total_price:",
+            "return False",
+            "available: bool = item.update_stock(-amount)",
+            "self.balance = self.balance - total_price",
+            "return True",
+        ] {
+            assert!(src.contains(needle), "missing {needle:?} in:\n{src}");
+        }
+    }
+
+    #[test]
+    fn precedence_parenthesizes_only_when_needed() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let e = mul(add(var("a"), var("b")), var("c"));
+        assert_eq!(expr_to_source(&e), "(a + b) * c");
+        let e = add(var("a"), mul(var("b"), var("c")));
+        assert_eq!(expr_to_source(&e), "a + b * c");
+        // Left-assoc subtraction: a - b - c vs a - (b - c).
+        let e = sub(sub(var("a"), var("b")), var("c"));
+        assert_eq!(expr_to_source(&e), "a - b - c");
+        let e = sub(var("a"), sub(var("b"), var("c")));
+        assert_eq!(expr_to_source(&e), "a - (b - c)");
+    }
+
+    #[test]
+    fn logical_and_not() {
+        let e = and(not(var("a")), or(var("b"), var("c")));
+        assert_eq!(expr_to_source(&e), "not a and (b or c)");
+    }
+
+    #[test]
+    fn statements_render() {
+        let s = for_list("x", var("xs"), vec![expr_stmt(call(var("a"), "f", vec![var("x")]))]);
+        assert_eq!(stmt_to_source(&s, 0), "for x in xs:\n    a.f(x)\n");
+        let s = while_(lt(var("i"), int(3)), vec![]);
+        assert_eq!(stmt_to_source(&s, 0), "while i < 3:\n    pass\n");
+        let s = ret_unit();
+        assert_eq!(stmt_to_source(&s, 0), "return\n");
+    }
+
+    #[test]
+    fn empty_method_renders_pass() {
+        let m = MethodBuilder::new("noop").build();
+        assert!(method_to_source(&m, 0).contains("pass"));
+    }
+
+    #[test]
+    fn index_and_builtin() {
+        let e = index(var("xs"), add(var("i"), int(1)));
+        assert_eq!(expr_to_source(&e), "xs[i + 1]");
+        let e = len(var("xs"));
+        assert_eq!(expr_to_source(&e), "len(xs)");
+    }
+}

@@ -1,0 +1,193 @@
+//! Static types of the stateful-entity DSL.
+//!
+//! The paper (§2.2) *requires* static type hints on the inputs and outputs of
+//! entity methods — the compiler "ensures the existence of those hints via a
+//! static pass". [`Type`] is the hint language; `crate::typecheck` is the
+//! pass.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{ClassName, Value};
+
+/// A static type annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Type {
+    /// No meaningful value (Python `None`).
+    Unit,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Opaque bytes.
+    Bytes,
+    /// List with the given element type.
+    List(Box<Type>),
+    /// String-keyed map with the given value type.
+    Map(Box<Type>),
+    /// Reference to an entity of the given class. A parameter of this type is
+    /// how one entity gains the ability to call methods of another — the
+    /// compiler uses these annotations to find remote calls (§2.4).
+    Ref(ClassName),
+    /// Placeholder produced by inference when a branch diverges; unifies with
+    /// anything.
+    Any,
+}
+
+impl Type {
+    /// Shorthand for `Type::List(Box::new(elem))`.
+    pub fn list(elem: Type) -> Type {
+        Type::List(Box::new(elem))
+    }
+
+    /// Shorthand for `Type::Map(Box::new(value))`.
+    pub fn map(value: Type) -> Type {
+        Type::Map(Box::new(value))
+    }
+
+    /// Shorthand for `Type::Ref(class.into())`.
+    pub fn entity(class: impl Into<String>) -> Type {
+        Type::Ref(class.into())
+    }
+
+    /// Whether a runtime `value` inhabits this type.
+    pub fn admits(&self, value: &Value) -> bool {
+        match (self, value) {
+            (Type::Any, _) => true,
+            (Type::Unit, Value::Unit) => true,
+            (Type::Bool, Value::Bool(_)) => true,
+            (Type::Int, Value::Int(_)) => true,
+            // Ints are acceptable where floats are expected (Python coercion).
+            (Type::Float, Value::Float(_) | Value::Int(_)) => true,
+            (Type::Str, Value::Str(_)) => true,
+            (Type::Bytes, Value::Bytes(_)) => true,
+            (Type::List(elem), Value::List(items)) => items.iter().all(|v| elem.admits(v)),
+            (Type::Map(val), Value::Map(m)) => m.values().all(|v| val.admits(v)),
+            (Type::Ref(class), Value::Ref(r)) => *class == r.class,
+            _ => false,
+        }
+    }
+
+    /// Whether two types are compatible (either admits values of the other,
+    /// treating `Any` as a wildcard and Int-where-Float as allowed).
+    pub fn compatible(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Any, _) | (_, Type::Any) => true,
+            (Type::Float, Type::Int) | (Type::Int, Type::Float) => true,
+            (Type::List(a), Type::List(b)) => a.compatible(b),
+            (Type::Map(a), Type::Map(b)) => a.compatible(b),
+            (a, b) => a == b,
+        }
+    }
+
+    /// The least upper bound of two compatible types (used to join the types
+    /// of `if`/`else` arms).
+    pub fn join(&self, other: &Type) -> Option<Type> {
+        if !self.compatible(other) {
+            return None;
+        }
+        Some(match (self, other) {
+            (Type::Any, t) | (t, Type::Any) => t.clone(),
+            (Type::Float, Type::Int) | (Type::Int, Type::Float) => Type::Float,
+            (Type::List(a), Type::List(b)) => Type::List(Box::new(a.join(b)?)),
+            (Type::Map(a), Type::Map(b)) => Type::Map(Box::new(a.join(b)?)),
+            (a, _) => a.clone(),
+        })
+    }
+
+    /// A default value inhabiting this type; used to initialize entity
+    /// attributes that the constructor leaves unset.
+    pub fn default_value(&self) -> Value {
+        match self {
+            Type::Unit | Type::Any => Value::Unit,
+            Type::Bool => Value::Bool(false),
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Str => Value::Str(String::new()),
+            Type::Bytes => Value::Bytes(Vec::new()),
+            Type::List(_) => Value::List(Vec::new()),
+            Type::Map(_) => Value::Map(Default::default()),
+            // A dangling ref has no sensible default; Unit forces programs to
+            // initialize ref attributes explicitly.
+            Type::Ref(_) => Value::Unit,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Unit => write!(f, "None"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Str => write!(f, "str"),
+            Type::Bytes => write!(f, "bytes"),
+            Type::List(e) => write!(f, "list[{e}]"),
+            Type::Map(v) => write!(f, "dict[str, {v}]"),
+            Type::Ref(c) => write!(f, "{c}"),
+            Type::Any => write!(f, "Any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_basic() {
+        assert!(Type::Int.admits(&Value::Int(1)));
+        assert!(!Type::Int.admits(&Value::Bool(true)));
+        assert!(Type::Float.admits(&Value::Int(1)), "int coerces to float");
+        assert!(Type::entity("User").admits(&Value::Ref(crate::EntityRef::new("User", "a"))));
+        assert!(!Type::entity("User").admits(&Value::Ref(crate::EntityRef::new("Item", "a"))));
+    }
+
+    #[test]
+    fn admits_structured() {
+        let t = Type::list(Type::Int);
+        assert!(t.admits(&Value::List(vec![Value::Int(1), Value::Int(2)])));
+        assert!(!t.admits(&Value::List(vec![Value::Str("x".into())])));
+    }
+
+    #[test]
+    fn join_int_float() {
+        assert_eq!(Type::Int.join(&Type::Float), Some(Type::Float));
+        assert_eq!(Type::Int.join(&Type::Str), None);
+        assert_eq!(Type::Any.join(&Type::Str), Some(Type::Str));
+    }
+
+    #[test]
+    fn compatible_nested() {
+        assert!(Type::list(Type::Int).compatible(&Type::list(Type::Float)));
+        assert!(!Type::list(Type::Int).compatible(&Type::list(Type::Str)));
+    }
+
+    #[test]
+    fn defaults_inhabit_type() {
+        for t in [
+            Type::Unit,
+            Type::Bool,
+            Type::Int,
+            Type::Float,
+            Type::Str,
+            Type::Bytes,
+            Type::list(Type::Int),
+            Type::map(Type::Str),
+        ] {
+            assert!(t.admits(&t.default_value()), "default of {t} not admitted");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::list(Type::entity("Item")).to_string(), "list[Item]");
+        assert_eq!(Type::map(Type::Int).to_string(), "dict[str, int]");
+    }
+}

@@ -1,0 +1,287 @@
+//! Runtime values of the stateful-entity programming model.
+//!
+//! The paper's programming model is an internal DSL embedded in Python, so
+//! values are dynamically typed at runtime while the compiler enforces static
+//! type hints. We mirror that: [`Value`] is a dynamic value, and the
+//! [`crate::types::Type`] system checks programs before deployment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LangError;
+
+/// Name of an entity class (e.g. `"User"`, `"Item"`).
+pub type ClassName = String;
+
+/// A reference to a stateful entity: its class plus its partitioning key.
+///
+/// The paper requires every entity to expose a `__key__` function whose value
+/// is immutable for the entity's lifetime; the key is what the routing layer
+/// hashes to place the entity on a partition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityRef {
+    /// Class of the referenced entity.
+    pub class: ClassName,
+    /// Partitioning key of the referenced entity.
+    pub key: String,
+}
+
+impl EntityRef {
+    /// Creates a reference to entity `key` of class `class`.
+    pub fn new(class: impl Into<String>, key: impl Into<String>) -> Self {
+        Self { class: class.into(), key: key.into() }
+    }
+}
+
+impl fmt::Display for EntityRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.class, self.key)
+    }
+}
+
+/// A dynamically typed runtime value.
+///
+/// `Map` uses a [`BTreeMap`] so that serialization (and therefore snapshots
+/// and replay) is deterministic, which the exactly-once tests rely on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The unit value, returned by methods without an explicit `return`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer (Python `int` in the paper's examples).
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An opaque byte payload; used by the state-size overhead experiment.
+    Bytes(Vec<u8>),
+    /// A homogeneous-by-convention list.
+    List(Vec<Value>),
+    /// A string-keyed map.
+    Map(BTreeMap<String, Value>),
+    /// A reference to another stateful entity.
+    Ref(EntityRef),
+}
+
+impl Value {
+    /// Human-readable name of the value's runtime type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+            Value::Ref(_) => "ref",
+        }
+    }
+
+    /// Returns the boolean interpretation of the value, following Python
+    /// truthiness for the types our DSL supports.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Unit => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+            Value::Ref(_) => true,
+        }
+    }
+
+    /// Extracts an `i64`, erroring with the expected/actual type names.
+    pub fn as_int(&self) -> Result<i64, LangError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(LangError::type_mismatch("int", other.type_name())),
+        }
+    }
+
+    /// Extracts a `bool`.
+    pub fn as_bool(&self) -> Result<bool, LangError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(LangError::type_mismatch("bool", other.type_name())),
+        }
+    }
+
+    /// Extracts a `f64`, coercing ints like Python arithmetic does.
+    pub fn as_float(&self) -> Result<f64, LangError> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(LangError::type_mismatch("float", other.type_name())),
+        }
+    }
+
+    /// Extracts a string slice.
+    pub fn as_str(&self) -> Result<&str, LangError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(LangError::type_mismatch("str", other.type_name())),
+        }
+    }
+
+    /// Extracts a list slice.
+    pub fn as_list(&self) -> Result<&[Value], LangError> {
+        match self {
+            Value::List(l) => Ok(l),
+            other => Err(LangError::type_mismatch("list", other.type_name())),
+        }
+    }
+
+    /// Extracts an entity reference.
+    pub fn as_ref(&self) -> Result<&EntityRef, LangError> {
+        match self {
+            Value::Ref(r) => Ok(r),
+            other => Err(LangError::type_mismatch("ref", other.type_name())),
+        }
+    }
+
+    /// Approximate serialized size in bytes; used by the network simulation
+    /// to charge per-KB transfer cost and by the state-size overhead bench.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => 8 + s.len(),
+            Value::Bytes(b) => 8 + b.len(),
+            Value::List(l) => 8 + l.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Map(m) => {
+                8 + m.iter().map(|(k, v)| 8 + k.len() + v.approx_size()).sum::<usize>()
+            }
+            Value::Ref(r) => 16 + r.class.len() + r.key.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Ref(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<EntityRef> for Value {
+    fn from(v: EntityRef) -> Self {
+        Value::Ref(v)
+    }
+}
+
+/// The attribute map of a single entity instance, e.g. `{balance: 5}`.
+///
+/// Deterministically ordered so snapshots and replays are byte-stable.
+pub type EntityState = BTreeMap<String, Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_follows_python() {
+        assert!(!Value::Unit.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::Ref(EntityRef::new("User", "alice")).truthy());
+    }
+
+    #[test]
+    fn accessors_report_type_mismatch() {
+        let err = Value::Str("x".into()).as_int().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("int") && msg.contains("str"), "got: {msg}");
+    }
+
+    #[test]
+    fn float_coerces_int() {
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn approx_size_counts_payload() {
+        let v = Value::Bytes(vec![0u8; 1000]);
+        assert!(v.approx_size() >= 1000);
+        let nested = Value::List(vec![Value::Int(1), Value::Str("ab".into())]);
+        assert_eq!(nested.approx_size(), 8 + 8 + (8 + 2));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), Value::Int(2));
+        m.insert("a".to_string(), Value::Int(1));
+        assert_eq!(Value::Map(m).to_string(), "{\"a\": 1, \"b\": 2}");
+    }
+
+    #[test]
+    fn entity_ref_display() {
+        assert_eq!(EntityRef::new("Item", "laptop").to_string(), "Item[laptop]");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests over the value model, typing and the interpreter.
+
+use proptest::prelude::*;
+
+use se_lang::ast::BinOp;
+use se_lang::interp::{eval_binop, eval_builtin, eval_index};
+use se_lang::typecheck::type_of_value;
+use se_lang::{Builtin, EntityRef, Value};
+
+/// Generator of arbitrary (bounded-depth) runtime values.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9..1e9f64).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ("[A-Z][a-z]{0,6}", "[a-z0-9]{1,8}")
+            .prop_map(|(c, k)| Value::Ref(EntityRef::new(c, k))),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..8).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    /// The inferred static type of a value always admits that value —
+    /// `type_of_value` and `Type::admits` agree.
+    #[test]
+    fn type_of_value_admits_value(v in arb_value()) {
+        let t = type_of_value(&v);
+        prop_assert!(t.admits(&v), "{t} must admit {v}");
+    }
+
+    /// The inferred type is compatible with itself and joins to itself.
+    #[test]
+    fn type_join_is_reflexive(v in arb_value()) {
+        let t = type_of_value(&v);
+        prop_assert!(t.compatible(&t));
+        prop_assert_eq!(t.join(&t), Some(t));
+    }
+
+    /// approx_size is positive and monotone under wrapping in a list.
+    #[test]
+    fn approx_size_positive_and_monotone(v in arb_value()) {
+        let s = v.approx_size();
+        prop_assert!(s > 0);
+        let wrapped = Value::List(vec![v]);
+        prop_assert!(wrapped.approx_size() >= s);
+    }
+
+    /// Integer addition and multiplication are commutative.
+    #[test]
+    fn int_add_mul_commute(a in any::<i64>(), b in any::<i64>()) {
+        for op in [BinOp::Add, BinOp::Mul] {
+            prop_assert_eq!(
+                eval_binop(op, Value::Int(a), Value::Int(b)).unwrap(),
+                eval_binop(op, Value::Int(b), Value::Int(a)).unwrap()
+            );
+        }
+    }
+
+    /// Equality is reflexive and symmetric for every value.
+    #[test]
+    fn eq_reflexive_symmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(
+            eval_binop(BinOp::Eq, a.clone(), a.clone()).unwrap(),
+            Value::Bool(true)
+        );
+        prop_assert_eq!(
+            eval_binop(BinOp::Eq, a.clone(), b.clone()).unwrap(),
+            eval_binop(BinOp::Eq, b, a).unwrap()
+        );
+    }
+
+    /// Comparison trichotomy on integers: exactly one of <, ==, > holds.
+    #[test]
+    fn int_trichotomy(a in any::<i64>(), b in any::<i64>()) {
+        let lt = eval_binop(BinOp::Lt, Value::Int(a), Value::Int(b)).unwrap() == Value::Bool(true);
+        let eq = eval_binop(BinOp::Eq, Value::Int(a), Value::Int(b)).unwrap() == Value::Bool(true);
+        let gt = eval_binop(BinOp::Gt, Value::Int(a), Value::Int(b)).unwrap() == Value::Bool(true);
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+    }
+
+    /// min/max are idempotent, commutative and bounded by their arguments.
+    #[test]
+    fn min_max_laws(a in any::<i64>(), b in any::<i64>()) {
+        let min = eval_builtin(Builtin::Min, vec![Value::Int(a), Value::Int(b)]).unwrap();
+        let max = eval_builtin(Builtin::Max, vec![Value::Int(a), Value::Int(b)]).unwrap();
+        prop_assert_eq!(min, Value::Int(a.min(b)));
+        prop_assert_eq!(max, Value::Int(a.max(b)));
+    }
+
+    /// append then index(-1) returns the appended element.
+    #[test]
+    fn append_then_last(items in proptest::collection::vec(any::<i64>(), 0..16), x in any::<i64>()) {
+        let list = Value::List(items.into_iter().map(Value::Int).collect());
+        let appended = eval_builtin(Builtin::Append, vec![list, Value::Int(x)]).unwrap();
+        prop_assert_eq!(eval_index(&appended, &Value::Int(-1)).unwrap(), Value::Int(x));
+        // len grew by one.
+        let n = eval_builtin(Builtin::Len, vec![appended]).unwrap();
+        prop_assert!(matches!(n, Value::Int(k) if k >= 1));
+    }
+
+    /// put/get roundtrip on maps.
+    #[test]
+    fn map_put_get_roundtrip(k in "[a-z]{1,8}", v in arb_value()) {
+        let m = eval_builtin(
+            Builtin::Put,
+            vec![Value::Map(Default::default()), Value::Str(k.clone()), v.clone()],
+        )
+        .unwrap();
+        prop_assert_eq!(
+            eval_builtin(Builtin::Get, vec![m, Value::Str(k)]).unwrap(),
+            v
+        );
+    }
+
+    /// Negative indexing agrees with Python semantics on in-range indices.
+    #[test]
+    fn negative_indexing(items in proptest::collection::vec(any::<i64>(), 1..16)) {
+        let n = items.len() as i64;
+        let list = Value::List(items.iter().copied().map(Value::Int).collect());
+        for i in 0..items.len() {
+            let pos = eval_index(&list, &Value::Int(i as i64)).unwrap();
+            let neg = eval_index(&list, &Value::Int(i as i64 - n)).unwrap();
+            prop_assert_eq!(pos, neg);
+        }
+    }
+
+    /// zeros(n) has length n and is falsy only when empty.
+    #[test]
+    fn zeros_len(n in 0i64..4096) {
+        let z = eval_builtin(Builtin::Zeros, vec![Value::Int(n)]).unwrap();
+        prop_assert_eq!(
+            eval_builtin(Builtin::Len, vec![z.clone()]).unwrap(),
+            Value::Int(n)
+        );
+        prop_assert_eq!(z.truthy(), n > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Local execution is deterministic: running the same method twice on
+    /// identical fresh state yields identical results and final state.
+    #[test]
+    fn local_execution_deterministic(balance in 0i64..200, price in 1i64..50, amount in 0i64..10) {
+        let program = se_lang::programs::figure1_program();
+        let run = || {
+            let mut exec = se_lang::LocalExecutor::new(&program);
+            let u = exec.create("User", "u", [("balance".into(), Value::Int(balance))]).unwrap();
+            let i = exec
+                .create("Item", "i", [("price".into(), Value::Int(price)), ("stock".into(), Value::Int(5))])
+                .unwrap();
+            let r = exec.invoke(&u, "buy_item", vec![Value::Int(amount), Value::Ref(i.clone())]);
+            (
+                r.map_err(|e| e.to_string()),
+                exec.store().state(&u).unwrap().clone(),
+                exec.store().state(&i).unwrap().clone(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,84 @@
+//! StateFlow runtime configuration.
+
+use std::time::Duration;
+
+use se_aria::{CommitRule, FallbackPolicy};
+use se_dataflow::{FailurePlan, NetConfig};
+
+/// Tunables of the StateFlow deployment.
+///
+/// Defaults mirror the paper's setup (§4): "StateFlow requires a single core
+/// coordinator, and the rest are used for its workers" — with 6 system cores
+/// that is 1 coordinator + 5 workers.
+#[derive(Debug, Clone)]
+pub struct StateflowConfig {
+    /// Number of worker threads (state partitions).
+    pub workers: usize,
+    /// Network latency model.
+    pub net: NetConfig,
+    /// How long the coordinator waits to fill a batch before sealing it.
+    pub batch_interval: Duration,
+    /// Maximum transactions per batch.
+    pub max_batch: usize,
+    /// Aria commit rule (the ablation knob).
+    pub commit_rule: CommitRule,
+    /// What happens to aborted transactions: re-enqueue into the next
+    /// batch, or Aria's serial fallback (single-transaction batches run
+    /// immediately, bounding hot-key retry storms).
+    pub fallback: FallbackPolicy,
+    /// Take a consistent snapshot every N batches (0 disables snapshots).
+    pub snapshot_every_batches: u64,
+    /// Synthetic per-invocation-step service time, modeling the work the
+    /// authors' Python prototype spends per event (object construction,
+    /// dispatch, bookkeeping). Burned on the worker thread, so saturation
+    /// under load emerges naturally.
+    pub service_time: Duration,
+    /// Failure injection plan for recovery tests.
+    pub failure: FailurePlan,
+}
+
+impl Default for StateflowConfig {
+    fn default() -> Self {
+        Self {
+            workers: 5,
+            net: NetConfig::default(),
+            batch_interval: Duration::from_millis(10),
+            max_batch: 512,
+            commit_rule: CommitRule::Reordering,
+            fallback: FallbackPolicy::Serial,
+            snapshot_every_batches: 16,
+            service_time: Duration::from_micros(350),
+            failure: FailurePlan::none(),
+        }
+    }
+}
+
+impl StateflowConfig {
+    /// A configuration with tiny delays for fast unit tests.
+    pub fn fast_test(workers: usize) -> Self {
+        Self {
+            workers,
+            net: NetConfig::fast_test(),
+            batch_interval: Duration::from_millis(2),
+            max_batch: 256,
+            commit_rule: CommitRule::Reordering,
+            fallback: FallbackPolicy::Serial,
+            snapshot_every_batches: 4,
+            service_time: Duration::from_micros(10),
+            failure: FailurePlan::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_deployment() {
+        let c = StateflowConfig::default();
+        assert_eq!(c.workers, 5, "6 system cores = 1 coordinator + 5 workers");
+        assert_eq!(c.commit_rule, CommitRule::Reordering);
+        assert!(c.snapshot_every_batches > 0);
+    }
+}

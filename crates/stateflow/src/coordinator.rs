@@ -1,0 +1,494 @@
+//! The StateFlow coordinator: batch sealing, the reserve/commit barrier, and
+//! recovery orchestration.
+//!
+//! "StateFlow requires a single core coordinator, and the rest are used for
+//! its workers" (§4). The coordinator sequences transactions (assigning
+//! globally ordered ids), drives each batch through Aria's three phases,
+//! answers clients, schedules consistent snapshots at quiescent points, and
+//! fences + restores workers after a failure.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use se_aria::{BatchId, CommitRule, TxnId};
+use se_dataflow::{
+    DelayReceiver, DelaySender, Epoch, ResponseCompleter, SnapshotStore, SourceReader, StateStore,
+};
+use se_ir::{partition_for, Invocation, RequestId, Response};
+use se_lang::Value;
+
+use crate::config::StateflowConfig;
+use crate::msg::{ClientOp, ClientRequest, ConflictFlags, CoordMsg, WorkerMsg};
+
+/// Shared counters exposed to tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct CoordStats {
+    /// Batches committed.
+    pub batches: std::sync::atomic::AtomicU64,
+    /// Transactions committed.
+    pub commits: std::sync::atomic::AtomicU64,
+    /// Transaction executions that aborted (and were retried).
+    pub aborts: std::sync::atomic::AtomicU64,
+    /// Snapshots completed.
+    pub snapshots: std::sync::atomic::AtomicU64,
+    /// Recoveries performed.
+    pub recoveries: std::sync::atomic::AtomicU64,
+}
+
+enum Phase {
+    Idle,
+    Executing {
+        batch: BatchId,
+        txns: Arc<Vec<TxnId>>,
+        responses: HashMap<TxnId, Response>,
+        errors: BTreeSet<TxnId>,
+        /// Serial-fallback batches hold exactly one transaction and skip
+        /// the reservation round (a lone transaction cannot conflict).
+        fallback: bool,
+    },
+    Deciding {
+        batch: BatchId,
+        txns: Arc<Vec<TxnId>>,
+        responses: HashMap<TxnId, Response>,
+        errors: BTreeSet<TxnId>,
+        flags: HashMap<TxnId, ConflictFlags>,
+        workers_reported: usize,
+    },
+    Snapshotting {
+        epoch: Epoch,
+        acks: usize,
+    },
+    Restoring {
+        gen: u64,
+        acks: usize,
+    },
+}
+
+/// The coordinator thread.
+pub struct Coordinator {
+    cfg: StateflowConfig,
+    workers: Vec<DelaySender<WorkerMsg>>,
+    inbox: DelayReceiver<CoordMsg>,
+    reader: SourceReader<ClientRequest>,
+    waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
+    snapshots: Arc<SnapshotStore<StateStore>>,
+    stats: Arc<CoordStats>,
+    shutdown: Arc<AtomicBool>,
+
+    gen: u64,
+    next_txn: TxnId,
+    /// Pending transaction ids, ascending (retries re-enter at the front).
+    queue: VecDeque<TxnId>,
+    /// Aborted transactions awaiting the serial fallback (single-txn
+    /// batches run before anything else).
+    fallback_queue: VecDeque<TxnId>,
+    /// Root invocation per pending or in-flight transaction.
+    roots: HashMap<TxnId, Invocation>,
+    batch_deadline: Option<Instant>,
+    next_batch: BatchId,
+    batches_since_snapshot: u64,
+    epoch: Epoch,
+    phase: Phase,
+    /// Commit messages sent but not yet acknowledged. Commit application is
+    /// ordered before the next batch's Exec by per-worker channel FIFO, so
+    /// the coordinator does not wait for acks — they only gate snapshots.
+    outstanding_commit_acks: usize,
+}
+
+impl Coordinator {
+    /// Creates the coordinator (run on its own thread).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: StateflowConfig,
+        workers: Vec<DelaySender<WorkerMsg>>,
+        inbox: DelayReceiver<CoordMsg>,
+        reader: SourceReader<ClientRequest>,
+        waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
+        snapshots: Arc<SnapshotStore<StateStore>>,
+        stats: Arc<CoordStats>,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            cfg,
+            workers,
+            inbox,
+            reader,
+            waiters,
+            snapshots,
+            stats,
+            shutdown,
+            gen: 0,
+            next_txn: 0,
+            queue: VecDeque::new(),
+            fallback_queue: VecDeque::new(),
+            roots: HashMap::new(),
+            batch_deadline: None,
+            next_batch: 0,
+            batches_since_snapshot: 0,
+            epoch: 0,
+            phase: Phase::Idle,
+            outstanding_commit_acks: 0,
+        }
+    }
+
+    fn owner_of(&self, key: &str) -> usize {
+        partition_for(key, self.workers.len())
+    }
+
+    fn control_delay(&self) -> Duration {
+        // Flat delay for control-plane messages keeps per-worker channels
+        // FIFO (creates must not be overtaken by snapshot markers).
+        self.cfg.net.f2f_latency(64)
+    }
+
+    fn broadcast(&self, mk: impl Fn() -> WorkerMsg) {
+        for w in &self.workers {
+            w.send_after(mk(), self.control_delay());
+        }
+    }
+
+    /// The coordinator loop.
+    pub fn run(mut self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.broadcast(|| WorkerMsg::Shutdown);
+                return;
+            }
+            self.drain_source();
+            self.maybe_start_batch();
+            if let Some(msg) = self.inbox.recv_timeout(Duration::from_micros(500)) {
+                self.handle(msg);
+            }
+        }
+    }
+
+    fn drain_source(&mut self) {
+        // Requests are not consumed while restoring: the generation fence
+        // must be in place first.
+        if matches!(self.phase, Phase::Restoring { .. }) {
+            return;
+        }
+        while let Some(req) = self.reader.poll() {
+            match req.op {
+                ClientOp::Create { class, key, init } => {
+                    let owner = self.owner_of(&key);
+                    self.workers[owner].send_after(
+                        WorkerMsg::Create { gen: self.gen, request: req.request, class, key, init },
+                        self.control_delay(),
+                    );
+                }
+                ClientOp::Invoke(inv) => {
+                    let txn = self.next_txn;
+                    self.next_txn += 1;
+                    self.roots.insert(txn, inv);
+                    self.queue.push_back(txn);
+                    if self.batch_deadline.is_none() {
+                        self.batch_deadline = Some(Instant::now() + self.cfg.batch_interval);
+                    }
+                }
+            }
+        }
+    }
+
+    fn maybe_start_batch(&mut self) {
+        if !matches!(self.phase, Phase::Idle) {
+            return;
+        }
+        // Serial fallback: aborted transactions run immediately as
+        // single-transaction batches (which can never lose a conflict),
+        // before any new batch is sealed.
+        let mut fallback = false;
+        let txns: Vec<TxnId> = if let Some(txn) = self.fallback_queue.pop_front() {
+            fallback = true;
+            vec![txn]
+        } else {
+            if self.queue.is_empty() {
+                return;
+            }
+            let full = self.queue.len() >= self.cfg.max_batch;
+            let due = self.batch_deadline.is_some_and(|d| Instant::now() >= d);
+            if !full && !due {
+                return;
+            }
+            let take = self.queue.len().min(self.cfg.max_batch);
+            self.queue.drain(..take).collect()
+        };
+        debug_assert!(txns.windows(2).all(|w| w[0] < w[1]), "queue must stay ascending");
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        for txn in &txns {
+            let inv = self.roots[txn].clone();
+            let owner = self.owner_of(&inv.target.key);
+            let bytes = inv.approx_size();
+            self.workers[owner].send_after(
+                WorkerMsg::Exec { gen: self.gen, txn: *txn, inv },
+                self.cfg.net.f2f_latency(bytes),
+            );
+        }
+        self.batch_deadline =
+            (!self.queue.is_empty()).then(|| Instant::now() + self.cfg.batch_interval);
+        self.phase = Phase::Executing {
+            batch,
+            txns: Arc::new(txns),
+            responses: HashMap::new(),
+            errors: BTreeSet::new(),
+            fallback,
+        };
+    }
+
+    fn handle(&mut self, msg: CoordMsg) {
+        match msg {
+            CoordMsg::WorkerFailed { .. } => self.begin_recovery(),
+            CoordMsg::RestoreAck { gen, worker: _ } => {
+                if gen != self.gen {
+                    return;
+                }
+                if let Phase::Restoring { gen: g, acks } = &mut self.phase {
+                    if *g == gen {
+                        *acks += 1;
+                        if *acks == self.workers.len() {
+                            self.phase = Phase::Idle;
+                        }
+                    }
+                }
+            }
+            CoordMsg::CreateDone { gen, request, result } => {
+                if gen != self.gen {
+                    return;
+                }
+                if let Some(completer) = self.waiters.lock().remove(&request) {
+                    completer.complete(result.map(|()| Value::Unit));
+                }
+            }
+            CoordMsg::ExecDone { gen, txn, response } => {
+                if gen != self.gen {
+                    return;
+                }
+                self.on_exec_done(txn, response);
+            }
+            CoordMsg::Flags { gen, batch, flags, .. } => {
+                if gen != self.gen {
+                    return;
+                }
+                self.on_flags(batch, flags);
+            }
+            CoordMsg::CommitAck { gen, .. } => {
+                if gen != self.gen {
+                    return;
+                }
+                self.outstanding_commit_acks = self.outstanding_commit_acks.saturating_sub(1);
+                self.maybe_snapshot();
+            }
+            CoordMsg::SnapshotAck { gen, epoch, .. } => {
+                if gen != self.gen {
+                    return;
+                }
+                if let Phase::Snapshotting { epoch: e, acks } = &mut self.phase {
+                    if *e == epoch {
+                        *acks += 1;
+                        if *acks == self.workers.len() {
+                            self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+                            self.batches_since_snapshot = 0;
+                            self.snapshots.truncate_before(epoch.saturating_sub(2));
+                            self.phase = Phase::Idle;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_exec_done(&mut self, txn: TxnId, response: Response) {
+        let Phase::Executing { batch, txns, responses, errors, fallback } = &mut self.phase
+        else {
+            return;
+        };
+        if !txns.contains(&txn) || responses.contains_key(&txn) {
+            return;
+        }
+        if response.result.is_err() {
+            errors.insert(txn);
+        }
+        responses.insert(txn, response);
+        if responses.len() < txns.len() {
+            return;
+        }
+        let batch = *batch;
+        let txns = Arc::clone(txns);
+        let responses = std::mem::take(responses);
+        let errors = std::mem::take(errors);
+        if *fallback {
+            // A single-transaction batch cannot conflict: commit directly,
+            // skipping the reservation round. Errored chains still abort.
+            let aborted: BTreeSet<TxnId> = errors.clone();
+            self.finish_batch(batch, txns, responses, aborted, Vec::new());
+            return;
+        }
+        let txns2 = Arc::clone(&txns);
+        let gen = self.gen;
+        self.broadcast(move || WorkerMsg::Reserve { gen, batch, txns: Arc::clone(&txns2) });
+        self.phase = Phase::Deciding {
+            batch,
+            txns,
+            responses,
+            errors,
+            flags: HashMap::new(),
+            workers_reported: 0,
+        };
+    }
+
+    fn on_flags(&mut self, batch_id: BatchId, new_flags: Vec<(TxnId, ConflictFlags)>) {
+        let Phase::Deciding { batch, txns, responses, errors, flags, workers_reported } =
+            &mut self.phase
+        else {
+            return;
+        };
+        if *batch != batch_id {
+            return;
+        }
+        for (txn, f) in new_flags {
+            flags.entry(txn).or_default().merge(f);
+        }
+        *workers_reported += 1;
+        if *workers_reported < self.workers.len() {
+            return;
+        }
+        // All partitions reported: decide.
+        let rule = self.cfg.commit_rule;
+        let mut aborted = BTreeSet::new();
+        let mut retry = Vec::new();
+        for txn in txns.iter() {
+            if errors.contains(txn) {
+                // Failed chains abort without retry; the error is the answer.
+                aborted.insert(*txn);
+                continue;
+            }
+            let f = flags.get(txn).copied().unwrap_or_default();
+            let abort = f.waw
+                || match rule {
+                    CommitRule::Basic => f.raw,
+                    CommitRule::Reordering => f.raw && f.war,
+                };
+            if abort {
+                aborted.insert(*txn);
+                retry.push(*txn);
+            }
+        }
+        let batch = *batch;
+        let txns = Arc::clone(txns);
+        let responses = std::mem::take(responses);
+        self.finish_batch(batch, txns, responses, aborted, retry);
+    }
+
+    /// Broadcasts the commit decision, answers clients, requeues aborted
+    /// transactions, and returns to `Idle` without waiting for commit acks
+    /// (per-worker FIFO orders commit application before the next batch's
+    /// Exec; acks only gate snapshots).
+    fn finish_batch(
+        &mut self,
+        batch: BatchId,
+        txns: Arc<Vec<TxnId>>,
+        mut responses: HashMap<TxnId, Response>,
+        aborted: BTreeSet<TxnId>,
+        retry: Vec<TxnId>,
+    ) {
+        let aborted = Arc::new(aborted);
+        let txns2 = Arc::clone(&txns);
+        let aborted2 = Arc::clone(&aborted);
+        let gen = self.gen;
+        self.broadcast(move || WorkerMsg::Commit {
+            gen,
+            batch,
+            txns: Arc::clone(&txns2),
+            aborted: Arc::clone(&aborted2),
+        });
+        self.outstanding_commit_acks += self.workers.len();
+        let retry_set: BTreeSet<TxnId> = retry.iter().copied().collect();
+
+        // Respond to committed (and hard-failed) transactions.
+        let mut committed = 0u64;
+        for txn in txns.iter() {
+            if retry_set.contains(txn) {
+                continue;
+            }
+            committed += 1;
+            self.roots.remove(txn);
+            if let Some(resp) = responses.remove(txn) {
+                if let Some(completer) = self.waiters.lock().remove(&resp.request) {
+                    completer.complete(resp.result);
+                }
+            }
+        }
+        self.stats.commits.fetch_add(committed, Ordering::Relaxed);
+        self.stats.aborts.fetch_add(retry.len() as u64, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Aborted transactions keep their (lower) ids so the oldest can
+        // never lose again; routing depends on the fallback policy.
+        match self.cfg.fallback {
+            se_aria::FallbackPolicy::Retry => {
+                for txn in retry.into_iter().rev() {
+                    self.queue.push_front(txn);
+                }
+            }
+            se_aria::FallbackPolicy::Serial => {
+                self.fallback_queue.extend(retry);
+            }
+        }
+        if !self.queue.is_empty() && self.batch_deadline.is_none() {
+            self.batch_deadline = Some(Instant::now() + self.cfg.batch_interval);
+        }
+
+        self.batches_since_snapshot += 1;
+        self.phase = Phase::Idle;
+        self.maybe_snapshot();
+    }
+
+    /// Takes a consistent snapshot when due and the system is quiescent:
+    /// no pending work, and every commit acknowledged — every consumed
+    /// request is then reflected in worker state, so (state, source offset)
+    /// is a consistent cut.
+    fn maybe_snapshot(&mut self) {
+        let snapshot_due = self.cfg.snapshot_every_batches > 0
+            && self.batches_since_snapshot >= self.cfg.snapshot_every_batches;
+        if !snapshot_due
+            || !matches!(self.phase, Phase::Idle)
+            || !self.queue.is_empty()
+            || !self.fallback_queue.is_empty()
+            || self.outstanding_commit_acks > 0
+        {
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.snapshots.begin_epoch(epoch, self.workers.len());
+        self.snapshots.put_source_offset(epoch, "requests", self.reader.offset());
+        self.broadcast(|| WorkerMsg::Snapshot { gen: self.gen, epoch });
+        self.phase = Phase::Snapshotting { epoch, acks: 0 };
+    }
+
+    fn begin_recovery(&mut self) {
+        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.gen += 1;
+        let gen = self.gen;
+        let epoch = self.snapshots.latest_complete();
+        // Roll back the request cursor to the snapshot point and drop all
+        // volatile scheduling state; replay rebuilds it.
+        let offset = epoch
+            .and_then(|e| self.snapshots.source_offset(e, "requests"))
+            .unwrap_or(0);
+        self.reader.seek(offset);
+        self.queue.clear();
+        self.fallback_queue.clear();
+        self.outstanding_commit_acks = 0;
+        self.roots.clear();
+        self.batch_deadline = None;
+        self.batches_since_snapshot = 0;
+        self.broadcast(|| WorkerMsg::Restore { gen, epoch });
+        self.phase = Phase::Restoring { gen, acks: 0 };
+    }
+}

@@ -1,0 +1,201 @@
+//! Messages exchanged between the coordinator and workers.
+//!
+//! Every message carries a `gen`eration number: recovery increments the
+//! generation, fencing off in-flight messages from before the failure (a
+//! real crash would have lost them with the process).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use se_aria::{BatchId, TxnId};
+use se_dataflow::Epoch;
+use se_ir::{Invocation, RequestId, Response};
+use se_lang::{LangError, Value};
+
+/// A client-issued request, as appended to the replayable request source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientRequest {
+    /// Request id (used to complete the client's waiter).
+    pub request: RequestId,
+    /// The operation.
+    pub op: ClientOp,
+}
+
+/// What the client asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// Create an entity.
+    Create {
+        /// Class to instantiate.
+        class: String,
+        /// Entity key.
+        key: String,
+        /// Attribute overrides.
+        init: Vec<(String, Value)>,
+    },
+    /// Invoke a method (becomes one transaction).
+    Invoke(Invocation),
+}
+
+/// Per-transaction conflict flags computed by one partition; the coordinator
+/// ORs flags across partitions before applying the commit rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConflictFlags {
+    /// Write-after-write dependency on a lower id.
+    pub waw: bool,
+    /// Read-after-write dependency on a lower id.
+    pub raw: bool,
+    /// Write-after-read dependency on a lower id.
+    pub war: bool,
+}
+
+impl ConflictFlags {
+    /// ORs in another partition's flags.
+    pub fn merge(&mut self, other: ConflictFlags) {
+        self.waw |= other.waw;
+        self.raw |= other.raw;
+        self.war |= other.war;
+    }
+}
+
+/// Coordinator → worker messages.
+#[derive(Debug, Clone)]
+pub enum WorkerMsg {
+    /// Create an entity in this partition.
+    Create {
+        /// Fencing generation.
+        gen: u64,
+        /// Request to acknowledge.
+        request: RequestId,
+        /// Class name.
+        class: String,
+        /// Entity key.
+        key: String,
+        /// Attribute overrides.
+        init: Vec<(String, Value)>,
+    },
+    /// Execute (or continue) a transaction's invocation chain.
+    Exec {
+        /// Fencing generation.
+        gen: u64,
+        /// Transaction id.
+        txn: TxnId,
+        /// The event to process.
+        inv: Invocation,
+    },
+    /// Execute the reservation phase for a sealed batch.
+    Reserve {
+        /// Fencing generation.
+        gen: u64,
+        /// Batch id.
+        batch: BatchId,
+        /// All transaction ids of the batch.
+        txns: Arc<Vec<TxnId>>,
+    },
+    /// Install committed writes; discard aborted buffers.
+    Commit {
+        /// Fencing generation.
+        gen: u64,
+        /// Batch id.
+        batch: BatchId,
+        /// All transaction ids of the batch, ascending.
+        txns: Arc<Vec<TxnId>>,
+        /// Ids whose effects must be discarded.
+        aborted: Arc<BTreeSet<TxnId>>,
+    },
+    /// Contribute this partition's state to a consistent snapshot.
+    Snapshot {
+        /// Fencing generation.
+        gen: u64,
+        /// Epoch to contribute to.
+        epoch: Epoch,
+    },
+    /// Reset to the state of `epoch` (0 = empty) and adopt `gen`.
+    Restore {
+        /// New fencing generation (messages below it are dropped).
+        gen: u64,
+        /// Epoch to restore (`None` = initial empty state).
+        epoch: Option<Epoch>,
+    },
+    /// Stop the worker thread.
+    Shutdown,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone)]
+pub enum CoordMsg {
+    /// A transaction's chain finished (successfully or with an error).
+    ExecDone {
+        /// Fencing generation.
+        gen: u64,
+        /// Transaction id.
+        txn: TxnId,
+        /// The root invocation's outcome.
+        response: Response,
+    },
+    /// This worker's conflict flags for a batch.
+    Flags {
+        /// Fencing generation.
+        gen: u64,
+        /// Batch id.
+        batch: BatchId,
+        /// Reporting worker.
+        worker: usize,
+        /// Flags for transactions with accesses on this partition.
+        flags: Vec<(TxnId, ConflictFlags)>,
+    },
+    /// Commit phase finished on this worker.
+    CommitAck {
+        /// Fencing generation.
+        gen: u64,
+        /// Batch id.
+        batch: BatchId,
+        /// Acknowledging worker.
+        worker: usize,
+    },
+    /// Snapshot contribution stored.
+    SnapshotAck {
+        /// Fencing generation.
+        gen: u64,
+        /// Epoch.
+        epoch: Epoch,
+        /// Acknowledging worker.
+        worker: usize,
+    },
+    /// Restore finished on this worker.
+    RestoreAck {
+        /// Adopted generation.
+        gen: u64,
+        /// Acknowledging worker.
+        worker: usize,
+    },
+    /// Entity creation finished.
+    CreateDone {
+        /// Fencing generation.
+        gen: u64,
+        /// Request to acknowledge.
+        request: RequestId,
+        /// Result of the create.
+        result: Result<(), LangError>,
+    },
+    /// The worker crashed (failure injection fired).
+    WorkerFailed {
+        /// Fencing generation at crash time.
+        gen: u64,
+        /// Crashed worker.
+        worker: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_merge_is_or() {
+        let mut f = ConflictFlags::default();
+        f.merge(ConflictFlags { waw: false, raw: true, war: false });
+        f.merge(ConflictFlags { waw: true, raw: false, war: false });
+        assert_eq!(f, ConflictFlags { waw: true, raw: true, war: false });
+    }
+}

@@ -1,0 +1,200 @@
+//! Deployment and client API of the StateFlow runtime.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use se_dataflow::{
+    delay_channel, ComponentTimers, DelaySender, EntityRuntime, ReplayableSource,
+    ResponseCompleter, ResponseWaiter, SnapshotStore, SourceReader, StateStore,
+};
+use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId};
+use se_lang::{EntityRef, LangError, Value};
+
+use crate::config::StateflowConfig;
+use crate::coordinator::{CoordStats, Coordinator};
+use crate::msg::{ClientOp, ClientRequest, CoordMsg, WorkerMsg};
+use crate::worker::Worker;
+
+/// A deployed StateFlow application: coordinator + workers over the compiled
+/// dataflow graph, with a replayable request source and snapshot store.
+pub struct StateflowRuntime {
+    cfg: StateflowConfig,
+    source: ReplayableSource<ClientRequest>,
+    waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
+    next_request: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stats: Arc<CoordStats>,
+    snapshots: Arc<SnapshotStore<StateStore>>,
+    timers: Arc<ComponentTimers>,
+    worker_senders: Vec<DelaySender<WorkerMsg>>,
+    coord_sender: DelaySender<CoordMsg>,
+}
+
+impl StateflowRuntime {
+    /// Deploys a compiled dataflow graph on a fresh StateFlow cluster.
+    pub fn deploy(graph: DataflowGraph, cfg: StateflowConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let graph = Arc::new(graph);
+        let snapshots = Arc::new(SnapshotStore::new());
+        let timers = Arc::new(ComponentTimers::new());
+        let stats = Arc::new(CoordStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let source = ReplayableSource::new();
+        let waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+
+        let (coord_tx, coord_rx) = delay_channel::<CoordMsg>();
+        let mut worker_txs = Vec::with_capacity(cfg.workers);
+        let mut worker_rxs = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = delay_channel::<WorkerMsg>();
+            worker_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+
+        let mut threads = Vec::new();
+        for (id, rx) in worker_rxs.into_iter().enumerate() {
+            let worker = Worker::new(
+                id,
+                cfg.clone(),
+                Arc::clone(&graph),
+                rx,
+                worker_txs.clone(),
+                coord_tx.clone(),
+                Arc::clone(&snapshots),
+                Arc::clone(&timers),
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("stateflow-worker{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker"),
+            );
+        }
+
+        let coordinator = Coordinator::new(
+            cfg.clone(),
+            worker_txs.clone(),
+            coord_rx,
+            SourceReader::at(&source, 0),
+            Arc::clone(&waiters),
+            Arc::clone(&snapshots),
+            Arc::clone(&stats),
+            Arc::clone(&shutdown),
+        );
+        threads.push(
+            std::thread::Builder::new()
+                .name("stateflow-coordinator".into())
+                .spawn(move || coordinator.run())
+                .expect("spawn coordinator"),
+        );
+
+        Self {
+            cfg,
+            source,
+            waiters,
+            next_request: AtomicU64::new(1),
+            shutdown,
+            threads: Mutex::new(threads),
+            stats,
+            snapshots,
+            timers,
+            worker_senders: worker_txs,
+            coord_sender: coord_tx,
+        }
+    }
+
+    fn fresh_request(&self) -> RequestId {
+        RequestId(self.next_request.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Protocol counters (batches, commits, aborts, snapshots, recoveries).
+    pub fn stats(&self) -> &CoordStats {
+        &self.stats
+    }
+
+    /// Per-component timing breakdown (overhead experiment).
+    pub fn timers(&self) -> &ComponentTimers {
+        &self.timers
+    }
+
+    /// The snapshot store (inspected by recovery tests).
+    pub fn snapshots(&self) -> &SnapshotStore<StateStore> {
+        &self.snapshots
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &StateflowConfig {
+        &self.cfg
+    }
+
+    fn submit(&self, op: ClientOp) -> ResponseWaiter {
+        let request = self.fresh_request();
+        let (completer, waiter) = ResponseWaiter::new();
+        self.waiters.lock().insert(request, completer);
+        self.source.append(ClientRequest { request, op });
+        waiter
+    }
+}
+
+impl EntityRuntime for StateflowRuntime {
+    fn name(&self) -> &str {
+        "stateflow"
+    }
+
+    fn create(
+        &self,
+        class: &str,
+        key: &str,
+        init: Vec<(String, Value)>,
+    ) -> Result<EntityRef, LangError> {
+        let waiter = self.submit(ClientOp::Create {
+            class: class.to_owned(),
+            key: key.to_owned(),
+            init,
+        });
+        waiter.wait()?;
+        Ok(EntityRef::new(class, key))
+    }
+
+    fn call_async(&self, target: EntityRef, method: &str, args: Vec<Value>) -> ResponseWaiter {
+        let request = self.fresh_request();
+        let (completer, waiter) = ResponseWaiter::new();
+        self.waiters.lock().insert(request, completer);
+        let inv = Invocation {
+            request,
+            target,
+            method: method.to_owned(),
+            kind: InvocationKind::Start { args },
+            stack: Vec::new(),
+        };
+        self.source.append(ClientRequest { request, op: ClientOp::Invoke(inv) });
+        waiter
+    }
+
+    fn supports_transactions(&self) -> bool {
+        true
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.source.close();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        // Pending waiters error out when their completers drop.
+        self.waiters.lock().clear();
+        // Keep the senders alive until here so late messages don't panic.
+        let _ = (&self.worker_senders, &self.coord_sender);
+    }
+}
+
+impl Drop for StateflowRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

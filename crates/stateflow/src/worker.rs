@@ -1,0 +1,277 @@
+//! A StateFlow worker: one state partition plus the execute/reserve/commit
+//! phases of the distributed Aria protocol.
+//!
+//! Workers communicate function-to-function over internal (cyclic) delay
+//! channels — the design decision the paper credits for StateFlow's latency
+//! advantage: "it allows for internal function-to-function communication and
+//! does not require the roundtrips to Kafka" (§4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use se_aria::{ReservationTable, TxnBuffer, TxnId};
+use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender, SnapshotStore, StateStore};
+use se_ir::{partition_for, process_invocation, DataflowGraph, Invocation, Response, StepEffect};
+use se_lang::LangError;
+
+use crate::config::StateflowConfig;
+use crate::msg::{ConflictFlags, CoordMsg, WorkerMsg};
+
+/// A worker thread's state and message loop.
+pub struct Worker {
+    id: usize,
+    cfg: StateflowConfig,
+    graph: Arc<DataflowGraph>,
+    store: StateStore,
+    buffers: HashMap<TxnId, TxnBuffer>,
+    inbox: DelayReceiver<WorkerMsg>,
+    peers: Vec<DelaySender<WorkerMsg>>,
+    coord: DelaySender<CoordMsg>,
+    snapshots: Arc<SnapshotStore<StateStore>>,
+    timers: Arc<ComponentTimers>,
+    gen: u64,
+    /// Set after a simulated crash until the next Restore.
+    dead: bool,
+}
+
+impl Worker {
+    /// Creates a worker (call [`Worker::run`] on its own thread).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        cfg: StateflowConfig,
+        graph: Arc<DataflowGraph>,
+        inbox: DelayReceiver<WorkerMsg>,
+        peers: Vec<DelaySender<WorkerMsg>>,
+        coord: DelaySender<CoordMsg>,
+        snapshots: Arc<SnapshotStore<StateStore>>,
+        timers: Arc<ComponentTimers>,
+    ) -> Self {
+        Self {
+            id,
+            cfg,
+            graph,
+            store: StateStore::new(),
+            buffers: HashMap::new(),
+            inbox,
+            peers,
+            coord,
+            snapshots,
+            timers,
+            gen: 0,
+            dead: false,
+        }
+    }
+
+    fn node_name(&self) -> String {
+        format!("worker{}", self.id)
+    }
+
+    /// The message loop; returns when a `Shutdown` message arrives or all
+    /// senders disconnect.
+    pub fn run(mut self) {
+        loop {
+            let Some(msg) = self.inbox.recv_timeout(Duration::from_millis(50)) else {
+                if self.inbox.is_closed() {
+                    return;
+                }
+                continue;
+            };
+            match msg {
+                WorkerMsg::Shutdown => return,
+                WorkerMsg::Restore { gen, epoch } => self.handle_restore(gen, epoch),
+                // Everything else is fenced by generation and ignored while
+                // "crashed".
+                m => {
+                    if self.dead || self.msg_gen(&m) < self.gen {
+                        continue;
+                    }
+                    self.dispatch(m);
+                }
+            }
+        }
+    }
+
+    fn msg_gen(&self, m: &WorkerMsg) -> u64 {
+        match m {
+            WorkerMsg::Create { gen, .. }
+            | WorkerMsg::Exec { gen, .. }
+            | WorkerMsg::Reserve { gen, .. }
+            | WorkerMsg::Commit { gen, .. }
+            | WorkerMsg::Snapshot { gen, .. }
+            | WorkerMsg::Restore { gen, .. } => *gen,
+            WorkerMsg::Shutdown => u64::MAX,
+        }
+    }
+
+    fn dispatch(&mut self, msg: WorkerMsg) {
+        match msg {
+            WorkerMsg::Create { request, class, key, init, .. } => {
+                let result = self.handle_create(&class, &key, init);
+                self.send_coord(CoordMsg::CreateDone { gen: self.gen, request, result });
+            }
+            WorkerMsg::Exec { txn, inv, .. } => self.handle_exec(txn, inv),
+            WorkerMsg::Reserve { batch, txns, .. } => self.handle_reserve(batch, &txns),
+            WorkerMsg::Commit { batch, txns, aborted, .. } => {
+                self.handle_commit(batch, &txns, &aborted)
+            }
+            WorkerMsg::Snapshot { epoch, .. } => {
+                self.snapshots.put(epoch, &self.node_name(), self.store.clone());
+                self.send_coord(CoordMsg::SnapshotAck { gen: self.gen, epoch, worker: self.id });
+            }
+            WorkerMsg::Restore { .. } | WorkerMsg::Shutdown => unreachable!("handled in run()"),
+        }
+    }
+
+    fn send_coord(&self, msg: CoordMsg) {
+        self.coord.send_after(msg, self.cfg.net.f2f_latency(64));
+    }
+
+    fn handle_create(
+        &mut self,
+        class: &str,
+        key: &str,
+        init: Vec<(String, se_lang::Value)>,
+    ) -> Result<(), LangError> {
+        let class_def = &self.graph.program.class_or_err(class)?.class;
+        let r = se_lang::EntityRef::new(class, key);
+        self.store.insert(r, class_def.initial_state(key, init));
+        Ok(())
+    }
+
+    /// The execute phase for one hop of a transaction's invocation chain.
+    ///
+    /// Reads see the committed snapshot overlaid with the transaction's own
+    /// buffered writes; effects are buffered, never applied — Aria defers
+    /// all writes to the commit phase.
+    fn handle_exec(&mut self, txn: TxnId, mut inv: Invocation) {
+        loop {
+            // Failure injection: one simulated crash per plan.
+            if self.cfg.failure.should_fail(&self.node_name()) {
+                self.crash();
+                return;
+            }
+            // Synthetic service time: burned on this thread, a partition is
+            // sequential.
+            se_dataflow::burn(self.cfg.net.scaled(self.cfg.service_time));
+
+            let target = inv.target.clone();
+            let request = inv.request;
+            let committed = match self.store.get(&target) {
+                Some(s) => s.clone(),
+                None => {
+                    self.send_coord(CoordMsg::ExecDone {
+                        gen: self.gen,
+                        txn,
+                        response: Response {
+                            request,
+                            result: Err(LangError::runtime(format!("unknown entity {target}"))),
+                        },
+                    });
+                    return;
+                }
+            };
+            let buffer = self.buffers.entry(txn).or_default();
+            let before = self.timers.time("state_read", || buffer.overlay_read(&target, &committed));
+            let mut after = before.clone();
+            let effect = self
+                .timers
+                .time("function_execution", || process_invocation(&self.graph.program, inv, &mut after));
+            self.timers.time("state_write_buffer", || buffer.record_effects(&target, &before, &after));
+
+            match effect {
+                StepEffect::Respond(response) => {
+                    self.send_coord(CoordMsg::ExecDone { gen: self.gen, txn, response });
+                    return;
+                }
+                StepEffect::Emit(next) => {
+                    let owner = partition_for(&next.target.key, self.peers.len());
+                    if owner == self.id {
+                        // Same-partition call: continue locally, no hop.
+                        inv = next;
+                        continue;
+                    }
+                    let bytes = next.approx_size();
+                    self.peers[owner].send_after(
+                        WorkerMsg::Exec { gen: self.gen, txn, inv: next },
+                        self.cfg.net.f2f_latency(bytes),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The reservation phase: build the local table and report per-txn
+    /// conflict flags for locally accessed keys.
+    fn handle_reserve(&mut self, batch: se_aria::BatchId, txns: &[TxnId]) {
+        let mut table = ReservationTable::new();
+        for txn in txns {
+            if let Some(buf) = self.buffers.get(txn) {
+                table.reserve(*txn, buf);
+            }
+        }
+        let flags: Vec<(TxnId, ConflictFlags)> = txns
+            .iter()
+            .filter_map(|txn| {
+                let buf = self.buffers.get(txn)?;
+                Some((
+                    *txn,
+                    ConflictFlags {
+                        waw: table.waw(*txn, buf),
+                        raw: table.raw(*txn, buf),
+                        war: table.war(*txn, buf),
+                    },
+                ))
+            })
+            .collect();
+        self.send_coord(CoordMsg::Flags { gen: self.gen, batch, worker: self.id, flags });
+    }
+
+    /// The commit phase: install committed writes in ascending id order,
+    /// discard everything else.
+    fn handle_commit(
+        &mut self,
+        batch: se_aria::BatchId,
+        txns: &[TxnId],
+        aborted: &std::collections::BTreeSet<TxnId>,
+    ) {
+        debug_assert!(txns.windows(2).all(|w| w[0] < w[1]), "commit order must be ascending");
+        for txn in txns {
+            let Some(buffer) = self.buffers.remove(txn) else { continue };
+            if aborted.contains(txn) {
+                continue;
+            }
+            self.timers.time("state_store", || {
+                for (entity, writes) in buffer.writes {
+                    for (attr, value) in writes {
+                        // Entities written here were read from this store
+                        // during execute; they exist unless a concurrent
+                        // create raced, which batching forbids.
+                        let _ = self.store.apply_write(&entity, &attr, value);
+                    }
+                }
+            });
+        }
+        self.send_coord(CoordMsg::CommitAck { gen: self.gen, batch, worker: self.id });
+    }
+
+    fn crash(&mut self) {
+        // Volatile state dies with the "process".
+        self.store = StateStore::new();
+        self.buffers.clear();
+        self.dead = true;
+        self.send_coord(CoordMsg::WorkerFailed { gen: self.gen, worker: self.id });
+    }
+
+    fn handle_restore(&mut self, gen: u64, epoch: Option<se_dataflow::Epoch>) {
+        self.gen = gen;
+        self.buffers.clear();
+        self.store = epoch
+            .and_then(|e| self.snapshots.get(e, &self.node_name()))
+            .unwrap_or_default();
+        self.dead = false;
+        self.send_coord(CoordMsg::RestoreAck { gen, worker: self.id });
+    }
+}

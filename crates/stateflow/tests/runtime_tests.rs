@@ -1,0 +1,299 @@
+//! End-to-end tests of the StateFlow runtime: functional correctness against
+//! the Local oracle, transactional guarantees under contention, and
+//! exactly-once state updates under injected worker failures.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use se_compiler::compile;
+use se_dataflow::{EntityRuntime, FailurePlan};
+use se_lang::builder::*;
+use se_lang::{EntityRef, Program, Type, Value};
+use se_stateflow::{StateflowConfig, StateflowRuntime};
+
+const WAIT: Duration = Duration::from_secs(30);
+
+/// Bank accounts with a transactional transfer (the YCSB+T transaction:
+/// two reads and two writes across two entities).
+fn account_program() -> Program {
+    let account = ClassBuilder::new("Account")
+        .attr_default("account_id", Type::Str, Value::Str(String::new()))
+        .attr_default("balance", Type::Int, Value::Int(0))
+        .key("account_id")
+        .method(
+            MethodBuilder::new("balance").returns(Type::Int).body(vec![ret(attr("balance"))]),
+        )
+        .method(
+            MethodBuilder::new("deposit")
+                .param("amount", Type::Int)
+                .returns(Type::Int)
+                .body(vec![attr_add("balance", var("amount")), ret(attr("balance"))]),
+        )
+        .method(
+            MethodBuilder::new("transfer")
+                .param("other", Type::entity("Account"))
+                .param("amount", Type::Int)
+                .returns(Type::Bool)
+                .transactional()
+                .body(vec![
+                    assign_ty("b", Type::Int, attr("balance")),
+                    if_(lt(var("b"), var("amount")), vec![ret(lit(false))]),
+                    attr_assign("balance", sub(var("b"), var("amount"))),
+                    expr_stmt(call(var("other"), "deposit", vec![var("amount")])),
+                    ret(lit(true)),
+                ]),
+        )
+        .build();
+    Program::new(vec![account])
+}
+
+fn deploy(program: &Program, cfg: StateflowConfig) -> StateflowRuntime {
+    let graph = compile(program).expect("program compiles");
+    StateflowRuntime::deploy(graph, cfg)
+}
+
+fn get_balance(rt: &StateflowRuntime, key: &str) -> i64 {
+    rt.call(EntityRef::new("Account", key), "balance", vec![])
+        .unwrap_or_else(|e| panic!("balance({key}): {e}"))
+        .as_int()
+        .unwrap()
+}
+
+#[test]
+fn counter_single_entity() {
+    let program = se_lang::programs::counter_program();
+    let rt = deploy(&program, StateflowConfig::fast_test(3));
+    let c = rt.create("Counter", "c1", vec![]).unwrap();
+    for i in 1..=10 {
+        let v = rt.call(c.clone(), "incr", vec![Value::Int(1)]).unwrap();
+        assert_eq!(v, Value::Int(i));
+    }
+    assert_eq!(rt.call(c, "get", vec![]).unwrap(), Value::Int(10));
+    rt.shutdown();
+}
+
+#[test]
+fn figure1_buy_item_matches_local_oracle() {
+    let program = se_lang::programs::figure1_program();
+    let rt = deploy(&program, StateflowConfig::fast_test(3));
+    let user = rt.create("User", "alice", vec![("balance".into(), Value::Int(100))]).unwrap();
+    let item = rt
+        .create(
+            "Item",
+            "laptop",
+            vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+        )
+        .unwrap();
+
+    let ok = rt
+        .call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+        .unwrap();
+    assert_eq!(ok, Value::Bool(true));
+    assert_eq!(rt.call(user.clone(), "balance", vec![]).unwrap(), Value::Int(40));
+
+    // Insufficient balance: rejected, nothing changes.
+    let ok = rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item)]).unwrap();
+    assert_eq!(ok, Value::Bool(false));
+    assert_eq!(rt.call(user, "balance", vec![]).unwrap(), Value::Int(40));
+    rt.shutdown();
+}
+
+#[test]
+fn unknown_method_and_entity_error() {
+    let program = account_program();
+    let rt = deploy(&program, StateflowConfig::fast_test(2));
+    rt.create("Account", "a", vec![]).unwrap();
+    let err = rt.call(EntityRef::new("Account", "a"), "no_such", vec![]).unwrap_err();
+    assert!(err.to_string().contains("no method"), "{err}");
+    let err = rt.call(EntityRef::new("Account", "ghost"), "balance", vec![]).unwrap_err();
+    assert!(err.to_string().contains("unknown entity"), "{err}");
+    rt.shutdown();
+}
+
+#[test]
+fn concurrent_transfers_conserve_total_balance() {
+    let program = account_program();
+    let rt = Arc::new(deploy(&program, StateflowConfig::fast_test(4)));
+    let n_accounts = 8;
+    for i in 0..n_accounts {
+        rt.create("Account", &format!("a{i}"), vec![("balance".into(), Value::Int(1000))])
+            .unwrap();
+    }
+
+    // Fire 200 concurrent transfers between random-ish pairs.
+    let waiters: Vec<_> = (0..200)
+        .map(|i| {
+            let from = EntityRef::new("Account", format!("a{}", i % n_accounts));
+            let to = EntityRef::new("Account", format!("a{}", (i * 7 + 3) % n_accounts));
+            rt.call_async(
+                from,
+                "transfer",
+                vec![Value::Ref(to), Value::Int((i % 13) as i64 + 1)],
+            )
+        })
+        .collect();
+    for w in waiters {
+        w.wait_timeout(WAIT).expect("transfer must complete").expect("no runtime error");
+    }
+
+    let total: i64 = (0..n_accounts).map(|i| get_balance(&rt, &format!("a{i}"))).sum();
+    assert_eq!(total, 1000 * n_accounts as i64, "money is conserved");
+    rt.shutdown();
+}
+
+#[test]
+fn contention_causes_aborts_but_everything_commits() {
+    let program = account_program();
+    let mut cfg = StateflowConfig::fast_test(4);
+    cfg.batch_interval = Duration::from_millis(5); // let batches fill up
+    let rt = Arc::new(deploy(&program, cfg));
+    // Everyone hammers the same two accounts: WAW conflicts guaranteed.
+    rt.create("Account", "hot", vec![("balance".into(), Value::Int(1_000_000))]).unwrap();
+    rt.create("Account", "cold", vec![("balance".into(), Value::Int(0))]).unwrap();
+
+    let waiters: Vec<_> = (0..100)
+        .map(|_| {
+            rt.call_async(
+                EntityRef::new("Account", "hot"),
+                "transfer",
+                vec![Value::Ref(EntityRef::new("Account", "cold")), Value::Int(1)],
+            )
+        })
+        .collect();
+    for w in waiters {
+        assert_eq!(
+            w.wait_timeout(WAIT).expect("completes").expect("no error"),
+            Value::Bool(true)
+        );
+    }
+    assert_eq!(get_balance(&rt, "hot"), 1_000_000 - 100);
+    assert_eq!(get_balance(&rt, "cold"), 100);
+    let aborts = rt.stats().aborts.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(aborts > 0, "same-key transfers in one batch must conflict (got {aborts} aborts)");
+    rt.shutdown();
+}
+
+#[test]
+fn snapshots_are_taken_periodically() {
+    let program = account_program();
+    let mut cfg = StateflowConfig::fast_test(2);
+    cfg.snapshot_every_batches = 1;
+    let rt = deploy(&program, cfg);
+    rt.create("Account", "a", vec![("balance".into(), Value::Int(10))]).unwrap();
+    for _ in 0..5 {
+        rt.call(EntityRef::new("Account", "a"), "deposit", vec![Value::Int(1)]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        rt.stats().snapshots.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "periodic snapshots must complete"
+    );
+    assert!(rt.snapshots().latest_complete().is_some());
+    rt.shutdown();
+}
+
+/// The exactly-once experiment: kill a worker mid-stream and verify that
+/// post-recovery state reflects every request exactly once.
+fn exactly_once_scenario(snapshot_every: u64, fail_after: u64) {
+    let program = account_program();
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = snapshot_every;
+    cfg.failure = FailurePlan::fail_node_after("worker0", fail_after);
+    let rt = Arc::new(deploy(&program, cfg.clone()));
+
+    let n_accounts = 6usize;
+    for i in 0..n_accounts {
+        rt.create("Account", &format!("a{i}"), vec![("balance".into(), Value::Int(0))])
+            .unwrap();
+    }
+
+    // Deterministic, commutative workload: deposits only, so the expected
+    // final state is independent of commit order — any lost or duplicated
+    // effect is detectable.
+    let mut expected = vec![0i64; n_accounts];
+    let mut waiters = Vec::new();
+    for i in 0..120 {
+        let acct = i % n_accounts;
+        let amount = (i % 9 + 1) as i64;
+        expected[acct] += amount;
+        waiters.push(rt.call_async(
+            EntityRef::new("Account", format!("a{acct}")),
+            "deposit",
+            vec![Value::Int(amount)],
+        ));
+        // Spread arrivals across batches so the failure lands mid-stream.
+        if i % 10 == 0 {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    }
+    for w in waiters {
+        w.wait_timeout(WAIT).expect("deposit must complete after recovery").expect("no error");
+    }
+
+    assert!(cfg.failure.has_fired(), "the injected failure must actually fire");
+    assert_eq!(rt.stats().recoveries.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+    for (i, want) in expected.iter().enumerate() {
+        let got = get_balance(&rt, &format!("a{i}"));
+        assert_eq!(
+            got, *want,
+            "a{i}: exactly-once violated (lost or duplicated deposits)"
+        );
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn exactly_once_failure_before_any_snapshot() {
+    // Recovery falls back to full replay from offset 0 (creates included).
+    exactly_once_scenario(1_000_000, 20);
+}
+
+#[test]
+fn exactly_once_failure_after_snapshots() {
+    exactly_once_scenario(2, 60);
+}
+
+#[test]
+fn transfers_survive_failure_with_conservation() {
+    let program = account_program();
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = 3;
+    cfg.failure = FailurePlan::fail_node_after("worker1", 25);
+    let rt = Arc::new(deploy(&program, cfg.clone()));
+    for i in 0..4 {
+        rt.create("Account", &format!("a{i}"), vec![("balance".into(), Value::Int(10_000))])
+            .unwrap();
+    }
+    let waiters: Vec<_> = (0..80)
+        .map(|i| {
+            let from = EntityRef::new("Account", format!("a{}", i % 4));
+            let to = EntityRef::new("Account", format!("a{}", (i + 1) % 4));
+            rt.call_async(from, "transfer", vec![Value::Ref(to), Value::Int(5)])
+        })
+        .collect();
+    for w in waiters {
+        w.wait_timeout(WAIT).expect("transfer completes").expect("no error");
+    }
+    assert!(cfg.failure.has_fired());
+    let total: i64 = (0..4).map(|i| get_balance(&rt, &format!("a{i}"))).sum();
+    assert_eq!(total, 40_000, "conservation across failure + replay");
+    // Every account sent 20×5 and received 20×5: net zero.
+    for i in 0..4 {
+        assert_eq!(get_balance(&rt, &format!("a{i}")), 10_000);
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn overhead_timers_populated() {
+    let program = account_program();
+    let rt = deploy(&program, StateflowConfig::fast_test(2));
+    rt.create("Account", "a", vec![("balance".into(), Value::Int(1))]).unwrap();
+    rt.call(EntityRef::new("Account", "a"), "balance", vec![]).unwrap();
+    let report = rt.timers().report();
+    let names: Vec<&str> = report.iter().map(|(n, _, _)| *n).collect();
+    assert!(names.contains(&"function_execution"), "{names:?}");
+    assert!(names.contains(&"state_read"), "{names:?}");
+    rt.shutdown();
+}

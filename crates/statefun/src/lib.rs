@@ -1,0 +1,21 @@
+//! # se-statefun — a Flink-StateFun-style runtime
+//!
+//! The paper's baseline deployment (§3, §4): a keyBy ingress router feeding
+//! partitioned stateful operator tasks, a *remote* stateless function
+//! runtime that receives `(event, state)` and returns `(new state,
+//! messages)`, Kafka for ingress/egress and for re-inserting split-function
+//! continuation events (no cyclic dataflows), aligned checkpoint barriers
+//! with transactional (staged) produces for exactly-once — and **no
+//! transactions and no locking**, so interleaved multi-entity chains can
+//! observe each other's partial effects, exactly as the paper warns.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod record;
+pub mod remote;
+pub mod runtime;
+pub mod task;
+
+pub use config::{CheckpointMode, StatefunConfig};
+pub use runtime::StatefunRuntime;

@@ -1,0 +1,69 @@
+//! Records flowing through the broker topics and the remote-function
+//! channels of the StateFun-style runtime.
+
+use se_dataflow::Epoch;
+use se_ir::{Invocation, RequestId, Response, StepEffect};
+use se_lang::{EntityRef, EntityState, Value};
+
+/// Topic names used by the deployment.
+pub mod topics {
+    /// Client requests + loopback continuations (partitioned by entity key).
+    pub const INGRESS: &str = "sf-ingress";
+    /// Responses back to clients (single partition).
+    pub const EGRESS: &str = "sf-egress";
+}
+
+/// A record on either broker topic.
+#[derive(Debug, Clone)]
+pub enum SfRecord {
+    /// (Ingress) Create an entity owned by this partition.
+    Create {
+        /// Request to acknowledge on the egress.
+        request: RequestId,
+        /// Class name.
+        class: String,
+        /// Entity key.
+        key: String,
+        /// Attribute overrides.
+        init: Vec<(String, Value)>,
+    },
+    /// (Ingress) Invoke — or, via the Kafka loopback, resume — a method.
+    Invoke(Invocation),
+    /// (Ingress) Aligned checkpoint barrier (Transactional mode only).
+    Barrier {
+        /// Epoch being snapshotted.
+        epoch: Epoch,
+    },
+    /// (Egress) A root request's outcome.
+    Response(Response),
+}
+
+/// A request from a partition task to the remote function runtime: the
+/// event plus the target entity's current state, shipped both ways — the
+/// paper's observation that "all functions need to go to an external Python
+/// runtime, [so] the cost of reads and writes are the same due to the
+/// network costs" (§4).
+#[derive(Debug, Clone)]
+pub struct RemoteRequest {
+    /// Fencing generation of the issuing task.
+    pub gen: u64,
+    /// Issuing partition (the response returns there).
+    pub task: usize,
+    /// The invocation to run.
+    pub inv: Invocation,
+    /// The target entity's state at dispatch time.
+    pub state: EntityState,
+}
+
+/// The remote runtime's reply: mutated state plus the routing effect.
+#[derive(Debug)]
+pub struct RemoteResponse {
+    /// Echoed fencing generation.
+    pub gen: u64,
+    /// Entity whose state was shipped.
+    pub entity: EntityRef,
+    /// The (possibly mutated) state to install in managed operator state.
+    pub new_state: EntityState,
+    /// What to do next: loop a continuation back or answer the client.
+    pub effect: StepEffect,
+}

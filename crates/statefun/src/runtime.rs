@@ -1,0 +1,299 @@
+//! Deployment and client API of the StateFun-style runtime.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use se_broker::Broker;
+use se_dataflow::{
+    delay_channel, ComponentTimers, EntityRuntime, ResponseCompleter, ResponseWaiter,
+    SnapshotStore, StateStore,
+};
+use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId};
+use se_lang::{EntityRef, LangError, Value};
+
+use crate::config::{CheckpointMode, StatefunConfig};
+use crate::record::{topics, SfRecord};
+use crate::remote::run_remote_worker;
+use crate::task::{CtlMsg, PartitionTask, RecoveryCtl};
+
+/// A deployed StateFun-style application.
+pub struct StatefunRuntime {
+    cfg: StatefunConfig,
+    broker: Broker<SfRecord>,
+    waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
+    next_request: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    snapshots: Arc<SnapshotStore<StateStore>>,
+    timers: Arc<ComponentTimers>,
+    recovery: Arc<RecoveryCtl>,
+}
+
+impl StatefunRuntime {
+    /// Deploys a compiled dataflow graph on a fresh StateFun-style cluster.
+    pub fn deploy(graph: DataflowGraph, cfg: StatefunConfig) -> Self {
+        assert!(cfg.partitions > 0 && cfg.remote_workers > 0);
+        // Failure injection without checkpoints cannot recover.
+        assert!(
+            !cfg.failure.is_armed()
+                || matches!(cfg.checkpoint, CheckpointMode::Transactional { .. }),
+            "failure injection requires CheckpointMode::Transactional"
+        );
+        let graph = Arc::new(graph);
+        let broker = Broker::new(cfg.net.clone());
+        broker.create_topic(topics::INGRESS, cfg.partitions);
+        broker.create_topic(topics::EGRESS, 1);
+
+        let snapshots = Arc::new(SnapshotStore::new());
+        let timers = Arc::new(ComponentTimers::new());
+        let recovery = Arc::new(RecoveryCtl::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let (ctl_tx, ctl_rx) = crossbeam::channel::unbounded::<CtlMsg>();
+
+        // Remote-function channels: one shared request queue, one response
+        // channel per partition task.
+        let (pool_tx, pool_rx) = delay_channel();
+        let pool_rx = Arc::new(pool_rx);
+        let mut resp_txs = Vec::with_capacity(cfg.partitions);
+        let mut resp_rxs = Vec::with_capacity(cfg.partitions);
+        for _ in 0..cfg.partitions {
+            let (tx, rx) = delay_channel();
+            resp_txs.push(tx);
+            resp_rxs.push(rx);
+        }
+
+        let mut threads = Vec::new();
+        for (id, resp_rx) in resp_rxs.into_iter().enumerate() {
+            let task = PartitionTask::new(
+                id,
+                cfg.clone(),
+                broker.clone(),
+                Arc::clone(&graph),
+                pool_tx.clone(),
+                resp_rx,
+                Arc::clone(&snapshots),
+                Arc::clone(&timers),
+                Arc::clone(&recovery),
+                ctl_tx.clone(),
+                Arc::clone(&shutdown),
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("statefun-task{id}"))
+                    .spawn(move || task.run())
+                    .expect("spawn task"),
+            );
+        }
+        for id in 0..cfg.remote_workers {
+            let cfg2 = cfg.clone();
+            let graph2 = Arc::clone(&graph);
+            let rx = Arc::clone(&pool_rx);
+            let responders = resp_txs.clone();
+            let timers2 = Arc::clone(&timers);
+            let sd = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("statefun-remote{id}"))
+                    .spawn(move || run_remote_worker(cfg2, graph2, rx, responders, timers2, sd))
+                    .expect("spawn remote worker"),
+            );
+        }
+
+        // Egress dispatcher: completes client waiters.
+        {
+            let broker2 = broker.clone();
+            let waiters2 = Arc::clone(&waiters);
+            let sd = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("statefun-egress".into())
+                    .spawn(move || {
+                        let mut offset = 0u64;
+                        while !sd.load(Ordering::SeqCst) {
+                            let records = match broker2.fetch_blocking(
+                                topics::EGRESS,
+                                0,
+                                offset,
+                                64,
+                                Duration::from_millis(20),
+                            ) {
+                                Ok(r) => r,
+                                Err(_) => return,
+                            };
+                            for rec in records {
+                                offset = rec.offset + 1;
+                                if let SfRecord::Response(resp) = rec.value {
+                                    // First response wins; replayed
+                                    // duplicates find no waiter and are
+                                    // dropped.
+                                    if let Some(c) = waiters2.lock().remove(&resp.request) {
+                                        c.complete(resp.result);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn egress dispatcher"),
+            );
+        }
+
+        // Checkpoint + recovery controller.
+        {
+            let broker2 = broker.clone();
+            let cfg2 = cfg.clone();
+            let snapshots2 = Arc::clone(&snapshots);
+            let recovery2 = Arc::clone(&recovery);
+            let sd = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("statefun-controller".into())
+                    .spawn(move || {
+                        let mut epoch = 0u64;
+                        let interval = match cfg2.checkpoint {
+                            CheckpointMode::Transactional { interval } => Some(interval),
+                            CheckpointMode::None => None,
+                        };
+                        let mut next_barrier = interval.map(|i| Instant::now() + i);
+                        while !sd.load(Ordering::SeqCst) {
+                            if let Ok(CtlMsg::TaskFailed(_)) =
+                                ctl_rx.recv_timeout(Duration::from_millis(1))
+                            {
+                                *recovery2.restore_epoch.lock() =
+                                    snapshots2.latest_complete();
+                                recovery2.gen.fetch_add(1, Ordering::SeqCst);
+                            }
+                            if let (Some(nb), Some(i)) = (next_barrier, interval) {
+                                if Instant::now() >= nb {
+                                    epoch += 1;
+                                    snapshots2.begin_epoch(epoch, cfg2.partitions);
+                                    for p in 0..cfg2.partitions {
+                                        let _ = broker2.produce_to(
+                                            topics::INGRESS,
+                                            p,
+                                            "",
+                                            SfRecord::Barrier { epoch },
+                                            0,
+                                        );
+                                    }
+                                    next_barrier = Some(Instant::now() + i);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn controller"),
+            );
+        }
+
+        Self {
+            cfg,
+            broker,
+            waiters,
+            next_request: AtomicU64::new(1),
+            shutdown,
+            threads: Mutex::new(threads),
+            snapshots,
+            timers,
+            recovery,
+        }
+    }
+
+    fn fresh_request(&self) -> RequestId {
+        RequestId(self.next_request.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Per-component timing breakdown (overhead experiment).
+    pub fn timers(&self) -> &ComponentTimers {
+        &self.timers
+    }
+
+    /// The snapshot store (inspected by recovery tests).
+    pub fn snapshots(&self) -> &SnapshotStore<StateStore> {
+        &self.snapshots
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &StatefunConfig {
+        &self.cfg
+    }
+
+    /// Number of recoveries performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recovery.gen.load(Ordering::SeqCst)
+    }
+}
+
+impl EntityRuntime for StatefunRuntime {
+    fn name(&self) -> &str {
+        "statefun"
+    }
+
+    fn create(
+        &self,
+        class: &str,
+        key: &str,
+        init: Vec<(String, Value)>,
+    ) -> Result<EntityRef, LangError> {
+        let request = self.fresh_request();
+        let (completer, waiter) = ResponseWaiter::new();
+        self.waiters.lock().insert(request, completer);
+        let rec = SfRecord::Create {
+            request,
+            class: class.to_owned(),
+            key: key.to_owned(),
+            init,
+        };
+        self.broker
+            .produce(topics::INGRESS, key, rec, 128)
+            .map_err(|e| LangError::runtime(e.to_string()))?;
+        waiter.wait()?;
+        Ok(EntityRef::new(class, key))
+    }
+
+    fn call_async(&self, target: EntityRef, method: &str, args: Vec<Value>) -> ResponseWaiter {
+        let request = self.fresh_request();
+        let (completer, waiter) = ResponseWaiter::new();
+        self.waiters.lock().insert(request, completer);
+        let inv = Invocation {
+            request,
+            target: target.clone(),
+            method: method.to_owned(),
+            kind: InvocationKind::Start { args },
+            stack: Vec::new(),
+        };
+        let bytes = inv.approx_size();
+        if let Err(e) = self.broker.produce(topics::INGRESS, &target.key, SfRecord::Invoke(inv), bytes)
+        {
+            if let Some(c) = self.waiters.lock().remove(&request) {
+                c.complete(Err(LangError::runtime(e.to_string())));
+            }
+        }
+        waiter
+    }
+
+    /// StateFun offers no multi-entity transactions: "we did not run
+    /// Statefun against transactional workloads since it offers no support
+    /// for transactions" (§4).
+    fn supports_transactions(&self) -> bool {
+        false
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        self.waiters.lock().clear();
+    }
+}
+
+impl Drop for StatefunRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,315 @@
+//! A partition task: the Flink-side stateful operator of the StateFun-style
+//! deployment.
+//!
+//! Each task owns one partition of the managed operator state for *every*
+//! entity class, consumes its ingress partition, ships `(event, state)` to
+//! the remote function runtime, installs returned state, and routes effects:
+//! continuations loop back through the broker ("we use Kafka to re-insert an
+//! event to the streaming dataflow, thereby avoiding cyclic dataflows", §3),
+//! responses go to the egress topic.
+//!
+//! Statefun serializes invocations **per key** (an entity processes one
+//! event at a time) but provides no cross-entity coordination: interleaved
+//! split-function chains can observe each other's partial effects — the
+//! race the paper explicitly acknowledges (§3). `tests` in this crate and
+//! the `statefun_anomaly` integration test demonstrate it.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use se_broker::Broker;
+use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender, Epoch, SnapshotStore, StateStore};
+use se_ir::{DataflowGraph, Invocation, Response, StepEffect};
+use se_lang::{EntityRef, LangError};
+
+use crate::config::{CheckpointMode, StatefunConfig};
+use crate::record::{topics, RemoteRequest, RemoteResponse, SfRecord};
+
+/// Shared recovery signal: the controller bumps `gen` and sets the epoch to
+/// restore; tasks observe the bump and reset themselves.
+#[derive(Debug, Default)]
+pub struct RecoveryCtl {
+    /// Current fencing generation.
+    pub gen: AtomicU64,
+    /// Epoch to restore (`None` = initial empty state).
+    pub restore_epoch: Mutex<Option<Epoch>>,
+}
+
+/// Controller notifications.
+#[derive(Debug)]
+pub enum CtlMsg {
+    /// A task crashed (failure injection fired).
+    TaskFailed(usize),
+}
+
+/// One partition task (run on its own thread).
+pub struct PartitionTask {
+    id: usize,
+    cfg: StatefunConfig,
+    broker: Broker<SfRecord>,
+    graph: Arc<DataflowGraph>,
+    store: StateStore,
+    offset: u64,
+    inflight: HashSet<EntityRef>,
+    waiting: HashMap<EntityRef, VecDeque<Invocation>>,
+    /// Staged produces (Transactional mode): flushed at epoch boundaries.
+    staged: Vec<(String, SfRecord, usize)>,
+    pool_tx: DelaySender<RemoteRequest>,
+    resp_rx: DelayReceiver<RemoteResponse>,
+    snapshots: Arc<SnapshotStore<StateStore>>,
+    timers: Arc<ComponentTimers>,
+    recovery: Arc<RecoveryCtl>,
+    ctl_tx: crossbeam::channel::Sender<CtlMsg>,
+    shutdown: Arc<AtomicBool>,
+    gen: u64,
+    dead: bool,
+    last_epoch: Epoch,
+}
+
+impl PartitionTask {
+    /// Creates a partition task.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: usize,
+        cfg: StatefunConfig,
+        broker: Broker<SfRecord>,
+        graph: Arc<DataflowGraph>,
+        pool_tx: DelaySender<RemoteRequest>,
+        resp_rx: DelayReceiver<RemoteResponse>,
+        snapshots: Arc<SnapshotStore<StateStore>>,
+        timers: Arc<ComponentTimers>,
+        recovery: Arc<RecoveryCtl>,
+        ctl_tx: crossbeam::channel::Sender<CtlMsg>,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            id,
+            cfg,
+            broker,
+            graph,
+            store: StateStore::new(),
+            offset: 0,
+            inflight: HashSet::new(),
+            waiting: HashMap::new(),
+            staged: Vec::new(),
+            pool_tx,
+            resp_rx,
+            snapshots,
+            timers,
+            recovery,
+            ctl_tx,
+            shutdown,
+            gen: 0,
+            dead: false,
+            last_epoch: 0,
+        }
+    }
+
+    fn node_name(&self) -> String {
+        format!("task{}", self.id)
+    }
+
+    fn transactional(&self) -> bool {
+        matches!(self.cfg.checkpoint, CheckpointMode::Transactional { .. })
+    }
+
+    /// The task loop.
+    pub fn run(mut self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Recovery signal?
+            let g = self.recovery.gen.load(Ordering::SeqCst);
+            if g > self.gen {
+                self.restore(g);
+            }
+            if self.dead {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+
+            // Apply due remote responses first (they unblock waiting keys).
+            while let Some(resp) = self.resp_rx.try_recv() {
+                if resp.gen == self.gen {
+                    self.on_response(resp);
+                }
+            }
+
+            let records = match self.broker.fetch(topics::INGRESS, self.id, self.offset, 32) {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            if records.is_empty() {
+                // Idle: block briefly on the response channel.
+                if let Some(resp) = self.resp_rx.recv_timeout(Duration::from_micros(500)) {
+                    if resp.gen == self.gen {
+                        self.on_response(resp);
+                    }
+                }
+                continue;
+            }
+            for rec in records {
+                self.offset = rec.offset + 1;
+                self.handle_record(rec.value);
+                if self.dead || self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn handle_record(&mut self, rec: SfRecord) {
+        match rec {
+            SfRecord::Create { request, class, key, init } => {
+                self.timers.time("routing", || {});
+                let result = match self.graph.program.class_or_err(&class) {
+                    Ok(c) => {
+                        let r = EntityRef::new(&class, &key);
+                        self.store.insert(r, c.class.initial_state(&key, init));
+                        Ok(se_lang::Value::Unit)
+                    }
+                    Err(e) => Err(e),
+                };
+                self.emit_egress(Response { request, result });
+            }
+            SfRecord::Invoke(inv) => {
+                if self.cfg.failure.should_fail(&self.node_name()) {
+                    self.crash();
+                    return;
+                }
+                self.timers.time("routing", || {});
+                self.dispatch_or_queue(inv);
+            }
+            SfRecord::Barrier { epoch } => self.on_barrier(epoch),
+            SfRecord::Response(_) => { /* egress records never reach ingress */ }
+        }
+    }
+
+    /// Per-key serialization: one in-flight invocation per entity.
+    fn dispatch_or_queue(&mut self, inv: Invocation) {
+        let target = inv.target.clone();
+        if self.inflight.contains(&target) {
+            self.waiting.entry(target).or_default().push_back(inv);
+        } else {
+            self.dispatch(inv);
+        }
+    }
+
+    fn dispatch(&mut self, inv: Invocation) {
+        let target = inv.target.clone();
+        let Some(state) = self.store.get(&target) else {
+            self.emit_egress(Response {
+                request: inv.request,
+                result: Err(LangError::runtime(format!("unknown entity {target}"))),
+            });
+            return;
+        };
+        // Serialize the state for shipping to the remote runtime.
+        let shipped = self.timers.time("state_serialization", || state.clone());
+        let bytes =
+            shipped.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>() + inv.approx_size();
+        self.inflight.insert(target);
+        self.pool_tx.send_after(
+            RemoteRequest { gen: self.gen, task: self.id, inv, state: shipped },
+            self.cfg.net.remote_fn_latency(bytes),
+        );
+    }
+
+    fn on_response(&mut self, resp: RemoteResponse) {
+        // Install the returned state into managed operator state.
+        self.timers.time("state_storage", || {
+            self.store.insert(resp.entity.clone(), resp.new_state);
+        });
+        self.inflight.remove(&resp.entity);
+        match resp.effect {
+            StepEffect::Emit(next) => {
+                // Continuation loops back through the broker — the Kafka
+                // round trip the paper attributes StateFun's latency to.
+                let bytes = next.approx_size();
+                let key = next.target.key.clone();
+                self.emit(topics::INGRESS, &key, SfRecord::Invoke(next), bytes);
+            }
+            StepEffect::Respond(r) => self.emit_egress(r),
+        }
+        // A queued invocation for this key may now proceed.
+        if let Some(q) = self.waiting.get_mut(&resp.entity) {
+            if let Some(inv) = q.pop_front() {
+                if q.is_empty() {
+                    self.waiting.remove(&resp.entity);
+                }
+                self.dispatch(inv);
+            } else {
+                self.waiting.remove(&resp.entity);
+            }
+        }
+    }
+
+    fn emit_egress(&mut self, r: Response) {
+        let key = r.request.to_string();
+        self.emit(topics::EGRESS, &key, SfRecord::Response(r), 64);
+    }
+
+    fn emit(&mut self, topic: &str, key: &str, rec: SfRecord, bytes: usize) {
+        if self.transactional() {
+            self.staged.push((format!("{topic}\u{0}{key}"), rec, bytes));
+        } else {
+            let _ = self.broker.produce(topic, key, rec, bytes);
+        }
+    }
+
+    /// Aligned barrier: drain in-flight work, snapshot, then flush staged
+    /// produces — flush-after-snapshot makes replay duplicate-free.
+    fn on_barrier(&mut self, epoch: Epoch) {
+        if !self.transactional() || epoch <= self.last_epoch {
+            return;
+        }
+        // Drain: every dispatched invocation must complete so its effects
+        // are in the snapshot.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !self.inflight.is_empty() {
+            if std::time::Instant::now() > deadline {
+                break; // avoid hanging the whole pipeline on a lost response
+            }
+            if let Some(resp) = self.resp_rx.recv_timeout(Duration::from_millis(5)) {
+                if resp.gen == self.gen {
+                    self.on_response(resp);
+                }
+            }
+        }
+        self.snapshots.put(epoch, &self.node_name(), self.store.clone());
+        self.snapshots.put_source_offset(epoch, &self.node_name(), self.offset);
+        self.last_epoch = epoch;
+        // Flush the epoch's staged outputs.
+        for (topic_key, rec, bytes) in std::mem::take(&mut self.staged) {
+            let (topic, key) = topic_key.split_once('\u{0}').expect("encoded topic+key");
+            let _ = self.broker.produce(topic, key, rec, bytes);
+        }
+    }
+
+    fn crash(&mut self) {
+        self.store = StateStore::new();
+        self.inflight.clear();
+        self.waiting.clear();
+        self.staged.clear();
+        self.dead = true;
+        let _ = self.ctl_tx.send(CtlMsg::TaskFailed(self.id));
+    }
+
+    fn restore(&mut self, gen: u64) {
+        let epoch = *self.recovery.restore_epoch.lock();
+        let name = self.node_name();
+        self.store = epoch.and_then(|e| self.snapshots.get(e, &name)).unwrap_or_default();
+        self.offset = epoch.and_then(|e| self.snapshots.source_offset(e, &name)).unwrap_or(0);
+        self.last_epoch = epoch.unwrap_or(0);
+        self.inflight.clear();
+        self.waiting.clear();
+        self.staged.clear();
+        self.gen = gen;
+        self.dead = false;
+    }
+}

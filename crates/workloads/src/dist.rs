@@ -1,0 +1,211 @@
+//! Key-popularity distributions: uniform and Zipfian.
+//!
+//! "For the latency tests, we use Zipfian and uniform key distributions"
+//! (§4). The Zipfian sampler is the YCSB/Gray et al. generator ("Quickly
+//! generating billion-record synthetic databases", SIGMOD '94), with the
+//! usual zeta-function precomputation and default skew θ = 0.99.
+
+use rand::Rng;
+
+/// Chooses keys in `0..n`.
+pub trait KeyChooser: Send {
+    /// Draws the next key index.
+    fn next_key(&mut self, rng: &mut dyn rand::RngCore) -> usize;
+    /// Size of the key space.
+    fn key_count(&self) -> usize;
+}
+
+/// Uniform distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    n: usize,
+}
+
+impl Uniform {
+    /// Uniform over `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        Self { n }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_key(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        rng.gen_range(0..self.n)
+    }
+
+    fn key_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Zipfian distribution over `0..n` (YCSB's `ZipfianGenerator`).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew (θ = 0.99).
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Zipfian over `0..n` with skew `theta` ∈ (0, 1) ∪ (1, ∞).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is not positive or equals 1.
+    pub fn with_theta(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!(theta > 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be positive and ≠ 1");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self { n, theta, alpha, zetan, eta }
+    }
+
+    /// Zipfian with the YCSB default skew.
+    pub fn new(n: usize) -> Self {
+        Self::with_theta(n, Self::DEFAULT_THETA)
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+}
+
+impl KeyChooser for Zipfian {
+    fn next_key(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        // Gray et al. inverse-CDF approximation.
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * spread) as usize % self.n
+    }
+
+    fn key_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Which distribution a benchmark cell uses (for labeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform.
+    Uniform,
+    /// Zipfian with the default θ.
+    Zipfian,
+}
+
+impl Distribution {
+    /// Builds the chooser.
+    pub fn chooser(self, n: usize) -> Box<dyn KeyChooser> {
+        match self {
+            Distribution::Uniform => Box::new(Uniform::new(n)),
+            Distribution::Zipfian => Box::new(Zipfian::new(n)),
+        }
+    }
+
+    /// Label used in reports ("zipfian"/"uniform").
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Zipfian => "zipfian",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(chooser: &mut dyn KeyChooser, samples: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut h = vec![0usize; chooser.key_count()];
+        for _ in 0..samples {
+            let k = chooser.next_key(&mut rng);
+            h[k] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_in_range_and_flat() {
+        let mut u = Uniform::new(100);
+        let h = histogram(&mut u, 100_000);
+        assert_eq!(h.len(), 100);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform histogram too skewed: min={min} max={max}");
+    }
+
+    #[test]
+    fn zipfian_in_range() {
+        let mut z = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100_000 {
+            let k = z.next_key(&mut rng);
+            assert!(k < 1000);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_head_heavy() {
+        let mut z = Zipfian::new(1000);
+        let h = histogram(&mut z, 200_000);
+        let head: usize = h[..10].iter().sum();
+        let tail: usize = h[990..].iter().sum();
+        assert!(
+            head > 20 * tail.max(1),
+            "zipfian head must dominate tail: head={head} tail={tail}"
+        );
+        // Rank 0 is the single most popular key.
+        let max_idx = h.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(max_idx, 0);
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let skew_of = |theta: f64| {
+            let mut z = Zipfian::with_theta(500, theta);
+            let h = histogram(&mut z, 100_000);
+            h[0] as f64 / 100_000.0
+        };
+        assert!(skew_of(1.2) > skew_of(0.99));
+        assert!(skew_of(0.99) > skew_of(0.6));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let draw = || {
+            let mut z = Zipfian::new(100);
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..50).map(|_| z.next_key(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_keyspace_panics() {
+        Uniform::new(0);
+    }
+}

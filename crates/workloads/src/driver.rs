@@ -1,0 +1,215 @@
+//! Open-loop benchmark client.
+//!
+//! The paper's setup dedicates 4 CPUs to benchmark clients issuing requests
+//! at a target rate (§4). This driver issues operations open-loop (arrival
+//! times independent of completions — the right model for latency-under-load
+//! experiments), sweeps completions without blocking the arrival process,
+//! and reports unscaled latency statistics.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use se_dataflow::{EntityRuntime, LatencySummary, ResponseWaiter};
+use se_lang::{EntityRef, Value};
+
+use crate::dist::Distribution;
+use crate::ycsb::{key_name, OpGenerator, WorkloadSpec};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Offered load in requests per second (before time scaling).
+    pub rps: f64,
+    /// Number of requests to issue.
+    pub requests: usize,
+    /// RNG seed (operation sequence is deterministic given the seed).
+    pub seed: u64,
+    /// Payload size of update operations, bytes.
+    pub value_size: usize,
+    /// Time scale: inter-arrival gaps are multiplied by this, matching the
+    /// runtime's `NetConfig::time_scale`, so offered load relative to
+    /// service capacity is scale-invariant.
+    pub time_scale: f64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self { rps: 100.0, requests: 1_000, seed: 0xC0FFEE, value_size: 1024, time_scale: 1.0 }
+    }
+}
+
+/// Outcome of one driver run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Latency statistics, un-scaled (comparable across time scales).
+    pub latency: LatencySummary,
+    /// Requests that completed with an application/runtime error.
+    pub errors: usize,
+    /// Requests issued.
+    pub issued: usize,
+    /// Requests that never completed before the drain timeout.
+    pub timed_out: usize,
+    /// Wall-clock duration of the issue phase (scaled time).
+    pub elapsed: Duration,
+}
+
+/// Creates the `n` YCSB account entities with `value_size`-byte payloads and
+/// a starting balance, in parallel for setup speed.
+pub fn load_accounts(rt: &dyn EntityRuntime, n: usize, value_size: usize, balance: i64) {
+    let threads = 16.min(n.max(1));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let rt = &rt;
+            scope.spawn(move || {
+                let mut i = t;
+                while i < n {
+                    rt.create(
+                        "Account",
+                        &key_name(i),
+                        vec![
+                            ("balance".to_string(), Value::Int(balance)),
+                            ("data".to_string(), Value::Bytes(vec![0u8; value_size])),
+                        ],
+                    )
+                    .expect("create account");
+                    i += threads;
+                }
+            });
+        }
+    });
+}
+
+/// Runs `spec` against `rt` open-loop and reports latency statistics.
+pub fn run_open_loop(
+    rt: &dyn EntityRuntime,
+    spec: WorkloadSpec,
+    dist: Distribution,
+    n_keys: usize,
+    cfg: &DriverConfig,
+) -> RunReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gen = OpGenerator::new(spec, dist.chooser(n_keys), cfg.value_size);
+    let interval = Duration::from_secs_f64(1.0 / cfg.rps).mul_f64(cfg.time_scale.max(1e-9));
+
+    let mut pending: Vec<(Instant, ResponseWaiter)> = Vec::with_capacity(cfg.requests);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.requests);
+    let mut errors = 0usize;
+
+    let start = Instant::now();
+    let mut next_issue = start;
+    for _ in 0..cfg.requests {
+        // Open loop: hold the arrival schedule regardless of completions.
+        let now = Instant::now();
+        if next_issue > now {
+            std::thread::sleep(next_issue - now);
+        }
+        let (key, method, args) = gen.next_op(&mut rng).to_invocation();
+        let target = EntityRef::new("Account", key_name(key));
+        let issued = Instant::now();
+        let waiter = rt.call_async(target, method, args);
+        pending.push((issued, waiter));
+        next_issue += interval;
+
+        // Sweep completions without blocking the schedule.
+        sweep(&mut pending, &mut latencies, &mut errors);
+    }
+    let elapsed = start.elapsed();
+
+    // Drain stragglers.
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    while !pending.is_empty() && Instant::now() < drain_deadline {
+        sweep(&mut pending, &mut latencies, &mut errors);
+        if !pending.is_empty() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let timed_out = pending.len();
+
+    let summary = LatencySummary::from_samples(&latencies).unscale(cfg.time_scale);
+    RunReport { latency: summary, errors, issued: cfg.requests, timed_out, elapsed }
+}
+
+fn sweep(
+    pending: &mut Vec<(Instant, ResponseWaiter)>,
+    latencies: &mut Vec<Duration>,
+    errors: &mut usize,
+) {
+    pending.retain(|(issued, waiter)| match waiter.try_wait() {
+        None => true,
+        Some(result) => {
+            latencies.push(issued.elapsed());
+            if result.is_err() {
+                *errors += 1;
+            }
+            false
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::ycsb_program;
+    use se_core::{RuntimeChoice, StateflowConfig};
+
+    #[test]
+    fn driver_runs_workload_a_on_stateflow() {
+        let program = ycsb_program();
+        let rt = se_core::deploy(
+            &program,
+            RuntimeChoice::Stateflow(StateflowConfig::fast_test(3)),
+        )
+        .unwrap();
+        load_accounts(rt.as_ref(), 20, 64, 100);
+        let cfg = DriverConfig { rps: 2000.0, requests: 200, ..Default::default() };
+        let report =
+            run_open_loop(rt.as_ref(), WorkloadSpec::A, Distribution::Zipfian, 20, &cfg);
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.timed_out, 0);
+        assert_eq!(report.latency.count, 200);
+        assert!(report.latency.p99 > Duration::ZERO);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn driver_transfer_workload_conserves_money() {
+        let program = ycsb_program();
+        let rt = se_core::deploy(
+            &program,
+            RuntimeChoice::Stateflow(StateflowConfig::fast_test(3)),
+        )
+        .unwrap();
+        let n = 10;
+        load_accounts(rt.as_ref(), n, 16, 1000);
+        let cfg = DriverConfig { rps: 3000.0, requests: 150, ..Default::default() };
+        let report =
+            run_open_loop(rt.as_ref(), WorkloadSpec::T, Distribution::Uniform, n, &cfg);
+        assert_eq!(report.errors, 0);
+        let total: i64 = (0..n)
+            .map(|i| {
+                rt.call(EntityRef::new("Account", key_name(i)), "balance", vec![])
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, 1000 * n as i64, "transfers conserve total balance");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn open_loop_holds_schedule() {
+        // With a fast runtime, issuing 100 requests at 10 kRPS should take
+        // ~10ms of schedule time, not be gated on completions.
+        let program = ycsb_program();
+        let rt = se_core::deploy(&program, RuntimeChoice::Local).unwrap();
+        load_accounts(rt.as_ref(), 5, 16, 0);
+        let cfg = DriverConfig { rps: 10_000.0, requests: 100, ..Default::default() };
+        let report =
+            run_open_loop(rt.as_ref(), WorkloadSpec::B, Distribution::Uniform, 5, &cfg);
+        assert!(report.elapsed < Duration::from_secs(2));
+        assert_eq!(report.latency.count, 100);
+    }
+}

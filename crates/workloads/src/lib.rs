@@ -1,0 +1,24 @@
+//! # se-workloads — benchmark workloads over stateful entities
+//!
+//! The evaluation workloads of the paper (§4), authored *in the entity DSL*
+//! and compiled through the full pipeline:
+//!
+//! * [`ycsb`] — YCSB A (50r/50u), B (95r/5u), YCSB+T's transactional T
+//!   (atomic two-account transfer: 2 reads + 2 writes) and the paper's
+//!   mixed M (45r/45u/10t);
+//! * [`dist`] — uniform and Zipfian (θ = 0.99) key-popularity
+//!   distributions;
+//! * [`driver`] — an open-loop client issuing operations at a target rate;
+//! * [`tpcc`] — the "partly TPC-C" the paper mentions: Payment and a
+//!   simplified NewOrder.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod driver;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use dist::{Distribution, KeyChooser, Uniform, Zipfian};
+pub use driver::{load_accounts, run_open_loop, DriverConfig, RunReport};
+pub use ycsb::{key_name, ycsb_program, OpGenerator, Operation, WorkloadSpec};

@@ -1,0 +1,6 @@
+//! # stateful-entities — paper reproduction, top-level facade
+//!
+//! Re-exports the public API of `se-core`. See the README for a tour and
+//! `examples/` for runnable scenarios.
+
+pub use se_core::*;

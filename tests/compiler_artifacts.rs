@@ -1,0 +1,151 @@
+//! Structural checks of the compiler's output over every reference program:
+//! valid block CFGs, fully reachable state machines, live-in parameter
+//! sanity, and stable golden shapes for the paper's running example.
+
+use stateful_entities::compile;
+use se_ir::{StateMachine, Terminator};
+
+fn all_programs() -> Vec<(&'static str, se_lang::Program)> {
+    vec![
+        ("figure1", stateful_entities::programs::figure1_program()),
+        ("counter", stateful_entities::programs::counter_program()),
+        ("chain4", stateful_entities::programs::chain_program(4)),
+        ("ycsb", se_workloads::ycsb_program()),
+        ("tpcc", se_workloads::tpcc::tpcc_program()),
+    ]
+}
+
+#[test]
+fn every_method_produces_a_valid_cfg() {
+    for (name, program) in all_programs() {
+        let graph = compile(&program).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        for class in &graph.program.classes {
+            for method in &class.methods {
+                method
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{name}/{}.{}: {e}", class.name(), method.name));
+                let sm = StateMachine::from_method(method);
+                assert!(
+                    sm.fully_reachable(),
+                    "{name}/{}.{}: dead states",
+                    class.name(),
+                    method.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn block_params_are_consistent_with_uses() {
+    // Every variable referenced by a block (before local definition) must be
+    // in its params — otherwise resumption would hit undefined variables.
+    for (name, program) in all_programs() {
+        let graph = compile(&program).unwrap();
+        for class in &graph.program.classes {
+            for method in &class.methods {
+                for block in &method.blocks {
+                    let mut defined: std::collections::BTreeSet<String> =
+                        block.params.iter().cloned().collect();
+                    // Entry block params come from the invocation arguments.
+                    if block.id == method.entry {
+                        defined.extend(method.params.iter().map(|(n, _)| n.clone()));
+                    }
+                    for stmt in &block.stmts {
+                        if let se_lang::Stmt::Assign { name: n, value, .. } = stmt {
+                            check_expr(value, &defined, name, &method.name, block.id);
+                            defined.insert(n.clone());
+                        }
+                    }
+                    if let Terminator::Return(e) | Terminator::Branch { cond: e, .. } =
+                        &block.terminator
+                    {
+                        check_expr(e, &defined, name, &method.name, block.id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_expr(
+        e: &se_lang::Expr,
+        defined: &std::collections::BTreeSet<String>,
+        program: &str,
+        method: &str,
+        block: se_ir::BlockId,
+    ) {
+        let mut used = std::collections::BTreeSet::new();
+        e.referenced_vars(&mut used);
+        for v in used {
+            assert!(
+                defined.contains(&v),
+                "{program}/{method} block {block}: `{v}` used but not live-in/defined"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_golden_shape() {
+    let graph = compile(&stateful_entities::programs::figure1_program()).unwrap();
+    let buy = graph.program.method_or_err("User", "buy_item").unwrap();
+    assert_eq!(buy.suspension_points(), 3, "price + update_stock ×2");
+    // The entry suspends immediately on price() with `item` live.
+    let Terminator::RemoteCall { method, result_var, resume, .. } = &buy.blocks[0].terminator
+    else {
+        panic!("entry must suspend on price()");
+    };
+    assert_eq!(method, "price");
+    assert!(result_var.is_some());
+    // The resume block needs amount (total computation), item (later calls)
+    // and the hoisted price result.
+    let resume_params = &buy.block(*resume).params;
+    for v in ["amount", "item"] {
+        assert!(resume_params.contains(&v.to_string()), "{resume_params:?}");
+    }
+
+    let price = graph.program.method_or_err("Item", "price").unwrap();
+    assert!(price.is_simple(), "getters stay single-block");
+    let update = graph.program.method_or_err("Item", "update_stock").unwrap();
+    assert!(update.is_simple());
+}
+
+#[test]
+fn tpcc_new_order_loop_machine_has_cycle() {
+    let graph = compile(&se_workloads::tpcc::tpcc_program()).unwrap();
+    let sm = graph.program.class("Customer").unwrap().machine("new_order").unwrap();
+    assert!(sm.has_cycle(), "the stocks loop must appear as a cycle in the state machine");
+    assert!(sm.fully_reachable());
+}
+
+#[test]
+fn dataflow_graph_edges_cover_call_graph() {
+    let graph = compile(&se_workloads::tpcc::tpcc_program()).unwrap();
+    let call_edges: Vec<String> = graph
+        .edges
+        .iter()
+        .filter_map(|e| match &e.kind {
+            se_ir::EdgeKind::Call { caller, callee } => Some(format!("{caller}→{callee}")),
+            _ => None,
+        })
+        .collect();
+    for expected in [
+        "Customer.payment→Warehouse.receive_payment",
+        "Customer.payment→District.receive_payment",
+        "Customer.new_order→District.next_order_id",
+        "Customer.new_order→Stock.take",
+    ] {
+        assert!(
+            call_edges.iter().any(|e| e == expected),
+            "missing edge {expected}; have {call_edges:?}"
+        );
+    }
+}
+
+#[test]
+fn compile_is_deterministic() {
+    let p = se_workloads::tpcc::tpcc_program();
+    let g1 = compile(&p).unwrap();
+    let g2 = compile(&p).unwrap();
+    assert_eq!(g1, g2, "compilation must be a pure function of the program");
+}

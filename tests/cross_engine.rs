@@ -1,0 +1,130 @@
+//! Cross-engine portability: the same compiled program must behave
+//! identically on Local, StateFun and StateFlow — "the choice of a runtime
+//! system is completely independent of the application layer" (§1).
+
+use stateful_entities::prelude::*;
+use stateful_entities::{StateflowConfig, StatefunConfig};
+
+fn engines() -> Vec<Box<dyn EntityRuntime>> {
+    let program = stateful_entities::programs::figure1_program();
+    vec![
+        deploy(&program, RuntimeChoice::Local).unwrap(),
+        deploy(&program, RuntimeChoice::Statefun(StatefunConfig::fast_test(3))).unwrap(),
+        deploy(&program, RuntimeChoice::Stateflow(StateflowConfig::fast_test(3))).unwrap(),
+    ]
+}
+
+#[test]
+fn figure1_identical_across_engines() {
+    for rt in engines() {
+        let name = rt.name().to_owned();
+        let user = rt.create("User", "u", vec![("balance".into(), Value::Int(100))]).unwrap();
+        let item = rt
+            .create(
+                "Item",
+                "i",
+                vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(3))],
+            )
+            .unwrap();
+
+        // Purchase 1: 2×30 = 60 ≤ 100 → ok, stock 3→1, balance 40.
+        assert_eq!(
+            rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+                .unwrap(),
+            Value::Bool(true),
+            "[{name}]"
+        );
+        // Purchase 2: 1×30 = 30 ≤ 40 but stock 1−2 < 0 → compensated reject.
+        assert_eq!(
+            rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+                .unwrap(),
+            Value::Bool(false),
+            "[{name}]"
+        );
+        // Balance unchanged by the rejected purchase; stock restored to 1.
+        assert_eq!(rt.call(user.clone(), "balance", vec![]).unwrap(), Value::Int(40), "[{name}]");
+        assert_eq!(
+            rt.call(item, "update_stock", vec![Value::Int(0)]).unwrap(),
+            Value::Bool(true),
+            "[{name}] stock must be non-negative after compensation"
+        );
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn chain_program_identical_across_engines() {
+    let depth = 3;
+    let program = stateful_entities::programs::chain_program(depth);
+    for choice in [
+        RuntimeChoice::Local,
+        RuntimeChoice::Statefun(StatefunConfig::fast_test(2)),
+        RuntimeChoice::Stateflow(StateflowConfig::fast_test(2)),
+    ] {
+        let rt = deploy(&program, choice).unwrap();
+        for i in (0..=depth).rev() {
+            let init = if i < depth {
+                vec![(
+                    "next".to_string(),
+                    Value::Ref(EntityRef::new(format!("C{}", i + 1), "n")),
+                )]
+            } else {
+                vec![]
+            };
+            rt.create(&format!("C{i}"), "n", init).unwrap();
+        }
+        assert_eq!(
+            rt.call(EntityRef::new("C0", "n"), "relay", vec![Value::Int(10)]).unwrap(),
+            Value::Int(10 + depth as i64),
+            "[{}]",
+            rt.name()
+        );
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn errors_are_consistent_across_engines() {
+    for rt in engines() {
+        let name = rt.name().to_owned();
+        // Unknown entity.
+        let err = rt.call(EntityRef::new("User", "ghost"), "balance", vec![]).unwrap_err();
+        assert!(err.to_string().contains("unknown entity"), "[{name}] {err}");
+        // Unknown method.
+        rt.create("User", "u2", vec![]).unwrap();
+        let err = rt.call(EntityRef::new("User", "u2"), "frobnicate", vec![]).unwrap_err();
+        assert!(err.to_string().contains("no method"), "[{name}] {err}");
+        // Wrong arity.
+        let err = rt.call(EntityRef::new("User", "u2"), "buy_item", vec![]).unwrap_err();
+        assert!(err.to_string().contains("argument"), "[{name}] {err}");
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn ycsb_program_runs_on_all_engines() {
+    let program = se_workloads::ycsb_program();
+    for choice in [
+        RuntimeChoice::Local,
+        RuntimeChoice::Statefun(StatefunConfig::fast_test(2)),
+        RuntimeChoice::Stateflow(StateflowConfig::fast_test(2)),
+    ] {
+        let rt = deploy(&program, choice).unwrap();
+        let a = rt.create("Account", "a", vec![("balance".into(), Value::Int(10))]).unwrap();
+        let payload = Value::Bytes(vec![9u8; 256]);
+        assert_eq!(
+            rt.call(a.clone(), "update", vec![payload.clone()]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(rt.call(a.clone(), "read", vec![]).unwrap(), payload, "[{}]", rt.name());
+        if rt.supports_transactions() {
+            let b = rt.create("Account", "b", vec![]).unwrap();
+            assert_eq!(
+                rt.call(a, "transfer", vec![Value::Ref(b.clone()), Value::Int(4)]).unwrap(),
+                Value::Bool(true)
+            );
+            assert_eq!(rt.call(b, "balance", vec![]).unwrap(), Value::Int(4));
+        }
+        rt.shutdown();
+    }
+}

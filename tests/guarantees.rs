@@ -1,0 +1,181 @@
+//! System-level guarantee tests: serializability on StateFlow, the
+//! documented non-transactional race on StateFun, and exactly-once state
+//! updates under failure on both engines — the paper's core claims,
+//! exercised through the public facade.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use se_dataflow::FailurePlan;
+use stateful_entities::prelude::*;
+use stateful_entities::{CheckpointMode, StateflowConfig, StatefunConfig};
+
+const WAIT: Duration = Duration::from_secs(60);
+
+/// Flash-sale scenario: every user affords exactly one purchase.
+fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
+    let program_item = rt
+        .create(
+            "Item",
+            "gpu",
+            vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(10_000))],
+        )
+        .unwrap();
+    let user_refs: Vec<EntityRef> = (0..users)
+        .map(|i| {
+            rt.create("User", &format!("u{i}"), vec![("balance".into(), Value::Int(60))])
+                .unwrap()
+        })
+        .collect();
+    let waiters: Vec<_> = user_refs
+        .iter()
+        .flat_map(|u| {
+            (0..2).map(|_| {
+                rt.call_async(
+                    u.clone(),
+                    "buy_item",
+                    vec![Value::Int(2), Value::Ref(program_item.clone())],
+                )
+            })
+        })
+        .collect();
+    let successes = waiters
+        .into_iter()
+        .filter(|w| w.wait_timeout(WAIT).unwrap().unwrap() == Value::Bool(true))
+        .count() as i64;
+    let negative = user_refs
+        .iter()
+        .filter(|u| {
+            rt.call((*u).clone(), "balance", vec![]).unwrap().as_int().unwrap() < 0
+        })
+        .count();
+    (successes, negative)
+}
+
+#[test]
+fn stateflow_serializability_holds_under_contention() {
+    let program = stateful_entities::programs::figure1_program();
+    let rt =
+        deploy(&program, RuntimeChoice::Stateflow(StateflowConfig::fast_test(4))).unwrap();
+    let users = 20;
+    let (successes, negative) = run_flash_sale(rt.as_ref(), users);
+    assert_eq!(successes, users as i64, "exactly one purchase per user must commit");
+    assert_eq!(negative, 0, "serializable execution never overdrafts");
+    rt.shutdown();
+}
+
+#[test]
+fn statefun_documented_race_violates_invariants() {
+    let program = stateful_entities::programs::figure1_program();
+    let mut cfg = StatefunConfig::fast_test(2);
+    // Widen the suspension window (price-call round trip) so the
+    // interleaving is deterministic enough for CI.
+    cfg.net.broker_hop = Duration::from_millis(3);
+    let rt = deploy(&program, RuntimeChoice::Statefun(cfg)).unwrap();
+    let users = 10;
+    let (successes, negative) = run_flash_sale(rt.as_ref(), users);
+    assert!(
+        successes > users as i64 || negative > 0,
+        "expected the §3 write-skew race on an engine without transactions \
+         (got {successes} successes, {negative} negative balances)"
+    );
+    rt.shutdown();
+}
+
+/// Commutative deposits + a worker crash: the final balances detect any
+/// lost or duplicated effect.
+fn deposits_with_failure(rt: &dyn EntityRuntime, n_accounts: usize, ops: usize) -> Vec<i64> {
+    for i in 0..n_accounts {
+        rt.create("Account", &se_workloads::key_name(i), vec![]).unwrap();
+    }
+    let mut expected = vec![0i64; n_accounts];
+    let mut waiters = Vec::new();
+    for i in 0..ops {
+        let k = i % n_accounts;
+        let amount = (i % 11 + 1) as i64;
+        expected[k] += amount;
+        waiters.push(rt.call_async(
+            EntityRef::new("Account", se_workloads::key_name(k)),
+            "deposit",
+            vec![Value::Int(amount)],
+        ));
+        if i % 12 == 0 {
+            std::thread::sleep(Duration::from_millis(4));
+        }
+    }
+    for w in waiters {
+        w.wait_timeout(WAIT).expect("completes after recovery").expect("no error");
+    }
+    let got: Vec<i64> = (0..n_accounts)
+        .map(|i| {
+            rt.call(EntityRef::new("Account", se_workloads::key_name(i)), "balance", vec![])
+                .unwrap()
+                .as_int()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(got, expected, "exactly-once violated");
+    got
+}
+
+#[test]
+fn exactly_once_stateflow_through_facade() {
+    let program = se_workloads::ycsb_program();
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = 3;
+    cfg.failure = FailurePlan::fail_node_after("worker1", 40);
+    let failure = cfg.failure.clone();
+    let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+    deposits_with_failure(rt.as_ref(), 5, 100);
+    assert!(failure.has_fired());
+    rt.shutdown();
+}
+
+#[test]
+fn exactly_once_statefun_through_facade() {
+    let program = se_workloads::ycsb_program();
+    let mut cfg = StatefunConfig::fast_test(3);
+    cfg.checkpoint = CheckpointMode::Transactional { interval: Duration::from_millis(20) };
+    cfg.failure = FailurePlan::fail_node_after("task1", 25);
+    let failure = cfg.failure.clone();
+    let rt = deploy(&program, RuntimeChoice::Statefun(cfg)).unwrap();
+    deposits_with_failure(rt.as_ref(), 5, 100);
+    assert!(failure.has_fired());
+    rt.shutdown();
+}
+
+#[test]
+fn transactional_transfers_with_crash_conserve_money() {
+    let program = se_workloads::ycsb_program();
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = 2;
+    cfg.failure = FailurePlan::fail_node_after("worker0", 30);
+    let rt = Arc::new(deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap());
+    let n = 6;
+    se_workloads::load_accounts(rt.as_ref().as_ref(), n, 16, 500);
+    let waiters: Vec<_> = (0..90)
+        .map(|i| {
+            rt.call_async(
+                EntityRef::new("Account", se_workloads::key_name(i % n)),
+                "transfer",
+                vec![
+                    Value::Ref(EntityRef::new("Account", se_workloads::key_name((i + 2) % n))),
+                    Value::Int(3),
+                ],
+            )
+        })
+        .collect();
+    for w in waiters {
+        w.wait_timeout(WAIT).expect("completes").expect("no error");
+    }
+    let total: i64 = (0..n)
+        .map(|i| {
+            rt.call(EntityRef::new("Account", se_workloads::key_name(i)), "balance", vec![])
+                .unwrap()
+                .as_int()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(total, 500 * n as i64);
+    rt.shutdown();
+}
