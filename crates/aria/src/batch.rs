@@ -44,7 +44,9 @@ impl TxnCtx<'_> {
     /// Reads, applies `f`, and buffers the resulting attribute changes.
     /// Returns `false` for unknown entities.
     pub fn update(&mut self, entity: &EntityRef, f: impl FnOnce(&mut EntityState)) -> bool {
-        let Some(before) = self.read(entity) else { return false };
+        let Some(before) = self.read(entity) else {
+            return false;
+        };
         let mut after = before.clone();
         f(&mut after);
         self.buffer.record_effects(entity, &before, &after);
@@ -83,7 +85,10 @@ pub fn run_batch<J>(
     // Execute phase: all against the same snapshot (`store` is not mutated).
     let mut buffers: Vec<(TxnId, TxnBuffer)> = Vec::with_capacity(batch.len());
     for (id, job) in batch {
-        let mut ctx = TxnCtx { committed: store, buffer: TxnBuffer::new() };
+        let mut ctx = TxnCtx {
+            committed: store,
+            buffer: TxnBuffer::new(),
+        };
         exec(job, &mut ctx);
         buffers.push((*id, ctx.buffer));
     }
@@ -179,8 +184,11 @@ pub fn run_to_completion_with<J>(
 ) -> ScheduleStats {
     assert!(batch_size > 0, "batch size must be positive");
     let mut stats = ScheduleStats::default();
-    let mut queue: std::collections::VecDeque<(TxnId, J)> =
-        jobs.into_iter().enumerate().map(|(i, j)| (i as TxnId, j)).collect();
+    let mut queue: std::collections::VecDeque<(TxnId, J)> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, j)| (i as TxnId, j))
+        .collect();
 
     while !queue.is_empty() {
         let take = queue.len().min(batch_size);
@@ -277,8 +285,7 @@ mod tests {
                 amount: 10,
             })
             .collect();
-        let stats =
-            run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Reordering, 64);
+        let stats = run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Reordering, 64);
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.aborts, 0);
         assert_eq!(total(&store), 800);
@@ -291,10 +298,13 @@ mod tests {
         let mut store = store_with_accounts(3, 100);
         // All transfers touch a0: heavy conflict.
         let jobs: Vec<Transfer> = (0..8)
-            .map(|i| Transfer { from: "a0".into(), to: format!("a{}", 1 + i % 2), amount: 5 })
+            .map(|i| Transfer {
+                from: "a0".into(),
+                to: format!("a{}", 1 + i % 2),
+                amount: 5,
+            })
             .collect();
-        let stats =
-            run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 64);
+        let stats = run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 64);
         assert_eq!(stats.commits, 8, "every transaction eventually commits");
         assert!(stats.aborts > 0, "contention must cause aborts");
         assert!(stats.batches > 1);
@@ -310,11 +320,18 @@ mod tests {
         // a0 aborts the higher id; after retry both apply.
         let mut store = store_with_accounts(3, 100);
         let jobs = vec![
-            Transfer { from: "a0".into(), to: "a1".into(), amount: 80 },
-            Transfer { from: "a0".into(), to: "a2".into(), amount: 80 },
+            Transfer {
+                from: "a0".into(),
+                to: "a1".into(),
+                amount: 80,
+            },
+            Transfer {
+                from: "a0".into(),
+                to: "a2".into(),
+                amount: 80,
+            },
         ];
-        let stats =
-            run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 64);
+        let stats = run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 64);
         assert_eq!(stats.batches, 2);
         // Second transfer re-ran against committed balance 20 < 80: no-op.
         assert_eq!(store[&er("a0")]["balance"], Value::Int(20));
@@ -348,7 +365,11 @@ mod tests {
             flat.sort();
             (stats, flat)
         };
-        assert_eq!(run(), run(), "deterministic protocol must reproduce exactly");
+        assert_eq!(
+            run(),
+            run(),
+            "deterministic protocol must reproduce exactly"
+        );
     }
 
     #[test]
@@ -395,7 +416,11 @@ mod tests {
         // covered by the per-batch property: committed txns have no RAW, so
         // they saw exactly the state a serial execution would show them.
         let jobs: Vec<Transfer> = (0..20)
-            .map(|i| Transfer { from: format!("a{}", i % 3), to: "a3".into(), amount: 2 })
+            .map(|i| Transfer {
+                from: format!("a{}", i % 3),
+                to: "a3".into(),
+                amount: 2,
+            })
             .collect();
         let mut store = store_with_accounts(4, 100);
         let stats = run_to_completion(&mut store, jobs, exec_transfer, CommitRule::Basic, 4);
@@ -412,7 +437,11 @@ mod tests {
         let mut store = Store::new();
         run_to_completion(
             &mut store,
-            vec![Transfer { from: "a".into(), to: "b".into(), amount: 1 }],
+            vec![Transfer {
+                from: "a".into(),
+                to: "b".into(),
+                amount: 1,
+            }],
             exec_transfer,
             CommitRule::Basic,
             0,
@@ -440,7 +469,10 @@ mod fallback_tests {
     }
 
     fn hot_store() -> Store {
-        Store::from([(er("hot"), EntityState::from([("n".to_string(), Value::Int(0))]))])
+        Store::from([(
+            er("hot"),
+            EntityState::from([("n".to_string(), Value::Int(0))]),
+        )])
     }
 
     #[test]
@@ -451,11 +483,21 @@ mod fallback_tests {
 
         let mut s1 = hot_store();
         let retry = run_to_completion_with(
-            &mut s1, jobs.clone(), exec_incr, CommitRule::Basic, 64, FallbackPolicy::Retry,
+            &mut s1,
+            jobs.clone(),
+            exec_incr,
+            CommitRule::Basic,
+            64,
+            FallbackPolicy::Retry,
         );
         let mut s2 = hot_store();
         let serial = run_to_completion_with(
-            &mut s2, jobs, exec_incr, CommitRule::Basic, 64, FallbackPolicy::Serial,
+            &mut s2,
+            jobs,
+            exec_incr,
+            CommitRule::Basic,
+            64,
+            FallbackPolicy::Serial,
         );
 
         assert_eq!(s1[&er("hot")]["n"], Value::Int(32));
@@ -468,8 +510,15 @@ mod fallback_tests {
 
     #[test]
     fn fallback_preserves_exactly_once() {
-        let jobs: Vec<Incr> =
-            (0..100).map(|i| Incr(if i % 3 == 0 { "hot".into() } else { format!("k{i}") })).collect();
+        let jobs: Vec<Incr> = (0..100)
+            .map(|i| {
+                Incr(if i % 3 == 0 {
+                    "hot".into()
+                } else {
+                    format!("k{i}")
+                })
+            })
+            .collect();
         let mut store = hot_store();
         for i in 0..100 {
             if i % 3 != 0 {
@@ -480,9 +529,18 @@ mod fallback_tests {
             }
         }
         let stats = run_to_completion_with(
-            &mut store, jobs, exec_incr, CommitRule::Reordering, 16, FallbackPolicy::Serial,
+            &mut store,
+            jobs,
+            exec_incr,
+            CommitRule::Reordering,
+            16,
+            FallbackPolicy::Serial,
         );
         assert_eq!(stats.commits, 100);
-        assert_eq!(store[&er("hot")]["n"], Value::Int(34), "each hot increment exactly once");
+        assert_eq!(
+            store[&er("hot")]["n"],
+            Value::Int(34),
+            "each hot increment exactly once"
+        );
     }
 }

@@ -77,17 +77,23 @@ impl ReservationTable {
 
     /// Whether `txn` has a write-after-write dependency.
     pub fn waw(&self, txn: TxnId, buffer: &TxnBuffer) -> bool {
-        buffer.write_keys().any(|k| self.write_res.get(k).is_some_and(|&t| t < txn))
+        buffer
+            .write_keys()
+            .any(|k| self.write_res.get(k).is_some_and(|&t| t < txn))
     }
 
     /// Whether `txn` has a read-after-write dependency.
     pub fn raw(&self, txn: TxnId, buffer: &TxnBuffer) -> bool {
-        buffer.read_keys().any(|k| self.write_res.get(k).is_some_and(|&t| t < txn))
+        buffer
+            .read_keys()
+            .any(|k| self.write_res.get(k).is_some_and(|&t| t < txn))
     }
 
     /// Whether `txn` has a write-after-read dependency.
     pub fn war(&self, txn: TxnId, buffer: &TxnBuffer) -> bool {
-        buffer.write_keys().any(|k| self.read_res.get(k).is_some_and(|&t| t < txn))
+        buffer
+            .write_keys()
+            .any(|k| self.read_res.get(k).is_some_and(|&t| t < txn))
     }
 
     /// Applies the commit rule to one transaction.
@@ -199,7 +205,10 @@ mod tests {
             t.reserve(i as TxnId, b);
         }
         for (i, b) in bufs.iter().enumerate() {
-            assert_eq!(t.decide(i as TxnId, b, CommitRule::Reordering), Decision::Commit);
+            assert_eq!(
+                t.decide(i as TxnId, b, CommitRule::Reordering),
+                Decision::Commit
+            );
         }
     }
 
@@ -214,8 +223,14 @@ mod tests {
         let mut t2 = ReservationTable::new();
         t2.reserve(3, &b3);
         t2.reserve(5, &b5);
-        assert_eq!(t1.decide(5, &b5, CommitRule::Basic), t2.decide(5, &b5, CommitRule::Basic));
-        assert_eq!(t1.decide(3, &b3, CommitRule::Basic), t2.decide(3, &b3, CommitRule::Basic));
+        assert_eq!(
+            t1.decide(5, &b5, CommitRule::Basic),
+            t2.decide(5, &b5, CommitRule::Basic)
+        );
+        assert_eq!(
+            t1.decide(3, &b3, CommitRule::Basic),
+            t2.decide(3, &b3, CommitRule::Basic)
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 
-use se_aria::{
-    run_to_completion_with, CommitRule, FallbackPolicy, Store, TxnCtx,
-};
+use se_aria::{run_to_completion_with, CommitRule, FallbackPolicy, Store, TxnCtx};
 use se_lang::{EntityRef, EntityState, Value};
 
 #[derive(Debug, Clone)]
@@ -44,13 +42,18 @@ fn exec_job(job: &Job, ctx: &mut TxnCtx<'_>) {
 fn fresh_store(n: usize) -> Store {
     (0..n)
         .map(|i| {
-            (account(i), EntityState::from([("balance".to_string(), Value::Int(1_000_000))]))
+            (
+                account(i),
+                EntityState::from([("balance".to_string(), Value::Int(1_000_000))]),
+            )
         })
         .collect()
 }
 
 fn balances(store: &Store, n: usize) -> Vec<i64> {
-    (0..n).map(|i| store[&account(i)]["balance"].as_int().unwrap()).collect()
+    (0..n)
+        .map(|i| store[&account(i)]["balance"].as_int().unwrap())
+        .collect()
 }
 
 fn arb_jobs(n_accounts: usize) -> impl Strategy<Value = Vec<Job>> {
@@ -59,7 +62,11 @@ fn arb_jobs(n_accounts: usize) -> impl Strategy<Value = Vec<Job>> {
             move |(a, b, amount, is_transfer)| {
                 let b = if a == b { (b + 1) % n_accounts } else { b };
                 if is_transfer {
-                    Job::Transfer { from: a, to: b, amount }
+                    Job::Transfer {
+                        from: a,
+                        to: b,
+                        amount,
+                    }
                 } else {
                     Job::Audit { a, b }
                 }

@@ -42,7 +42,9 @@ fn account(i: usize) -> EntityRef {
 fn exec_job(job: &Job, ctx: &mut TxnCtx<'_>) {
     match job {
         Job::Transfer { from, to, amount } => {
-            let Some(src) = ctx.read(&account(*from)) else { return };
+            let Some(src) = ctx.read(&account(*from)) else {
+                return;
+            };
             if src["balance"].as_int().unwrap() < *amount {
                 return;
             }
@@ -65,7 +67,10 @@ fn exec_job(job: &Job, ctx: &mut TxnCtx<'_>) {
 fn fresh_store(n: usize) -> Store {
     (0..n)
         .map(|i| {
-            (account(i), EntityState::from([("balance".to_string(), Value::Int(1_000_000))]))
+            (
+                account(i),
+                EntityState::from([("balance".to_string(), Value::Int(1_000_000))]),
+            )
         })
         .collect()
 }
@@ -105,7 +110,11 @@ fn main() {
                     b = (b + 1) % n_accounts;
                 }
                 if rng.gen_bool(0.5) {
-                    Job::Transfer { from: a, to: b, amount: 1 }
+                    Job::Transfer {
+                        from: a,
+                        to: b,
+                        amount: 1,
+                    }
                 } else {
                     Job::Audit { a, b }
                 }
@@ -160,6 +169,10 @@ fn main() {
 
     let _ = std::fs::create_dir_all("bench_results");
     if let Ok(mut f) = std::fs::File::create("bench_results/ablation_aria.json") {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&json_rows).expect("serialize"));
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(&json_rows).expect("serialize")
+        );
     }
 }

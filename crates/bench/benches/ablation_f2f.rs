@@ -62,7 +62,11 @@ fn main() {
             for i in 0..calls_per_depth {
                 let start = std::time::Instant::now();
                 let out = rt
-                    .call(EntityRef::new("C0", "n"), "relay", vec![Value::Int(i as i64)])
+                    .call(
+                        EntityRef::new("C0", "n"),
+                        "relay",
+                        vec![Value::Int(i as i64)],
+                    )
                     .expect("relay");
                 samples.push(start.elapsed());
                 assert_eq!(out, Value::Int(i as i64 + depth as i64));
@@ -85,7 +89,11 @@ fn main() {
 
     let _ = std::fs::create_dir_all("bench_results");
     if let Ok(mut f) = std::fs::File::create("bench_results/ablation_f2f.json") {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&json_rows).expect("serialize"));
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(&json_rows).expect("serialize")
+        );
     }
 }
 

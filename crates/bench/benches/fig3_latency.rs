@@ -37,8 +37,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for (system, choice) in [
-        ("statefun", RuntimeChoice::Statefun(se_bench::statefun_bench_config())),
-        ("stateflow", RuntimeChoice::Stateflow(se_bench::stateflow_bench_config())),
+        (
+            "statefun",
+            RuntimeChoice::Statefun(se_bench::statefun_bench_config()),
+        ),
+        (
+            "stateflow",
+            RuntimeChoice::Stateflow(se_bench::stateflow_bench_config()),
+        ),
     ] {
         let program = se_workloads::ycsb_program();
         let rt = deploy(&program, choice).expect("deploy");
@@ -66,11 +72,15 @@ fn main() {
 
     // Shape checks (warnings, not failures: measurement noise happens).
     let p99 = |sys: &str, label: &str| {
-        rows.iter().find(|r| r.system == sys && r.label == label).map(|r| r.p99_ms)
+        rows.iter()
+            .find(|r| r.system == sys && r.label == label)
+            .map(|r| r.p99_ms)
     };
-    if let (Some(sf_a), Some(fl_a), Some(fl_t)) =
-        (p99("statefun", "A-zipfian"), p99("stateflow", "A-zipfian"), p99("stateflow", "T-zipfian"))
-    {
+    if let (Some(sf_a), Some(fl_a), Some(fl_t)) = (
+        p99("statefun", "A-zipfian"),
+        p99("stateflow", "A-zipfian"),
+        p99("stateflow", "T-zipfian"),
+    ) {
         if fl_a >= sf_a {
             eprintln!("WARN: expected StateFlow < StateFun on A-zipfian ({fl_a:.2} vs {sf_a:.2})");
         }

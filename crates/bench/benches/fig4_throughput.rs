@@ -47,8 +47,13 @@ fn main() {
                 value_size: 1024,
                 time_scale: se_bench::time_scale(),
             };
-            let report =
-                run_open_loop(rt.as_ref(), WorkloadSpec::M, Distribution::Uniform, n_keys, &driver);
+            let report = run_open_loop(
+                rt.as_ref(),
+                WorkloadSpec::M,
+                Distribution::Uniform,
+                n_keys,
+                &driver,
+            );
             eprintln!(
                 "  {system:<9} {rps:>6.0} rps  p50 {:.2} ms  p99 {:.2} ms (errors {}, timeouts {})",
                 se_bench::ms(report.latency.p50),
@@ -56,23 +61,36 @@ fn main() {
                 report.errors,
                 report.timed_out
             );
-            rows.push(Row::from_report(format!("M@{rps:.0}"), system, rps, &report));
+            rows.push(Row::from_report(
+                format!("M@{rps:.0}"),
+                system,
+                rps,
+                &report,
+            ));
             rt.shutdown();
         }
     }
 
-    emit("fig4", "Figure 4 — latency vs offered load, workload M", &rows);
+    emit(
+        "fig4",
+        "Figure 4 — latency vs offered load, workload M",
+        &rows,
+    );
 
     // Shape check: StateFlow's curves stay below StateFun's at every load
     // point (the paper's figure), and StateFun's p99 blows up past its
     // remote-runtime capacity (~3000 req/s here).
     let p99_at = |sys: &str, rps: f64| {
-        rows.iter().find(|r| r.system == sys && r.rps == rps).map(|r| r.p99_ms)
+        rows.iter()
+            .find(|r| r.system == sys && r.rps == rps)
+            .map(|r| r.p99_ms)
     };
     for &rps in &sweep {
         if let (Some(sf), Some(fl)) = (p99_at("statefun", rps), p99_at("stateflow", rps)) {
             if fl >= sf {
-                eprintln!("WARN: expected StateFlow below StateFun at {rps} rps ({fl:.1} vs {sf:.1})");
+                eprintln!(
+                    "WARN: expected StateFlow below StateFun at {rps} rps ({fl:.1} vs {sf:.1})"
+                );
             }
         }
     }

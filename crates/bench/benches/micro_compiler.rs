@@ -98,7 +98,12 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("callgraph", |b| {
         b.iter(|| se_compiler::CallGraph::build(std::hint::black_box(&normalized)).unwrap())
     });
-    let method = normalized.class("App").unwrap().method("run").unwrap().clone();
+    let method = normalized
+        .class("App")
+        .unwrap()
+        .method("run")
+        .unwrap()
+        .clone();
     group.bench_function("split", |b| {
         b.iter(|| se_compiler::split_method("App", std::hint::black_box(&method)).unwrap())
     });

@@ -18,7 +18,10 @@ use se_workloads::{KeyChooser, Uniform, Zipfian};
 
 fn bench_broker(c: &mut Criterion) {
     let mut group = c.benchmark_group("broker");
-    let net = NetConfig { broker_hop: std::time::Duration::ZERO, ..NetConfig::fast_test() };
+    let net = NetConfig {
+        broker_hop: std::time::Duration::ZERO,
+        ..NetConfig::fast_test()
+    };
     let broker: Broker<u64> = Broker::new(net);
     broker.create_topic("t", 4);
     group.bench_function("produce", |b| {
@@ -123,12 +126,7 @@ fn bench_invocation(c: &mut Criterion) {
 
     group.bench_function("simple_getter", |b| {
         b.iter(|| {
-            let inv = Invocation::root(
-                RequestId(1),
-                EntityRef::new("Item", "i"),
-                "price",
-                vec![],
-            );
+            let inv = Invocation::root(RequestId(1), EntityRef::new("Item", "i"), "price", vec![]);
             let mut state = state_template.clone();
             process_invocation(&graph.program, inv, &mut state)
         })
@@ -140,11 +138,12 @@ fn bench_invocation(c: &mut Criterion) {
         "buy_item",
         vec![Value::Int(2), Value::Ref(EntityRef::new("Item", "i"))],
     );
-    let user_state =
-        graph.program.class("User").unwrap().class.initial_state("u", [(
-            "balance".to_string(),
-            Value::Int(100),
-        )]);
+    let user_state = graph
+        .program
+        .class("User")
+        .unwrap()
+        .class
+        .initial_state("u", [("balance".to_string(), Value::Int(100))]);
     group.bench_function("split_first_block", |b| {
         b.iter(|| {
             let mut state = user_state.clone();

@@ -90,6 +90,10 @@ fn main() {
 
     let _ = std::fs::create_dir_all("bench_results");
     if let Ok(mut f) = std::fs::File::create("bench_results/overhead.json") {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&json_rows).expect("serialize"));
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(&json_rows).expect("serialize")
+        );
     }
 }

@@ -20,14 +20,20 @@ use std::time::Duration;
 
 use serde::Serialize;
 
-use se_core::{NetConfig, StatefunConfig, StateflowConfig};
+use se_core::{NetConfig, StateflowConfig, StatefunConfig};
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The global time scale for benches.
@@ -155,7 +161,11 @@ pub fn emit(name: &str, title: &str, rows: &[Row]) {
     let dir = std::path::Path::new("bench_results");
     let _ = std::fs::create_dir_all(dir);
     if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(rows).expect("serialize rows"));
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(rows).expect("serialize rows")
+        );
     }
 }
 

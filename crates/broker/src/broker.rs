@@ -90,7 +90,9 @@ pub struct Broker<T> {
 
 impl<T> Clone for Broker<T> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -118,7 +120,10 @@ impl<T: Clone> Broker<T> {
         topics.entry(name.to_owned()).or_insert_with(|| {
             Arc::new(TopicData {
                 partitions: (0..partitions)
-                    .map(|_| Partition { entries: Mutex::new(Vec::new()), appended: Condvar::new() })
+                    .map(|_| Partition {
+                        entries: Mutex::new(Vec::new()),
+                        appended: Condvar::new(),
+                    })
                     .collect(),
             })
         });
@@ -179,14 +184,21 @@ impl<T: Clone> Broker<T> {
         bytes: usize,
     ) -> Result<u64, BrokerError> {
         let t = self.topic(topic)?;
-        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
-            topic: topic.to_owned(),
-            partition,
-        })?;
+        let p = t
+            .partitions
+            .get(partition)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_owned(),
+                partition,
+            })?;
         let delay = self.inner.net.broker_latency(bytes) * 2;
         let mut entries = p.entries.lock();
         let offset = entries.len() as u64;
-        entries.push(Entry { key: key.to_owned(), value, visible_at: Instant::now() + delay });
+        entries.push(Entry {
+            key: key.to_owned(),
+            value,
+            visible_at: Instant::now() + delay,
+        });
         drop(entries);
         p.appended.notify_all();
         Ok(offset)
@@ -201,10 +213,13 @@ impl<T: Clone> Broker<T> {
         max: usize,
     ) -> Result<Vec<ConsumerRecord<T>>, BrokerError> {
         let t = self.topic(topic)?;
-        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
-            topic: topic.to_owned(),
-            partition,
-        })?;
+        let p = t
+            .partitions
+            .get(partition)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_owned(),
+                partition,
+            })?;
         let entries = p.entries.lock();
         Ok(Self::visible_from(&entries, offset, max))
     }
@@ -220,10 +235,13 @@ impl<T: Clone> Broker<T> {
         timeout: Duration,
     ) -> Result<Vec<ConsumerRecord<T>>, BrokerError> {
         let t = self.topic(topic)?;
-        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
-            topic: topic.to_owned(),
-            partition,
-        })?;
+        let p = t
+            .partitions
+            .get(partition)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_owned(),
+                partition,
+            })?;
         let deadline = Instant::now() + timeout;
         let mut entries = p.entries.lock();
         loop {
@@ -241,7 +259,8 @@ impl<T: Clone> Broker<T> {
                 .get(offset as usize..)
                 .and_then(|s| s.iter().map(|e| e.visible_at).min())
                 .unwrap_or(deadline);
-            p.appended.wait_until(&mut entries, next_visible.min(deadline));
+            p.appended
+                .wait_until(&mut entries, next_visible.min(deadline));
         }
     }
 
@@ -254,7 +273,11 @@ impl<T: Clone> Broker<T> {
             if e.visible_at > now || out.len() >= max {
                 break;
             }
-            out.push(ConsumerRecord { offset: i as u64, key: e.key.clone(), value: e.value.clone() });
+            out.push(ConsumerRecord {
+                offset: i as u64,
+                key: e.key.clone(),
+                value: e.value.clone(),
+            });
         }
         out
     }
@@ -262,10 +285,13 @@ impl<T: Clone> Broker<T> {
     /// The next offset that would be assigned in a partition (log end).
     pub fn end_offset(&self, topic: &str, partition: usize) -> Result<u64, BrokerError> {
         let t = self.topic(topic)?;
-        let p = t.partitions.get(partition).ok_or_else(|| BrokerError::UnknownPartition {
-            topic: topic.to_owned(),
-            partition,
-        })?;
+        let p = t
+            .partitions
+            .get(partition)
+            .ok_or_else(|| BrokerError::UnknownPartition {
+                topic: topic.to_owned(),
+                partition,
+            })?;
         let len = p.entries.lock().len() as u64;
         Ok(len)
     }
@@ -327,7 +353,10 @@ mod tests {
         let b = Broker::new(net);
         b.create_topic("t", 1);
         b.produce("t", "k", "v".to_string(), 0).unwrap();
-        assert!(b.fetch("t", 0, 0, 10).unwrap().is_empty(), "not visible yet");
+        assert!(
+            b.fetch("t", 0, 0, 10).unwrap().is_empty(),
+            "not visible yet"
+        );
         std::thread::sleep(Duration::from_millis(70));
         assert_eq!(b.fetch("t", 0, 0, 10).unwrap().len(), 1);
     }
@@ -367,7 +396,9 @@ mod tests {
         // Consume two, commit, "crash", replay from committed.
         let first = b.fetch("events", p, 0, 2).unwrap();
         b.commit("g", "events", p, first.last().unwrap().offset + 1);
-        let replayed = b.fetch("events", p, b.committed("g", "events", p), 100).unwrap();
+        let replayed = b
+            .fetch("events", p, b.committed("g", "events", p), 100)
+            .unwrap();
         assert_eq!(replayed.len(), 3);
         assert_eq!(replayed[0].value, "m2");
     }
@@ -377,7 +408,13 @@ mod tests {
         let b = broker();
         let b2 = b.clone();
         let h = std::thread::spawn(move || {
-            b2.fetch_blocking("events", partition_for("k", 4), 0, 10, Duration::from_secs(2))
+            b2.fetch_blocking(
+                "events",
+                partition_for("k", 4),
+                0,
+                10,
+                Duration::from_secs(2),
+            )
         });
         std::thread::sleep(Duration::from_millis(10));
         b.produce("events", "k", "late".into(), 0).unwrap();
@@ -426,11 +463,16 @@ mod tests {
             .map(|t| {
                 let b = b.clone();
                 std::thread::spawn(move || {
-                    (0..100).map(|i| b.produce("t", "k", format!("{t}-{i}"), 0).unwrap().1).collect::<Vec<u64>>()
+                    (0..100)
+                        .map(|i| b.produce("t", "k", format!("{t}-{i}"), 0).unwrap().1)
+                        .collect::<Vec<u64>>()
                 })
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..400).collect::<Vec<u64>>());
     }

@@ -41,8 +41,7 @@ impl CallGraph {
             for method in &class.methods {
                 let node: MethodNode = (class.name.clone(), method.name.clone());
                 graph.nodes.insert(node.clone());
-                let callees =
-                    check_method_collect_calls(program, class, method, &mut errors);
+                let callees = check_method_collect_calls(program, class, method, &mut errors);
                 for callee in callees {
                     graph.edges.entry(node.clone()).or_default().insert(callee);
                 }
@@ -65,9 +64,9 @@ impl CallGraph {
         self.edges
             .iter()
             .flat_map(|((caller_class, _), callees)| {
-                callees.iter().map(move |(callee_class, _)| {
-                    (caller_class.clone(), callee_class.clone())
-                })
+                callees
+                    .iter()
+                    .map(move |(callee_class, _)| (caller_class.clone(), callee_class.clone()))
             })
             .collect()
     }
@@ -98,8 +97,7 @@ impl CallGraph {
                     match color.get(callee).copied().unwrap_or(Color::White) {
                         Color::Gray => {
                             // Found a cycle: slice the path from the repeat.
-                            let start =
-                                path.iter().position(|n| *n == callee).unwrap_or(0);
+                            let start = path.iter().position(|n| *n == callee).unwrap_or(0);
                             let mut cycle: Vec<MethodNode> =
                                 path[start..].iter().map(|n| (*n).clone()).collect();
                             cycle.push(callee.clone());
@@ -164,7 +162,11 @@ impl CallGraph {
             d
         }
         let mut memo = BTreeMap::new();
-        self.nodes.iter().map(|n| depth(n, self, &mut memo)).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| depth(n, self, &mut memo))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -216,7 +218,11 @@ mod tests {
                 MethodBuilder::new("ping")
                     .param("other", Type::entity("Node"))
                     .returns(Type::Unit)
-                    .body(vec![expr_stmt(call(var("other"), "ping", vec![var("other")]))]),
+                    .body(vec![expr_stmt(call(
+                        var("other"),
+                        "ping",
+                        vec![var("other")],
+                    ))]),
             )
             .build();
         Program::new(vec![node])
@@ -239,7 +245,11 @@ mod tests {
                     .param("b", Type::entity("B"))
                     .param("a", Type::entity("A"))
                     .returns(Type::Unit)
-                    .body(vec![expr_stmt(call(var("b"), "g", vec![var("a"), var("b")]))]),
+                    .body(vec![expr_stmt(call(
+                        var("b"),
+                        "g",
+                        vec![var("a"), var("b")],
+                    ))]),
             )
             .build();
         let b = ClassBuilder::new("B")
@@ -250,7 +260,11 @@ mod tests {
                     .param("a", Type::entity("A"))
                     .param("b", Type::entity("B"))
                     .returns(Type::Unit)
-                    .body(vec![expr_stmt(call(var("a"), "f", vec![var("b"), var("a")]))]),
+                    .body(vec![expr_stmt(call(
+                        var("a"),
+                        "f",
+                        vec![var("b"), var("a")],
+                    ))]),
             )
             .build();
         let g = CallGraph::build(&Program::new(vec![a, b])).unwrap();

@@ -37,7 +37,9 @@ pub fn assign_block_params(method: &mut CompiledMethod) {
         for i in (0..n).rev() {
             let mut out: BTreeSet<String> = BTreeSet::new();
             match &method.blocks[i].terminator {
-                Terminator::RemoteCall { result_var, resume, .. } => {
+                Terminator::RemoteCall {
+                    result_var, resume, ..
+                } => {
                     let mut succ_in = live_in[resume.0 as usize].clone();
                     if let Some(rv) = result_var {
                         succ_in.remove(rv);
@@ -92,7 +94,11 @@ fn block_use_def(stmts: &[Stmt], terminator: &Terminator) -> (BTreeSet<String>, 
             Stmt::Return(e) | Stmt::Expr(e) => record_expr(e, &defs, &mut uses),
             // Split blocks are straight-line; control flow never appears
             // inside them. Defensive: treat nested bodies conservatively.
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 record_expr(cond, &defs, &mut uses);
                 let (u1, _) = block_use_def(then_body, &Terminator::Jump(se_ir::BlockId(0)));
                 let (u2, _) = block_use_def(else_body, &Terminator::Jump(se_ir::BlockId(0)));
@@ -102,7 +108,12 @@ fn block_use_def(stmts: &[Stmt], terminator: &Terminator) -> (BTreeSet<String>, 
                     }
                 }
             }
-            Stmt::While { cond, body } | Stmt::ForList { iterable: cond, body, .. } => {
+            Stmt::While { cond, body }
+            | Stmt::ForList {
+                iterable: cond,
+                body,
+                ..
+            } => {
                 record_expr(cond, &defs, &mut uses);
                 let (u, _) = block_use_def(body, &Terminator::Jump(se_ir::BlockId(0)));
                 for v in u {
@@ -245,7 +256,10 @@ mod tests {
         let params = &m.block(resume).params;
         assert!(params.iter().any(|p| p.starts_with("__it")), "{m:#?}");
         assert!(params.iter().any(|p| p.starts_with("__ix")), "{m:#?}");
-        assert!(params.contains(&"a".to_string()), "a is needed next iteration: {m:#?}");
+        assert!(
+            params.contains(&"a".to_string()),
+            "a is needed next iteration: {m:#?}"
+        );
     }
 
     #[test]
@@ -255,6 +269,10 @@ mod tests {
             vec![("a", Type::Int), ("b", Type::Int)],
             Type::Int,
         );
-        assert_eq!(m.blocks[0].params, vec!["b".to_string()], "a is dead on entry");
+        assert_eq!(
+            m.blocks[0].params,
+            vec!["b".to_string()],
+            "a is dead on entry"
+        );
     }
 }

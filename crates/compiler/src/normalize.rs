@@ -101,10 +101,18 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
             // but normalize its target and arguments.
             if let Expr::Call(c) = value {
                 let call = normalize_call_parts(c, gen, out);
-                out.push(Stmt::Assign { name: name.clone(), ty: ty.clone(), value: call });
+                out.push(Stmt::Assign {
+                    name: name.clone(),
+                    ty: ty.clone(),
+                    value: call,
+                });
             } else {
                 let v = normalize_expr(value, gen, out);
-                out.push(Stmt::Assign { name: name.clone(), ty: ty.clone(), value: v });
+                out.push(Stmt::Assign {
+                    name: name.clone(),
+                    ty: ty.clone(),
+                    value: v,
+                });
             }
         }
         Stmt::AttrAssign { attr, value } => {
@@ -113,10 +121,17 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
             } else {
                 value.clone()
             };
-            out.push(Stmt::AttrAssign { attr: attr.clone(), value: v });
+            out.push(Stmt::AttrAssign {
+                attr: attr.clone(),
+                value: v,
+            });
         }
         Stmt::Return(e) => {
-            let v = if e.contains_call() { normalize_expr(e, gen, out) } else { e.clone() };
+            let v = if e.contains_call() {
+                normalize_expr(e, gen, out)
+            } else {
+                e.clone()
+            };
             out.push(Stmt::Return(v));
         }
         Stmt::Expr(e) => {
@@ -132,7 +147,11 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
                 out.push(Stmt::Expr(v));
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             // `if` conditions are evaluated exactly once: hoist before.
             let c = if cond.contains_call() {
                 normalize_expr(cond, gen, out)
@@ -147,7 +166,10 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
         }
         Stmt::While { cond, body } => {
             if !cond.contains_call() {
-                out.push(Stmt::While { cond: cond.clone(), body: normalize_stmts(body, gen) });
+                out.push(Stmt::While {
+                    cond: cond.clone(),
+                    body: normalize_stmts(body, gen),
+                });
                 return;
             }
             // `while <call-bearing cond>` re-evaluates each iteration:
@@ -157,9 +179,16 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
             out.extend(pre.iter().cloned());
             let mut new_body = normalize_stmts(body, gen);
             new_body.extend(pre);
-            out.push(Stmt::While { cond: c, body: new_body });
+            out.push(Stmt::While {
+                cond: c,
+                body: new_body,
+            });
         }
-        Stmt::ForList { var, iterable, body } => {
+        Stmt::ForList {
+            var,
+            iterable,
+            body,
+        } => {
             // The iterable is evaluated once: hoist before.
             let it = if iterable.contains_call() {
                 normalize_expr(iterable, gen, out)
@@ -185,7 +214,11 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
         Expr::Call(c) => {
             let call = normalize_call_parts(c, gen, out);
             let tmp = gen.fresh("c");
-            out.push(Stmt::Assign { name: tmp.clone(), ty: None, value: call });
+            out.push(Stmt::Assign {
+                name: tmp.clone(),
+                ty: None,
+                value: call,
+            });
             Expr::Var(tmp)
         }
         Expr::Binary(op, l, r) if op.is_logical() => {
@@ -201,10 +234,18 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
             };
             let lv = normalize_expr(l, gen, out);
             let sc = gen.fresh("sc");
-            out.push(Stmt::Assign { name: sc.clone(), ty: None, value: to_bool(lv) });
+            out.push(Stmt::Assign {
+                name: sc.clone(),
+                ty: None,
+                value: to_bool(lv),
+            });
             let mut rhs_pre = Vec::new();
             let rv = normalize_expr(r, gen, &mut rhs_pre);
-            rhs_pre.push(Stmt::Assign { name: sc.clone(), ty: None, value: to_bool(rv) });
+            rhs_pre.push(Stmt::Assign {
+                name: sc.clone(),
+                ty: None,
+                value: to_bool(rv),
+            });
             let guard = match op {
                 se_lang::BinOp::And => Expr::Var(sc.clone()),
                 se_lang::BinOp::Or => {
@@ -212,7 +253,11 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
                 }
                 _ => unreachable!("is_logical"),
             };
-            out.push(Stmt::If { cond: guard, then_body: rhs_pre, else_body: vec![] });
+            out.push(Stmt::If {
+                cond: guard,
+                then_body: rhs_pre,
+                else_body: vec![],
+            });
             Expr::Var(sc)
         }
         Expr::Binary(op, l, r) => {
@@ -221,9 +266,10 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
             Expr::Binary(*op, Box::new(lv), Box::new(rv))
         }
         Expr::Unary(op, e) => Expr::Unary(*op, Box::new(normalize_expr(e, gen, out))),
-        Expr::Builtin(b, args) => {
-            Expr::Builtin(*b, args.iter().map(|a| normalize_expr(a, gen, out)).collect())
-        }
+        Expr::Builtin(b, args) => Expr::Builtin(
+            *b,
+            args.iter().map(|a| normalize_expr(a, gen, out)).collect(),
+        ),
         Expr::Index(b, i) => Expr::Index(
             Box::new(normalize_expr(b, gen, out)),
             Box::new(normalize_expr(i, gen, out)),
@@ -241,7 +287,11 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
 fn normalize_call_parts(c: &CallExpr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
     let target = normalize_expr(&c.target, gen, out);
     let args = c.args.iter().map(|a| normalize_expr(a, gen, out)).collect();
-    Expr::Call(CallExpr { target: Box::new(target), method: c.method.clone(), args })
+    Expr::Call(CallExpr {
+        target: Box::new(target),
+        method: c.method.clone(),
+        args,
+    })
 }
 
 /// Checks the post-normalization invariant: calls only appear as the whole
@@ -256,7 +306,11 @@ pub fn check_normalized(stmts: &[Stmt]) -> Result<(), String> {
     }
     for s in stmts {
         match s {
-            Stmt::Assign { value: Expr::Call(c), .. } | Stmt::Expr(Expr::Call(c)) => {
+            Stmt::Assign {
+                value: Expr::Call(c),
+                ..
+            }
+            | Stmt::Expr(Expr::Call(c)) => {
                 if !call_parts_clean(c) {
                     return Err(format!("nested call inside call parts: {c:?}"));
                 }
@@ -271,7 +325,11 @@ pub fn check_normalized(stmts: &[Stmt]) -> Result<(), String> {
                     return Err(format!("call not at statement level: {e:?}"));
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if !expr_clean(cond) {
                     return Err(format!("call in if condition: {cond:?}"));
                 }
@@ -311,7 +369,10 @@ mod tests {
     #[test]
     fn hoists_call_from_binary() {
         // total = amount * item.price()
-        let stmts = vec![assign("total", mul(var("amount"), call(var("item"), "price", vec![])))];
+        let stmts = vec![assign(
+            "total",
+            mul(var("amount"), call(var("item"), "price", vec![])),
+        )];
         let out = norm(stmts);
         assert_eq!(out.len(), 2);
         assert!(
@@ -330,8 +391,10 @@ mod tests {
     #[test]
     fn hoists_nested_call_in_args() {
         // x = a.f(b.g())
-        let stmts =
-            vec![assign("x", call(var("a"), "f", vec![call(var("b"), "g", vec![])]))];
+        let stmts = vec![assign(
+            "x",
+            call(var("a"), "f", vec![call(var("b"), "g", vec![])]),
+        )];
         let out = norm(stmts);
         assert_eq!(out.len(), 2);
         assert!(matches!(&out[0], Stmt::Assign { value: Expr::Call(c), .. } if c.method == "g"));
@@ -356,10 +419,18 @@ mod tests {
         let out = norm(stmts);
         // pre (call assign) + while
         assert_eq!(out.len(), 2);
-        let Stmt::While { body, .. } = &out[1] else { panic!("expected while") };
+        let Stmt::While { body, .. } = &out[1] else {
+            panic!("expected while")
+        };
         // body = original body + re-evaluation of the call
         assert_eq!(body.len(), 2);
-        assert!(matches!(&body[1], Stmt::Assign { value: Expr::Call(_), .. }));
+        assert!(matches!(
+            &body[1],
+            Stmt::Assign {
+                value: Expr::Call(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -369,15 +440,25 @@ mod tests {
         let out = norm(stmts);
         // [__sc = bool(flag), if __sc { __c = a.f(); __sc = bool(__c) }, x = __sc]
         let has_guarded_call = out.iter().any(|s| match s {
-            Stmt::If { then_body, .. } => {
-                then_body.iter().any(|s| matches!(s, Stmt::Assign { value: Expr::Call(_), .. }))
-            }
+            Stmt::If { then_body, .. } => then_body.iter().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Assign {
+                        value: Expr::Call(_),
+                        ..
+                    }
+                )
+            }),
             _ => false,
         });
         assert!(has_guarded_call, "call must be inside the guard: {out:#?}");
         // No bare call outside the if.
         for s in &out {
-            if let Stmt::Assign { value: Expr::Call(_), .. } = s {
+            if let Stmt::Assign {
+                value: Expr::Call(_),
+                ..
+            } = s
+            {
                 panic!("unguarded call: {out:#?}");
             }
         }
@@ -388,9 +469,19 @@ mod tests {
         let stmts = vec![assign("x", or(var("flag"), call(var("a"), "f", vec![])))];
         let out = norm(stmts);
         let guard_negated = out.iter().any(|s| match s {
-            Stmt::If { cond: Expr::Unary(se_lang::UnOp::Not, _), then_body, .. } => {
-                then_body.iter().any(|s| matches!(s, Stmt::Assign { value: Expr::Call(_), .. }))
-            }
+            Stmt::If {
+                cond: Expr::Unary(se_lang::UnOp::Not, _),
+                then_body,
+                ..
+            } => then_body.iter().any(|s| {
+                matches!(
+                    s,
+                    Stmt::Assign {
+                        value: Expr::Call(_),
+                        ..
+                    }
+                )
+            }),
             _ => false,
         });
         assert!(guard_negated, "or-guard must be negated: {out:#?}");
@@ -401,7 +492,13 @@ mod tests {
         let stmts = vec![assign("x", and(var("a"), var("b")))];
         let out = norm(stmts);
         assert_eq!(out.len(), 1);
-        assert!(matches!(&out[0], Stmt::Assign { value: Expr::Binary(..), .. }));
+        assert!(matches!(
+            &out[0],
+            Stmt::Assign {
+                value: Expr::Binary(..),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -409,8 +506,7 @@ mod tests {
         let p = normalize_program(&figure1_program());
         for c in &p.classes {
             for m in &c.methods {
-                check_normalized(&m.body)
-                    .unwrap_or_else(|e| panic!("{}.{}: {e}", c.name, m.name));
+                check_normalized(&m.body).unwrap_or_else(|e| panic!("{}.{}: {e}", c.name, m.name));
             }
         }
         // buy_item's first statement is now the hoisted price() call.
@@ -424,14 +520,29 @@ mod tests {
     fn if_condition_call_hoisted_before() {
         let stmts = vec![if_(call(var("a"), "check", vec![]), vec![ret(int(1))])];
         let out = norm(stmts);
-        assert!(matches!(&out[0], Stmt::Assign { value: Expr::Call(_), .. }));
-        assert!(matches!(&out[1], Stmt::If { cond: Expr::Var(_), .. }));
+        assert!(matches!(
+            &out[0],
+            Stmt::Assign {
+                value: Expr::Call(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &out[1],
+            Stmt::If {
+                cond: Expr::Var(_),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn normalization_is_idempotent() {
         let stmts = vec![
-            assign("total", mul(var("amount"), call(var("item"), "price", vec![]))),
+            assign(
+                "total",
+                mul(var("amount"), call(var("item"), "price", vec![])),
+            ),
             ret(var("total")),
         ];
         let once = norm(stmts);
@@ -450,17 +561,25 @@ mod tests {
             .unwrap_or_else(|e| panic!("normalized program fails typecheck: {e:?}"));
         let run = |p: &se_lang::Program| {
             let mut exec = LocalExecutor::new(p);
-            let user =
-                exec.create("User", "alice", [("balance".into(), Value::Int(100))]).unwrap();
+            let user = exec
+                .create("User", "alice", [("balance".into(), Value::Int(100))])
+                .unwrap();
             let item = exec
                 .create(
                     "Item",
                     "laptop",
-                    [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                    [
+                        ("price".into(), Value::Int(30)),
+                        ("stock".into(), Value::Int(5)),
+                    ],
                 )
                 .unwrap();
             let r = exec
-                .invoke(&user, "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+                .invoke(
+                    &user,
+                    "buy_item",
+                    vec![Value::Int(2), Value::Ref(item.clone())],
+                )
                 .unwrap();
             (
                 r,

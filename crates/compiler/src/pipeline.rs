@@ -40,7 +40,9 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        Self { default_parallelism: 4 }
+        Self {
+            default_parallelism: 4,
+        }
     }
 }
 
@@ -81,7 +83,11 @@ pub fn compile_with(
                 Err(e) => errors.push(e),
             }
         }
-        classes.push(CompiledClass { class: class.clone(), methods, machines });
+        classes.push(CompiledClass {
+            class: class.clone(),
+            methods,
+            machines,
+        });
     }
     if !errors.is_empty() {
         return Err(errors);
@@ -135,9 +141,17 @@ pub fn compile_with(
     }
     // Continuations loop back into the dataflow (via Kafka on engines
     // without cycles, §3).
-    edges.push(EdgeSpec { from: NodeRef::Egress, to: NodeRef::Ingress, kind: EdgeKind::Loopback });
+    edges.push(EdgeSpec {
+        from: NodeRef::Egress,
+        to: NodeRef::Ingress,
+        kind: EdgeKind::Loopback,
+    });
 
-    Ok(DataflowGraph { program: compiled, operators, edges })
+    Ok(DataflowGraph {
+        program: compiled,
+        operators,
+        edges,
+    })
 }
 
 /// Aggregate statistics of a compiled graph (used by the compiler
@@ -158,7 +172,10 @@ pub struct CompileStats {
 
 /// Computes [`CompileStats`] for a graph.
 pub fn stats(graph: &DataflowGraph) -> CompileStats {
-    let mut s = CompileStats { classes: graph.program.classes.len(), ..Default::default() };
+    let mut s = CompileStats {
+        classes: graph.program.classes.len(),
+        ..Default::default()
+    };
     for c in &graph.program.classes {
         for m in &c.methods {
             s.methods += 1;
@@ -215,8 +232,12 @@ mod tests {
     fn type_errors_surface() {
         let mut p = figure1_program();
         // Corrupt: make balance a str so arithmetic fails.
-        p.classes[0].attrs.iter_mut().find(|a| a.name == "balance").unwrap().ty =
-            se_lang::Type::Str;
+        p.classes[0]
+            .attrs
+            .iter_mut()
+            .find(|a| a.name == "balance")
+            .unwrap()
+            .ty = se_lang::Type::Str;
         let errs = compile(&p).unwrap_err();
         assert!(!errs.is_empty());
     }
@@ -231,7 +252,11 @@ mod tests {
                 MethodBuilder::new("ping")
                     .param("other", se_lang::Type::entity("Node"))
                     .returns(se_lang::Type::Unit)
-                    .body(vec![expr_stmt(call(var("other"), "ping", vec![var("other")]))]),
+                    .body(vec![expr_stmt(call(
+                        var("other"),
+                        "ping",
+                        vec![var("other")],
+                    ))]),
             )
             .build();
         let errs = compile(&Program::new(vec![node])).unwrap_err();
@@ -242,7 +267,9 @@ mod tests {
     fn parallelism_option_respected() {
         let g = compile_with(
             &counter_program(),
-            &CompileOptions { default_parallelism: 7 },
+            &CompileOptions {
+                default_parallelism: 7,
+            },
         )
         .unwrap();
         assert_eq!(g.operators[0].parallelism, 7);

@@ -39,7 +39,10 @@ pub fn split_method(class_name: &str, method: &Method) -> Result<CompiledMethod,
         ))
     })?;
 
-    let mut lower = Lowerer { blocks: Vec::new(), gen: TempGen::new() };
+    let mut lower = Lowerer {
+        blocks: Vec::new(),
+        gen: TempGen::new(),
+    };
     let entry = lower.new_block();
     let exit = lower.new_block();
     lower.blocks[exit.0 as usize].terminator = Some(Terminator::Return(Expr::Lit(Value::Unit)));
@@ -62,7 +65,11 @@ pub fn split_method(class_name: &str, method: &Method) -> Result<CompiledMethod,
 
     let mut compiled = CompiledMethod {
         name: method.name.clone(),
-        params: method.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect(),
+        params: method
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty.clone()))
+            .collect(),
         ret: method.ret.clone(),
         transactional: method.transactional,
         blocks,
@@ -87,7 +94,11 @@ struct Lowerer {
 impl Lowerer {
     fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(UBlock { id, stmts: Vec::new(), terminator: None });
+        self.blocks.push(UBlock {
+            id,
+            stmts: Vec::new(),
+            terminator: None,
+        });
         id
     }
 
@@ -108,7 +119,11 @@ impl Lowerer {
             match stmt {
                 // Statement-level remote call: suspend here. Anything after
                 // this statement goes into the continuation block.
-                Stmt::Assign { name, value: Expr::Call(c), .. } => {
+                Stmt::Assign {
+                    name,
+                    value: Expr::Call(c),
+                    ..
+                } => {
                     let resume = self.new_block();
                     self.terminate(
                         cur,
@@ -142,13 +157,21 @@ impl Lowerer {
                     // front end would never produce them, drop silently.
                     return;
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let then_blk = self.new_block();
                     let else_blk = self.new_block();
                     let join = self.new_block();
                     self.terminate(
                         cur,
-                        Terminator::Branch { cond: cond.clone(), then_blk, else_blk },
+                        Terminator::Branch {
+                            cond: cond.clone(),
+                            then_blk,
+                            else_blk,
+                        },
                     );
                     self.lower_seq(then_body, then_blk, join);
                     self.lower_seq(else_body, else_blk, join);
@@ -161,12 +184,20 @@ impl Lowerer {
                     self.terminate(cur, Terminator::Jump(head));
                     self.terminate(
                         head,
-                        Terminator::Branch { cond: cond.clone(), then_blk: body_blk, else_blk: after },
+                        Terminator::Branch {
+                            cond: cond.clone(),
+                            then_blk: body_blk,
+                            else_blk: after,
+                        },
                     );
                     self.lower_seq(body, body_blk, head);
                     cur = after;
                 }
-                Stmt::ForList { var, iterable, body } => {
+                Stmt::ForList {
+                    var,
+                    iterable,
+                    body,
+                } => {
                     // Desugar to an index loop over a snapshot of the list:
                     //   __itN = iterable; __ixN = 0
                     //   head: if __ixN < len(__itN) goto body else after
@@ -222,7 +253,9 @@ fn thread_jumps(blocks: &mut [Block]) {
         let mut t = blocks[i].terminator.clone();
         match &mut t {
             Terminator::Jump(to) => *to = resolve(*to, blocks),
-            Terminator::Branch { then_blk, else_blk, .. } => {
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => {
                 *then_blk = resolve(*then_blk, blocks);
                 *else_blk = resolve(*else_blk, blocks);
             }
@@ -246,7 +279,9 @@ fn merge_single_pred_jumps(blocks: &mut [Block]) {
         }
         let mut merged = false;
         for i in 0..blocks.len() {
-            let Terminator::Jump(target) = blocks[i].terminator else { continue };
+            let Terminator::Jump(target) = blocks[i].terminator else {
+                continue;
+            };
             let t = target.0 as usize;
             if t == i || preds[t] != 1 {
                 continue;
@@ -294,7 +329,9 @@ fn drop_unreachable_and_renumber(blocks: Vec<Block>) -> Vec<Block> {
         blk.id = BlockId(remap[old.0 as usize]);
         match &mut blk.terminator {
             Terminator::Jump(to) => to.0 = remap[to.0 as usize],
-            Terminator::Branch { then_blk, else_blk, .. } => {
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => {
                 then_blk.0 = remap[then_blk.0 as usize];
                 else_blk.0 = remap[else_blk.0 as usize];
             }
@@ -327,8 +364,15 @@ mod tests {
 
     #[test]
     fn simple_method_is_one_block() {
-        let m = split(vec![ret(add(var("a"), int(1)))], vec![("a", Type::Int)], Type::Int);
-        assert!(m.is_simple(), "no calls, no control flow ⇒ single block: {m:#?}");
+        let m = split(
+            vec![ret(add(var("a"), int(1)))],
+            vec![("a", Type::Int)],
+            Type::Int,
+        );
+        assert!(
+            m.is_simple(),
+            "no calls, no control flow ⇒ single block: {m:#?}"
+        );
         assert_eq!(m.suspension_points(), 0);
     }
 
@@ -337,7 +381,10 @@ mod tests {
         // Matches the paper's buy_item_0/buy_item_1 example shape.
         let m = split(
             vec![
-                assign("total", mul(var("amount"), call(var("item"), "price", vec![]))),
+                assign(
+                    "total",
+                    mul(var("amount"), call(var("item"), "price", vec![])),
+                ),
                 ret(var("total")),
             ],
             vec![("amount", Type::Int), ("item", Type::entity("Item"))],
@@ -347,7 +394,10 @@ mod tests {
         assert_eq!(m.suspension_points(), 1);
         assert!(matches!(
             m.blocks[0].terminator,
-            Terminator::RemoteCall { resume: BlockId(1), .. }
+            Terminator::RemoteCall {
+                resume: BlockId(1),
+                ..
+            }
         ));
     }
 
@@ -356,7 +406,11 @@ mod tests {
         // "the function is split … on a control-flow structure" (§2.4)
         let m = split(
             vec![
-                if_else(lt(var("a"), int(0)), vec![assign("x", int(1))], vec![assign("x", int(2))]),
+                if_else(
+                    lt(var("a"), int(0)),
+                    vec![assign("x", int(1))],
+                    vec![assign("x", int(2))],
+                ),
                 ret(var("x")),
             ],
             vec![("a", Type::Int)],
@@ -370,10 +424,7 @@ mod tests {
     #[test]
     fn early_return_arms_skip_join() {
         let m = split(
-            vec![
-                if_(lt(var("a"), int(0)), vec![ret(int(-1))]),
-                ret(var("a")),
-            ],
+            vec![if_(lt(var("a"), int(0)), vec![ret(int(-1))]), ret(var("a"))],
             vec![("a", Type::Int)],
             Type::Int,
         );
@@ -390,7 +441,10 @@ mod tests {
         let m = split(
             vec![
                 assign("i", int(0)),
-                while_(lt(var("i"), var("n")), vec![assign("i", add(var("i"), int(1)))]),
+                while_(
+                    lt(var("i"), var("n")),
+                    vec![assign("i", add(var("i"), int(1)))],
+                ),
                 ret(var("i")),
             ],
             vec![("n", Type::Int)],
@@ -407,7 +461,11 @@ mod tests {
         let m = split(
             vec![
                 assign("acc", int(0)),
-                for_list("x", var("xs"), vec![assign("acc", add(var("acc"), var("x")))]),
+                for_list(
+                    "x",
+                    var("xs"),
+                    vec![assign("acc", add(var("acc"), var("x")))],
+                ),
                 ret(var("acc")),
             ],
             vec![("xs", Type::list(Type::Int))],
@@ -429,13 +487,21 @@ mod tests {
     fn call_inside_loop_suspends_per_iteration() {
         // for x in xs: a.f(x)  — one suspension point in the body block.
         let m = split(
-            vec![for_list("x", var("xs"), vec![expr_stmt(call(var("a"), "f", vec![var("x")]))])],
+            vec![for_list(
+                "x",
+                var("xs"),
+                vec![expr_stmt(call(var("a"), "f", vec![var("x")]))],
+            )],
             vec![("xs", Type::list(Type::Int)), ("a", Type::entity("A"))],
             Type::Unit,
         );
         assert_eq!(m.suspension_points(), 1);
         let sm = StateMachine::from_method(&m);
-        assert!(sm.has_cycle(), "loop with call still cycles: {}", sm.to_dot());
+        assert!(
+            sm.has_cycle(),
+            "loop with call still cycles: {}",
+            sm.to_dot()
+        );
     }
 
     #[test]
@@ -460,11 +526,7 @@ mod tests {
 
     #[test]
     fn dead_code_after_return_dropped() {
-        let m = split(
-            vec![ret(int(1)), assign("dead", int(2))],
-            vec![],
-            Type::Int,
-        );
+        let m = split(vec![ret(int(1)), assign("dead", int(2))], vec![], Type::Int);
         assert!(m.is_simple());
         assert!(m.blocks[0].stmts.is_empty());
     }

@@ -15,9 +15,7 @@ use proptest::prelude::*;
 use se_compiler::compile;
 use se_ir::{drive_chain, Invocation, RequestId};
 use se_lang::builder::*;
-use se_lang::{
-    EntityRef, EntityState, LocalExecutor, Method, Program, Stmt, Type, Value,
-};
+use se_lang::{EntityRef, EntityState, LocalExecutor, Method, Program, Stmt, Type, Value};
 
 /// The fixed callee class: an integer cell with getter/setter/adder and a
 /// conditional method exercising control flow on the remote side.
@@ -26,7 +24,11 @@ fn cell_class() -> se_lang::EntityClass {
         .attr_default("cell_id", Type::Str, Value::Str(String::new()))
         .attr_default("v", Type::Int, Value::Int(0))
         .key("cell_id")
-        .method(MethodBuilder::new("getv").returns(Type::Int).body(vec![ret(attr("v"))]))
+        .method(
+            MethodBuilder::new("getv")
+                .returns(Type::Int)
+                .body(vec![ret(attr("v"))]),
+        )
         .method(
             MethodBuilder::new("setv")
                 .param("n", Type::Int)
@@ -146,7 +148,10 @@ fn arb_stmts(
         {
             let scope2 = scope.clone();
             choices.push(
-                (prop_oneof![Just("x"), Just("y")], arb_int_expr(scope.clone()))
+                (
+                    prop_oneof![Just("x"), Just("y")],
+                    arb_int_expr(scope.clone()),
+                )
                     .prop_map(move |(a, e)| (vec![attr_assign(a, e)], scope2.clone()))
                     .boxed(),
             );
@@ -239,8 +244,8 @@ fn arb_stmts(
 /// A complete generated method `run(p, q, c1: Cell, c2: Cell) -> int`.
 fn arb_run_method() -> impl Strategy<Value = Method> {
     let scope = vec!["p".to_string(), "q".to_string()];
-    (arb_stmts(scope.clone(), 2, 0), arb_int_expr(scope))
-        .prop_map(|((mut body, scope_after), ret_expr)| {
+    (arb_stmts(scope.clone(), 2, 0), arb_int_expr(scope)).prop_map(
+        |((mut body, scope_after), ret_expr)| {
             // Return either the generated expression or the last defined var.
             let _ = &scope_after;
             body.push(ret(ret_expr));
@@ -252,7 +257,8 @@ fn arb_run_method() -> impl Strategy<Value = Method> {
                 .returns(Type::Int)
                 .body(body)
                 .build()
-        })
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -265,8 +271,12 @@ type Outcome = (Result<Value, String>, Vec<(String, Value)>);
 fn run_interpreted(program: &Program, p: i64, q: i64) -> Outcome {
     let mut exec = LocalExecutor::new(program);
     let app = exec.create("App", "app", []).unwrap();
-    let c1 = exec.create("Cell", "c1", [("v".into(), Value::Int(10))]).unwrap();
-    let c2 = exec.create("Cell", "c2", [("v".into(), Value::Int(-7))]).unwrap();
+    let c1 = exec
+        .create("Cell", "c1", [("v".into(), Value::Int(10))])
+        .unwrap();
+    let c2 = exec
+        .create("Cell", "c2", [("v".into(), Value::Int(-7))])
+        .unwrap();
     let result = exec
         .invoke(
             &app,
@@ -284,14 +294,23 @@ fn run_compiled(program: &Program, p: i64, q: i64) -> Outcome {
     let app = EntityRef::new("App", "app");
     let c1 = EntityRef::new("Cell", "c1");
     let c2 = EntityRef::new("Cell", "c2");
-    store.insert(app.clone(), program.class("App").unwrap().initial_state("app", []));
+    store.insert(
+        app.clone(),
+        program.class("App").unwrap().initial_state("app", []),
+    );
     store.insert(
         c1.clone(),
-        program.class("Cell").unwrap().initial_state("c1", [("v".into(), Value::Int(10))]),
+        program
+            .class("Cell")
+            .unwrap()
+            .initial_state("c1", [("v".into(), Value::Int(10))]),
     );
     store.insert(
         c2.clone(),
-        program.class("Cell").unwrap().initial_state("c2", [("v".into(), Value::Int(-7))]),
+        program
+            .class("Cell")
+            .unwrap()
+            .initial_state("c2", [("v".into(), Value::Int(-7))]),
     );
 
     let root = Invocation::root(
@@ -316,14 +335,19 @@ fn run_compiled(program: &Program, p: i64, q: i64) -> Outcome {
         10_000,
     );
     let store = cell.into_inner();
-    (resp.result.map_err(|e| e.to_string()), collect_states(|r| store.get(r).cloned()))
+    (
+        resp.result.map_err(|e| e.to_string()),
+        collect_states(|r| store.get(r).cloned()),
+    )
 }
 
 fn collect_states(get: impl Fn(&EntityRef) -> Option<EntityState>) -> Vec<(String, Value)> {
     let mut out = Vec::new();
-    for (class, key, attrs) in
-        [("App", "app", vec!["x", "y"]), ("Cell", "c1", vec!["v"]), ("Cell", "c2", vec!["v"])]
-    {
+    for (class, key, attrs) in [
+        ("App", "app", vec!["x", "y"]),
+        ("Cell", "c1", vec!["v"]),
+        ("Cell", "c2", vec!["v"]),
+    ] {
         let st = get(&EntityRef::new(class, key)).expect("entity exists");
         for a in attrs {
             out.push((format!("{class}.{key}.{a}"), st[a].clone()));
@@ -359,17 +383,25 @@ fn figure1_equivalence_exhaustive_inputs() {
             for amount in [0i64, 1, 2, 3, 7] {
                 // Oracle.
                 let mut exec = LocalExecutor::new(&program);
-                let user =
-                    exec.create("User", "u", [("balance".into(), Value::Int(balance))]).unwrap();
+                let user = exec
+                    .create("User", "u", [("balance".into(), Value::Int(balance))])
+                    .unwrap();
                 let item = exec
                     .create(
                         "Item",
                         "i",
-                        [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(stock))],
+                        [
+                            ("price".into(), Value::Int(30)),
+                            ("stock".into(), Value::Int(stock)),
+                        ],
                     )
                     .unwrap();
                 let want = exec
-                    .invoke(&user, "buy_item", vec![Value::Int(amount), Value::Ref(item.clone())])
+                    .invoke(
+                        &user,
+                        "buy_item",
+                        vec![Value::Int(amount), Value::Ref(item.clone())],
+                    )
                     .unwrap();
                 let want_state = (
                     exec.store().state(&user).unwrap()["balance"].clone(),
@@ -389,7 +421,10 @@ fn figure1_equivalence_exhaustive_inputs() {
                     item.clone(),
                     program.class("Item").unwrap().initial_state(
                         "i",
-                        [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(stock))],
+                        [
+                            ("price".into(), Value::Int(30)),
+                            ("stock".into(), Value::Int(stock)),
+                        ],
                     ),
                 );
                 let cell = RefCell::new(store);
@@ -408,10 +443,19 @@ fn figure1_equivalence_exhaustive_inputs() {
                     100,
                 );
                 let store = cell.into_inner();
-                assert_eq!(resp.result.unwrap(), want, "balance={balance} stock={stock} amount={amount}");
-                let got_state =
-                    (store[&user]["balance"].clone(), store[&item]["stock"].clone());
-                assert_eq!(got_state, want_state, "balance={balance} stock={stock} amount={amount}");
+                assert_eq!(
+                    resp.result.unwrap(),
+                    want,
+                    "balance={balance} stock={stock} amount={amount}"
+                );
+                let got_state = (
+                    store[&user]["balance"].clone(),
+                    store[&item]["stock"].clone(),
+                );
+                assert_eq!(
+                    got_state, want_state,
+                    "balance={balance} stock={stock} amount={amount}"
+                );
             }
         }
     }

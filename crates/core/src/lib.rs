@@ -31,8 +31,8 @@ pub use se_compiler::{compile, compile_with, stats, CompileOptions, CompileStats
 pub use se_dataflow::{EntityRuntime, NetConfig, ResponseWaiter};
 pub use se_ir::{DataflowGraph, StateMachine};
 pub use se_lang::{builder, programs, typecheck, EntityRef, Type, Value};
-pub use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};
 pub use se_stateflow::{StateflowConfig, StateflowRuntime};
+pub use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};
 
 /// Everything an application author needs.
 pub mod prelude {
@@ -91,17 +91,25 @@ mod tests {
             RuntimeChoice::Stateflow(StateflowConfig::fast_test(2)),
         ] {
             let rt = deploy(&program, choice).unwrap();
-            let user =
-                rt.create("User", "u", vec![("balance".into(), Value::Int(100))]).unwrap();
+            let user = rt
+                .create("User", "u", vec![("balance".into(), Value::Int(100))])
+                .unwrap();
             let item = rt
                 .create(
                     "Item",
                     "i",
-                    vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                    vec![
+                        ("price".into(), Value::Int(30)),
+                        ("stock".into(), Value::Int(5)),
+                    ],
                 )
                 .unwrap();
             let ok = rt
-                .call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item)])
+                .call(
+                    user.clone(),
+                    "buy_item",
+                    vec![Value::Int(2), Value::Ref(item)],
+                )
                 .unwrap();
             assert_eq!(ok, Value::Bool(true), "engine {}", rt.name());
             assert_eq!(

@@ -23,7 +23,10 @@ impl LocalRuntime {
     /// Local runtime rejects exactly what the distributed runtimes reject.
     pub fn deploy(program: &Program) -> Result<Self, Vec<LangError>> {
         se_lang::typecheck::check_program(program)?;
-        Ok(Self { program: program.clone(), store: Mutex::new(LocalStore::new()) })
+        Ok(Self {
+            program: program.clone(),
+            store: Mutex::new(LocalStore::new()),
+        })
     }
 
     /// Runs `f` with read access to the underlying store (tests, oracles).
@@ -71,15 +74,26 @@ mod tests {
     fn local_runtime_runs_figure1() {
         let program = se_lang::programs::figure1_program();
         let rt = LocalRuntime::deploy(&program).unwrap();
-        let user = rt.create("User", "alice", vec![("balance".into(), Value::Int(100))]).unwrap();
+        let user = rt
+            .create("User", "alice", vec![("balance".into(), Value::Int(100))])
+            .unwrap();
         let item = rt
             .create(
                 "Item",
                 "laptop",
-                vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                vec![
+                    ("price".into(), Value::Int(30)),
+                    ("stock".into(), Value::Int(5)),
+                ],
             )
             .unwrap();
-        let ok = rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item)]).unwrap();
+        let ok = rt
+            .call(
+                user.clone(),
+                "buy_item",
+                vec![Value::Int(2), Value::Ref(item)],
+            )
+            .unwrap();
         assert_eq!(ok, Value::Bool(true));
         rt.with_store(|s| {
             assert_eq!(s.state(&user).unwrap()["balance"], Value::Int(40));

@@ -23,7 +23,13 @@ impl ResponseWaiter {
     /// Creates a waiter and the sender used to complete it.
     pub fn new() -> (ResponseCompleter, ResponseWaiter) {
         let (tx, rx) = channel::bounded(1);
-        (ResponseCompleter { tx }, ResponseWaiter { rx, issued: Instant::now() })
+        (
+            ResponseCompleter { tx },
+            ResponseWaiter {
+                rx,
+                issued: Instant::now(),
+            },
+        )
     }
 
     /// A waiter that is already completed (for immediate errors).

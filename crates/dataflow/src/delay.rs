@@ -55,7 +55,9 @@ pub struct DelaySender<T> {
 impl<T> Clone for DelaySender<T> {
     fn clone(&self) -> Self {
         self.shared.senders.fetch_add(1, Ordering::SeqCst);
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -122,7 +124,13 @@ impl<T> DelayReceiver<T> {
                 }
                 self.shared.available.wait_until(&mut guard, deadline);
             }
-            if Instant::now() >= deadline && guard.0.peek().map(|Reverse(e)| e.due > deadline).unwrap_or(true) {
+            if Instant::now() >= deadline
+                && guard
+                    .0
+                    .peek()
+                    .map(|Reverse(e)| e.due > deadline)
+                    .unwrap_or(true)
+            {
                 return None;
             }
         }
@@ -163,7 +171,12 @@ pub fn delay_channel<T>() -> (DelaySender<T>, DelayReceiver<T>) {
         available: Condvar::new(),
         senders: AtomicUsize::new(1),
     });
-    (DelaySender { shared: Arc::clone(&shared) }, DelayReceiver { shared })
+    (
+        DelaySender {
+            shared: Arc::clone(&shared),
+        },
+        DelayReceiver { shared },
+    )
 }
 
 #[cfg(test)]
@@ -207,7 +220,10 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(5)), None, "too early");
         let got = rx.recv_timeout(Duration::from_millis(500));
         assert_eq!(got, Some(()));
-        assert!(start.elapsed() >= Duration::from_millis(70), "delivered too early");
+        assert!(
+            start.elapsed() >= Duration::from_millis(70),
+            "delivered too early"
+        );
     }
 
     #[test]

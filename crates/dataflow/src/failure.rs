@@ -43,7 +43,9 @@ impl FailurePlan {
     /// Called by `node` once per processed event; returns `true` exactly
     /// once — at the moment the crash should happen.
     pub fn should_fail(&self, node: &str) -> bool {
-        let Some(inner) = &self.inner else { return false };
+        let Some(inner) = &self.inner else {
+            return false;
+        };
         if inner.node != node || inner.fired.load(Ordering::SeqCst) {
             return false;
         }
@@ -63,7 +65,10 @@ impl FailurePlan {
 
     /// Whether the planned failure has already fired.
     pub fn has_fired(&self) -> bool {
-        self.inner.as_ref().map(|i| i.fired.load(Ordering::SeqCst)).unwrap_or(false)
+        self.inner
+            .as_ref()
+            .map(|i| i.fired.load(Ordering::SeqCst))
+            .unwrap_or(false)
     }
 
     /// Whether a failure is planned at all (fired or not).

@@ -132,7 +132,11 @@ impl ComponentTimers {
 
     /// Snapshot of `(component, total, count)` rows, sorted by name.
     pub fn report(&self) -> Vec<(&'static str, Duration, u64)> {
-        self.totals.lock().iter().map(|(k, (d, c))| (*k, *d, *c)).collect()
+        self.totals
+            .lock()
+            .iter()
+            .map(|(k, (d, c))| (*k, *d, *c))
+            .collect()
     }
 
     /// Total across all components.
@@ -173,12 +177,16 @@ impl Default for Throughput {
 impl Throughput {
     /// Starts counting now.
     pub fn new() -> Self {
-        Self { start: Instant::now(), count: std::sync::atomic::AtomicU64::new(0) }
+        Self {
+            start: Instant::now(),
+            count: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Counts one event.
     pub fn incr(&self) {
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Total events counted.

@@ -119,8 +119,14 @@ mod tests {
 
     #[test]
     fn scaling_applies() {
-        let cfg = NetConfig { time_scale: 0.5, ..NetConfig::default() };
-        assert_eq!(cfg.scaled(Duration::from_millis(10)), Duration::from_millis(5));
+        let cfg = NetConfig {
+            time_scale: 0.5,
+            ..NetConfig::default()
+        };
+        assert_eq!(
+            cfg.scaled(Duration::from_millis(10)),
+            Duration::from_millis(5)
+        );
         let measured = Duration::from_millis(5);
         assert_eq!(cfg.unscale(measured), Duration::from_millis(10));
     }
@@ -145,7 +151,10 @@ mod tests {
 
     #[test]
     fn zero_scale_does_not_divide_by_zero() {
-        let cfg = NetConfig { time_scale: 0.0, ..NetConfig::default() };
+        let cfg = NetConfig {
+            time_scale: 0.0,
+            ..NetConfig::default()
+        };
         assert_eq!(cfg.scaled(Duration::from_millis(10)), Duration::ZERO);
         let _ = cfg.unscale(Duration::from_millis(1));
     }

@@ -38,7 +38,9 @@ impl<S: Clone> Default for SnapshotStore<S> {
 impl<S: Clone> SnapshotStore<S> {
     /// An empty store.
     pub fn new() -> Self {
-        Self { epochs: Mutex::new(BTreeMap::new()) }
+        Self {
+            epochs: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// Declares a new epoch and how many node contributions complete it.
@@ -58,14 +60,18 @@ impl<S: Clone> SnapshotStore<S> {
     /// epoch is a protocol bug.
     pub fn put(&self, epoch: Epoch, node: &str, state: S) {
         let mut g = self.epochs.lock();
-        let data = g.get_mut(&epoch).expect("epoch must be begun before contributions");
+        let data = g
+            .get_mut(&epoch)
+            .expect("epoch must be begun before contributions");
         data.states.insert(node.to_owned(), state);
     }
 
     /// Records a source's read offset at the epoch boundary.
     pub fn put_source_offset(&self, epoch: Epoch, source: &str, offset: u64) {
         let mut g = self.epochs.lock();
-        let data = g.get_mut(&epoch).expect("epoch must be begun before contributions");
+        let data = g
+            .get_mut(&epoch)
+            .expect("epoch must be begun before contributions");
         data.source_offsets.insert(source.to_owned(), offset);
     }
 
@@ -81,17 +87,26 @@ impl<S: Clone> SnapshotStore<S> {
     /// The newest complete epoch, if any.
     pub fn latest_complete(&self) -> Option<Epoch> {
         let g = self.epochs.lock();
-        g.iter().rev().find(|(_, d)| d.states.len() >= d.expected).map(|(e, _)| *e)
+        g.iter()
+            .rev()
+            .find(|(_, d)| d.states.len() >= d.expected)
+            .map(|(e, _)| *e)
     }
 
     /// Node `node`'s state at `epoch`.
     pub fn get(&self, epoch: Epoch, node: &str) -> Option<S> {
-        self.epochs.lock().get(&epoch).and_then(|d| d.states.get(node).cloned())
+        self.epochs
+            .lock()
+            .get(&epoch)
+            .and_then(|d| d.states.get(node).cloned())
     }
 
     /// Source offset recorded at `epoch`.
     pub fn source_offset(&self, epoch: Epoch, source: &str) -> Option<u64> {
-        self.epochs.lock().get(&epoch).and_then(|d| d.source_offsets.get(source).copied())
+        self.epochs
+            .lock()
+            .get(&epoch)
+            .and_then(|d| d.source_offsets.get(source).copied())
     }
 
     /// Drops all epochs older than `keep_from` (checkpoint retention).
@@ -129,7 +144,11 @@ mod tests {
         store.put(1, "w0", 10);
         store.begin_epoch(2, 2);
         store.put(2, "w0", 20); // w1 never contributes: epoch 2 incomplete
-        assert_eq!(store.latest_complete(), Some(1), "incomplete epoch must be ignored");
+        assert_eq!(
+            store.latest_complete(),
+            Some(1),
+            "incomplete epoch must be ignored"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub struct ReplayableSource<T> {
 
 impl<T> Clone for ReplayableSource<T> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -111,7 +113,10 @@ pub struct SourceReader<T> {
 impl<T: Clone> SourceReader<T> {
     /// A reader starting at `offset`.
     pub fn at(source: &ReplayableSource<T>, offset: u64) -> Self {
-        Self { source: source.clone(), offset }
+        Self {
+            source: source.clone(),
+            offset,
+        }
     }
 
     /// Current offset (the next event to read).
@@ -166,7 +171,11 @@ mod tests {
         assert_eq!(rd.poll(), Some(2));
         // Crash! Snapshot said offset 1.
         rd.seek(1);
-        assert_eq!(rd.poll(), Some(1), "replay must re-deliver from the snapshot offset");
+        assert_eq!(
+            rd.poll(),
+            Some(1),
+            "replay must re-deliver from the snapshot offset"
+        );
         assert_eq!(rd.offset(), 2);
     }
 

@@ -34,7 +34,8 @@ impl StateStore {
 
     /// Reads an entity's state, erroring if absent.
     pub fn get_or_err(&self, r: &EntityRef) -> Result<&EntityState, LangError> {
-        self.get(r).ok_or_else(|| LangError::runtime(format!("unknown entity {r}")))
+        self.get(r)
+            .ok_or_else(|| LangError::runtime(format!("unknown entity {r}")))
     }
 
     /// Clones an entity's state, erroring if absent.
@@ -73,7 +74,12 @@ impl StateStore {
     }
 
     /// Applies a single attribute write (used by transactional commit).
-    pub fn apply_write(&mut self, r: &EntityRef, attr: &str, value: Value) -> Result<(), LangError> {
+    pub fn apply_write(
+        &mut self,
+        r: &EntityRef,
+        attr: &str,
+        value: Value,
+    ) -> Result<(), LangError> {
         let st = self
             .entities
             .get_mut(r)
@@ -90,7 +96,9 @@ impl StateStore {
             .map(|(r, s)| {
                 16 + r.class.len()
                     + r.key.len()
-                    + s.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>()
+                    + s.iter()
+                        .map(|(k, v)| k.len() + v.approx_size())
+                        .sum::<usize>()
             })
             .sum()
     }
@@ -121,7 +129,11 @@ mod tests {
     fn missing_entity_errors() {
         let store = StateStore::new();
         let r = EntityRef::new("User", "ghost");
-        assert!(store.get_or_err(&r).unwrap_err().to_string().contains("unknown entity"));
+        assert!(store
+            .get_or_err(&r)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown entity"));
     }
 
     #[test]
@@ -142,7 +154,11 @@ mod tests {
         store.insert(r.clone(), s);
         let snap = store.clone();
         store.apply_write(&r, "balance", Value::Int(0)).unwrap();
-        assert_eq!(snap.get(&r).unwrap()["balance"], Value::Int(10), "snapshot must not move");
+        assert_eq!(
+            snap.get(&r).unwrap()["balance"],
+            Value::Int(10),
+            "snapshot must not move"
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl Terminator {
         match self {
             Terminator::Return(_) => vec![],
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_blk, else_blk, .. } => vec![*then_blk, *else_blk],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
             Terminator::RemoteCall { resume, .. } => vec![*resume],
         }
     }
@@ -128,7 +130,10 @@ impl CompiledMethod {
     /// Number of remote-call suspension points (how many times the original
     /// function was split due to calls).
     pub fn suspension_points(&self) -> usize {
-        self.blocks.iter().filter(|b| b.is_suspension_point()).count()
+        self.blocks
+            .iter()
+            .filter(|b| b.is_suspension_point())
+            .count()
     }
 
     /// Whether the method runs in a single block (no splitting happened —
@@ -142,7 +147,10 @@ impl CompiledMethod {
     /// range, and no remote call inside block bodies.
     pub fn validate(&self) -> Result<(), String> {
         if self.entry.0 as usize >= self.blocks.len() {
-            return Err(format!("method {}: entry {} out of range", self.name, self.entry));
+            return Err(format!(
+                "method {}: entry {} out of range",
+                self.name, self.entry
+            ));
         }
         for (i, b) in self.blocks.iter().enumerate() {
             if b.id.0 as usize != i {
@@ -216,13 +224,19 @@ mod tests {
     #[test]
     fn validate_rejects_call_in_body() {
         let mut m = simple_method();
-        m.blocks[0].stmts.push(expr_stmt(call(var("x"), "m", vec![])));
+        m.blocks[0]
+            .stmts
+            .push(expr_stmt(call(var("x"), "m", vec![])));
         assert!(m.validate().unwrap_err().contains("contains a remote call"));
     }
 
     #[test]
     fn successors_enumerated() {
-        let t = Terminator::Branch { cond: lit(true), then_blk: BlockId(1), else_blk: BlockId(2) };
+        let t = Terminator::Branch {
+            cond: lit(true),
+            then_blk: BlockId(1),
+            else_blk: BlockId(2),
+        };
         assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Return(int(0)).successors().is_empty());
         let rc = Terminator::RemoteCall {

@@ -101,12 +101,12 @@ impl Invocation {
     /// per-KB cost on this.
     pub fn approx_size(&self) -> usize {
         let env_size = |env: &Env| -> usize {
-            env.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>()
+            env.iter()
+                .map(|(k, v)| k.len() + v.approx_size())
+                .sum::<usize>()
         };
         let kind = match &self.kind {
-            InvocationKind::Start { args } => {
-                args.iter().map(Value::approx_size).sum::<usize>()
-            }
+            InvocationKind::Start { args } => args.iter().map(Value::approx_size).sum::<usize>(),
             InvocationKind::Resume { env, result, .. } => env_size(env) + result.approx_size(),
         };
         let stack: usize = self
@@ -162,7 +162,10 @@ impl EntityOp {
             EntityOp::Create { class, key, init } => {
                 16 + class.len()
                     + key.len()
-                    + init.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>()
+                    + init
+                        .iter()
+                        .map(|(k, v)| k.len() + v.approx_size())
+                        .sum::<usize>()
             }
             EntityOp::Invoke(inv) => inv.approx_size(),
         }
@@ -207,7 +210,11 @@ mod tests {
 
     #[test]
     fn routing_target_for_ops() {
-        let c = EntityOp::Create { class: "Item".into(), key: "laptop".into(), init: vec![] };
+        let c = EntityOp::Create {
+            class: "Item".into(),
+            key: "laptop".into(),
+            init: vec![],
+        };
         assert_eq!(c.routing_target(), EntityRef::new("Item", "laptop"));
         let i = EntityOp::Invoke(Invocation::root(
             RequestId(1),

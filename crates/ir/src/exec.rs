@@ -63,11 +63,21 @@ pub fn run_from_block(
                 return Ok(BlockOutcome::Return(v));
             }
             Terminator::Jump(next) => cur = *next,
-            Terminator::Branch { cond, then_blk, else_blk } => {
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = interp.eval(cond, env, state, &mut DenyRemoteCalls)?;
                 cur = if c.truthy() { *then_blk } else { *else_blk };
             }
-            Terminator::RemoteCall { target, method: callee, args, result_var, resume } => {
+            Terminator::RemoteCall {
+                target,
+                method: callee,
+                args,
+                result_var,
+                resume,
+            } => {
                 let target_val = interp.eval(target, env, state, &mut DenyRemoteCalls)?;
                 let target_ref = target_val.as_ref()?.clone();
                 let mut arg_vals = Vec::with_capacity(args.len());
@@ -112,7 +122,10 @@ pub fn process_invocation(
 ) -> StepEffect {
     match process_inner(program, inv.clone(), state) {
         Ok(effect) => effect,
-        Err(e) => StepEffect::Respond(Response { request: inv.request, result: Err(e) }),
+        Err(e) => StepEffect::Respond(Response {
+            request: inv.request,
+            result: Err(e),
+        }),
     }
 }
 
@@ -131,11 +144,20 @@ fn process_inner(
                     actual: args.len(),
                 });
             }
-            let env: Env =
-                method.params.iter().map(|(n, _)| n.clone()).zip(args).collect();
+            let env: Env = method
+                .params
+                .iter()
+                .map(|(n, _)| n.clone())
+                .zip(args)
+                .collect();
             (env, method.entry)
         }
-        InvocationKind::Resume { block, env, result, result_var } => {
+        InvocationKind::Resume {
+            block,
+            env,
+            result,
+            result_var,
+        } => {
             let mut env = env;
             if let Some(var) = result_var {
                 env.insert(var, result);
@@ -166,7 +188,13 @@ fn process_inner(
                 })),
             }
         }
-        BlockOutcome::Call { target, method: callee, args, result_var, resume } => {
+        BlockOutcome::Call {
+            target,
+            method: callee,
+            args,
+            result_var,
+            resume,
+        } => {
             let mut stack = inv.stack;
             stack.push(Frame {
                 entity: inv.target,
@@ -205,7 +233,12 @@ pub fn drive_chain(
         let target = current.target.clone();
         let mut state = match state_of(&target) {
             Ok(s) => s,
-            Err(e) => return Response { request, result: Err(e) },
+            Err(e) => {
+                return Response {
+                    request,
+                    result: Err(e),
+                }
+            }
         };
         let effect = process_invocation(program, current, &mut state);
         store_back(&target, state);
@@ -216,7 +249,9 @@ pub fn drive_chain(
     }
     Response {
         request,
-        result: Err(LangError::runtime(format!("invocation chain exceeded {max_hops} hops"))),
+        result: Err(LangError::runtime(format!(
+            "invocation chain exceeded {max_hops} hops"
+        ))),
     }
 }
 
@@ -286,9 +321,15 @@ mod tests {
 
         let mk = |class, methods: Vec<CompiledMethod>| {
             let machines = methods.iter().map(StateMachine::from_method).collect();
-            CompiledClass { class, methods, machines }
+            CompiledClass {
+                class,
+                methods,
+                machines,
+            }
         };
-        CompiledProgram { classes: vec![mk(a_class, vec![a_double]), mk(b_class, vec![b_price])] }
+        CompiledProgram {
+            classes: vec![mk(a_class, vec![a_double]), mk(b_class, vec![b_price])],
+        }
     }
 
     #[test]
@@ -305,7 +346,9 @@ mod tests {
 
         let mut a_state = p.class("A").unwrap().class.initial_state("a1", []);
         let effect = process_invocation(&p, root, &mut a_state);
-        let StepEffect::Emit(call_event) = effect else { panic!("expected Emit") };
+        let StepEffect::Emit(call_event) = effect else {
+            panic!("expected Emit")
+        };
         assert_eq!(call_event.target, b);
         assert_eq!(call_event.method, "price");
         assert_eq!(call_event.stack.len(), 1);
@@ -315,15 +358,22 @@ mod tests {
 
         let mut b_state = p.class("B").unwrap().class.initial_state("b1", []);
         let effect = process_invocation(&p, call_event, &mut b_state);
-        let StepEffect::Emit(resume_event) = effect else { panic!("expected Emit") };
+        let StepEffect::Emit(resume_event) = effect else {
+            panic!("expected Emit")
+        };
         assert_eq!(resume_event.target, a);
         assert!(matches!(
             resume_event.kind,
-            InvocationKind::Resume { result: Value::Int(21), .. }
+            InvocationKind::Resume {
+                result: Value::Int(21),
+                ..
+            }
         ));
 
         let effect = process_invocation(&p, resume_event, &mut a_state);
-        let StepEffect::Respond(resp) = effect else { panic!("expected Respond") };
+        let StepEffect::Respond(resp) = effect else {
+            panic!("expected Respond")
+        };
         assert_eq!(resp.result.unwrap(), Value::Int(42));
     }
 
@@ -345,11 +395,16 @@ mod tests {
         let a = EntityRef::new("A", "a1");
         let b = EntityRef::new("B", "b1");
         let mut store = std::collections::HashMap::new();
-        store.insert(a.clone(), p.class("A").unwrap().class.initial_state("a1", []));
-        store.insert(b.clone(), p.class("B").unwrap().class.initial_state("b1", []));
+        store.insert(
+            a.clone(),
+            p.class("A").unwrap().class.initial_state("a1", []),
+        );
+        store.insert(
+            b.clone(),
+            p.class("B").unwrap().class.initial_state("b1", []),
+        );
 
-        let root =
-            Invocation::root(RequestId(3), a, "double_price", vec![Value::Ref(b)]);
+        let root = Invocation::root(RequestId(3), a, "double_price", vec![Value::Ref(b)]);
         let store_cell = std::cell::RefCell::new(store);
         let resp = drive_chain(
             &p,

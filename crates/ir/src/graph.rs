@@ -66,20 +66,27 @@ impl CompiledProgram {
 
     /// Looks up a compiled class, erroring if absent.
     pub fn class_or_err(&self, name: &str) -> Result<&CompiledClass, LangError> {
-        self.class(name).ok_or_else(|| LangError::UndefinedClass(name.to_owned()))
+        self.class(name)
+            .ok_or_else(|| LangError::UndefinedClass(name.to_owned()))
     }
 
     /// Looks up a compiled method, erroring if absent.
     pub fn method_or_err(&self, class: &str, method: &str) -> Result<&CompiledMethod, LangError> {
-        self.class_or_err(class)?.method(method).ok_or_else(|| LangError::UndefinedMethod {
-            class: class.to_owned(),
-            method: method.to_owned(),
-        })
+        self.class_or_err(class)?
+            .method(method)
+            .ok_or_else(|| LangError::UndefinedMethod {
+                class: class.to_owned(),
+                method: method.to_owned(),
+            })
     }
 
     /// Total number of split-function blocks across the program.
     pub fn total_blocks(&self) -> usize {
-        self.classes.iter().flat_map(|c| &c.methods).map(|m| m.blocks.len()).sum()
+        self.classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.blocks.len())
+            .sum()
     }
 }
 
@@ -228,9 +235,15 @@ mod tests {
             entry: BlockId(0),
         };
         let machine = StateMachine::from_method(&method);
-        let compiled = CompiledClass { class, methods: vec![method], machines: vec![machine] };
+        let compiled = CompiledClass {
+            class,
+            methods: vec![method],
+            machines: vec![machine],
+        };
         DataflowGraph {
-            program: CompiledProgram { classes: vec![compiled] },
+            program: CompiledProgram {
+                classes: vec![compiled],
+            },
             operators: vec![OperatorSpec {
                 id: OperatorId(0),
                 class_name: "Counter".into(),

@@ -81,16 +81,25 @@ impl StateMachine {
             .map(|b| match &b.terminator {
                 Terminator::Return(_) => vec![Transition::Return],
                 Terminator::Jump(to) => vec![Transition::Jump { to: *to }],
-                Terminator::Branch { then_blk, else_blk, .. } => vec![
+                Terminator::Branch {
+                    then_blk, else_blk, ..
+                } => vec![
                     Transition::BranchTrue { to: *then_blk },
                     Transition::BranchFalse { to: *else_blk },
                 ],
                 Terminator::RemoteCall { method, resume, .. } => {
-                    vec![Transition::CallReturn { method: method.clone(), to: *resume }]
+                    vec![Transition::CallReturn {
+                        method: method.clone(),
+                        to: *resume,
+                    }]
                 }
             })
             .collect();
-        Self { method: m.name.clone(), transitions, entry: m.entry }
+        Self {
+            method: m.name.clone(),
+            transitions,
+            entry: m.entry,
+        }
     }
 
     /// Number of states.
@@ -217,7 +226,12 @@ mod tests {
     }
 
     fn blk(id: u32, terminator: Terminator) -> Block {
-        Block { id: BlockId(id), params: vec![], stmts: vec![], terminator }
+        Block {
+            id: BlockId(id),
+            params: vec![],
+            stmts: vec![],
+            terminator,
+        }
     }
 
     #[test]
@@ -233,7 +247,14 @@ mod tests {
                     resume: BlockId(1),
                 },
             ),
-            blk(1, Terminator::Branch { cond: lit(true), then_blk: BlockId(2), else_blk: BlockId(3) }),
+            blk(
+                1,
+                Terminator::Branch {
+                    cond: lit(true),
+                    then_blk: BlockId(2),
+                    else_blk: BlockId(3),
+                },
+            ),
             blk(2, Terminator::Return(int(1))),
             blk(3, Terminator::Return(int(0))),
         ]);
@@ -243,14 +264,24 @@ mod tests {
         assert!(!sm.has_cycle());
         assert_eq!(
             sm.transitions[0],
-            vec![Transition::CallReturn { method: "price".into(), to: BlockId(1) }]
+            vec![Transition::CallReturn {
+                method: "price".into(),
+                to: BlockId(1)
+            }]
         );
     }
 
     #[test]
     fn cycle_detected_for_loops() {
         let m = method_with(vec![
-            blk(0, Terminator::Branch { cond: lit(true), then_blk: BlockId(1), else_blk: BlockId(2) }),
+            blk(
+                0,
+                Terminator::Branch {
+                    cond: lit(true),
+                    then_blk: BlockId(1),
+                    else_blk: BlockId(2),
+                },
+            ),
             blk(1, Terminator::Jump(BlockId(0))),
             blk(2, Terminator::Return(int(0))),
         ]);

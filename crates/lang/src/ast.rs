@@ -44,7 +44,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether the operator produces a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// Whether the operator is a short-circuiting logical connective.
@@ -246,7 +249,11 @@ impl Stmt {
         match self {
             Stmt::Assign { value, .. } | Stmt::AttrAssign { value, .. } => value.contains_call(),
             Stmt::Return(e) | Stmt::Expr(e) => e.contains_call(),
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 cond.contains_call()
                     || then_body.iter().any(Stmt::contains_call)
                     || else_body.iter().any(Stmt::contains_call)
@@ -339,8 +346,11 @@ impl EntityClass {
         key: &str,
         init: impl IntoIterator<Item = (String, Value)>,
     ) -> crate::value::EntityState {
-        let mut state: crate::value::EntityState =
-            self.attrs.iter().map(|a| (a.name.clone(), a.default.clone())).collect();
+        let mut state: crate::value::EntityState = self
+            .attrs
+            .iter()
+            .map(|a| (a.name.clone(), a.default.clone()))
+            .collect();
         for (k, v) in init {
             state.insert(k, v);
         }
@@ -369,7 +379,8 @@ impl Program {
 
     /// Looks up a class, erroring if absent.
     pub fn class_or_err(&self, name: &str) -> Result<&EntityClass, crate::LangError> {
-        self.class(name).ok_or_else(|| crate::LangError::UndefinedClass(name.to_owned()))
+        self.class(name)
+            .ok_or_else(|| crate::LangError::UndefinedClass(name.to_owned()))
     }
 }
 
@@ -387,7 +398,11 @@ mod tests {
 
     #[test]
     fn contains_call_direct_and_nested() {
-        let s = Stmt::Assign { name: "x".into(), ty: None, value: call("item", "price") };
+        let s = Stmt::Assign {
+            name: "x".into(),
+            ty: None,
+            value: call("item", "price"),
+        };
         assert!(s.contains_call());
 
         let nested = Stmt::If {
@@ -440,8 +455,16 @@ mod tests {
         let class = EntityClass {
             name: "User".into(),
             attrs: vec![
-                AttrDef { name: "username".into(), ty: Type::Str, default: Value::Str("".into()) },
-                AttrDef { name: "balance".into(), ty: Type::Int, default: Value::Int(1) },
+                AttrDef {
+                    name: "username".into(),
+                    ty: Type::Str,
+                    default: Value::Str("".into()),
+                },
+                AttrDef {
+                    name: "balance".into(),
+                    ty: Type::Int,
+                    default: Value::Int(1),
+                },
             ],
             key_attr: "username".into(),
             methods: vec![],

@@ -24,9 +24,7 @@
 //! assert_eq!(item.methods.len(), 1);
 //! ```
 
-use crate::ast::{
-    AttrDef, BinOp, Builtin, CallExpr, EntityClass, Expr, Method, Param, Stmt, UnOp,
-};
+use crate::ast::{AttrDef, BinOp, Builtin, CallExpr, EntityClass, Expr, Method, Param, Stmt, UnOp};
 use crate::types::Type;
 use crate::value::Value;
 
@@ -169,7 +167,11 @@ pub fn zeros(n: Expr) -> Expr {
 
 /// Remote method call `target.method(args…)`.
 pub fn call(target: Expr, method: &str, args: Vec<Expr>) -> Expr {
-    Expr::Call(CallExpr { target: Box::new(target), method: method.to_owned(), args })
+    Expr::Call(CallExpr {
+        target: Box::new(target),
+        method: method.to_owned(),
+        args,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -178,17 +180,28 @@ pub fn call(target: Expr, method: &str, args: Vec<Expr>) -> Expr {
 
 /// `name = value` (type inferred).
 pub fn assign(name: &str, value: Expr) -> Stmt {
-    Stmt::Assign { name: name.to_owned(), ty: None, value }
+    Stmt::Assign {
+        name: name.to_owned(),
+        ty: None,
+        value,
+    }
 }
 
 /// `name: ty = value`.
 pub fn assign_ty(name: &str, ty: Type, value: Expr) -> Stmt {
-    Stmt::Assign { name: name.to_owned(), ty: Some(ty), value }
+    Stmt::Assign {
+        name: name.to_owned(),
+        ty: Some(ty),
+        value,
+    }
 }
 
 /// `self.attr = value`.
 pub fn attr_assign(attr: &str, value: Expr) -> Stmt {
-    Stmt::AttrAssign { attr: attr.to_owned(), value }
+    Stmt::AttrAssign {
+        attr: attr.to_owned(),
+        value,
+    }
 }
 
 /// `self.attr += value` (sugar).
@@ -198,12 +211,20 @@ pub fn attr_add(name: &str, value: Expr) -> Stmt {
 
 /// `if cond: then_body` with no else.
 pub fn if_(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then_body, else_body: vec![] }
+    Stmt::If {
+        cond,
+        then_body,
+        else_body: vec![],
+    }
 }
 
 /// `if cond: then_body else: else_body`.
 pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then_body, else_body }
+    Stmt::If {
+        cond,
+        then_body,
+        else_body,
+    }
 }
 
 /// `while cond: body`.
@@ -213,7 +234,11 @@ pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
 
 /// `for var in iterable: body`.
 pub fn for_list(var: &str, iterable: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::ForList { var: var.to_owned(), iterable, body }
+    Stmt::ForList {
+        var: var.to_owned(),
+        iterable,
+        body,
+    }
 }
 
 /// `return expr`.
@@ -259,7 +284,10 @@ impl MethodBuilder {
 
     /// Adds a parameter with its (mandatory) type hint.
     pub fn param(mut self, name: &str, ty: Type) -> Self {
-        self.params.push(Param { name: name.to_owned(), ty });
+        self.params.push(Param {
+            name: name.to_owned(),
+            ty,
+        });
         self
     }
 
@@ -311,7 +339,12 @@ pub struct ClassBuilder {
 impl ClassBuilder {
     /// Starts a class named `name`.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_owned(), attrs: Vec::new(), key_attr: None, methods: Vec::new() }
+        Self {
+            name: name.to_owned(),
+            attrs: Vec::new(),
+            key_attr: None,
+            methods: Vec::new(),
+        }
     }
 
     /// Declares an attribute with the type's default initial value.
@@ -322,7 +355,11 @@ impl ClassBuilder {
 
     /// Declares an attribute with an explicit initial value.
     pub fn attr_default(mut self, name: &str, ty: Type, default: Value) -> Self {
-        self.attrs.push(AttrDef { name: name.to_owned(), ty, default });
+        self.attrs.push(AttrDef {
+            name: name.to_owned(),
+            ty,
+            default,
+        });
         self
     }
 
@@ -347,7 +384,12 @@ impl ClassBuilder {
         let key_attr = self
             .key_attr
             .unwrap_or_else(|| panic!("class `{}` must declare a key attribute", self.name));
-        EntityClass { name: self.name, attrs: self.attrs, key_attr, methods: self.methods }
+        EntityClass {
+            name: self.name,
+            attrs: self.attrs,
+            key_attr,
+            methods: self.methods,
+        }
     }
 }
 

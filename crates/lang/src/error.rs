@@ -53,7 +53,10 @@ pub enum LangError {
 impl LangError {
     /// Convenience constructor for [`LangError::TypeMismatch`].
     pub fn type_mismatch(expected: impl Into<String>, actual: impl Into<String>) -> Self {
-        LangError::TypeMismatch { expected: expected.into(), actual: actual.into() }
+        LangError::TypeMismatch {
+            expected: expected.into(),
+            actual: actual.into(),
+        }
     }
 
     /// Convenience constructor for [`LangError::Analysis`].
@@ -79,7 +82,11 @@ impl fmt::Display for LangError {
                 write!(f, "class `{class}` has no method `{method}`")
             }
             LangError::UndefinedClass(c) => write!(f, "undefined class `{c}`"),
-            LangError::ArityMismatch { method, expected, actual } => {
+            LangError::ArityMismatch {
+                method,
+                expected,
+                actual,
+            } => {
                 write!(f, "`{method}` expects {expected} argument(s), got {actual}")
             }
             LangError::DivisionByZero => write!(f, "division by zero"),
@@ -103,11 +110,20 @@ mod tests {
             "type mismatch: expected int, got str"
         );
         assert_eq!(
-            LangError::UndefinedMethod { class: "User".into(), method: "x".into() }.to_string(),
+            LangError::UndefinedMethod {
+                class: "User".into(),
+                method: "x".into()
+            }
+            .to_string(),
             "class `User` has no method `x`"
         );
         assert_eq!(
-            LangError::ArityMismatch { method: "buy".into(), expected: 2, actual: 1 }.to_string(),
+            LangError::ArityMismatch {
+                method: "buy".into(),
+                expected: 2,
+                actual: 1
+            }
+            .to_string(),
             "`buy` expects 2 argument(s), got 1"
         );
     }

@@ -87,7 +87,9 @@ impl Default for Interpreter {
 impl Interpreter {
     /// Interpreter with the default step budget.
     pub fn new() -> Self {
-        Self { budget: DEFAULT_STEP_BUDGET }
+        Self {
+            budget: DEFAULT_STEP_BUDGET,
+        }
     }
 
     /// Interpreter with an explicit step budget.
@@ -142,7 +144,11 @@ impl Interpreter {
                 state.insert(attr.clone(), v);
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.eval(cond, env, state, handler)?;
                 if c.truthy() {
                     self.exec_stmts(then_body, env, state, handler)
@@ -163,7 +169,11 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::ForList { var, iterable, body } => {
+            Stmt::ForList {
+                var,
+                iterable,
+                body,
+            } => {
                 let items = self.eval(iterable, env, state, handler)?;
                 let items = items.as_list()?.to_vec();
                 for item in items {
@@ -197,12 +207,14 @@ impl Interpreter {
         self.tick()?;
         match expr {
             Expr::Lit(v) => Ok(v.clone()),
-            Expr::Var(name) => {
-                env.get(name).cloned().ok_or_else(|| LangError::UndefinedVariable(name.clone()))
-            }
-            Expr::Attr(name) => {
-                state.get(name).cloned().ok_or_else(|| LangError::UndefinedAttribute(name.clone()))
-            }
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LangError::UndefinedVariable(name.clone())),
+            Expr::Attr(name) => state
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LangError::UndefinedAttribute(name.clone())),
             Expr::Binary(op, l, r) => {
                 if op.is_logical() {
                     // Short-circuit evaluation.
@@ -301,9 +313,10 @@ pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, LangError> {
         Mod => match (l, r) {
             (Value::Int(_), Value::Int(0)) => Err(LangError::DivisionByZero),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_rem(b))),
-            (a, b) => {
-                Err(LangError::type_mismatch("int % int", format!("{} % {}", a.type_name(), b.type_name())))
-            }
+            (a, b) => Err(LangError::type_mismatch(
+                "int % int",
+                format!("{} % {}", a.type_name(), b.type_name()),
+            )),
         },
         Eq => Ok(Value::Bool(values_eq(&l, &r))),
         Ne => Ok(Value::Bool(!values_eq(&l, &r))),
@@ -321,11 +334,7 @@ pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, LangError> {
     }
 }
 
-fn numeric_float(
-    a: Value,
-    b: Value,
-    f: impl FnOnce(f64, f64) -> f64,
-) -> Result<Value, LangError> {
+fn numeric_float(a: Value, b: Value, f: impl FnOnce(f64, f64) -> f64) -> Result<Value, LangError> {
     Ok(Value::Float(f(a.as_float()?, b.as_float()?)))
 }
 
@@ -446,7 +455,9 @@ pub fn eval_index(base: &Value, idx: &Value) -> Result<Value, LangError> {
             // Python-style negative indexing.
             let j = if *i < 0 { i + len } else { *i };
             if j < 0 || j >= len {
-                return Err(LangError::runtime(format!("list index {i} out of range (len {len})")));
+                return Err(LangError::runtime(format!(
+                    "list index {i} out of range (len {len})"
+                )));
             }
             Ok(items[j as usize].clone())
         }
@@ -459,7 +470,9 @@ pub fn eval_index(base: &Value, idx: &Value) -> Result<Value, LangError> {
             let len = chars.len() as i64;
             let j = if *i < 0 { i + len } else { *i };
             if j < 0 || j >= len {
-                return Err(LangError::runtime(format!("str index {i} out of range (len {len})")));
+                return Err(LangError::runtime(format!(
+                    "str index {i} out of range (len {len})"
+                )));
             }
             Ok(Value::Str(chars[j as usize].to_string()))
         }
@@ -484,12 +497,18 @@ mod tests {
         let body = vec![assign("x", add(int(2), mul(int(3), int(4)))), ret(var("x"))];
         let mut env = Env::new();
         let mut state = EntityState::new();
-        assert_eq!(run(&body, &mut env, &mut state).unwrap(), Flow::Return(Value::Int(14)));
+        assert_eq!(
+            run(&body, &mut env, &mut state).unwrap(),
+            Flow::Return(Value::Int(14))
+        );
     }
 
     #[test]
     fn attr_read_write() {
-        let body = vec![attr_add("stock", var("amount")), ret(ge(attr("stock"), int(0)))];
+        let body = vec![
+            attr_add("stock", var("amount")),
+            ret(ge(attr("stock"), int(0))),
+        ];
         let mut env = Env::from([("amount".to_string(), Value::Int(-5))]);
         let mut state = EntityState::from([("stock".to_string(), Value::Int(3))]);
         let flow = run(&body, &mut env, &mut state).unwrap();
@@ -545,7 +564,10 @@ mod tests {
         ];
         let mut env = Env::new();
         let mut state = EntityState::new();
-        assert_eq!(run(&body, &mut env, &mut state).unwrap(), Flow::Return(Value::Int(10)));
+        assert_eq!(
+            run(&body, &mut env, &mut state).unwrap(),
+            Flow::Return(Value::Int(10))
+        );
     }
 
     #[test]
@@ -553,14 +575,21 @@ mod tests {
         let body = vec![
             for_list(
                 "x",
-                lit(Value::List(vec![Value::Int(1), Value::Int(7), Value::Int(3)])),
+                lit(Value::List(vec![
+                    Value::Int(1),
+                    Value::Int(7),
+                    Value::Int(3),
+                ])),
                 vec![if_(gt(var("x"), int(5)), vec![ret(var("x"))])],
             ),
             ret(int(-1)),
         ];
         let mut env = Env::new();
         let mut state = EntityState::new();
-        assert_eq!(run(&body, &mut env, &mut state).unwrap(), Flow::Return(Value::Int(7)));
+        assert_eq!(
+            run(&body, &mut env, &mut state).unwrap(),
+            Flow::Return(Value::Int(7))
+        );
     }
 
     #[test]
@@ -580,16 +609,23 @@ mod tests {
         let e = and(lit(false), div(int(1), int(0)));
         let mut env = Env::new();
         let mut state = EntityState::new();
-        let v = Interpreter::new().eval(&e, &mut env, &mut state, &mut DenyRemoteCalls).unwrap();
+        let v = Interpreter::new()
+            .eval(&e, &mut env, &mut state, &mut DenyRemoteCalls)
+            .unwrap();
         assert_eq!(v, Value::Bool(false));
         let e = or(lit(true), div(int(1), int(0)));
-        let v = Interpreter::new().eval(&e, &mut env, &mut state, &mut DenyRemoteCalls).unwrap();
+        let v = Interpreter::new()
+            .eval(&e, &mut env, &mut state, &mut DenyRemoteCalls)
+            .unwrap();
         assert_eq!(v, Value::Bool(true));
     }
 
     #[test]
     fn division_semantics() {
-        assert_eq!(eval_binop(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::Int(7), Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             eval_binop(BinOp::Div, Value::Int(1), Value::Int(0)).unwrap_err(),
             LangError::DivisionByZero
@@ -653,7 +689,11 @@ mod tests {
         );
         let m = eval_builtin(
             Builtin::Put,
-            vec![Value::Map(Default::default()), Value::Str("k".into()), Value::Int(9)],
+            vec![
+                Value::Map(Default::default()),
+                Value::Str("k".into()),
+                Value::Int(9),
+            ],
         )
         .unwrap();
         assert_eq!(
@@ -671,17 +711,23 @@ mod tests {
         let l = Value::List(vec![Value::Int(10), Value::Int(20)]);
         assert_eq!(eval_index(&l, &Value::Int(-1)).unwrap(), Value::Int(20));
         assert!(eval_index(&l, &Value::Int(2)).is_err());
-        assert_eq!(eval_index(&Value::Str("hey".into()), &Value::Int(1)).unwrap(), Value::Str("e".into()));
+        assert_eq!(
+            eval_index(&Value::Str("hey".into()), &Value::Int(1)).unwrap(),
+            Value::Str("e".into())
+        );
     }
 
     #[test]
     fn deny_remote_calls_rejects() {
         let e = call(var("item"), "price", vec![]);
-        let mut env =
-            Env::from([("item".to_string(), Value::Ref(EntityRef::new("Item", "laptop")))]);
+        let mut env = Env::from([(
+            "item".to_string(),
+            Value::Ref(EntityRef::new("Item", "laptop")),
+        )]);
         let mut state = EntityState::new();
-        let err =
-            Interpreter::new().eval(&e, &mut env, &mut state, &mut DenyRemoteCalls).unwrap_err();
+        let err = Interpreter::new()
+            .eval(&e, &mut env, &mut state, &mut DenyRemoteCalls)
+            .unwrap_err();
         assert!(err.to_string().contains("unexpected remote call"));
     }
 }

@@ -86,7 +86,10 @@ pub struct LocalExecutor<'p> {
 impl<'p> LocalExecutor<'p> {
     /// Executor over an empty store.
     pub fn new(program: &'p Program) -> Self {
-        Self { program, store: LocalStore::new() }
+        Self {
+            program,
+            store: LocalStore::new(),
+        }
     }
 
     /// Executor over an existing store.
@@ -122,7 +125,14 @@ impl<'p> LocalExecutor<'p> {
         method: &str,
         args: Vec<Value>,
     ) -> Result<Value, LangError> {
-        invoke_at_depth(self.program, &mut self.store.entities, target, method, args, 0)
+        invoke_at_depth(
+            self.program,
+            &mut self.store.entities,
+            target,
+            method,
+            args,
+            0,
+        )
     }
 }
 
@@ -139,7 +149,14 @@ impl CallHandler for StoreHandler<'_, '_> {
         method: &str,
         args: Vec<Value>,
     ) -> Result<Value, LangError> {
-        invoke_at_depth(self.program, self.entities, target, method, args, self.depth + 1)
+        invoke_at_depth(
+            self.program,
+            self.entities,
+            target,
+            method,
+            args,
+            self.depth + 1,
+        )
     }
 }
 
@@ -157,10 +174,12 @@ fn invoke_at_depth(
         )));
     }
     let class = program.class_or_err(&target.class)?;
-    let m = class.method(method).ok_or_else(|| LangError::UndefinedMethod {
-        class: target.class.clone(),
-        method: method.to_owned(),
-    })?;
+    let m = class
+        .method(method)
+        .ok_or_else(|| LangError::UndefinedMethod {
+            class: target.class.clone(),
+            method: method.to_owned(),
+        })?;
     if m.params.len() != args.len() {
         return Err(LangError::ArityMismatch {
             method: format!("{}.{}", target.class, method),
@@ -168,8 +187,7 @@ fn invoke_at_depth(
             actual: args.len(),
         });
     }
-    let mut env: Env =
-        m.params.iter().map(|p| p.name.clone()).zip(args).collect();
+    let mut env: Env = m.params.iter().map(|p| p.name.clone()).zip(args).collect();
 
     // Take the entity state out so the handler can borrow the map for nested
     // calls; entities never call methods on *themselves* remotely (that would
@@ -179,7 +197,11 @@ fn invoke_at_depth(
         .ok_or_else(|| LangError::runtime(format!("unknown entity {target}")))?;
     let body = m.body.clone();
 
-    let mut handler = StoreHandler { program, entities, depth };
+    let mut handler = StoreHandler {
+        program,
+        entities,
+        depth,
+    };
     let result = Interpreter::new().exec_stmts(&body, &mut env, &mut state, &mut handler);
     entities.insert(target.clone(), state);
 
@@ -198,20 +220,32 @@ mod tests {
     fn figure1_buy_item_happy_path() {
         let program = figure1_program();
         let mut exec = LocalExecutor::new(&program);
-        let user = exec.create("User", "alice", [("balance".into(), Value::Int(100))]).unwrap();
+        let user = exec
+            .create("User", "alice", [("balance".into(), Value::Int(100))])
+            .unwrap();
         let item = exec
             .create(
                 "Item",
                 "laptop",
-                [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                [
+                    ("price".into(), Value::Int(30)),
+                    ("stock".into(), Value::Int(5)),
+                ],
             )
             .unwrap();
 
         let ok = exec
-            .invoke(&user, "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+            .invoke(
+                &user,
+                "buy_item",
+                vec![Value::Int(2), Value::Ref(item.clone())],
+            )
             .unwrap();
         assert_eq!(ok, Value::Bool(true));
-        assert_eq!(exec.store().state(&user).unwrap()["balance"], Value::Int(40));
+        assert_eq!(
+            exec.store().state(&user).unwrap()["balance"],
+            Value::Int(40)
+        );
         assert_eq!(exec.store().state(&item).unwrap()["stock"], Value::Int(3));
     }
 
@@ -219,20 +253,33 @@ mod tests {
     fn figure1_buy_item_insufficient_balance() {
         let program = figure1_program();
         let mut exec = LocalExecutor::new(&program);
-        let user = exec.create("User", "bob", [("balance".into(), Value::Int(10))]).unwrap();
+        let user = exec
+            .create("User", "bob", [("balance".into(), Value::Int(10))])
+            .unwrap();
         let item = exec
             .create(
                 "Item",
                 "laptop",
-                [("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                [
+                    ("price".into(), Value::Int(30)),
+                    ("stock".into(), Value::Int(5)),
+                ],
             )
             .unwrap();
 
-        let ok =
-            exec.invoke(&user, "buy_item", vec![Value::Int(1), Value::Ref(item.clone())]).unwrap();
+        let ok = exec
+            .invoke(
+                &user,
+                "buy_item",
+                vec![Value::Int(1), Value::Ref(item.clone())],
+            )
+            .unwrap();
         assert_eq!(ok, Value::Bool(false));
         // Nothing changed.
-        assert_eq!(exec.store().state(&user).unwrap()["balance"], Value::Int(10));
+        assert_eq!(
+            exec.store().state(&user).unwrap()["balance"],
+            Value::Int(10)
+        );
         assert_eq!(exec.store().state(&item).unwrap()["stock"], Value::Int(5));
     }
 
@@ -240,21 +287,34 @@ mod tests {
     fn figure1_buy_item_insufficient_stock_compensates() {
         let program = figure1_program();
         let mut exec = LocalExecutor::new(&program);
-        let user = exec.create("User", "carol", [("balance".into(), Value::Int(1000))]).unwrap();
+        let user = exec
+            .create("User", "carol", [("balance".into(), Value::Int(1000))])
+            .unwrap();
         let item = exec
             .create(
                 "Item",
                 "laptop",
-                [("price".into(), Value::Int(1)), ("stock".into(), Value::Int(1))],
+                [
+                    ("price".into(), Value::Int(1)),
+                    ("stock".into(), Value::Int(1)),
+                ],
             )
             .unwrap();
 
-        let ok =
-            exec.invoke(&user, "buy_item", vec![Value::Int(5), Value::Ref(item.clone())]).unwrap();
+        let ok = exec
+            .invoke(
+                &user,
+                "buy_item",
+                vec![Value::Int(5), Value::Ref(item.clone())],
+            )
+            .unwrap();
         assert_eq!(ok, Value::Bool(false));
         // The compensating update_stock(+amount) restored the stock.
         assert_eq!(exec.store().state(&item).unwrap()["stock"], Value::Int(1));
-        assert_eq!(exec.store().state(&user).unwrap()["balance"], Value::Int(1000));
+        assert_eq!(
+            exec.store().state(&user).unwrap()["balance"],
+            Value::Int(1000)
+        );
     }
 
     #[test]
@@ -277,7 +337,9 @@ mod tests {
         let program = figure1_program();
         let mut exec = LocalExecutor::new(&program);
         let ghost = EntityRef::new("User", "ghost");
-        let err = exec.invoke(&ghost, "buy_item", vec![Value::Int(1), Value::Unit]).unwrap_err();
+        let err = exec
+            .invoke(&ghost, "buy_item", vec![Value::Int(1), Value::Unit])
+            .unwrap_err();
         assert!(err.to_string().contains("unknown entity"));
     }
 }

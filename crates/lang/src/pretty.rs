@@ -36,7 +36,11 @@ pub fn class_to_source(class: &EntityClass) -> String {
             literal(&attr.default)
         );
     }
-    let _ = writeln!(out, "\n    def __key__(self):\n        return self.{}", class.key_attr);
+    let _ = writeln!(
+        out,
+        "\n    def __key__(self):\n        return self.{}",
+        class.key_attr
+    );
     for method in &class.methods {
         out.push('\n');
         out.push_str(&method_to_source(method, 1));
@@ -52,7 +56,12 @@ pub fn method_to_source(method: &Method, indent: usize) -> String {
         let _ = writeln!(out, "{pad}@transactional");
     }
     let params: Vec<String> = std::iter::once("self".to_owned())
-        .chain(method.params.iter().map(|p| format!("{}: {}", p.name, type_name(&p.ty))))
+        .chain(
+            method
+                .params
+                .iter()
+                .map(|p| format!("{}: {}", p.name, type_name(&p.ty))),
+        )
         .collect();
     let _ = writeln!(
         out,
@@ -77,13 +86,20 @@ pub fn stmt_to_source(stmt: &Stmt, indent: usize) -> String {
     let mut out = String::new();
     match stmt {
         Stmt::Assign { name, ty, value } => {
-            let ann = ty.as_ref().map(|t| format!(": {}", type_name(t))).unwrap_or_default();
+            let ann = ty
+                .as_ref()
+                .map(|t| format!(": {}", type_name(t)))
+                .unwrap_or_default();
             let _ = writeln!(out, "{pad}{name}{ann} = {}", expr_to_source(value));
         }
         Stmt::AttrAssign { attr, value } => {
             let _ = writeln!(out, "{pad}self.{attr} = {}", expr_to_source(value));
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}if {}:", expr_to_source(cond));
             body(&mut out, then_body, indent + 1);
             if !else_body.is_empty() {
@@ -95,7 +111,11 @@ pub fn stmt_to_source(stmt: &Stmt, indent: usize) -> String {
             let _ = writeln!(out, "{pad}while {}:", expr_to_source(cond));
             body(&mut out, b, indent + 1);
         }
-        Stmt::ForList { var, iterable, body: b } => {
+        Stmt::ForList {
+            var,
+            iterable,
+            body: b,
+        } => {
             let _ = writeln!(out, "{pad}for {var} in {}:", expr_to_source(iterable));
             body(&mut out, b, indent + 1);
         }
@@ -139,7 +159,12 @@ fn render(expr: &Expr, min_prec: u8) -> String {
             let p = binop_prec(*op);
             // Left-associative: left child may be equal precedence.
             (
-                format!("{} {} {}", render(l, p), binop_symbol(*op), render(r, p + 1)),
+                format!(
+                    "{} {} {}",
+                    render(l, p),
+                    binop_symbol(*op),
+                    render(r, p + 1)
+                ),
                 p,
             )
         }
@@ -165,12 +190,15 @@ fn render(expr: &Expr, min_prec: u8) -> String {
             };
             (format!("{name}({})", args_src(args)), 100)
         }
-        Expr::Index(base, idx) => {
-            (format!("{}[{}]", render(base, 90), render(idx, 0)), 90)
-        }
+        Expr::Index(base, idx) => (format!("{}[{}]", render(base, 90), render(idx, 0)), 90),
         Expr::ListLit(items) => (format!("[{}]", args_src(items)), 100),
         Expr::Call(c) => (
-            format!("{}.{}({})", render(&c.target, 90), c.method, args_src(&c.args)),
+            format!(
+                "{}.{}({})",
+                render(&c.target, 90),
+                c.method,
+                args_src(&c.args)
+            ),
             90,
         ),
     };
@@ -182,7 +210,10 @@ fn render(expr: &Expr, min_prec: u8) -> String {
 }
 
 fn args_src(args: &[Expr]) -> String {
-    args.iter().map(|a| render(a, 0)).collect::<Vec<_>>().join(", ")
+    args.iter()
+        .map(|a| render(a, 0))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn binop_prec(op: BinOp) -> u8 {
@@ -279,7 +310,11 @@ mod tests {
 
     #[test]
     fn statements_render() {
-        let s = for_list("x", var("xs"), vec![expr_stmt(call(var("a"), "f", vec![var("x")]))]);
+        let s = for_list(
+            "x",
+            var("xs"),
+            vec![expr_stmt(call(var("a"), "f", vec![var("x")]))],
+        );
         assert_eq!(stmt_to_source(&s, 0), "for x in xs:\n    a.f(x)\n");
         let s = while_(lt(var("i"), int(3)), vec![]);
         assert_eq!(stmt_to_source(&s, 0), "while i < 3:\n    pass\n");

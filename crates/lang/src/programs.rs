@@ -38,13 +38,18 @@ pub fn figure1_program() -> Program {
         .attr_default("price", Type::Int, Value::Int(0))
         .key("item_id")
         .method(
-            MethodBuilder::new("price").returns(Type::Int).body(vec![ret(attr("price"))]),
+            MethodBuilder::new("price")
+                .returns(Type::Int)
+                .body(vec![ret(attr("price"))]),
         )
         .method(
             MethodBuilder::new("update_stock")
                 .param("amount", Type::Int)
                 .returns(Type::Bool)
-                .body(vec![attr_add("stock", var("amount")), ret(ge(attr("stock"), int(0)))]),
+                .body(vec![
+                    attr_add("stock", var("amount")),
+                    ret(ge(attr("stock"), int(0))),
+                ]),
         )
         .build();
 
@@ -53,13 +58,18 @@ pub fn figure1_program() -> Program {
         .attr_default("balance", Type::Int, Value::Int(1))
         .key("username")
         .method(
-            MethodBuilder::new("balance").returns(Type::Int).body(vec![ret(attr("balance"))]),
+            MethodBuilder::new("balance")
+                .returns(Type::Int)
+                .body(vec![ret(attr("balance"))]),
         )
         .method(
             MethodBuilder::new("deposit")
                 .param("amount", Type::Int)
                 .returns(Type::Int)
-                .body(vec![attr_add("balance", var("amount")), ret(attr("balance"))]),
+                .body(vec![
+                    attr_add("balance", var("amount")),
+                    ret(attr("balance")),
+                ]),
         )
         .method(
             MethodBuilder::new("buy_item")
@@ -75,7 +85,10 @@ pub fn figure1_program() -> Program {
                         mul(var("amount"), call(var("item"), "price", vec![])),
                     ),
                     // if self.balance < total_price: return False
-                    if_(lt(attr("balance"), var("total_price")), vec![ret(lit(false))]),
+                    if_(
+                        lt(attr("balance"), var("total_price")),
+                        vec![ret(lit(false))],
+                    ),
                     // available: bool = item.update_stock(-amount)
                     assign_ty(
                         "available",
@@ -113,7 +126,11 @@ pub fn counter_program() -> Program {
                 .returns(Type::Int)
                 .body(vec![attr_add("count", var("by")), ret(attr("count"))]),
         )
-        .method(MethodBuilder::new("get").returns(Type::Int).body(vec![ret(attr("count"))]))
+        .method(
+            MethodBuilder::new("get")
+                .returns(Type::Int)
+                .body(vec![ret(attr("count"))]),
+        )
         .build();
     Program::new(vec![counter])
 }
@@ -172,7 +189,13 @@ mod tests {
         let p = figure1_program();
         assert!(p.class("User").is_some());
         assert!(p.class("Item").is_some());
-        assert!(p.class("User").unwrap().method("buy_item").unwrap().transactional);
+        assert!(
+            p.class("User")
+                .unwrap()
+                .method("buy_item")
+                .unwrap()
+                .transactional
+        );
     }
 
     #[test]
@@ -180,8 +203,14 @@ mod tests {
         let p = counter_program();
         let mut exec = LocalExecutor::new(&p);
         let c = exec.create("Counter", "c1", []).unwrap();
-        assert_eq!(exec.invoke(&c, "incr", vec![Value::Int(3)]).unwrap(), Value::Int(3));
-        assert_eq!(exec.invoke(&c, "incr", vec![Value::Int(4)]).unwrap(), Value::Int(7));
+        assert_eq!(
+            exec.invoke(&c, "incr", vec![Value::Int(3)]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            exec.invoke(&c, "incr", vec![Value::Int(4)]).unwrap(),
+            Value::Int(7)
+        );
         assert_eq!(exec.invoke(&c, "get", vec![]).unwrap(), Value::Int(7));
     }
 
@@ -195,7 +224,10 @@ mod tests {
         for i in (0..=depth).rev() {
             let class = format!("C{i}");
             let init: Vec<(String, Value)> = if i < depth {
-                vec![("next".to_string(), Value::Ref(EntityRef::new(format!("C{}", i + 1), "n")))]
+                vec![(
+                    "next".to_string(),
+                    Value::Ref(EntityRef::new(format!("C{}", i + 1), "n")),
+                )]
             } else {
                 vec![]
             };

@@ -32,7 +32,10 @@ pub fn check_program(program: &Program) -> Result<(), Vec<LangError>> {
     let mut seen = std::collections::BTreeSet::new();
     for class in &program.classes {
         if !seen.insert(class.name.clone()) {
-            errors.push(LangError::analysis(format!("duplicate class `{}`", class.name)));
+            errors.push(LangError::analysis(format!(
+                "duplicate class `{}`",
+                class.name
+            )));
         }
         check_class(program, class, &mut errors);
     }
@@ -52,7 +55,10 @@ fn check_class(program: &Program, class: &EntityClass, errors: &mut Vec<LangErro
     let ctx = |msg: String| LangError::analysis(format!("class `{}`: {}", class.name, msg));
 
     match class.attr(&class.key_attr) {
-        None => errors.push(ctx(format!("key attribute `{}` is not declared", class.key_attr))),
+        None => errors.push(ctx(format!(
+            "key attribute `{}` is not declared",
+            class.key_attr
+        ))),
         Some(a) if a.ty != Type::Str => {
             errors.push(ctx(format!(
                 "key attribute `{}` must be str, found {}",
@@ -135,7 +141,13 @@ pub fn check_method_collect_calls(
         }
     }
 
-    let mut cx = Checker { program, class, where_: &where_, errors, calls: Vec::new() };
+    let mut cx = Checker {
+        program,
+        class,
+        where_: &where_,
+        errors,
+        calls: Vec::new(),
+    };
     cx.check_stmts(&method.body, &mut env, &method.ret);
     let calls = std::mem::take(&mut cx.calls);
 
@@ -152,9 +164,11 @@ pub fn check_method_collect_calls(
 fn always_returns(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
         Stmt::Return(_) => true,
-        Stmt::If { then_body, else_body, .. } => {
-            always_returns(then_body) && always_returns(else_body)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => always_returns(then_body) && always_returns(else_body),
         // Loops may iterate zero times: never a guaranteed return.
         _ => false,
     })
@@ -171,7 +185,8 @@ struct Checker<'a> {
 
 impl Checker<'_> {
     fn err(&mut self, msg: String) {
-        self.errors.push(LangError::analysis(format!("{}: {}", self.where_, msg)));
+        self.errors
+            .push(LangError::analysis(format!("{}: {}", self.where_, msg)));
     }
 
     fn check_stmts(&mut self, stmts: &[Stmt], env: &mut TyEnv, ret_ty: &Type) {
@@ -224,7 +239,11 @@ impl Checker<'_> {
                     }
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.infer(cond, env);
                 // Check each arm against a copy, then merge definitions so
                 // later statements see variables defined in either arm.
@@ -252,7 +271,11 @@ impl Checker<'_> {
                     env.entry(name).or_insert(t);
                 }
             }
-            Stmt::ForList { var, iterable, body } => {
+            Stmt::ForList {
+                var,
+                iterable,
+                body,
+            } => {
                 let it_ty = self.infer(iterable, env);
                 let elem = match it_ty {
                     Type::List(e) => *e,
@@ -389,8 +412,11 @@ impl Checker<'_> {
                     ));
                 }
                 let ret = m.ret.clone();
-                let params: Vec<(String, Type)> =
-                    m.params.iter().map(|p| (p.name.clone(), p.ty.clone())).collect();
+                let params: Vec<(String, Type)> = m
+                    .params
+                    .iter()
+                    .map(|p| (p.name.clone(), p.ty.clone()))
+                    .collect();
                 for (arg, (pname, pty)) in c.args.iter().zip(params) {
                     let at = self.infer(arg, env);
                     if !pty.compatible(&at) {
@@ -413,8 +439,10 @@ impl Checker<'_> {
             Lt | Le | Gt | Ge => {
                 let ok = matches!(
                     (lt, rt),
-                    (Type::Int | Type::Float | Type::Any, Type::Int | Type::Float | Type::Any)
-                        | (Type::Str, Type::Str)
+                    (
+                        Type::Int | Type::Float | Type::Any,
+                        Type::Int | Type::Float | Type::Any
+                    ) | (Type::Str, Type::Str)
                         | (Type::Str, Type::Any)
                         | (Type::Any, Type::Str)
                 );
@@ -437,10 +465,7 @@ impl Checker<'_> {
             },
             Sub | Mul | Div => self.numeric_result(op, lt, rt),
             Mod => {
-                if !matches!(
-                    (lt, rt),
-                    (Type::Int | Type::Any, Type::Int | Type::Any)
-                ) {
+                if !matches!((lt, rt), (Type::Int | Type::Any, Type::Int | Type::Any)) {
                     self.err(format!("`%` requires int operands, found {lt} and {rt}"));
                 }
                 Type::Int
@@ -456,7 +481,9 @@ impl Checker<'_> {
                 t.clone()
             }
             _ => {
-                self.err(format!("operator {op:?} requires numeric operands, found {lt} and {rt}"));
+                self.err(format!(
+                    "operator {op:?} requires numeric operands, found {lt} and {rt}"
+                ));
                 Type::Any
             }
         }
@@ -515,35 +542,39 @@ pub fn type_of_value(v: &Value) -> Type {
         Value::Str(_) => Type::Str,
         Value::Bytes(_) => Type::Bytes,
         Value::List(items) => {
-            let mut elem = Type::Any;
-            for it in items {
-                match elem.join(&type_of_value(it)) {
-                    Some(j) => elem = j,
-                    // Heterogeneous: stop at Any — joining further would
-                    // re-narrow (`Any.join(t) = t`) and infer a type that
-                    // rejects earlier elements.
-                    None => {
-                        elem = Type::Any;
-                        break;
-                    }
-                }
-            }
-            Type::List(Box::new(elem))
+            Type::List(Box::new(join_value_types(items.iter().map(type_of_value))))
         }
-        Value::Map(m) => {
-            let mut val = Type::Any;
-            for v in m.values() {
-                match val.join(&type_of_value(v)) {
-                    Some(j) => val = j,
-                    None => {
-                        val = Type::Any;
-                        break;
-                    }
-                }
-            }
-            Type::Map(Box::new(val))
-        }
+        Value::Map(m) => Type::Map(Box::new(join_value_types(m.values().map(type_of_value)))),
         Value::Ref(r) => Type::Ref(r.class.clone()),
+    }
+}
+
+/// Least upper bound of element types inferred *from values*.
+///
+/// Unlike [`Type::join`], which treats `Any` as a narrowing wildcard (an
+/// unknown that unifies with the other side), here `Any` means "already
+/// heterogeneous" and must absorb: joining `dict[str, Any]` with
+/// `dict[str, str]` has to stay `dict[str, Any]`, or the inferred type would
+/// reject the very elements it was derived from.
+fn join_value_types(types: impl Iterator<Item = Type>) -> Type {
+    let mut acc: Option<Type> = None;
+    for t in types {
+        acc = Some(match acc {
+            None => t,
+            Some(prev) => join_absorbing(prev, t),
+        });
+    }
+    acc.unwrap_or(Type::Any)
+}
+
+fn join_absorbing(a: Type, b: Type) -> Type {
+    match (a, b) {
+        (Type::Any, _) | (_, Type::Any) => Type::Any,
+        (Type::Int, Type::Float) | (Type::Float, Type::Int) => Type::Float,
+        (Type::List(x), Type::List(y)) => Type::List(Box::new(join_absorbing(*x, *y))),
+        (Type::Map(x), Type::Map(y)) => Type::Map(Box::new(join_absorbing(*x, *y))),
+        (a, b) if a == b => a,
+        _ => Type::Any,
     }
 }
 
@@ -559,7 +590,10 @@ mod tests {
             .attr_default("n", Type::Int, Value::Int(0))
             .key("id")
             .method(
-                MethodBuilder::new("m").param("p", Type::Int).returns(ret_ty).body(body),
+                MethodBuilder::new("m")
+                    .param("p", Type::Int)
+                    .returns(ret_ty)
+                    .body(body),
             )
             .build();
         Program::new(vec![c])
@@ -588,7 +622,10 @@ mod tests {
         let es = errs(&Program::new(vec![c]));
         assert!(es.iter().any(|e| e.contains("must be str")), "{es:?}");
 
-        let c2 = ClassBuilder::new("K").attr("x", Type::Int).key("missing").build();
+        let c2 = ClassBuilder::new("K")
+            .attr("x", Type::Int)
+            .key("missing")
+            .build();
         let es = errs(&Program::new(vec![c2]));
         assert!(es.iter().any(|e| e.contains("not declared")), "{es:?}");
     }
@@ -597,13 +634,18 @@ mod tests {
     fn key_is_immutable() {
         let p = one_method_class(vec![attr_assign("id", lit("other"))], Type::Unit);
         let es = errs(&p);
-        assert!(es.iter().any(|e| e.contains("keys are immutable")), "{es:?}");
+        assert!(
+            es.iter().any(|e| e.contains("keys are immutable")),
+            "{es:?}"
+        );
     }
 
     #[test]
     fn undefined_variable_and_attribute() {
         let p = one_method_class(vec![ret(var("ghost"))], Type::Any);
-        assert!(errs(&p).iter().any(|e| e.contains("undefined variable `ghost`")));
+        assert!(errs(&p)
+            .iter()
+            .any(|e| e.contains("undefined variable `ghost`")));
         let p = one_method_class(vec![ret(attr("ghost"))], Type::Any);
         assert!(errs(&p).iter().any(|e| e.contains("undeclared attribute")));
     }
@@ -629,7 +671,11 @@ mod tests {
         assert!(errs(&p).iter().any(|e| e.contains("may fall through")));
         // Both branches returning is fine.
         let p = one_method_class(
-            vec![if_else(lt(var("p"), int(0)), vec![ret(int(1))], vec![ret(int(2))])],
+            vec![if_else(
+                lt(var("p"), int(0)),
+                vec![ret(int(1))],
+                vec![ret(int(2))],
+            )],
             Type::Int,
         );
         assert_eq!(errs(&p), Vec::<String>::new());
@@ -645,14 +691,21 @@ mod tests {
                 MethodBuilder::new("bad")
                     .param("item", Type::entity("Item"))
                     .returns(Type::Unit)
-                    .body(vec![expr_stmt(call(var("item"), "update_stock", vec![lit("x")]))]),
+                    .body(vec![expr_stmt(call(
+                        var("item"),
+                        "update_stock",
+                        vec![lit("x")],
+                    ))]),
             )
             .build();
         let mut p = figure1_program();
         p.classes.retain(|c| c.name == "Item");
         p.classes.push(user);
         let es = errs(&p);
-        assert!(es.iter().any(|e| e.contains("expects int, got str")), "{es:?}");
+        assert!(
+            es.iter().any(|e| e.contains("expects int, got str")),
+            "{es:?}"
+        );
     }
 
     #[test]
@@ -663,19 +716,20 @@ mod tests {
             .key("id")
             .build();
         let es = errs(&Program::new(vec![c]));
-        assert!(es.iter().any(|e| e.contains("undefined class `Missing`")), "{es:?}");
+        assert!(
+            es.iter().any(|e| e.contains("undefined class `Missing`")),
+            "{es:?}"
+        );
 
         let p = figure1_program();
         let mut p2 = p.clone();
-        p2.classes[0]
-            .methods
-            .push(
-                MethodBuilder::new("oops")
-                    .param("item", Type::entity("Item"))
-                    .returns(Type::Unit)
-                    .body(vec![expr_stmt(call(var("item"), "no_such", vec![]))])
-                    .build(),
-            );
+        p2.classes[0].methods.push(
+            MethodBuilder::new("oops")
+                .param("item", Type::entity("Item"))
+                .returns(Type::Unit)
+                .body(vec![expr_stmt(call(var("item"), "no_such", vec![]))])
+                .build(),
+        );
         assert!(errs(&p2).iter().any(|e| e.contains("no method `no_such`")));
     }
 
@@ -706,10 +760,7 @@ mod tests {
 
     #[test]
     fn incompatible_reassignment() {
-        let p = one_method_class(
-            vec![assign("x", int(1)), assign("x", lit("s"))],
-            Type::Unit,
-        );
+        let p = one_method_class(vec![assign("x", int(1)), assign("x", lit("s"))], Type::Unit);
         assert!(errs(&p).iter().any(|e| e.contains("incompatible type")));
     }
 

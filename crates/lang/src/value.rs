@@ -31,7 +31,10 @@ pub struct EntityRef {
 impl EntityRef {
     /// Creates a reference to entity `key` of class `class`.
     pub fn new(class: impl Into<String>, key: impl Into<String>) -> Self {
-        Self { class: class.into(), key: key.into() }
+        Self {
+            class: class.into(),
+            key: key.into(),
+        }
     }
 }
 
@@ -160,7 +163,10 @@ impl Value {
             Value::Bytes(b) => 8 + b.len(),
             Value::List(l) => 8 + l.iter().map(Value::approx_size).sum::<usize>(),
             Value::Map(m) => {
-                8 + m.iter().map(|(k, v)| 8 + k.len() + v.approx_size()).sum::<usize>()
+                8 + m
+                    .iter()
+                    .map(|(k, v)| 8 + k.len() + v.approx_size())
+                    .sum::<usize>()
             }
             Value::Ref(r) => 16 + r.class.len() + r.key.len(),
         }

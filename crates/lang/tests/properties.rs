@@ -16,8 +16,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         (-1e9..1e9f64).prop_map(Value::Float),
         "[a-z]{0,12}".prop_map(Value::Str),
         proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-        ("[A-Z][a-z]{0,6}", "[a-z0-9]{1,8}")
-            .prop_map(|(c, k)| Value::Ref(EntityRef::new(c, k))),
+        ("[A-Z][a-z]{0,6}", "[a-z0-9]{1,8}").prop_map(|(c, k)| Value::Ref(EntityRef::new(c, k))),
     ];
     leaf.prop_recursive(3, 64, 8, |inner| {
         prop_oneof![

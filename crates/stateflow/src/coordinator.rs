@@ -177,7 +177,13 @@ impl Coordinator {
                 ClientOp::Create { class, key, init } => {
                     let owner = self.owner_of(&key);
                     self.workers[owner].send_after(
-                        WorkerMsg::Create { gen: self.gen, request: req.request, class, key, init },
+                        WorkerMsg::Create {
+                            gen: self.gen,
+                            request: req.request,
+                            class,
+                            key,
+                            init,
+                        },
                         self.control_delay(),
                     );
                 }
@@ -217,7 +223,10 @@ impl Coordinator {
             let take = self.queue.len().min(self.cfg.max_batch);
             self.queue.drain(..take).collect()
         };
-        debug_assert!(txns.windows(2).all(|w| w[0] < w[1]), "queue must stay ascending");
+        debug_assert!(
+            txns.windows(2).all(|w| w[0] < w[1]),
+            "queue must stay ascending"
+        );
         let batch = self.next_batch;
         self.next_batch += 1;
         for txn in &txns {
@@ -225,7 +234,11 @@ impl Coordinator {
             let owner = self.owner_of(&inv.target.key);
             let bytes = inv.approx_size();
             self.workers[owner].send_after(
-                WorkerMsg::Exec { gen: self.gen, txn: *txn, inv },
+                WorkerMsg::Exec {
+                    gen: self.gen,
+                    txn: *txn,
+                    inv,
+                },
                 self.cfg.net.f2f_latency(bytes),
             );
         }
@@ -256,7 +269,11 @@ impl Coordinator {
                     }
                 }
             }
-            CoordMsg::CreateDone { gen, request, result } => {
+            CoordMsg::CreateDone {
+                gen,
+                request,
+                result,
+            } => {
                 if gen != self.gen {
                     return;
                 }
@@ -270,7 +287,9 @@ impl Coordinator {
                 }
                 self.on_exec_done(txn, response);
             }
-            CoordMsg::Flags { gen, batch, flags, .. } => {
+            CoordMsg::Flags {
+                gen, batch, flags, ..
+            } => {
                 if gen != self.gen {
                     return;
                 }
@@ -303,7 +322,13 @@ impl Coordinator {
     }
 
     fn on_exec_done(&mut self, txn: TxnId, response: Response) {
-        let Phase::Executing { batch, txns, responses, errors, fallback } = &mut self.phase
+        let Phase::Executing {
+            batch,
+            txns,
+            responses,
+            errors,
+            fallback,
+        } = &mut self.phase
         else {
             return;
         };
@@ -330,7 +355,11 @@ impl Coordinator {
         }
         let txns2 = Arc::clone(&txns);
         let gen = self.gen;
-        self.broadcast(move || WorkerMsg::Reserve { gen, batch, txns: Arc::clone(&txns2) });
+        self.broadcast(move || WorkerMsg::Reserve {
+            gen,
+            batch,
+            txns: Arc::clone(&txns2),
+        });
         self.phase = Phase::Deciding {
             batch,
             txns,
@@ -342,8 +371,14 @@ impl Coordinator {
     }
 
     fn on_flags(&mut self, batch_id: BatchId, new_flags: Vec<(TxnId, ConflictFlags)>) {
-        let Phase::Deciding { batch, txns, responses, errors, flags, workers_reported } =
-            &mut self.phase
+        let Phase::Deciding {
+            batch,
+            txns,
+            responses,
+            errors,
+            flags,
+            workers_reported,
+        } = &mut self.phase
         else {
             return;
         };
@@ -424,7 +459,9 @@ impl Coordinator {
             }
         }
         self.stats.commits.fetch_add(committed, Ordering::Relaxed);
-        self.stats.aborts.fetch_add(retry.len() as u64, Ordering::Relaxed);
+        self.stats
+            .aborts
+            .fetch_add(retry.len() as u64, Ordering::Relaxed);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
 
         // Aborted transactions keep their (lower) ids so the oldest can
@@ -466,8 +503,12 @@ impl Coordinator {
         self.epoch += 1;
         let epoch = self.epoch;
         self.snapshots.begin_epoch(epoch, self.workers.len());
-        self.snapshots.put_source_offset(epoch, "requests", self.reader.offset());
-        self.broadcast(|| WorkerMsg::Snapshot { gen: self.gen, epoch });
+        self.snapshots
+            .put_source_offset(epoch, "requests", self.reader.offset());
+        self.broadcast(|| WorkerMsg::Snapshot {
+            gen: self.gen,
+            epoch,
+        });
         self.phase = Phase::Snapshotting { epoch, acks: 0 };
     }
 

@@ -194,8 +194,23 @@ mod tests {
     #[test]
     fn flags_merge_is_or() {
         let mut f = ConflictFlags::default();
-        f.merge(ConflictFlags { waw: false, raw: true, war: false });
-        f.merge(ConflictFlags { waw: true, raw: false, war: false });
-        assert_eq!(f, ConflictFlags { waw: true, raw: true, war: false });
+        f.merge(ConflictFlags {
+            waw: false,
+            raw: true,
+            war: false,
+        });
+        f.merge(ConflictFlags {
+            waw: true,
+            raw: false,
+            war: false,
+        });
+        assert_eq!(
+            f,
+            ConflictFlags {
+                waw: true,
+                raw: true,
+                war: false
+            }
+        );
     }
 }

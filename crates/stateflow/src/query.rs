@@ -74,7 +74,10 @@ impl StateflowRuntime {
     pub fn count_sum(&self, class: &str, attr: &str) -> Option<QueryResult<()>> {
         // Reuse query_snapshot for the epoch; fold manually for the sums.
         let q = self.select_attr(class, attr)?;
-        Some(QueryResult { epoch: q.epoch, rows: vec![(); q.rows.len()] })
+        Some(QueryResult {
+            epoch: q.epoch,
+            rows: vec![(); q.rows.len()],
+        })
     }
 
     /// `SUM(<attr>)` over a class, with the epoch it was observed at.
@@ -119,8 +122,12 @@ mod tests {
     fn query_sees_consistent_cut() {
         let rt = runtime_with_snapshots();
         for i in 0..9 {
-            rt.create("Counter", &format!("c{i}"), vec![("count".into(), Value::Int(5))])
-                .unwrap();
+            rt.create(
+                "Counter",
+                &format!("c{i}"),
+                vec![("count".into(), Value::Int(5))],
+            )
+            .unwrap();
         }
         for i in 0..9 {
             rt.call(
@@ -150,10 +157,11 @@ mod tests {
         rt.create("Counter", "c", vec![]).unwrap();
         std::thread::sleep(Duration::from_millis(40));
         let before = rt.sum_attr("Counter", "count");
-        // New traffic after the snapshot is invisible until the next epoch —
-        // stale, never partial.
+        // No increments have run, so every consistent cut must show exactly
+        // the initial state — a dirty read of in-flight create/bookkeeping
+        // traffic would surface as a nonzero sum.
         if let Some((epoch, sum)) = before {
-            assert_eq!(sum % 1, 0);
+            assert_eq!(sum, 0, "consistent cut shows initial state only");
             let _ = epoch;
         }
         rt.shutdown();
@@ -165,8 +173,12 @@ mod tests {
         for i in 0..4 {
             rt.create("Counter", &format!("c{i}"), vec![]).unwrap();
         }
-        rt.call(se_lang::EntityRef::new("Counter", "c0"), "incr", vec![Value::Int(1)])
-            .unwrap();
+        rt.call(
+            se_lang::EntityRef::new("Counter", "c0"),
+            "incr",
+            vec![Value::Int(1)],
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let q = rt.count_sum("Counter", "count").expect("snapshot");
         assert_eq!(q.rows.len(), 4);

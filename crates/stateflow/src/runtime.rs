@@ -172,7 +172,10 @@ impl EntityRuntime for StateflowRuntime {
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
         };
-        self.source.append(ClientRequest { request, op: ClientOp::Invoke(inv) });
+        self.source.append(ClientRequest {
+            request,
+            op: ClientOp::Invoke(inv),
+        });
         waiter
     }
 

@@ -107,18 +107,36 @@ impl Worker {
 
     fn dispatch(&mut self, msg: WorkerMsg) {
         match msg {
-            WorkerMsg::Create { request, class, key, init, .. } => {
+            WorkerMsg::Create {
+                request,
+                class,
+                key,
+                init,
+                ..
+            } => {
                 let result = self.handle_create(&class, &key, init);
-                self.send_coord(CoordMsg::CreateDone { gen: self.gen, request, result });
+                self.send_coord(CoordMsg::CreateDone {
+                    gen: self.gen,
+                    request,
+                    result,
+                });
             }
             WorkerMsg::Exec { txn, inv, .. } => self.handle_exec(txn, inv),
             WorkerMsg::Reserve { batch, txns, .. } => self.handle_reserve(batch, &txns),
-            WorkerMsg::Commit { batch, txns, aborted, .. } => {
-                self.handle_commit(batch, &txns, &aborted)
-            }
+            WorkerMsg::Commit {
+                batch,
+                txns,
+                aborted,
+                ..
+            } => self.handle_commit(batch, &txns, &aborted),
             WorkerMsg::Snapshot { epoch, .. } => {
-                self.snapshots.put(epoch, &self.node_name(), self.store.clone());
-                self.send_coord(CoordMsg::SnapshotAck { gen: self.gen, epoch, worker: self.id });
+                self.snapshots
+                    .put(epoch, &self.node_name(), self.store.clone());
+                self.send_coord(CoordMsg::SnapshotAck {
+                    gen: self.gen,
+                    epoch,
+                    worker: self.id,
+                });
             }
             WorkerMsg::Restore { .. } | WorkerMsg::Shutdown => unreachable!("handled in run()"),
         }
@@ -173,16 +191,24 @@ impl Worker {
                 }
             };
             let buffer = self.buffers.entry(txn).or_default();
-            let before = self.timers.time("state_read", || buffer.overlay_read(&target, &committed));
-            let mut after = before.clone();
-            let effect = self
+            let before = self
                 .timers
-                .time("function_execution", || process_invocation(&self.graph.program, inv, &mut after));
-            self.timers.time("state_write_buffer", || buffer.record_effects(&target, &before, &after));
+                .time("state_read", || buffer.overlay_read(&target, &committed));
+            let mut after = before.clone();
+            let effect = self.timers.time("function_execution", || {
+                process_invocation(&self.graph.program, inv, &mut after)
+            });
+            self.timers.time("state_write_buffer", || {
+                buffer.record_effects(&target, &before, &after)
+            });
 
             match effect {
                 StepEffect::Respond(response) => {
-                    self.send_coord(CoordMsg::ExecDone { gen: self.gen, txn, response });
+                    self.send_coord(CoordMsg::ExecDone {
+                        gen: self.gen,
+                        txn,
+                        response,
+                    });
                     return;
                 }
                 StepEffect::Emit(next) => {
@@ -194,7 +220,11 @@ impl Worker {
                     }
                     let bytes = next.approx_size();
                     self.peers[owner].send_after(
-                        WorkerMsg::Exec { gen: self.gen, txn, inv: next },
+                        WorkerMsg::Exec {
+                            gen: self.gen,
+                            txn,
+                            inv: next,
+                        },
                         self.cfg.net.f2f_latency(bytes),
                     );
                     return;
@@ -226,7 +256,12 @@ impl Worker {
                 ))
             })
             .collect();
-        self.send_coord(CoordMsg::Flags { gen: self.gen, batch, worker: self.id, flags });
+        self.send_coord(CoordMsg::Flags {
+            gen: self.gen,
+            batch,
+            worker: self.id,
+            flags,
+        });
     }
 
     /// The commit phase: install committed writes in ascending id order,
@@ -237,9 +272,14 @@ impl Worker {
         txns: &[TxnId],
         aborted: &std::collections::BTreeSet<TxnId>,
     ) {
-        debug_assert!(txns.windows(2).all(|w| w[0] < w[1]), "commit order must be ascending");
+        debug_assert!(
+            txns.windows(2).all(|w| w[0] < w[1]),
+            "commit order must be ascending"
+        );
         for txn in txns {
-            let Some(buffer) = self.buffers.remove(txn) else { continue };
+            let Some(buffer) = self.buffers.remove(txn) else {
+                continue;
+            };
             if aborted.contains(txn) {
                 continue;
             }
@@ -254,7 +294,11 @@ impl Worker {
                 }
             });
         }
-        self.send_coord(CoordMsg::CommitAck { gen: self.gen, batch, worker: self.id });
+        self.send_coord(CoordMsg::CommitAck {
+            gen: self.gen,
+            batch,
+            worker: self.id,
+        });
     }
 
     fn crash(&mut self) {
@@ -262,7 +306,10 @@ impl Worker {
         self.store = StateStore::new();
         self.buffers.clear();
         self.dead = true;
-        self.send_coord(CoordMsg::WorkerFailed { gen: self.gen, worker: self.id });
+        self.send_coord(CoordMsg::WorkerFailed {
+            gen: self.gen,
+            worker: self.id,
+        });
     }
 
     fn handle_restore(&mut self, gen: u64, epoch: Option<se_dataflow::Epoch>) {
@@ -272,6 +319,9 @@ impl Worker {
             .and_then(|e| self.snapshots.get(e, &self.node_name()))
             .unwrap_or_default();
         self.dead = false;
-        self.send_coord(CoordMsg::RestoreAck { gen, worker: self.id });
+        self.send_coord(CoordMsg::RestoreAck {
+            gen,
+            worker: self.id,
+        });
     }
 }

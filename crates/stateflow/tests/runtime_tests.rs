@@ -21,13 +21,18 @@ fn account_program() -> Program {
         .attr_default("balance", Type::Int, Value::Int(0))
         .key("account_id")
         .method(
-            MethodBuilder::new("balance").returns(Type::Int).body(vec![ret(attr("balance"))]),
+            MethodBuilder::new("balance")
+                .returns(Type::Int)
+                .body(vec![ret(attr("balance"))]),
         )
         .method(
             MethodBuilder::new("deposit")
                 .param("amount", Type::Int)
                 .returns(Type::Int)
-                .body(vec![attr_add("balance", var("amount")), ret(attr("balance"))]),
+                .body(vec![
+                    attr_add("balance", var("amount")),
+                    ret(attr("balance")),
+                ]),
         )
         .method(
             MethodBuilder::new("transfer")
@@ -76,23 +81,41 @@ fn counter_single_entity() {
 fn figure1_buy_item_matches_local_oracle() {
     let program = se_lang::programs::figure1_program();
     let rt = deploy(&program, StateflowConfig::fast_test(3));
-    let user = rt.create("User", "alice", vec![("balance".into(), Value::Int(100))]).unwrap();
+    let user = rt
+        .create("User", "alice", vec![("balance".into(), Value::Int(100))])
+        .unwrap();
     let item = rt
         .create(
             "Item",
             "laptop",
-            vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+            vec![
+                ("price".into(), Value::Int(30)),
+                ("stock".into(), Value::Int(5)),
+            ],
         )
         .unwrap();
 
     let ok = rt
-        .call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+        .call(
+            user.clone(),
+            "buy_item",
+            vec![Value::Int(2), Value::Ref(item.clone())],
+        )
         .unwrap();
     assert_eq!(ok, Value::Bool(true));
-    assert_eq!(rt.call(user.clone(), "balance", vec![]).unwrap(), Value::Int(40));
+    assert_eq!(
+        rt.call(user.clone(), "balance", vec![]).unwrap(),
+        Value::Int(40)
+    );
 
     // Insufficient balance: rejected, nothing changes.
-    let ok = rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item)]).unwrap();
+    let ok = rt
+        .call(
+            user.clone(),
+            "buy_item",
+            vec![Value::Int(2), Value::Ref(item)],
+        )
+        .unwrap();
     assert_eq!(ok, Value::Bool(false));
     assert_eq!(rt.call(user, "balance", vec![]).unwrap(), Value::Int(40));
     rt.shutdown();
@@ -103,9 +126,13 @@ fn unknown_method_and_entity_error() {
     let program = account_program();
     let rt = deploy(&program, StateflowConfig::fast_test(2));
     rt.create("Account", "a", vec![]).unwrap();
-    let err = rt.call(EntityRef::new("Account", "a"), "no_such", vec![]).unwrap_err();
+    let err = rt
+        .call(EntityRef::new("Account", "a"), "no_such", vec![])
+        .unwrap_err();
     assert!(err.to_string().contains("no method"), "{err}");
-    let err = rt.call(EntityRef::new("Account", "ghost"), "balance", vec![]).unwrap_err();
+    let err = rt
+        .call(EntityRef::new("Account", "ghost"), "balance", vec![])
+        .unwrap_err();
     assert!(err.to_string().contains("unknown entity"), "{err}");
     rt.shutdown();
 }
@@ -116,8 +143,12 @@ fn concurrent_transfers_conserve_total_balance() {
     let rt = Arc::new(deploy(&program, StateflowConfig::fast_test(4)));
     let n_accounts = 8;
     for i in 0..n_accounts {
-        rt.create("Account", &format!("a{i}"), vec![("balance".into(), Value::Int(1000))])
-            .unwrap();
+        rt.create(
+            "Account",
+            &format!("a{i}"),
+            vec![("balance".into(), Value::Int(1000))],
+        )
+        .unwrap();
     }
 
     // Fire 200 concurrent transfers between random-ish pairs.
@@ -133,10 +164,14 @@ fn concurrent_transfers_conserve_total_balance() {
         })
         .collect();
     for w in waiters {
-        w.wait_timeout(WAIT).expect("transfer must complete").expect("no runtime error");
+        w.wait_timeout(WAIT)
+            .expect("transfer must complete")
+            .expect("no runtime error");
     }
 
-    let total: i64 = (0..n_accounts).map(|i| get_balance(&rt, &format!("a{i}"))).sum();
+    let total: i64 = (0..n_accounts)
+        .map(|i| get_balance(&rt, &format!("a{i}")))
+        .sum();
     assert_eq!(total, 1000 * n_accounts as i64, "money is conserved");
     rt.shutdown();
 }
@@ -148,8 +183,14 @@ fn contention_causes_aborts_but_everything_commits() {
     cfg.batch_interval = Duration::from_millis(5); // let batches fill up
     let rt = Arc::new(deploy(&program, cfg));
     // Everyone hammers the same two accounts: WAW conflicts guaranteed.
-    rt.create("Account", "hot", vec![("balance".into(), Value::Int(1_000_000))]).unwrap();
-    rt.create("Account", "cold", vec![("balance".into(), Value::Int(0))]).unwrap();
+    rt.create(
+        "Account",
+        "hot",
+        vec![("balance".into(), Value::Int(1_000_000))],
+    )
+    .unwrap();
+    rt.create("Account", "cold", vec![("balance".into(), Value::Int(0))])
+        .unwrap();
 
     let waiters: Vec<_> = (0..100)
         .map(|_| {
@@ -169,7 +210,10 @@ fn contention_causes_aborts_but_everything_commits() {
     assert_eq!(get_balance(&rt, "hot"), 1_000_000 - 100);
     assert_eq!(get_balance(&rt, "cold"), 100);
     let aborts = rt.stats().aborts.load(std::sync::atomic::Ordering::Relaxed);
-    assert!(aborts > 0, "same-key transfers in one batch must conflict (got {aborts} aborts)");
+    assert!(
+        aborts > 0,
+        "same-key transfers in one batch must conflict (got {aborts} aborts)"
+    );
     rt.shutdown();
 }
 
@@ -179,13 +223,22 @@ fn snapshots_are_taken_periodically() {
     let mut cfg = StateflowConfig::fast_test(2);
     cfg.snapshot_every_batches = 1;
     let rt = deploy(&program, cfg);
-    rt.create("Account", "a", vec![("balance".into(), Value::Int(10))]).unwrap();
+    rt.create("Account", "a", vec![("balance".into(), Value::Int(10))])
+        .unwrap();
     for _ in 0..5 {
-        rt.call(EntityRef::new("Account", "a"), "deposit", vec![Value::Int(1)]).unwrap();
+        rt.call(
+            EntityRef::new("Account", "a"),
+            "deposit",
+            vec![Value::Int(1)],
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(10));
     }
     assert!(
-        rt.stats().snapshots.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        rt.stats()
+            .snapshots
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
         "periodic snapshots must complete"
     );
     assert!(rt.snapshots().latest_complete().is_some());
@@ -203,8 +256,12 @@ fn exactly_once_scenario(snapshot_every: u64, fail_after: u64) {
 
     let n_accounts = 6usize;
     for i in 0..n_accounts {
-        rt.create("Account", &format!("a{i}"), vec![("balance".into(), Value::Int(0))])
-            .unwrap();
+        rt.create(
+            "Account",
+            &format!("a{i}"),
+            vec![("balance".into(), Value::Int(0))],
+        )
+        .unwrap();
     }
 
     // Deterministic, commutative workload: deposits only, so the expected
@@ -227,11 +284,21 @@ fn exactly_once_scenario(snapshot_every: u64, fail_after: u64) {
         }
     }
     for w in waiters {
-        w.wait_timeout(WAIT).expect("deposit must complete after recovery").expect("no error");
+        w.wait_timeout(WAIT)
+            .expect("deposit must complete after recovery")
+            .expect("no error");
     }
 
-    assert!(cfg.failure.has_fired(), "the injected failure must actually fire");
-    assert_eq!(rt.stats().recoveries.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert!(
+        cfg.failure.has_fired(),
+        "the injected failure must actually fire"
+    );
+    assert_eq!(
+        rt.stats()
+            .recoveries
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
 
     for (i, want) in expected.iter().enumerate() {
         let got = get_balance(&rt, &format!("a{i}"));
@@ -262,8 +329,12 @@ fn transfers_survive_failure_with_conservation() {
     cfg.failure = FailurePlan::fail_node_after("worker1", 25);
     let rt = Arc::new(deploy(&program, cfg.clone()));
     for i in 0..4 {
-        rt.create("Account", &format!("a{i}"), vec![("balance".into(), Value::Int(10_000))])
-            .unwrap();
+        rt.create(
+            "Account",
+            &format!("a{i}"),
+            vec![("balance".into(), Value::Int(10_000))],
+        )
+        .unwrap();
     }
     let waiters: Vec<_> = (0..80)
         .map(|i| {
@@ -273,7 +344,9 @@ fn transfers_survive_failure_with_conservation() {
         })
         .collect();
     for w in waiters {
-        w.wait_timeout(WAIT).expect("transfer completes").expect("no error");
+        w.wait_timeout(WAIT)
+            .expect("transfer completes")
+            .expect("no error");
     }
     assert!(cfg.failure.has_fired());
     let total: i64 = (0..4).map(|i| get_balance(&rt, &format!("a{i}"))).sum();
@@ -289,8 +362,10 @@ fn transfers_survive_failure_with_conservation() {
 fn overhead_timers_populated() {
     let program = account_program();
     let rt = deploy(&program, StateflowConfig::fast_test(2));
-    rt.create("Account", "a", vec![("balance".into(), Value::Int(1))]).unwrap();
-    rt.call(EntityRef::new("Account", "a"), "balance", vec![]).unwrap();
+    rt.create("Account", "a", vec![("balance".into(), Value::Int(1))])
+        .unwrap();
+    rt.call(EntityRef::new("Account", "a"), "balance", vec![])
+        .unwrap();
     let report = rt.timers().report();
     let names: Vec<&str> = report.iter().map(|(n, _, _)| *n).collect();
     assert!(names.contains(&"function_execution"), "{names:?}");

@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn defaults_split_resources_in_half() {
         let c = StatefunConfig::default();
-        assert_eq!(c.partitions, c.remote_workers, "paper: half Flink, half remote functions");
+        assert_eq!(
+            c.partitions, c.remote_workers,
+            "paper: half Flink, half remote functions"
+        );
         assert_eq!(c.checkpoint, CheckpointMode::None);
     }
 }

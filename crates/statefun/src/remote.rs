@@ -65,14 +65,23 @@ pub fn run_remote_worker(
         });
 
         let entity = req.inv.target.clone();
-        let effect = timers
-            .time("function_execution", || process_invocation(&graph.program, req.inv, &mut state));
+        let effect = timers.time("function_execution", || {
+            process_invocation(&graph.program, req.inv, &mut state)
+        });
         // Serialize the mutated state for the trip back.
         let new_state = timers.time("state_serialization", || state.clone());
-        let bytes = new_state.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>();
+        let bytes = new_state
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size())
+            .sum::<usize>();
 
         responders[req.task].send_after(
-            RemoteResponse { gen: req.gen, entity, new_state, effect },
+            RemoteResponse {
+                gen: req.gen,
+                entity,
+                new_state,
+                effect,
+            },
             cfg.net.remote_fn_latency(bytes),
         );
     }

@@ -164,8 +164,7 @@ impl StatefunRuntime {
                             if let Ok(CtlMsg::TaskFailed(_)) =
                                 ctl_rx.recv_timeout(Duration::from_millis(1))
                             {
-                                *recovery2.restore_epoch.lock() =
-                                    snapshots2.latest_complete();
+                                *recovery2.restore_epoch.lock() = snapshots2.latest_complete();
                                 recovery2.gen.fetch_add(1, Ordering::SeqCst);
                             }
                             if let (Some(nb), Some(i)) = (next_barrier, interval) {
@@ -267,7 +266,9 @@ impl EntityRuntime for StatefunRuntime {
             stack: Vec::new(),
         };
         let bytes = inv.approx_size();
-        if let Err(e) = self.broker.produce(topics::INGRESS, &target.key, SfRecord::Invoke(inv), bytes)
+        if let Err(e) =
+            self.broker
+                .produce(topics::INGRESS, &target.key, SfRecord::Invoke(inv), bytes)
         {
             if let Some(c) = self.waiters.lock().remove(&request) {
                 c.complete(Err(LangError::runtime(e.to_string())));

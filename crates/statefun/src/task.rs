@@ -165,7 +165,12 @@ impl PartitionTask {
 
     fn handle_record(&mut self, rec: SfRecord) {
         match rec {
-            SfRecord::Create { request, class, key, init } => {
+            SfRecord::Create {
+                request,
+                class,
+                key,
+                init,
+            } => {
                 self.timers.time("routing", || {});
                 let result = match self.graph.program.class_or_err(&class) {
                     Ok(c) => {
@@ -211,11 +216,19 @@ impl PartitionTask {
         };
         // Serialize the state for shipping to the remote runtime.
         let shipped = self.timers.time("state_serialization", || state.clone());
-        let bytes =
-            shipped.iter().map(|(k, v)| k.len() + v.approx_size()).sum::<usize>() + inv.approx_size();
+        let bytes = shipped
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size())
+            .sum::<usize>()
+            + inv.approx_size();
         self.inflight.insert(target);
         self.pool_tx.send_after(
-            RemoteRequest { gen: self.gen, task: self.id, inv, state: shipped },
+            RemoteRequest {
+                gen: self.gen,
+                task: self.id,
+                inv,
+                state: shipped,
+            },
             self.cfg.net.remote_fn_latency(bytes),
         );
     }
@@ -281,8 +294,10 @@ impl PartitionTask {
                 }
             }
         }
-        self.snapshots.put(epoch, &self.node_name(), self.store.clone());
-        self.snapshots.put_source_offset(epoch, &self.node_name(), self.offset);
+        self.snapshots
+            .put(epoch, &self.node_name(), self.store.clone());
+        self.snapshots
+            .put_source_offset(epoch, &self.node_name(), self.offset);
         self.last_epoch = epoch;
         // Flush the epoch's staged outputs.
         for (topic_key, rec, bytes) in std::mem::take(&mut self.staged) {
@@ -303,8 +318,12 @@ impl PartitionTask {
     fn restore(&mut self, gen: u64) {
         let epoch = *self.recovery.restore_epoch.lock();
         let name = self.node_name();
-        self.store = epoch.and_then(|e| self.snapshots.get(e, &name)).unwrap_or_default();
-        self.offset = epoch.and_then(|e| self.snapshots.source_offset(e, &name)).unwrap_or(0);
+        self.store = epoch
+            .and_then(|e| self.snapshots.get(e, &name))
+            .unwrap_or_default();
+        self.offset = epoch
+            .and_then(|e| self.snapshots.source_offset(e, &name))
+            .unwrap_or(0);
         self.last_epoch = epoch.unwrap_or(0);
         self.inflight.clear();
         self.waiting.clear();

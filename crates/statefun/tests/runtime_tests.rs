@@ -23,7 +23,10 @@ fn counter_single_entity() {
     let rt = deploy(&program, StatefunConfig::fast_test(3));
     let c = rt.create("Counter", "c1", vec![]).unwrap();
     for i in 1..=5 {
-        assert_eq!(rt.call(c.clone(), "incr", vec![Value::Int(1)]).unwrap(), Value::Int(i));
+        assert_eq!(
+            rt.call(c.clone(), "incr", vec![Value::Int(1)]).unwrap(),
+            Value::Int(i)
+        );
     }
     rt.shutdown();
 }
@@ -32,16 +35,25 @@ fn counter_single_entity() {
 fn figure1_split_chain_through_loopback() {
     let program = se_lang::programs::figure1_program();
     let rt = deploy(&program, StatefunConfig::fast_test(3));
-    let user = rt.create("User", "alice", vec![("balance".into(), Value::Int(100))]).unwrap();
+    let user = rt
+        .create("User", "alice", vec![("balance".into(), Value::Int(100))])
+        .unwrap();
     let item = rt
         .create(
             "Item",
             "laptop",
-            vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+            vec![
+                ("price".into(), Value::Int(30)),
+                ("stock".into(), Value::Int(5)),
+            ],
         )
         .unwrap();
     let ok = rt
-        .call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
+        .call(
+            user.clone(),
+            "buy_item",
+            vec![Value::Int(2), Value::Ref(item.clone())],
+        )
         .unwrap();
     assert_eq!(ok, Value::Bool(true));
     assert_eq!(rt.call(user, "balance", vec![]).unwrap(), Value::Int(40));
@@ -70,7 +82,9 @@ fn chain_program_multi_hop() {
         };
         rt.create(&format!("C{i}"), "n", init).unwrap();
     }
-    let out = rt.call(EntityRef::new("C0", "n"), "relay", vec![Value::Int(5)]).unwrap();
+    let out = rt
+        .call(EntityRef::new("C0", "n"), "relay", vec![Value::Int(5)])
+        .unwrap();
     assert_eq!(out, Value::Int(5 + depth as i64));
     rt.shutdown();
 }
@@ -84,13 +98,20 @@ fn per_key_serialization_no_lost_updates() {
     let rt = Arc::new(deploy(&program, StatefunConfig::fast_test(2)));
     rt.create("Counter", "hot", vec![]).unwrap();
     let waiters: Vec<_> = (0..100)
-        .map(|_| rt.call_async(EntityRef::new("Counter", "hot"), "incr", vec![Value::Int(1)]))
+        .map(|_| {
+            rt.call_async(
+                EntityRef::new("Counter", "hot"),
+                "incr",
+                vec![Value::Int(1)],
+            )
+        })
         .collect();
     for w in waiters {
         w.wait_timeout(WAIT).expect("completes").expect("no error");
     }
     assert_eq!(
-        rt.call(EntityRef::new("Counter", "hot"), "get", vec![]).unwrap(),
+        rt.call(EntityRef::new("Counter", "hot"), "get", vec![])
+            .unwrap(),
         Value::Int(100)
     );
     rt.shutdown();
@@ -100,10 +121,14 @@ fn per_key_serialization_no_lost_updates() {
 fn unknown_entity_and_method_error() {
     let program = se_lang::programs::counter_program();
     let rt = deploy(&program, StatefunConfig::fast_test(2));
-    let err = rt.call(EntityRef::new("Counter", "ghost"), "get", vec![]).unwrap_err();
+    let err = rt
+        .call(EntityRef::new("Counter", "ghost"), "get", vec![])
+        .unwrap_err();
     assert!(err.to_string().contains("unknown entity"), "{err}");
     rt.create("Counter", "c", vec![]).unwrap();
-    let err = rt.call(EntityRef::new("Counter", "c"), "nope", vec![]).unwrap_err();
+    let err = rt
+        .call(EntityRef::new("Counter", "c"), "nope", vec![])
+        .unwrap_err();
     assert!(err.to_string().contains("no method"), "{err}");
     let err = rt.create("Nope", "x", vec![]).unwrap_err();
     assert!(err.to_string().contains("undefined class"), "{err}");
@@ -126,13 +151,20 @@ fn documented_race_multi_entity_chains_can_overspend() {
     let mut anomalies = 0;
     for round in 0..10 {
         let user = rt
-            .create("User", &format!("u{round}"), vec![("balance".into(), Value::Int(60))])
+            .create(
+                "User",
+                &format!("u{round}"),
+                vec![("balance".into(), Value::Int(60))],
+            )
             .unwrap();
         let item = rt
             .create(
                 "Item",
                 &format!("i{round}"),
-                vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(100))],
+                vec![
+                    ("price".into(), Value::Int(30)),
+                    ("stock".into(), Value::Int(100)),
+                ],
             )
             .unwrap();
         // Two concurrent purchases of 60 each against a balance of 60.
@@ -141,19 +173,21 @@ fn documented_race_multi_entity_chains_can_overspend() {
             "buy_item",
             vec![Value::Int(2), Value::Ref(item.clone())],
         );
-        let w2 =
-            rt.call_async(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item)]);
+        let w2 = rt.call_async(
+            user.clone(),
+            "buy_item",
+            vec![Value::Int(2), Value::Ref(item)],
+        );
         let r1 = w1.wait_timeout(WAIT).unwrap().unwrap();
         let r2 = w2.wait_timeout(WAIT).unwrap().unwrap();
-        let balance = rt
-            .call(user, "balance", vec![])
-            .unwrap()
-            .as_int()
-            .unwrap();
+        let balance = rt.call(user, "balance", vec![]).unwrap().as_int().unwrap();
         let both_succeeded = r1 == Value::Bool(true) && r2 == Value::Bool(true);
         if both_succeeded || balance < 0 {
             anomalies += 1;
-            assert!(balance < 0, "double success must have overspent, got {balance}");
+            assert!(
+                balance < 0,
+                "double success must have overspent, got {balance}"
+            );
         }
     }
     assert!(
@@ -171,7 +205,9 @@ fn documented_race_multi_entity_chains_can_overspend() {
 fn exactly_once_with_transactional_checkpoints_and_failure() {
     let program = se_lang::programs::counter_program();
     let mut cfg = StatefunConfig::fast_test(3);
-    cfg.checkpoint = CheckpointMode::Transactional { interval: Duration::from_millis(25) };
+    cfg.checkpoint = CheckpointMode::Transactional {
+        interval: Duration::from_millis(25),
+    };
     cfg.failure = FailurePlan::fail_node_after("task0", 15);
     let rt = Arc::new(deploy(&program, cfg.clone()));
 
@@ -195,7 +231,9 @@ fn exactly_once_with_transactional_checkpoints_and_failure() {
         }
     }
     for w in waiters {
-        w.wait_timeout(WAIT).expect("increment must complete after recovery").expect("no error");
+        w.wait_timeout(WAIT)
+            .expect("increment must complete after recovery")
+            .expect("no error");
     }
     assert!(cfg.failure.has_fired(), "failure must fire");
     assert!(rt.recoveries() >= 1, "recovery must run");
@@ -217,7 +255,8 @@ fn overhead_timers_cover_components() {
     let rt = deploy(&program, StatefunConfig::fast_test(2));
     rt.create("Counter", "c", vec![]).unwrap();
     for _ in 0..10 {
-        rt.call(EntityRef::new("Counter", "c"), "incr", vec![Value::Int(1)]).unwrap();
+        rt.call(EntityRef::new("Counter", "c"), "incr", vec![Value::Int(1)])
+            .unwrap();
     }
     let names: Vec<&str> = rt.timers().report().iter().map(|(n, _, _)| *n).collect();
     for expect in [
@@ -229,7 +268,10 @@ fn overhead_timers_cover_components() {
         "split_overhead",
         "state_storage",
     ] {
-        assert!(names.contains(&expect), "missing component {expect}: {names:?}");
+        assert!(
+            names.contains(&expect),
+            "missing component {expect}: {names:?}"
+        );
     }
     rt.shutdown();
 }

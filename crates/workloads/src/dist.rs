@@ -62,12 +62,21 @@ impl Zipfian {
     /// Panics if `n == 0` or `theta` is not positive or equals 1.
     pub fn with_theta(n: usize, theta: f64) -> Self {
         assert!(n > 0, "key space must be non-empty");
-        assert!(theta > 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be positive and ≠ 1");
+        assert!(
+            theta > 0.0 && (theta - 1.0).abs() > 1e-9,
+            "theta must be positive and ≠ 1"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
-        Self { n, theta, alpha, zetan, eta }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Zipfian with the YCSB default skew.
@@ -154,7 +163,10 @@ mod tests {
         let h = histogram(&mut u, 100_000);
         assert_eq!(h.len(), 100);
         let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
-        assert!(*max < 2 * *min, "uniform histogram too skewed: min={min} max={max}");
+        assert!(
+            *max < 2 * *min,
+            "uniform histogram too skewed: min={min} max={max}"
+        );
     }
 
     #[test]

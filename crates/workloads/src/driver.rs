@@ -36,7 +36,13 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        Self { rps: 100.0, requests: 1_000, seed: 0xC0FFEE, value_size: 1024, time_scale: 1.0 }
+        Self {
+            rps: 100.0,
+            requests: 1_000,
+            seed: 0xC0FFEE,
+            value_size: 1024,
+            time_scale: 1.0,
+        }
     }
 }
 
@@ -128,7 +134,13 @@ pub fn run_open_loop(
     let timed_out = pending.len();
 
     let summary = LatencySummary::from_samples(&latencies).unscale(cfg.time_scale);
-    RunReport { latency: summary, errors, issued: cfg.requests, timed_out, elapsed }
+    RunReport {
+        latency: summary,
+        errors,
+        issued: cfg.requests,
+        timed_out,
+        elapsed,
+    }
 }
 
 fn sweep(
@@ -163,9 +175,18 @@ mod tests {
         )
         .unwrap();
         load_accounts(rt.as_ref(), 20, 64, 100);
-        let cfg = DriverConfig { rps: 2000.0, requests: 200, ..Default::default() };
-        let report =
-            run_open_loop(rt.as_ref(), WorkloadSpec::A, Distribution::Zipfian, 20, &cfg);
+        let cfg = DriverConfig {
+            rps: 2000.0,
+            requests: 200,
+            ..Default::default()
+        };
+        let report = run_open_loop(
+            rt.as_ref(),
+            WorkloadSpec::A,
+            Distribution::Zipfian,
+            20,
+            &cfg,
+        );
         assert_eq!(report.errors, 0, "{report:?}");
         assert_eq!(report.timed_out, 0);
         assert_eq!(report.latency.count, 200);
@@ -183,9 +204,12 @@ mod tests {
         .unwrap();
         let n = 10;
         load_accounts(rt.as_ref(), n, 16, 1000);
-        let cfg = DriverConfig { rps: 3000.0, requests: 150, ..Default::default() };
-        let report =
-            run_open_loop(rt.as_ref(), WorkloadSpec::T, Distribution::Uniform, n, &cfg);
+        let cfg = DriverConfig {
+            rps: 3000.0,
+            requests: 150,
+            ..Default::default()
+        };
+        let report = run_open_loop(rt.as_ref(), WorkloadSpec::T, Distribution::Uniform, n, &cfg);
         assert_eq!(report.errors, 0);
         let total: i64 = (0..n)
             .map(|i| {
@@ -206,9 +230,12 @@ mod tests {
         let program = ycsb_program();
         let rt = se_core::deploy(&program, RuntimeChoice::Local).unwrap();
         load_accounts(rt.as_ref(), 5, 16, 0);
-        let cfg = DriverConfig { rps: 10_000.0, requests: 100, ..Default::default() };
-        let report =
-            run_open_loop(rt.as_ref(), WorkloadSpec::B, Distribution::Uniform, 5, &cfg);
+        let cfg = DriverConfig {
+            rps: 10_000.0,
+            requests: 100,
+            ..Default::default()
+        };
+        let report = run_open_loop(rt.as_ref(), WorkloadSpec::B, Distribution::Uniform, 5, &cfg);
         assert!(report.elapsed < Duration::from_secs(2));
         assert_eq!(report.latency.count, 100);
     }

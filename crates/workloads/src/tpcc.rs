@@ -46,7 +46,10 @@ pub fn tpcc_program() -> Program {
         .method(
             MethodBuilder::new("next_order_id")
                 .returns(Type::Int)
-                .body(vec![attr_add("d_next_o_id", int(1)), ret(attr("d_next_o_id"))]),
+                .body(vec![
+                    attr_add("d_next_o_id", int(1)),
+                    ret(attr("d_next_o_id")),
+                ]),
         )
         .build();
 
@@ -64,7 +67,10 @@ pub fn tpcc_program() -> Program {
                 .body(vec![
                     if_else(
                         ge(sub(attr("s_quantity"), var("qty")), int(10)),
-                        vec![attr_assign("s_quantity", sub(attr("s_quantity"), var("qty")))],
+                        vec![attr_assign(
+                            "s_quantity",
+                            sub(attr("s_quantity"), var("qty")),
+                        )],
                         vec![attr_assign(
                             "s_quantity",
                             add(sub(attr("s_quantity"), var("qty")), int(91)),
@@ -101,8 +107,16 @@ pub fn tpcc_program() -> Program {
                     attr_assign("c_balance", sub(attr("c_balance"), var("amount"))),
                     attr_add("c_ytd_payment", var("amount")),
                     attr_add("c_payment_cnt", int(1)),
-                    expr_stmt(call(var("warehouse"), "receive_payment", vec![var("amount")])),
-                    expr_stmt(call(var("district"), "receive_payment", vec![var("amount")])),
+                    expr_stmt(call(
+                        var("warehouse"),
+                        "receive_payment",
+                        vec![var("amount")],
+                    )),
+                    expr_stmt(call(
+                        var("district"),
+                        "receive_payment",
+                        vec![var("amount")],
+                    )),
                     ret(attr("c_balance")),
                 ]),
         )
@@ -185,7 +199,8 @@ pub fn load(rt: &dyn se_dataflow::EntityRuntime, scale: TpccScale) {
         for w in 0..scale.warehouses {
             let rt = &rt;
             scope.spawn(move || {
-                rt.create("Warehouse", &keys::warehouse(w), vec![]).expect("create warehouse");
+                rt.create("Warehouse", &keys::warehouse(w), vec![])
+                    .expect("create warehouse");
                 for d in 0..scale.districts_per_warehouse {
                     rt.create("District", &keys::district(w, d), vec![])
                         .expect("create district");
@@ -199,7 +214,8 @@ pub fn load(rt: &dyn se_dataflow::EntityRuntime, scale: TpccScale) {
                     }
                 }
                 for s in 0..scale.stock_per_warehouse {
-                    rt.create("Stock", &keys::stock(w, s), vec![]).expect("create stock");
+                    rt.create("Stock", &keys::stock(w, s), vec![])
+                        .expect("create stock");
                 }
             });
         }
@@ -218,9 +234,18 @@ mod tests {
         se_lang::typecheck::check_program(&p).unwrap();
         let g = se_core::compile(&p).unwrap();
         // payment: 2 calls; new_order: 1 + in-loop call.
-        assert_eq!(g.program.method_or_err("Customer", "payment").unwrap().suspension_points(), 2);
         assert_eq!(
-            g.program.method_or_err("Customer", "new_order").unwrap().suspension_points(),
+            g.program
+                .method_or_err("Customer", "payment")
+                .unwrap()
+                .suspension_points(),
+            2
+        );
+        assert_eq!(
+            g.program
+                .method_or_err("Customer", "new_order")
+                .unwrap()
+                .suspension_points(),
             2
         );
     }
@@ -228,8 +253,7 @@ mod tests {
     #[test]
     fn payment_and_new_order_on_stateflow() {
         let p = tpcc_program();
-        let rt =
-            deploy(&p, RuntimeChoice::Stateflow(StateflowConfig::fast_test(3))).unwrap();
+        let rt = deploy(&p, RuntimeChoice::Stateflow(StateflowConfig::fast_test(3))).unwrap();
         let scale = TpccScale {
             warehouses: 1,
             districts_per_warehouse: 2,
@@ -246,7 +270,11 @@ mod tests {
             .call(
                 cust.clone(),
                 "payment",
-                vec![Value::Ref(w.clone()), Value::Ref(d.clone()), Value::Int(100)],
+                vec![
+                    Value::Ref(w.clone()),
+                    Value::Ref(d.clone()),
+                    Value::Int(100),
+                ],
             )
             .unwrap();
         assert_eq!(bal, Value::Int(900));
@@ -262,12 +290,20 @@ mod tests {
             Value::Ref(EntityRef::new("Stock", keys::stock(0, 3))),
         ]);
         let oid = rt
-            .call(cust.clone(), "new_order", vec![Value::Ref(d), stocks, Value::Int(7)])
+            .call(
+                cust.clone(),
+                "new_order",
+                vec![Value::Ref(d), stocks, Value::Int(7)],
+            )
             .unwrap();
         assert_eq!(oid, Value::Int(3001));
         // Stock 1..=3 each lost 7 units.
         let q = rt
-            .call(EntityRef::new("Stock", keys::stock(0, 2)), "take", vec![Value::Int(0)])
+            .call(
+                EntityRef::new("Stock", keys::stock(0, 2)),
+                "take",
+                vec![Value::Int(0)],
+            )
             .unwrap();
         assert_eq!(q, Value::Int(93));
         rt.shutdown();
@@ -277,8 +313,13 @@ mod tests {
     fn stock_restocks_below_threshold() {
         let p = tpcc_program();
         let rt = deploy(&p, RuntimeChoice::Local).unwrap();
-        let s = rt.create("Stock", "s1", vec![("s_quantity".into(), Value::Int(12))]).unwrap();
+        let s = rt
+            .create("Stock", "s1", vec![("s_quantity".into(), Value::Int(12))])
+            .unwrap();
         // 12 - 7 = 5 < 10 → restock: 12 - 7 + 91 = 96.
-        assert_eq!(rt.call(s, "take", vec![Value::Int(7)]).unwrap(), Value::Int(96));
+        assert_eq!(
+            rt.call(s, "take", vec![Value::Int(7)]).unwrap(),
+            Value::Int(96)
+        );
     }
 }

@@ -27,7 +27,11 @@ pub fn ycsb_program() -> Program {
         .attr_default("data", Type::Bytes, Value::Bytes(Vec::new()))
         .key("account_id")
         // read(): return the record payload.
-        .method(MethodBuilder::new("read").returns(Type::Bytes).body(vec![ret(attr("data"))]))
+        .method(
+            MethodBuilder::new("read")
+                .returns(Type::Bytes)
+                .body(vec![ret(attr("data"))]),
+        )
         // update(v): overwrite the record payload.
         .method(
             MethodBuilder::new("update")
@@ -36,13 +40,18 @@ pub fn ycsb_program() -> Program {
                 .body(vec![attr_assign("data", var("value")), ret(lit(true))]),
         )
         .method(
-            MethodBuilder::new("balance").returns(Type::Int).body(vec![ret(attr("balance"))]),
+            MethodBuilder::new("balance")
+                .returns(Type::Int)
+                .body(vec![ret(attr("balance"))]),
         )
         .method(
             MethodBuilder::new("deposit")
                 .param("amount", Type::Int)
                 .returns(Type::Int)
-                .body(vec![attr_add("balance", var("amount")), ret(attr("balance"))]),
+                .body(vec![
+                    attr_add("balance", var("amount")),
+                    ret(attr("balance")),
+                ]),
         )
         // transfer: the YCSB+T transaction — 2 reads + 2 writes across two
         // accounts, atomically.
@@ -84,17 +93,33 @@ pub struct WorkloadSpec {
 
 impl WorkloadSpec {
     /// YCSB A: update-heavy (50/50).
-    pub const A: WorkloadSpec =
-        WorkloadSpec { name: "A", read_pct: 50, update_pct: 50, transfer_pct: 0 };
+    pub const A: WorkloadSpec = WorkloadSpec {
+        name: "A",
+        read_pct: 50,
+        update_pct: 50,
+        transfer_pct: 0,
+    };
     /// YCSB B: read-heavy (95/5).
-    pub const B: WorkloadSpec =
-        WorkloadSpec { name: "B", read_pct: 95, update_pct: 5, transfer_pct: 0 };
+    pub const B: WorkloadSpec = WorkloadSpec {
+        name: "B",
+        read_pct: 95,
+        update_pct: 5,
+        transfer_pct: 0,
+    };
     /// YCSB+T T: transfers only.
-    pub const T: WorkloadSpec =
-        WorkloadSpec { name: "T", read_pct: 0, update_pct: 0, transfer_pct: 100 };
+    pub const T: WorkloadSpec = WorkloadSpec {
+        name: "T",
+        read_pct: 0,
+        update_pct: 0,
+        transfer_pct: 100,
+    };
     /// The paper's mixed workload M (45/45/10).
-    pub const M: WorkloadSpec =
-        WorkloadSpec { name: "M", read_pct: 45, update_pct: 45, transfer_pct: 10 };
+    pub const M: WorkloadSpec = WorkloadSpec {
+        name: "M",
+        read_pct: 45,
+        update_pct: 45,
+        transfer_pct: 10,
+    };
 
     /// Whether the mix contains multi-entity transactions.
     pub fn is_transactional(&self) -> bool {
@@ -134,9 +159,7 @@ impl Operation {
     pub fn to_invocation(&self) -> (usize, &'static str, Vec<Value>) {
         match self {
             Operation::Read { key } => (*key, "read", vec![]),
-            Operation::Update { key, value } => {
-                (*key, "update", vec![Value::Bytes(value.clone())])
-            }
+            Operation::Update { key, value } => (*key, "update", vec![Value::Bytes(value.clone())]),
             Operation::Transfer { from, to, amount } => (
                 *from,
                 "transfer",
@@ -160,14 +183,20 @@ impl OpGenerator {
     /// A generator for `spec` drawing keys from `chooser`; updates write
     /// payloads of `value_size` bytes (YCSB default: 1 KiB rows).
     pub fn new(spec: WorkloadSpec, chooser: Box<dyn KeyChooser>, value_size: usize) -> Self {
-        Self { spec, chooser, value_size }
+        Self {
+            spec,
+            chooser,
+            value_size,
+        }
     }
 
     /// Draws the next operation.
     pub fn next_op(&mut self, rng: &mut dyn rand::RngCore) -> Operation {
         let roll = rng.gen_range(0..100u8);
         if roll < self.spec.read_pct {
-            Operation::Read { key: self.chooser.next_key(rng) }
+            Operation::Read {
+                key: self.chooser.next_key(rng),
+            }
         } else if roll < self.spec.read_pct + self.spec.update_pct {
             let fill = rng.gen::<u8>();
             Operation::Update {
@@ -180,7 +209,11 @@ impl OpGenerator {
             if to == from {
                 to = (to + 1) % self.chooser.key_count().max(2);
             }
-            Operation::Transfer { from, to, amount: rng.gen_range(1..10) }
+            Operation::Transfer {
+                from,
+                to,
+                amount: rng.gen_range(1..10),
+            }
         }
     }
 }
@@ -205,17 +238,17 @@ mod tests {
     fn se_compiler_compile(p: &Program) -> usize {
         // The workloads crate depends on se-core which re-exports compile.
         let graph = se_core::compile(p).unwrap();
-        graph.program.method_or_err("Account", "transfer").unwrap().suspension_points()
+        graph
+            .program
+            .method_or_err("Account", "transfer")
+            .unwrap()
+            .suspension_points()
     }
 
     #[test]
     fn mixes_match_spec() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut gen = OpGenerator::new(
-            WorkloadSpec::M,
-            Distribution::Uniform.chooser(100),
-            64,
-        );
+        let mut gen = OpGenerator::new(WorkloadSpec::M, Distribution::Uniform.chooser(100), 64);
         let (mut r, mut u, mut t) = (0, 0, 0);
         let n = 20_000;
         for _ in 0..n {
@@ -234,8 +267,7 @@ mod tests {
     #[test]
     fn transfer_never_self_targets() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut gen =
-            OpGenerator::new(WorkloadSpec::T, Box::new(Uniform::new(4)), 64);
+        let mut gen = OpGenerator::new(WorkloadSpec::T, Box::new(Uniform::new(4)), 64);
         for _ in 0..5_000 {
             if let Operation::Transfer { from, to, .. } = gen.next_op(&mut rng) {
                 assert_ne!(from, to);
@@ -246,8 +278,7 @@ mod tests {
     #[test]
     fn update_respects_value_size() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut gen =
-            OpGenerator::new(WorkloadSpec::A, Box::new(Uniform::new(10)), 1024);
+        let mut gen = OpGenerator::new(WorkloadSpec::A, Box::new(Uniform::new(10)), 1024);
         loop {
             if let Operation::Update { value, .. } = gen.next_op(&mut rng) {
                 assert_eq!(value.len(), 1024);

@@ -12,10 +12,10 @@ use std::sync::atomic::Ordering;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use stateful_entities::prelude::*;
-use stateful_entities::StateflowConfig;
 use se_dataflow::FailurePlan;
 use se_workloads::{KeyChooser, Zipfian};
+use stateful_entities::prelude::*;
+use stateful_entities::StateflowConfig;
 
 fn main() {
     let n_accounts = 50usize;
@@ -61,7 +61,10 @@ fn main() {
     let mut succeeded = 0;
     let mut rejected = 0;
     for w in waiters {
-        match w.wait().expect("transfer completes (even across the crash)") {
+        match w
+            .wait()
+            .expect("transfer completes (even across the crash)")
+        {
             Value::Bool(true) => succeeded += 1,
             _ => rejected += 1,
         }
@@ -69,10 +72,14 @@ fn main() {
 
     let total: i64 = (0..n_accounts)
         .map(|i| {
-            rt.call(EntityRef::new("Account", se_workloads::key_name(i)), "balance", vec![])
-                .expect("balance")
-                .as_int()
-                .expect("int")
+            rt.call(
+                EntityRef::new("Account", se_workloads::key_name(i)),
+                "balance",
+                vec![],
+            )
+            .expect("balance")
+            .as_int()
+            .expect("int")
         })
         .sum();
 
@@ -88,8 +95,15 @@ fn main() {
         stats.recoveries.load(Ordering::Relaxed),
     );
     println!("  worker crash fired: {}", failure.has_fired());
-    println!("  total money: {total} (expected {})", initial * n_accounts as i64);
-    assert_eq!(total, initial * n_accounts as i64, "conservation must hold exactly");
+    println!(
+        "  total money: {total} (expected {})",
+        initial * n_accounts as i64
+    );
+    assert_eq!(
+        total,
+        initial * n_accounts as i64,
+        "conservation must hold exactly"
+    );
     println!("\nmoney conserved across contention, aborts, a crash and replay — exactly-once.");
     rt.shutdown();
 }

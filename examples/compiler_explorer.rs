@@ -31,7 +31,11 @@ fn main() {
 
     println!("━━━ stage 2: remote-call normalization ━━━");
     let normalized = normalize_program(&program);
-    let buy = normalized.class("User").unwrap().method("buy_item").unwrap();
+    let buy = normalized
+        .class("User")
+        .unwrap()
+        .method("buy_item")
+        .unwrap();
     println!("  buy_item body after hoisting calls to statement level:");
     print!("{}", se_lang::pretty::method_to_source(buy, 1));
 
@@ -42,7 +46,10 @@ fn main() {
             println!("  {}.{} → {}.{}", caller.0, caller.1, callee.0, callee.1);
         }
     }
-    println!("  recursion check: {:?}", cg.check_no_recursion().map(|_| "acyclic"));
+    println!(
+        "  recursion check: {:?}",
+        cg.check_no_recursion().map(|_| "acyclic")
+    );
     println!("  max call depth: {}", cg.max_depth());
 
     println!("\n━━━ stage 4: function splitting ━━━");
@@ -66,7 +73,12 @@ fn main() {
     }
 
     println!("\n━━━ stage 5: execution state machine (paper §2.5) ━━━");
-    let machine = graph.program.class("User").unwrap().machine("buy_item").unwrap();
+    let machine = graph
+        .program
+        .class("User")
+        .unwrap()
+        .machine("buy_item")
+        .unwrap();
     println!("{}", machine.to_dot());
 
     println!("━━━ stage 6: logical dataflow graph (paper Figure 2) ━━━");

@@ -25,14 +25,21 @@ fn flash_sale(rt: &dyn EntityRuntime, users: usize, stock: i64) -> Outcome {
         .create(
             "Item",
             "gpu",
-            vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(stock))],
+            vec![
+                ("price".into(), Value::Int(30)),
+                ("stock".into(), Value::Int(stock)),
+            ],
         )
         .expect("create item");
     // Every user has exactly enough money for ONE purchase of 2 units.
     let user_refs: Vec<EntityRef> = (0..users)
         .map(|i| {
-            rt.create("User", &format!("u{i}"), vec![("balance".into(), Value::Int(60))])
-                .expect("create user")
+            rt.create(
+                "User",
+                &format!("u{i}"),
+                vec![("balance".into(), Value::Int(60))],
+            )
+            .expect("create user")
         })
         .collect();
 
@@ -65,12 +72,20 @@ fn flash_sale(rt: &dyn EntityRuntime, users: usize, stock: i64) -> Outcome {
 
     let mut negative_balances = 0;
     for u in &user_refs {
-        let b = rt.call(u.clone(), "balance", vec![]).expect("balance").as_int().unwrap();
+        let b = rt
+            .call(u.clone(), "balance", vec![])
+            .expect("balance")
+            .as_int()
+            .unwrap();
         if b < 0 {
             negative_balances += 1;
         }
     }
-    Outcome { successes, stock_went_negative: !stock_non_negative, negative_balances }
+    Outcome {
+        successes,
+        stock_went_negative: !stock_non_negative,
+        negative_balances,
+    }
 }
 
 fn main() {
@@ -85,7 +100,11 @@ fn main() {
         ),
         (
             "stateflow (serializable)",
-            deploy(&program, RuntimeChoice::Stateflow(StateflowConfig::default())).unwrap(),
+            deploy(
+                &program,
+                RuntimeChoice::Stateflow(StateflowConfig::default()),
+            )
+            .unwrap(),
         ),
     ] {
         println!("=== {label} ===");
@@ -93,7 +112,10 @@ fn main() {
         // Every user affords exactly one 2-unit purchase: more than `users`
         // successes means somebody double-spent.
         let max_possible = users as i64;
-        println!("  successful purchases : {} (budgets only cover {max_possible})", o.successes);
+        println!(
+            "  successful purchases : {} (budgets only cover {max_possible})",
+            o.successes
+        );
         println!("  stock went negative  : {}", o.stock_went_negative);
         println!("  users with negative balance: {}", o.negative_balances);
         if o.stock_went_negative || o.negative_balances > 0 || o.successes > max_possible {

@@ -18,8 +18,10 @@ fn main() {
     //    splitting → state machines → dataflow graph.
     let graph = stateful_entities::compile(&program).expect("type-checks and compiles");
     let stats = stateful_entities::stats(&graph);
-    println!("compiled {} classes, {} methods, {} blocks, {} suspension points",
-        stats.classes, stats.methods, stats.blocks, stats.suspension_points);
+    println!(
+        "compiled {} classes, {} methods, {} blocks, {} suspension points",
+        stats.classes, stats.methods, stats.blocks, stats.suspension_points
+    );
 
     let buy = graph.program.method_or_err("User", "buy_item").unwrap();
     println!(
@@ -44,20 +46,31 @@ fn main() {
             .create(
                 "Item",
                 "laptop",
-                vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(5))],
+                vec![
+                    ("price".into(), Value::Int(30)),
+                    ("stock".into(), Value::Int(5)),
+                ],
             )
             .expect("create item");
 
         // buy_item(2, laptop): 2 × 30 = 60 ≤ 100 → success.
         let ok = rt
-            .call(alice.clone(), "buy_item", vec![Value::Int(2), Value::Ref(laptop.clone())])
+            .call(
+                alice.clone(),
+                "buy_item",
+                vec![Value::Int(2), Value::Ref(laptop.clone())],
+            )
             .expect("invoke");
         let balance = rt.call(alice.clone(), "balance", vec![]).expect("balance");
         println!("  buy_item(2, laptop) → {ok}   balance → {balance}");
 
         // A second purchase of 2 × 30 = 60 > 40 → rejected, state unchanged.
         let ok = rt
-            .call(alice.clone(), "buy_item", vec![Value::Int(2), Value::Ref(laptop)])
+            .call(
+                alice.clone(),
+                "buy_item",
+                vec![Value::Int(2), Value::Ref(laptop)],
+            )
             .expect("invoke");
         let balance = rt.call(alice, "balance", vec![]).expect("balance");
         println!("  buy_item(2, laptop) → {ok}  balance → {balance}");

@@ -14,9 +14,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use se_workloads::tpcc::{self, keys, TpccScale};
 use stateful_entities::prelude::*;
 use stateful_entities::StateflowConfig;
-use se_workloads::tpcc::{self, keys, TpccScale};
 
 fn main() {
     let scale = TpccScale {
@@ -29,14 +29,26 @@ fn main() {
     let graph = stateful_entities::compile(&program).expect("compiles");
 
     // Show what the compiler did with the loop-over-stocks transaction.
-    let new_order = graph.program.method_or_err("Customer", "new_order").unwrap();
+    let new_order = graph
+        .program
+        .method_or_err("Customer", "new_order")
+        .unwrap();
     println!(
         "Customer.new_order compiled to {} blocks with {} suspension points;",
         new_order.blocks.len(),
         new_order.suspension_points()
     );
     println!("its execution state machine:\n");
-    println!("{}", graph.program.class("Customer").unwrap().machine("new_order").unwrap().to_dot());
+    println!(
+        "{}",
+        graph
+            .program
+            .class("Customer")
+            .unwrap()
+            .machine("new_order")
+            .unwrap()
+            .to_dot()
+    );
 
     let rt = stateful_entities::StateflowRuntime::deploy(graph, StateflowConfig::default());
     println!("loading {} warehouses…", scale.warehouses);
@@ -67,8 +79,11 @@ fn main() {
                 orders += 1;
                 // 10% of orders hit a *remote* warehouse's stock (TPC-C's
                 // cross-warehouse rule) — a cross-partition transaction.
-                let stock_w =
-                    if rng.gen_bool(0.1) { (w + 1) % scale.warehouses } else { w };
+                let stock_w = if rng.gen_bool(0.1) {
+                    (w + 1) % scale.warehouses
+                } else {
+                    w
+                };
                 let stocks: Vec<Value> = (0..rng.gen_range(1..=5))
                     .map(|_| {
                         Value::Ref(EntityRef::new(

@@ -2,8 +2,8 @@
 //! valid block CFGs, fully reachable state machines, live-in parameter
 //! sanity, and stable golden shapes for the paper's running example.
 
-use stateful_entities::compile;
 use se_ir::{StateMachine, Terminator};
+use stateful_entities::compile;
 
 fn all_programs() -> Vec<(&'static str, se_lang::Program)> {
     vec![
@@ -91,7 +91,12 @@ fn figure1_golden_shape() {
     let buy = graph.program.method_or_err("User", "buy_item").unwrap();
     assert_eq!(buy.suspension_points(), 3, "price + update_stock ×2");
     // The entry suspends immediately on price() with `item` live.
-    let Terminator::RemoteCall { method, result_var, resume, .. } = &buy.blocks[0].terminator
+    let Terminator::RemoteCall {
+        method,
+        result_var,
+        resume,
+        ..
+    } = &buy.blocks[0].terminator
     else {
         panic!("entry must suspend on price()");
     };
@@ -113,8 +118,16 @@ fn figure1_golden_shape() {
 #[test]
 fn tpcc_new_order_loop_machine_has_cycle() {
     let graph = compile(&se_workloads::tpcc::tpcc_program()).unwrap();
-    let sm = graph.program.class("Customer").unwrap().machine("new_order").unwrap();
-    assert!(sm.has_cycle(), "the stocks loop must appear as a cycle in the state machine");
+    let sm = graph
+        .program
+        .class("Customer")
+        .unwrap()
+        .machine("new_order")
+        .unwrap();
+    assert!(
+        sm.has_cycle(),
+        "the stocks loop must appear as a cycle in the state machine"
+    );
     assert!(sm.fully_reachable());
 }
 

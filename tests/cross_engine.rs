@@ -9,8 +9,16 @@ fn engines() -> Vec<Box<dyn EntityRuntime>> {
     let program = stateful_entities::programs::figure1_program();
     vec![
         deploy(&program, RuntimeChoice::Local).unwrap(),
-        deploy(&program, RuntimeChoice::Statefun(StatefunConfig::fast_test(3))).unwrap(),
-        deploy(&program, RuntimeChoice::Stateflow(StateflowConfig::fast_test(3))).unwrap(),
+        deploy(
+            &program,
+            RuntimeChoice::Statefun(StatefunConfig::fast_test(3)),
+        )
+        .unwrap(),
+        deploy(
+            &program,
+            RuntimeChoice::Stateflow(StateflowConfig::fast_test(3)),
+        )
+        .unwrap(),
     ]
 }
 
@@ -18,31 +26,48 @@ fn engines() -> Vec<Box<dyn EntityRuntime>> {
 fn figure1_identical_across_engines() {
     for rt in engines() {
         let name = rt.name().to_owned();
-        let user = rt.create("User", "u", vec![("balance".into(), Value::Int(100))]).unwrap();
+        let user = rt
+            .create("User", "u", vec![("balance".into(), Value::Int(100))])
+            .unwrap();
         let item = rt
             .create(
                 "Item",
                 "i",
-                vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(3))],
+                vec![
+                    ("price".into(), Value::Int(30)),
+                    ("stock".into(), Value::Int(3)),
+                ],
             )
             .unwrap();
 
         // Purchase 1: 2×30 = 60 ≤ 100 → ok, stock 3→1, balance 40.
         assert_eq!(
-            rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
-                .unwrap(),
+            rt.call(
+                user.clone(),
+                "buy_item",
+                vec![Value::Int(2), Value::Ref(item.clone())]
+            )
+            .unwrap(),
             Value::Bool(true),
             "[{name}]"
         );
         // Purchase 2: 1×30 = 30 ≤ 40 but stock 1−2 < 0 → compensated reject.
         assert_eq!(
-            rt.call(user.clone(), "buy_item", vec![Value::Int(2), Value::Ref(item.clone())])
-                .unwrap(),
+            rt.call(
+                user.clone(),
+                "buy_item",
+                vec![Value::Int(2), Value::Ref(item.clone())]
+            )
+            .unwrap(),
             Value::Bool(false),
             "[{name}]"
         );
         // Balance unchanged by the rejected purchase; stock restored to 1.
-        assert_eq!(rt.call(user.clone(), "balance", vec![]).unwrap(), Value::Int(40), "[{name}]");
+        assert_eq!(
+            rt.call(user.clone(), "balance", vec![]).unwrap(),
+            Value::Int(40),
+            "[{name}]"
+        );
         assert_eq!(
             rt.call(item, "update_stock", vec![Value::Int(0)]).unwrap(),
             Value::Bool(true),
@@ -74,7 +99,8 @@ fn chain_program_identical_across_engines() {
             rt.create(&format!("C{i}"), "n", init).unwrap();
         }
         assert_eq!(
-            rt.call(EntityRef::new("C0", "n"), "relay", vec![Value::Int(10)]).unwrap(),
+            rt.call(EntityRef::new("C0", "n"), "relay", vec![Value::Int(10)])
+                .unwrap(),
             Value::Int(10 + depth as i64),
             "[{}]",
             rt.name()
@@ -88,14 +114,20 @@ fn errors_are_consistent_across_engines() {
     for rt in engines() {
         let name = rt.name().to_owned();
         // Unknown entity.
-        let err = rt.call(EntityRef::new("User", "ghost"), "balance", vec![]).unwrap_err();
+        let err = rt
+            .call(EntityRef::new("User", "ghost"), "balance", vec![])
+            .unwrap_err();
         assert!(err.to_string().contains("unknown entity"), "[{name}] {err}");
         // Unknown method.
         rt.create("User", "u2", vec![]).unwrap();
-        let err = rt.call(EntityRef::new("User", "u2"), "frobnicate", vec![]).unwrap_err();
+        let err = rt
+            .call(EntityRef::new("User", "u2"), "frobnicate", vec![])
+            .unwrap_err();
         assert!(err.to_string().contains("no method"), "[{name}] {err}");
         // Wrong arity.
-        let err = rt.call(EntityRef::new("User", "u2"), "buy_item", vec![]).unwrap_err();
+        let err = rt
+            .call(EntityRef::new("User", "u2"), "buy_item", vec![])
+            .unwrap_err();
         assert!(err.to_string().contains("argument"), "[{name}] {err}");
         rt.shutdown();
     }
@@ -110,17 +142,25 @@ fn ycsb_program_runs_on_all_engines() {
         RuntimeChoice::Stateflow(StateflowConfig::fast_test(2)),
     ] {
         let rt = deploy(&program, choice).unwrap();
-        let a = rt.create("Account", "a", vec![("balance".into(), Value::Int(10))]).unwrap();
+        let a = rt
+            .create("Account", "a", vec![("balance".into(), Value::Int(10))])
+            .unwrap();
         let payload = Value::Bytes(vec![9u8; 256]);
         assert_eq!(
             rt.call(a.clone(), "update", vec![payload.clone()]).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(rt.call(a.clone(), "read", vec![]).unwrap(), payload, "[{}]", rt.name());
+        assert_eq!(
+            rt.call(a.clone(), "read", vec![]).unwrap(),
+            payload,
+            "[{}]",
+            rt.name()
+        );
         if rt.supports_transactions() {
             let b = rt.create("Account", "b", vec![]).unwrap();
             assert_eq!(
-                rt.call(a, "transfer", vec![Value::Ref(b.clone()), Value::Int(4)]).unwrap(),
+                rt.call(a, "transfer", vec![Value::Ref(b.clone()), Value::Int(4)])
+                    .unwrap(),
                 Value::Bool(true)
             );
             assert_eq!(rt.call(b, "balance", vec![]).unwrap(), Value::Int(4));

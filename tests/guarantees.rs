@@ -18,13 +18,20 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
         .create(
             "Item",
             "gpu",
-            vec![("price".into(), Value::Int(30)), ("stock".into(), Value::Int(10_000))],
+            vec![
+                ("price".into(), Value::Int(30)),
+                ("stock".into(), Value::Int(10_000)),
+            ],
         )
         .unwrap();
     let user_refs: Vec<EntityRef> = (0..users)
         .map(|i| {
-            rt.create("User", &format!("u{i}"), vec![("balance".into(), Value::Int(60))])
-                .unwrap()
+            rt.create(
+                "User",
+                &format!("u{i}"),
+                vec![("balance".into(), Value::Int(60))],
+            )
+            .unwrap()
         })
         .collect();
     let waiters: Vec<_> = user_refs
@@ -46,7 +53,11 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
     let negative = user_refs
         .iter()
         .filter(|u| {
-            rt.call((*u).clone(), "balance", vec![]).unwrap().as_int().unwrap() < 0
+            rt.call((*u).clone(), "balance", vec![])
+                .unwrap()
+                .as_int()
+                .unwrap()
+                < 0
         })
         .count();
     (successes, negative)
@@ -55,11 +66,17 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
 #[test]
 fn stateflow_serializability_holds_under_contention() {
     let program = stateful_entities::programs::figure1_program();
-    let rt =
-        deploy(&program, RuntimeChoice::Stateflow(StateflowConfig::fast_test(4))).unwrap();
+    let rt = deploy(
+        &program,
+        RuntimeChoice::Stateflow(StateflowConfig::fast_test(4)),
+    )
+    .unwrap();
     let users = 20;
     let (successes, negative) = run_flash_sale(rt.as_ref(), users);
-    assert_eq!(successes, users as i64, "exactly one purchase per user must commit");
+    assert_eq!(
+        successes, users as i64,
+        "exactly one purchase per user must commit"
+    );
     assert_eq!(negative, 0, "serializable execution never overdrafts");
     rt.shutdown();
 }
@@ -86,7 +103,8 @@ fn statefun_documented_race_violates_invariants() {
 /// lost or duplicated effect.
 fn deposits_with_failure(rt: &dyn EntityRuntime, n_accounts: usize, ops: usize) -> Vec<i64> {
     for i in 0..n_accounts {
-        rt.create("Account", &se_workloads::key_name(i), vec![]).unwrap();
+        rt.create("Account", &se_workloads::key_name(i), vec![])
+            .unwrap();
     }
     let mut expected = vec![0i64; n_accounts];
     let mut waiters = Vec::new();
@@ -104,14 +122,20 @@ fn deposits_with_failure(rt: &dyn EntityRuntime, n_accounts: usize, ops: usize) 
         }
     }
     for w in waiters {
-        w.wait_timeout(WAIT).expect("completes after recovery").expect("no error");
+        w.wait_timeout(WAIT)
+            .expect("completes after recovery")
+            .expect("no error");
     }
     let got: Vec<i64> = (0..n_accounts)
         .map(|i| {
-            rt.call(EntityRef::new("Account", se_workloads::key_name(i)), "balance", vec![])
-                .unwrap()
-                .as_int()
-                .unwrap()
+            rt.call(
+                EntityRef::new("Account", se_workloads::key_name(i)),
+                "balance",
+                vec![],
+            )
+            .unwrap()
+            .as_int()
+            .unwrap()
         })
         .collect();
     assert_eq!(got, expected, "exactly-once violated");
@@ -135,7 +159,9 @@ fn exactly_once_stateflow_through_facade() {
 fn exactly_once_statefun_through_facade() {
     let program = se_workloads::ycsb_program();
     let mut cfg = StatefunConfig::fast_test(3);
-    cfg.checkpoint = CheckpointMode::Transactional { interval: Duration::from_millis(20) };
+    cfg.checkpoint = CheckpointMode::Transactional {
+        interval: Duration::from_millis(20),
+    };
     cfg.failure = FailurePlan::fail_node_after("task1", 25);
     let failure = cfg.failure.clone();
     let rt = deploy(&program, RuntimeChoice::Statefun(cfg)).unwrap();
@@ -159,7 +185,10 @@ fn transactional_transfers_with_crash_conserve_money() {
                 EntityRef::new("Account", se_workloads::key_name(i % n)),
                 "transfer",
                 vec![
-                    Value::Ref(EntityRef::new("Account", se_workloads::key_name((i + 2) % n))),
+                    Value::Ref(EntityRef::new(
+                        "Account",
+                        se_workloads::key_name((i + 2) % n),
+                    )),
                     Value::Int(3),
                 ],
             )
@@ -170,10 +199,14 @@ fn transactional_transfers_with_crash_conserve_money() {
     }
     let total: i64 = (0..n)
         .map(|i| {
-            rt.call(EntityRef::new("Account", se_workloads::key_name(i)), "balance", vec![])
-                .unwrap()
-                .as_int()
-                .unwrap()
+            rt.call(
+                EntityRef::new("Account", se_workloads::key_name(i)),
+                "balance",
+                vec![],
+            )
+            .unwrap()
+            .as_int()
+            .unwrap()
         })
         .sum();
     assert_eq!(total, 500 * n as i64);

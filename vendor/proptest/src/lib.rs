@@ -1,0 +1,711 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! Covers the surface the workspace's property tests use: the [`strategy`]
+//! combinators (`prop_map`, `prop_flat_map`, `prop_recursive`, `boxed`,
+//! unions), regex-subset string strategies, [`collection`] and [`sample`]
+//! generators, and the `proptest!` / `prop_oneof!` / `prop_assert*` macros.
+//!
+//! Two deliberate simplifications versus the real crate:
+//!
+//! * **No shrinking** — a failing case panics with the generated inputs via
+//!   the assert message instead of minimizing them first.
+//! * **Deterministic seeding** — each test derives its RNG seed from its own
+//!   function name, so CI runs are reproducible by construction.
+
+#![warn(missing_docs)]
+
+pub mod config {
+    //! Run configuration (`cases` count etc.).
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// The generator RNG used by the shim (deterministically seeded).
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` derives
+        /// from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Builds a bounded-depth recursive strategy: `self` generates the
+        /// leaves, `f` wraps an inner strategy into a branch. `_desired_size`
+        /// and `_expected_branch` are accepted for source compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                // Mix the leaf strategy back in at every level so sampled
+                // trees stay small and always terminate.
+                cur = Union::new(vec![base.clone(), f(cur).boxed()]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.new_value_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (what `prop_oneof!`
+    /// builds).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: rand::SampleUniform + Copy,
+        std::ops::Range<T>: Clone,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_range_inclusive {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait ArbitraryValue {
+        /// Samples one value from the type's full (or unit, for floats)
+        /// domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, spanning many magnitudes.
+            let mag: f64 = rng.gen();
+            let exp = rng.gen_range(-60i32..60);
+            mag * 2f64.powi(exp) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 }
+        }
+    }
+
+    impl ArbitraryValue for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps failure messages readable.
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s full domain.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_map`).
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates maps whose size falls in `size` (collisions permitting).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut map = BTreeMap::new();
+            // Bounded attempts: key collisions may leave the map smaller
+            // than `target`, which proptest proper also permits.
+            for _ in 0..target.saturating_mul(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.new_value(rng), self.value.new_value(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding uniformly chosen clones of `options`.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from `options`; panics if empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `&str` strategies.
+    //!
+    //! Supports what the workspace's patterns use: concatenations of
+    //! literal characters and character classes (`[a-z0-9]`), each with an
+    //! optional `{m}`, `{m,n}`, `?`, `*` or `+` quantifier.
+
+    use super::strategy::TestRng;
+    use rand::Rng;
+
+    struct Atom {
+        choices: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates one string matching `pattern`. Panics on syntax the subset
+    /// does not cover, so unsupported patterns fail loudly at test time.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let (lo, hi) = pick_weighted(&atom.choices, rng);
+                out.push(rng.gen_range(lo as u32..=hi as u32) as u8 as char);
+            }
+        }
+        out
+    }
+
+    fn pick_weighted(choices: &[(char, char)], rng: &mut TestRng) -> (char, char) {
+        let total: u32 = choices
+            .iter()
+            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+            .sum();
+        let mut roll = rng.gen_range(0..total);
+        for &(lo, hi) in choices {
+            let span = hi as u32 - lo as u32 + 1;
+            if roll < span {
+                return (lo, hi);
+            }
+            roll -= span;
+        }
+        unreachable!("weights cover the roll")
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                        + i;
+                    let body = &chars[i + 1..close];
+                    i = close + 1;
+                    parse_class(body, pattern)
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("trailing \\ in pattern {pattern:?}"));
+                    i += 2;
+                    match c {
+                        'd' => vec![('0', '9')],
+                        'w' => vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                        c => vec![(c, c)],
+                    }
+                }
+                c if "(){}*+?|.^$".contains(c) => {
+                    panic!("pattern {pattern:?}: unsupported regex syntax {c:?}")
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+        assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+        let mut choices = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+                choices.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                // Lone trailing '-' counts as a literal, like real regex.
+                choices.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        choices
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier min"),
+                        n.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let m = body.trim().parse().expect("quantifier count");
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Seed derivation for the deterministic per-test RNG.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Builds the RNG for a named property test: deterministic per name, so
+    /// failures reproduce, while distinct tests explore distinct sequences.
+    pub fn rng_for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::new_value(&($strat), &mut __rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a property over generated inputs (no shrinking: panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality over generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality over generated inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::rng_for_test("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[A-Z][a-z0-9]{1,8}", &mut rng);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_uppercase());
+            let rest: Vec<char> = chars.collect();
+            assert!((1..=8).contains(&rest.len()), "bad len in {s:?}");
+            assert!(rest
+                .iter()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)] // payload only exercised via Debug formatting
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::rng_for_test("recursive_strategy_terminates");
+        for _ in 0..500 {
+            assert!(depth(&strat.new_value(&mut rng)) <= 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_patterns(a in 0usize..10, (b, c) in (0u8..4, any::<bool>())) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 4);
+            prop_assert_eq!(c, c);
+        }
+
+        #[test]
+        fn oneof_and_select(v in prop_oneof![Just(1i64), 5i64..10], w in crate::sample::select(vec!["x", "y"])) {
+            prop_assert!(v == 1 || (5..10).contains(&v));
+            prop_assert_ne!(w, "z");
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! slice the workspace uses: `#[derive(Serialize, Deserialize)]` plus a
+//! [`Serialize`] trait rendering into the in-crate [`Json`] tree (consumed by
+//! the vendored `serde_json`). [`Deserialize`] is a marker — nothing in the
+//! workspace deserializes yet; when something does, grow this shim.
+
+#![warn(missing_docs)]
+
+// Lets derive-generated `serde::...` paths resolve inside this crate's own
+// tests as well as in downstream crates.
+extern crate self as serde;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Write as _;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document tree; `serde_json::Value` in the real ecosystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer number.
+    Int(i64),
+    /// Unsigned integer number (for values above `i64::MAX`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders compact single-line JSON.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Renders human-readable JSON with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) => {
+                render_seq(out, indent, level, '[', ']', items.len(), |out, i, lvl| {
+                    items[i].render(out, indent, lvl)
+                })
+            }
+            Json::Obj(entries) => render_seq(
+                out,
+                indent,
+                level,
+                '{',
+                '}',
+                entries.len(),
+                |out, i, lvl| {
+                    let (k, v) = &entries[i];
+                    render_str(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render(out, indent, lvl)
+                },
+            ),
+        }
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+/// Types renderable into a [`Json`] tree.
+///
+/// Matches the real trait in spirit (data-format-agnostic serialization is
+/// collapsed to "produce JSON", the only format this workspace emits).
+pub trait Serialize {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Marker for types that opt into deserialization via derive.
+///
+/// No workspace code path deserializes yet; parsing support belongs in the
+/// shim the day a consumer appears.
+pub trait Deserialize {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used by deriving structs.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        }
+    )*};
+}
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::UInt(*self as u64) }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+/// JSON object keys must be strings; keys whose JSON form is a string use it
+/// directly, anything else falls back to its compact JSON rendering (real
+/// serde_json errors at runtime here — the shim chooses to stay total).
+fn key_string(key: &impl Serialize) -> String {
+    match key.to_json() {
+        Json::Str(s) => s,
+        other => other.render_compact(),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    /// Externally tagged, like a derived two-variant enum.
+    fn to_json(&self) -> Json {
+        match self {
+            Ok(v) => Json::Obj(vec![("Ok".to_string(), v.to_json())]),
+            Err(e) => Json::Obj(vec![("Err".to_string(), e.to_json())]),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    /// `{ "secs": …, "nanos": … }`, matching real serde's encoding.
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("secs".to_string(), Json::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Json::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(3i64.to_json().render_compact(), "3");
+        assert_eq!(true.to_json().render_compact(), "true");
+        assert_eq!("a\"b".to_json().render_compact(), "\"a\\\"b\"");
+        assert_eq!(f64::NAN.to_json().render_compact(), "null");
+    }
+
+    #[test]
+    fn renders_collections() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v.to_json().render_compact(), "[1,2,3]");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1i64);
+        assert_eq!(m.to_json().render_compact(), "{\"k\":1}");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::Int(1)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Serialize)]
+        struct P {
+            x: i64,
+            label: String,
+        }
+        let p = P {
+            x: 4,
+            label: "hi".into(),
+        };
+        assert_eq!(p.to_json().render_compact(), "{\"x\":4,\"label\":\"hi\"}");
+    }
+
+    #[test]
+    fn derive_enum_variants() {
+        #[derive(Debug, Serialize)]
+        #[allow(dead_code)]
+        enum E {
+            Unit,
+            Tup(i64, bool),
+            Struct { a: u8 },
+        }
+        assert_eq!(E::Unit.to_json().render_compact(), "\"Unit\"");
+        assert_eq!(
+            E::Tup(1, true).to_json().render_compact(),
+            "{\"Tup\":[1,true]}"
+        );
+        assert_eq!(
+            E::Struct { a: 2 }.to_json().render_compact(),
+            "{\"Struct\":{\"a\":2}}"
+        );
+    }
+
+    #[test]
+    fn derive_tuple_struct_and_deserialize_marker() {
+        #[derive(Serialize, Deserialize)]
+        struct Wrap(u64);
+        fn assert_marker<T: Deserialize>() {}
+        assert_marker::<Wrap>();
+        // Newtype structs serialize transparently, like real serde.
+        assert_eq!(Wrap(7).to_json().render_compact(), "7");
+    }
+}

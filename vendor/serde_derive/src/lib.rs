@@ -1,0 +1,267 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The offline build cannot pull `syn`/`quote`, so this crate parses the
+//! derive input token stream directly. It supports the shapes the workspace
+//! actually derives on — non-generic named-field structs, tuple structs, unit
+//! structs, and enums with unit/tuple/struct variants — and intentionally
+//! panics (a compile error at the derive site) on anything fancier, so new
+//! uses fail loudly instead of serializing wrong.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering into the shim's `serde::Json`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_json(&self.{f}))"))
+                .collect();
+            format!("serde::Json::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("serde::Json::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Json::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(variant_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {} {{ \
+            fn to_json(&self) -> serde::Json {{ {} }} \
+        }}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn variant_arm(v: &Variant) -> String {
+    let name = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("Self::{name} => serde::Json::Str(\"{name}\".to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "Self::{name}(__f0) => serde::Json::Obj(vec![(\"{name}\".to_string(), \
+                 serde::Serialize::to_json(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::to_json({b})"))
+                .collect();
+            format!(
+                "Self::{name}({}) => serde::Json::Obj(vec![(\"{name}\".to_string(), \
+                     serde::Json::Arr(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_json({f}))"))
+                .collect();
+            format!(
+                "Self::{name} {{ {} }} => serde::Json::Obj(vec![(\"{name}\".to_string(), \
+                     serde::Json::Obj(vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal derive-input parser.
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` unsupported; extend vendor/serde_derive");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::NamedStruct(field_names(g)),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::TupleStruct(split_top_level(g).len()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = split_top_level(g)
+                    .iter()
+                    .map(|part| parse_variant(part))
+                    .collect();
+                Item {
+                    name,
+                    shape: Shape::Enum(variants),
+                }
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_variant(part: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    skip_attrs_and_vis(part, &mut i);
+    let name = match part.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected variant name, got {other:?}"),
+    };
+    i += 1;
+    let shape = match part.get(i) {
+        None => VariantShape::Unit,
+        // Explicit discriminant (`Variant = 3`): payload-free, so unit-like.
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantShape::Tuple(split_top_level(g).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantShape::Struct(field_names(g))
+        }
+        other => panic!("serde shim derive: unsupported variant body {other:?}"),
+    };
+    Variant { name, shape }
+}
+
+fn field_names(g: &Group) -> Vec<String> {
+    split_top_level(g)
+        .iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(part, &mut i);
+            match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Splits a group's stream on commas that sit outside `<...>` generic
+/// argument lists (angle brackets are plain puncts, not token groups).
+fn split_top_level(g: &Group) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i64;
+    let mut prev_dash = false;
+    for t in g.stream() {
+        if let TokenTree::Punct(p) = &t {
+            let c = p.as_char();
+            match c {
+                '<' => angle_depth += 1,
+                // `->` in an fn-pointer type is not a closing bracket.
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut cur));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}

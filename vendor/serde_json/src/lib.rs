@@ -1,0 +1,96 @@
+//! Offline API-compatible subset of `serde_json`.
+//!
+//! Serialization only — [`Value`], [`json!`], [`to_value`],
+//! [`to_string`]/[`to_string_pretty`] — rendering the shim `serde::Json`
+//! tree. Parsing belongs here the day a workspace consumer needs it.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::Json as Value;
+use serde::Serialize;
+
+/// Serialization error. The shim's rendering is infallible, so this type
+/// exists purely so call sites can keep the real crate's `Result` shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a JSON [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+/// Renders compact single-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_compact())
+}
+
+/// Renders human-readable JSON with 2-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render_pretty())
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Supports the subset the workspace writes: object literals with string-
+/// literal keys, array literals, `null`, and arbitrary serializable
+/// expressions in value position (including nested `json!`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Obj(vec![
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_object_macro() {
+        let v = json!({
+            "name": "fig3",
+            "depth": 2usize,
+            "mean_ms": 1.5f64,
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"name\":\"fig3\",\"depth\":2,\"mean_ms\":1.5}"
+        );
+    }
+
+    #[test]
+    fn json_nested_and_array() {
+        let inner = json!({ "a": 1u8 });
+        let v = json!({ "rows": inner, "tags": json!(["x", "y"]) });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"rows\":{\"a\":1},\"tags\":[\"x\",\"y\"]}"
+        );
+    }
+
+    #[test]
+    fn pretty_matches_expected_layout() {
+        let rows = vec![json!({ "k": 1u8 })];
+        assert_eq!(
+            to_string_pretty(&rows).unwrap(),
+            "[\n  {\n    \"k\": 1\n  }\n]"
+        );
+    }
+}
