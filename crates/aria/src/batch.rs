@@ -263,11 +263,11 @@ mod tests {
         }
         ctx.update(&from, |s| {
             let b = s["balance"].as_int().unwrap();
-            s.insert("balance".into(), Value::Int(b - t.amount));
+            s.insert("balance", Value::Int(b - t.amount));
         });
         ctx.update(&to, |s| {
             let b = s["balance"].as_int().unwrap();
-            s.insert("balance".into(), Value::Int(b + t.amount));
+            s.insert("balance", Value::Int(b + t.amount));
         });
     }
 
@@ -360,7 +360,7 @@ mod tests {
             );
             let mut flat: Vec<(String, i64)> = store
                 .iter()
-                .map(|(r, s)| (r.key.clone(), s["balance"].as_int().unwrap()))
+                .map(|(r, s)| (r.key.to_string(), s["balance"].as_int().unwrap()))
                 .collect();
             flat.sort();
             (stats, flat)
@@ -464,7 +464,7 @@ mod fallback_tests {
     fn exec_incr(j: &Incr, ctx: &mut TxnCtx<'_>) {
         ctx.update(&er(&j.0), |s| {
             let v = s["n"].as_int().unwrap();
-            s.insert("n".into(), Value::Int(v + 1));
+            s.insert("n", Value::Int(v + 1));
         });
     }
 

@@ -61,7 +61,7 @@ impl ReservationTable {
 
     /// Reserves a write of `key` by `txn` (lowest id wins).
     pub fn reserve_write(&mut self, txn: TxnId, key: &EntityRef) {
-        let e = self.write_res.entry(key.clone()).or_insert(txn);
+        let e = self.write_res.entry(*key).or_insert(txn);
         if txn < *e {
             *e = txn;
         }
@@ -69,7 +69,7 @@ impl ReservationTable {
 
     /// Reserves a read of `key` by `txn` (lowest id wins).
     pub fn reserve_read(&mut self, txn: TxnId, key: &EntityRef) {
-        let e = self.read_res.entry(key.clone()).or_insert(txn);
+        let e = self.read_res.entry(*key).or_insert(txn);
         if txn < *e {
             *e = txn;
         }

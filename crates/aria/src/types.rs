@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use se_lang::{EntityRef, EntityState, Value};
+use se_lang::{EntityRef, EntityState, Symbol, SymbolMap, Value};
 
 /// Globally ordered transaction identifier. Order is commit priority: lower
 /// ids win conflicts, and aborted transactions keep their id when re-run in
@@ -28,7 +28,7 @@ pub struct TxnBuffer {
     /// Entities read (at entity granularity, like YCSB/Aria record keys).
     pub reads: BTreeSet<EntityRef>,
     /// Deferred writes: entity → attribute → final value.
-    pub writes: BTreeMap<EntityRef, BTreeMap<String, Value>>,
+    pub writes: BTreeMap<EntityRef, BTreeMap<Symbol, Value>>,
 }
 
 impl TxnBuffer {
@@ -41,11 +41,13 @@ impl TxnBuffer {
     /// sees it: the committed snapshot overlaid with the transaction's own
     /// earlier writes (read-your-own-writes within a transaction).
     pub fn overlay_read(&mut self, entity: &EntityRef, committed: &EntityState) -> EntityState {
-        self.reads.insert(entity.clone());
+        self.reads.insert(*entity);
+        // No own writes: the view *is* the committed state — an O(1)
+        // refcount bump under copy-on-write, not a copy.
         let mut view = committed.clone();
         if let Some(ws) = self.writes.get(entity) {
             for (attr, v) in ws {
-                view.insert(attr.clone(), v.clone());
+                view.insert(*attr, v.clone());
             }
         }
         view
@@ -60,14 +62,19 @@ impl TxnBuffer {
         before: &EntityState,
         after: &EntityState,
     ) {
-        let mut changed: Vec<(String, Value)> = Vec::new();
+        // Copy-on-write fast path: if the two handles still share storage,
+        // no write ever happened — skip the attribute diff entirely.
+        if SymbolMap::ptr_eq(before, after) {
+            return;
+        }
+        let mut changed: Vec<(Symbol, Value)> = Vec::new();
         for (attr, value) in after {
-            if before.get(attr) != Some(value) {
-                changed.push((attr.clone(), value.clone()));
+            if before.get(*attr) != Some(value) {
+                changed.push((*attr, value.clone()));
             }
         }
         if !changed.is_empty() {
-            let slot = self.writes.entry(entity.clone()).or_default();
+            let slot = self.writes.entry(*entity).or_default();
             for (attr, value) in changed {
                 slot.insert(attr, value);
             }
@@ -144,13 +151,13 @@ mod tests {
         let mut buf = TxnBuffer::new();
         let a = er("a");
         let mut before = state(10);
-        before.insert("name".into(), Value::Str("x".into()));
+        before.insert("name", Value::Str("x".into()));
         let mut after = before.clone();
-        after.insert("balance".into(), Value::Int(11));
+        after.insert("balance", Value::Int(11));
         buf.record_effects(&a, &before, &after);
         let ws = &buf.writes[&a];
         assert_eq!(ws.len(), 1);
-        assert_eq!(ws["balance"], Value::Int(11));
+        assert_eq!(ws[&Symbol::from("balance")], Value::Int(11));
     }
 
     #[test]

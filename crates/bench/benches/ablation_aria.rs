@@ -50,11 +50,11 @@ fn exec_job(job: &Job, ctx: &mut TxnCtx<'_>) {
             }
             ctx.update(&account(*from), |s| {
                 let b = s["balance"].as_int().unwrap();
-                s.insert("balance".into(), Value::Int(b - amount));
+                s.insert("balance", Value::Int(b - amount));
             });
             ctx.update(&account(*to), |s| {
                 let b = s["balance"].as_int().unwrap();
-                s.insert("balance".into(), Value::Int(b + amount));
+                s.insert("balance", Value::Int(b + amount));
             });
         }
         Job::Audit { a, b } => {

@@ -46,7 +46,7 @@ fn bench_state_store(c: &mut Criterion) {
     let mut store = StateStore::new();
     for i in 0..10_000 {
         let mut st = EntityState::new();
-        st.insert("balance".into(), Value::Int(i));
+        st.insert("balance", Value::Int(i));
         store.insert(EntityRef::new("Account", format!("a{i}")), st);
     }
     let hot = EntityRef::new("Account", "a5000");

@@ -83,6 +83,7 @@ pub fn statefun_bench_config() -> StatefunConfig {
         net: bench_net(),
         service_time: Duration::from_micros(900),
         checkpoint: se_core::CheckpointMode::None,
+        snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
         failure: Default::default(),
     }
 }
@@ -99,6 +100,7 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         commit_rule: se_aria::CommitRule::Reordering,
         fallback: se_aria::FallbackPolicy::Serial,
         snapshot_every_batches: 0,
+        snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
         service_time: Duration::from_micros(300),
         failure: Default::default(),
     }

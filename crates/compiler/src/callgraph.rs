@@ -14,10 +14,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use se_lang::typecheck::check_method_collect_calls;
-use se_lang::{LangError, Program};
+use se_lang::{ClassName, LangError, Program, Symbol};
 
 /// A method node: `(class name, method name)`.
-pub type MethodNode = (String, String);
+pub type MethodNode = (ClassName, Symbol);
 
 /// The program's function call graph.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -39,11 +39,11 @@ impl CallGraph {
         let mut errors = Vec::new();
         for class in &program.classes {
             for method in &class.methods {
-                let node: MethodNode = (class.name.clone(), method.name.clone());
-                graph.nodes.insert(node.clone());
+                let node: MethodNode = (class.name, method.name);
+                graph.nodes.insert(node);
                 let callees = check_method_collect_calls(program, class, method, &mut errors);
                 for callee in callees {
-                    graph.edges.entry(node.clone()).or_default().insert(callee);
+                    graph.edges.entry(node).or_default().insert(callee);
                 }
             }
         }
@@ -60,13 +60,13 @@ impl CallGraph {
     }
 
     /// The class-level projection: which classes call into which.
-    pub fn class_edges(&self) -> BTreeSet<(String, String)> {
+    pub fn class_edges(&self) -> BTreeSet<(ClassName, ClassName)> {
         self.edges
             .iter()
             .flat_map(|((caller_class, _), callees)| {
                 callees
                     .iter()
-                    .map(move |(callee_class, _)| (caller_class.clone(), callee_class.clone()))
+                    .map(move |(callee_class, _)| (*caller_class, *callee_class))
             })
             .collect()
     }
@@ -99,8 +99,8 @@ impl CallGraph {
                             // Found a cycle: slice the path from the repeat.
                             let start = path.iter().position(|n| *n == callee).unwrap_or(0);
                             let mut cycle: Vec<MethodNode> =
-                                path[start..].iter().map(|n| (*n).clone()).collect();
-                            cycle.push(callee.clone());
+                                path[start..].iter().map(|n| **n).collect();
+                            cycle.push(*callee);
                             return Some(cycle);
                         }
                         Color::White => {
@@ -158,7 +158,7 @@ impl CallGraph {
                 .map(|c| 1 + depth(c, graph, memo))
                 .max()
                 .unwrap_or(0);
-            memo.insert(node.clone(), d);
+            memo.insert(*node, d);
             d
         }
         let mut memo = BTreeMap::new();
@@ -173,6 +173,10 @@ impl CallGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn node(class: &str, method: &str) -> MethodNode {
+        (Symbol::intern(class), Symbol::intern(method))
+    }
     use se_lang::builder::*;
     use se_lang::programs::{chain_program, counter_program, figure1_program};
     use se_lang::{Type, Value};
@@ -180,15 +184,12 @@ mod tests {
     #[test]
     fn figure1_graph_shape() {
         let g = CallGraph::build(&figure1_program()).unwrap();
-        let buy = ("User".to_string(), "buy_item".to_string());
+        let buy = node("User", "buy_item");
         let callees = g.callees(&buy);
-        assert!(callees.contains(&("Item".to_string(), "price".to_string())));
-        assert!(callees.contains(&("Item".to_string(), "update_stock".to_string())));
+        assert!(callees.contains(&node("Item", "price")));
+        assert!(callees.contains(&node("Item", "update_stock")));
         assert!(g.check_no_recursion().is_ok());
-        assert_eq!(
-            g.class_edges(),
-            BTreeSet::from([("User".to_string(), "Item".to_string())])
-        );
+        assert_eq!(g.class_edges(), BTreeSet::from([node("User", "Item")]));
         assert_eq!(g.max_depth(), 1);
     }
 
@@ -277,10 +278,7 @@ mod tests {
         // chain_program calls through `self.next`, an attribute — resolution
         // must work for Attr targets, not just parameters.
         let g = CallGraph::build(&chain_program(1)).unwrap();
-        let c0 = ("C0".to_string(), "relay".to_string());
-        assert_eq!(
-            g.callees(&c0),
-            BTreeSet::from([("C1".to_string(), "relay".to_string())])
-        );
+        let c0 = node("C0", "relay");
+        assert_eq!(g.callees(&c0), BTreeSet::from([node("C1", "relay")]));
     }
 }

@@ -17,25 +17,25 @@
 use std::collections::BTreeSet;
 
 use se_ir::{CompiledMethod, Terminator};
-use se_lang::{Expr, Stmt};
+use se_lang::{Expr, Stmt, Symbol};
 
 /// Computes and stores `params` (live-ins) for every block of the method.
 pub fn assign_block_params(method: &mut CompiledMethod) {
     let n = method.blocks.len();
-    let mut use_sets: Vec<BTreeSet<String>> = Vec::with_capacity(n);
-    let mut def_sets: Vec<BTreeSet<String>> = Vec::with_capacity(n);
+    let mut use_sets: Vec<BTreeSet<Symbol>> = Vec::with_capacity(n);
+    let mut def_sets: Vec<BTreeSet<Symbol>> = Vec::with_capacity(n);
     for blk in &method.blocks {
         let (uses, defs) = block_use_def(&blk.stmts, &blk.terminator);
         use_sets.push(uses);
         def_sets.push(defs);
     }
 
-    let mut live_in: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut live_in: Vec<BTreeSet<Symbol>> = vec![BTreeSet::new(); n];
     // Iterate to fixpoint (terminates: sets only grow, bounded by vars).
     loop {
         let mut changed = false;
         for i in (0..n).rev() {
-            let mut out: BTreeSet<String> = BTreeSet::new();
+            let mut out: BTreeSet<Symbol> = BTreeSet::new();
             match &method.blocks[i].terminator {
                 Terminator::RemoteCall {
                     result_var, resume, ..
@@ -48,12 +48,12 @@ pub fn assign_block_params(method: &mut CompiledMethod) {
                 }
                 t => {
                     for s in t.successors() {
-                        out.extend(live_in[s.0 as usize].iter().cloned());
+                        out.extend(live_in[s.0 as usize].iter().copied());
                     }
                 }
             }
             let mut new_in = use_sets[i].clone();
-            new_in.extend(out.difference(&def_sets[i]).cloned());
+            new_in.extend(out.difference(&def_sets[i]).copied());
             if new_in != live_in[i] {
                 live_in[i] = new_in;
                 changed = true;
@@ -70,11 +70,11 @@ pub fn assign_block_params(method: &mut CompiledMethod) {
 }
 
 /// Sequentially scans a block computing upward-exposed uses and definitions.
-fn block_use_def(stmts: &[Stmt], terminator: &Terminator) -> (BTreeSet<String>, BTreeSet<String>) {
+fn block_use_def(stmts: &[Stmt], terminator: &Terminator) -> (BTreeSet<Symbol>, BTreeSet<Symbol>) {
     let mut uses = BTreeSet::new();
     let mut defs = BTreeSet::new();
 
-    let record_expr = |e: &Expr, defs: &BTreeSet<String>, uses: &mut BTreeSet<String>| {
+    let record_expr = |e: &Expr, defs: &BTreeSet<Symbol>, uses: &mut BTreeSet<Symbol>| {
         let mut referenced = BTreeSet::new();
         e.referenced_vars(&mut referenced);
         for v in referenced {
@@ -88,7 +88,7 @@ fn block_use_def(stmts: &[Stmt], terminator: &Terminator) -> (BTreeSet<String>, 
         match stmt {
             Stmt::Assign { name, value, .. } => {
                 record_expr(value, &defs, &mut uses);
-                defs.insert(name.clone());
+                defs.insert(*name);
             }
             Stmt::AttrAssign { value, .. } => record_expr(value, &defs, &mut uses),
             Stmt::Return(e) | Stmt::Expr(e) => record_expr(e, &defs, &mut uses),
@@ -171,10 +171,10 @@ mod tests {
         );
         assert_eq!(m.blocks.len(), 2);
         let resume_params = &m.blocks[1].params;
-        assert!(resume_params.contains(&"keep".to_string()), "{m:#?}");
-        assert!(resume_params.contains(&"p".to_string()));
-        assert!(!resume_params.contains(&"unused".to_string()));
-        assert!(!resume_params.contains(&"item".to_string()));
+        assert!(resume_params.contains(&Symbol::from("keep")), "{m:#?}");
+        assert!(resume_params.contains(&Symbol::from("p")));
+        assert!(!resume_params.contains(&Symbol::from("unused")));
+        assert!(!resume_params.contains(&Symbol::from("item")));
     }
 
     #[test]
@@ -190,9 +190,9 @@ mod tests {
             Type::Int,
         );
         // Entry block's live-in: only `item` (used by the call itself).
-        assert_eq!(m.blocks[0].params, vec!["item".to_string()]);
+        assert_eq!(m.blocks[0].params, vec![Symbol::from("item")]);
         // Resume block's live-in: `p`.
-        assert_eq!(m.blocks[1].params, vec!["p".to_string()]);
+        assert_eq!(m.blocks[1].params, vec![Symbol::from("p")]);
     }
 
     #[test]
@@ -220,7 +220,10 @@ mod tests {
             .find(|b| matches!(b.terminator, Terminator::Branch { .. }))
             .expect("loop head");
         for v in ["i", "acc", "n"] {
-            assert!(head.params.contains(&v.to_string()), "{v} missing: {m:#?}");
+            assert!(
+                head.params.contains(&Symbol::from(v)),
+                "{v} missing: {m:#?}"
+            );
         }
     }
 
@@ -254,10 +257,16 @@ mod tests {
             })
             .expect("suspension point");
         let params = &m.block(resume).params;
-        assert!(params.iter().any(|p| p.starts_with("__it")), "{m:#?}");
-        assert!(params.iter().any(|p| p.starts_with("__ix")), "{m:#?}");
         assert!(
-            params.contains(&"a".to_string()),
+            params.iter().any(|p| p.as_str().starts_with("__it")),
+            "{m:#?}"
+        );
+        assert!(
+            params.iter().any(|p| p.as_str().starts_with("__ix")),
+            "{m:#?}"
+        );
+        assert!(
+            params.contains(&Symbol::from("a")),
             "a is needed next iteration: {m:#?}"
         );
     }
@@ -271,7 +280,7 @@ mod tests {
         );
         assert_eq!(
             m.blocks[0].params,
-            vec!["b".to_string()],
+            vec![Symbol::from("b")],
             "a is dead on entry"
         );
     }

@@ -27,7 +27,7 @@
 //! only as the *entire* right-hand side of an `Assign` or as a bare `Expr`
 //! statement.
 
-use se_lang::{CallExpr, EntityClass, Expr, Method, Program, Stmt};
+use se_lang::{CallExpr, EntityClass, Expr, Method, Program, Stmt, Symbol};
 
 /// Fresh-name generator for compiler temporaries.
 ///
@@ -46,10 +46,10 @@ impl TempGen {
     }
 
     /// Returns a fresh name with the given role tag, e.g. `__c3`.
-    pub fn fresh(&mut self, tag: &str) -> String {
+    pub fn fresh(&mut self, tag: &str) -> Symbol {
         let n = self.next;
         self.next += 1;
-        format!("__{tag}{n}")
+        Symbol::intern(&format!("__{tag}{n}"))
     }
 }
 
@@ -60,9 +60,9 @@ pub fn normalize_program(program: &Program) -> Program {
             .classes
             .iter()
             .map(|c| EntityClass {
-                name: c.name.clone(),
+                name: c.name,
                 attrs: c.attrs.clone(),
-                key_attr: c.key_attr.clone(),
+                key_attr: c.key_attr,
                 methods: c.methods.iter().map(normalize_method).collect(),
             })
             .collect(),
@@ -73,7 +73,7 @@ pub fn normalize_program(program: &Program) -> Program {
 pub fn normalize_method(method: &Method) -> Method {
     let mut gen = TempGen::new();
     Method {
-        name: method.name.clone(),
+        name: method.name,
         params: method.params.clone(),
         ret: method.ret.clone(),
         body: normalize_stmts(&method.body, &mut gen),
@@ -102,14 +102,14 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
             if let Expr::Call(c) = value {
                 let call = normalize_call_parts(c, gen, out);
                 out.push(Stmt::Assign {
-                    name: name.clone(),
+                    name: *name,
                     ty: ty.clone(),
                     value: call,
                 });
             } else {
                 let v = normalize_expr(value, gen, out);
                 out.push(Stmt::Assign {
-                    name: name.clone(),
+                    name: *name,
                     ty: ty.clone(),
                     value: v,
                 });
@@ -122,7 +122,7 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
                 value.clone()
             };
             out.push(Stmt::AttrAssign {
-                attr: attr.clone(),
+                attr: *attr,
                 value: v,
             });
         }
@@ -196,7 +196,7 @@ fn normalize_stmt(stmt: &Stmt, gen: &mut TempGen, out: &mut Vec<Stmt>) {
                 iterable.clone()
             };
             out.push(Stmt::ForList {
-                var: var.clone(),
+                var: *var,
                 iterable: it,
                 body: normalize_stmts(body, gen),
             });
@@ -215,7 +215,7 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
             let call = normalize_call_parts(c, gen, out);
             let tmp = gen.fresh("c");
             out.push(Stmt::Assign {
-                name: tmp.clone(),
+                name: tmp,
                 ty: None,
                 value: call,
             });
@@ -235,22 +235,20 @@ fn normalize_expr(expr: &Expr, gen: &mut TempGen, out: &mut Vec<Stmt>) -> Expr {
             let lv = normalize_expr(l, gen, out);
             let sc = gen.fresh("sc");
             out.push(Stmt::Assign {
-                name: sc.clone(),
+                name: sc,
                 ty: None,
                 value: to_bool(lv),
             });
             let mut rhs_pre = Vec::new();
             let rv = normalize_expr(r, gen, &mut rhs_pre);
             rhs_pre.push(Stmt::Assign {
-                name: sc.clone(),
+                name: sc,
                 ty: None,
                 value: to_bool(rv),
             });
             let guard = match op {
-                se_lang::BinOp::And => Expr::Var(sc.clone()),
-                se_lang::BinOp::Or => {
-                    Expr::Unary(se_lang::UnOp::Not, Box::new(Expr::Var(sc.clone())))
-                }
+                se_lang::BinOp::And => Expr::Var(sc),
+                se_lang::BinOp::Or => Expr::Unary(se_lang::UnOp::Not, Box::new(Expr::Var(sc))),
                 _ => unreachable!("is_logical"),
             };
             out.push(Stmt::If {
@@ -289,7 +287,7 @@ fn normalize_call_parts(c: &CallExpr, gen: &mut TempGen, out: &mut Vec<Stmt>) ->
     let args = c.args.iter().map(|a| normalize_expr(a, gen, out)).collect();
     Expr::Call(CallExpr {
         target: Box::new(target),
-        method: c.method.clone(),
+        method: c.method,
         args,
     })
 }
@@ -575,11 +573,7 @@ mod tests {
                 )
                 .unwrap();
             let r = exec
-                .invoke(
-                    &user,
-                    "buy_item",
-                    vec![Value::Int(2), Value::Ref(item.clone())],
-                )
+                .invoke(&user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
                 .unwrap();
             (
                 r,

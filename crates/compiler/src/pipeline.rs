@@ -75,7 +75,7 @@ pub fn compile_with(
         let mut methods = Vec::with_capacity(class.methods.len());
         let mut machines = Vec::with_capacity(class.methods.len());
         for method in &class.methods {
-            match split_method(&class.name, method) {
+            match split_method(class.name.as_str(), method) {
                 Ok(compiled) => {
                     machines.push(StateMachine::from_method(&compiled));
                     methods.push(compiled);
@@ -101,12 +101,12 @@ pub fn compile_with(
         .enumerate()
         .map(|(i, c)| OperatorSpec {
             id: OperatorId(i),
-            class_name: c.class.name.clone(),
+            class_name: c.class.name,
             parallelism: options.default_parallelism,
         })
         .collect();
 
-    let op_id = |name: &str| {
+    let op_id = |name: se_lang::ClassName| {
         operators
             .iter()
             .find(|o| o.class_name == name)
@@ -130,8 +130,8 @@ pub fn compile_with(
     for (caller, callees) in &callgraph.edges {
         for callee in callees {
             edges.push(EdgeSpec {
-                from: NodeRef::Operator(op_id(&caller.0)),
-                to: NodeRef::Operator(op_id(&callee.0)),
+                from: NodeRef::Operator(op_id(caller.0)),
+                to: NodeRef::Operator(op_id(callee.0)),
                 kind: EdgeKind::Call {
                     caller: format!("{}.{}", caller.0, caller.1),
                     callee: format!("{}.{}", callee.0, callee.1),

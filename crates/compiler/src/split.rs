@@ -64,11 +64,11 @@ pub fn split_method(class_name: &str, method: &Method) -> Result<CompiledMethod,
     let blocks = drop_unreachable_and_renumber(blocks);
 
     let mut compiled = CompiledMethod {
-        name: method.name.clone(),
+        name: method.name,
         params: method
             .params
             .iter()
-            .map(|p| (p.name.clone(), p.ty.clone()))
+            .map(|p| (p.name, p.ty.clone()))
             .collect(),
         ret: method.ret.clone(),
         transactional: method.transactional,
@@ -129,9 +129,9 @@ impl Lowerer {
                         cur,
                         Terminator::RemoteCall {
                             target: (*c.target).clone(),
-                            method: c.method.clone(),
+                            method: c.method,
                             args: c.args.clone(),
-                            result_var: Some(name.clone()),
+                            result_var: Some(*name),
                             resume,
                         },
                     );
@@ -143,7 +143,7 @@ impl Lowerer {
                         cur,
                         Terminator::RemoteCall {
                             target: (*c.target).clone(),
-                            method: c.method.clone(),
+                            method: c.method,
                             args: c.args.clone(),
                             result_var: None,
                             resume,
@@ -204,8 +204,8 @@ impl Lowerer {
                     //   body: var = __itN[__ixN]; __ixN += 1; …body…; goto head
                     let it = self.gen.fresh("it");
                     let ix = self.gen.fresh("ix");
-                    self.push(cur, b::assign(&it, iterable.clone()));
-                    self.push(cur, b::assign(&ix, b::int(0)));
+                    self.push(cur, b::assign(it, iterable.clone()));
+                    self.push(cur, b::assign(ix, b::int(0)));
                     let head = self.new_block();
                     let body_blk = self.new_block();
                     let after = self.new_block();
@@ -213,13 +213,13 @@ impl Lowerer {
                     self.terminate(
                         head,
                         Terminator::Branch {
-                            cond: b::lt(b::var(&ix), b::len(b::var(&it))),
+                            cond: b::lt(b::var(ix), b::len(b::var(it))),
                             then_blk: body_blk,
                             else_blk: after,
                         },
                     );
-                    self.push(body_blk, b::assign(var, b::index(b::var(&it), b::var(&ix))));
-                    self.push(body_blk, b::assign(&ix, b::add(b::var(&ix), b::int(1))));
+                    self.push(body_blk, b::assign(*var, b::index(b::var(it), b::var(ix))));
+                    self.push(body_blk, b::assign(ix, b::add(b::var(ix), b::int(1))));
                     self.lower_seq(body, body_blk, head);
                     cur = after;
                 }
@@ -475,11 +475,10 @@ mod tests {
         assert!(sm.has_cycle());
         // The desugared loop tracks iteration via __ix0 — the paper's
         // "additional state" for loop tracking.
-        let uses_index = m
-            .blocks
-            .iter()
-            .flat_map(|b| &b.stmts)
-            .any(|s| matches!(s, Stmt::Assign { name, .. } if name.starts_with("__ix")));
+        let uses_index =
+            m.blocks.iter().flat_map(|b| &b.stmts).any(
+                |s| matches!(s, Stmt::Assign { name, .. } if name.as_str().starts_with("__ix")),
+            );
         assert!(uses_index, "{m:#?}");
     }
 

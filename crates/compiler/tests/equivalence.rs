@@ -294,19 +294,16 @@ fn run_compiled(program: &Program, p: i64, q: i64) -> Outcome {
     let app = EntityRef::new("App", "app");
     let c1 = EntityRef::new("Cell", "c1");
     let c2 = EntityRef::new("Cell", "c2");
+    store.insert(app, program.class("App").unwrap().initial_state("app", []));
     store.insert(
-        app.clone(),
-        program.class("App").unwrap().initial_state("app", []),
-    );
-    store.insert(
-        c1.clone(),
+        c1,
         program
             .class("Cell")
             .unwrap()
             .initial_state("c1", [("v".into(), Value::Int(10))]),
     );
     store.insert(
-        c2.clone(),
+        c2,
         program
             .class("Cell")
             .unwrap()
@@ -330,7 +327,7 @@ fn run_compiled(program: &Program, p: i64, q: i64) -> Outcome {
                 .ok_or_else(|| se_lang::LangError::runtime(format!("missing {r}")))
         },
         |r, s| {
-            cell.borrow_mut().insert(r.clone(), s);
+            cell.borrow_mut().insert(*r, s);
         },
         10_000,
     );
@@ -400,7 +397,7 @@ fn figure1_equivalence_exhaustive_inputs() {
                     .invoke(
                         &user,
                         "buy_item",
-                        vec![Value::Int(amount), Value::Ref(item.clone())],
+                        vec![Value::Int(amount), Value::Ref(item)],
                     )
                     .unwrap();
                 let want_state = (
@@ -411,14 +408,14 @@ fn figure1_equivalence_exhaustive_inputs() {
                 // Compiled.
                 let mut store: HashMap<EntityRef, EntityState> = HashMap::new();
                 store.insert(
-                    user.clone(),
+                    user,
                     program
                         .class("User")
                         .unwrap()
                         .initial_state("u", [("balance".into(), Value::Int(balance))]),
                 );
                 store.insert(
-                    item.clone(),
+                    item,
                     program.class("Item").unwrap().initial_state(
                         "i",
                         [
@@ -432,13 +429,13 @@ fn figure1_equivalence_exhaustive_inputs() {
                     &graph.program,
                     Invocation::root(
                         RequestId(1),
-                        user.clone(),
+                        user,
                         "buy_item",
-                        vec![Value::Int(amount), Value::Ref(item.clone())],
+                        vec![Value::Int(amount), Value::Ref(item)],
                     ),
                     |r| Ok(cell.borrow()[r].clone()),
                     |r, s| {
-                        cell.borrow_mut().insert(r.clone(), s);
+                        cell.borrow_mut().insert(*r, s);
                     },
                     100,
                 );

@@ -105,11 +105,7 @@ mod tests {
                 )
                 .unwrap();
             let ok = rt
-                .call(
-                    user.clone(),
-                    "buy_item",
-                    vec![Value::Int(2), Value::Ref(item)],
-                )
+                .call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
                 .unwrap();
             assert_eq!(ok, Value::Bool(true), "engine {}", rt.name());
             assert_eq!(

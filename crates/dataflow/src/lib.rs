@@ -27,6 +27,6 @@ pub use delay::{delay_channel, DelayReceiver, DelaySender};
 pub use failure::FailurePlan;
 pub use metrics::{ComponentTimers, LatencyRecorder, LatencySummary, Throughput};
 pub use net::{burn, NetConfig};
-pub use snapshot::{Epoch, SnapshotStore};
+pub use snapshot::{Epoch, SnapshotStore, DEFAULT_SNAPSHOT_RETENTION};
 pub use source::{ReplayableSource, SourceReader};
 pub use state::StateStore;

@@ -8,6 +8,14 @@
 //! the source offsets at the snapshot point. An epoch is *complete* once
 //! every expected node has contributed; recovery always restores the latest
 //! complete epoch — incomplete epochs (a failure mid-snapshot) are ignored.
+//!
+//! **Retention.** Epochs are pruned automatically: once a newer epoch
+//! completes, all but the last [`SnapshotStore::retention`] complete epochs
+//! are dropped, along with any *older* incomplete epochs (dead mid-snapshot
+//! failures). In-flight epochs newer than the latest complete one are never
+//! touched, and the latest complete epoch is always retained, so recovery
+//! semantics are unchanged — without retention the store grows without bound
+//! (every epoch holds a full copy of every node's state).
 
 use std::collections::BTreeMap;
 
@@ -16,6 +24,9 @@ use parking_lot::Mutex;
 /// Epoch number; epoch 0 is "initial state".
 pub type Epoch = u64;
 
+/// Complete epochs kept by default (current + one fallback).
+pub const DEFAULT_SNAPSHOT_RETENTION: usize = 2;
+
 #[derive(Debug, Clone)]
 struct EpochData<S> {
     expected: usize,
@@ -23,10 +34,23 @@ struct EpochData<S> {
     source_offsets: BTreeMap<String, u64>,
 }
 
+impl<S> EpochData<S> {
+    fn is_complete(&self) -> bool {
+        self.states.len() >= self.expected
+    }
+}
+
 /// Thread-safe snapshot store for node states of type `S`.
 #[derive(Debug)]
 pub struct SnapshotStore<S> {
     epochs: Mutex<BTreeMap<Epoch, EpochData<S>>>,
+    /// Complete epochs to keep; 0 = unlimited.
+    retention: usize,
+    /// Everything below this epoch has been pruned; late contributions to
+    /// pruned epochs are dropped silently (they are stale by definition),
+    /// while contributions to a never-begun epoch above the watermark are
+    /// still a protocol bug.
+    pruned_below: Mutex<Epoch>,
 }
 
 impl<S: Clone> Default for SnapshotStore<S> {
@@ -36,11 +60,49 @@ impl<S: Clone> Default for SnapshotStore<S> {
 }
 
 impl<S: Clone> SnapshotStore<S> {
-    /// An empty store.
+    /// An empty store with the default retention policy
+    /// ([`DEFAULT_SNAPSHOT_RETENTION`] complete epochs).
     pub fn new() -> Self {
+        Self::with_retention(DEFAULT_SNAPSHOT_RETENTION)
+    }
+
+    /// An empty store keeping the last `keep_complete` complete epochs
+    /// (`0` disables pruning entirely).
+    pub fn with_retention(keep_complete: usize) -> Self {
         Self {
             epochs: Mutex::new(BTreeMap::new()),
+            retention: keep_complete,
+            pruned_below: Mutex::new(0),
         }
+    }
+
+    /// The configured retention (complete epochs kept; 0 = unlimited).
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    /// Drops epochs outside the retention window. Called whenever an epoch
+    /// completes; keeps the last `retention` complete epochs plus anything
+    /// newer (in-flight snapshots).
+    fn prune(&self, epochs: &mut BTreeMap<Epoch, EpochData<S>>) {
+        if self.retention == 0 {
+            return;
+        }
+        let complete: Vec<Epoch> = epochs
+            .iter()
+            .filter(|(_, d)| d.is_complete())
+            .map(|(e, _)| *e)
+            .collect();
+        if complete.len() <= self.retention {
+            return;
+        }
+        // Oldest epoch that stays: the K-th newest complete one. Older
+        // incomplete epochs are dead (their snapshot can never be restored
+        // in preference to a newer complete one).
+        let cutoff = complete[complete.len() - self.retention];
+        epochs.retain(|e, _| *e >= cutoff);
+        let mut watermark = self.pruned_below.lock();
+        *watermark = (*watermark).max(cutoff);
     }
 
     /// Declares a new epoch and how many node contributions complete it.
@@ -60,18 +122,29 @@ impl<S: Clone> SnapshotStore<S> {
     /// epoch is a protocol bug.
     pub fn put(&self, epoch: Epoch, node: &str, state: S) {
         let mut g = self.epochs.lock();
-        let data = g
-            .get_mut(&epoch)
-            .expect("epoch must be begun before contributions");
+        let Some(data) = g.get_mut(&epoch) else {
+            assert!(
+                epoch < *self.pruned_below.lock(),
+                "epoch must be begun before contributions"
+            );
+            return; // stale contribution to a pruned epoch
+        };
         data.states.insert(node.to_owned(), state);
+        if data.is_complete() {
+            self.prune(&mut g);
+        }
     }
 
     /// Records a source's read offset at the epoch boundary.
     pub fn put_source_offset(&self, epoch: Epoch, source: &str, offset: u64) {
         let mut g = self.epochs.lock();
-        let data = g
-            .get_mut(&epoch)
-            .expect("epoch must be begun before contributions");
+        let Some(data) = g.get_mut(&epoch) else {
+            assert!(
+                epoch < *self.pruned_below.lock(),
+                "epoch must be begun before contributions"
+            );
+            return; // stale contribution to a pruned epoch
+        };
         data.source_offsets.insert(source.to_owned(), offset);
     }
 
@@ -179,5 +252,88 @@ mod tests {
     fn contribution_to_unknown_epoch_panics() {
         let store = SnapshotStore::<u32>::new();
         store.put(9, "w0", 1);
+    }
+
+    #[test]
+    fn retention_prunes_all_but_last_k_complete() {
+        let store = SnapshotStore::<u32>::with_retention(2);
+        for e in 1..=6 {
+            store.begin_epoch(e, 1);
+            store.put(e, "w0", e as u32);
+        }
+        assert_eq!(store.epoch_count(), 2, "only the last 2 complete epochs");
+        assert_eq!(store.latest_complete(), Some(6));
+        assert_eq!(store.get(5, "w0"), Some(5), "fallback epoch retained");
+        assert_eq!(store.get(4, "w0"), None, "older epochs pruned");
+    }
+
+    #[test]
+    fn retention_never_touches_newer_inflight_epochs() {
+        let store = SnapshotStore::<u32>::with_retention(1);
+        store.begin_epoch(1, 1);
+        store.put(1, "w0", 1);
+        // Epoch 2 is in flight (2 expected, 1 contributed) and newer than
+        // the latest complete epoch — it must survive pruning.
+        store.begin_epoch(2, 2);
+        store.put(2, "w0", 2);
+        assert_eq!(store.latest_complete(), Some(1));
+        assert_eq!(store.get(2, "w0"), Some(2), "in-flight epoch untouched");
+        store.put(2, "w1", 2);
+        assert_eq!(store.latest_complete(), Some(2));
+        assert_eq!(store.get(1, "w0"), None, "superseded epoch pruned");
+    }
+
+    #[test]
+    fn stale_contribution_to_pruned_epoch_is_dropped() {
+        let store = SnapshotStore::<u32>::with_retention(1);
+        for e in 1..=3 {
+            store.begin_epoch(e, 1);
+            store.put(e, "w0", e as u32);
+        }
+        // Epoch 1 was pruned; a late (stale) contribution must be a no-op,
+        // not a panic — the contributor simply lost the race with retention.
+        store.put(1, "w9", 99);
+        store.put_source_offset(1, "ingress", 7);
+        assert_eq!(store.get(1, "w9"), None);
+        assert_eq!(store.latest_complete(), Some(3));
+    }
+
+    #[test]
+    fn retention_drops_dead_incomplete_epochs() {
+        let store = SnapshotStore::<u32>::with_retention(1);
+        // Epoch 1 never completes (mid-snapshot failure) …
+        store.begin_epoch(1, 2);
+        store.put(1, "w0", 1);
+        // … then two newer epochs complete: epoch 1 is dead weight.
+        for e in 2..=3 {
+            store.begin_epoch(e, 1);
+            store.put(e, "w0", e as u32);
+        }
+        assert_eq!(store.latest_complete(), Some(3));
+        assert_eq!(store.get(1, "w0"), None, "dead incomplete epoch pruned");
+        assert_eq!(store.epoch_count(), 1);
+    }
+
+    #[test]
+    fn zero_retention_keeps_everything() {
+        let store = SnapshotStore::<u32>::with_retention(0);
+        for e in 1..=8 {
+            store.begin_epoch(e, 1);
+            store.put(e, "w0", e as u32);
+        }
+        assert_eq!(store.epoch_count(), 8);
+    }
+
+    #[test]
+    fn source_offsets_survive_pruning_with_their_epoch() {
+        let store = SnapshotStore::<u32>::with_retention(2);
+        for e in 1..=4 {
+            store.begin_epoch(e, 1);
+            store.put_source_offset(e, "ingress", e * 10);
+            store.put(e, "w0", e as u32);
+        }
+        assert_eq!(store.source_offset(4, "ingress"), Some(40));
+        assert_eq!(store.source_offset(3, "ingress"), Some(30));
+        assert_eq!(store.source_offset(2, "ingress"), None, "pruned");
     }
 }

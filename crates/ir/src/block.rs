@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use se_lang::{Expr, Stmt, Type};
+use se_lang::{Expr, Stmt, Symbol, Type};
 
 /// Index of a block within its method's CFG; block 0 is the entry.
 #[derive(
@@ -54,12 +54,12 @@ pub enum Terminator {
         /// normalization this is always a `Var` or `Attr` read.
         target: Expr,
         /// Callee method name.
-        method: String,
+        method: Symbol,
         /// Argument expressions, evaluated before suspension (the paper's
         /// `buy_item_0` evaluates `update_stock_arg = amount` up front).
         args: Vec<Expr>,
         /// Variable to bind the returned value to, if used.
-        result_var: Option<String>,
+        result_var: Option<Symbol>,
         /// Continuation block.
         resume: BlockId,
     },
@@ -86,7 +86,7 @@ pub struct Block {
     pub id: BlockId,
     /// Live-in variables — the "arguments" of the split function. Runtimes
     /// carry exactly these in the event environment when entering the block.
-    pub params: Vec<String>,
+    pub params: Vec<Symbol>,
     /// Straight-line statements (no control flow, no remote calls).
     pub stmts: Vec<Stmt>,
     /// How control leaves the block.
@@ -104,9 +104,9 @@ impl Block {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompiledMethod {
     /// Method name.
-    pub name: String,
+    pub name: Symbol,
     /// Parameter names and types, in order.
-    pub params: Vec<(String, Type)>,
+    pub params: Vec<(Symbol, Type)>,
     /// Declared return type.
     pub ret: Type,
     /// `@transactional` marker carried from the source.

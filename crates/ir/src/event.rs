@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use se_lang::{ClassName, EntityRef, Env, LangError, Value};
+use se_lang::{ClassName, EntityRef, Env, LangError, Symbol, Value};
 
 use crate::block::BlockId;
 
@@ -37,14 +37,14 @@ pub struct Frame {
     /// Entity whose method is suspended.
     pub entity: EntityRef,
     /// Suspended method name.
-    pub method: String,
+    pub method: Symbol,
     /// Block to resume at when the callee returns.
     pub resume: BlockId,
     /// Live variables at the suspension point — pruned to exactly the
     /// resume block's parameters ("the variables it references").
     pub env: Env,
     /// Variable to bind the callee's return value to.
-    pub result_var: Option<String>,
+    pub result_var: Option<Symbol>,
 }
 
 /// How an invocation enters an operator.
@@ -66,7 +66,7 @@ pub enum InvocationKind {
         /// The remote call's return value.
         result: Value,
         /// Name to bind `result` to (if the call's value is used).
-        result_var: Option<String>,
+        result_var: Option<Symbol>,
     },
 }
 
@@ -78,7 +78,7 @@ pub struct Invocation {
     /// Entity the event is routed to (partitioned on `target.key`).
     pub target: EntityRef,
     /// Method to run (or resume) on the target.
-    pub method: String,
+    pub method: Symbol,
     /// Start or resume.
     pub kind: InvocationKind,
     /// Suspended callers, innermost last.
@@ -87,11 +87,16 @@ pub struct Invocation {
 
 impl Invocation {
     /// A root invocation as issued by a client.
-    pub fn root(request: RequestId, target: EntityRef, method: &str, args: Vec<Value>) -> Self {
+    pub fn root(
+        request: RequestId,
+        target: EntityRef,
+        method: impl Into<Symbol>,
+        args: Vec<Value>,
+    ) -> Self {
         Self {
             request,
             target,
-            method: method.to_owned(),
+            method: method.into(),
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
         }
@@ -139,7 +144,7 @@ pub enum EntityOp {
         /// Class to instantiate.
         class: ClassName,
         /// Partitioning key of the new entity.
-        key: String,
+        key: Symbol,
         /// Attribute overrides.
         init: Vec<(String, Value)>,
     },
@@ -151,8 +156,11 @@ impl EntityOp {
     /// The entity this operation must be routed to.
     pub fn routing_target(&self) -> EntityRef {
         match self {
-            EntityOp::Create { class, key, .. } => EntityRef::new(class.clone(), key.clone()),
-            EntityOp::Invoke(inv) => inv.target.clone(),
+            EntityOp::Create { class, key, .. } => EntityRef {
+                class: *class,
+                key: *key,
+            },
+            EntityOp::Invoke(inv) => inv.target,
         }
     }
 

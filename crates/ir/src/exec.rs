@@ -11,7 +11,7 @@
 //! choice of runtime is independent of the application layer.
 
 use se_lang::interp::{DenyRemoteCalls, Flow, Interpreter};
-use se_lang::{EntityState, Env, LangError, Value};
+use se_lang::{EntityState, Env, LangError, Symbol, Value};
 
 use crate::block::{BlockId, CompiledMethod, Terminator};
 use crate::event::{Frame, Invocation, InvocationKind, Response};
@@ -27,11 +27,11 @@ pub enum BlockOutcome {
         /// Callee entity.
         target: se_lang::EntityRef,
         /// Callee method.
-        method: String,
+        method: Symbol,
         /// Evaluated arguments.
         args: Vec<Value>,
         /// Variable receiving the return value.
-        result_var: Option<String>,
+        result_var: Option<Symbol>,
         /// Block to resume at.
         resume: BlockId,
     },
@@ -79,7 +79,7 @@ pub fn run_from_block(
                 resume,
             } => {
                 let target_val = interp.eval(target, env, state, &mut DenyRemoteCalls)?;
-                let target_ref = target_val.as_ref()?.clone();
+                let target_ref = *target_val.as_ref()?;
                 let mut arg_vals = Vec::with_capacity(args.len());
                 for a in args {
                     arg_vals.push(interp.eval(a, env, state, &mut DenyRemoteCalls)?);
@@ -89,9 +89,9 @@ pub fn run_from_block(
                 env.retain(|k, _| live.contains(k));
                 return Ok(BlockOutcome::Call {
                     target: target_ref,
-                    method: callee.clone(),
+                    method: *callee,
                     args: arg_vals,
-                    result_var: result_var.clone(),
+                    result_var: *result_var,
                     resume: *resume,
                 });
             }
@@ -120,10 +120,13 @@ pub fn process_invocation(
     inv: Invocation,
     state: &mut EntityState,
 ) -> StepEffect {
-    match process_inner(program, inv.clone(), state) {
+    // Copy the request id up front so the error path needs no clone of the
+    // whole event (frames and environments included).
+    let request = inv.request;
+    match process_inner(program, inv, state) {
         Ok(effect) => effect,
         Err(e) => StepEffect::Respond(Response {
-            request: inv.request,
+            request,
             result: Err(e),
         }),
     }
@@ -134,7 +137,7 @@ fn process_inner(
     inv: Invocation,
     state: &mut EntityState,
 ) -> Result<StepEffect, LangError> {
-    let method = program.method_or_err(&inv.target.class, &inv.method)?;
+    let method = program.method_or_err(inv.target.class, inv.method)?;
     let (mut env, start) = match inv.kind {
         InvocationKind::Start { args } => {
             if args.len() != method.params.len() {
@@ -144,12 +147,7 @@ fn process_inner(
                     actual: args.len(),
                 });
             }
-            let env: Env = method
-                .params
-                .iter()
-                .map(|(n, _)| n.clone())
-                .zip(args)
-                .collect();
+            let env: Env = method.params.iter().map(|(n, _)| *n).zip(args).collect();
             (env, method.entry)
         }
         InvocationKind::Resume {
@@ -230,7 +228,7 @@ pub fn drive_chain(
     let request = root.request;
     let mut current = root;
     for _ in 0..max_hops {
-        let target = current.target.clone();
+        let target = current.target;
         let mut state = match state_of(&target) {
             Ok(s) => s,
             Err(e) => {
@@ -337,12 +335,7 @@ mod tests {
         let p = hand_program();
         let a = EntityRef::new("A", "a1");
         let b = EntityRef::new("B", "b1");
-        let root = Invocation::root(
-            RequestId(1),
-            a.clone(),
-            "double_price",
-            vec![Value::Ref(b.clone())],
-        );
+        let root = Invocation::root(RequestId(1), a, "double_price", vec![Value::Ref(b)]);
 
         let mut a_state = p.class("A").unwrap().class.initial_state("a1", []);
         let effect = process_invocation(&p, root, &mut a_state);
@@ -395,14 +388,8 @@ mod tests {
         let a = EntityRef::new("A", "a1");
         let b = EntityRef::new("B", "b1");
         let mut store = std::collections::HashMap::new();
-        store.insert(
-            a.clone(),
-            p.class("A").unwrap().class.initial_state("a1", []),
-        );
-        store.insert(
-            b.clone(),
-            p.class("B").unwrap().class.initial_state("b1", []),
-        );
+        store.insert(a, p.class("A").unwrap().class.initial_state("a1", []));
+        store.insert(b, p.class("B").unwrap().class.initial_state("b1", []));
 
         let root = Invocation::root(RequestId(3), a, "double_price", vec![Value::Ref(b)]);
         let store_cell = std::cell::RefCell::new(store);
@@ -417,7 +404,7 @@ mod tests {
                     .ok_or_else(|| LangError::runtime(format!("no entity {r}")))
             },
             |r, s| {
-                store_cell.borrow_mut().insert(r.clone(), s);
+                store_cell.borrow_mut().insert(*r, s);
             },
             16,
         );
@@ -429,17 +416,12 @@ mod tests {
         let p = hand_program();
         let a = EntityRef::new("A", "a1");
         let b = EntityRef::new("B", "b1");
-        let root = Invocation::root(
-            RequestId(4),
-            a.clone(),
-            "double_price",
-            vec![Value::Ref(b.clone())],
-        );
+        let root = Invocation::root(RequestId(4), a, "double_price", vec![Value::Ref(b)]);
         let p2 = p.clone();
         let resp = drive_chain(
             &p2,
             root,
-            |r| Ok(p.class(&r.class).unwrap().class.initial_state(&r.key, [])),
+            |r| Ok(p.class(r.class).unwrap().class.initial_state(r.key, [])),
             |_, _| {},
             1, // too few hops for the 3-hop chain
         );

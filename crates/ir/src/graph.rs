@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use se_lang::{EntityClass, LangError};
+use se_lang::{ClassName, EntityClass, LangError, Symbol};
 
 use crate::block::CompiledMethod;
 use crate::machine::StateMachine;
@@ -33,17 +33,19 @@ pub struct CompiledClass {
 
 impl CompiledClass {
     /// Class name.
-    pub fn name(&self) -> &str {
-        &self.class.name
+    pub fn name(&self) -> ClassName {
+        self.class.name
     }
 
     /// Looks up a compiled method by name.
-    pub fn method(&self, name: &str) -> Option<&CompiledMethod> {
+    pub fn method(&self, name: impl Into<Symbol>) -> Option<&CompiledMethod> {
+        let name = name.into();
         self.methods.iter().find(|m| m.name == name)
     }
 
     /// Looks up a state machine by method name.
-    pub fn machine(&self, name: &str) -> Option<&StateMachine> {
+    pub fn machine(&self, name: impl Into<Symbol>) -> Option<&StateMachine> {
+        let name = name.into();
         self.methods
             .iter()
             .position(|m| m.name == name)
@@ -60,23 +62,30 @@ pub struct CompiledProgram {
 
 impl CompiledProgram {
     /// Looks up a compiled class by name.
-    pub fn class(&self, name: &str) -> Option<&CompiledClass> {
+    pub fn class(&self, name: impl Into<Symbol>) -> Option<&CompiledClass> {
+        let name = name.into();
         self.classes.iter().find(|c| c.class.name == name)
     }
 
     /// Looks up a compiled class, erroring if absent.
-    pub fn class_or_err(&self, name: &str) -> Result<&CompiledClass, LangError> {
+    pub fn class_or_err(&self, name: impl Into<Symbol>) -> Result<&CompiledClass, LangError> {
+        let name = name.into();
         self.class(name)
-            .ok_or_else(|| LangError::UndefinedClass(name.to_owned()))
+            .ok_or_else(|| LangError::UndefinedClass(name.to_string()))
     }
 
     /// Looks up a compiled method, erroring if absent.
-    pub fn method_or_err(&self, class: &str, method: &str) -> Result<&CompiledMethod, LangError> {
+    pub fn method_or_err(
+        &self,
+        class: impl Into<Symbol>,
+        method: impl Into<Symbol>,
+    ) -> Result<&CompiledMethod, LangError> {
+        let (class, method) = (class.into(), method.into());
         self.class_or_err(class)?
             .method(method)
             .ok_or_else(|| LangError::UndefinedMethod {
-                class: class.to_owned(),
-                method: method.to_owned(),
+                class: class.to_string(),
+                method: method.to_string(),
             })
     }
 
@@ -138,7 +147,7 @@ pub struct OperatorSpec {
     /// Operator id (index into [`DataflowGraph::operators`]).
     pub id: OperatorId,
     /// Entity class this operator hosts.
-    pub class_name: String,
+    pub class_name: ClassName,
     /// Number of parallel partitions.
     pub parallelism: usize,
 }
@@ -160,7 +169,8 @@ pub struct DataflowGraph {
 
 impl DataflowGraph {
     /// The operator hosting `class`, if any.
-    pub fn operator_for(&self, class: &str) -> Option<&OperatorSpec> {
+    pub fn operator_for(&self, class: impl Into<Symbol>) -> Option<&OperatorSpec> {
+        let class = class.into();
         self.operators.iter().find(|o| o.class_name == class)
     }
 
@@ -175,7 +185,7 @@ impl DataflowGraph {
         for op in &self.operators {
             let methods = self
                 .program
-                .class(&op.class_name)
+                .class(op.class_name)
                 .map(|c| {
                     c.methods
                         .iter()

@@ -13,6 +13,8 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
+use se_lang::Symbol;
+
 use crate::block::{BlockId, CompiledMethod, Terminator};
 
 /// A labeled transition between execution stages.
@@ -40,7 +42,7 @@ pub enum Transition {
     /// (paper §5, Program Analysis).
     CallReturn {
         /// Callee method name.
-        method: String,
+        method: Symbol,
         /// Target stage (the continuation block).
         to: BlockId,
     },
@@ -65,7 +67,7 @@ impl Transition {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StateMachine {
     /// Owning method name (for display).
-    pub method: String,
+    pub method: Symbol,
     /// Per-state outgoing transitions, indexed by `BlockId.0`.
     pub transitions: Vec<Vec<Transition>>,
     /// Entry state.
@@ -89,14 +91,14 @@ impl StateMachine {
                 ],
                 Terminator::RemoteCall { method, resume, .. } => {
                     vec![Transition::CallReturn {
-                        method: method.clone(),
+                        method: *method,
                         to: *resume,
                     }]
                 }
             })
             .collect();
         Self {
-            method: m.name.clone(),
+            method: m.name,
             transitions,
             entry: m.entry,
         }

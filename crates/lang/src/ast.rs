@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::symbol::Symbol;
 use crate::types::Type;
 use crate::value::{ClassName, Value};
 
@@ -107,9 +108,9 @@ pub enum Expr {
     /// A literal value.
     Lit(Value),
     /// A local variable or parameter read.
-    Var(String),
+    Var(Symbol),
     /// `self.<attr>` — a read of the entity's own state.
-    Attr(String),
+    Attr(Symbol),
     /// A binary operation.
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// A unary operation.
@@ -135,7 +136,7 @@ pub struct CallExpr {
     /// Expression yielding the target entity reference.
     pub target: Box<Expr>,
     /// Method name on the target class.
-    pub method: String,
+    pub method: Symbol,
     /// Argument expressions.
     pub args: Vec<Expr>,
 }
@@ -181,10 +182,10 @@ impl Expr {
     }
 
     /// Collects the names of local variables this expression reads.
-    pub fn referenced_vars(&self, out: &mut std::collections::BTreeSet<String>) {
+    pub fn referenced_vars(&self, out: &mut std::collections::BTreeSet<Symbol>) {
         self.visit(&mut |e| {
             if let Expr::Var(v) = e {
-                out.insert(v.clone());
+                out.insert(*v);
             }
         });
     }
@@ -197,7 +198,7 @@ pub enum Stmt {
     /// annotation is optional on re-assignment; the checker infers it.
     Assign {
         /// Variable name.
-        name: String,
+        name: Symbol,
         /// Optional static annotation.
         ty: Option<Type>,
         /// Right-hand side.
@@ -206,7 +207,7 @@ pub enum Stmt {
     /// `self.attr = value` — a write to the entity's own state.
     AttrAssign {
         /// Attribute name.
-        attr: String,
+        attr: Symbol,
         /// Right-hand side.
         value: Expr,
     },
@@ -230,7 +231,7 @@ pub enum Stmt {
     /// iterate through Python lists").
     ForList {
         /// Loop variable bound to each element.
-        var: String,
+        var: Symbol,
         /// Expression yielding the list.
         iterable: Expr,
         /// Loop body.
@@ -272,7 +273,7 @@ impl Stmt {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Param {
     /// Parameter name.
-    pub name: String,
+    pub name: Symbol,
     /// Required type hint (§2.2 limitation).
     pub ty: Type,
 }
@@ -281,7 +282,7 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Method {
     /// Method name.
-    pub name: String,
+    pub name: Symbol,
     /// Parameters (excluding the implicit `self`).
     pub params: Vec<Param>,
     /// Declared return type.
@@ -297,8 +298,8 @@ pub struct Method {
 
 impl Method {
     /// Declared parameter names in order.
-    pub fn param_names(&self) -> Vec<String> {
-        self.params.iter().map(|p| p.name.clone()).collect()
+    pub fn param_names(&self) -> Vec<Symbol> {
+        self.params.iter().map(|p| p.name).collect()
     }
 }
 
@@ -306,7 +307,7 @@ impl Method {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttrDef {
     /// Attribute name.
-    pub name: String,
+    pub name: Symbol,
     /// Static type.
     pub ty: Type,
     /// Initial value when an instance is created.
@@ -323,19 +324,21 @@ pub struct EntityClass {
     pub attrs: Vec<AttrDef>,
     /// Name of the attribute the `__key__` function returns. Immutable for
     /// the entity's lifetime (§2.2 limitation).
-    pub key_attr: String,
+    pub key_attr: Symbol,
     /// Methods of the class.
     pub methods: Vec<Method>,
 }
 
 impl EntityClass {
     /// Looks up a method by name.
-    pub fn method(&self, name: &str) -> Option<&Method> {
+    pub fn method(&self, name: impl Into<Symbol>) -> Option<&Method> {
+        let name = name.into();
         self.methods.iter().find(|m| m.name == name)
     }
 
     /// Looks up an attribute declaration by name.
-    pub fn attr(&self, name: &str) -> Option<&AttrDef> {
+    pub fn attr(&self, name: impl Into<Symbol>) -> Option<&AttrDef> {
+        let name = name.into();
         self.attrs.iter().find(|a| a.name == name)
     }
 
@@ -343,18 +346,19 @@ impl EntityClass {
     /// overridden by `init` entries, with the key attribute set to `key`.
     pub fn initial_state(
         &self,
-        key: &str,
+        key: impl Into<Symbol>,
         init: impl IntoIterator<Item = (String, Value)>,
     ) -> crate::value::EntityState {
         let mut state: crate::value::EntityState = self
             .attrs
             .iter()
-            .map(|a| (a.name.clone(), a.default.clone()))
+            .map(|a| (a.name, a.default.clone()))
             .collect();
         for (k, v) in init {
             state.insert(k, v);
         }
-        state.insert(self.key_attr.clone(), Value::Str(key.to_owned()));
+        let key = key.into();
+        state.insert(self.key_attr, Value::Str(key.as_str().to_owned()));
         state
     }
 }
@@ -373,14 +377,16 @@ impl Program {
     }
 
     /// Looks up a class by name.
-    pub fn class(&self, name: &str) -> Option<&EntityClass> {
+    pub fn class(&self, name: impl Into<Symbol>) -> Option<&EntityClass> {
+        let name = name.into();
         self.classes.iter().find(|c| c.name == name)
     }
 
     /// Looks up a class, erroring if absent.
-    pub fn class_or_err(&self, name: &str) -> Result<&EntityClass, crate::LangError> {
+    pub fn class_or_err(&self, name: impl Into<Symbol>) -> Result<&EntityClass, crate::LangError> {
+        let name = name.into();
         self.class(name)
-            .ok_or_else(|| crate::LangError::UndefinedClass(name.to_owned()))
+            .ok_or_else(|| crate::LangError::UndefinedClass(name.to_string()))
     }
 }
 
@@ -447,7 +453,10 @@ mod tests {
         );
         let mut vars = std::collections::BTreeSet::new();
         e.referenced_vars(&mut vars);
-        assert_eq!(vars.into_iter().collect::<Vec<_>>(), vec!["a", "i", "xs"]);
+        // Symbol sets iterate in interning order; compare name-sorted.
+        let mut names: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "i", "xs"]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! ```
 
 use crate::ast::{AttrDef, BinOp, Builtin, CallExpr, EntityClass, Expr, Method, Param, Stmt, UnOp};
+use crate::symbol::Symbol;
 use crate::types::Type;
 use crate::value::Value;
 
@@ -43,13 +44,13 @@ pub fn int(v: i64) -> Expr {
 }
 
 /// Local variable / parameter read.
-pub fn var(name: &str) -> Expr {
-    Expr::Var(name.to_owned())
+pub fn var(name: impl Into<Symbol>) -> Expr {
+    Expr::Var(name.into())
 }
 
 /// `self.<attr>` read.
-pub fn attr(name: &str) -> Expr {
-    Expr::Attr(name.to_owned())
+pub fn attr(name: impl Into<Symbol>) -> Expr {
+    Expr::Attr(name.into())
 }
 
 fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
@@ -166,10 +167,10 @@ pub fn zeros(n: Expr) -> Expr {
 }
 
 /// Remote method call `target.method(args…)`.
-pub fn call(target: Expr, method: &str, args: Vec<Expr>) -> Expr {
+pub fn call(target: Expr, method: impl Into<Symbol>, args: Vec<Expr>) -> Expr {
     Expr::Call(CallExpr {
         target: Box::new(target),
-        method: method.to_owned(),
+        method: method.into(),
         args,
     })
 }
@@ -179,33 +180,34 @@ pub fn call(target: Expr, method: &str, args: Vec<Expr>) -> Expr {
 // ---------------------------------------------------------------------------
 
 /// `name = value` (type inferred).
-pub fn assign(name: &str, value: Expr) -> Stmt {
+pub fn assign(name: impl Into<Symbol>, value: Expr) -> Stmt {
     Stmt::Assign {
-        name: name.to_owned(),
+        name: name.into(),
         ty: None,
         value,
     }
 }
 
 /// `name: ty = value`.
-pub fn assign_ty(name: &str, ty: Type, value: Expr) -> Stmt {
+pub fn assign_ty(name: impl Into<Symbol>, ty: Type, value: Expr) -> Stmt {
     Stmt::Assign {
-        name: name.to_owned(),
+        name: name.into(),
         ty: Some(ty),
         value,
     }
 }
 
 /// `self.attr = value`.
-pub fn attr_assign(attr: &str, value: Expr) -> Stmt {
+pub fn attr_assign(attr: impl Into<Symbol>, value: Expr) -> Stmt {
     Stmt::AttrAssign {
-        attr: attr.to_owned(),
+        attr: attr.into(),
         value,
     }
 }
 
 /// `self.attr += value` (sugar).
-pub fn attr_add(name: &str, value: Expr) -> Stmt {
+pub fn attr_add(name: impl Into<Symbol>, value: Expr) -> Stmt {
+    let name = name.into();
     attr_assign(name, add(attr(name), value))
 }
 
@@ -233,9 +235,9 @@ pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
 }
 
 /// `for var in iterable: body`.
-pub fn for_list(var: &str, iterable: Expr, body: Vec<Stmt>) -> Stmt {
+pub fn for_list(var: impl Into<Symbol>, iterable: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::ForList {
-        var: var.to_owned(),
+        var: var.into(),
         iterable,
         body,
     }
@@ -263,7 +265,7 @@ pub fn expr_stmt(e: Expr) -> Stmt {
 /// Builder for a [`Method`].
 #[derive(Debug, Clone)]
 pub struct MethodBuilder {
-    name: String,
+    name: Symbol,
     params: Vec<Param>,
     ret: Type,
     body: Vec<Stmt>,
@@ -272,9 +274,9 @@ pub struct MethodBuilder {
 
 impl MethodBuilder {
     /// Starts a method named `name` returning `Unit` by default.
-    pub fn new(name: &str) -> Self {
+    pub fn new(name: impl Into<Symbol>) -> Self {
         Self {
-            name: name.to_owned(),
+            name: name.into(),
             params: Vec::new(),
             ret: Type::Unit,
             body: Vec::new(),
@@ -283,9 +285,9 @@ impl MethodBuilder {
     }
 
     /// Adds a parameter with its (mandatory) type hint.
-    pub fn param(mut self, name: &str, ty: Type) -> Self {
+    pub fn param(mut self, name: impl Into<Symbol>, ty: Type) -> Self {
         self.params.push(Param {
-            name: name.to_owned(),
+            name: name.into(),
             ty,
         });
         self
@@ -330,17 +332,17 @@ impl From<MethodBuilder> for Method {
 /// Builder for an [`EntityClass`] — the Rust spelling of `@entity`.
 #[derive(Debug, Clone)]
 pub struct ClassBuilder {
-    name: String,
+    name: Symbol,
     attrs: Vec<AttrDef>,
-    key_attr: Option<String>,
+    key_attr: Option<Symbol>,
     methods: Vec<Method>,
 }
 
 impl ClassBuilder {
     /// Starts a class named `name`.
-    pub fn new(name: &str) -> Self {
+    pub fn new(name: impl Into<Symbol>) -> Self {
         Self {
-            name: name.to_owned(),
+            name: name.into(),
             attrs: Vec::new(),
             key_attr: None,
             methods: Vec::new(),
@@ -348,15 +350,15 @@ impl ClassBuilder {
     }
 
     /// Declares an attribute with the type's default initial value.
-    pub fn attr(self, name: &str, ty: Type) -> Self {
+    pub fn attr(self, name: impl Into<Symbol>, ty: Type) -> Self {
         let default = ty.default_value();
         self.attr_default(name, ty, default)
     }
 
     /// Declares an attribute with an explicit initial value.
-    pub fn attr_default(mut self, name: &str, ty: Type, default: Value) -> Self {
+    pub fn attr_default(mut self, name: impl Into<Symbol>, ty: Type, default: Value) -> Self {
         self.attrs.push(AttrDef {
-            name: name.to_owned(),
+            name: name.into(),
             ty,
             default,
         });
@@ -364,8 +366,8 @@ impl ClassBuilder {
     }
 
     /// Declares which attribute the `__key__` function returns.
-    pub fn key(mut self, attr: &str) -> Self {
-        self.key_attr = Some(attr.to_owned());
+    pub fn key(mut self, attr: impl Into<Symbol>) -> Self {
+        self.key_attr = Some(attr.into());
         self
     }
 

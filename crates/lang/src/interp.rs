@@ -10,17 +10,19 @@
 //!    body would be a compiler bug) and perform the terminator call through
 //!    the dataflow instead.
 
-use std::collections::BTreeMap;
-
 use crate::ast::{BinOp, Builtin, Expr, Stmt, UnOp};
 use crate::error::LangError;
+use crate::symbol::Symbol;
 use crate::value::{EntityRef, EntityState, Value};
 
 /// A method-local variable environment (Python function locals).
 ///
-/// Ordered map so that environments captured inside events serialize
-/// deterministically — replay determinism depends on it.
-pub type Env = BTreeMap<String, Value>;
+/// Symbol-keyed and copy-on-write ([`crate::value::SymbolMap`]): assignments
+/// never clone the variable name, and capturing the environment in a
+/// suspension frame is a refcount bump. Serialization is sorted by name, so
+/// environments captured inside events stay byte-stable — replay determinism
+/// depends on it.
+pub type Env = crate::value::SymbolMap;
 
 /// How the interpreter performs method calls on *other* entities.
 pub trait CallHandler {
@@ -29,7 +31,7 @@ pub trait CallHandler {
     fn call(
         &mut self,
         target: &EntityRef,
-        method: &str,
+        method: Symbol,
         args: Vec<Value>,
     ) -> Result<Value, LangError>;
 }
@@ -45,7 +47,7 @@ impl CallHandler for DenyRemoteCalls {
     fn call(
         &mut self,
         target: &EntityRef,
-        method: &str,
+        method: Symbol,
         _args: Vec<Value>,
     ) -> Result<Value, LangError> {
         Err(LangError::runtime(format!(
@@ -133,15 +135,15 @@ impl Interpreter {
         match stmt {
             Stmt::Assign { name, value, .. } => {
                 let v = self.eval(value, env, state, handler)?;
-                env.insert(name.clone(), v);
+                env.insert(*name, v);
                 Ok(Flow::Normal)
             }
             Stmt::AttrAssign { attr, value } => {
                 let v = self.eval(value, env, state, handler)?;
-                if !state.contains_key(attr) {
-                    return Err(LangError::UndefinedAttribute(attr.clone()));
+                if !state.contains_key(*attr) {
+                    return Err(LangError::UndefinedAttribute(attr.to_string()));
                 }
-                state.insert(attr.clone(), v);
+                state.insert(*attr, v);
                 Ok(Flow::Normal)
             }
             Stmt::If {
@@ -178,7 +180,7 @@ impl Interpreter {
                 let items = items.as_list()?.to_vec();
                 for item in items {
                     self.tick()?;
-                    env.insert(var.clone(), item);
+                    env.insert(*var, item);
                     if let Flow::Return(v) = self.exec_stmts(body, env, state, handler)? {
                         return Ok(Flow::Return(v));
                     }
@@ -208,13 +210,13 @@ impl Interpreter {
         match expr {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Var(name) => env
-                .get(name)
+                .get(*name)
                 .cloned()
-                .ok_or_else(|| LangError::UndefinedVariable(name.clone())),
+                .ok_or_else(|| LangError::UndefinedVariable(name.to_string())),
             Expr::Attr(name) => state
-                .get(name)
+                .get(*name)
                 .cloned()
-                .ok_or_else(|| LangError::UndefinedAttribute(name.clone())),
+                .ok_or_else(|| LangError::UndefinedAttribute(name.to_string())),
             Expr::Binary(op, l, r) => {
                 if op.is_logical() {
                     // Short-circuit evaluation.
@@ -261,12 +263,12 @@ impl Interpreter {
             }
             Expr::Call(c) => {
                 let target = self.eval(&c.target, env, state, handler)?;
-                let target = target.as_ref()?.clone();
+                let target = *target.as_ref()?;
                 let mut args = Vec::with_capacity(c.args.len());
                 for a in &c.args {
                     args.push(self.eval(a, env, state, handler)?);
                 }
-                handler.call(&target, &c.method, args)
+                handler.call(&target, c.method, args)
             }
         }
     }

@@ -38,6 +38,7 @@ pub mod interp;
 pub mod local;
 pub mod pretty;
 pub mod programs;
+pub mod symbol;
 pub mod typecheck;
 pub mod types;
 pub mod value;
@@ -48,6 +49,7 @@ pub use ast::{
 pub use error::LangError;
 pub use interp::{CallHandler, DenyRemoteCalls, Env, Flow, Interpreter};
 pub use local::{LocalExecutor, LocalStore};
+pub use symbol::Symbol;
 pub use typecheck::check_program;
 pub use types::Type;
-pub use value::{ClassName, EntityRef, EntityState, Value};
+pub use value::{ClassName, EntityRef, EntityState, SymbolMap, Value};

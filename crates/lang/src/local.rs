@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use crate::ast::Program;
 use crate::error::LangError;
 use crate::interp::{CallHandler, Env, Flow, Interpreter};
+use crate::symbol::Symbol;
 use crate::value::{EntityRef, EntityState, Value};
 
 /// Maximum depth of nested entity-to-entity calls.
@@ -46,8 +47,8 @@ impl LocalStore {
     ) -> Result<EntityRef, LangError> {
         let class_def = program.class_or_err(class)?;
         let r = EntityRef::new(class, key);
-        let state = class_def.initial_state(key, init);
-        self.entities.insert(r.clone(), state);
+        let state = class_def.initial_state(r.key, init);
+        self.entities.insert(r, state);
         Ok(r)
     }
 
@@ -129,7 +130,7 @@ impl<'p> LocalExecutor<'p> {
             self.program,
             &mut self.store.entities,
             target,
-            method,
+            Symbol::from(method),
             args,
             0,
         )
@@ -146,7 +147,7 @@ impl CallHandler for StoreHandler<'_, '_> {
     fn call(
         &mut self,
         target: &EntityRef,
-        method: &str,
+        method: Symbol,
         args: Vec<Value>,
     ) -> Result<Value, LangError> {
         invoke_at_depth(
@@ -164,7 +165,7 @@ fn invoke_at_depth(
     program: &Program,
     entities: &mut HashMap<EntityRef, EntityState>,
     target: &EntityRef,
-    method: &str,
+    method: Symbol,
     args: Vec<Value>,
     depth: usize,
 ) -> Result<Value, LangError> {
@@ -173,12 +174,12 @@ fn invoke_at_depth(
             "call depth exceeded {MAX_CALL_DEPTH} at {target}.{method}()"
         )));
     }
-    let class = program.class_or_err(&target.class)?;
+    let class = program.class_or_err(target.class)?;
     let m = class
         .method(method)
         .ok_or_else(|| LangError::UndefinedMethod {
-            class: target.class.clone(),
-            method: method.to_owned(),
+            class: target.class.to_string(),
+            method: method.to_string(),
         })?;
     if m.params.len() != args.len() {
         return Err(LangError::ArityMismatch {
@@ -187,7 +188,7 @@ fn invoke_at_depth(
             actual: args.len(),
         });
     }
-    let mut env: Env = m.params.iter().map(|p| p.name.clone()).zip(args).collect();
+    let mut env: Env = m.params.iter().map(|p| p.name).zip(args).collect();
 
     // Take the entity state out so the handler can borrow the map for nested
     // calls; entities never call methods on *themselves* remotely (that would
@@ -195,15 +196,14 @@ fn invoke_at_depth(
     let mut state = entities
         .remove(target)
         .ok_or_else(|| LangError::runtime(format!("unknown entity {target}")))?;
-    let body = m.body.clone();
 
     let mut handler = StoreHandler {
         program,
         entities,
         depth,
     };
-    let result = Interpreter::new().exec_stmts(&body, &mut env, &mut state, &mut handler);
-    entities.insert(target.clone(), state);
+    let result = Interpreter::new().exec_stmts(&m.body, &mut env, &mut state, &mut handler);
+    entities.insert(*target, state);
 
     match result? {
         Flow::Return(v) => Ok(v),
@@ -235,11 +235,7 @@ mod tests {
             .unwrap();
 
         let ok = exec
-            .invoke(
-                &user,
-                "buy_item",
-                vec![Value::Int(2), Value::Ref(item.clone())],
-            )
+            .invoke(&user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
             .unwrap();
         assert_eq!(ok, Value::Bool(true));
         assert_eq!(
@@ -268,11 +264,7 @@ mod tests {
             .unwrap();
 
         let ok = exec
-            .invoke(
-                &user,
-                "buy_item",
-                vec![Value::Int(1), Value::Ref(item.clone())],
-            )
+            .invoke(&user, "buy_item", vec![Value::Int(1), Value::Ref(item)])
             .unwrap();
         assert_eq!(ok, Value::Bool(false));
         // Nothing changed.
@@ -302,11 +294,7 @@ mod tests {
             .unwrap();
 
         let ok = exec
-            .invoke(
-                &user,
-                "buy_item",
-                vec![Value::Int(5), Value::Ref(item.clone())],
-            )
+            .invoke(&user, "buy_item", vec![Value::Int(5), Value::Ref(item)])
             .unwrap();
         assert_eq!(ok, Value::Bool(false));
         // The compensating update_stock(+amount) restored the stock.

@@ -153,7 +153,7 @@ pub fn expr_to_source(expr: &Expr) -> String {
 fn render(expr: &Expr, min_prec: u8) -> String {
     let (text, prec) = match expr {
         Expr::Lit(v) => (literal(v), 100),
-        Expr::Var(v) => (v.clone(), 100),
+        Expr::Var(v) => (v.to_string(), 100),
         Expr::Attr(a) => (format!("self.{a}"), 100),
         Expr::Binary(op, l, r) => {
             let p = binop_prec(*op);

@@ -233,7 +233,7 @@ mod tests {
             };
             refs.push(exec.create(&class, "n", init).unwrap());
         }
-        let head = refs.last().unwrap().clone();
+        let head = *refs.last().unwrap();
         let out = exec.invoke(&head, "relay", vec![Value::Int(100)]).unwrap();
         assert_eq!(out, Value::Int(100 + depth as i64));
         // Every node counted a hop.

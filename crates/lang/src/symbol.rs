@@ -1,0 +1,301 @@
+//! Symbol interning: cheap, `Copy` identifiers for the names that flow
+//! through the execution hot path.
+//!
+//! Every variable, attribute, method, class and entity-key name in the
+//! system recurs constantly — the interpreter re-inserts the same variable
+//! names on every assignment, routing hashes the same entity keys on every
+//! invocation, and snapshots clone the same attribute keys for every entity.
+//! A [`Symbol`] replaces those `String`s with a `u32` index into a global,
+//! thread-safe, append-only interner: interning happens once (at program
+//! build / compile time, or on first use of an entity key), after which
+//! copies, comparisons and hashes are integer operations and resolving the
+//! text back (`as_str`) is a lock-free array load.
+//!
+//! **Capacity.** Interned strings live for the process lifetime, and the
+//! interner caps out at `CHUNK * MAX_CHUNKS` (~16M) distinct symbols —
+//! names *and entity keys*. That is orders of magnitude above any current
+//! workload (the largest bench keyspace is ~10⁶); a future PR that wants
+//! billions of live entities must either raise the cap or stop interning
+//! keys.
+//!
+//! **Ordering and determinism.** `Ord`/`Hash` compare interner ids, so
+//! symbol-keyed map iteration follows *interning order* — deterministic for
+//! deterministically built programs, but not alphabetical and not stable
+//! across processes. Anything that must be byte-stable (snapshot JSON,
+//! replay logs) therefore serializes symbols as their strings and sorts
+//! symbol-keyed maps by name at serialization time (see
+//! `crate::value::SymbolMap`); partition routing likewise hashes the string
+//! (`as_str`), never the id, so placement survives re-interning.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Json, Serialize};
+
+/// Symbols per lazily allocated resolution chunk.
+const CHUNK: usize = 4096;
+/// Maximum number of chunks (bounds the interner at ~16M distinct symbols).
+const MAX_CHUNKS: usize = 4096;
+
+/// Writer-side state: string → id, guarded by a mutex (interning is the cold
+/// path — it happens once per distinct string).
+static INTERN: Mutex<Option<HashMap<&'static str, u32>>> = Mutex::new(None);
+
+/// Reader-side state: id → string, as lazily allocated fixed-size chunks so
+/// `as_str` is a wait-free load (no lock on the resolution hot path).
+/// Chunks are published with `Release` and never deallocated; slot values
+/// are written before their ids escape the interning mutex, so any thread
+/// that legitimately holds a `Symbol` observes its slot initialized.
+static CHUNKS: [AtomicPtr<&'static str>; MAX_CHUNKS] =
+    [const { AtomicPtr::new(ptr::null_mut()) }; MAX_CHUNKS];
+
+/// An interned string: a `Copy` handle that resolves back via [`Symbol::as_str`].
+///
+/// Equality, hashing and ordering compare interner ids (integers); two
+/// symbols are equal iff their strings are equal, because the interner maps
+/// each distinct string to exactly one id. See the module docs for the
+/// ordering/determinism contract.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `s`, returning its symbol. Idempotent: the same string always
+    /// yields the same symbol for the lifetime of the process.
+    pub fn intern(s: &str) -> Symbol {
+        let mut guard = INTERN.lock().unwrap_or_else(|e| e.into_inner());
+        let map = guard.get_or_insert_with(HashMap::new);
+        if let Some(&id) = map.get(s) {
+            return Symbol(id);
+        }
+        let id = map.len() as u32;
+        assert!(
+            (id as usize) < CHUNK * MAX_CHUNKS,
+            "symbol interner overflow ({} distinct symbols)",
+            CHUNK * MAX_CHUNKS
+        );
+        // Strings are leaked: the interner is append-only and process-wide.
+        // Leakage is bounded by the set of distinct names — which includes
+        // *entity keys*, so it grows with the number of distinct entities
+        // ever referenced (capped at CHUNK * MAX_CHUNKS, asserted below).
+        // Runtime `Value::Map` keys are deliberately NOT interned for the
+        // same reason (see `crate::value::Value::Map`).
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let (chunk_idx, offset) = (id as usize / CHUNK, id as usize % CHUNK);
+        let chunk_ptr = CHUNKS[chunk_idx].load(Ordering::Acquire);
+        if chunk_ptr.is_null() {
+            // First symbol of this chunk: initialize the slot before
+            // publishing the chunk pointer.
+            let mut chunk: Box<[&'static str; CHUNK]> = Box::new([""; CHUNK]);
+            chunk[offset] = leaked;
+            let raw = Box::into_raw(chunk) as *mut &'static str;
+            CHUNKS[chunk_idx].store(raw, Ordering::Release);
+        } else {
+            // SAFETY: `id` is unique (allocated under the mutex), so this
+            // slot is written exactly once; readers only reach it through a
+            // `Symbol` value whose transfer to their thread synchronizes
+            // with this write. Slots start as "" so even a stray read is
+            // defined.
+            unsafe { chunk_ptr.add(offset).write(leaked) };
+        }
+        map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text. Wait-free: one atomic load plus an array index.
+    pub fn as_str(self) -> &'static str {
+        let i = self.0 as usize;
+        let chunk_ptr = CHUNKS[i / CHUNK].load(Ordering::Acquire);
+        assert!(
+            !chunk_ptr.is_null(),
+            "symbol id {} was never interned",
+            self.0
+        );
+        // SAFETY: the chunk is a live, never-freed `[&'static str; CHUNK]`
+        // and `i % CHUNK` is in bounds by construction.
+        unsafe { *chunk_ptr.add(i % CHUNK) }
+    }
+
+    /// Byte length of the interned text (`as_str().len()`).
+    pub fn len(self) -> usize {
+        self.as_str().len()
+    }
+
+    /// Whether the interned text is empty.
+    pub fn is_empty(self) -> bool {
+        self.as_str().is_empty()
+    }
+
+    /// The raw interner id; exposed for diagnostics only — ids are not
+    /// stable across processes.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Symbol {
+    /// The empty-string symbol.
+    fn default() -> Self {
+        Symbol::intern("")
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+impl From<&Symbol> for Symbol {
+    fn from(s: &Symbol) -> Self {
+        *s
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> Self {
+        s.as_str().to_owned()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Serialize for Symbol {
+    /// Symbols serialize as their strings so artifacts stay readable and
+    /// independent of process-local interner ids.
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for Symbol {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("balance");
+        let b = Symbol::from("balance");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "balance");
+        assert_ne!(a, Symbol::intern("stock"));
+    }
+
+    #[test]
+    fn compares_against_strings() {
+        let s = Symbol::intern("price");
+        assert_eq!(s, "price");
+        assert_eq!("price", s);
+        assert_eq!(s, "price".to_string());
+        assert!(s != "quantity");
+    }
+
+    #[test]
+    fn display_and_debug_resolve_text() {
+        let s = Symbol::intern("buy_item");
+        assert_eq!(s.to_string(), "buy_item");
+        assert_eq!(format!("{s:?}"), "\"buy_item\"");
+    }
+
+    #[test]
+    fn serializes_as_string() {
+        assert_eq!(
+            Symbol::intern("amount").to_json().render_compact(),
+            "\"amount\""
+        );
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Symbol::default().is_empty());
+        assert_eq!(Symbol::default().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..512)
+                        .map(|i| Symbol::intern(&format!("sym_race_{}", (i * 7 + t) % 300)))
+                        .map(|s| (s, s.as_str().to_owned()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (sym, text) in h.join().unwrap() {
+                assert_eq!(sym.as_str(), text);
+                assert_eq!(Symbol::intern(&text), sym);
+            }
+        }
+    }
+}

@@ -19,11 +19,12 @@ use std::collections::BTreeMap;
 
 use crate::ast::{BinOp, Builtin, EntityClass, Expr, Method, Program, Stmt, UnOp};
 use crate::error::LangError;
+use crate::symbol::Symbol;
 use crate::types::Type;
-use crate::value::Value;
+use crate::value::{ClassName, Value};
 
 /// Type environment of a method body: local variable name → inferred type.
-type TyEnv = BTreeMap<String, Type>;
+type TyEnv = BTreeMap<Symbol, Type>;
 
 /// Checks an entire program, collecting *all* diagnostics rather than
 /// stopping at the first.
@@ -31,7 +32,7 @@ pub fn check_program(program: &Program) -> Result<(), Vec<LangError>> {
     let mut errors = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
     for class in &program.classes {
-        if !seen.insert(class.name.clone()) {
+        if !seen.insert(class.name) {
             errors.push(LangError::analysis(format!(
                 "duplicate class `{}`",
                 class.name
@@ -54,7 +55,7 @@ pub fn check_program_first_err(program: &Program) -> Result<(), LangError> {
 fn check_class(program: &Program, class: &EntityClass, errors: &mut Vec<LangError>) {
     let ctx = |msg: String| LangError::analysis(format!("class `{}`: {}", class.name, msg));
 
-    match class.attr(&class.key_attr) {
+    match class.attr(class.key_attr) {
         None => errors.push(ctx(format!(
             "key attribute `{}` is not declared",
             class.key_attr
@@ -70,7 +71,7 @@ fn check_class(program: &Program, class: &EntityClass, errors: &mut Vec<LangErro
 
     let mut attr_names = std::collections::BTreeSet::new();
     for attr in &class.attrs {
-        if !attr_names.insert(attr.name.clone()) {
+        if !attr_names.insert(attr.name) {
             errors.push(ctx(format!("duplicate attribute `{}`", attr.name)));
         }
         // A Unit default on a Ref attribute means "must be initialized at
@@ -83,7 +84,7 @@ fn check_class(program: &Program, class: &EntityClass, errors: &mut Vec<LangErro
             )));
         }
         if let Type::Ref(target) = &attr.ty {
-            if program.class(target).is_none() {
+            if program.class(*target).is_none() {
                 errors.push(ctx(format!(
                     "attribute `{}` references undefined class `{target}`",
                     attr.name
@@ -94,7 +95,7 @@ fn check_class(program: &Program, class: &EntityClass, errors: &mut Vec<LangErro
 
     let mut method_names = std::collections::BTreeSet::new();
     for method in &class.methods {
-        if !method_names.insert(method.name.clone()) {
+        if !method_names.insert(method.name) {
             errors.push(ctx(format!("duplicate method `{}`", method.name)));
         }
         check_method(program, class, method, errors);
@@ -121,18 +122,18 @@ pub fn check_method_collect_calls(
     class: &EntityClass,
     method: &Method,
     errors: &mut Vec<LangError>,
-) -> Vec<(String, String)> {
+) -> Vec<(ClassName, Symbol)> {
     let where_ = format!("{}.{}", class.name, method.name);
     let mut env: TyEnv = TyEnv::new();
     for p in &method.params {
-        if env.insert(p.name.clone(), p.ty.clone()).is_some() {
+        if env.insert(p.name, p.ty.clone()).is_some() {
             errors.push(LangError::analysis(format!(
                 "{where_}: duplicate parameter `{}`",
                 p.name
             )));
         }
         if let Type::Ref(target) = &p.ty {
-            if program.class(target).is_none() {
+            if program.class(*target).is_none() {
                 errors.push(LangError::analysis(format!(
                     "{where_}: parameter `{}` references undefined class `{target}`",
                     p.name
@@ -180,7 +181,7 @@ struct Checker<'a> {
     where_: &'a str,
     errors: &'a mut Vec<LangError>,
     /// Resolved `(callee class, callee method)` pairs, in source order.
-    calls: Vec<(String, String)>,
+    calls: Vec<(ClassName, Symbol)>,
 }
 
 impl Checker<'_> {
@@ -218,7 +219,7 @@ impl Checker<'_> {
                         None => inferred,
                     },
                 };
-                env.insert(name.clone(), final_ty);
+                env.insert(*name, final_ty);
             }
             Stmt::AttrAssign { attr, value } => {
                 if *attr == self.class.key_attr {
@@ -286,7 +287,7 @@ impl Checker<'_> {
                     }
                 };
                 let mut body_env = env.clone();
-                body_env.insert(var.clone(), elem);
+                body_env.insert(*var, elem);
                 self.check_stmts(body, &mut body_env, ret_ty);
                 for (name, t) in body_env {
                     env.entry(name).or_insert(t);
@@ -314,7 +315,7 @@ impl Checker<'_> {
                     Type::Any
                 }
             },
-            Expr::Attr(name) => match self.class.attr(name) {
+            Expr::Attr(name) => match self.class.attr(*name) {
                 Some(a) => a.ty.clone(),
                 None => {
                     self.err(format!("use of undeclared attribute `self.{name}`"));
@@ -385,7 +386,7 @@ impl Checker<'_> {
             Expr::Call(c) => {
                 let target_ty = self.infer(&c.target, env);
                 let class_name = match &target_ty {
-                    Type::Ref(c) => c.clone(),
+                    Type::Ref(c) => *c,
                     Type::Any => return Type::Any,
                     other => {
                         self.err(format!(
@@ -394,15 +395,15 @@ impl Checker<'_> {
                         return Type::Any;
                     }
                 };
-                let Some(class) = self.program.class(&class_name) else {
+                let Some(class) = self.program.class(class_name) else {
                     self.err(format!("call to method of undefined class `{class_name}`"));
                     return Type::Any;
                 };
-                let Some(m) = class.method(&c.method) else {
+                let Some(m) = class.method(c.method) else {
                     self.err(format!("class `{class_name}` has no method `{}`", c.method));
                     return Type::Any;
                 };
-                self.calls.push((class_name.clone(), c.method.clone()));
+                self.calls.push((class_name, c.method));
                 if m.params.len() != c.args.len() {
                     self.err(format!(
                         "`{class_name}.{}` expects {} argument(s), got {}",
@@ -412,11 +413,8 @@ impl Checker<'_> {
                     ));
                 }
                 let ret = m.ret.clone();
-                let params: Vec<(String, Type)> = m
-                    .params
-                    .iter()
-                    .map(|p| (p.name.clone(), p.ty.clone()))
-                    .collect();
+                let params: Vec<(Symbol, Type)> =
+                    m.params.iter().map(|p| (p.name, p.ty.clone())).collect();
                 for (arg, (pname, pty)) in c.args.iter().zip(params) {
                     let at = self.infer(arg, env);
                     if !pty.compatible(&at) {
@@ -545,7 +543,7 @@ pub fn type_of_value(v: &Value) -> Type {
             Type::List(Box::new(join_value_types(items.iter().map(type_of_value))))
         }
         Value::Map(m) => Type::Map(Box::new(join_value_types(m.values().map(type_of_value)))),
-        Value::Ref(r) => Type::Ref(r.class.clone()),
+        Value::Ref(r) => Type::Ref(r.class),
     }
 }
 

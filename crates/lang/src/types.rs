@@ -51,7 +51,7 @@ impl Type {
     }
 
     /// Shorthand for `Type::Ref(class.into())`.
-    pub fn entity(class: impl Into<String>) -> Type {
+    pub fn entity(class: impl Into<crate::symbol::Symbol>) -> Type {
         Type::Ref(class.into())
     }
 

@@ -4,33 +4,49 @@
 //! values are dynamically typed at runtime while the compiler enforces static
 //! type hints. We mirror that: [`Value`] is a dynamic value, and the
 //! [`crate::types::Type`] system checks programs before deployment.
+//!
+//! Two representation choices carry the hot path:
+//!
+//! * names (classes, attributes, entity keys) are interned [`Symbol`]s, so
+//!   an [`EntityRef`] is a `Copy` pair of integers and routing/equality
+//!   never touch string bytes;
+//! * name-keyed maps ([`SymbolMap`], aliased as [`EntityState`] and
+//!   `se_lang::Env`) are copy-on-write behind an `Arc`: cloning one — which
+//!   every snapshot, every shipped state and every suspension frame does —
+//!   is a reference-count bump, and the underlying tree is copied only when
+//!   a *shared* map is actually written.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Json, Serialize};
 
 use crate::error::LangError;
+use crate::symbol::Symbol;
 
-/// Name of an entity class (e.g. `"User"`, `"Item"`).
-pub type ClassName = String;
+/// Name of an entity class (e.g. `"User"`, `"Item"`), interned.
+pub type ClassName = Symbol;
 
 /// A reference to a stateful entity: its class plus its partitioning key.
 ///
 /// The paper requires every entity to expose a `__key__` function whose value
 /// is immutable for the entity's lifetime; the key is what the routing layer
-/// hashes to place the entity on a partition.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+/// hashes to place the entity on a partition. Both parts are interned
+/// symbols, so an `EntityRef` is `Copy` and hashing/equality are integer
+/// operations — the routing layer hashes the key *text* (stable across
+/// processes), not the symbol id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EntityRef {
     /// Class of the referenced entity.
     pub class: ClassName,
     /// Partitioning key of the referenced entity.
-    pub key: String,
+    pub key: Symbol,
 }
 
 impl EntityRef {
     /// Creates a reference to entity `key` of class `class`.
-    pub fn new(class: impl Into<String>, key: impl Into<String>) -> Self {
+    pub fn new(class: impl Into<Symbol>, key: impl Into<Symbol>) -> Self {
         Self {
             class: class.into(),
             key: key.into(),
@@ -47,7 +63,9 @@ impl fmt::Display for EntityRef {
 /// A dynamically typed runtime value.
 ///
 /// `Map` uses a [`BTreeMap`] so that serialization (and therefore snapshots
-/// and replay) is deterministic, which the exactly-once tests rely on.
+/// and replay) is deterministic, which the exactly-once tests rely on. Map
+/// keys stay `String`s: they are data (unbounded, user-controlled), not
+/// names, so interning them would grow the global interner without bound.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     /// The unit value, returned by methods without an explicit `return`.
@@ -238,10 +256,195 @@ impl From<EntityRef> for Value {
     }
 }
 
+/// A symbol-keyed, copy-on-write map of [`Value`]s.
+///
+/// This is the shape of both an entity's attribute map ([`EntityState`]) and
+/// a method activation's local environment (`se_lang::Env`). The map is a
+/// [`BTreeMap`] behind an [`Arc`]:
+///
+/// * **`clone` is O(1)** — a refcount bump. Snapshots, suspension frames,
+///   shipped states and Aria's execute-phase reads all clone entity state;
+///   none of them pay for its size anymore.
+/// * **writes are copy-on-write** — mutating methods go through
+///   [`Arc::make_mut`], which copies the tree only when it is shared. Write
+///   amplification is therefore confined to entities that are actually
+///   mutated while a snapshot (or other reader) still holds them.
+/// * **iteration order is interning order** (see [`Symbol`]); serialization
+///   sorts entries by name so snapshot/replay artifacts stay byte-stable
+///   and human-readable regardless of interner state.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolMap {
+    inner: Arc<BTreeMap<Symbol, Value>>,
+}
+
+impl SymbolMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`. Accepts anything convertible to a [`Symbol`]
+    /// (symbols themselves on the hot path, `&str` in tests and tools).
+    pub fn get(&self, key: impl Into<Symbol>) -> Option<&Value> {
+        self.inner.get(&key.into())
+    }
+
+    /// Mutable access to the value under `key` (copy-on-write).
+    pub fn get_mut(&mut self, key: impl Into<Symbol>) -> Option<&mut Value> {
+        Arc::make_mut(&mut self.inner).get_mut(&key.into())
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: impl Into<Symbol>) -> bool {
+        self.inner.contains_key(&key.into())
+    }
+
+    /// Inserts `value` under `key` (copy-on-write), returning the previous
+    /// value if any.
+    pub fn insert(&mut self, key: impl Into<Symbol>, value: Value) -> Option<Value> {
+        Arc::make_mut(&mut self.inner).insert(key.into(), value)
+    }
+
+    /// Removes `key` (copy-on-write), returning its value if present.
+    pub fn remove(&mut self, key: impl Into<Symbol>) -> Option<Value> {
+        Arc::make_mut(&mut self.inner).remove(&key.into())
+    }
+
+    /// Keeps only the entries for which `f` returns true (copy-on-write).
+    pub fn retain(&mut self, f: impl FnMut(&Symbol, &mut Value) -> bool) {
+        Arc::make_mut(&mut self.inner).retain(f);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in interning order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, Symbol, Value> {
+        self.inner.iter()
+    }
+
+    /// Iterates the names in interning order.
+    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, Symbol, Value> {
+        self.inner.keys()
+    }
+
+    /// Iterates the values in key (interning) order.
+    pub fn values(&self) -> std::collections::btree_map::Values<'_, Symbol, Value> {
+        self.inner.values()
+    }
+
+    /// Whether two maps share the same underlying storage. A true result
+    /// proves (in O(1)) that no write diverged them — the fast path for
+    /// change detection in transactional write-set extraction.
+    pub fn ptr_eq(a: &SymbolMap, b: &SymbolMap) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
+    }
+
+    /// An independent deep copy that shares nothing with `self`.
+    ///
+    /// Used where a copy must be *materialized* to model real work — e.g.
+    /// the StateFun runtime's state (de)serialization cost probes — since a
+    /// plain `clone` is only a refcount bump.
+    pub fn deep_clone(&self) -> Self {
+        Self {
+            inner: Arc::new((*self.inner).clone()),
+        }
+    }
+
+    /// Approximate serialized size in bytes (names + values).
+    pub fn approx_size(&self) -> usize {
+        self.inner
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size())
+            .sum()
+    }
+}
+
+impl PartialEq for SymbolMap {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl<S: Into<Symbol>> FromIterator<(S, Value)> for SymbolMap {
+    fn from_iter<T: IntoIterator<Item = (S, Value)>>(iter: T) -> Self {
+        Self {
+            inner: Arc::new(iter.into_iter().map(|(k, v)| (k.into(), v)).collect()),
+        }
+    }
+}
+
+impl<S: Into<Symbol>, const N: usize> From<[(S, Value); N]> for SymbolMap {
+    fn from(entries: [(S, Value); N]) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+impl<S: Into<Symbol>> Extend<(S, Value)> for SymbolMap {
+    fn extend<T: IntoIterator<Item = (S, Value)>>(&mut self, iter: T) {
+        Arc::make_mut(&mut self.inner).extend(iter.into_iter().map(|(k, v)| (k.into(), v)));
+    }
+}
+
+impl<'a> IntoIterator for &'a SymbolMap {
+    type Item = (&'a Symbol, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, Symbol, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl IntoIterator for SymbolMap {
+    type Item = (Symbol, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<Symbol, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        // Move out when unique; copy out when shared (the shared case is a
+        // reader iterating a snapshot, which must not disturb the original).
+        Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|shared| (*shared).clone())
+            .into_iter()
+    }
+}
+
+impl<K: Into<Symbol>> std::ops::Index<K> for SymbolMap {
+    type Output = Value;
+    fn index(&self, key: K) -> &Value {
+        let key = key.into();
+        self.inner
+            .get(&key)
+            .unwrap_or_else(|| panic!("no entry for `{key}`"))
+    }
+}
+
+impl Serialize for SymbolMap {
+    /// Serializes sorted by *name*, not by interner id, so the JSON is
+    /// byte-stable across processes and runs.
+    fn to_json(&self) -> Json {
+        let mut entries: Vec<(&'static str, &Value)> =
+            self.inner.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for SymbolMap {}
+
 /// The attribute map of a single entity instance, e.g. `{balance: 5}`.
 ///
-/// Deterministically ordered so snapshots and replays are byte-stable.
-pub type EntityState = BTreeMap<String, Value>;
+/// Copy-on-write: cloning is O(1); see [`SymbolMap`].
+pub type EntityState = SymbolMap;
 
 #[cfg(test)]
 mod tests {
@@ -289,5 +492,72 @@ mod tests {
     #[test]
     fn entity_ref_display() {
         assert_eq!(EntityRef::new("Item", "laptop").to_string(), "Item[laptop]");
+    }
+
+    #[test]
+    fn entity_ref_is_copy_and_hashable() {
+        let r = EntityRef::new("User", "alice");
+        let r2 = r; // Copy, not move
+        assert_eq!(r, r2);
+        let mut set = std::collections::HashSet::new();
+        set.insert(r);
+        assert!(set.contains(&EntityRef::new("User", "alice")));
+    }
+
+    #[test]
+    fn symbol_map_cow_clone_does_not_observe_writes() {
+        let mut a = SymbolMap::from([("balance", Value::Int(10))]);
+        let snapshot = a.clone();
+        assert!(SymbolMap::ptr_eq(&a, &snapshot));
+        a.insert("balance", Value::Int(0));
+        assert!(!SymbolMap::ptr_eq(&a, &snapshot));
+        assert_eq!(
+            snapshot["balance"],
+            Value::Int(10),
+            "snapshot must not move"
+        );
+        assert_eq!(a["balance"], Value::Int(0));
+    }
+
+    #[test]
+    fn symbol_map_unique_writes_do_not_copy() {
+        let mut a = SymbolMap::from([("n", Value::Int(1))]);
+        // No other handle exists: make_mut mutates in place. We can't observe
+        // the allocation directly, but ptr identity must survive the write.
+        let before = Arc::as_ptr(&a.inner);
+        a.insert("n", Value::Int(2));
+        assert_eq!(before, Arc::as_ptr(&a.inner));
+    }
+
+    #[test]
+    fn symbol_map_serializes_sorted_by_name() {
+        // Intern in non-alphabetical order on purpose.
+        let m = SymbolMap::from([
+            ("zzz_sym_last", Value::Int(1)),
+            ("aaa_sym_first", Value::Int(2)),
+        ]);
+        assert_eq!(
+            m.to_json().render_compact(),
+            "{\"aaa_sym_first\":{\"Int\":2},\"zzz_sym_last\":{\"Int\":1}}"
+        );
+    }
+
+    #[test]
+    fn symbol_map_owned_iteration_shared_and_unique() {
+        let m = SymbolMap::from([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let shared = m.clone();
+        let collected: Vec<(Symbol, Value)> = m.into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(shared.len(), 2, "shared handle untouched");
+        let collected2: Vec<(Symbol, Value)> = shared.into_iter().collect();
+        assert_eq!(collected, collected2);
+    }
+
+    #[test]
+    fn symbol_map_index_by_str_and_symbol() {
+        let m = SymbolMap::from([("x", Value::Int(7))]);
+        assert_eq!(m["x"], Value::Int(7));
+        assert_eq!(m[Symbol::intern("x")], Value::Int(7));
+        assert_eq!(m.get("missing_attr"), None);
     }
 }

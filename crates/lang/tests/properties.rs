@@ -157,7 +157,7 @@ proptest! {
             let i = exec
                 .create("Item", "i", [("price".into(), Value::Int(price)), ("stock".into(), Value::Int(5))])
                 .unwrap();
-            let r = exec.invoke(&u, "buy_item", vec![Value::Int(amount), Value::Ref(i.clone())]);
+            let r = exec.invoke(&u, "buy_item", vec![Value::Int(amount), Value::Ref(i)]);
             (
                 r.map_err(|e| e.to_string()),
                 exec.store().state(&u).unwrap().clone(),

@@ -231,7 +231,7 @@ impl Coordinator {
         self.next_batch += 1;
         for txn in &txns {
             let inv = self.roots[txn].clone();
-            let owner = self.owner_of(&inv.target.key);
+            let owner = self.owner_of(inv.target.key.as_str());
             let bytes = inv.approx_size();
             self.workers[owner].send_after(
                 WorkerMsg::Exec {
@@ -312,7 +312,8 @@ impl Coordinator {
                         if *acks == self.workers.len() {
                             self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
                             self.batches_since_snapshot = 0;
-                            self.snapshots.truncate_before(epoch.saturating_sub(2));
+                            // Old epochs are pruned by the snapshot store's
+                            // own retention policy (`snapshot_retention`).
                             self.phase = Phase::Idle;
                         }
                     }

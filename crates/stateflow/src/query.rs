@@ -62,7 +62,7 @@ impl StateflowRuntime {
     pub fn select_attr(&self, class: &str, attr: &str) -> Option<QueryResult<(String, Value)>> {
         self.query_snapshot(|r, state| {
             if r.class == class {
-                state.get(attr).map(|v| (r.key.clone(), v.clone()))
+                state.get(attr).map(|v| (r.key.to_string(), v.clone()))
             } else {
                 None
             }

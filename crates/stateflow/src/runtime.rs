@@ -39,7 +39,7 @@ impl StateflowRuntime {
     pub fn deploy(graph: DataflowGraph, cfg: StateflowConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         let graph = Arc::new(graph);
-        let snapshots = Arc::new(SnapshotStore::new());
+        let snapshots = Arc::new(SnapshotStore::with_retention(cfg.snapshot_retention));
         let timers = Arc::new(ComponentTimers::new());
         let stats = Arc::new(CoordStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -168,7 +168,7 @@ impl EntityRuntime for StateflowRuntime {
         let inv = Invocation {
             request,
             target,
-            method: method.to_owned(),
+            method: method.into(),
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
         };

@@ -174,8 +174,10 @@ impl Worker {
             // sequential.
             se_dataflow::burn(self.cfg.net.scaled(self.cfg.service_time));
 
-            let target = inv.target.clone();
+            let target = inv.target;
             let request = inv.request;
+            // O(1): entity state is copy-on-write, so "read the committed
+            // snapshot" is a refcount bump, not a deep copy.
             let committed = match self.store.get(&target) {
                 Some(s) => s.clone(),
                 None => {
@@ -194,6 +196,8 @@ impl Worker {
             let before = self
                 .timers
                 .time("state_read", || buffer.overlay_read(&target, &committed));
+            // Copy-on-write: `after` shares storage with `before` until the
+            // method actually writes an attribute.
             let mut after = before.clone();
             let effect = self.timers.time("function_execution", || {
                 process_invocation(&self.graph.program, inv, &mut after)
@@ -212,7 +216,7 @@ impl Worker {
                     return;
                 }
                 StepEffect::Emit(next) => {
-                    let owner = partition_for(&next.target.key, self.peers.len());
+                    let owner = partition_for(next.target.key.as_str(), self.peers.len());
                     if owner == self.id {
                         // Same-partition call: continue locally, no hop.
                         inv = next;
@@ -289,7 +293,7 @@ impl Worker {
                         // Entities written here were read from this store
                         // during execute; they exist unless a concurrent
                         // create raced, which batching forbids.
-                        let _ = self.store.apply_write(&entity, &attr, value);
+                        let _ = self.store.apply_write(&entity, attr, value);
                     }
                 }
             });

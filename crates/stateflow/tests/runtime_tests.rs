@@ -70,7 +70,7 @@ fn counter_single_entity() {
     let rt = deploy(&program, StateflowConfig::fast_test(3));
     let c = rt.create("Counter", "c1", vec![]).unwrap();
     for i in 1..=10 {
-        let v = rt.call(c.clone(), "incr", vec![Value::Int(1)]).unwrap();
+        let v = rt.call(c, "incr", vec![Value::Int(1)]).unwrap();
         assert_eq!(v, Value::Int(i));
     }
     assert_eq!(rt.call(c, "get", vec![]).unwrap(), Value::Int(10));
@@ -96,25 +96,14 @@ fn figure1_buy_item_matches_local_oracle() {
         .unwrap();
 
     let ok = rt
-        .call(
-            user.clone(),
-            "buy_item",
-            vec![Value::Int(2), Value::Ref(item.clone())],
-        )
+        .call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
         .unwrap();
     assert_eq!(ok, Value::Bool(true));
-    assert_eq!(
-        rt.call(user.clone(), "balance", vec![]).unwrap(),
-        Value::Int(40)
-    );
+    assert_eq!(rt.call(user, "balance", vec![]).unwrap(), Value::Int(40));
 
     // Insufficient balance: rejected, nothing changes.
     let ok = rt
-        .call(
-            user.clone(),
-            "buy_item",
-            vec![Value::Int(2), Value::Ref(item)],
-        )
+        .call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
         .unwrap();
     assert_eq!(ok, Value::Bool(false));
     assert_eq!(rt.call(user, "balance", vec![]).unwrap(), Value::Int(40));

@@ -42,6 +42,10 @@ pub struct StatefunConfig {
     pub service_time: Duration,
     /// Checkpointing mode.
     pub checkpoint: CheckpointMode,
+    /// Complete snapshot epochs retained before older ones are pruned
+    /// (0 = keep every epoch forever). Recovery always restores the latest
+    /// complete epoch, which is always retained.
+    pub snapshot_retention: usize,
     /// Failure injection (requires [`CheckpointMode::Transactional`]).
     pub failure: FailurePlan,
 }
@@ -54,6 +58,7 @@ impl Default for StatefunConfig {
             net: NetConfig::default(),
             service_time: Duration::from_micros(700),
             checkpoint: CheckpointMode::None,
+            snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             failure: FailurePlan::none(),
         }
     }
@@ -68,6 +73,7 @@ impl StatefunConfig {
             net: NetConfig::fast_test(),
             service_time: Duration::from_micros(10),
             checkpoint: CheckpointMode::None,
+            snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             failure: FailurePlan::none(),
         }
     }

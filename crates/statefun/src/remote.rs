@@ -41,8 +41,10 @@ pub fn run_remote_worker(
         // throughput bottleneck of the paper's StateFun deployment.
         se_dataflow::burn(cfg.net.scaled(cfg.service_time));
 
-        // Deserialize the shipped state (modeled as a deep copy).
-        let state = timers.time("state_deserialization", || req.state.clone());
+        // Deserialize the shipped state — modeled as a *materialized* deep
+        // copy (a plain clone of copy-on-write state would be a refcount
+        // bump and measure nothing).
+        let state = timers.time("state_deserialization", || req.state.deep_clone());
         // Reconstruct the entity object from its state (§2.3: "the system
         // reconstructs the object using the operator's code and the
         // function's state").
@@ -64,16 +66,14 @@ pub fn run_remote_worker(
             };
         });
 
-        let entity = req.inv.target.clone();
+        let entity = req.inv.target;
         let effect = timers.time("function_execution", || {
             process_invocation(&graph.program, req.inv, &mut state)
         });
-        // Serialize the mutated state for the trip back.
-        let new_state = timers.time("state_serialization", || state.clone());
-        let bytes = new_state
-            .iter()
-            .map(|(k, v)| k.len() + v.approx_size())
-            .sum::<usize>();
+        // Serialize the mutated state for the trip back (materialized, as
+        // above).
+        let new_state = timers.time("state_serialization", || state.deep_clone());
+        let bytes = new_state.approx_size();
 
         responders[req.task].send_after(
             RemoteResponse {

@@ -48,7 +48,7 @@ impl StatefunRuntime {
         broker.create_topic(topics::INGRESS, cfg.partitions);
         broker.create_topic(topics::EGRESS, 1);
 
-        let snapshots = Arc::new(SnapshotStore::new());
+        let snapshots = Arc::new(SnapshotStore::with_retention(cfg.snapshot_retention));
         let timers = Arc::new(ComponentTimers::new());
         let recovery = Arc::new(RecoveryCtl::default());
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -260,16 +260,18 @@ impl EntityRuntime for StatefunRuntime {
         self.waiters.lock().insert(request, completer);
         let inv = Invocation {
             request,
-            target: target.clone(),
-            method: method.to_owned(),
+            target,
+            method: method.into(),
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
         };
         let bytes = inv.approx_size();
-        if let Err(e) =
-            self.broker
-                .produce(topics::INGRESS, &target.key, SfRecord::Invoke(inv), bytes)
-        {
+        if let Err(e) = self.broker.produce(
+            topics::INGRESS,
+            target.key.as_str(),
+            SfRecord::Invoke(inv),
+            bytes,
+        ) {
             if let Some(c) = self.waiters.lock().remove(&request) {
                 c.complete(Err(LangError::runtime(e.to_string())));
             }

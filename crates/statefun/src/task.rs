@@ -56,8 +56,9 @@ pub struct PartitionTask {
     offset: u64,
     inflight: HashSet<EntityRef>,
     waiting: HashMap<EntityRef, VecDeque<Invocation>>,
-    /// Staged produces (Transactional mode): flushed at epoch boundaries.
-    staged: Vec<(String, SfRecord, usize)>,
+    /// Staged produces (Transactional mode) as `(topic, key, record,
+    /// bytes)`: flushed at epoch boundaries.
+    staged: Vec<(&'static str, String, SfRecord, usize)>,
     pool_tx: DelaySender<RemoteRequest>,
     resp_rx: DelayReceiver<RemoteResponse>,
     snapshots: Arc<SnapshotStore<StateStore>>,
@@ -175,7 +176,7 @@ impl PartitionTask {
                 let result = match self.graph.program.class_or_err(&class) {
                     Ok(c) => {
                         let r = EntityRef::new(&class, &key);
-                        self.store.insert(r, c.class.initial_state(&key, init));
+                        self.store.insert(r, c.class.initial_state(r.key, init));
                         Ok(se_lang::Value::Unit)
                     }
                     Err(e) => Err(e),
@@ -197,7 +198,7 @@ impl PartitionTask {
 
     /// Per-key serialization: one in-flight invocation per entity.
     fn dispatch_or_queue(&mut self, inv: Invocation) {
-        let target = inv.target.clone();
+        let target = inv.target;
         if self.inflight.contains(&target) {
             self.waiting.entry(target).or_default().push_back(inv);
         } else {
@@ -206,7 +207,7 @@ impl PartitionTask {
     }
 
     fn dispatch(&mut self, inv: Invocation) {
-        let target = inv.target.clone();
+        let target = inv.target;
         let Some(state) = self.store.get(&target) else {
             self.emit_egress(Response {
                 request: inv.request,
@@ -214,13 +215,14 @@ impl PartitionTask {
             });
             return;
         };
-        // Serialize the state for shipping to the remote runtime.
-        let shipped = self.timers.time("state_serialization", || state.clone());
-        let bytes = shipped
-            .iter()
-            .map(|(k, v)| k.len() + v.approx_size())
-            .sum::<usize>()
-            + inv.approx_size();
+        // Serialize the state for shipping to the remote runtime. This is a
+        // *materialized* copy on purpose: entity state is copy-on-write, so
+        // a plain clone would be a refcount bump and the experiment's
+        // state-serialization component would measure nothing.
+        let shipped = self
+            .timers
+            .time("state_serialization", || state.deep_clone());
+        let bytes = shipped.approx_size() + inv.approx_size();
         self.inflight.insert(target);
         self.pool_tx.send_after(
             RemoteRequest {
@@ -236,7 +238,7 @@ impl PartitionTask {
     fn on_response(&mut self, resp: RemoteResponse) {
         // Install the returned state into managed operator state.
         self.timers.time("state_storage", || {
-            self.store.insert(resp.entity.clone(), resp.new_state);
+            self.store.insert(resp.entity, resp.new_state);
         });
         self.inflight.remove(&resp.entity);
         match resp.effect {
@@ -244,8 +246,8 @@ impl PartitionTask {
                 // Continuation loops back through the broker — the Kafka
                 // round trip the paper attributes StateFun's latency to.
                 let bytes = next.approx_size();
-                let key = next.target.key.clone();
-                self.emit(topics::INGRESS, &key, SfRecord::Invoke(next), bytes);
+                let key = next.target.key;
+                self.emit(topics::INGRESS, key.as_str(), SfRecord::Invoke(next), bytes);
             }
             StepEffect::Respond(r) => self.emit_egress(r),
         }
@@ -263,13 +265,17 @@ impl PartitionTask {
     }
 
     fn emit_egress(&mut self, r: Response) {
-        let key = r.request.to_string();
-        self.emit(topics::EGRESS, &key, SfRecord::Response(r), 64);
+        // The egress topic has a single partition, so the key is
+        // informational; format the request id into a stack buffer instead
+        // of paying a heap allocation per response record.
+        let mut buf = [0u8; 20];
+        let key = fmt_u64(r.request.0, &mut buf);
+        self.emit(topics::EGRESS, key, SfRecord::Response(r), 64);
     }
 
-    fn emit(&mut self, topic: &str, key: &str, rec: SfRecord, bytes: usize) {
+    fn emit(&mut self, topic: &'static str, key: &str, rec: SfRecord, bytes: usize) {
         if self.transactional() {
-            self.staged.push((format!("{topic}\u{0}{key}"), rec, bytes));
+            self.staged.push((topic, key.to_owned(), rec, bytes));
         } else {
             let _ = self.broker.produce(topic, key, rec, bytes);
         }
@@ -300,9 +306,8 @@ impl PartitionTask {
             .put_source_offset(epoch, &self.node_name(), self.offset);
         self.last_epoch = epoch;
         // Flush the epoch's staged outputs.
-        for (topic_key, rec, bytes) in std::mem::take(&mut self.staged) {
-            let (topic, key) = topic_key.split_once('\u{0}').expect("encoded topic+key");
-            let _ = self.broker.produce(topic, key, rec, bytes);
+        for (topic, key, rec, bytes) in std::mem::take(&mut self.staged) {
+            let _ = self.broker.produce(topic, &key, rec, bytes);
         }
     }
 
@@ -330,5 +335,33 @@ impl PartitionTask {
         self.staged.clear();
         self.gen = gen;
         self.dead = false;
+    }
+}
+
+/// Formats `n` in decimal into `buf`, returning the textual slice — a
+/// heap-allocation-free `u64::to_string` for per-record routing keys.
+fn fmt_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_u64;
+
+    #[test]
+    fn fmt_u64_matches_to_string() {
+        for n in [0u64, 1, 9, 10, 42, 12345, u64::MAX] {
+            let mut buf = [0u8; 20];
+            assert_eq!(fmt_u64(n, &mut buf), n.to_string());
+        }
     }
 }

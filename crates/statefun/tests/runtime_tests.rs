@@ -24,7 +24,7 @@ fn counter_single_entity() {
     let c = rt.create("Counter", "c1", vec![]).unwrap();
     for i in 1..=5 {
         assert_eq!(
-            rt.call(c.clone(), "incr", vec![Value::Int(1)]).unwrap(),
+            rt.call(c, "incr", vec![Value::Int(1)]).unwrap(),
             Value::Int(i)
         );
     }
@@ -49,11 +49,7 @@ fn figure1_split_chain_through_loopback() {
         )
         .unwrap();
     let ok = rt
-        .call(
-            user.clone(),
-            "buy_item",
-            vec![Value::Int(2), Value::Ref(item.clone())],
-        )
+        .call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
         .unwrap();
     assert_eq!(ok, Value::Bool(true));
     assert_eq!(rt.call(user, "balance", vec![]).unwrap(), Value::Int(40));
@@ -168,16 +164,8 @@ fn documented_race_multi_entity_chains_can_overspend() {
             )
             .unwrap();
         // Two concurrent purchases of 60 each against a balance of 60.
-        let w1 = rt.call_async(
-            user.clone(),
-            "buy_item",
-            vec![Value::Int(2), Value::Ref(item.clone())],
-        );
-        let w2 = rt.call_async(
-            user.clone(),
-            "buy_item",
-            vec![Value::Int(2), Value::Ref(item)],
-        );
+        let w1 = rt.call_async(user, "buy_item", vec![Value::Int(2), Value::Ref(item)]);
+        let w2 = rt.call_async(user, "buy_item", vec![Value::Int(2), Value::Ref(item)]);
         let r1 = w1.wait_timeout(WAIT).unwrap().unwrap();
         let r2 = w2.wait_timeout(WAIT).unwrap().unwrap();
         let balance = rt.call(user, "balance", vec![]).unwrap().as_int().unwrap();

@@ -268,13 +268,9 @@ mod tests {
 
         let bal = rt
             .call(
-                cust.clone(),
+                cust,
                 "payment",
-                vec![
-                    Value::Ref(w.clone()),
-                    Value::Ref(d.clone()),
-                    Value::Int(100),
-                ],
+                vec![Value::Ref(w), Value::Ref(d), Value::Int(100)],
             )
             .unwrap();
         assert_eq!(bal, Value::Int(900));
@@ -291,7 +287,7 @@ mod tests {
         ]);
         let oid = rt
             .call(
-                cust.clone(),
+                cust,
                 "new_order",
                 vec![Value::Ref(d), stocks, Value::Int(7)],
             )

@@ -47,13 +47,7 @@ fn flash_sale(rt: &dyn EntityRuntime, users: usize, stock: i64) -> Outcome {
     let waiters: Vec<_> = user_refs
         .iter()
         .flat_map(|u| {
-            (0..2).map(|_| {
-                rt.call_async(
-                    u.clone(),
-                    "buy_item",
-                    vec![Value::Int(2), Value::Ref(item.clone())],
-                )
-            })
+            (0..2).map(|_| rt.call_async(*u, "buy_item", vec![Value::Int(2), Value::Ref(item)]))
         })
         .collect();
     let successes = waiters
@@ -73,7 +67,7 @@ fn flash_sale(rt: &dyn EntityRuntime, users: usize, stock: i64) -> Outcome {
     let mut negative_balances = 0;
     for u in &user_refs {
         let b = rt
-            .call(u.clone(), "balance", vec![])
+            .call(*u, "balance", vec![])
             .expect("balance")
             .as_int()
             .unwrap();

@@ -55,22 +55,14 @@ fn main() {
 
         // buy_item(2, laptop): 2 × 30 = 60 ≤ 100 → success.
         let ok = rt
-            .call(
-                alice.clone(),
-                "buy_item",
-                vec![Value::Int(2), Value::Ref(laptop.clone())],
-            )
+            .call(alice, "buy_item", vec![Value::Int(2), Value::Ref(laptop)])
             .expect("invoke");
-        let balance = rt.call(alice.clone(), "balance", vec![]).expect("balance");
+        let balance = rt.call(alice, "balance", vec![]).expect("balance");
         println!("  buy_item(2, laptop) → {ok}   balance → {balance}");
 
         // A second purchase of 2 × 30 = 60 > 40 → rejected, state unchanged.
         let ok = rt
-            .call(
-                alice.clone(),
-                "buy_item",
-                vec![Value::Int(2), Value::Ref(laptop)],
-            )
+            .call(alice, "buy_item", vec![Value::Int(2), Value::Ref(laptop)])
             .expect("invoke");
         let balance = rt.call(alice, "balance", vec![]).expect("balance");
         println!("  buy_item(2, laptop) → {ok}  balance → {balance}");

@@ -45,22 +45,22 @@ fn block_params_are_consistent_with_uses() {
         for class in &graph.program.classes {
             for method in &class.methods {
                 for block in &method.blocks {
-                    let mut defined: std::collections::BTreeSet<String> =
-                        block.params.iter().cloned().collect();
+                    let mut defined: std::collections::BTreeSet<se_lang::Symbol> =
+                        block.params.iter().copied().collect();
                     // Entry block params come from the invocation arguments.
                     if block.id == method.entry {
-                        defined.extend(method.params.iter().map(|(n, _)| n.clone()));
+                        defined.extend(method.params.iter().map(|(n, _)| *n));
                     }
                     for stmt in &block.stmts {
                         if let se_lang::Stmt::Assign { name: n, value, .. } = stmt {
-                            check_expr(value, &defined, name, &method.name, block.id);
-                            defined.insert(n.clone());
+                            check_expr(value, &defined, name, method.name, block.id);
+                            defined.insert(*n);
                         }
                     }
                     if let Terminator::Return(e) | Terminator::Branch { cond: e, .. } =
                         &block.terminator
                     {
-                        check_expr(e, &defined, name, &method.name, block.id);
+                        check_expr(e, &defined, name, method.name, block.id);
                     }
                 }
             }
@@ -69,9 +69,9 @@ fn block_params_are_consistent_with_uses() {
 
     fn check_expr(
         e: &se_lang::Expr,
-        defined: &std::collections::BTreeSet<String>,
+        defined: &std::collections::BTreeSet<se_lang::Symbol>,
         program: &str,
-        method: &str,
+        method: se_lang::Symbol,
         block: se_ir::BlockId,
     ) {
         let mut used = std::collections::BTreeSet::new();
@@ -106,7 +106,10 @@ fn figure1_golden_shape() {
     // and the hoisted price result.
     let resume_params = &buy.block(*resume).params;
     for v in ["amount", "item"] {
-        assert!(resume_params.contains(&v.to_string()), "{resume_params:?}");
+        assert!(
+            resume_params.contains(&se_lang::Symbol::from(v)),
+            "{resume_params:?}"
+        );
     }
 
     let price = graph.program.method_or_err("Item", "price").unwrap();

@@ -42,29 +42,21 @@ fn figure1_identical_across_engines() {
 
         // Purchase 1: 2×30 = 60 ≤ 100 → ok, stock 3→1, balance 40.
         assert_eq!(
-            rt.call(
-                user.clone(),
-                "buy_item",
-                vec![Value::Int(2), Value::Ref(item.clone())]
-            )
-            .unwrap(),
+            rt.call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
+                .unwrap(),
             Value::Bool(true),
             "[{name}]"
         );
         // Purchase 2: 1×30 = 30 ≤ 40 but stock 1−2 < 0 → compensated reject.
         assert_eq!(
-            rt.call(
-                user.clone(),
-                "buy_item",
-                vec![Value::Int(2), Value::Ref(item.clone())]
-            )
-            .unwrap(),
+            rt.call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)])
+                .unwrap(),
             Value::Bool(false),
             "[{name}]"
         );
         // Balance unchanged by the rejected purchase; stock restored to 1.
         assert_eq!(
-            rt.call(user.clone(), "balance", vec![]).unwrap(),
+            rt.call(user, "balance", vec![]).unwrap(),
             Value::Int(40),
             "[{name}]"
         );
@@ -133,6 +125,136 @@ fn errors_are_consistent_across_engines() {
     }
 }
 
+/// Churn workload over copy-on-write state: a completed snapshot epoch must
+/// stay frozen while the live store keeps mutating (entity state shares
+/// storage with snapshots until a write diverges them), and the final state
+/// must agree with the Local serial oracle.
+#[test]
+fn snapshot_epochs_stay_frozen_under_cow_churn() {
+    let program = stateful_entities::programs::counter_program();
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = 1;
+    cfg.snapshot_retention = 0; // keep every epoch: this test re-reads old ones
+    let graph = stateful_entities::compile(&program).unwrap();
+    let rt = stateful_entities::StateflowRuntime::deploy(graph, cfg.clone());
+    let oracle = deploy(&program, RuntimeChoice::Local).unwrap();
+
+    let n = 6;
+    for i in 0..n {
+        rt.create("Counter", &format!("c{i}"), vec![]).unwrap();
+        oracle.create("Counter", &format!("c{i}"), vec![]).unwrap();
+    }
+    let incr = |engine: &dyn EntityRuntime, i: usize, by: i64| {
+        engine
+            .call(
+                EntityRef::new("Counter", format!("c{i}")),
+                "incr",
+                vec![Value::Int(by)],
+            )
+            .unwrap()
+    };
+
+    // Phase 1: churn, then let a snapshot complete at a quiescent point.
+    let mut expected_phase1 = 0i64;
+    for round in 0..4 {
+        for i in 0..n {
+            let by = (round * n + i) as i64 % 7 + 1;
+            expected_phase1 += by;
+            incr(&rt, i, by);
+            incr(oracle.as_ref(), i, by);
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let frozen_epoch = rt
+        .snapshots()
+        .latest_complete()
+        .expect("snapshot completed after quiescence");
+    let epoch_sum = |epoch| {
+        let mut sum = 0i64;
+        for w in 0..cfg.workers {
+            if let Some(store) = rt.snapshots().get(epoch, &format!("worker{w}")) {
+                for (_, state) in store.iter() {
+                    sum += state["count"].as_int().unwrap();
+                }
+            }
+        }
+        sum
+    };
+    assert_eq!(epoch_sum(frozen_epoch), expected_phase1);
+
+    // Phase 2: mutate every entity *after* the snapshot. Under copy-on-write
+    // the live store initially shares storage with the frozen epoch; the
+    // writes must copy-before-diverge, never leak backwards.
+    let mut expected_final = expected_phase1;
+    for i in 0..n {
+        for by in [3i64, 11] {
+            expected_final += by;
+            incr(&rt, i, by);
+            incr(oracle.as_ref(), i, by);
+        }
+    }
+    assert_eq!(
+        epoch_sum(frozen_epoch),
+        expected_phase1,
+        "mutations after the cut leaked into the frozen epoch"
+    );
+
+    // Cross-engine equivalence of the final state against the serial oracle.
+    for i in 0..n {
+        let sf_count = incr(&rt, i, 0);
+        let oracle_count = incr(oracle.as_ref(), i, 0);
+        assert_eq!(sf_count, oracle_count, "counter c{i} diverged");
+    }
+    let final_sum: i64 = (0..n)
+        .map(|i| incr(&rt, i, 0).as_int().unwrap())
+        .sum::<i64>();
+    assert_eq!(final_sum, expected_final);
+    rt.shutdown();
+    oracle.shutdown();
+}
+
+/// With the default retention policy the snapshot store must stay bounded no
+/// matter how many epochs complete — only the last K complete epochs (plus
+/// any in-flight one) survive, and recovery's target (the latest complete
+/// epoch) is always among them.
+#[test]
+fn snapshot_retention_bounds_epoch_memory() {
+    let program = stateful_entities::programs::counter_program();
+    let mut cfg = StateflowConfig::fast_test(2);
+    cfg.snapshot_every_batches = 1; // snapshot as often as possible
+    let retention = cfg.snapshot_retention;
+    assert!(retention > 0, "default retention must bound memory");
+    let graph = stateful_entities::compile(&program).unwrap();
+    let rt = stateful_entities::StateflowRuntime::deploy(graph, cfg);
+    rt.create("Counter", "c", vec![]).unwrap();
+    for round in 0..30 {
+        rt.call(
+            EntityRef::new("Counter", "c"),
+            "incr",
+            vec![Value::Int(round)],
+        )
+        .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let latest = rt
+        .snapshots()
+        .latest_complete()
+        .expect("snapshots completed");
+    assert!(
+        latest > retention as u64,
+        "enough epochs to make pruning observable (latest = {latest})"
+    );
+    assert!(
+        rt.snapshots().epoch_count() <= retention + 1,
+        "epoch count {} exceeds retention {retention} (+1 in-flight)",
+        rt.snapshots().epoch_count()
+    );
+    // The recovery target is retained.
+    assert!(rt.snapshots().get(latest, "worker0").is_some());
+    rt.shutdown();
+}
+
 #[test]
 fn ycsb_program_runs_on_all_engines() {
     let program = se_workloads::ycsb_program();
@@ -147,11 +269,11 @@ fn ycsb_program_runs_on_all_engines() {
             .unwrap();
         let payload = Value::Bytes(vec![9u8; 256]);
         assert_eq!(
-            rt.call(a.clone(), "update", vec![payload.clone()]).unwrap(),
+            rt.call(a, "update", vec![payload.clone()]).unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            rt.call(a.clone(), "read", vec![]).unwrap(),
+            rt.call(a, "read", vec![]).unwrap(),
             payload,
             "[{}]",
             rt.name()
@@ -159,7 +281,7 @@ fn ycsb_program_runs_on_all_engines() {
         if rt.supports_transactions() {
             let b = rt.create("Account", "b", vec![]).unwrap();
             assert_eq!(
-                rt.call(a, "transfer", vec![Value::Ref(b.clone()), Value::Int(4)])
+                rt.call(a, "transfer", vec![Value::Ref(b), Value::Int(4)])
                     .unwrap(),
                 Value::Bool(true)
             );

@@ -39,9 +39,9 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
         .flat_map(|u| {
             (0..2).map(|_| {
                 rt.call_async(
-                    u.clone(),
+                    *u,
                     "buy_item",
-                    vec![Value::Int(2), Value::Ref(program_item.clone())],
+                    vec![Value::Int(2), Value::Ref(program_item)],
                 )
             })
         })
@@ -52,13 +52,7 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
         .count() as i64;
     let negative = user_refs
         .iter()
-        .filter(|u| {
-            rt.call((*u).clone(), "balance", vec![])
-                .unwrap()
-                .as_int()
-                .unwrap()
-                < 0
-        })
+        .filter(|u| rt.call(*(*u), "balance", vec![]).unwrap().as_int().unwrap() < 0)
         .count();
     (successes, negative)
 }
