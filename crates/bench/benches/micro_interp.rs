@@ -16,13 +16,17 @@
 //! * **churn** — mutate a few entities, then snapshot: the steady-state cost
 //!   of checkpointing under write load (write amplification should track the
 //!   write set, not the store size).
+//! * **vm** — the same split-method bodies executed by the tree-walking
+//!   interpreter vs. the `se-vm` bytecode backend, through the identical
+//!   invocation-event protocol, so the delta is pure dispatch cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use se_dataflow::StateStore;
-use se_ir::{drive_chain, Invocation, RequestId};
+use se_ir::{drive_chain, drive_chain_with, InterpBody, Invocation, RequestId};
 use se_lang::builder::*;
 use se_lang::{EntityRef, EntityState, LocalExecutor, Program, Type, Value};
+use se_vm::VmProgram;
 
 /// A method that churns method-local variables: `spin(n)` runs `n` loop
 /// iterations, each performing four assignments and five variable reads.
@@ -142,6 +146,137 @@ fn bench_invoke(c: &mut Criterion) {
     group.finish();
 }
 
+/// Interp vs. VM on identical compiled bodies: the loop-heavy `spin` method
+/// (dispatch-dominated) and the Figure-1 invocation chain (suspension +
+/// resume protocol included).
+fn bench_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+
+    // spin(256): one entity, no suspensions — pure body-execution cost.
+    let churn = churn_program();
+    let graph = se_core::compile(&churn).unwrap();
+    let vm = VmProgram::compile(&graph.program);
+    let cell = EntityRef::new("Cell", "c");
+    let init = graph
+        .program
+        .class("Cell")
+        .unwrap()
+        .class
+        .initial_state("c", []);
+    let spin_root =
+        |req: u64| Invocation::root(RequestId(req), cell, "spin", vec![Value::Int(256)]);
+    {
+        let state = std::cell::RefCell::new(init.clone());
+        group.bench_function("spin_256_blocks_interp", |b| {
+            b.iter(|| {
+                drive_chain(
+                    &graph.program,
+                    spin_root(1),
+                    |_| Ok(state.borrow().clone()),
+                    |_, s| *state.borrow_mut() = s,
+                    4,
+                )
+                .result
+                .unwrap()
+            })
+        });
+    }
+    {
+        let state = std::cell::RefCell::new(init);
+        group.bench_function("spin_256_vm", |b| {
+            b.iter(|| {
+                drive_chain_with(
+                    &graph.program,
+                    &vm,
+                    spin_root(2),
+                    |_| Ok(state.borrow().clone()),
+                    |_, s| *state.borrow_mut() = s,
+                    4,
+                )
+                .result
+                .unwrap()
+            })
+        });
+    }
+
+    // Figure-1 buy_item: a 5-hop suspension/resume chain across two
+    // entities, per backend.
+    let fig1 = se_lang::programs::figure1_program();
+    let graph = se_core::compile(&fig1).unwrap();
+    let vm = VmProgram::compile(&graph.program);
+    let user = EntityRef::new("User", "u");
+    let item = EntityRef::new("Item", "i");
+    // Each backend gets its own freshly seeded store so balance/stock
+    // drift from the earlier bench cannot flip later iterations onto the
+    // short-circuit (insufficient funds) path.
+    let mk_store = || {
+        let mut store = StateStore::new();
+        store.insert(
+            user,
+            graph
+                .program
+                .class("User")
+                .unwrap()
+                .class
+                .initial_state("u", [("balance".to_string(), Value::Int(1_000_000))]),
+        );
+        store.insert(
+            item,
+            graph.program.class("Item").unwrap().class.initial_state(
+                "i",
+                [
+                    ("price".to_string(), Value::Int(1)),
+                    ("stock".to_string(), Value::Int(1_000_000)),
+                ],
+            ),
+        );
+        std::cell::RefCell::new(store)
+    };
+    let buy_root = |req: u64| {
+        Invocation::root(
+            RequestId(req),
+            user,
+            "buy_item",
+            vec![Value::Int(1), Value::Ref(item)],
+        )
+    };
+    {
+        let store = mk_store();
+        group.bench_function("buy_item_chain_interp", |b| {
+            b.iter(|| {
+                drive_chain_with(
+                    &graph.program,
+                    &InterpBody,
+                    buy_root(3),
+                    |r| store.borrow().get_cloned(r),
+                    |r, s| store.borrow_mut().insert(*r, s),
+                    16,
+                )
+                .result
+                .unwrap()
+            })
+        });
+    }
+    {
+        let store = mk_store();
+        group.bench_function("buy_item_chain_vm", |b| {
+            b.iter(|| {
+                drive_chain_with(
+                    &graph.program,
+                    &vm,
+                    buy_root(4),
+                    |r| store.borrow().get_cloned(r),
+                    |r, s| store.borrow_mut().insert(*r, s),
+                    16,
+                )
+                .result
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// A store of `n` accounts, each carrying a payload of `payload` bytes.
 fn store_with(n: usize, payload: usize) -> StateStore {
     let mut store = StateStore::new();
@@ -187,5 +322,11 @@ fn bench_snapshot(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interp, bench_invoke, bench_snapshot);
+criterion_group!(
+    benches,
+    bench_interp,
+    bench_invoke,
+    bench_vm,
+    bench_snapshot
+);
 criterion_main!(benches);

@@ -85,6 +85,7 @@ pub fn statefun_bench_config() -> StatefunConfig {
         checkpoint: se_core::CheckpointMode::None,
         snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
         failure: Default::default(),
+        backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
     }
 }
 
@@ -103,6 +104,7 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
         service_time: Duration::from_micros(300),
         failure: Default::default(),
+        backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
     }
 }
 

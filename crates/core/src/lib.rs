@@ -29,10 +29,11 @@ use se_lang::{LangError, Program};
 pub use local_runtime::LocalRuntime;
 pub use se_compiler::{compile, compile_with, stats, CompileOptions, CompileStats};
 pub use se_dataflow::{EntityRuntime, NetConfig, ResponseWaiter};
-pub use se_ir::{DataflowGraph, StateMachine};
+pub use se_ir::{DataflowGraph, ExecBackend, StateMachine};
 pub use se_lang::{builder, programs, typecheck, EntityRef, Type, Value};
 pub use se_stateflow::{StateflowConfig, StateflowRuntime};
 pub use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};
+pub use se_vm::VmProgram;
 
 /// Everything an application author needs.
 pub mod prelude {

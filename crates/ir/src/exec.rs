@@ -11,11 +11,183 @@
 //! choice of runtime is independent of the application layer.
 
 use se_lang::interp::{DenyRemoteCalls, Flow, Interpreter};
-use se_lang::{EntityState, Env, LangError, Symbol, Value};
+use se_lang::{ClassName, EntityState, Env, LangError, Symbol, Value};
+use serde::{Deserialize, Serialize};
 
 use crate::block::{BlockId, CompiledMethod, Terminator};
 use crate::event::{Frame, Invocation, InvocationKind, Response};
 use crate::graph::CompiledProgram;
+
+/// Which engine-independent execution backend runs split method bodies.
+///
+/// Both engines (`se-statefun`, `se-stateflow`) expose this as a config
+/// knob; the environment variable `SE_EXEC_BACKEND` (`interp` | `vm`)
+/// overrides the default so a whole test/bench run can be flipped without
+/// touching code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecBackend {
+    /// Tree-walk the block statements/terminators with the
+    /// [`se_lang::Interpreter`] — the reference semantics.
+    #[default]
+    Interp,
+    /// Execute bodies pre-compiled to `se-vm` register bytecode. Compiled
+    /// once at deploy time; byte-identical effects to [`ExecBackend::Interp`].
+    Vm,
+}
+
+impl ExecBackend {
+    /// Reads the `SE_EXEC_BACKEND` override (case-insensitive), falling
+    /// back to `default` when the variable is unset. An unrecognized value
+    /// also falls back, but warns on stderr once per process — a typo must
+    /// not silently void a "whole suite on the VM backend" run.
+    pub fn from_env_or(default: ExecBackend) -> ExecBackend {
+        match std::env::var("SE_EXEC_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("vm") => ExecBackend::Vm,
+            Ok(v) if v.eq_ignore_ascii_case("interp") => ExecBackend::Interp,
+            Ok(other) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unrecognized SE_EXEC_BACKEND={other:?} \
+                         (expected \"interp\" or \"vm\")"
+                    );
+                });
+                default
+            }
+            Err(_) => default,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecBackend::Interp => write!(f, "interp"),
+            ExecBackend::Vm => write!(f, "vm"),
+        }
+    }
+}
+
+/// One method activation, as handed to a [`BodyRunner`].
+///
+/// Built by the invocation-event protocol from [`InvocationKind`]; the
+/// runner owns turning it into whatever activation record it executes
+/// against (an environment map for the interpreter, a register file for the
+/// VM) — which is what lets the VM skip building a name-keyed map per hop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Activation {
+    /// A fresh call with evaluated positional arguments. The protocol has
+    /// already checked arity against the method signature.
+    Start {
+        /// Argument values, positionally matching the parameters.
+        args: Vec<Value>,
+    },
+    /// Resumption of a suspended method.
+    Resume {
+        /// Block to resume at.
+        block: BlockId,
+        /// The saved (pruned) continuation environment.
+        env: Env,
+        /// The remote call's return value.
+        result: Value,
+        /// Variable to bind `result` to, if used.
+        result_var: Option<Symbol>,
+    },
+}
+
+/// Why body execution stopped — the runner-level analogue of
+/// [`BlockOutcome`] that also carries the pruned continuation environment on
+/// suspension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyOutcome {
+    /// The method returned a value.
+    Return(Value),
+    /// The method suspended on a remote call.
+    Call {
+        /// Callee entity.
+        target: se_lang::EntityRef,
+        /// Callee method.
+        method: Symbol,
+        /// Evaluated arguments.
+        args: Vec<Value>,
+        /// Variable receiving the return value.
+        result_var: Option<Symbol>,
+        /// Block to resume at.
+        resume: BlockId,
+        /// Exactly the resume block's live-ins that are defined at the
+        /// suspension point — the environment that travels in the event.
+        saved_env: Env,
+    },
+}
+
+/// Executes the body of one split method between suspension points.
+///
+/// This is the seam between the invocation-event protocol (frames, stacks,
+/// arity checks — shared by every runtime) and the machinery that actually
+/// runs straight-line code. [`InterpBody`] tree-walks the AST; the `se-vm`
+/// crate provides a bytecode VM implementation. Both must produce
+/// byte-identical return values, state effects and suspension frames.
+pub trait BodyRunner: Send + Sync {
+    /// Runs one activation of `method` of `class` until it returns or
+    /// suspends on a remote call.
+    fn run_body(
+        &self,
+        class: ClassName,
+        method: &CompiledMethod,
+        activation: Activation,
+        state: &mut EntityState,
+    ) -> Result<BodyOutcome, LangError>;
+}
+
+/// The reference [`BodyRunner`]: tree-walking interpretation via
+/// [`run_from_block`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InterpBody;
+
+impl BodyRunner for InterpBody {
+    fn run_body(
+        &self,
+        _class: ClassName,
+        method: &CompiledMethod,
+        activation: Activation,
+        state: &mut EntityState,
+    ) -> Result<BodyOutcome, LangError> {
+        let (mut env, start) = match activation {
+            Activation::Start { args } => {
+                let env: Env = method.params.iter().map(|(n, _)| *n).zip(args).collect();
+                (env, method.entry)
+            }
+            Activation::Resume {
+                block,
+                mut env,
+                result,
+                result_var,
+            } => {
+                if let Some(var) = result_var {
+                    env.insert(var, result);
+                }
+                (env, block)
+            }
+        };
+        match run_from_block(method, start, &mut env, state)? {
+            BlockOutcome::Return(v) => Ok(BodyOutcome::Return(v)),
+            BlockOutcome::Call {
+                target,
+                method,
+                args,
+                result_var,
+                resume,
+            } => Ok(BodyOutcome::Call {
+                target,
+                method,
+                args,
+                result_var,
+                resume,
+                saved_env: env,
+            }),
+        }
+    }
+}
 
 /// Why block execution stopped.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,10 +292,22 @@ pub fn process_invocation(
     inv: Invocation,
     state: &mut EntityState,
 ) -> StepEffect {
+    process_invocation_with(program, &InterpBody, inv, state)
+}
+
+/// [`process_invocation`] parameterized by the [`BodyRunner`] that executes
+/// block bodies — the hook through which the `se-vm` bytecode backend plugs
+/// into every runtime without touching the event protocol.
+pub fn process_invocation_with(
+    program: &CompiledProgram,
+    runner: &dyn BodyRunner,
+    inv: Invocation,
+    state: &mut EntityState,
+) -> StepEffect {
     // Copy the request id up front so the error path needs no clone of the
     // whole event (frames and environments included).
     let request = inv.request;
-    match process_inner(program, inv, state) {
+    match process_inner(program, runner, inv, state) {
         Ok(effect) => effect,
         Err(e) => StepEffect::Respond(Response {
             request,
@@ -134,11 +318,12 @@ pub fn process_invocation(
 
 fn process_inner(
     program: &CompiledProgram,
+    runner: &dyn BodyRunner,
     inv: Invocation,
     state: &mut EntityState,
 ) -> Result<StepEffect, LangError> {
     let method = program.method_or_err(inv.target.class, inv.method)?;
-    let (mut env, start) = match inv.kind {
+    let activation = match inv.kind {
         InvocationKind::Start { args } => {
             if args.len() != method.params.len() {
                 return Err(LangError::ArityMismatch {
@@ -147,25 +332,23 @@ fn process_inner(
                     actual: args.len(),
                 });
             }
-            let env: Env = method.params.iter().map(|(n, _)| *n).zip(args).collect();
-            (env, method.entry)
+            Activation::Start { args }
         }
         InvocationKind::Resume {
             block,
             env,
             result,
             result_var,
-        } => {
-            let mut env = env;
-            if let Some(var) = result_var {
-                env.insert(var, result);
-            }
-            (env, block)
-        }
+        } => Activation::Resume {
+            block,
+            env,
+            result,
+            result_var,
+        },
     };
 
-    match run_from_block(method, start, &mut env, state)? {
-        BlockOutcome::Return(value) => {
+    match runner.run_body(inv.target.class, method, activation, state)? {
+        BodyOutcome::Return(value) => {
             let mut stack = inv.stack;
             match stack.pop() {
                 None => Ok(StepEffect::Respond(Response {
@@ -186,19 +369,20 @@ fn process_inner(
                 })),
             }
         }
-        BlockOutcome::Call {
+        BodyOutcome::Call {
             target,
             method: callee,
             args,
             result_var,
             resume,
+            saved_env,
         } => {
             let mut stack = inv.stack;
             stack.push(Frame {
                 entity: inv.target,
                 method: inv.method,
                 resume,
-                env,
+                env: saved_env,
                 result_var,
             });
             Ok(StepEffect::Emit(Invocation {
@@ -221,6 +405,18 @@ fn process_inner(
 pub fn drive_chain(
     program: &CompiledProgram,
     root: Invocation,
+    state_of: impl FnMut(&se_lang::EntityRef) -> Result<EntityState, LangError>,
+    store_back: impl FnMut(&se_lang::EntityRef, EntityState),
+    max_hops: usize,
+) -> Response {
+    drive_chain_with(program, &InterpBody, root, state_of, store_back, max_hops)
+}
+
+/// [`drive_chain`] parameterized by the [`BodyRunner`] executing bodies.
+pub fn drive_chain_with(
+    program: &CompiledProgram,
+    runner: &dyn BodyRunner,
+    root: Invocation,
     mut state_of: impl FnMut(&se_lang::EntityRef) -> Result<EntityState, LangError>,
     mut store_back: impl FnMut(&se_lang::EntityRef, EntityState),
     max_hops: usize,
@@ -238,7 +434,7 @@ pub fn drive_chain(
                 }
             }
         };
-        let effect = process_invocation(program, current, &mut state);
+        let effect = process_invocation_with(program, runner, current, &mut state);
         store_back(&target, state);
         match effect {
             StepEffect::Respond(r) => return r,

@@ -28,7 +28,10 @@ pub mod route;
 
 pub use block::{Block, BlockId, CompiledMethod, Terminator};
 pub use event::{EntityOp, Frame, Invocation, InvocationKind, RequestId, Response};
-pub use exec::{drive_chain, process_invocation, run_from_block, BlockOutcome, StepEffect};
+pub use exec::{
+    drive_chain, drive_chain_with, process_invocation, process_invocation_with, run_from_block,
+    Activation, BlockOutcome, BodyOutcome, BodyRunner, ExecBackend, InterpBody, StepEffect,
+};
 pub use graph::{
     CompiledClass, CompiledProgram, DataflowGraph, EdgeKind, EdgeSpec, NodeRef, OperatorId,
     OperatorSpec,

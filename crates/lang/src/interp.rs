@@ -78,6 +78,9 @@ pub const DEFAULT_STEP_BUDGET: u64 = 10_000_000;
 pub struct Interpreter {
     /// Remaining evaluation steps.
     budget: u64,
+    /// Pool of argument vectors reused across builtin evaluations, so a
+    /// builtin call inside a loop does not allocate per iteration.
+    scratch: Vec<Vec<Value>>,
 }
 
 impl Default for Interpreter {
@@ -89,14 +92,15 @@ impl Default for Interpreter {
 impl Interpreter {
     /// Interpreter with the default step budget.
     pub fn new() -> Self {
-        Self {
-            budget: DEFAULT_STEP_BUDGET,
-        }
+        Self::with_budget(DEFAULT_STEP_BUDGET)
     }
 
     /// Interpreter with an explicit step budget.
     pub fn with_budget(budget: u64) -> Self {
-        Self { budget }
+        Self {
+            budget,
+            scratch: Vec::new(),
+        }
     }
 
     fn tick(&mut self) -> Result<(), LangError> {
@@ -176,11 +180,13 @@ impl Interpreter {
                 iterable,
                 body,
             } => {
+                // The evaluated list is owned here, so the body (which only
+                // touches env/state) can run against a borrow of it — no
+                // defensive copy of the whole list per loop.
                 let items = self.eval(iterable, env, state, handler)?;
-                let items = items.as_list()?.to_vec();
-                for item in items {
+                for item in items.as_list()? {
                     self.tick()?;
-                    env.insert(*var, item);
+                    env.insert(*var, item.clone());
                     if let Flow::Return(v) = self.exec_stmts(body, env, state, handler)? {
                         return Ok(Flow::Return(v));
                     }
@@ -233,21 +239,25 @@ impl Interpreter {
             }
             Expr::Unary(op, e) => {
                 let v = self.eval(e, env, state, handler)?;
-                match op {
-                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
-                    UnOp::Neg => match v {
-                        Value::Int(i) => Ok(Value::Int(-i)),
-                        Value::Float(f) => Ok(Value::Float(-f)),
-                        other => Err(LangError::type_mismatch("int|float", other.type_name())),
-                    },
-                }
+                eval_unary(*op, v)
             }
             Expr::Builtin(b, args) => {
-                let mut vals = Vec::with_capacity(args.len());
+                let mut vals = self.scratch.pop().unwrap_or_default();
+                vals.reserve(args.len());
                 for a in args {
-                    vals.push(self.eval(a, env, state, handler)?);
+                    match self.eval(a, env, state, handler) {
+                        Ok(v) => vals.push(v),
+                        Err(e) => {
+                            vals.clear();
+                            self.scratch.push(vals);
+                            return Err(e);
+                        }
+                    }
                 }
-                eval_builtin(*b, vals)
+                let r = eval_builtin_drain(*b, &mut vals);
+                vals.clear();
+                self.scratch.push(vals);
+                r
             }
             Expr::Index(base, idx) => {
                 let b = self.eval(base, env, state, handler)?;
@@ -359,8 +369,27 @@ fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, LangError> {
     }
 }
 
+/// Evaluates a unary operator on a value.
+pub fn eval_unary(op: UnOp, v: Value) -> Result<Value, LangError> {
+    match op {
+        UnOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(LangError::type_mismatch("int|float", other.type_name())),
+        },
+    }
+}
+
 /// Evaluates a builtin on already-evaluated arguments.
 pub fn eval_builtin(b: Builtin, mut args: Vec<Value>) -> Result<Value, LangError> {
+    eval_builtin_drain(b, &mut args)
+}
+
+/// Like [`eval_builtin`], but consumes the arguments out of a borrowed
+/// vector so callers can reuse its allocation across evaluations. The vector
+/// may hold leftover values after an error; clear it before reuse.
+pub fn eval_builtin_drain(b: Builtin, args: &mut Vec<Value>) -> Result<Value, LangError> {
     if args.len() != b.arity() {
         return Err(LangError::ArityMismatch {
             method: format!("{b:?}"),

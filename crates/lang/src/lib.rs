@@ -31,6 +31,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "arb")]
+pub mod arb;
 pub mod ast;
 pub mod builder;
 pub mod error;

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use se_aria::{CommitRule, FallbackPolicy};
 use se_dataflow::{FailurePlan, NetConfig};
+use se_ir::ExecBackend;
 
 /// Tunables of the StateFlow deployment.
 ///
@@ -39,6 +40,12 @@ pub struct StateflowConfig {
     pub service_time: Duration,
     /// Failure injection plan for recovery tests.
     pub failure: FailurePlan,
+    /// Which execution backend runs split method bodies: tree-walking
+    /// interpretation, or bytecode compiled once at deploy time and run on
+    /// the `se-vm` register VM. Semantically identical; the VM trades a
+    /// deploy-time lowering pass for cheaper per-invocation dispatch. The
+    /// `SE_EXEC_BACKEND` env var (`interp` | `vm`) overrides the default.
+    pub backend: ExecBackend,
 }
 
 impl Default for StateflowConfig {
@@ -54,6 +61,7 @@ impl Default for StateflowConfig {
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             service_time: Duration::from_micros(350),
             failure: FailurePlan::none(),
+            backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }
 }
@@ -72,6 +80,7 @@ impl StateflowConfig {
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             service_time: Duration::from_micros(10),
             failure: FailurePlan::none(),
+            backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }
 }

@@ -39,6 +39,10 @@ impl StateflowRuntime {
     pub fn deploy(graph: DataflowGraph, cfg: StateflowConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         let graph = Arc::new(graph);
+        // Deploy-time backend selection: for the VM backend every method
+        // body is lowered to bytecode exactly once, here, and the compiled
+        // program is shared by all workers.
+        let runner = se_vm::runner_for(cfg.backend, &graph.program);
         let snapshots = Arc::new(SnapshotStore::with_retention(cfg.snapshot_retention));
         let timers = Arc::new(ComponentTimers::new());
         let stats = Arc::new(CoordStats::default());
@@ -62,6 +66,7 @@ impl StateflowRuntime {
                 id,
                 cfg.clone(),
                 Arc::clone(&graph),
+                Arc::clone(&runner),
                 rx,
                 worker_txs.clone(),
                 coord_tx.clone(),

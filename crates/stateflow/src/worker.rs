@@ -12,7 +12,10 @@ use std::time::Duration;
 
 use se_aria::{ReservationTable, TxnBuffer, TxnId};
 use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender, SnapshotStore, StateStore};
-use se_ir::{partition_for, process_invocation, DataflowGraph, Invocation, Response, StepEffect};
+use se_ir::{
+    partition_for, process_invocation_with, BodyRunner, DataflowGraph, Invocation, Response,
+    StepEffect,
+};
 use se_lang::LangError;
 
 use crate::config::StateflowConfig;
@@ -23,6 +26,8 @@ pub struct Worker {
     id: usize,
     cfg: StateflowConfig,
     graph: Arc<DataflowGraph>,
+    /// Executes split method bodies (interp or VM, per `cfg.backend`).
+    runner: Arc<dyn BodyRunner>,
     store: StateStore,
     buffers: HashMap<TxnId, TxnBuffer>,
     inbox: DelayReceiver<WorkerMsg>,
@@ -42,6 +47,7 @@ impl Worker {
         id: usize,
         cfg: StateflowConfig,
         graph: Arc<DataflowGraph>,
+        runner: Arc<dyn BodyRunner>,
         inbox: DelayReceiver<WorkerMsg>,
         peers: Vec<DelaySender<WorkerMsg>>,
         coord: DelaySender<CoordMsg>,
@@ -52,6 +58,7 @@ impl Worker {
             id,
             cfg,
             graph,
+            runner,
             store: StateStore::new(),
             buffers: HashMap::new(),
             inbox,
@@ -200,7 +207,7 @@ impl Worker {
             // method actually writes an attribute.
             let mut after = before.clone();
             let effect = self.timers.time("function_execution", || {
-                process_invocation(&self.graph.program, inv, &mut after)
+                process_invocation_with(&self.graph.program, &*self.runner, inv, &mut after)
             });
             self.timers.time("state_write_buffer", || {
                 buffer.record_effects(&target, &before, &after)

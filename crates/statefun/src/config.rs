@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use se_dataflow::{FailurePlan, NetConfig};
+use se_ir::ExecBackend;
 
 /// How the runtime checkpoints.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,12 @@ pub struct StatefunConfig {
     pub snapshot_retention: usize,
     /// Failure injection (requires [`CheckpointMode::Transactional`]).
     pub failure: FailurePlan,
+    /// Which execution backend runs split method bodies: tree-walking
+    /// interpretation, or bytecode compiled once at deploy time and run on
+    /// the `se-vm` register VM. Semantically identical; the VM trades a
+    /// deploy-time lowering pass for cheaper per-invocation dispatch. The
+    /// `SE_EXEC_BACKEND` env var (`interp` | `vm`) overrides the default.
+    pub backend: ExecBackend,
 }
 
 impl Default for StatefunConfig {
@@ -60,6 +67,7 @@ impl Default for StatefunConfig {
             checkpoint: CheckpointMode::None,
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             failure: FailurePlan::none(),
+            backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }
 }
@@ -75,6 +83,7 @@ impl StatefunConfig {
             checkpoint: CheckpointMode::None,
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             failure: FailurePlan::none(),
+            backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender};
-use se_ir::{process_invocation, DataflowGraph, InvocationKind};
+use se_ir::{process_invocation_with, BodyRunner, DataflowGraph, InvocationKind};
 use se_lang::Env;
 
 use crate::config::StatefunConfig;
@@ -23,6 +23,7 @@ use crate::record::{RemoteRequest, RemoteResponse};
 pub fn run_remote_worker(
     cfg: StatefunConfig,
     graph: Arc<DataflowGraph>,
+    runner: Arc<dyn BodyRunner>,
     requests: Arc<DelayReceiver<RemoteRequest>>,
     responders: Vec<DelaySender<RemoteResponse>>,
     timers: Arc<ComponentTimers>,
@@ -68,7 +69,7 @@ pub fn run_remote_worker(
 
         let entity = req.inv.target;
         let effect = timers.time("function_execution", || {
-            process_invocation(&graph.program, req.inv, &mut state)
+            process_invocation_with(&graph.program, &*runner, req.inv, &mut state)
         });
         // Serialize the mutated state for the trip back (materialized, as
         // above).

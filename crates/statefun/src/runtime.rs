@@ -44,6 +44,10 @@ impl StatefunRuntime {
             "failure injection requires CheckpointMode::Transactional"
         );
         let graph = Arc::new(graph);
+        // Deploy-time backend selection: with the VM backend, method bodies
+        // are lowered to bytecode once here and shared by all remote
+        // function workers.
+        let runner = se_vm::runner_for(cfg.backend, &graph.program);
         let broker = Broker::new(cfg.net.clone());
         broker.create_topic(topics::INGRESS, cfg.partitions);
         broker.create_topic(topics::EGRESS, 1);
@@ -93,6 +97,7 @@ impl StatefunRuntime {
         for id in 0..cfg.remote_workers {
             let cfg2 = cfg.clone();
             let graph2 = Arc::clone(&graph);
+            let runner2 = Arc::clone(&runner);
             let rx = Arc::clone(&pool_rx);
             let responders = resp_txs.clone();
             let timers2 = Arc::clone(&timers);
@@ -100,7 +105,9 @@ impl StatefunRuntime {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("statefun-remote{id}"))
-                    .spawn(move || run_remote_worker(cfg2, graph2, rx, responders, timers2, sd))
+                    .spawn(move || {
+                        run_remote_worker(cfg2, graph2, runner2, rx, responders, timers2, sd)
+                    })
                     .expect("spawn remote worker"),
             );
         }

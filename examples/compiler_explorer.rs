@@ -72,6 +72,25 @@ fn main() {
         }
     }
 
+    println!("\n━━━ stage 4b: bytecode lowering (the se-vm execution backend) ━━━");
+    let vm = se_vm::VmProgram::compile(&graph.program);
+    let user_vm = vm
+        .classes()
+        .iter()
+        .find(|c| c.class == "User")
+        .expect("User class compiled");
+    let buy_vm = user_vm
+        .methods
+        .iter()
+        .find(|m| m.name == "buy_item")
+        .expect("buy_item lowered");
+    print!("{}", se_vm::disasm_method(user_vm, buy_vm));
+    println!(
+        "  ({} methods lowered, {} instructions total; engines select this backend via the `backend` config knob or SE_EXEC_BACKEND=vm)",
+        vm.compiled_methods(),
+        vm.total_ops()
+    );
+
     println!("\n━━━ stage 5: execution state machine (paper §2.5) ━━━");
     let machine = graph
         .program
