@@ -10,13 +10,17 @@
 //!   (the ablation knob of bench A1);
 //! * [`batch`] — the reference single-node batch executor
 //!   (execute-on-snapshot → reserve → decide → commit in id order, aborted
-//!   transactions re-run at the head of the next batch).
+//!   transactions re-run at the head of the next batch);
+//! * [`pipeline`] — committed-batch watermark bookkeeping for overlapping
+//!   batches (Aria pipelines the execution of batch *i+1* with the commit
+//!   round of batch *i*).
 //!
 //! `se-stateflow` distributes these phases across partitioned workers.
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod pipeline;
 pub mod reservation;
 pub mod types;
 
@@ -24,5 +28,6 @@ pub use batch::{
     run_batch, run_to_completion, run_to_completion_with, BatchResult, FallbackPolicy,
     ScheduleStats, Store, TxnCtx,
 };
+pub use pipeline::CommitWatermark;
 pub use reservation::{CommitRule, ReservationTable};
 pub use types::{BatchId, Decision, TxnBuffer, TxnId};

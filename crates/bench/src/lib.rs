@@ -98,6 +98,7 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         net: bench_net(),
         batch_interval: Duration::from_millis(10).mul_f64(time_scale()),
         max_batch: 512,
+        pipeline_depth: se_core::pipeline_depth_from_env_or(1),
         commit_rule: se_aria::CommitRule::Reordering,
         fallback: se_aria::FallbackPolicy::Serial,
         snapshot_every_batches: 0,
@@ -123,6 +124,9 @@ pub struct Row {
     pub p50_ms: f64,
     /// 99th-percentile latency, ms.
     pub p99_ms: f64,
+    /// Completion throughput, requests per second of un-scaled time (issue
+    /// phase plus drain) — the metric for saturation/contention cells.
+    pub tput_rps: f64,
     /// Samples measured.
     pub count: usize,
     /// Errored requests.
@@ -144,6 +148,7 @@ impl Row {
             mean_ms: ms(report.latency.mean),
             p50_ms: ms(report.latency.p50),
             p99_ms: ms(report.latency.p99),
+            tput_rps: report.throughput_rps(),
             count: report.latency.count,
             errors: report.errors,
         }
@@ -154,12 +159,14 @@ impl Row {
 /// `bench_results/<name>.json` for EXPERIMENTS.md.
 pub fn emit(name: &str, title: &str, rows: &[Row]) {
     println!("\n## {title}\n");
-    println!("| label | system | offered rps | mean ms | p50 ms | p99 ms | n | errors |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!(
+        "| label | system | offered rps | mean ms | p50 ms | p99 ms | tput rps | n | errors |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
     for r in rows {
         println!(
-            "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {} | {} |",
-            r.label, r.system, r.rps, r.mean_ms, r.p50_ms, r.p99_ms, r.count, r.errors
+            "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {:.0} | {} | {} |",
+            r.label, r.system, r.rps, r.mean_ms, r.p50_ms, r.p99_ms, r.tput_rps, r.count, r.errors
         );
     }
     let dir = std::path::Path::new("bench_results");

@@ -19,6 +19,12 @@
 //! let ok = rt.call(user, "buy_item", vec![Value::Int(2), Value::Ref(item)]).unwrap();
 //! assert_eq!(ok, Value::Bool(true));
 //! ```
+//!
+//! Two environment knobs flip a whole run without touching code:
+//! `SE_EXEC_BACKEND` (`interp` | `vm`) selects the body-execution backend on
+//! every engine, and `SE_PIPELINE_DEPTH` (positive integer, default 1)
+//! selects how many Aria batches the StateFlow coordinator keeps in flight
+//! ([`pipeline_depth_from_env_or`]).
 
 #![warn(missing_docs)]
 
@@ -31,7 +37,7 @@ pub use se_compiler::{compile, compile_with, stats, CompileOptions, CompileStats
 pub use se_dataflow::{EntityRuntime, NetConfig, ResponseWaiter};
 pub use se_ir::{DataflowGraph, ExecBackend, StateMachine};
 pub use se_lang::{builder, programs, typecheck, EntityRef, Type, Value};
-pub use se_stateflow::{StateflowConfig, StateflowRuntime};
+pub use se_stateflow::{pipeline_depth_from_env_or, StateflowConfig, StateflowRuntime};
 pub use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};
 pub use se_vm::VmProgram;
 

@@ -21,6 +21,16 @@ pub struct StateflowConfig {
     pub batch_interval: Duration,
     /// Maximum transactions per batch.
     pub max_batch: usize,
+    /// Maximum batches in flight at the coordinator. `1` (the default) is
+    /// classic stop-and-wait: a batch fully commits before the next one is
+    /// sealed. At depth ≥ 2 the coordinator seals and dispatches batch
+    /// *N+1* as soon as batch *N* enters its reservation round (Aria's
+    /// cross-batch pipelining), workers order execution with a
+    /// committed-batch watermark, and single-transaction serial-fallback
+    /// batches commit at their final hop without a coordinator round trip —
+    /// the big lever for contended (hot-key) workloads. The
+    /// `SE_PIPELINE_DEPTH` env var overrides the default.
+    pub pipeline_depth: usize,
     /// Aria commit rule (the ablation knob).
     pub commit_rule: CommitRule,
     /// What happens to aborted transactions: re-enqueue into the next
@@ -55,6 +65,7 @@ impl Default for StateflowConfig {
             net: NetConfig::default(),
             batch_interval: Duration::from_millis(10),
             max_batch: 512,
+            pipeline_depth: pipeline_depth_from_env_or(1),
             commit_rule: CommitRule::Reordering,
             fallback: FallbackPolicy::Serial,
             snapshot_every_batches: 16,
@@ -74,6 +85,7 @@ impl StateflowConfig {
             net: NetConfig::fast_test(),
             batch_interval: Duration::from_millis(2),
             max_batch: 256,
+            pipeline_depth: pipeline_depth_from_env_or(1),
             commit_rule: CommitRule::Reordering,
             fallback: FallbackPolicy::Serial,
             snapshot_every_batches: 4,
@@ -82,6 +94,29 @@ impl StateflowConfig {
             failure: FailurePlan::none(),
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
+    }
+}
+
+/// Reads the `SE_PIPELINE_DEPTH` override (a positive integer), falling
+/// back to `default` when the variable is unset. An unrecognized value also
+/// falls back, but warns on stderr once per process — a typo must not
+/// silently void a "whole suite pipelined" run (mirrors `SE_EXEC_BACKEND`).
+pub fn pipeline_depth_from_env_or(default: usize) -> usize {
+    match std::env::var("SE_PIPELINE_DEPTH") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(depth) if depth >= 1 => depth,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unrecognized SE_PIPELINE_DEPTH={v:?} \
+                         (expected a positive integer)"
+                    );
+                });
+                default
+            }
+        },
+        Err(_) => default,
     }
 }
 
@@ -95,5 +130,8 @@ mod tests {
         assert_eq!(c.workers, 5, "6 system cores = 1 coordinator + 5 workers");
         assert_eq!(c.commit_rule, CommitRule::Reordering);
         assert!(c.snapshot_every_batches > 0);
+        // The pipeline knob may be raised via SE_PIPELINE_DEPTH (CI runs
+        // the suite at depth 3), but never below stop-and-wait.
+        assert!(c.pipeline_depth >= 1);
     }
 }

@@ -3,11 +3,24 @@
 //!
 //! "StateFlow requires a single core coordinator, and the rest are used for
 //! its workers" (§4). The coordinator sequences transactions (assigning
-//! globally ordered ids), drives each batch through Aria's three phases,
-//! answers clients, schedules consistent snapshots at quiescent points, and
-//! fences + restores workers after a failure.
+//! globally ordered ids), drives batches through Aria's three phases,
+//! answers clients, schedules consistent snapshots at pipeline-drain points,
+//! and fences + restores workers after a failure.
+//!
+//! Batches are pipelined: up to `pipeline_depth` batches are in flight at
+//! once, and batch *N+1* is sealed and dispatched as soon as batch *N*
+//! enters its reservation round — Aria's overlap of batch *i+1*'s execution
+//! with batch *i*'s commit round — instead of waiting for *N*'s commit
+//! broadcast. Ordering correctness lives at the workers (committed-batch
+//! watermarks); the coordinator only bounds the window and keeps commit
+//! decisions flowing in batch order. At depth ≥ 2 single-transaction
+//! serial-fallback batches become *solo* batches that commit at their final
+//! hop without a coordinator round trip, which is what lets hot-key retry
+//! storms drain at execution speed instead of one network round trip per
+//! transaction. `pipeline_depth = 1` (the default) reproduces the classic
+//! stop-and-wait schedule exactly.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,8 +42,13 @@ use crate::msg::{ClientOp, ClientRequest, ConflictFlags, CoordMsg, WorkerMsg};
 pub struct CoordStats {
     /// Batches committed.
     pub batches: std::sync::atomic::AtomicU64,
-    /// Transactions committed.
+    /// Transactions committed successfully.
     pub commits: std::sync::atomic::AtomicU64,
+    /// Transactions that finished with an application/runtime error: the
+    /// error is the client's answer, nothing commits, nothing retries.
+    /// Counted apart from `commits` so benchmark throughput is not inflated
+    /// by failures.
+    pub failed: std::sync::atomic::AtomicU64,
     /// Transaction executions that aborted (and were retried).
     pub aborts: std::sync::atomic::AtomicU64,
     /// Snapshots completed.
@@ -39,33 +57,62 @@ pub struct CoordStats {
     pub recoveries: std::sync::atomic::AtomicU64,
 }
 
-enum Phase {
-    Idle,
-    Executing {
-        batch: BatchId,
-        txns: Arc<Vec<TxnId>>,
-        responses: HashMap<TxnId, Response>,
-        errors: BTreeSet<TxnId>,
-        /// Serial-fallback batches hold exactly one transaction and skip
-        /// the reservation round (a lone transaction cannot conflict).
-        fallback: bool,
+/// What kind of batch an in-flight entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchKind {
+    /// A sealed multi-transaction batch: executes, reserves, decides.
+    Regular,
+    /// A single-transaction serial-fallback batch (skips reservation — a
+    /// lone transaction cannot lose a conflict). With `solo` set (pipeline
+    /// depth ≥ 2) the final-hop worker decides and commits it locally and
+    /// the coordinator merely records the outcome; otherwise the
+    /// coordinator broadcasts the commit as for any batch (the depth-1
+    /// stop-and-wait path).
+    Fallback {
+        /// Commits at the final hop, no coordinator round trip.
+        solo: bool,
     },
+}
+
+/// Progress of one in-flight batch.
+enum BatchStage {
+    /// Waiting for every transaction's `ExecDone`.
+    Executing,
+    /// Reservation round in flight: waiting for every worker's flags.
     Deciding {
-        batch: BatchId,
-        txns: Arc<Vec<TxnId>>,
-        responses: HashMap<TxnId, Response>,
-        errors: BTreeSet<TxnId>,
         flags: HashMap<TxnId, ConflictFlags>,
         workers_reported: usize,
     },
-    Snapshotting {
-        epoch: Epoch,
-        acks: usize,
-    },
-    Restoring {
-        gen: u64,
-        acks: usize,
-    },
+}
+
+/// Coordinator-side bookkeeping for one sealed, not-yet-finished batch.
+struct InFlightBatch {
+    /// The batch's transaction ids, ascending.
+    txns: Arc<Vec<TxnId>>,
+    responses: HashMap<TxnId, Response>,
+    /// Transactions whose chain errored (abort without retry).
+    errors: BTreeSet<TxnId>,
+    kind: BatchKind,
+    stage: BatchStage,
+}
+
+impl InFlightBatch {
+    /// Whether this batch blocks sealing the next one: regular (and
+    /// coordinator-committed fallback) batches must enter their reservation
+    /// round first; solo batches never block — they are decided at their
+    /// final hop, and overlapping them is the whole point.
+    fn blocks_sealing(&self) -> bool {
+        matches!(self.stage, BatchStage::Executing)
+            && self.kind != (BatchKind::Fallback { solo: true })
+    }
+}
+
+/// Exclusive coordinator modes. Batches are only in flight while `Running`;
+/// snapshots and restores require a fully drained pipeline.
+enum Mode {
+    Running,
+    Snapshotting { epoch: Epoch, acks: usize },
+    Restoring { gen: u64, acks: usize },
 }
 
 /// The coordinator thread.
@@ -92,10 +139,12 @@ pub struct Coordinator {
     next_batch: BatchId,
     batches_since_snapshot: u64,
     epoch: Epoch,
-    phase: Phase,
-    /// Commit messages sent but not yet acknowledged. Commit application is
-    /// ordered before the next batch's Exec by per-worker channel FIFO, so
-    /// the coordinator does not wait for acks — they only gate snapshots.
+    mode: Mode,
+    /// Sealed batches that have not finished their commit round, at most
+    /// `pipeline_depth` of them, keyed by batch id.
+    in_flight: BTreeMap<BatchId, InFlightBatch>,
+    /// Commit messages sent (or, for solo batches, locally decided) but not
+    /// yet acknowledged by every worker; they only gate snapshots.
     outstanding_commit_acks: usize,
 }
 
@@ -130,7 +179,8 @@ impl Coordinator {
             next_batch: 0,
             batches_since_snapshot: 0,
             epoch: 0,
-            phase: Phase::Idle,
+            mode: Mode::Running,
+            in_flight: BTreeMap::new(),
             outstanding_commit_acks: 0,
         }
     }
@@ -151,6 +201,10 @@ impl Coordinator {
         }
     }
 
+    fn pipeline_depth(&self) -> usize {
+        self.cfg.pipeline_depth.max(1)
+    }
+
     /// The coordinator loop.
     pub fn run(mut self) {
         loop {
@@ -159,7 +213,7 @@ impl Coordinator {
                 return;
             }
             self.drain_source();
-            self.maybe_start_batch();
+            self.maybe_seal_batches();
             if let Some(msg) = self.inbox.recv_timeout(Duration::from_micros(500)) {
                 self.handle(msg);
             }
@@ -169,7 +223,7 @@ impl Coordinator {
     fn drain_source(&mut self) {
         // Requests are not consumed while restoring: the generation fence
         // must be in place first.
-        if matches!(self.phase, Phase::Restoring { .. }) {
+        if matches!(self.mode, Mode::Restoring { .. }) {
             return;
         }
         while let Some(req) = self.reader.poll() {
@@ -200,35 +254,48 @@ impl Coordinator {
         }
     }
 
-    fn maybe_start_batch(&mut self) {
-        if !matches!(self.phase, Phase::Idle) {
+    /// Seals as many batches as the pipeline window allows. A new batch may
+    /// start once every in-flight regular batch has entered its reservation
+    /// round and fewer than `pipeline_depth` batches are in flight — at
+    /// depth 1 that degenerates to the stop-and-wait "seal only when idle".
+    fn maybe_seal_batches(&mut self) {
+        if !matches!(self.mode, Mode::Running) {
             return;
         }
-        // Serial fallback: aborted transactions run immediately as
-        // single-transaction batches (which can never lose a conflict),
-        // before any new batch is sealed.
-        let mut fallback = false;
-        let txns: Vec<TxnId> = if let Some(txn) = self.fallback_queue.pop_front() {
-            fallback = true;
-            vec![txn]
-        } else {
-            if self.queue.is_empty() {
-                return;
-            }
-            let full = self.queue.len() >= self.cfg.max_batch;
-            let due = self.batch_deadline.is_some_and(|d| Instant::now() >= d);
-            if !full && !due {
-                return;
-            }
-            let take = self.queue.len().min(self.cfg.max_batch);
-            self.queue.drain(..take).collect()
-        };
+        while self.in_flight.len() < self.pipeline_depth()
+            && self.in_flight.values().all(|b| !b.blocks_sealing())
+            && self.seal_next_batch()
+        {}
+    }
+
+    /// Seals and dispatches one batch if one is ready; returns whether it
+    /// did. Serial-fallback transactions run first, as single-transaction
+    /// batches (which can never lose a conflict).
+    fn seal_next_batch(&mut self) -> bool {
+        let (txns, kind): (Vec<TxnId>, BatchKind) =
+            if let Some(txn) = self.fallback_queue.pop_front() {
+                // At depth ≥ 2 the fallback batch commits at its final hop.
+                let solo = self.pipeline_depth() >= 2;
+                (vec![txn], BatchKind::Fallback { solo })
+            } else {
+                if self.queue.is_empty() {
+                    return false;
+                }
+                let full = self.queue.len() >= self.cfg.max_batch;
+                let due = self.batch_deadline.is_some_and(|d| Instant::now() >= d);
+                if !full && !due {
+                    return false;
+                }
+                let take = self.queue.len().min(self.cfg.max_batch);
+                (self.queue.drain(..take).collect(), BatchKind::Regular)
+            };
         debug_assert!(
             txns.windows(2).all(|w| w[0] < w[1]),
             "queue must stay ascending"
         );
         let batch = self.next_batch;
         self.next_batch += 1;
+        let solo = kind == (BatchKind::Fallback { solo: true });
         for txn in &txns {
             let inv = self.roots[txn].clone();
             let owner = self.owner_of(inv.target.key.as_str());
@@ -236,21 +303,27 @@ impl Coordinator {
             self.workers[owner].send_after(
                 WorkerMsg::Exec {
                     gen: self.gen,
+                    batch,
                     txn: *txn,
                     inv,
+                    solo,
                 },
                 self.cfg.net.f2f_latency(bytes),
             );
         }
         self.batch_deadline =
             (!self.queue.is_empty()).then(|| Instant::now() + self.cfg.batch_interval);
-        self.phase = Phase::Executing {
+        self.in_flight.insert(
             batch,
-            txns: Arc::new(txns),
-            responses: HashMap::new(),
-            errors: BTreeSet::new(),
-            fallback,
-        };
+            InFlightBatch {
+                txns: Arc::new(txns),
+                responses: HashMap::new(),
+                errors: BTreeSet::new(),
+                kind,
+                stage: BatchStage::Executing,
+            },
+        );
+        true
     }
 
     fn handle(&mut self, msg: CoordMsg) {
@@ -260,11 +333,11 @@ impl Coordinator {
                 if gen != self.gen {
                     return;
                 }
-                if let Phase::Restoring { gen: g, acks } = &mut self.phase {
+                if let Mode::Restoring { gen: g, acks } = &mut self.mode {
                     if *g == gen {
                         *acks += 1;
                         if *acks == self.workers.len() {
-                            self.phase = Phase::Idle;
+                            self.mode = Mode::Running;
                         }
                     }
                 }
@@ -281,11 +354,16 @@ impl Coordinator {
                     completer.complete(result.map(|()| Value::Unit));
                 }
             }
-            CoordMsg::ExecDone { gen, txn, response } => {
+            CoordMsg::ExecDone {
+                gen,
+                batch,
+                txn,
+                response,
+            } => {
                 if gen != self.gen {
                     return;
                 }
-                self.on_exec_done(txn, response);
+                self.on_exec_done(batch, txn, response);
             }
             CoordMsg::Flags {
                 gen, batch, flags, ..
@@ -306,7 +384,7 @@ impl Coordinator {
                 if gen != self.gen {
                     return;
                 }
-                if let Phase::Snapshotting { epoch: e, acks } = &mut self.phase {
+                if let Mode::Snapshotting { epoch: e, acks } = &mut self.mode {
                     if *e == epoch {
                         *acks += 1;
                         if *acks == self.workers.len() {
@@ -314,7 +392,7 @@ impl Coordinator {
                             self.batches_since_snapshot = 0;
                             // Old epochs are pruned by the snapshot store's
                             // own retention policy (`snapshot_retention`).
-                            self.phase = Phase::Idle;
+                            self.mode = Mode::Running;
                         }
                     }
                 }
@@ -322,70 +400,69 @@ impl Coordinator {
         }
     }
 
-    fn on_exec_done(&mut self, txn: TxnId, response: Response) {
-        let Phase::Executing {
-            batch,
-            txns,
-            responses,
-            errors,
-            fallback,
-        } = &mut self.phase
-        else {
+    fn on_exec_done(&mut self, batch_id: BatchId, txn: TxnId, response: Response) {
+        let Some(batch) = self.in_flight.get_mut(&batch_id) else {
             return;
         };
-        if !txns.contains(&txn) || responses.contains_key(&txn) {
+        if !matches!(batch.stage, BatchStage::Executing) {
+            return;
+        }
+        // Batches are ascending by construction: O(log n) membership, not a
+        // linear scan per completion.
+        if batch.txns.binary_search(&txn).is_err() || batch.responses.contains_key(&txn) {
             return;
         }
         if response.result.is_err() {
-            errors.insert(txn);
+            batch.errors.insert(txn);
         }
-        responses.insert(txn, response);
-        if responses.len() < txns.len() {
+        batch.responses.insert(txn, response);
+        if batch.responses.len() < batch.txns.len() {
             return;
         }
-        let batch = *batch;
-        let txns = Arc::clone(txns);
-        let responses = std::mem::take(responses);
-        let errors = std::mem::take(errors);
-        if *fallback {
-            // A single-transaction batch cannot conflict: commit directly,
-            // skipping the reservation round. Errored chains still abort.
-            let aborted: BTreeSet<TxnId> = errors.clone();
-            self.finish_batch(batch, txns, responses, aborted, Vec::new());
-            return;
+        match batch.kind {
+            BatchKind::Fallback { solo: true } => {
+                // The final-hop worker already decided and committed; this
+                // is the commit record.
+                self.finalize_solo(batch_id);
+            }
+            BatchKind::Fallback { solo: false } => {
+                // A single-transaction batch cannot conflict: commit
+                // directly, skipping the reservation round. Errored chains
+                // still abort.
+                let aborted = batch.errors.clone();
+                self.finish_batch(batch_id, aborted, Vec::new());
+            }
+            BatchKind::Regular => {
+                let txns = Arc::clone(&batch.txns);
+                let errors = Arc::new(batch.errors.clone());
+                batch.stage = BatchStage::Deciding {
+                    flags: HashMap::new(),
+                    workers_reported: 0,
+                };
+                let gen = self.gen;
+                self.broadcast(move || WorkerMsg::Reserve {
+                    gen,
+                    batch: batch_id,
+                    txns: Arc::clone(&txns),
+                    errors: Arc::clone(&errors),
+                });
+                // Entering the reservation round unblocks sealing the next
+                // batch (checked each loop turn in maybe_seal_batches).
+            }
         }
-        let txns2 = Arc::clone(&txns);
-        let gen = self.gen;
-        self.broadcast(move || WorkerMsg::Reserve {
-            gen,
-            batch,
-            txns: Arc::clone(&txns2),
-        });
-        self.phase = Phase::Deciding {
-            batch,
-            txns,
-            responses,
-            errors,
-            flags: HashMap::new(),
-            workers_reported: 0,
-        };
     }
 
     fn on_flags(&mut self, batch_id: BatchId, new_flags: Vec<(TxnId, ConflictFlags)>) {
-        let Phase::Deciding {
-            batch,
-            txns,
-            responses,
-            errors,
+        let Some(batch) = self.in_flight.get_mut(&batch_id) else {
+            return;
+        };
+        let BatchStage::Deciding {
             flags,
             workers_reported,
-        } = &mut self.phase
+        } = &mut batch.stage
         else {
             return;
         };
-        if *batch != batch_id {
-            return;
-        }
         for (txn, f) in new_flags {
             flags.entry(txn).or_default().merge(f);
         }
@@ -397,8 +474,8 @@ impl Coordinator {
         let rule = self.cfg.commit_rule;
         let mut aborted = BTreeSet::new();
         let mut retry = Vec::new();
-        for txn in txns.iter() {
-            if errors.contains(txn) {
+        for txn in batch.txns.iter() {
+            if batch.errors.contains(txn) {
                 // Failed chains abort without retry; the error is the answer.
                 aborted.insert(*txn);
                 continue;
@@ -414,44 +491,49 @@ impl Coordinator {
                 retry.push(*txn);
             }
         }
-        let batch = *batch;
-        let txns = Arc::clone(txns);
-        let responses = std::mem::take(responses);
-        self.finish_batch(batch, txns, responses, aborted, retry);
+        self.finish_batch(batch_id, aborted, retry);
     }
 
     /// Broadcasts the commit decision, answers clients, requeues aborted
-    /// transactions, and returns to `Idle` without waiting for commit acks
-    /// (per-worker FIFO orders commit application before the next batch's
-    /// Exec; acks only gate snapshots).
-    fn finish_batch(
-        &mut self,
-        batch: BatchId,
-        txns: Arc<Vec<TxnId>>,
-        mut responses: HashMap<TxnId, Response>,
-        aborted: BTreeSet<TxnId>,
-        retry: Vec<TxnId>,
-    ) {
+    /// transactions, and frees the pipeline slot without waiting for commit
+    /// acks (workers order commit application by batch id via their
+    /// watermarks; acks only gate snapshots).
+    fn finish_batch(&mut self, batch_id: BatchId, aborted: BTreeSet<TxnId>, retry: Vec<TxnId>) {
+        let Some(batch) = self.in_flight.remove(&batch_id) else {
+            return;
+        };
+        let InFlightBatch {
+            txns,
+            mut responses,
+            errors,
+            ..
+        } = batch;
         let aborted = Arc::new(aborted);
         let txns2 = Arc::clone(&txns);
         let aborted2 = Arc::clone(&aborted);
         let gen = self.gen;
         self.broadcast(move || WorkerMsg::Commit {
             gen,
-            batch,
+            batch: batch_id,
             txns: Arc::clone(&txns2),
             aborted: Arc::clone(&aborted2),
         });
         self.outstanding_commit_acks += self.workers.len();
         let retry_set: BTreeSet<TxnId> = retry.iter().copied().collect();
 
-        // Respond to committed (and hard-failed) transactions.
+        // Respond to committed and hard-failed transactions (the latter are
+        // answered with their error and counted apart — they never commit).
         let mut committed = 0u64;
+        let mut failed = 0u64;
         for txn in txns.iter() {
             if retry_set.contains(txn) {
                 continue;
             }
-            committed += 1;
+            if errors.contains(txn) {
+                failed += 1;
+            } else {
+                committed += 1;
+            }
             self.roots.remove(txn);
             if let Some(resp) = responses.remove(txn) {
                 if let Some(completer) = self.waiters.lock().remove(&resp.request) {
@@ -460,13 +542,17 @@ impl Coordinator {
             }
         }
         self.stats.commits.fetch_add(committed, Ordering::Relaxed);
+        self.stats.failed.fetch_add(failed, Ordering::Relaxed);
         self.stats
             .aborts
             .fetch_add(retry.len() as u64, Ordering::Relaxed);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
 
         // Aborted transactions keep their (lower) ids so the oldest can
-        // never lose again; routing depends on the fallback policy.
+        // never lose again — also across overlapping batches: anything
+        // sealed meanwhile holds strictly newer (higher) ids, so a retried
+        // transaction still enters its next batch as the lowest id there.
+        // Routing depends on the fallback policy.
         match self.cfg.fallback {
             se_aria::FallbackPolicy::Retry => {
                 for txn in retry.into_iter().rev() {
@@ -482,19 +568,54 @@ impl Coordinator {
         }
 
         self.batches_since_snapshot += 1;
-        self.phase = Phase::Idle;
         self.maybe_snapshot();
     }
 
-    /// Takes a consistent snapshot when due and the system is quiescent:
-    /// no pending work, and every commit acknowledged — every consumed
-    /// request is then reflected in worker state, so (state, source offset)
-    /// is a consistent cut.
+    /// Records a solo batch's outcome: the final-hop worker already decided
+    /// it (commit unless errored), applied its writes and broadcast the
+    /// record to its peers — the `ExecDone` doubles as the commit record,
+    /// so the pipeline slot frees after one worker→coordinator hop.
+    fn finalize_solo(&mut self, batch_id: BatchId) {
+        let Some(batch) = self.in_flight.remove(&batch_id) else {
+            return;
+        };
+        let InFlightBatch {
+            txns,
+            mut responses,
+            errors,
+            ..
+        } = batch;
+        debug_assert_eq!(txns.len(), 1, "solo batches hold exactly one txn");
+        // One ack per worker arrives: the deciding worker's own, and one
+        // from each peer applying the broadcast record.
+        self.outstanding_commit_acks += self.workers.len();
+        let txn = txns[0];
+        if errors.contains(&txn) {
+            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.roots.remove(&txn);
+        if let Some(resp) = responses.remove(&txn) {
+            if let Some(completer) = self.waiters.lock().remove(&resp.request) {
+                completer.complete(resp.result);
+            }
+        }
+        self.batches_since_snapshot += 1;
+        self.maybe_snapshot();
+    }
+
+    /// Takes a consistent snapshot when due and the pipeline has drained:
+    /// no in-flight batch, no pending work, and every commit acknowledged —
+    /// every consumed request is then reflected in worker state, so
+    /// (state, source offset) is a consistent cut.
     fn maybe_snapshot(&mut self) {
         let snapshot_due = self.cfg.snapshot_every_batches > 0
             && self.batches_since_snapshot >= self.cfg.snapshot_every_batches;
         if !snapshot_due
-            || !matches!(self.phase, Phase::Idle)
+            || !matches!(self.mode, Mode::Running)
+            || !self.in_flight.is_empty()
             || !self.queue.is_empty()
             || !self.fallback_queue.is_empty()
             || self.outstanding_commit_acks > 0
@@ -510,7 +631,7 @@ impl Coordinator {
             gen: self.gen,
             epoch,
         });
-        self.phase = Phase::Snapshotting { epoch, acks: 0 };
+        self.mode = Mode::Snapshotting { epoch, acks: 0 };
     }
 
     fn begin_recovery(&mut self) {
@@ -526,11 +647,20 @@ impl Coordinator {
         self.reader.seek(offset);
         self.queue.clear();
         self.fallback_queue.clear();
+        self.in_flight.clear();
         self.outstanding_commit_acks = 0;
         self.roots.clear();
         self.batch_deadline = None;
         self.batches_since_snapshot = 0;
-        self.broadcast(|| WorkerMsg::Restore { gen, epoch });
-        self.phase = Phase::Restoring { gen, acks: 0 };
+        // Batch numbering continues past the fenced-off window; the workers
+        // re-arm their watermarks at `next_batch` so replayed batches run
+        // without waiting for commits that died with the old generation.
+        let next_batch = self.next_batch;
+        self.broadcast(|| WorkerMsg::Restore {
+            gen,
+            epoch,
+            next_batch,
+        });
+        self.mode = Mode::Restoring { gen, acks: 0 };
     }
 }

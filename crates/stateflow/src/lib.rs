@@ -13,7 +13,11 @@
 //! internal delay channels) → reserve → decide (WAW/RAW/WAR, optional
 //! deterministic reordering) → commit in transaction-id order → respond;
 //! aborted transactions re-run at the head of the next batch with their
-//! original ids.
+//! original ids. At `pipeline_depth ≥ 2` (knob on [`StateflowConfig`], env
+//! override `SE_PIPELINE_DEPTH`) batches overlap Aria-style: batch *N+1* is
+//! sealed as soon as batch *N* enters its reservation round, workers order
+//! execution with committed-batch watermarks, and serial-fallback retries
+//! commit at their final hop without a coordinator round trip.
 
 #![warn(missing_docs)]
 
@@ -24,7 +28,7 @@ pub mod query;
 pub mod runtime;
 pub mod worker;
 
-pub use config::StateflowConfig;
+pub use config::{pipeline_depth_from_env_or, StateflowConfig};
 pub use coordinator::CoordStats;
 pub use query::QueryResult;
 pub use runtime::StateflowRuntime;

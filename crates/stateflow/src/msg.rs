@@ -75,13 +75,25 @@ pub enum WorkerMsg {
         init: Vec<(String, Value)>,
     },
     /// Execute (or continue) a transaction's invocation chain.
+    ///
+    /// Carries its batch id because batches overlap under pipelining: a
+    /// worker defers execution of batch *B* until the commit of batch *B−1*
+    /// has been applied locally (per-channel FIFO no longer orders them).
     Exec {
         /// Fencing generation.
         gen: u64,
+        /// Batch this transaction was sealed into.
+        batch: BatchId,
         /// Transaction id.
         txn: TxnId,
         /// The event to process.
         inv: Invocation,
+        /// A single-transaction fallback batch that commits at the final
+        /// hop: the executing worker decides (commit unless errored),
+        /// applies its own writes, and broadcasts the commit record to its
+        /// peers — no coordinator round trip. Only used at
+        /// `pipeline_depth ≥ 2`; depth 1 keeps the stop-and-wait path.
+        solo: bool,
     },
     /// Execute the reservation phase for a sealed batch.
     Reserve {
@@ -91,6 +103,11 @@ pub enum WorkerMsg {
         batch: BatchId,
         /// All transaction ids of the batch.
         txns: Arc<Vec<TxnId>>,
+        /// Transactions whose chain errored. They abort unconditionally, so
+        /// they must not reserve their buffered accesses — an errored
+        /// (never-committing) writer would otherwise WAW/RAW-abort healthy
+        /// higher-id transactions into pointless retries.
+        errors: Arc<BTreeSet<TxnId>>,
     },
     /// Install committed writes; discard aborted buffers.
     Commit {
@@ -116,6 +133,10 @@ pub enum WorkerMsg {
         gen: u64,
         /// Epoch to restore (`None` = initial empty state).
         epoch: Option<Epoch>,
+        /// Batch id numbering resumes at: re-arms the worker's
+        /// committed-batch watermark so post-recovery batches are not
+        /// deferred waiting for commits that died with the old generation.
+        next_batch: BatchId,
     },
     /// Stop the worker thread.
     Shutdown,
@@ -128,6 +149,9 @@ pub enum CoordMsg {
     ExecDone {
         /// Fencing generation.
         gen: u64,
+        /// Batch the transaction belongs to (routes the completion to the
+        /// right in-flight batch when several overlap).
+        batch: BatchId,
         /// Transaction id.
         txn: TxnId,
         /// The root invocation's outcome.

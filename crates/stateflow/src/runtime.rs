@@ -36,8 +36,15 @@ pub struct StateflowRuntime {
 
 impl StateflowRuntime {
     /// Deploys a compiled dataflow graph on a fresh StateFlow cluster.
+    ///
+    /// `cfg.pipeline_depth` selects the coordinator schedule: 1 is classic
+    /// stop-and-wait, ≥ 2 pipelines batches (see [`crate::coordinator`]).
     pub fn deploy(graph: DataflowGraph, cfg: StateflowConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
+        assert!(
+            cfg.pipeline_depth >= 1,
+            "pipeline_depth 0 would never seal a batch; 1 = stop-and-wait"
+        );
         let graph = Arc::new(graph);
         // Deploy-time backend selection: for the VM backend every method
         // body is lowered to bytecode exactly once, here, and the compiled

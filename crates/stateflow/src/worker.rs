@@ -5,12 +5,21 @@
 //! channels — the design decision the paper credits for StateFlow's latency
 //! advantage: "it allows for internal function-to-function communication and
 //! does not require the roundtrips to Kafka" (§4).
+//!
+//! With pipelining (`pipeline_depth ≥ 2`) batches overlap: the coordinator
+//! dispatches batch *N+1* while batch *N* is still deciding, so per-channel
+//! FIFO no longer guarantees that a batch's `Exec` messages arrive after the
+//! previous batch's `Commit`. Each worker therefore keeps a committed-batch
+//! [`CommitWatermark`] and defers any `Exec` (root or chain hop) of batch
+//! *B* until the commit of batch *B−1* has been applied locally — every
+//! execution still reads exactly the snapshot Aria's serial batch order
+//! prescribes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use se_aria::{ReservationTable, TxnBuffer, TxnId};
+use se_aria::{BatchId, CommitWatermark, ReservationTable, TxnBuffer, TxnId};
 use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender, SnapshotStore, StateStore};
 use se_ir::{
     partition_for, process_invocation_with, BodyRunner, DataflowGraph, Invocation, Response,
@@ -21,6 +30,17 @@ use se_lang::LangError;
 use crate::config::StateflowConfig;
 use crate::msg::{ConflictFlags, CoordMsg, WorkerMsg};
 
+/// A commit record as applied by a worker: the batch's transactions
+/// (ascending) and the subset whose effects must be discarded.
+type CommitRecord = (Arc<Vec<TxnId>>, Arc<BTreeSet<TxnId>>);
+
+/// An `Exec` message parked until its batch becomes runnable.
+struct DeferredExec {
+    txn: TxnId,
+    inv: Invocation,
+    solo: bool,
+}
+
 /// A worker thread's state and message loop.
 pub struct Worker {
     id: usize,
@@ -29,7 +49,13 @@ pub struct Worker {
     /// Executes split method bodies (interp or VM, per `cfg.backend`).
     runner: Arc<dyn BodyRunner>,
     store: StateStore,
-    buffers: HashMap<TxnId, TxnBuffer>,
+    /// Per-batch buffered accesses: batches overlap under pipelining, so
+    /// reservation state must be keyed by batch, not just transaction.
+    buffers: HashMap<BatchId, HashMap<TxnId, TxnBuffer>>,
+    /// Commit progress; orders execution across overlapping batches.
+    watermark: CommitWatermark<CommitRecord>,
+    /// Execs of batches whose predecessor has not committed locally yet.
+    deferred: BTreeMap<BatchId, VecDeque<DeferredExec>>,
     inbox: DelayReceiver<WorkerMsg>,
     peers: Vec<DelaySender<WorkerMsg>>,
     coord: DelaySender<CoordMsg>,
@@ -61,6 +87,8 @@ impl Worker {
             runner,
             store: StateStore::new(),
             buffers: HashMap::new(),
+            watermark: CommitWatermark::new(),
+            deferred: BTreeMap::new(),
             inbox,
             peers,
             coord,
@@ -87,7 +115,11 @@ impl Worker {
             };
             match msg {
                 WorkerMsg::Shutdown => return,
-                WorkerMsg::Restore { gen, epoch } => self.handle_restore(gen, epoch),
+                WorkerMsg::Restore {
+                    gen,
+                    epoch,
+                    next_batch,
+                } => self.handle_restore(gen, epoch, next_batch),
                 // Everything else is fenced by generation and ignored while
                 // "crashed".
                 m => {
@@ -128,15 +160,34 @@ impl Worker {
                     result,
                 });
             }
-            WorkerMsg::Exec { txn, inv, .. } => self.handle_exec(txn, inv),
-            WorkerMsg::Reserve { batch, txns, .. } => self.handle_reserve(batch, &txns),
+            WorkerMsg::Exec {
+                batch,
+                txn,
+                inv,
+                solo,
+                ..
+            } => self.handle_exec(batch, txn, inv, solo),
+            WorkerMsg::Reserve {
+                batch,
+                txns,
+                errors,
+                ..
+            } => self.handle_reserve(batch, &txns, &errors),
             WorkerMsg::Commit {
                 batch,
                 txns,
                 aborted,
                 ..
-            } => self.handle_commit(batch, &txns, &aborted),
+            } => self.handle_commit(batch, txns, aborted),
             WorkerMsg::Snapshot { epoch, .. } => {
+                debug_assert!(
+                    self.deferred.is_empty(),
+                    "snapshots only cut at a drained pipeline \
+                     (worker {}, deferred batches {:?}, watermark at {})",
+                    self.id,
+                    self.deferred.keys().collect::<Vec<_>>(),
+                    self.watermark.next_expected()
+                );
                 self.snapshots
                     .put(epoch, &self.node_name(), self.store.clone());
                 self.send_coord(CoordMsg::SnapshotAck {
@@ -165,12 +216,59 @@ impl Worker {
         Ok(())
     }
 
+    /// Entry point for `Exec` messages (roots and chain hops alike): run
+    /// now if the batch's predecessor has committed locally, else park it
+    /// on the watermark.
+    fn handle_exec(&mut self, batch: BatchId, txn: TxnId, inv: Invocation, solo: bool) {
+        if self.watermark.must_defer(batch) {
+            self.deferred
+                .entry(batch)
+                .or_default()
+                .push_back(DeferredExec { txn, inv, solo });
+            return;
+        }
+        debug_assert!(
+            self.watermark.runnable(batch),
+            "Exec for already-committed batch {batch}"
+        );
+        self.run_chain(batch, txn, inv, solo);
+    }
+
+    /// Runs execs whose batch became runnable after a watermark advance.
+    fn drain_deferred(&mut self) {
+        loop {
+            if self.dead {
+                return;
+            }
+            let batch = self.watermark.next_expected();
+            let Some(queue) = self.deferred.get_mut(&batch) else {
+                return;
+            };
+            let Some(item) = queue.pop_front() else {
+                self.deferred.remove(&batch);
+                continue;
+            };
+            if queue.is_empty() {
+                // Drop the entry before running: a solo commit inside
+                // run_chain advances the watermark past this batch, after
+                // which the loop would never revisit (and clean) its key.
+                self.deferred.remove(&batch);
+            }
+            self.run_chain(batch, item.txn, item.inv, item.solo);
+            // A solo commit inside run_chain may have advanced the
+            // watermark; re-resolve the runnable batch from scratch. A
+            // batch's queue only holds work that arrived before the batch
+            // became runnable, so an advance past it cannot strand items.
+        }
+    }
+
     /// The execute phase for one hop of a transaction's invocation chain.
     ///
     /// Reads see the committed snapshot overlaid with the transaction's own
     /// buffered writes; effects are buffered, never applied — Aria defers
-    /// all writes to the commit phase.
-    fn handle_exec(&mut self, txn: TxnId, mut inv: Invocation) {
+    /// all writes to the commit phase. Solo (single-transaction fallback)
+    /// batches commit at the final hop; see [`Worker::commit_solo`].
+    fn run_chain(&mut self, batch: BatchId, txn: TxnId, mut inv: Invocation, solo: bool) {
         loop {
             // Failure injection: one simulated crash per plan.
             if self.cfg.failure.should_fail(&self.node_name()) {
@@ -188,18 +286,20 @@ impl Worker {
             let committed = match self.store.get(&target) {
                 Some(s) => s.clone(),
                 None => {
-                    self.send_coord(CoordMsg::ExecDone {
-                        gen: self.gen,
-                        txn,
-                        response: Response {
-                            request,
-                            result: Err(LangError::runtime(format!("unknown entity {target}"))),
-                        },
-                    });
+                    let response = Response {
+                        request,
+                        result: Err(LangError::runtime(format!("unknown entity {target}"))),
+                    };
+                    self.finish_chain(batch, txn, response, solo);
                     return;
                 }
             };
-            let buffer = self.buffers.entry(txn).or_default();
+            let buffer = self
+                .buffers
+                .entry(batch)
+                .or_default()
+                .entry(txn)
+                .or_default();
             let before = self
                 .timers
                 .time("state_read", || buffer.overlay_read(&target, &committed));
@@ -215,11 +315,7 @@ impl Worker {
 
             match effect {
                 StepEffect::Respond(response) => {
-                    self.send_coord(CoordMsg::ExecDone {
-                        gen: self.gen,
-                        txn,
-                        response,
-                    });
+                    self.finish_chain(batch, txn, response, solo);
                     return;
                 }
                 StepEffect::Emit(next) => {
@@ -233,8 +329,10 @@ impl Worker {
                     self.peers[owner].send_after(
                         WorkerMsg::Exec {
                             gen: self.gen,
+                            batch,
                             txn,
                             inv: next,
+                            solo,
                         },
                         self.cfg.net.f2f_latency(bytes),
                     );
@@ -244,19 +342,95 @@ impl Worker {
         }
     }
 
+    /// Chain finished (with a result or an error): report to the
+    /// coordinator, and for solo batches decide + commit right here.
+    fn finish_chain(&mut self, batch: BatchId, txn: TxnId, response: Response, solo: bool) {
+        if solo {
+            self.commit_solo(batch, txn, response.result.is_err());
+        }
+        self.send_coord(CoordMsg::ExecDone {
+            gen: self.gen,
+            batch,
+            txn,
+            response,
+        });
+        if solo {
+            // The coordinator counts one CommitAck per worker and batch;
+            // peers ack through handle_commit, this worker acks its local
+            // application. Sent after ExecDone (same channel, FIFO) so the
+            // coordinator has registered the solo batch's completion first.
+            self.send_coord(CoordMsg::CommitAck {
+                gen: self.gen,
+                batch,
+                worker: self.id,
+            });
+            self.drain_deferred();
+        }
+    }
+
+    /// Commits a single-transaction fallback batch at its final hop. A lone
+    /// transaction can never lose a conflict, so the decision is locally
+    /// determined: commit unless the chain errored. The worker applies its
+    /// own buffered writes, advances its watermark, and broadcasts the
+    /// commit record to peers (who hold any remote hops' buffers) — the
+    /// coordinator round trip that stop-and-wait pays per fallback
+    /// transaction disappears, which is what lets consecutive hot-key
+    /// retries chain back-to-back on the owning worker.
+    fn commit_solo(&mut self, batch: BatchId, txn: TxnId, errored: bool) {
+        debug_assert!(
+            self.watermark.runnable(batch),
+            "solo batch {batch} committing out of order"
+        );
+        let local = self.buffers.remove(&batch);
+        if !errored {
+            if let Some(buffer) = local.and_then(|mut b| b.remove(&txn)) {
+                self.apply_writes(buffer);
+            }
+        }
+        self.watermark.advance_past(batch);
+        let txns = Arc::new(vec![txn]);
+        let aborted: Arc<BTreeSet<TxnId>> = Arc::new(if errored {
+            BTreeSet::from([txn])
+        } else {
+            BTreeSet::new()
+        });
+        for (peer, sender) in self.peers.iter().enumerate() {
+            if peer == self.id {
+                continue;
+            }
+            sender.send_after(
+                WorkerMsg::Commit {
+                    gen: self.gen,
+                    batch,
+                    txns: Arc::clone(&txns),
+                    aborted: Arc::clone(&aborted),
+                },
+                self.cfg.net.f2f_latency(64),
+            );
+        }
+    }
+
     /// The reservation phase: build the local table and report per-txn
-    /// conflict flags for locally accessed keys.
-    fn handle_reserve(&mut self, batch: se_aria::BatchId, txns: &[TxnId]) {
+    /// conflict flags for locally accessed keys. Errored transactions abort
+    /// unconditionally and never commit, so they neither reserve nor need
+    /// flags — their buffered writes must not knock out healthy ones.
+    fn handle_reserve(&mut self, batch: BatchId, txns: &[TxnId], errors: &BTreeSet<TxnId>) {
+        let buffers = self.buffers.get(&batch);
+        let buffer_of = |txn: &TxnId| buffers.and_then(|b| b.get(txn));
         let mut table = ReservationTable::new();
         for txn in txns {
-            if let Some(buf) = self.buffers.get(txn) {
+            if errors.contains(txn) {
+                continue;
+            }
+            if let Some(buf) = buffer_of(txn) {
                 table.reserve(*txn, buf);
             }
         }
         let flags: Vec<(TxnId, ConflictFlags)> = txns
             .iter()
+            .filter(|txn| !errors.contains(txn))
             .filter_map(|txn| {
-                let buf = self.buffers.get(txn)?;
+                let buf = buffer_of(txn)?;
                 Some((
                     *txn,
                     ConflictFlags {
@@ -275,35 +449,36 @@ impl Worker {
         });
     }
 
-    /// The commit phase: install committed writes in ascending id order,
-    /// discard everything else.
+    /// The commit phase: apply records in batch order (buffering any that
+    /// arrive early), then release execs the advance unblocked.
     fn handle_commit(
         &mut self,
-        batch: se_aria::BatchId,
-        txns: &[TxnId],
-        aborted: &std::collections::BTreeSet<TxnId>,
+        batch: BatchId,
+        txns: Arc<Vec<TxnId>>,
+        aborted: Arc<BTreeSet<TxnId>>,
     ) {
+        for (batch, (txns, aborted)) in self.watermark.offer(batch, (txns, aborted)) {
+            self.apply_commit(batch, &txns, &aborted);
+        }
+        self.drain_deferred();
+    }
+
+    /// Installs one batch's committed writes in ascending id order and
+    /// discards everything else.
+    fn apply_commit(&mut self, batch: BatchId, txns: &[TxnId], aborted: &BTreeSet<TxnId>) {
         debug_assert!(
             txns.windows(2).all(|w| w[0] < w[1]),
             "commit order must be ascending"
         );
+        let mut buffers = self.buffers.remove(&batch).unwrap_or_default();
         for txn in txns {
-            let Some(buffer) = self.buffers.remove(txn) else {
+            let Some(buffer) = buffers.remove(txn) else {
                 continue;
             };
             if aborted.contains(txn) {
                 continue;
             }
-            self.timers.time("state_store", || {
-                for (entity, writes) in buffer.writes {
-                    for (attr, value) in writes {
-                        // Entities written here were read from this store
-                        // during execute; they exist unless a concurrent
-                        // create raced, which batching forbids.
-                        let _ = self.store.apply_write(&entity, attr, value);
-                    }
-                }
-            });
+            self.apply_writes(buffer);
         }
         self.send_coord(CoordMsg::CommitAck {
             gen: self.gen,
@@ -312,10 +487,24 @@ impl Worker {
         });
     }
 
+    fn apply_writes(&mut self, buffer: TxnBuffer) {
+        self.timers.time("state_store", || {
+            for (entity, writes) in buffer.writes {
+                for (attr, value) in writes {
+                    // Entities written here were read from this store
+                    // during execute; they exist unless a concurrent
+                    // create raced, which batching forbids.
+                    let _ = self.store.apply_write(&entity, attr, value);
+                }
+            }
+        });
+    }
+
     fn crash(&mut self) {
         // Volatile state dies with the "process".
         self.store = StateStore::new();
         self.buffers.clear();
+        self.deferred.clear();
         self.dead = true;
         self.send_coord(CoordMsg::WorkerFailed {
             gen: self.gen,
@@ -323,9 +512,11 @@ impl Worker {
         });
     }
 
-    fn handle_restore(&mut self, gen: u64, epoch: Option<se_dataflow::Epoch>) {
+    fn handle_restore(&mut self, gen: u64, epoch: Option<se_dataflow::Epoch>, next_batch: BatchId) {
         self.gen = gen;
         self.buffers.clear();
+        self.deferred.clear();
+        self.watermark.reset(next_batch);
         self.store = epoch
             .and_then(|e| self.snapshots.get(e, &self.node_name()))
             .unwrap_or_default();

@@ -106,7 +106,12 @@ impl KeyChooser for Zipfian {
             return 1;
         }
         let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
-        ((self.n as f64) * spread) as usize % self.n
+        // `spread` hits exactly 1.0 for draws near the top of the unit
+        // interval (η·(u−1) underflows below half an ulp of 1.0), which
+        // maps to index n. YCSB clamps to the last key; reducing `% n`
+        // instead would silently wrap the overflow onto key 0, inflating
+        // the hottest key's popularity.
+        (((self.n as f64) * spread) as usize).min(self.n - 1)
     }
 
     fn key_count(&self) -> usize {
@@ -176,6 +181,35 @@ mod tests {
         for _ in 0..100_000 {
             let k = z.next_key(&mut rng);
             assert!(k < 1000);
+        }
+    }
+
+    /// An rng pinned to the top of the unit interval: `gen::<f64>()` yields
+    /// `(2^53 − 1) / 2^53`, the largest drawable `u`.
+    struct MaxRng;
+    impl rand::RngCore for MaxRng {
+        fn next_u32(&mut self) -> u32 {
+            u32::MAX
+        }
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn zipfian_top_of_unit_interval_clamps_to_last_key() {
+        // At u = 1 − 2⁻⁵³ the inverse-CDF spread computes as exactly 1.0
+        // (η·(u−1) underflows below half an ulp of 1.0), i.e. index n. The
+        // sampler must clamp to the last key, YCSB-style — the old `% n`
+        // wrapped the edge case onto key 0 and silently inflated the
+        // hottest key's popularity.
+        for n in [2usize, 10, 100, 1000] {
+            let mut z = Zipfian::new(n);
+            assert_eq!(
+                z.next_key(&mut MaxRng),
+                n - 1,
+                "u→1 must map to the coldest key, not wrap (n = {n})"
+            );
         }
     }
 

@@ -59,6 +59,26 @@ pub struct RunReport {
     pub timed_out: usize,
     /// Wall-clock duration of the issue phase (scaled time).
     pub elapsed: Duration,
+    /// Wall-clock duration from the first issue to the last completion
+    /// (issue phase plus drain), un-scaled like `latency` — the divisor for
+    /// completion throughput.
+    pub total_elapsed: Duration,
+}
+
+impl RunReport {
+    /// Requests that completed (with a result or an error).
+    pub fn completed(&self) -> usize {
+        self.issued - self.timed_out
+    }
+
+    /// Completion throughput in requests per second of un-scaled time.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.total_elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
 }
 
 /// Creates the `n` YCSB account entities with `value_size`-byte payloads and
@@ -132,14 +152,21 @@ pub fn run_open_loop(
         }
     }
     let timed_out = pending.len();
+    let total = start.elapsed();
 
     let summary = LatencySummary::from_samples(&latencies).unscale(cfg.time_scale);
+    let total_elapsed = if cfg.time_scale > 0.0 {
+        total.div_f64(cfg.time_scale)
+    } else {
+        total
+    };
     RunReport {
         latency: summary,
         errors,
         issued: cfg.requests,
         timed_out,
         elapsed,
+        total_elapsed,
     }
 }
 

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use se_dataflow::FailurePlan;
 use stateful_entities::prelude::*;
-use stateful_entities::{CheckpointMode, StateflowConfig, StatefunConfig};
+use stateful_entities::{CheckpointMode, ExecBackend, StateflowConfig, StatefunConfig};
 
 const WAIT: Duration = Duration::from_secs(60);
 
@@ -59,20 +59,28 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
 
 #[test]
 fn stateflow_serializability_holds_under_contention() {
+    // The guarantee must hold for every coordinator schedule × execution
+    // backend: stop-and-wait and pipelined batches, tree-walk and VM.
     let program = stateful_entities::programs::figure1_program();
-    let rt = deploy(
-        &program,
-        RuntimeChoice::Stateflow(StateflowConfig::fast_test(4)),
-    )
-    .unwrap();
-    let users = 20;
-    let (successes, negative) = run_flash_sale(rt.as_ref(), users);
-    assert_eq!(
-        successes, users as i64,
-        "exactly one purchase per user must commit"
-    );
-    assert_eq!(negative, 0, "serializable execution never overdrafts");
-    rt.shutdown();
+    for pipeline_depth in [1usize, 2, 4] {
+        for backend in [ExecBackend::Interp, ExecBackend::Vm] {
+            let mut cfg = StateflowConfig::fast_test(4);
+            cfg.pipeline_depth = pipeline_depth;
+            cfg.backend = backend;
+            let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+            let users = 20;
+            let (successes, negative) = run_flash_sale(rt.as_ref(), users);
+            assert_eq!(
+                successes, users as i64,
+                "[depth {pipeline_depth}, {backend}] exactly one purchase per user must commit"
+            );
+            assert_eq!(
+                negative, 0,
+                "[depth {pipeline_depth}, {backend}] serializable execution never overdrafts"
+            );
+            rt.shutdown();
+        }
+    }
 }
 
 #[test]
@@ -164,12 +172,11 @@ fn exactly_once_statefun_through_facade() {
     rt.shutdown();
 }
 
-#[test]
-fn transactional_transfers_with_crash_conserve_money() {
+/// Cross-account transfers with a mid-stream worker crash: money must be
+/// conserved at every pipeline depth (the crash lands while batches are in
+/// flight, so recovery must fence and replay an overlapping window).
+fn transfers_with_crash_conserve_money(cfg: StateflowConfig) {
     let program = se_workloads::ycsb_program();
-    let mut cfg = StateflowConfig::fast_test(3);
-    cfg.snapshot_every_batches = 2;
-    cfg.failure = FailurePlan::fail_node_after("worker0", 30);
     let rt = Arc::new(deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap());
     let n = 6;
     se_workloads::load_accounts(rt.as_ref().as_ref(), n, 16, 500);
@@ -205,4 +212,29 @@ fn transactional_transfers_with_crash_conserve_money() {
         .sum();
     assert_eq!(total, 500 * n as i64);
     rt.shutdown();
+}
+
+#[test]
+fn transactional_transfers_with_crash_conserve_money() {
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = 2;
+    cfg.failure = FailurePlan::fail_node_after("worker0", 30);
+    transfers_with_crash_conserve_money(cfg);
+}
+
+/// Crash/restore while several batches are in flight: tiny batches + depth
+/// 4 keep the pipeline saturated (the 90 transfers arrive at once and seal
+/// into ≥ 20 overlapping batches), and the worker dies mid-window — the
+/// generation fence must discard every half-committed batch and the replay
+/// must land exactly once.
+#[test]
+fn pipelined_crash_with_batches_in_flight_conserves_money() {
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.pipeline_depth = 4;
+    cfg.max_batch = 4;
+    cfg.snapshot_every_batches = 3;
+    cfg.failure = FailurePlan::fail_node_after("worker1", 35);
+    let failure = cfg.failure.clone();
+    transfers_with_crash_conserve_money(cfg);
+    assert!(failure.has_fired(), "the crash must land mid-pipeline");
 }
