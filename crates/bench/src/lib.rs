@@ -84,7 +84,8 @@ pub fn statefun_bench_config() -> StatefunConfig {
         service_time: Duration::from_micros(900),
         checkpoint: se_core::CheckpointMode::None,
         snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
-        failure: Default::default(),
+        chaos: Default::default(),
+        history: None,
         backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
     }
 }
@@ -104,7 +105,9 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         snapshot_every_batches: 0,
         snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
         service_time: Duration::from_micros(300),
-        failure: Default::default(),
+        chaos: Default::default(),
+        history: None,
+        inject_reserve_bug: false,
         backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
     }
 }

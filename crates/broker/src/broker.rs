@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use se_dataflow::NetConfig;
+use se_dataflow::{ChaosPlan, NetConfig};
 use se_ir::partition_for;
 
 /// Broker operation errors.
@@ -81,6 +81,9 @@ struct Inner<T> {
     // (group, topic, partition) → committed offset
     offsets: Mutex<HashMap<(String, String, usize), u64>>,
     net: NetConfig,
+    /// Scripted outage windows: affected produces become visible late,
+    /// and log order stalls consumers behind them — the broker is "down".
+    chaos: ChaosPlan,
 }
 
 /// A shareable broker handle.
@@ -99,13 +102,29 @@ impl<T> Clone for Broker<T> {
 impl<T: Clone> Broker<T> {
     /// A broker with the given network model.
     pub fn new(net: NetConfig) -> Self {
+        Self::with_chaos(net, ChaosPlan::none())
+    }
+
+    /// A broker with the given network model and a chaos plan whose outage
+    /// windows delay record visibility.
+    pub fn with_chaos(net: NetConfig, chaos: ChaosPlan) -> Self {
         Self {
             inner: Arc::new(Inner {
                 topics: Mutex::new(HashMap::new()),
                 offsets: Mutex::new(HashMap::new()),
                 net,
+                chaos,
             }),
         }
+    }
+
+    /// Base visibility delay of a produce plus any scripted outage delay.
+    fn produce_delay(&self, bytes: usize) -> Duration {
+        let mut delay = self.inner.net.broker_latency(bytes) * 2;
+        if let Some(extra_us) = self.inner.chaos.broker_delay() {
+            delay += self.inner.net.scaled(Duration::from_micros(extra_us));
+        }
+        delay
     }
 
     /// The broker's network model.
@@ -158,7 +177,7 @@ impl<T: Clone> Broker<T> {
     ) -> Result<(usize, u64), BrokerError> {
         let t = self.topic(topic)?;
         let partition = partition_for(key, t.partitions.len());
-        let delay = self.inner.net.broker_latency(bytes) * 2;
+        let delay = self.produce_delay(bytes);
         let p = &t.partitions[partition];
         let mut entries = p.entries.lock();
         let offset = entries.len() as u64;
@@ -191,7 +210,7 @@ impl<T: Clone> Broker<T> {
                 topic: topic.to_owned(),
                 partition,
             })?;
-        let delay = self.inner.net.broker_latency(bytes) * 2;
+        let delay = self.produce_delay(bytes);
         let mut entries = p.entries.lock();
         let offset = entries.len() as u64;
         entries.push(Entry {

@@ -1,0 +1,54 @@
+//! Property-test strategies over seeded fault scripts (cargo feature
+//! `arb`).
+//!
+//! The strategies deliberately produce *seeds*, not scripts: the property
+//! under test is that [`FaultScript::generate`] is a pure function of
+//! `(seed, config)` — byte-identical scripts on every call — and that a
+//! logically deterministic run under such a script records a
+//! byte-identical history. Consumers regenerate from the seed and compare.
+
+use proptest::prelude::*;
+
+use crate::script::{FaultScript, ScriptConfig};
+
+/// Strategy over generator seeds.
+pub fn arb_seed() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+/// Strategy over `(seed, script)` pairs for a StateFlow deployment,
+/// restricted to timing-deterministic faults (duplicates and delays only —
+/// no crashes, drops or outages), so a serial run's recorded history is a
+/// pure function of the seed.
+pub fn arb_deterministic_stateflow_script(
+    workers: usize,
+) -> impl Strategy<Value = (u64, FaultScript)> {
+    any::<u64>().prop_map(move |seed| {
+        let cfg = ScriptConfig::stateflow(workers).deterministic_only();
+        (seed, FaultScript::generate(seed, &cfg))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn generate_is_pure(seed in arb_seed()) {
+            let cfg = ScriptConfig::stateflow(4);
+            prop_assert_eq!(
+                FaultScript::generate(seed, &cfg),
+                FaultScript::generate(seed, &cfg)
+            );
+        }
+
+        #[test]
+        fn deterministic_scripts_have_no_crashes((_seed, script) in
+            arb_deterministic_stateflow_script(3))
+        {
+            prop_assert!(script.crashes.is_empty());
+            prop_assert!(script.outages.is_empty());
+        }
+    }
+}

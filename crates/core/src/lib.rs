@@ -33,6 +33,11 @@ pub mod local_runtime;
 use se_lang::{LangError, Program};
 
 pub use local_runtime::LocalRuntime;
+pub use se_aria::{CommitRule, FallbackPolicy};
+pub use se_chaos::{
+    check_history, check_statefun_history, serial_order, ChaosPlan, CheckError, CheckSummary,
+    FaultScript, History, ScriptConfig, SerialOp,
+};
 pub use se_compiler::{compile, compile_with, stats, CompileOptions, CompileStats};
 pub use se_dataflow::{EntityRuntime, NetConfig, ResponseWaiter};
 pub use se_ir::{DataflowGraph, ExecBackend, StateMachine};

@@ -1,133 +1,145 @@
-//! Failure injection for exactly-once testing.
+//! Fault injection, re-exported from `se-chaos`.
 //!
-//! A [`FailurePlan`] arms a one-shot "crash" that fires when a named node
-//! has processed a configured number of events. Runtimes consult
-//! [`FailurePlan::should_fail`] in their processing loops and, when it
-//! fires, simulate a crash by discarding the node's volatile state and
-//! entering recovery. The exactly-once integration tests assert that
-//! post-recovery results equal a failure-free oracle run.
+//! The original one-shot [`FailurePlan`] grew into the scripted
+//! [`ChaosPlan`] (sequences of per-incarnation crashes, message faults at
+//! the channel seams, broker outages); both live in `se-chaos` and are
+//! re-exported here so engine crates keep a single import path. This
+//! module adds the one piece that needs the dataflow substrate:
+//! [`send_with_chaos`], the seam-injection helper that interprets a
+//! [`MsgFaultAction`] against a [`DelaySender`].
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+pub use se_chaos::{ChaosPlan, CrashPoint, FailurePlan, MsgFaultAction, Seam};
 
-/// A shared, one-shot failure trigger.
-#[derive(Debug, Clone, Default)]
-pub struct FailurePlan {
-    inner: Option<Arc<Inner>>,
-}
+use std::time::Duration;
 
-#[derive(Debug)]
-struct Inner {
-    node: String,
-    countdown: AtomicU64,
-    fired: AtomicBool,
-}
+use crate::delay::DelaySender;
+use crate::net::NetConfig;
 
-impl FailurePlan {
-    /// A plan that never fires.
-    pub fn none() -> Self {
-        Self { inner: None }
-    }
-
-    /// Fails node `node` after it has processed `after_events` events.
-    pub fn fail_node_after(node: impl Into<String>, after_events: u64) -> Self {
-        Self {
-            inner: Some(Arc::new(Inner {
-                node: node.into(),
-                countdown: AtomicU64::new(after_events),
-                fired: AtomicBool::new(false),
-            })),
+/// Sends `msg` over `tx` with base `delay`, applying whatever fault the
+/// plan scripts for the next message on `seam`. Fault delays are scaled by
+/// `net`'s time scale so a script stays meaningful across `SE_TIME_SCALE`s.
+///
+/// Only *data-plane* messages go through here; control-plane traffic
+/// (restore, snapshot markers, failure notifications) is sent directly —
+/// the engines assume a reliable failure detector and alignment channel.
+pub fn send_with_chaos<T: Clone>(
+    plan: &ChaosPlan,
+    seam: Seam,
+    net: &NetConfig,
+    tx: &DelaySender<T>,
+    msg: T,
+    delay: Duration,
+) {
+    match plan.on_message(seam) {
+        MsgFaultAction::Deliver => tx.send_after(msg, delay),
+        MsgFaultAction::Quarantine { extra_us } => {
+            // A drop that preserves liveness: with a recovery in between
+            // the late copy is generation-fenced (a true loss); without
+            // one the run merely stalls.
+            tx.send_after(msg, delay + net.scaled(Duration::from_micros(extra_us)));
         }
-    }
-
-    /// Called by `node` once per processed event; returns `true` exactly
-    /// once — at the moment the crash should happen.
-    pub fn should_fail(&self, node: &str) -> bool {
-        let Some(inner) = &self.inner else {
-            return false;
-        };
-        if inner.node != node || inner.fired.load(Ordering::SeqCst) {
-            return false;
+        MsgFaultAction::Delay { extra_us } => {
+            tx.send_after(msg, delay + net.scaled(Duration::from_micros(extra_us)));
         }
-        // Decrement the countdown; fire when it reaches zero.
-        let prev = inner
-            .countdown
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| c.checked_sub(1))
-            .unwrap_or(0);
-        if prev == 1 || prev == 0 {
-            // Only the transition may fire, and only once.
-            if !inner.fired.swap(true, Ordering::SeqCst) {
-                return true;
-            }
+        MsgFaultAction::Duplicate { gap_us } => {
+            tx.send_after(msg.clone(), delay);
+            tx.send_after(msg, delay + net.scaled(Duration::from_micros(gap_us)));
         }
-        false
-    }
-
-    /// Whether the planned failure has already fired.
-    pub fn has_fired(&self) -> bool {
-        self.inner
-            .as_ref()
-            .map(|i| i.fired.load(Ordering::SeqCst))
-            .unwrap_or(false)
-    }
-
-    /// Whether a failure is planned at all (fired or not).
-    pub fn is_armed(&self) -> bool {
-        self.inner.is_some()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delay::delay_channel;
+    use se_chaos::{FaultScript, MessageFault, MsgFaultKind};
 
-    #[test]
-    fn none_never_fires() {
-        let p = FailurePlan::none();
-        for _ in 0..100 {
-            assert!(!p.should_fail("w0"));
-        }
-        assert!(!p.has_fired());
+    fn plan_with(kind: MsgFaultKind, nth: u64) -> ChaosPlan {
+        ChaosPlan::from_script(FaultScript {
+            messages: vec![MessageFault {
+                seam: Seam::WorkerToWorker,
+                nth,
+                kind,
+            }],
+            ..FaultScript::default()
+        })
     }
 
     #[test]
-    fn fires_once_at_threshold() {
-        let p = FailurePlan::fail_node_after("w1", 3);
-        assert!(!p.should_fail("w1")); // 1st event
-        assert!(!p.should_fail("w1")); // 2nd
-        assert!(p.should_fail("w1")); // 3rd: fire
-        assert!(p.has_fired());
-        assert!(!p.should_fail("w1")); // never again
+    fn deliver_passes_through() {
+        let (tx, rx) = delay_channel();
+        let plan = ChaosPlan::none();
+        send_with_chaos(
+            &plan,
+            Seam::WorkerToWorker,
+            &NetConfig::fast_test(),
+            &tx,
+            7u8,
+            Duration::ZERO,
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Some(7));
     }
 
     #[test]
-    fn other_nodes_unaffected() {
-        let p = FailurePlan::fail_node_after("w1", 1);
-        assert!(!p.should_fail("w0"));
-        assert!(p.should_fail("w1"));
-        assert!(!p.should_fail("w2"));
+    fn duplicate_sends_two_copies() {
+        let (tx, rx) = delay_channel();
+        let plan = plan_with(MsgFaultKind::Duplicate { gap_us: 0 }, 0);
+        send_with_chaos(
+            &plan,
+            Seam::WorkerToWorker,
+            &NetConfig::fast_test(),
+            &tx,
+            7u8,
+            Duration::ZERO,
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Some(7));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Some(7));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), None);
     }
 
     #[test]
-    fn concurrent_counting_fires_exactly_once() {
-        let p = FailurePlan::fail_node_after("w", 500);
-        let fired = std::sync::Arc::new(AtomicU64::new(0));
-        let handles: Vec<_> = (0..4)
-            .map(|_| {
-                let p = p.clone();
-                let fired = std::sync::Arc::clone(&fired);
-                std::thread::spawn(move || {
-                    for _ in 0..1000 {
-                        if p.should_fail("w") {
-                            fired.fetch_add(1, Ordering::SeqCst);
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    fn quarantine_holds_the_message_back() {
+        let (tx, rx) = delay_channel();
+        let plan = plan_with(
+            MsgFaultKind::Drop {
+                quarantine_us: 60_000,
+            },
+            0,
+        );
+        send_with_chaos(
+            &plan,
+            Seam::WorkerToWorker,
+            &NetConfig::fast_test(),
+            &tx,
+            7u8,
+            Duration::ZERO,
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            None,
+            "still quarantined"
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(200)), Some(7));
+    }
+
+    #[test]
+    fn quarantine_scales_with_time_scale() {
+        let (tx, rx) = delay_channel();
+        let plan = plan_with(
+            MsgFaultKind::Drop {
+                quarantine_us: 10_000_000,
+            },
+            0,
+        );
+        let net = NetConfig {
+            time_scale: 0.0,
+            ..NetConfig::fast_test()
+        };
+        send_with_chaos(&plan, Seam::WorkerToWorker, &net, &tx, 7u8, Duration::ZERO);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(100)),
+            Some(7),
+            "a 10s quarantine at scale 0 is immediate"
+        );
     }
 }

@@ -8,7 +8,8 @@
 //! * [`state`] — per-partition entity state stores;
 //! * [`snapshot`] — consistent-snapshot (epoch) storage for exactly-once;
 //! * [`source`] — replayable, offset-addressed ingress logs;
-//! * [`failure`] — one-shot failure injection for recovery tests;
+//! * [`failure`] — scripted fault injection (re-exported from `se-chaos`)
+//!   plus the seam-injection send helper;
 //! * [`metrics`] — latency histograms and per-component overhead timers.
 
 #![warn(missing_docs)]
@@ -24,7 +25,7 @@ pub mod state;
 
 pub use api::{EntityRuntime, ResponseCompleter, ResponseWaiter};
 pub use delay::{delay_channel, DelayReceiver, DelaySender};
-pub use failure::FailurePlan;
+pub use failure::{send_with_chaos, ChaosPlan, CrashPoint, FailurePlan, MsgFaultAction, Seam};
 pub use metrics::{ComponentTimers, LatencyRecorder, LatencySummary, Throughput};
 pub use net::{burn, NetConfig};
 pub use snapshot::{Epoch, SnapshotStore, DEFAULT_SNAPSHOT_RETENTION};

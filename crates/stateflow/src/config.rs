@@ -3,7 +3,8 @@
 use std::time::Duration;
 
 use se_aria::{CommitRule, FallbackPolicy};
-use se_dataflow::{FailurePlan, NetConfig};
+use se_chaos::{ChaosPlan, History};
+use se_dataflow::NetConfig;
 use se_ir::ExecBackend;
 
 /// Tunables of the StateFlow deployment.
@@ -48,8 +49,23 @@ pub struct StateflowConfig {
     /// dispatch, bookkeeping). Burned on the worker thread, so saturation
     /// under load emerges naturally.
     pub service_time: Duration,
-    /// Failure injection plan for recovery tests.
-    pub failure: FailurePlan,
+    /// Fault injection: scripted crashes (per incarnation, at chosen
+    /// protocol points), message faults at the coordinator/worker channel
+    /// seams, or nothing (`ChaosPlan::none()`, the default). The legacy
+    /// `FailurePlan` converts into a one-crash plan via `Into`.
+    pub chaos: ChaosPlan,
+    /// Optional execution-history recording for the serializability
+    /// checker. `None` (the default) records nothing and costs one branch
+    /// per protocol step.
+    pub history: Option<History>,
+    /// Test-only: revert the errored-transaction reservation fix (errored
+    /// chains reserve their buffered writes again, knocking healthy
+    /// higher-id transactions into pointless retries). Exists so the chaos
+    /// harness can prove it catches a real, historical bug; never enable
+    /// outside tests. The `chaos_explore` driver maps
+    /// `SE_CHAOS_INJECT_BUG=reserve-errored` onto this flag.
+    #[doc(hidden)]
+    pub inject_reserve_bug: bool,
     /// Which execution backend runs split method bodies: tree-walking
     /// interpretation, or bytecode compiled once at deploy time and run on
     /// the `se-vm` register VM. Semantically identical; the VM trades a
@@ -71,7 +87,9 @@ impl Default for StateflowConfig {
             snapshot_every_batches: 16,
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             service_time: Duration::from_micros(350),
-            failure: FailurePlan::none(),
+            chaos: ChaosPlan::none(),
+            history: None,
+            inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }
@@ -91,7 +109,9 @@ impl StateflowConfig {
             snapshot_every_batches: 4,
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
             service_time: Duration::from_micros(10),
-            failure: FailurePlan::none(),
+            chaos: ChaosPlan::none(),
+            history: None,
+            inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }

@@ -19,6 +19,15 @@
 //! storms drain at execution speed instead of one network round trip per
 //! transaction. `pipeline_depth = 1` (the default) reproduces the classic
 //! stop-and-wait schedule exactly.
+//!
+//! Chaos hardening: data-plane messages (`Exec`/`Reserve`/`Commit` out,
+//! `ExecDone`/`Flags`/`CommitAck` in) may be duplicated, delayed or
+//! quarantined by a scripted [`ChaosPlan`], so every per-message state
+//! transition here is idempotent — flag reports are deduplicated per
+//! worker, commit acks are tracked as per-batch worker sets, and stale
+//! completions are dropped. Control-plane traffic (restore, snapshot
+//! markers, failure notifications) bypasses injection: it models the
+//! failure detector and alignment protocol the engine assumes reliable.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,10 +37,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use se_aria::{BatchId, CommitRule, TxnId};
+use se_chaos::{BatchKindTag, HistoryEvent, Seam, TxnOutcome};
 use se_dataflow::{
-    DelayReceiver, DelaySender, Epoch, ResponseCompleter, SnapshotStore, SourceReader, StateStore,
+    send_with_chaos, DelayReceiver, DelaySender, Epoch, ResponseCompleter, SnapshotStore,
+    SourceReader, StateStore,
 };
-use se_ir::{partition_for, Invocation, RequestId, Response};
+use se_ir::{partition_for, Invocation, InvocationKind, RequestId, Response};
 use se_lang::Value;
 
 use crate::config::StateflowConfig;
@@ -74,6 +85,16 @@ enum BatchKind {
     },
 }
 
+impl BatchKind {
+    fn tag(self) -> BatchKindTag {
+        match self {
+            BatchKind::Regular => BatchKindTag::Regular,
+            BatchKind::Fallback { solo: false } => BatchKindTag::Fallback,
+            BatchKind::Fallback { solo: true } => BatchKindTag::Solo,
+        }
+    }
+}
+
 /// Progress of one in-flight batch.
 enum BatchStage {
     /// Waiting for every transaction's `ExecDone`.
@@ -81,7 +102,10 @@ enum BatchStage {
     /// Reservation round in flight: waiting for every worker's flags.
     Deciding {
         flags: HashMap<TxnId, ConflictFlags>,
-        workers_reported: usize,
+        /// Workers whose flags arrived — a set, not a counter, so a
+        /// duplicated `Flags` delivery cannot trigger a premature decision
+        /// with a partition's conflicts missing.
+        reported: BTreeSet<usize>,
     },
 }
 
@@ -143,9 +167,15 @@ pub struct Coordinator {
     /// Sealed batches that have not finished their commit round, at most
     /// `pipeline_depth` of them, keyed by batch id.
     in_flight: BTreeMap<BatchId, InFlightBatch>,
-    /// Commit messages sent (or, for solo batches, locally decided) but not
-    /// yet acknowledged by every worker; they only gate snapshots.
-    outstanding_commit_acks: usize,
+    /// Workers whose commit ack for a batch is still outstanding. Tracked
+    /// as sets (not a counter) so duplicated acks cannot unlock a snapshot
+    /// early; they only gate snapshots.
+    pending_acks: BTreeMap<BatchId, BTreeSet<usize>>,
+    /// Commit acks that arrived before their batch was finalized: a solo
+    /// batch's deciding worker acks right after its `ExecDone`, and a
+    /// chaos-delayed `ExecDone` can lose the race. Held only for batches
+    /// still in flight, drained when the batch finalizes.
+    early_acks: BTreeMap<BatchId, BTreeSet<usize>>,
 }
 
 impl Coordinator {
@@ -181,7 +211,8 @@ impl Coordinator {
             epoch: 0,
             mode: Mode::Running,
             in_flight: BTreeMap::new(),
-            outstanding_commit_acks: 0,
+            pending_acks: BTreeMap::new(),
+            early_acks: BTreeMap::new(),
         }
     }
 
@@ -195,9 +226,47 @@ impl Coordinator {
         self.cfg.net.f2f_latency(64)
     }
 
+    /// Control-plane broadcast: never faulted.
     fn broadcast(&self, mk: impl Fn() -> WorkerMsg) {
         for w in &self.workers {
             w.send_after(mk(), self.control_delay());
+        }
+    }
+
+    /// Data-plane broadcast (`Reserve`/`Commit`): runs through the chaos
+    /// seam, so scripted faults can drop, duplicate or delay per worker.
+    fn broadcast_chaos(&self, mk: impl Fn() -> WorkerMsg) {
+        for w in &self.workers {
+            send_with_chaos(
+                &self.cfg.chaos,
+                Seam::CoordToWorker,
+                &self.cfg.net,
+                w,
+                mk(),
+                self.control_delay(),
+            );
+        }
+    }
+
+    /// Arms the per-worker commit-ack set for a finalized batch, crediting
+    /// any acks that raced ahead of the finalization.
+    fn arm_pending_acks(&mut self, batch_id: BatchId) {
+        let mut pending: BTreeSet<usize> = (0..self.workers.len()).collect();
+        if let Some(early) = self.early_acks.remove(&batch_id) {
+            for w in early {
+                pending.remove(&w);
+            }
+        }
+        if !pending.is_empty() {
+            self.pending_acks.insert(batch_id, pending);
+        }
+    }
+
+    /// Appends to the recorded history, if recording is on. The closure
+    /// keeps event construction off the hot path when it is not.
+    fn record(&self, mk: impl FnOnce() -> HistoryEvent) {
+        if let Some(h) = &self.cfg.history {
+            h.record(mk());
         }
     }
 
@@ -244,6 +313,16 @@ impl Coordinator {
                 ClientOp::Invoke(inv) => {
                     let txn = self.next_txn;
                     self.next_txn += 1;
+                    self.record(|| HistoryEvent::Root {
+                        txn,
+                        request: inv.request.0,
+                        target: inv.target,
+                        method: inv.method.to_string(),
+                        args: match &inv.kind {
+                            InvocationKind::Start { args } => args.clone(),
+                            InvocationKind::Resume { .. } => Vec::new(),
+                        },
+                    });
                     self.roots.insert(txn, inv);
                     self.queue.push_back(txn);
                     if self.batch_deadline.is_none() {
@@ -295,16 +374,26 @@ impl Coordinator {
         );
         let batch = self.next_batch;
         self.next_batch += 1;
+        self.record(|| HistoryEvent::Sealed {
+            batch,
+            txns: txns.clone(),
+            kind: kind.tag(),
+        });
         let solo = kind == (BatchKind::Fallback { solo: true });
         for txn in &txns {
             let inv = self.roots[txn].clone();
             let owner = self.owner_of(inv.target.key.as_str());
             let bytes = inv.approx_size();
-            self.workers[owner].send_after(
+            send_with_chaos(
+                &self.cfg.chaos,
+                Seam::CoordToWorker,
+                &self.cfg.net,
+                &self.workers[owner],
                 WorkerMsg::Exec {
                     gen: self.gen,
                     batch,
                     txn: *txn,
+                    hop: 0,
                     inv,
                     solo,
                 },
@@ -366,18 +455,33 @@ impl Coordinator {
                 self.on_exec_done(batch, txn, response);
             }
             CoordMsg::Flags {
-                gen, batch, flags, ..
+                gen,
+                batch,
+                worker,
+                flags,
             } => {
                 if gen != self.gen {
                     return;
                 }
-                self.on_flags(batch, flags);
+                self.on_flags(batch, worker, flags);
             }
-            CoordMsg::CommitAck { gen, .. } => {
+            CoordMsg::CommitAck { gen, batch, worker } => {
                 if gen != self.gen {
                     return;
                 }
-                self.outstanding_commit_acks = self.outstanding_commit_acks.saturating_sub(1);
+                // Set-removal is naturally idempotent under duplicated
+                // acks; an ack for a batch that is neither pending nor in
+                // flight is stale and ignored.
+                if let Some(pending) = self.pending_acks.get_mut(&batch) {
+                    pending.remove(&worker);
+                    if pending.is_empty() {
+                        self.pending_acks.remove(&batch);
+                    }
+                } else if self.in_flight.contains_key(&batch) {
+                    // Raced ahead of the batch's ExecDone (solo batches
+                    // ack immediately): credit it when the batch finalizes.
+                    self.early_acks.entry(batch).or_default().insert(worker);
+                }
                 self.maybe_snapshot();
             }
             CoordMsg::SnapshotAck { gen, epoch, .. } => {
@@ -437,10 +541,10 @@ impl Coordinator {
                 let errors = Arc::new(batch.errors.clone());
                 batch.stage = BatchStage::Deciding {
                     flags: HashMap::new(),
-                    workers_reported: 0,
+                    reported: BTreeSet::new(),
                 };
                 let gen = self.gen;
-                self.broadcast(move || WorkerMsg::Reserve {
+                self.broadcast_chaos(move || WorkerMsg::Reserve {
                     gen,
                     batch: batch_id,
                     txns: Arc::clone(&txns),
@@ -452,22 +556,27 @@ impl Coordinator {
         }
     }
 
-    fn on_flags(&mut self, batch_id: BatchId, new_flags: Vec<(TxnId, ConflictFlags)>) {
+    fn on_flags(
+        &mut self,
+        batch_id: BatchId,
+        worker: usize,
+        new_flags: Vec<(TxnId, ConflictFlags)>,
+    ) {
         let Some(batch) = self.in_flight.get_mut(&batch_id) else {
             return;
         };
-        let BatchStage::Deciding {
-            flags,
-            workers_reported,
-        } = &mut batch.stage
-        else {
+        let BatchStage::Deciding { flags, reported } = &mut batch.stage else {
             return;
         };
+        if !reported.insert(worker) {
+            // A duplicated Flags delivery: the first report already
+            // counted (and carried identical content).
+            return;
+        }
         for (txn, f) in new_flags {
             flags.entry(txn).or_default().merge(f);
         }
-        *workers_reported += 1;
-        if *workers_reported < self.workers.len() {
+        if reported.len() < self.workers.len() {
             return;
         }
         // All partitions reported: decide.
@@ -506,25 +615,30 @@ impl Coordinator {
             txns,
             mut responses,
             errors,
+            kind,
             ..
         } = batch;
         let aborted = Arc::new(aborted);
         let txns2 = Arc::clone(&txns);
         let aborted2 = Arc::clone(&aborted);
         let gen = self.gen;
-        self.broadcast(move || WorkerMsg::Commit {
+        self.broadcast_chaos(move || WorkerMsg::Commit {
             gen,
             batch: batch_id,
             txns: Arc::clone(&txns2),
             aborted: Arc::clone(&aborted2),
         });
-        self.outstanding_commit_acks += self.workers.len();
+        self.arm_pending_acks(batch_id);
         let retry_set: BTreeSet<TxnId> = retry.iter().copied().collect();
 
         // Respond to committed and hard-failed transactions (the latter are
         // answered with their error and counted apart — they never commit).
         let mut committed = 0u64;
         let mut failed = 0u64;
+        let mut answers: Vec<Response> = Vec::new();
+        let mut committed_outcomes: Vec<TxnOutcome> = Vec::new();
+        let mut failed_outcomes: Vec<TxnOutcome> = Vec::new();
+        let recording = self.cfg.history.is_some();
         for txn in txns.iter() {
             if retry_set.contains(txn) {
                 continue;
@@ -536,9 +650,34 @@ impl Coordinator {
             }
             self.roots.remove(txn);
             if let Some(resp) = responses.remove(txn) {
-                if let Some(completer) = self.waiters.lock().remove(&resp.request) {
-                    completer.complete(resp.result);
+                if recording {
+                    let outcome = TxnOutcome {
+                        txn: *txn,
+                        request: resp.request.0,
+                        result: resp.result.clone().map_err(|e| e.to_string()),
+                    };
+                    if errors.contains(txn) {
+                        failed_outcomes.push(outcome);
+                    } else {
+                        committed_outcomes.push(outcome);
+                    }
                 }
+                answers.push(resp);
+            }
+        }
+        // Record the decision *before* answering clients: a client woken by
+        // its response may immediately snapshot the history and must see
+        // the commit that produced it.
+        self.record(|| HistoryEvent::Decided {
+            batch: batch_id,
+            kind: kind.tag(),
+            committed: committed_outcomes,
+            failed: failed_outcomes,
+            retried: retry.clone(),
+        });
+        for resp in answers {
+            if let Some(completer) = self.waiters.lock().remove(&resp.request) {
+                completer.complete(resp.result);
             }
         }
         self.stats.commits.fetch_add(committed, Ordering::Relaxed);
@@ -583,14 +722,16 @@ impl Coordinator {
             txns,
             mut responses,
             errors,
+            kind,
             ..
         } = batch;
         debug_assert_eq!(txns.len(), 1, "solo batches hold exactly one txn");
         // One ack per worker arrives: the deciding worker's own, and one
         // from each peer applying the broadcast record.
-        self.outstanding_commit_acks += self.workers.len();
+        self.arm_pending_acks(batch_id);
         let txn = txns[0];
-        if errors.contains(&txn) {
+        let errored = errors.contains(&txn);
+        if errored {
             self.stats.failed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.stats.commits.fetch_add(1, Ordering::Relaxed);
@@ -598,6 +739,25 @@ impl Coordinator {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.roots.remove(&txn);
         if let Some(resp) = responses.remove(&txn) {
+            self.record(|| {
+                let outcome = TxnOutcome {
+                    txn,
+                    request: resp.request.0,
+                    result: resp.result.clone().map_err(|e| e.to_string()),
+                };
+                let (committed, failed) = if errored {
+                    (Vec::new(), vec![outcome])
+                } else {
+                    (vec![outcome], Vec::new())
+                };
+                HistoryEvent::Decided {
+                    batch: batch_id,
+                    kind: kind.tag(),
+                    committed,
+                    failed,
+                    retried: Vec::new(),
+                }
+            });
             if let Some(completer) = self.waiters.lock().remove(&resp.request) {
                 completer.complete(resp.result);
             }
@@ -618,7 +778,7 @@ impl Coordinator {
             || !self.in_flight.is_empty()
             || !self.queue.is_empty()
             || !self.fallback_queue.is_empty()
-            || self.outstanding_commit_acks > 0
+            || !self.pending_acks.is_empty()
         {
             return;
         }
@@ -644,11 +804,16 @@ impl Coordinator {
         let offset = epoch
             .and_then(|e| self.snapshots.source_offset(e, "requests"))
             .unwrap_or(0);
+        self.record(|| HistoryEvent::Recovery {
+            gen,
+            source_offset: offset,
+        });
         self.reader.seek(offset);
         self.queue.clear();
         self.fallback_queue.clear();
         self.in_flight.clear();
-        self.outstanding_commit_acks = 0;
+        self.pending_acks.clear();
+        self.early_acks.clear();
         self.roots.clear();
         self.batch_deadline = None;
         self.batches_since_snapshot = 0;

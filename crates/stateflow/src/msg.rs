@@ -86,6 +86,13 @@ pub enum WorkerMsg {
         batch: BatchId,
         /// Transaction id.
         txn: TxnId,
+        /// Position in the transaction's invocation chain: the coordinator
+        /// sends the root at hop 0, every execution step increments. A
+        /// worker tracks the next hop it expects per `(batch, txn)` and
+        /// drops anything below it — re-running a hop would double-apply
+        /// its effects in the transaction's buffer, so duplicated or
+        /// replayed `Exec` deliveries must be idempotent.
+        hop: u32,
         /// The event to process.
         inv: Invocation,
         /// A single-transaction fallback batch that commits at the final

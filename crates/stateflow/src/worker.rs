@@ -14,13 +14,27 @@
 //! *B* until the commit of batch *B−1* has been applied locally — every
 //! execution still reads exactly the snapshot Aria's serial batch order
 //! prescribes.
+//!
+//! Chaos hardening: with a scripted [`se_chaos::ChaosPlan`] armed, any
+//! data-plane message may arrive duplicated, late or not at all (until a
+//! recovery fences it), so the worker's message handling is idempotent:
+//! `Exec` deliveries carry hop sequence numbers and anything at or below
+//! the already-executed hop is dropped (re-running a hop would double-apply
+//! its effects in the transaction buffer), `Exec`s for already-committed
+//! batches are stale and ignored, and commit records are deduplicated by
+//! the watermark. Crashes can be scripted at three protocol points —
+//! executing a hop, handling a reservation round, applying a commit — and
+//! per incarnation, so a restored worker can be killed again.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
 use se_aria::{BatchId, CommitWatermark, ReservationTable, TxnBuffer, TxnId};
-use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender, SnapshotStore, StateStore};
+use se_chaos::{CrashPoint, HistoryEvent, Seam};
+use se_dataflow::{
+    send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, SnapshotStore, StateStore,
+};
 use se_ir::{
     partition_for, process_invocation_with, BodyRunner, DataflowGraph, Invocation, Response,
     StepEffect,
@@ -37,6 +51,7 @@ type CommitRecord = (Arc<Vec<TxnId>>, Arc<BTreeSet<TxnId>>);
 /// An `Exec` message parked until its batch becomes runnable.
 struct DeferredExec {
     txn: TxnId,
+    hop: u32,
     inv: Invocation,
     solo: bool,
 }
@@ -44,6 +59,9 @@ struct DeferredExec {
 /// A worker thread's state and message loop.
 pub struct Worker {
     id: usize,
+    /// `worker<id>`, computed once: the chaos hooks consult it on every
+    /// executed hop, and the hot path must not allocate per call.
+    name: String,
     cfg: StateflowConfig,
     graph: Arc<DataflowGraph>,
     /// Executes split method bodies (interp or VM, per `cfg.backend`).
@@ -52,6 +70,14 @@ pub struct Worker {
     /// Per-batch buffered accesses: batches overlap under pipelining, so
     /// reservation state must be keyed by batch, not just transaction.
     buffers: HashMap<BatchId, HashMap<TxnId, TxnBuffer>>,
+    /// Next expected hop per `(batch, txn)` chain position on this worker;
+    /// deliveries below it are duplicates and dropped. Cleared with the
+    /// batch's buffers.
+    expected_hops: HashMap<BatchId, HashMap<TxnId, u32>>,
+    /// Batches whose reservation round already ran here: a duplicated
+    /// `Reserve` delivery must not rebuild the table, re-record accesses or
+    /// re-report flags (the first report is en route or already counted).
+    reserved: BTreeSet<BatchId>,
     /// Commit progress; orders execution across overlapping batches.
     watermark: CommitWatermark<CommitRecord>,
     /// Execs of batches whose predecessor has not committed locally yet.
@@ -81,12 +107,15 @@ impl Worker {
         timers: Arc<ComponentTimers>,
     ) -> Self {
         Self {
+            name: format!("worker{id}"),
             id,
             cfg,
             graph,
             runner,
             store: StateStore::new(),
             buffers: HashMap::new(),
+            expected_hops: HashMap::new(),
+            reserved: BTreeSet::new(),
             watermark: CommitWatermark::new(),
             deferred: BTreeMap::new(),
             inbox,
@@ -99,8 +128,8 @@ impl Worker {
         }
     }
 
-    fn node_name(&self) -> String {
-        format!("worker{}", self.id)
+    fn node_name(&self) -> &str {
+        &self.name
     }
 
     /// The message loop; returns when a `Shutdown` message arrives or all
@@ -154,7 +183,7 @@ impl Worker {
                 ..
             } => {
                 let result = self.handle_create(&class, &key, init);
-                self.send_coord(CoordMsg::CreateDone {
+                self.send_coord_ctl(CoordMsg::CreateDone {
                     gen: self.gen,
                     request,
                     result,
@@ -163,22 +192,43 @@ impl Worker {
             WorkerMsg::Exec {
                 batch,
                 txn,
+                hop,
                 inv,
                 solo,
                 ..
-            } => self.handle_exec(batch, txn, inv, solo),
+            } => self.handle_exec(batch, txn, hop, inv, solo),
             WorkerMsg::Reserve {
                 batch,
                 txns,
                 errors,
                 ..
-            } => self.handle_reserve(batch, &txns, &errors),
+            } => {
+                if self
+                    .cfg
+                    .chaos
+                    .should_crash(self.node_name(), CrashPoint::Reserve)
+                {
+                    self.crash();
+                    return;
+                }
+                self.handle_reserve(batch, &txns, &errors);
+            }
             WorkerMsg::Commit {
                 batch,
                 txns,
                 aborted,
                 ..
-            } => self.handle_commit(batch, txns, aborted),
+            } => {
+                if self
+                    .cfg
+                    .chaos
+                    .should_crash(self.node_name(), CrashPoint::Commit)
+                {
+                    self.crash();
+                    return;
+                }
+                self.handle_commit(batch, txns, aborted);
+            }
             WorkerMsg::Snapshot { epoch, .. } => {
                 debug_assert!(
                     self.deferred.is_empty(),
@@ -189,8 +239,8 @@ impl Worker {
                     self.watermark.next_expected()
                 );
                 self.snapshots
-                    .put(epoch, &self.node_name(), self.store.clone());
-                self.send_coord(CoordMsg::SnapshotAck {
+                    .put(epoch, self.node_name(), self.store.clone());
+                self.send_coord_ctl(CoordMsg::SnapshotAck {
                     gen: self.gen,
                     epoch,
                     worker: self.id,
@@ -200,8 +250,29 @@ impl Worker {
         }
     }
 
-    fn send_coord(&self, msg: CoordMsg) {
+    /// Control-plane send to the coordinator: never faulted (acks of
+    /// restore/snapshot/create model reliable infrastructure channels).
+    fn send_coord_ctl(&self, msg: CoordMsg) {
         self.coord.send_after(msg, self.cfg.net.f2f_latency(64));
+    }
+
+    /// Data-plane send to the coordinator: runs through the chaos seam.
+    fn send_coord(&self, msg: CoordMsg) {
+        send_with_chaos(
+            &self.cfg.chaos,
+            Seam::WorkerToCoord,
+            &self.cfg.net,
+            &self.coord,
+            msg,
+            self.cfg.net.f2f_latency(64),
+        );
+    }
+
+    /// Appends to the recorded history, if recording is on.
+    fn record(&self, mk: impl FnOnce() -> HistoryEvent) {
+        if let Some(h) = &self.cfg.history {
+            h.record(mk());
+        }
     }
 
     fn handle_create(
@@ -218,20 +289,28 @@ impl Worker {
 
     /// Entry point for `Exec` messages (roots and chain hops alike): run
     /// now if the batch's predecessor has committed locally, else park it
-    /// on the watermark.
-    fn handle_exec(&mut self, batch: BatchId, txn: TxnId, inv: Invocation, solo: bool) {
+    /// on the watermark. Deliveries for already-committed batches are
+    /// stale (a duplicate that outlived its batch) and dropped.
+    fn handle_exec(&mut self, batch: BatchId, txn: TxnId, hop: u32, inv: Invocation, solo: bool) {
         if self.watermark.must_defer(batch) {
             self.deferred
                 .entry(batch)
                 .or_default()
-                .push_back(DeferredExec { txn, inv, solo });
+                .push_back(DeferredExec {
+                    txn,
+                    hop,
+                    inv,
+                    solo,
+                });
             return;
         }
-        debug_assert!(
-            self.watermark.runnable(batch),
-            "Exec for already-committed batch {batch}"
-        );
-        self.run_chain(batch, txn, inv, solo);
+        if !self.watermark.runnable(batch) {
+            // The batch already committed locally: this is a duplicated or
+            // quarantined delivery from its past. Re-executing would write
+            // into a buffer nobody will ever apply.
+            return;
+        }
+        self.run_chain(batch, txn, hop, inv, solo);
     }
 
     /// Runs execs whose batch became runnable after a watermark advance.
@@ -254,7 +333,7 @@ impl Worker {
                 // which the loop would never revisit (and clean) its key.
                 self.deferred.remove(&batch);
             }
-            self.run_chain(batch, item.txn, item.inv, item.solo);
+            self.run_chain(batch, item.txn, item.hop, item.inv, item.solo);
             // A solo commit inside run_chain may have advanced the
             // watermark; re-resolve the runnable batch from scratch. A
             // batch's queue only holds work that arrived before the batch
@@ -268,10 +347,37 @@ impl Worker {
     /// buffered writes; effects are buffered, never applied — Aria defers
     /// all writes to the commit phase. Solo (single-transaction fallback)
     /// batches commit at the final hop; see [`Worker::commit_solo`].
-    fn run_chain(&mut self, batch: BatchId, txn: TxnId, mut inv: Invocation, solo: bool) {
+    fn run_chain(
+        &mut self,
+        batch: BatchId,
+        txn: TxnId,
+        mut hop: u32,
+        mut inv: Invocation,
+        solo: bool,
+    ) {
+        {
+            // Hop-sequence dedup: chains advance strictly forward, so a
+            // delivery at or below the last executed hop is a duplicate —
+            // re-running it would double-apply effects like `balance += a`
+            // through the buffer overlay.
+            let expected = self
+                .expected_hops
+                .entry(batch)
+                .or_default()
+                .entry(txn)
+                .or_insert(0);
+            if hop < *expected {
+                return;
+            }
+            *expected = hop + 1;
+        }
         loop {
-            // Failure injection: one simulated crash per plan.
-            if self.cfg.failure.should_fail(&self.node_name()) {
+            // Failure injection: scripted crashes land per executed hop.
+            if self
+                .cfg
+                .chaos
+                .should_crash(self.node_name(), CrashPoint::Exec)
+            {
                 self.crash();
                 return;
             }
@@ -319,18 +425,31 @@ impl Worker {
                     return;
                 }
                 StepEffect::Emit(next) => {
+                    hop += 1;
                     let owner = partition_for(next.target.key.as_str(), self.peers.len());
                     if owner == self.id {
-                        // Same-partition call: continue locally, no hop.
+                        // Same-partition call: continue locally, no hop
+                        // message — but the position still advances so a
+                        // later duplicate of the *message* that started
+                        // this chain segment stays below `expected`.
+                        self.expected_hops
+                            .entry(batch)
+                            .or_default()
+                            .insert(txn, hop + 1);
                         inv = next;
                         continue;
                     }
                     let bytes = next.approx_size();
-                    self.peers[owner].send_after(
+                    send_with_chaos(
+                        &self.cfg.chaos,
+                        Seam::WorkerToWorker,
+                        &self.cfg.net,
+                        &self.peers[owner],
                         WorkerMsg::Exec {
                             gen: self.gen,
                             batch,
                             txn,
+                            hop,
                             inv: next,
                             solo,
                         },
@@ -382,6 +501,7 @@ impl Worker {
             "solo batch {batch} committing out of order"
         );
         let local = self.buffers.remove(&batch);
+        self.expected_hops.remove(&batch);
         if !errored {
             if let Some(buffer) = local.and_then(|mut b| b.remove(&txn)) {
                 self.apply_writes(buffer);
@@ -398,7 +518,11 @@ impl Worker {
             if peer == self.id {
                 continue;
             }
-            sender.send_after(
+            send_with_chaos(
+                &self.cfg.chaos,
+                Seam::WorkerToWorker,
+                &self.cfg.net,
+                sender,
                 WorkerMsg::Commit {
                     gen: self.gen,
                     batch,
@@ -415,15 +539,48 @@ impl Worker {
     /// unconditionally and never commit, so they neither reserve nor need
     /// flags — their buffered writes must not knock out healthy ones.
     fn handle_reserve(&mut self, batch: BatchId, txns: &[TxnId], errors: &BTreeSet<TxnId>) {
+        if self.watermark.next_expected() > batch {
+            // The batch already committed locally: a duplicate that
+            // outlived its round (its `reserved` entry is long cleaned
+            // up). Note the guard must NOT require `runnable(batch)` — a
+            // worker with no transactions of this batch may legitimately
+            // reserve while earlier batches' commits are still in flight
+            // to it, and skipping then would starve the coordinator of
+            // this partition's flags forever.
+            return;
+        }
+        if !self.reserved.insert(batch) {
+            // Duplicate delivery: the original round's flags are already
+            // out (the coordinator deduplicates reports per worker).
+            return;
+        }
+        // Test-only regression lever: `inject_reserve_bug` reverts to the
+        // pre-fix behavior (errored chains reserve too), which the history
+        // checker must flag as unjustified aborts. See StateflowConfig.
+        let reserve_errored = self.cfg.inject_reserve_bug;
         let buffers = self.buffers.get(&batch);
         let buffer_of = |txn: &TxnId| buffers.and_then(|b| b.get(txn));
         let mut table = ReservationTable::new();
         for txn in txns {
-            if errors.contains(txn) {
+            if errors.contains(txn) && !reserve_errored {
                 continue;
             }
             if let Some(buf) = buffer_of(txn) {
                 table.reserve(*txn, buf);
+            }
+        }
+        if self.cfg.history.is_some() {
+            for txn in txns {
+                if let Some(buf) = buffer_of(txn) {
+                    let worker = self.id;
+                    self.record(|| HistoryEvent::Access {
+                        worker,
+                        batch,
+                        txn: *txn,
+                        reads: buf.reads.iter().copied().collect(),
+                        writes: buf.writes.keys().copied().collect(),
+                    });
+                }
             }
         }
         let flags: Vec<(TxnId, ConflictFlags)> = txns
@@ -450,7 +607,9 @@ impl Worker {
     }
 
     /// The commit phase: apply records in batch order (buffering any that
-    /// arrive early), then release execs the advance unblocked.
+    /// arrive early), then release execs the advance unblocked. Records for
+    /// already-committed batches (duplicates) are absorbed by the
+    /// watermark.
     fn handle_commit(
         &mut self,
         batch: BatchId,
@@ -471,6 +630,8 @@ impl Worker {
             "commit order must be ascending"
         );
         let mut buffers = self.buffers.remove(&batch).unwrap_or_default();
+        self.expected_hops.remove(&batch);
+        self.reserved.remove(&batch);
         for txn in txns {
             let Some(buffer) = buffers.remove(txn) else {
                 continue;
@@ -504,9 +665,12 @@ impl Worker {
         // Volatile state dies with the "process".
         self.store = StateStore::new();
         self.buffers.clear();
+        self.expected_hops.clear();
+        self.reserved.clear();
         self.deferred.clear();
         self.dead = true;
-        self.send_coord(CoordMsg::WorkerFailed {
+        // Failure notification models the failure detector: not faulted.
+        self.send_coord_ctl(CoordMsg::WorkerFailed {
             gen: self.gen,
             worker: self.id,
         });
@@ -515,13 +679,18 @@ impl Worker {
     fn handle_restore(&mut self, gen: u64, epoch: Option<se_dataflow::Epoch>, next_batch: BatchId) {
         self.gen = gen;
         self.buffers.clear();
+        self.expected_hops.clear();
+        self.reserved.clear();
         self.deferred.clear();
         self.watermark.reset(next_batch);
         self.store = epoch
-            .and_then(|e| self.snapshots.get(e, &self.node_name()))
+            .and_then(|e| self.snapshots.get(e, self.node_name()))
             .unwrap_or_default();
         self.dead = false;
-        self.send_coord(CoordMsg::RestoreAck {
+        // The next incarnation begins: re-arm the chaos plan's per-node
+        // counters so a multi-crash script can kill this worker again.
+        self.cfg.chaos.notify_restart(self.node_name());
+        self.send_coord_ctl(CoordMsg::RestoreAck {
             gen,
             worker: self.id,
         });

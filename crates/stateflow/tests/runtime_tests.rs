@@ -5,8 +5,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use se_chaos::{ChaosPlan, CrashFault, CrashPoint, FaultScript};
 use se_compiler::compile;
-use se_dataflow::{EntityRuntime, FailurePlan};
+use se_dataflow::EntityRuntime;
 use se_lang::builder::*;
 use se_lang::{EntityRef, Program, Type, Value};
 use se_stateflow::{StateflowConfig, StateflowRuntime};
@@ -331,7 +332,7 @@ fn exactly_once_scenario(snapshot_every: u64, fail_after: u64) {
     let program = account_program();
     let mut cfg = StateflowConfig::fast_test(3);
     cfg.snapshot_every_batches = snapshot_every;
-    cfg.failure = FailurePlan::fail_node_after("worker0", fail_after);
+    cfg.chaos = ChaosPlan::single_crash("worker0", fail_after);
     let rt = Arc::new(deploy(&program, cfg.clone()));
 
     let n_accounts = 6usize;
@@ -369,8 +370,9 @@ fn exactly_once_scenario(snapshot_every: u64, fail_after: u64) {
             .expect("no error");
     }
 
-    assert!(
-        cfg.failure.has_fired(),
+    assert_eq!(
+        cfg.chaos.crashes_fired(),
+        1,
         "the injected failure must actually fire"
     );
     assert_eq!(
@@ -410,7 +412,7 @@ fn transfers_survive_failure_with_conservation() {
     let program = account_program();
     let mut cfg = StateflowConfig::fast_test(3);
     cfg.snapshot_every_batches = 3;
-    cfg.failure = FailurePlan::fail_node_after("worker1", 25);
+    cfg.chaos = ChaosPlan::single_crash("worker1", 25);
     let rt = Arc::new(deploy(&program, cfg.clone()));
     for i in 0..4 {
         rt.create(
@@ -432,12 +434,83 @@ fn transfers_survive_failure_with_conservation() {
             .expect("transfer completes")
             .expect("no error");
     }
-    assert!(cfg.failure.has_fired());
+    assert_eq!(cfg.chaos.crashes_fired(), 1);
     let total: i64 = (0..4).map(|i| get_balance(&rt, &format!("a{i}"))).sum();
     assert_eq!(total, 40_000, "conservation across failure + replay");
     // Every account sent 20×5 and received 20×5: net zero.
     for i in 0..4 {
         assert_eq!(get_balance(&rt, &format!("a{i}")), 10_000);
+    }
+    rt.shutdown();
+}
+
+/// A multi-crash script kills the *same* worker twice: the first recovery
+/// must not exhaust the plan (the old one-shot `FailurePlan` semantics), and
+/// the second incarnation's countdown starts from zero. Exactly-once must
+/// hold across both replays.
+#[test]
+fn same_worker_crashes_twice_and_recovers_twice() {
+    let program = account_program();
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.snapshot_every_batches = 2;
+    cfg.chaos = ChaosPlan::from_script(FaultScript {
+        crashes: vec![
+            CrashFault {
+                node: "worker0".into(),
+                point: CrashPoint::Exec,
+                after_events: 15,
+            },
+            CrashFault {
+                node: "worker0".into(),
+                point: CrashPoint::Exec,
+                after_events: 10,
+            },
+        ],
+        ..FaultScript::default()
+    });
+    let rt = Arc::new(deploy(&program, cfg.clone()));
+
+    let n_accounts = 6usize;
+    for i in 0..n_accounts {
+        rt.create("Account", &format!("a{i}"), vec![]).unwrap();
+    }
+    let mut expected = vec![0i64; n_accounts];
+    let mut waiters = Vec::new();
+    for i in 0..150 {
+        let acct = i % n_accounts;
+        let amount = (i % 9 + 1) as i64;
+        expected[acct] += amount;
+        waiters.push(rt.call_async(
+            EntityRef::new("Account", format!("a{acct}")),
+            "deposit",
+            vec![Value::Int(amount)],
+        ));
+        if i % 10 == 0 {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    }
+    for w in waiters {
+        w.wait_timeout(WAIT)
+            .expect("deposit must complete after both recoveries")
+            .expect("no error");
+    }
+    assert_eq!(
+        cfg.chaos.crashes_fired(),
+        2,
+        "both scripted crashes of worker0 must fire"
+    );
+    assert_eq!(
+        rt.stats()
+            .recoveries
+            .load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(
+            get_balance(&rt, &format!("a{i}")),
+            *want,
+            "a{i}: exactly-once violated across a double crash"
+        );
     }
     rt.shutdown();
 }

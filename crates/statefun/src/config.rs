@@ -2,7 +2,8 @@
 
 use std::time::Duration;
 
-use se_dataflow::{FailurePlan, NetConfig};
+use se_chaos::{ChaosPlan, History};
+use se_dataflow::NetConfig;
 use se_ir::ExecBackend;
 
 /// How the runtime checkpoints.
@@ -47,8 +48,16 @@ pub struct StatefunConfig {
     /// (0 = keep every epoch forever). Recovery always restores the latest
     /// complete epoch, which is always retained.
     pub snapshot_retention: usize,
-    /// Failure injection (requires [`CheckpointMode::Transactional`]).
-    pub failure: FailurePlan,
+    /// Fault injection: scripted task crashes, message faults on the
+    /// remote-function request/response seams, and broker outage windows.
+    /// Crash scripts require [`CheckpointMode::Transactional`] (nothing to
+    /// recover from otherwise). The legacy `FailurePlan` converts into a
+    /// one-crash plan via `Into`.
+    pub chaos: ChaosPlan,
+    /// Optional execution-history recording (per-key dispatch/install
+    /// events for the per-key serialization check). `None` (the default)
+    /// records nothing and costs one branch per step.
+    pub history: Option<History>,
     /// Which execution backend runs split method bodies: tree-walking
     /// interpretation, or bytecode compiled once at deploy time and run on
     /// the `se-vm` register VM. Semantically identical; the VM trades a
@@ -66,7 +75,8 @@ impl Default for StatefunConfig {
             service_time: Duration::from_micros(700),
             checkpoint: CheckpointMode::None,
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
-            failure: FailurePlan::none(),
+            chaos: ChaosPlan::none(),
+            history: None,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }
@@ -82,7 +92,8 @@ impl StatefunConfig {
             service_time: Duration::from_micros(10),
             checkpoint: CheckpointMode::None,
             snapshot_retention: se_dataflow::DEFAULT_SNAPSHOT_RETENTION,
-            failure: FailurePlan::none(),
+            chaos: ChaosPlan::none(),
+            history: None,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
     }

@@ -49,6 +49,12 @@ pub struct RemoteRequest {
     pub gen: u64,
     /// Issuing partition (the response returns there).
     pub task: usize,
+    /// Per-task dispatch sequence number, echoed in the response: the task
+    /// accepts a response only if it matches the entity's *current*
+    /// outstanding dispatch, so duplicated or quarantined responses (and
+    /// requests, whose duplicate executions produce extra responses) cannot
+    /// install stale state or break per-key serialization.
+    pub seq: u64,
     /// The invocation to run.
     pub inv: Invocation,
     /// The target entity's state at dispatch time.
@@ -56,10 +62,12 @@ pub struct RemoteRequest {
 }
 
 /// The remote runtime's reply: mutated state plus the routing effect.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RemoteResponse {
     /// Echoed fencing generation.
     pub gen: u64,
+    /// Echoed dispatch sequence number (see [`RemoteRequest::seq`]).
+    pub seq: u64,
     /// Entity whose state was shipped.
     pub entity: EntityRef,
     /// The (possibly mutated) state to install in managed operator state.

@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender};
+use se_chaos::Seam;
+use se_dataflow::{send_with_chaos, ComponentTimers, DelayReceiver, DelaySender};
 use se_ir::{process_invocation_with, BodyRunner, DataflowGraph, InvocationKind};
 use se_lang::Env;
 
@@ -76,9 +77,14 @@ pub fn run_remote_worker(
         let new_state = timers.time("state_serialization", || state.deep_clone());
         let bytes = new_state.approx_size();
 
-        responders[req.task].send_after(
+        send_with_chaos(
+            &cfg.chaos,
+            Seam::RemoteResponse,
+            &cfg.net,
+            &responders[req.task],
             RemoteResponse {
                 gen: req.gen,
+                seq: req.seq,
                 entity,
                 new_state,
                 effect,

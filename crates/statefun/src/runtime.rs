@@ -37,18 +37,20 @@ impl StatefunRuntime {
     /// Deploys a compiled dataflow graph on a fresh StateFun-style cluster.
     pub fn deploy(graph: DataflowGraph, cfg: StatefunConfig) -> Self {
         assert!(cfg.partitions > 0 && cfg.remote_workers > 0);
-        // Failure injection without checkpoints cannot recover.
+        // Crash injection without checkpoints cannot recover. (Pure message
+        // weather — duplicates, delays, outages — is fine either way.)
         assert!(
-            !cfg.failure.is_armed()
+            !cfg.chaos.has_crashes()
                 || matches!(cfg.checkpoint, CheckpointMode::Transactional { .. }),
-            "failure injection requires CheckpointMode::Transactional"
+            "crash injection requires CheckpointMode::Transactional"
         );
         let graph = Arc::new(graph);
         // Deploy-time backend selection: with the VM backend, method bodies
         // are lowered to bytecode once here and shared by all remote
         // function workers.
         let runner = se_vm::runner_for(cfg.backend, &graph.program);
-        let broker = Broker::new(cfg.net.clone());
+        // Outage windows in the chaos script act on broker visibility.
+        let broker = Broker::with_chaos(cfg.net.clone(), cfg.chaos.clone());
         broker.create_topic(topics::INGRESS, cfg.partitions);
         broker.create_topic(topics::EGRESS, 1);
 

@@ -14,7 +14,7 @@
 //! race the paper explicitly acknowledges (§3). `tests` in this crate and
 //! the `statefun_anomaly` integration test demonstrate it.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,7 +22,10 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use se_broker::Broker;
-use se_dataflow::{ComponentTimers, DelayReceiver, DelaySender, Epoch, SnapshotStore, StateStore};
+use se_chaos::{CrashPoint, HistoryEvent, Seam};
+use se_dataflow::{
+    send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, Epoch, SnapshotStore, StateStore,
+};
 use se_ir::{DataflowGraph, Invocation, Response, StepEffect};
 use se_lang::{EntityRef, LangError};
 
@@ -54,7 +57,11 @@ pub struct PartitionTask {
     graph: Arc<DataflowGraph>,
     store: StateStore,
     offset: u64,
-    inflight: HashSet<EntityRef>,
+    /// Outstanding dispatch per entity: the sequence number a response must
+    /// echo to be accepted (duplicates and stale responses fail the match).
+    inflight: HashMap<EntityRef, u64>,
+    /// Monotonic dispatch counter feeding `inflight` sequence numbers.
+    next_seq: u64,
     waiting: HashMap<EntityRef, VecDeque<Invocation>>,
     /// Staged produces (Transactional mode) as `(topic, key, record,
     /// bytes)`: flushed at epoch boundaries.
@@ -94,7 +101,8 @@ impl PartitionTask {
             graph,
             store: StateStore::new(),
             offset: 0,
-            inflight: HashSet::new(),
+            inflight: HashMap::new(),
+            next_seq: 0,
             waiting: HashMap::new(),
             staged: Vec::new(),
             pool_tx,
@@ -184,14 +192,31 @@ impl PartitionTask {
                 self.emit_egress(Response { request, result });
             }
             SfRecord::Invoke(inv) => {
-                if self.cfg.failure.should_fail(&self.node_name()) {
+                if self
+                    .cfg
+                    .chaos
+                    .should_crash(&self.node_name(), CrashPoint::Exec)
+                {
                     self.crash();
                     return;
                 }
                 self.timers.time("routing", || {});
                 self.dispatch_or_queue(inv);
             }
-            SfRecord::Barrier { epoch } => self.on_barrier(epoch),
+            SfRecord::Barrier { epoch } => {
+                // A crash while a checkpoint barrier drains — mid-epoch,
+                // staged produces unflushed — is the window exactly-once
+                // recovery must cover.
+                if self
+                    .cfg
+                    .chaos
+                    .should_crash(&self.node_name(), CrashPoint::Commit)
+                {
+                    self.crash();
+                    return;
+                }
+                self.on_barrier(epoch);
+            }
             SfRecord::Response(_) => { /* egress records never reach ingress */ }
         }
     }
@@ -199,7 +224,7 @@ impl PartitionTask {
     /// Per-key serialization: one in-flight invocation per entity.
     fn dispatch_or_queue(&mut self, inv: Invocation) {
         let target = inv.target;
-        if self.inflight.contains(&target) {
+        if self.inflight.contains_key(&target) {
             self.waiting.entry(target).or_default().push_back(inv);
         } else {
             self.dispatch(inv);
@@ -223,11 +248,26 @@ impl PartitionTask {
             .timers
             .time("state_serialization", || state.deep_clone());
         let bytes = shipped.approx_size() + inv.approx_size();
-        self.inflight.insert(target);
-        self.pool_tx.send_after(
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight.insert(target, seq);
+        if let Some(h) = &self.cfg.history {
+            h.record(HistoryEvent::SfDispatch {
+                task: self.id,
+                seq,
+                entity: target,
+                method: inv.method.to_string(),
+            });
+        }
+        send_with_chaos(
+            &self.cfg.chaos,
+            Seam::RemoteRequest,
+            &self.cfg.net,
+            &self.pool_tx,
             RemoteRequest {
                 gen: self.gen,
                 task: self.id,
+                seq,
                 inv,
                 state: shipped,
             },
@@ -236,11 +276,25 @@ impl PartitionTask {
     }
 
     fn on_response(&mut self, resp: RemoteResponse) {
+        // Accept only the response to the entity's *current* outstanding
+        // dispatch: a duplicated request produces two responses, and a
+        // quarantined response can arrive after a newer dispatch — either
+        // would install stale state or double-release the per-key queue.
+        if self.inflight.get(&resp.entity) != Some(&resp.seq) {
+            return;
+        }
         // Install the returned state into managed operator state.
         self.timers.time("state_storage", || {
             self.store.insert(resp.entity, resp.new_state);
         });
         self.inflight.remove(&resp.entity);
+        if let Some(h) = &self.cfg.history {
+            h.record(HistoryEvent::SfInstall {
+                task: self.id,
+                seq: resp.seq,
+                entity: resp.entity,
+            });
+        }
         match resp.effect {
             StepEffect::Emit(next) => {
                 // Continuation loops back through the broker — the Kafka
@@ -335,6 +389,12 @@ impl PartitionTask {
         self.staged.clear();
         self.gen = gen;
         self.dead = false;
+        // The next incarnation begins: re-arm per-node chaos counters so a
+        // multi-crash script can kill this task again.
+        self.cfg.chaos.notify_restart(&self.node_name());
+        if let Some(h) = &self.cfg.history {
+            h.record(HistoryEvent::SfRecovery { task: self.id, gen });
+        }
     }
 }
 

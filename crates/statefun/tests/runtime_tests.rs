@@ -5,8 +5,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use se_chaos::ChaosPlan;
 use se_compiler::compile;
-use se_dataflow::{EntityRuntime, FailurePlan};
+use se_dataflow::EntityRuntime;
 use se_lang::{EntityRef, Program, Value};
 use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};
 
@@ -196,7 +197,7 @@ fn exactly_once_with_transactional_checkpoints_and_failure() {
     cfg.checkpoint = CheckpointMode::Transactional {
         interval: Duration::from_millis(25),
     };
-    cfg.failure = FailurePlan::fail_node_after("task0", 15);
+    cfg.chaos = ChaosPlan::single_crash("task0", 15);
     let rt = Arc::new(deploy(&program, cfg.clone()));
 
     let n = 6usize;
@@ -223,7 +224,7 @@ fn exactly_once_with_transactional_checkpoints_and_failure() {
             .expect("increment must complete after recovery")
             .expect("no error");
     }
-    assert!(cfg.failure.has_fired(), "failure must fire");
+    assert_eq!(cfg.chaos.crashes_fired(), 1, "failure must fire");
     assert!(rt.recoveries() >= 1, "recovery must run");
 
     for (i, want) in expected.iter().enumerate() {

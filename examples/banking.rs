@@ -12,7 +12,7 @@ use std::sync::atomic::Ordering;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use se_dataflow::FailurePlan;
+use se_dataflow::ChaosPlan;
 use se_workloads::{KeyChooser, Zipfian};
 use stateful_entities::prelude::*;
 use stateful_entities::StateflowConfig;
@@ -26,10 +26,10 @@ fn main() {
     let cfg = StateflowConfig {
         snapshot_every_batches: 4,
         // Crash worker 2 after it has executed 150 invocation steps.
-        failure: FailurePlan::fail_node_after("worker2", 150),
+        chaos: ChaosPlan::single_crash("worker2", 150),
         ..StateflowConfig::default()
     };
-    let failure = cfg.failure.clone();
+    let failure = cfg.chaos.clone();
 
     let graph = stateful_entities::compile(&program).expect("compiles");
     let rt = stateful_entities::StateflowRuntime::deploy(graph, cfg);
@@ -94,7 +94,7 @@ fn main() {
         stats.snapshots.load(Ordering::Relaxed),
         stats.recoveries.load(Ordering::Relaxed),
     );
-    println!("  worker crash fired: {}", failure.has_fired());
+    println!("  worker crash fired: {}", failure.crashes_fired() > 0);
     println!(
         "  total money: {total} (expected {})",
         initial * n_accounts as i64

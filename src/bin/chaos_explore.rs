@@ -1,0 +1,437 @@
+//! `chaos_explore` — randomized, seed-reproducible chaos scenarios against
+//! the StateFlow engine, with script shrinking on failure.
+//!
+//! Each scenario samples a point in {workload A/T, zipfian/uniform key
+//! popularity, pipeline depth 1/2/4/8, execution backend interp/vm, seeded
+//! fault script} and runs a contended workload (plus, for T, a slice of
+//! transfers to a nonexistent "ghost" account, so errored transactions
+//! share batches with healthy ones). The run records its execution history;
+//! a scenario passes only if
+//!
+//! 1. every request completes (liveness — quarantined messages and scripted
+//!    crashes must never wedge the system),
+//! 2. the history passes the serializability checker (decisions justified,
+//!    exactly-once across recoveries, retries monotone),
+//! 3. replaying the history's equivalent serial order through the
+//!    single-threaded Local oracle reproduces every committed response and
+//!    the distributed run's final state.
+//!
+//! On failure the driver *shrinks*: it removes scripted faults one at a
+//! time, re-running after each removal and keeping it when the failure
+//! still reproduces, then reports `(seed, minimized script)` as JSON under
+//! `chaos_results/` and exits non-zero.
+//!
+//! Knobs: `SE_CHAOS_SEED` (master seed), `SE_CHAOS_SCENARIOS` (count,
+//! default 20; `--scenarios N` wins), `SE_TIME_SCALE` (applied to the
+//! simulated network), `SE_CHAOS_INJECT_BUG=reserve-errored` (reverts the
+//! errored-transaction reservation fix — the self-test proving the harness
+//! catches a real historical bug; pair with `--expect-bug`).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use stateful_entities::prelude::*;
+use stateful_entities::{
+    check_history, serial_order, ChaosPlan, FaultScript, History, ScriptConfig, StateflowConfig,
+};
+
+const WORKERS: usize = 3;
+const KEYS: usize = 8;
+/// One extra account normal ops never touch: each ghost transfer draws
+/// from it and is chased by a healthy deposit to it, so the pair shares a
+/// key with *no other writer* — an abort of that deposit can never be
+/// justified by a natural conflict, which is exactly the signature of the
+/// errored-reservation regression the harness must be able to catch.
+const FRAGILE: usize = KEYS;
+const ACCOUNTS: usize = KEYS + 1;
+const OPS: usize = 120;
+const INITIAL_BALANCE: i64 = 500;
+const VALUE_SIZE: usize = 16;
+const WAIT: Duration = Duration::from_secs(60);
+
+fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One sampled scenario (everything needed to reproduce it).
+#[derive(Debug, Clone, Serialize)]
+struct Scenario {
+    seed: u64,
+    workload: &'static str,
+    dist: &'static str,
+    depth: usize,
+    backend: String,
+    script: FaultScript,
+}
+
+impl Scenario {
+    fn sample(seed: u64) -> Scenario {
+        // The workload point comes from the seed's low bits, so the
+        // sequential seeds of one run sweep the whole 32-cell matrix
+        // (A/T × zipfian/uniform × depth {1,2,4,8} × interp/vm)
+        // deterministically; the fault script comes from the full seed.
+        let workload = if seed & 1 == 0 { "A" } else { "T" };
+        let dist = if seed & 2 == 0 { "zipfian" } else { "uniform" };
+        let depth = [1usize, 2, 4, 8][(seed >> 2) as usize % 4];
+        let backend = if seed & 16 == 0 { "interp" } else { "vm" };
+        let script = FaultScript::generate(seed, &ScriptConfig::stateflow(WORKERS));
+        Scenario {
+            seed,
+            workload,
+            dist,
+            depth,
+            backend: backend.to_string(),
+            script,
+        }
+    }
+}
+
+/// One operation of the generated request sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(usize),
+    Update(usize, u8),
+    Deposit(usize, i64),
+    Transfer(usize, usize, i64),
+    /// Transfer to the nonexistent ghost account: errors mid-chain with a
+    /// buffered write — the shape that exercises the errored-reservation
+    /// path.
+    GhostTransfer(usize),
+}
+
+fn ops_for(sc: &Scenario) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(sc.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut chooser: Box<dyn se_workloads::KeyChooser> = match sc.dist {
+        "zipfian" => Box::new(se_workloads::Zipfian::new(KEYS)),
+        _ => Box::new(se_workloads::Uniform::new(KEYS)),
+    };
+    let mut ops = Vec::with_capacity(OPS + OPS / 9 + 1);
+    for i in 0..OPS {
+        let k = chooser.next_key(&mut rng);
+        match sc.workload {
+            "A" => {
+                if rng.gen_bool(0.5) {
+                    ops.push(Op::Read(k));
+                } else {
+                    ops.push(Op::Update(k, rng.gen::<u8>()));
+                }
+            }
+            _ => {
+                if i % 9 == 8 {
+                    // The errored writer and a healthy higher-id deposit
+                    // on the same otherwise-untouched account, issued
+                    // back-to-back so they usually share a batch: the
+                    // deposit may only ever abort if the errored chain's
+                    // buffered write reserves — the regression signature.
+                    ops.push(Op::GhostTransfer(FRAGILE));
+                    ops.push(Op::Deposit(FRAGILE, rng.gen_range(1..5)));
+                } else {
+                    let mut to = chooser.next_key(&mut rng);
+                    if to == k {
+                        to = (to + 1) % KEYS;
+                    }
+                    ops.push(Op::Transfer(k, to, rng.gen_range(1..5)));
+                }
+            }
+        }
+    }
+    ops
+}
+
+fn acct(i: usize) -> EntityRef {
+    EntityRef::new("Account", se_workloads::key_name(i))
+}
+
+fn invocation(op: &Op) -> (EntityRef, &'static str, Vec<Value>) {
+    match op {
+        Op::Read(k) => (acct(*k), "read", vec![]),
+        Op::Update(k, fill) => (
+            acct(*k),
+            "update",
+            vec![Value::Bytes(vec![*fill; VALUE_SIZE])],
+        ),
+        Op::Deposit(k, amount) => (acct(*k), "deposit", vec![Value::Int(*amount)]),
+        Op::Transfer(from, to, amount) => (
+            acct(*from),
+            "transfer",
+            vec![Value::Ref(acct(*to)), Value::Int(*amount)],
+        ),
+        Op::GhostTransfer(from) => (
+            acct(*from),
+            "transfer",
+            vec![
+                Value::Ref(EntityRef::new("Account", "ghost")),
+                Value::Int(3),
+            ],
+        ),
+    }
+}
+
+/// Runs one scenario under `script`; `Ok` carries a short stats line.
+fn run_scenario(
+    sc: &Scenario,
+    script: &FaultScript,
+    time_scale: f64,
+    inject_bug: bool,
+) -> Result<String, String> {
+    let program = se_workloads::ycsb_program();
+    let mut cfg = StateflowConfig::fast_test(WORKERS);
+    cfg.net.time_scale = time_scale;
+    cfg.pipeline_depth = sc.depth;
+    cfg.backend = match sc.backend.as_str() {
+        "vm" => stateful_entities::ExecBackend::Vm,
+        _ => stateful_entities::ExecBackend::Interp,
+    };
+    cfg.snapshot_every_batches = 4;
+    cfg.chaos = ChaosPlan::from_script(script.clone());
+    cfg.inject_reserve_bug = inject_bug;
+    let history = History::new();
+    cfg.history = Some(history.clone());
+    let rule = cfg.commit_rule;
+    let chaos = cfg.chaos.clone();
+
+    let rt = deploy(&program, RuntimeChoice::Stateflow(cfg))
+        .map_err(|e| format!("deploy failed: {e:?}"))?;
+    se_workloads::load_accounts(rt.as_ref(), ACCOUNTS, VALUE_SIZE, INITIAL_BALANCE);
+
+    let ops = ops_for(sc);
+    let mut waiters = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let (target, method, args) = invocation(op);
+        waiters.push((op.clone(), rt.call_async(target, method, args)));
+        if i % 15 == 14 {
+            // Short pauses let the pipeline drain now and then, so
+            // snapshot cuts (and their barriers) happen mid-run.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    // Liveness: every request must complete, whatever the weather.
+    for (i, (op, w)) in waiters.into_iter().enumerate() {
+        let outcome = w
+            .wait_timeout(WAIT)
+            .ok_or_else(|| format!("op {i} ({op:?}) did not complete within {WAIT:?}"))?;
+        match (&op, outcome) {
+            (Op::GhostTransfer(_), Err(e)) if e.to_string().contains("unknown entity") => {}
+            (Op::GhostTransfer(_), other) => {
+                return Err(format!(
+                    "op {i} (ghost transfer) expected an unknown-entity error, got {other:?}"
+                ));
+            }
+            (_, Err(e)) => return Err(format!("op {i} ({op:?}) errored: {e}")),
+            (_, Ok(_)) => {}
+        }
+    }
+
+    // Verify: history checker, then serial replay through the Local oracle.
+    let events = history.events();
+    let summary = check_history(&events, rule).map_err(|e| format!("history check: {e}"))?;
+    let order = serial_order(&events).map_err(|e| format!("serial order: {e}"))?;
+    let oracle =
+        deploy(&program, RuntimeChoice::Local).map_err(|e| format!("oracle deploy: {e:?}"))?;
+    se_workloads::load_accounts(oracle.as_ref(), ACCOUNTS, VALUE_SIZE, INITIAL_BALANCE);
+    for sop in &order {
+        let got = oracle
+            .call(sop.target, &sop.method, sop.args.clone())
+            .map_err(|e| e.to_string());
+        if got != sop.result {
+            return Err(format!(
+                "serial replay diverged at txn {} (batch {}, {} on {}): \
+                 distributed run answered {:?}, oracle answered {:?}",
+                sop.txn, sop.batch, sop.method, sop.target, sop.result, got
+            ));
+        }
+    }
+    for k in 0..ACCOUNTS {
+        for probe in ["balance", "read"] {
+            let got = rt.call(acct(k), probe, vec![]).map_err(|e| e.to_string());
+            let want = oracle
+                .call(acct(k), probe, vec![])
+                .map_err(|e| e.to_string());
+            if got != want {
+                return Err(format!(
+                    "final state diverged on account {k} ({probe}): {got:?} != {want:?}"
+                ));
+            }
+        }
+    }
+    let line = format!(
+        "{} commits ({} surviving), {} retries, {} failed, {} recoveries, \
+         {} crashes + {} msg faults fired",
+        summary.commits,
+        summary.surviving_commits,
+        summary.retries,
+        summary.failed,
+        summary.recoveries,
+        chaos.crashes_fired(),
+        chaos.msg_faults_fired(),
+    );
+    rt.shutdown();
+    oracle.shutdown();
+    Ok(line)
+}
+
+/// Delta-debugs a failing script down to a locally minimal one: repeatedly
+/// remove single faults, keeping any removal under which the failure still
+/// reproduces. Bounded by `max_runs` re-executions.
+fn shrink(
+    sc: &Scenario,
+    time_scale: f64,
+    inject_bug: bool,
+    max_runs: usize,
+) -> (FaultScript, String) {
+    let mut script = sc.script.clone();
+    let mut last_error = String::new();
+    let mut runs = 0;
+    let mut progress = true;
+    while progress && runs < max_runs {
+        progress = false;
+        for i in 0..script.fault_count() {
+            if runs >= max_runs {
+                break;
+            }
+            let candidate = script.without_fault(i);
+            runs += 1;
+            match run_scenario(sc, &candidate, time_scale, inject_bug) {
+                Ok(_) => {} // fault i is load-bearing; keep it
+                Err(e) => {
+                    script = candidate;
+                    last_error = e;
+                    progress = true;
+                    break; // indices shifted; restart the sweep
+                }
+            }
+        }
+    }
+    (script, last_error)
+}
+
+// Owned fields: the vendored serde derive does not support generic types.
+#[derive(Debug, Serialize)]
+struct FailureReport {
+    scenario: Scenario,
+    minimized_script: FaultScript,
+    error: String,
+    reproduce: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scenarios = env_or("SE_CHAOS_SCENARIOS", 20) as usize;
+    let mut seed = env_or("SE_CHAOS_SEED", 0xC1A0_5EED);
+    let mut expect_bug = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenarios" => {
+                i += 1;
+                scenarios = args[i].parse().expect("--scenarios N");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed S");
+            }
+            "--expect-bug" => expect_bug = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let time_scale = std::env::var("SE_TIME_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let inject_bug = match std::env::var("SE_CHAOS_INJECT_BUG").ok().as_deref() {
+        None | Some("") => false,
+        Some("reserve-errored") => true,
+        Some(other) => panic!("unknown SE_CHAOS_INJECT_BUG={other:?}"),
+    };
+    println!(
+        "chaos_explore: {scenarios} scenarios, master seed {seed:#x}, \
+         time scale {time_scale}{}",
+        if inject_bug {
+            ", INJECTED BUG: reserve-errored"
+        } else {
+            ""
+        }
+    );
+
+    let mut failures = 0usize;
+    for k in 0..scenarios {
+        let scenario_seed = seed.wrapping_add(k as u64);
+        let sc = Scenario::sample(scenario_seed);
+        let label = format!(
+            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} ({} faults)",
+            sc.workload,
+            sc.dist,
+            sc.depth,
+            sc.backend,
+            sc.script.fault_count()
+        );
+        match run_scenario(&sc, &sc.script, time_scale, inject_bug) {
+            Ok(stats) => println!("{label}: ok — {stats}"),
+            Err(error) => {
+                failures += 1;
+                println!("{label}: FAILED — {error}");
+                println!("      shrinking the fault script…");
+                let (minimized, shrunk_error) = shrink(&sc, time_scale, inject_bug, 30);
+                let final_error = if shrunk_error.is_empty() {
+                    error
+                } else {
+                    shrunk_error
+                };
+                println!(
+                    "      minimized to {} fault(s):\n{}",
+                    minimized.fault_count(),
+                    minimized
+                );
+                let report = FailureReport {
+                    scenario: sc.clone(),
+                    minimized_script: minimized,
+                    error: final_error,
+                    // Embed the exact environment of the failing run:
+                    // fault triggers are count-based, but real-time
+                    // interplay (quarantine vs. recovery, crash countdown
+                    // vs. batch sealing) shifts with the time scale.
+                    reproduce: format!(
+                        "SE_TIME_SCALE={time_scale} {}SE_CHAOS_SEED={scenario_seed} \
+                         cargo run --release --bin chaos_explore -- --scenarios 1",
+                        if inject_bug {
+                            "SE_CHAOS_INJECT_BUG=reserve-errored "
+                        } else {
+                            ""
+                        }
+                    ),
+                };
+                let dir = std::path::Path::new("chaos_results");
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join(format!("failure_{scenario_seed:#x}.json"));
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                if std::fs::write(&path, json + "\n").is_ok() {
+                    println!("      report written to {}", path.display());
+                }
+            }
+        }
+    }
+
+    if expect_bug {
+        if failures == 0 {
+            println!("expected the injected bug to be caught, but every scenario passed");
+            std::process::exit(1);
+        }
+        println!(
+            "injected bug caught by {failures}/{scenarios} scenarios (expected) — \
+             the harness detects a real regression"
+        );
+        return;
+    }
+    if failures > 0 {
+        println!("{failures}/{scenarios} scenarios failed");
+        std::process::exit(1);
+    }
+    println!("all {scenarios} scenarios passed");
+}

@@ -387,6 +387,75 @@ fn pipelined_concurrent_transfers_conserve_money_all_backends() {
     }
 }
 
+/// History-recorded run under real contention: the recorded event log must
+/// pass the serializability checker (decisions justified by the recorded
+/// access sets, exactly-once, retry monotonicity), and replaying its
+/// equivalent serial order through the single-threaded Local oracle must
+/// reproduce both every committed response and the final state.
+#[test]
+fn recorded_history_is_serializable_and_replays_to_oracle() {
+    use se_chaos::{check_history, serial_order, History};
+    let program = se_workloads::ycsb_program();
+    let n = 4usize;
+    let key = |i: usize| EntityRef::new("Account", se_workloads::key_name(i % n));
+    for pipeline_depth in [1usize, 4] {
+        let mut cfg = StateflowConfig::fast_test(3);
+        cfg.pipeline_depth = pipeline_depth;
+        let history = History::new();
+        cfg.history = Some(history.clone());
+        let rule = cfg.commit_rule;
+        let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+        se_workloads::load_accounts(rt.as_ref(), n, 8, 1000);
+        let waiters: Vec<_> = (0..60)
+            .map(|i| {
+                rt.call_async(
+                    key(i),
+                    "transfer",
+                    vec![Value::Ref(key(i + 1)), Value::Int(1)],
+                )
+            })
+            .collect();
+        for w in waiters {
+            w.wait_timeout(std::time::Duration::from_secs(60))
+                .expect("completes")
+                .expect("no error");
+        }
+        let events = history.events();
+        let summary = check_history(&events, rule)
+            .unwrap_or_else(|e| panic!("[depth {pipeline_depth}] history check: {e}"));
+        assert_eq!(
+            summary.surviving_commits, 60,
+            "[depth {pipeline_depth}] every transfer commits exactly once"
+        );
+
+        // Replay the equivalent serial order through the Local oracle.
+        let order = serial_order(&events).unwrap();
+        assert_eq!(order.len(), 60);
+        let oracle = deploy(&program, RuntimeChoice::Local).unwrap();
+        se_workloads::load_accounts(oracle.as_ref(), n, 8, 1000);
+        for op in &order {
+            let got = oracle
+                .call(op.target, &op.method, op.args.clone())
+                .map_err(|e| e.to_string());
+            assert_eq!(
+                got,
+                op.result.clone(),
+                "[depth {pipeline_depth}] txn {} response diverged in serial replay",
+                op.txn
+            );
+        }
+        for i in 0..n {
+            assert_eq!(
+                rt.call(key(i), "balance", vec![]).unwrap(),
+                oracle.call(key(i), "balance", vec![]).unwrap(),
+                "[depth {pipeline_depth}] account {i} final state diverged"
+            );
+        }
+        rt.shutdown();
+        oracle.shutdown();
+    }
+}
+
 #[test]
 fn ycsb_program_runs_on_all_engines() {
     let program = se_workloads::ycsb_program();

@@ -2,11 +2,14 @@
 //! documented non-transactional race on StateFun, and exactly-once state
 //! updates under failure on both engines — the paper's core claims,
 //! exercised through the public facade.
+//!
+//! Fault injection runs through `ChaosPlan` scripts (the single injection
+//! path; the legacy `FailurePlan` is a thin wrapper over the same plan).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use se_dataflow::FailurePlan;
+use se_chaos::{ChaosPlan, CrashFault, CrashPoint, FaultScript};
 use stateful_entities::prelude::*;
 use stateful_entities::{CheckpointMode, ExecBackend, StateflowConfig, StatefunConfig};
 
@@ -149,11 +152,11 @@ fn exactly_once_stateflow_through_facade() {
     let program = se_workloads::ycsb_program();
     let mut cfg = StateflowConfig::fast_test(3);
     cfg.snapshot_every_batches = 3;
-    cfg.failure = FailurePlan::fail_node_after("worker1", 40);
-    let failure = cfg.failure.clone();
+    cfg.chaos = ChaosPlan::single_crash("worker1", 40);
+    let chaos = cfg.chaos.clone();
     let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
     deposits_with_failure(rt.as_ref(), 5, 100);
-    assert!(failure.has_fired());
+    assert_eq!(chaos.crashes_fired(), 1);
     rt.shutdown();
 }
 
@@ -164,11 +167,11 @@ fn exactly_once_statefun_through_facade() {
     cfg.checkpoint = CheckpointMode::Transactional {
         interval: Duration::from_millis(20),
     };
-    cfg.failure = FailurePlan::fail_node_after("task1", 25);
-    let failure = cfg.failure.clone();
+    cfg.chaos = ChaosPlan::single_crash("task1", 25);
+    let chaos = cfg.chaos.clone();
     let rt = deploy(&program, RuntimeChoice::Statefun(cfg)).unwrap();
     deposits_with_failure(rt.as_ref(), 5, 100);
-    assert!(failure.has_fired());
+    assert_eq!(chaos.crashes_fired(), 1);
     rt.shutdown();
 }
 
@@ -218,7 +221,7 @@ fn transfers_with_crash_conserve_money(cfg: StateflowConfig) {
 fn transactional_transfers_with_crash_conserve_money() {
     let mut cfg = StateflowConfig::fast_test(3);
     cfg.snapshot_every_batches = 2;
-    cfg.failure = FailurePlan::fail_node_after("worker0", 30);
+    cfg.chaos = ChaosPlan::single_crash("worker0", 30);
     transfers_with_crash_conserve_money(cfg);
 }
 
@@ -233,8 +236,93 @@ fn pipelined_crash_with_batches_in_flight_conserves_money() {
     cfg.pipeline_depth = 4;
     cfg.max_batch = 4;
     cfg.snapshot_every_batches = 3;
-    cfg.failure = FailurePlan::fail_node_after("worker1", 35);
-    let failure = cfg.failure.clone();
+    cfg.chaos = ChaosPlan::single_crash("worker1", 35);
+    let chaos = cfg.chaos.clone();
     transfers_with_crash_conserve_money(cfg);
-    assert!(failure.has_fired(), "the crash must land mid-pipeline");
+    assert_eq!(chaos.crashes_fired(), 1, "the crash must land mid-pipeline");
+}
+
+/// Regression for the snapshot pipeline-drain barrier at depth 4: the crash
+/// is scripted at a *commit-application* point, so it lands while the
+/// coordinator is draining toward a snapshot cut — batches decided, commit
+/// records in flight, commit acks only partially collected (the one timing
+/// window a crash counted in exec events cannot pin down). Recovery must
+/// fence the half-committed window and replay to the oracle state.
+#[test]
+fn crash_while_snapshot_barrier_drains_replays_to_oracle_state() {
+    let mut cfg = StateflowConfig::fast_test(3);
+    cfg.pipeline_depth = 4;
+    cfg.max_batch = 4;
+    // Snapshot after every batch: the drain barrier (in-flight empty + all
+    // commit acks) is armed almost continuously.
+    cfg.snapshot_every_batches = 1;
+    cfg.chaos = ChaosPlan::from_script(FaultScript {
+        crashes: vec![CrashFault {
+            node: "worker1".into(),
+            point: CrashPoint::Commit,
+            // Dies applying its 6th commit record: by then several batches
+            // are in flight and peers' acks for the current batch are
+            // already (or not yet) at the coordinator — a partial drain.
+            after_events: 6,
+        }],
+        ..FaultScript::default()
+    });
+    let chaos = cfg.chaos.clone();
+    let snapshots_seen;
+    {
+        let program = se_workloads::ycsb_program();
+        let graph = stateful_entities::compile(&program).unwrap();
+        let rt = stateful_entities::StateflowRuntime::deploy(graph, cfg);
+        let oracle = deploy(&program, RuntimeChoice::Local).unwrap();
+        let n = 6usize;
+        se_workloads::load_accounts(&rt, n, 16, 500);
+        se_workloads::load_accounts(oracle.as_ref(), n, 16, 500);
+        let key = |i: usize| EntityRef::new("Account", se_workloads::key_name(i % n));
+        // Deposits are commutative, so the oracle state is schedule-
+        // independent; the crash mid-drain must lose or duplicate nothing.
+        // Bursts with short pauses let the pipeline drain repeatedly, so
+        // snapshot cuts (and their ack-draining windows) happen mid-run.
+        let waiters: Vec<_> = (0..90)
+            .map(|i| {
+                let amount = (i % 7 + 1) as i64;
+                oracle
+                    .call(key(i), "deposit", vec![Value::Int(amount)])
+                    .unwrap();
+                if i % 12 == 0 {
+                    std::thread::sleep(Duration::from_millis(4));
+                }
+                rt.call_async(key(i), "deposit", vec![Value::Int(amount)])
+            })
+            .collect();
+        for w in waiters {
+            w.wait_timeout(WAIT)
+                .expect("completes after recovery")
+                .expect("no error");
+        }
+        assert_eq!(chaos.crashes_fired(), 1, "the commit-point crash must fire");
+        assert_eq!(
+            rt.stats()
+                .recoveries
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // Let the final batch's commit acks land so the trailing snapshot
+        // completes before the count is read.
+        std::thread::sleep(Duration::from_millis(60));
+        snapshots_seen = rt
+            .stats()
+            .snapshots
+            .load(std::sync::atomic::Ordering::Relaxed);
+        for i in 0..n {
+            let got = rt.call(key(i), "balance", vec![]).unwrap();
+            let want = oracle.call(key(i), "balance", vec![]).unwrap();
+            assert_eq!(got, want, "account {i} diverged from the oracle");
+        }
+        rt.shutdown();
+        oracle.shutdown();
+    }
+    assert!(
+        snapshots_seen >= 1,
+        "per-batch snapshots must complete around the crash window"
+    );
 }
