@@ -1,0 +1,226 @@
+//! CI perf gate: diff two bench-JSON files and fail on throughput
+//! regressions.
+//!
+//! ```text
+//! perf_gate <baseline.json> <current.json> [--tolerance 0.15] [--only SUBSTR]
+//! ```
+//!
+//! Both files hold the workspace's uniform bench row schema (see
+//! `se_bench::Row`): an array of objects with at least `bench`, `label`,
+//! `system`, `tput_rps` and `p99_ms`. Rows are matched by
+//! `(bench, label, system)`; for every baseline row the gate requires
+//!
+//! ```text
+//! current.tput_rps >= baseline.tput_rps * (1 - tolerance)
+//! ```
+//!
+//! and prints a markdown table of the comparison (p99 is reported for
+//! context but not gated — latency at a fixed offered load is far noisier
+//! than saturation throughput under `SE_TIME_SCALE` smoke settings).
+//! A baseline row missing from the current run also fails the gate:
+//! silently dropping a cell is how regressions hide.
+//!
+//! `--only SUBSTR` restricts the gate (and the missing-row check) to rows
+//! whose `bench/label/system` key contains SUBSTR. CI gates the scaling
+//! sweep on its derived `speedup` rows: a throughput *ratio* between two
+//! cells of the same run cancels run-wide noise, so the tolerance can be
+//! tight without flaking on loaded runners. Non-matching rows still ride
+//! along in the artifact for inspection.
+//!
+//! Exit codes: 0 all rows within tolerance, 1 regression or missing row,
+//! 2 usage/parse error. CI treats the checked-in files under
+//! `bench_results/baseline/` as the contract; see BENCH.md for the update
+//! procedure.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use serde::Json;
+
+/// The metrics the gate extracts from one row.
+#[derive(Debug, Clone)]
+struct Metrics {
+    tput_rps: f64,
+    p99_ms: f64,
+}
+
+/// Formats a throughput value: plain for real rps, two decimals for small
+/// values (the derived speedup-ratio rows, where "2" vs "1" hides the story).
+fn fmt_tput(v: f64) -> String {
+    if v < 100.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("perf_gate: {msg}");
+    eprintln!("usage: perf_gate <baseline.json> <current.json> [--tolerance 0.15] [--only SUBSTR]");
+    ExitCode::from(2)
+}
+
+/// Loads a bench-JSON file into `(bench/label/system) -> metrics`.
+fn load(path: &str) -> Result<BTreeMap<String, Metrics>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let rows = value
+        .as_array()
+        .ok_or_else(|| format!("{path}: top level is not an array of rows"))?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let field = |name: &str| -> Result<&Json, String> {
+            row.get(name)
+                .ok_or_else(|| format!("{path}: row {i} missing field {name:?}"))
+        };
+        let string = |name: &str| -> Result<String, String> {
+            Ok(field(name)?
+                .as_str()
+                .ok_or_else(|| format!("{path}: row {i} field {name:?} is not a string"))?
+                .to_string())
+        };
+        let number = |name: &str| -> Result<f64, String> {
+            field(name)?
+                .as_f64()
+                .ok_or_else(|| format!("{path}: row {i} field {name:?} is not a number"))
+        };
+        let key = format!(
+            "{}/{}/{}",
+            string("bench")?,
+            string("label")?,
+            string("system")?
+        );
+        let metrics = Metrics {
+            tput_rps: number("tput_rps")?,
+            p99_ms: number("p99_ms")?,
+        };
+        if out.insert(key.clone(), metrics).is_some() {
+            return Err(format!("{path}: duplicate row key {key:?}"));
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 0.15f64;
+    let mut only: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let Some(v) = it.next() else {
+                    return die("--tolerance needs a value");
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                    _ => return die("--tolerance must be a number in [0, 1)"),
+                }
+            }
+            "--only" => {
+                let Some(v) = it.next() else {
+                    return die("--only needs a substring");
+                };
+                only = Some(v.to_string());
+            }
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            other => return die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return die("expected exactly two files");
+    };
+    let mut baseline = match load(baseline_path) {
+        Ok(b) => b,
+        Err(e) => return die(&e),
+    };
+    let current = match load(current_path) {
+        Ok(c) => c,
+        Err(e) => return die(&e),
+    };
+    if let Some(pat) = &only {
+        baseline.retain(|k, _| k.contains(pat.as_str()));
+        if baseline.is_empty() {
+            return die(&format!(
+                "{baseline_path}: no rows match --only {pat:?} — nothing to gate"
+            ));
+        }
+    }
+    if baseline.is_empty() {
+        return die(&format!("{baseline_path}: no rows — nothing to gate"));
+    }
+
+    match &only {
+        Some(pat) => println!(
+            "## Perf gate: `{current_path}` vs `{baseline_path}` (tolerance {:.0}%, only {pat:?})\n",
+            tolerance * 100.0
+        ),
+        None => println!(
+            "## Perf gate: `{current_path}` vs `{baseline_path}` (tolerance {:.0}%)\n",
+            tolerance * 100.0
+        ),
+    }
+    println!("| row | base tput rps | cur tput rps | Δ tput | base p99 ms | cur p99 ms | status |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut failures = 0usize;
+    for (key, base) in &baseline {
+        match current.get(key) {
+            None => {
+                failures += 1;
+                println!(
+                    "| {key} | {} | — | — | {:.2} | — | **MISSING** |",
+                    fmt_tput(base.tput_rps),
+                    base.p99_ms
+                );
+            }
+            Some(cur) => {
+                let delta = if base.tput_rps > 0.0 {
+                    (cur.tput_rps - base.tput_rps) / base.tput_rps
+                } else {
+                    0.0
+                };
+                let ok = cur.tput_rps >= base.tput_rps * (1.0 - tolerance);
+                if !ok {
+                    failures += 1;
+                }
+                println!(
+                    "| {key} | {} | {} | {:+.1}% | {:.2} | {:.2} | {} |",
+                    fmt_tput(base.tput_rps),
+                    fmt_tput(cur.tput_rps),
+                    delta * 100.0,
+                    base.p99_ms,
+                    cur.p99_ms,
+                    if ok { "ok" } else { "**REGRESSION**" },
+                );
+            }
+        }
+    }
+    let extra: Vec<&String> = current
+        .keys()
+        .filter(|k| !baseline.contains_key(*k))
+        .filter(|k| only.as_ref().is_none_or(|pat| k.contains(pat.as_str())))
+        .collect();
+    if !extra.is_empty() {
+        // New cells don't fail the gate (they have no contract yet) but are
+        // surfaced so baselines get extended rather than silently lag.
+        println!();
+        for key in extra {
+            println!("new row (not in baseline, not gated): {key}");
+        }
+    }
+    println!();
+    if failures > 0 {
+        println!(
+            "perf gate FAILED: {failures} row(s) regressed beyond {:.0}% or went missing",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "perf gate passed: {} row(s) within tolerance",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -13,6 +13,17 @@
 //! next batch id whose commit is awaited, answers whether a batch is
 //! runnable, and absorbs commit records (in order, buffering any that arrive
 //! early).
+//!
+//! The watermark also carries the invariant that makes **intra-batch
+//! parallel execution** sound: a batch's store writes happen only when its
+//! commit record is applied, which the watermark orders strictly after the
+//! batch stopped being runnable — so during a batch's execution window the
+//! committed snapshot is immutable, every transaction reads it overlaid with
+//! only its own private buffer, and executions of one batch can proceed
+//! concurrently (and in any order) without changing any outcome. The
+//! StateFlow exec pool (`exec_threads ≥ 2`) leans on exactly this; see
+//! `exec_window_never_overlaps_commit_application` below for the pinned
+//! contract.
 
 use std::collections::BTreeMap;
 
@@ -147,6 +158,34 @@ mod tests {
     fn self_decided_commit_must_be_runnable() {
         let mut w: CommitWatermark<()> = CommitWatermark::new();
         w.advance_past(3);
+    }
+
+    /// The contract the shard-parallel exec pool relies on: while a batch
+    /// is runnable (its execution window), no commit record — its own or a
+    /// successor's — can be applied, so the committed snapshot cannot move
+    /// under a concurrently executing transaction. Equivalently: a batch is
+    /// never runnable once its commit applied, and a successor's commit can
+    /// never be applied first.
+    #[test]
+    fn exec_window_never_overlaps_commit_application() {
+        let mut w: CommitWatermark<&str> = CommitWatermark::new();
+        // Successor commits arriving during batch 0's window are buffered,
+        // not applied: nothing mutates the snapshot batch 0 reads.
+        assert!(w.runnable(0));
+        assert_eq!(w.offer(2, "c2"), vec![]);
+        assert_eq!(w.offer(1, "c1"), vec![]);
+        assert!(w.runnable(0), "window stays open under buffered commits");
+        // Batch 0's own commit closes its window and releases the chain —
+        // application is strictly ordered, batch by batch.
+        let applied = w.offer(0, "c0");
+        assert_eq!(applied, vec![(0, "c0"), (1, "c1"), (2, "c2")]);
+        for b in 0..=2 {
+            assert!(
+                !w.runnable(b),
+                "batch {b} must not be runnable after its commit applied"
+            );
+        }
+        assert!(w.runnable(3));
     }
 
     #[test]

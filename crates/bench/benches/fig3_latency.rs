@@ -28,6 +28,7 @@ fn main() {
         seed: 0xF163,
         value_size: 1024,
         time_scale: se_bench::time_scale(),
+        spin_iters: 256,
     };
 
     println!(

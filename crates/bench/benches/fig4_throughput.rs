@@ -46,6 +46,7 @@ fn main() {
                 seed: 0xF164,
                 value_size: 1024,
                 time_scale: se_bench::time_scale(),
+                spin_iters: 256,
             };
             let report = run_open_loop(
                 rt.as_ref(),

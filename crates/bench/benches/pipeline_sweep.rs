@@ -1,22 +1,49 @@
-//! **Pipeline sweep** — YCSB completion throughput vs. `pipeline_depth`.
+//! **Scaling sweep** — StateFlow saturation throughput and p99 across
+//! workers × exec_threads × pipeline_depth × backend.
 //!
-//! The coordinator's stop-and-wait schedule (depth 1) pays a full
-//! coordinator round trip per serial-fallback transaction: under a Zipfian
-//! hot key every conflict-aborted transaction re-runs as a single-txn batch
-//! gated on Exec → ExecDone → Commit message hops, with every worker idle.
-//! At depth ≥ 2 fallback batches become *solo* batches — dispatched up to
-//! `pipeline_depth` ahead and committed at their final hop — so hot-key
-//! retries drain back-to-back at execution speed. This sweep measures that:
-//! offered load far above capacity, completion throughput = completed
-//! requests / un-scaled wall-clock until the last completion.
+//! Grown from the original pipeline-depth sweep into the repository's
+//! scaling bench: every cell drives an open-loop load far above capacity so
+//! completion throughput (completed requests / un-scaled wall-clock until
+//! the last completion) measures the protocol, not the arrival process.
 //!
-//! Expected shape: the contended cells (Zipfian A, Zipfian T) improve
-//! markedly from depth 1 → 2 and keep improving toward the window covering
-//! the ExecDone/dispatch refill round trip; the uniform cell barely moves
-//! (few conflicts — nothing for the pipeline to hide).
+//! Two regimes matter:
+//!
+//! * **Compute-bound, conflict-free** (workload C, uniform keys): bodies
+//!   are loop-heavy `spin` calls with no writes, so Aria batches carry no
+//!   conflicts and the intra-partition exec pool (`exec_threads`) is the
+//!   lever — throughput should scale with pool size until cores run out.
+//! * **Contended** (workloads A/T, Zipfian keys): serial-fallback retries
+//!   dominate and `pipeline_depth` is the lever (solo batches commit at
+//!   their final hop); the exec pool barely moves these cells.
+//!
+//! Environment ladders (comma-separated lists):
+//!
+//! * `SE_SWEEP_WORKERS`      — worker counts            (default `5`)
+//! * `SE_SWEEP_EXEC_THREADS` — exec-pool sizes          (default `1,4`)
+//! * `SE_SWEEP_DEPTHS`       — pipeline depths          (default `1,2`)
+//! * `SE_SWEEP_BACKENDS`     — `interp` / `vm`          (default `interp`)
+//! * `SE_SWEEP_KEYS`         — key-space sizes          (default `SE_KEYS`,
+//!   itself defaulting to 1000; the nightly ladder runs `1000,100000,1000000`)
+//! * `SE_SWEEP_CELLS`        — workload-distribution cells
+//!   (default `C-uniform,A-zipfian,T-zipfian,A-uniform`)
+//! * `SE_PIPELINE_REQUESTS`  — requests per cell        (default 1200)
+//! * `SE_SPIN_ITERS`         — loop turns per C spin    (default 256)
+//! * `SE_SERVICE_SLEEP`      — service-time mode (default **1** here:
+//!   sleep-based service so simulated cores stay independent on a
+//!   core-starved host; `0` restores the spin burns the figure benches use)
+//! * `SE_SWEEP_FORCE_EXEC_THREADS` — **CI self-test lever**: forces the
+//!   deployed pool size to this value while labels and params keep claiming
+//!   the swept value. Running the smoke sweep with this set to 1 against a
+//!   baseline recorded at exec_threads 4 must turn the perf gate red — it
+//!   seeds exactly the regression the gate exists to catch. Never set it
+//!   outside that self-test.
+//!
+//! Rows are emitted in the workspace's uniform JSON schema (see
+//! `se_bench::Row`) with labels like `C-uniform@w5x4d2-interp`:
+//! workers 5 × exec_threads 4, depth 2, interpreter backend.
 
 use se_bench::{emit, key_count, Row};
-use se_core::{compile, EntityRuntime, StateflowRuntime};
+use se_core::{compile, EntityRuntime, ExecBackend, StateflowRuntime};
 use se_workloads::{load_accounts, run_open_loop, Distribution, DriverConfig, WorkloadSpec};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -26,78 +53,237 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses a comma-separated usize ladder, falling back to `default`.
+fn env_ladder(name: &str, default: &[usize]) -> Vec<usize> {
+    let Ok(raw) = std::env::var(name) else {
+        return default.to_vec();
+    };
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .filter(|&v| v >= 1)
+        .collect();
+    if parsed.is_empty() {
+        eprintln!("warning: ignoring unparseable {name}={raw:?}");
+        return default.to_vec();
+    }
+    parsed
+}
+
+fn cell_of(name: &str) -> Option<(WorkloadSpec, Distribution)> {
+    let (wl, dist) = name.split_once('-')?;
+    let spec = match wl {
+        "A" => WorkloadSpec::A,
+        "B" => WorkloadSpec::B,
+        "T" => WorkloadSpec::T,
+        "M" => WorkloadSpec::M,
+        "C" => WorkloadSpec::C,
+        _ => return None,
+    };
+    let dist = match dist {
+        "uniform" => Distribution::Uniform,
+        "zipfian" => Distribution::Zipfian,
+        _ => return None,
+    };
+    Some((spec, dist))
+}
+
 fn main() {
-    let n_keys = key_count();
+    // Scaling cells measure parallel capacity, so service time must behave
+    // like independent simulated cores even when the host has fewer real
+    // ones: default to sleep-based service (spin burns monopolize their
+    // timeslice and serialize on an oversubscribed host, hiding exactly the
+    // exec-pool overlap this bench exists to measure). Explicit
+    // SE_SERVICE_SLEEP=0 restores spinning.
+    if std::env::var("SE_SERVICE_SLEEP").is_err() {
+        std::env::set_var("SE_SERVICE_SLEEP", "1");
+    }
     let requests = env_usize("SE_PIPELINE_REQUESTS", 1200);
-    let depths = [1usize, 2, 4, 8];
-    let cells = [
-        (WorkloadSpec::A, Distribution::Zipfian),
-        (WorkloadSpec::T, Distribution::Zipfian),
-        (WorkloadSpec::A, Distribution::Uniform),
-    ];
+    let workers_ladder = env_ladder("SE_SWEEP_WORKERS", &[5]);
+    let exec_ladder = env_ladder("SE_SWEEP_EXEC_THREADS", &[1, 4]);
+    let depth_ladder = env_ladder("SE_SWEEP_DEPTHS", &[1, 2]);
+    let keys_ladder = env_ladder("SE_SWEEP_KEYS", &[key_count()]);
+    let spin_iters = env_usize("SE_SPIN_ITERS", 256) as i64;
+    let backends: Vec<ExecBackend> = std::env::var("SE_SWEEP_BACKENDS")
+        .unwrap_or_else(|_| "interp".to_string())
+        .split(',')
+        .filter_map(|s| match s.trim() {
+            "interp" => Some(ExecBackend::Interp),
+            "vm" => Some(ExecBackend::Vm),
+            "" => None,
+            other => {
+                eprintln!("warning: ignoring unknown backend {other:?}");
+                None
+            }
+        })
+        .collect();
+    let cells: Vec<(String, WorkloadSpec, Distribution)> = std::env::var("SE_SWEEP_CELLS")
+        .unwrap_or_else(|_| "C-uniform,A-zipfian,T-zipfian,A-uniform".to_string())
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .filter_map(|name| {
+            let cell = cell_of(name);
+            if cell.is_none() {
+                eprintln!("warning: ignoring unknown cell {name:?}");
+            }
+            cell.map(|(spec, dist)| (name.to_string(), spec, dist))
+        })
+        .collect();
+    let forced_exec: Option<usize> = std::env::var("SE_SWEEP_FORCE_EXEC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    if let Some(f) = forced_exec {
+        eprintln!(
+            "SEEDED REGRESSION: every cell actually runs exec_threads={f} \
+             regardless of its label (perf-gate self-test mode)"
+        );
+    }
     // Offered load far above capacity: the issue phase finishes fast and
-    // completion throughput measures the protocol, not the arrival process.
+    // completion throughput measures saturation.
     let offered = 50_000.0;
 
     println!(
-        "pipeline_sweep: {requests} requests/cell, {n_keys} keys, depths {depths:?}, \
-         time_scale {}",
+        "pipeline_sweep: {requests} requests/cell, keys {keys_ladder:?}, \
+         workers {workers_ladder:?}, exec_threads {exec_ladder:?}, \
+         depths {depth_ladder:?}, backends {}, time_scale {}",
+        backends.len(),
         se_bench::time_scale()
     );
 
     let mut rows = Vec::new();
-    for (spec, dist) in cells {
-        for depth in depths {
-            let mut cfg = se_bench::stateflow_bench_config();
-            cfg.pipeline_depth = depth;
-            let program = se_workloads::ycsb_program();
-            let graph = compile(&program).expect("compile");
-            let rt = StateflowRuntime::deploy(graph, cfg);
-            load_accounts(&rt, n_keys, 1024, 1_000_000);
-            let driver = DriverConfig {
-                rps: offered,
-                requests,
-                seed: 0x51EE9,
-                value_size: 1024,
-                time_scale: se_bench::time_scale(),
-            };
-            let report = run_open_loop(&rt, spec, dist, n_keys, &driver);
-            let aborts = rt.stats().aborts.load(std::sync::atomic::Ordering::Relaxed);
-            let failed = rt.stats().failed.load(std::sync::atomic::Ordering::Relaxed);
-            let label = format!("{}-{}", spec.name, dist.label());
-            eprintln!(
-                "  {label:<10} depth {depth}  tput {:>7.0} rps  p50 {:>7.2} ms  p99 {:>8.2} ms  \
-                 (aborts {aborts}, failed {failed}, timeouts {})",
-                report.throughput_rps(),
-                se_bench::ms(report.latency.p50),
-                se_bench::ms(report.latency.p99),
-                report.timed_out,
+    for (cell_name, spec, dist) in &cells {
+        for &n_keys in &keys_ladder {
+            for &workers in &workers_ladder {
+                for &exec_threads in &exec_ladder {
+                    for &depth in &depth_ladder {
+                        for &backend in &backends {
+                            let mut cfg = se_bench::stateflow_bench_config();
+                            cfg.workers = workers;
+                            cfg.exec_threads = forced_exec.unwrap_or(exec_threads);
+                            cfg.pipeline_depth = depth;
+                            cfg.backend = backend;
+                            let program = se_workloads::ycsb_program();
+                            let graph = compile(&program).expect("compile");
+                            let rt = StateflowRuntime::deploy(graph, cfg);
+                            load_accounts(&rt, n_keys, 1024, 1_000_000);
+                            let driver = DriverConfig {
+                                rps: offered,
+                                requests,
+                                seed: 0x51EE9,
+                                value_size: 1024,
+                                time_scale: se_bench::time_scale(),
+                                spin_iters,
+                            };
+                            let report = run_open_loop(&rt, *spec, *dist, n_keys, &driver);
+                            let backend_name = match backend {
+                                ExecBackend::Interp => "interp",
+                                ExecBackend::Vm => "vm",
+                            };
+                            let mut label = format!(
+                                "{cell_name}@w{workers}x{exec_threads}d{depth}-{backend_name}"
+                            );
+                            if keys_ladder.len() > 1 {
+                                label.push_str(&format!("-k{n_keys}"));
+                            }
+                            eprintln!(
+                                "  {label:<34} tput {:>7.0} rps  p50 {:>7.2} ms  \
+                                 p99 {:>8.2} ms  (timeouts {})",
+                                report.throughput_rps(),
+                                se_bench::ms(report.latency.p50),
+                                se_bench::ms(report.latency.p99),
+                                report.timed_out,
+                            );
+                            rows.push(
+                                Row::from_report(label, "stateflow", offered, &report)
+                                    .with_param("workers", workers)
+                                    .with_param("exec_threads", exec_threads)
+                                    .with_param("depth", depth)
+                                    .with_param("backend", backend_name)
+                                    .with_param("keys", n_keys)
+                                    .with_param("workload", spec.name)
+                                    .with_param("dist", dist.label())
+                                    .with_param("spin_iters", spin_iters)
+                                    .with_param("requests", requests),
+                            );
+                            rt.shutdown();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Derived exec-pool speedup rows: `tput_rps` holds the x{hi}/x{lo}
+    // throughput ratio of two cells from the *same* run, which cancels the
+    // run-wide noise (host load, frequency drift) that makes absolute
+    // throughput a flaky gate metric. The CI perf gate keys on these rows.
+    let tput = |rows: &[Row], label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .map(|r| (r.tput_rps, r.p99_ms))
+    };
+    if exec_ladder.len() > 1 {
+        let (lo, hi) = (exec_ladder[0], *exec_ladder.last().unwrap());
+        let mut speedups = Vec::new();
+        for (cell_name, ..) in &cells {
+            for &workers in &workers_ladder {
+                for &depth in &depth_ladder {
+                    let base = tput(
+                        &rows,
+                        &format!("{cell_name}@w{workers}x{lo}d{depth}-interp"),
+                    );
+                    let wide = tput(
+                        &rows,
+                        &format!("{cell_name}@w{workers}x{hi}d{depth}-interp"),
+                    );
+                    if let (Some((base, _)), Some((wide, wide_p99))) = (base, wide) {
+                        if base > 0.0 {
+                            let ratio = wide / base;
+                            eprintln!(
+                                "  speedup {cell_name}@w{workers}d{depth}: \
+                                 exec {hi} vs {lo} = {ratio:.2}x"
+                            );
+                            speedups.push(Row {
+                                bench: String::new(),
+                                label: format!("{cell_name}@w{workers}d{depth}-speedup-x{hi}v{lo}"),
+                                system: "stateflow".to_string(),
+                                params: Default::default(),
+                                rps: offered,
+                                mean_ms: 0.0,
+                                p50_ms: 0.0,
+                                p99_ms: wide_p99,
+                                tput_rps: ratio,
+                                count: requests,
+                                errors: 0,
+                                commit: String::new(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for s in speedups {
+            rows.push(
+                s.with_param("metric", "speedup")
+                    .with_param("exec_hi", hi)
+                    .with_param("exec_lo", lo)
+                    .with_param("requests", requests),
             );
-            rows.push(Row::from_report(
-                format!("{label}@d{depth}"),
-                format!("stateflow-d{depth}"),
-                offered,
-                &report,
-            ));
-            rt.shutdown();
         }
     }
 
     emit(
         "pipeline_sweep",
-        "Pipeline sweep — completion throughput vs pipeline_depth",
+        "Scaling sweep — saturation throughput across workers × exec_threads × depth × backend",
         &rows,
     );
-
-    // Shape check: on the contended cells, any pipelining must beat
-    // stop-and-wait.
-    let tput = |label: &str, depth: usize| {
-        rows.iter()
-            .find(|r| r.label == format!("{label}@d{depth}"))
-            .map(|r| r.tput_rps)
-    };
     for cell in ["A-zipfian", "T-zipfian"] {
-        if let (Some(d1), Some(d2)) = (tput(cell, 1), tput(cell, 2)) {
+        let d1 = tput(&rows, &format!("{cell}@w5x1d1-interp"));
+        let d2 = tput(&rows, &format!("{cell}@w5x1d2-interp"));
+        if let (Some((d1, _)), Some((d2, _))) = (d1, d2) {
             if d2 <= d1 {
                 eprintln!(
                     "WARN: expected depth 2 to beat stop-and-wait on {cell} \

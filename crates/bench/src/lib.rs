@@ -96,6 +96,7 @@ pub fn statefun_bench_config() -> StatefunConfig {
 pub fn stateflow_bench_config() -> StateflowConfig {
     StateflowConfig {
         workers: 5,
+        exec_threads: se_core::exec_threads_from_env_or(1),
         net: bench_net(),
         batch_interval: Duration::from_millis(10).mul_f64(time_scale()),
         max_batch: 512,
@@ -113,12 +114,22 @@ pub fn stateflow_bench_config() -> StateflowConfig {
 }
 
 /// One labeled measurement row, serialized into the bench report JSON.
+///
+/// Every bench target emits this exact schema — the perf gate
+/// (`ci/perf_gate.rs`) and the CI artifact merge step key on it. `bench` and
+/// `commit` are stamped by [`emit`]; `params` carries the sweep coordinates
+/// (workers, exec_threads, depth, backend, …) so a row is interpretable
+/// without parsing its label.
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
-    /// Row label (e.g. "A-zipfian").
+    /// Bench target name (e.g. "pipeline_sweep"); stamped by [`emit`].
+    pub bench: String,
+    /// Row label (e.g. "A-zipfian"), unique within one bench's output.
     pub label: String,
     /// System name.
     pub system: String,
+    /// Sweep coordinates for this cell, as stable key → value strings.
+    pub params: std::collections::BTreeMap<String, String>,
     /// Offered load, requests/s.
     pub rps: f64,
     /// Mean latency, ms.
@@ -134,6 +145,8 @@ pub struct Row {
     pub count: usize,
     /// Errored requests.
     pub errors: usize,
+    /// `git rev-parse --short HEAD` at emit time; stamped by [`emit`].
+    pub commit: String,
 }
 
 impl Row {
@@ -145,8 +158,10 @@ impl Row {
         report: &se_workloads::RunReport,
     ) -> Self {
         Self {
+            bench: String::new(),
             label: label.into(),
             system: system.into(),
+            params: Default::default(),
             rps,
             mean_ms: ms(report.latency.mean),
             p50_ms: ms(report.latency.p50),
@@ -154,19 +169,57 @@ impl Row {
             tput_rps: report.throughput_rps(),
             count: report.latency.count,
             errors: report.errors,
+            commit: String::new(),
         }
+    }
+
+    /// Attaches one sweep coordinate (builder-style).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.params.insert(key.into(), value.to_string());
+        self
     }
 }
 
+/// The workspace HEAD commit (short sha), or "unknown" outside a git
+/// checkout. `SE_COMMIT` overrides — CI stamps the exact sha it checked out.
+pub fn commit_sha() -> String {
+    if let Ok(sha) = std::env::var("SE_COMMIT") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Prints a markdown table of rows and writes them as JSON under
-/// `bench_results/<name>.json` for EXPERIMENTS.md.
+/// `bench_results/<name>.json` for EXPERIMENTS.md and the CI perf gate.
+/// Stamps the bench name and commit sha into every row on the way out.
 pub fn emit(name: &str, title: &str, rows: &[Row]) {
+    let sha = commit_sha();
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.bench = name.to_string();
+            r.commit = sha.clone();
+            r
+        })
+        .collect();
     println!("\n## {title}\n");
     println!(
         "| label | system | offered rps | mean ms | p50 ms | p99 ms | tput rps | n | errors |"
     );
     println!("|---|---|---|---|---|---|---|---|---|");
-    for r in rows {
+    for r in &rows {
         println!(
             "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {:.0} | {} | {} |",
             r.label, r.system, r.rps, r.mean_ms, r.p50_ms, r.p99_ms, r.tput_rps, r.count, r.errors
@@ -178,7 +231,7 @@ pub fn emit(name: &str, title: &str, rows: &[Row]) {
         let _ = writeln!(
             f,
             "{}",
-            serde_json::to_string_pretty(rows).expect("serialize rows")
+            serde_json::to_string_pretty(&rows).expect("serialize rows")
         );
     }
 }

@@ -96,7 +96,7 @@ pub struct SerialOp {
 type CommitEntry = (u64, u64, Result<Value, String>);
 
 /// Merged access sets of one `(batch, txn)` execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct AccessSets {
     reads: BTreeSet<EntityRef>,
     writes: BTreeSet<EntityRef>,
@@ -136,6 +136,13 @@ pub fn check_history(
     let mut decided: BTreeSet<u64> = BTreeSet::new();
     // request -> recovery epoch of its last commit (for exactly-once).
     let mut committed_at: HashMap<u64, usize> = HashMap::new();
+    // (epoch, batch, txn, worker) -> first recorded sets. A partition's
+    // reservation round for a transaction runs exactly once per lineage, so
+    // within a recovery epoch any re-record must be a duplicate delivery
+    // carrying the *identical* sets. A divergent re-record is the footprint
+    // of a double-executed transaction (e.g. an exec-pool segment raced its
+    // own completion) and must fail the check rather than silently merge.
+    let mut recorded: HashMap<(usize, u64, u64, usize), AccessSets> = HashMap::new();
     // txn -> batch it was aborted in, awaiting its retry.
     let mut pending_retries: BTreeMap<u64, u64> = BTreeMap::new();
     let mut recovery_epoch = 0usize;
@@ -175,14 +182,50 @@ pub fn check_history(
                 sealed.insert(*batch, (txns.clone(), *kind));
             }
             HistoryEvent::Access {
+                worker,
                 batch,
                 txn,
                 reads,
                 writes,
-                ..
             } => {
-                // Duplicate deliveries re-record identical sets; merging is
-                // idempotent.
+                let sets = AccessSets {
+                    reads: reads.iter().copied().collect(),
+                    writes: writes.iter().copied().collect(),
+                };
+                match recorded.entry((recovery_epoch, *batch, *txn, *worker)) {
+                    std::collections::hash_map::Entry::Occupied(prev) => {
+                        // Duplicate deliveries re-record identical sets;
+                        // merging those is idempotent. A *different* set from
+                        // the same partition means the transaction executed
+                        // twice in one lineage.
+                        if *prev.get() != sets {
+                            return err(format!(
+                                "worker {worker} re-recorded a divergent access set \
+                                 for batch {batch} txn {txn} without an intervening \
+                                 recovery (first reads {:?} writes {:?}, then reads \
+                                 {:?} writes {:?}) — double execution?",
+                                prev.get()
+                                    .reads
+                                    .iter()
+                                    .map(|r| r.to_string())
+                                    .collect::<Vec<_>>(),
+                                prev.get()
+                                    .writes
+                                    .iter()
+                                    .map(|r| r.to_string())
+                                    .collect::<Vec<_>>(),
+                                sets.reads.iter().map(|r| r.to_string()).collect::<Vec<_>>(),
+                                sets.writes
+                                    .iter()
+                                    .map(|r| r.to_string())
+                                    .collect::<Vec<_>>(),
+                            ));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(sets);
+                    }
+                }
                 let slot = accesses.entry((*batch, *txn)).or_default();
                 slot.reads.extend(reads.iter().copied());
                 slot.writes.extend(writes.iter().copied());
@@ -565,6 +608,63 @@ mod tests {
         assert_eq!(s.surviving_commits, 2);
         let order = serial_order(&events).unwrap();
         assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn identical_duplicate_access_record_is_idempotent() {
+        // A duplicated delivery re-records the same sets: allowed.
+        let events = vec![
+            root(0, 10, "a"),
+            HistoryEvent::Sealed {
+                batch: 0,
+                txns: vec![0],
+                kind: BatchKindTag::Regular,
+            },
+            access(0, 0, &["a"], &["a"]),
+            access(0, 0, &["a"], &["a"]),
+            HistoryEvent::Decided {
+                batch: 0,
+                kind: BatchKindTag::Regular,
+                committed: vec![outcome(0, 10)],
+                failed: vec![],
+                retried: vec![],
+            },
+        ];
+        let s = check_history(&events, CommitRule::Reordering).unwrap();
+        assert_eq!(s.surviving_commits, 1);
+    }
+
+    #[test]
+    fn divergent_access_re_record_is_flagged() {
+        // The same partition reporting two *different* access sets for one
+        // (batch, txn) in one lineage is the footprint of a transaction
+        // executed twice — exactly what a buggy exec pool would leave.
+        let events = vec![
+            HistoryEvent::Sealed {
+                batch: 0,
+                txns: vec![0],
+                kind: BatchKindTag::Regular,
+            },
+            access(0, 0, &["a"], &["a"]),
+            access(0, 0, &["a", "b"], &["a"]),
+        ];
+        let e = check_history(&events, CommitRule::Reordering).unwrap_err();
+        assert!(e.message.contains("divergent access set"), "{e}");
+    }
+
+    #[test]
+    fn access_re_record_across_recovery_is_allowed() {
+        // Replay after a recovery legitimately re-executes fenced work; a
+        // different access set in the new epoch is not a double execution.
+        let events = vec![
+            access(0, 0, &["a"], &["a"]),
+            HistoryEvent::Recovery {
+                gen: 1,
+                source_offset: 0,
+            },
+            access(0, 0, &["a", "b"], &["a"]),
+        ];
+        check_history(&events, CommitRule::Reordering).unwrap();
     }
 
     #[test]

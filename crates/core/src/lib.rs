@@ -20,11 +20,13 @@
 //! assert_eq!(ok, Value::Bool(true));
 //! ```
 //!
-//! Two environment knobs flip a whole run without touching code:
+//! Three environment knobs flip a whole run without touching code:
 //! `SE_EXEC_BACKEND` (`interp` | `vm`) selects the body-execution backend on
-//! every engine, and `SE_PIPELINE_DEPTH` (positive integer, default 1)
-//! selects how many Aria batches the StateFlow coordinator keeps in flight
-//! ([`pipeline_depth_from_env_or`]).
+//! every engine, `SE_PIPELINE_DEPTH` (positive integer, default 1) selects
+//! how many Aria batches the StateFlow coordinator keeps in flight
+//! ([`pipeline_depth_from_env_or`]), and `SE_EXEC_THREADS` (positive
+//! integer, default 1) sizes each StateFlow worker's intra-partition
+//! execution pool ([`exec_threads_from_env_or`]).
 
 #![warn(missing_docs)]
 
@@ -42,7 +44,10 @@ pub use se_compiler::{compile, compile_with, stats, CompileOptions, CompileStats
 pub use se_dataflow::{EntityRuntime, NetConfig, ResponseWaiter};
 pub use se_ir::{DataflowGraph, ExecBackend, StateMachine};
 pub use se_lang::{builder, programs, typecheck, EntityRef, Type, Value};
-pub use se_stateflow::{pipeline_depth_from_env_or, StateflowConfig, StateflowRuntime};
+pub use se_stateflow::{
+    default_workers, exec_threads_from_env_or, pipeline_depth_from_env_or, StateflowConfig,
+    StateflowRuntime,
+};
 pub use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};
 pub use se_vm::VmProgram;
 

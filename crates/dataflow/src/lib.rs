@@ -30,4 +30,4 @@ pub use metrics::{ComponentTimers, LatencyRecorder, LatencySummary, Throughput};
 pub use net::{burn, NetConfig};
 pub use snapshot::{Epoch, SnapshotStore, DEFAULT_SNAPSHOT_RETENTION};
 pub use source::{ReplayableSource, SourceReader};
-pub use state::StateStore;
+pub use state::{SharedStateStore, StateStore};

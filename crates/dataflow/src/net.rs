@@ -19,7 +19,8 @@
 
 use std::time::{Duration, Instant};
 
-/// Burns `d` of CPU time on the calling thread (spin wait).
+/// Burns `d` of CPU time on the calling thread (spin wait by default; see
+/// [`service_sleeps`] for the opt-in sleep mode used by the scaling bench).
 ///
 /// Service times model *CPU occupancy* — the thread must be busy, not
 /// parked. `thread::sleep` is wrong twice over: it yields the core, and on
@@ -30,10 +31,35 @@ pub fn burn(d: Duration) {
     if d.is_zero() {
         return;
     }
+    if service_sleeps() {
+        std::thread::sleep(d);
+        return;
+    }
     let end = Instant::now() + d;
     while Instant::now() < end {
         std::hint::spin_loop();
     }
+}
+
+/// Whether service time is simulated by sleeping instead of spinning
+/// (`SE_SERVICE_SLEEP=1`, read once).
+///
+/// Spinning models CPU *occupancy*, sleeping models CPU *independence* —
+/// and on a host with fewer cores than simulated service threads the two
+/// are irreconcilable: a spinning thread monopolizes its timeslice, so
+/// concurrent service burns serialize in wall-clock time and any intra-host
+/// parallelism (worker threads, the exec pool) is invisible. Sleep mode
+/// trades sub-millisecond timer precision for the scheduling behavior the
+/// simulated cluster would have with one core per thread; the scaling
+/// bench (`pipeline_sweep`) turns it on by default for exactly that
+/// reason, while the latency-calibrated figure benches keep spinning.
+pub fn service_sleeps() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("SE_SERVICE_SLEEP")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
 }
 
 /// Per-hop latency model of the simulated cluster.

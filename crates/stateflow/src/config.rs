@@ -10,12 +10,22 @@ use se_ir::ExecBackend;
 /// Tunables of the StateFlow deployment.
 ///
 /// Defaults mirror the paper's setup (§4): "StateFlow requires a single core
-/// coordinator, and the rest are used for its workers" — with 6 system cores
-/// that is 1 coordinator + 5 workers.
+/// coordinator, and the rest are used for its workers" — 1 coordinator plus
+/// one worker per remaining core, never fewer than the paper's 5 (see
+/// [`default_workers`]).
 #[derive(Debug, Clone)]
 pub struct StateflowConfig {
     /// Number of worker threads (state partitions).
     pub workers: usize,
+    /// Threads in each worker's intra-partition execution pool. `1` (the
+    /// default) executes on the worker's protocol thread — the exact
+    /// pre-pool serial schedule. At ≥ 2 a batch's transactions execute
+    /// concurrently on a work-stealing pool: Aria's deterministic batches
+    /// make intra-batch execution embarrassingly parallel (every execution
+    /// reads the committed snapshot plus its own buffer; writes wait for
+    /// the commit phase), so the pool changes timing, never outcomes. The
+    /// `SE_EXEC_THREADS` env var overrides the default.
+    pub exec_threads: usize,
     /// Network latency model.
     pub net: NetConfig,
     /// How long the coordinator waits to fill a batch before sealing it.
@@ -77,7 +87,8 @@ pub struct StateflowConfig {
 impl Default for StateflowConfig {
     fn default() -> Self {
         Self {
-            workers: 5,
+            workers: default_workers(),
+            exec_threads: exec_threads_from_env_or(1),
             net: NetConfig::default(),
             batch_interval: Duration::from_millis(10),
             max_batch: 512,
@@ -100,6 +111,7 @@ impl StateflowConfig {
     pub fn fast_test(workers: usize) -> Self {
         Self {
             workers,
+            exec_threads: exec_threads_from_env_or(1),
             net: NetConfig::fast_test(),
             batch_interval: Duration::from_millis(2),
             max_batch: 256,
@@ -114,6 +126,40 @@ impl StateflowConfig {
             inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
         }
+    }
+}
+
+/// The default worker count: one per available core minus the coordinator's,
+/// floored at the paper deployment's 5 workers. Derived (not hard-coded) so
+/// a default deployment actually uses the machine it runs on; the floor
+/// keeps partitioning behavior identical to the paper's setup on small
+/// hosts, where workers time-share cores exactly as threads always have.
+pub fn default_workers() -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    available.saturating_sub(1).max(5)
+}
+
+/// Reads the `SE_EXEC_THREADS` override (a positive integer), falling back
+/// to `default` when the variable is unset. An unrecognized value also falls
+/// back, but warns on stderr once per process (mirrors `SE_PIPELINE_DEPTH`).
+pub fn exec_threads_from_env_or(default: usize) -> usize {
+    match std::env::var("SE_EXEC_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(threads) if threads >= 1 => threads,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unrecognized SE_EXEC_THREADS={v:?} \
+                         (expected a positive integer)"
+                    );
+                });
+                default
+            }
+        },
+        Err(_) => default,
     }
 }
 
@@ -147,11 +193,34 @@ mod tests {
     #[test]
     fn defaults_match_paper_deployment() {
         let c = StateflowConfig::default();
-        assert_eq!(c.workers, 5, "6 system cores = 1 coordinator + 5 workers");
+        assert_eq!(
+            c.workers,
+            default_workers(),
+            "workers default derives from available parallelism"
+        );
         assert_eq!(c.commit_rule, CommitRule::Reordering);
         assert!(c.snapshot_every_batches > 0);
         // The pipeline knob may be raised via SE_PIPELINE_DEPTH (CI runs
         // the suite at depth 3), but never below stop-and-wait.
         assert!(c.pipeline_depth >= 1);
+        // The exec-pool knob may be raised via SE_EXEC_THREADS (CI runs the
+        // suite at 4), but never below the serial schedule.
+        assert!(c.exec_threads >= 1);
+    }
+
+    #[test]
+    fn default_workers_adapts_to_parallelism_with_paper_floor() {
+        let available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let w = default_workers();
+        // The paper's 5-worker deployment is the floor; on bigger hosts one
+        // core is reserved for the coordinator and the rest become workers.
+        assert!(w >= 5);
+        if available > 6 {
+            assert_eq!(w, available - 1);
+        } else {
+            assert_eq!(w, 5);
+        }
     }
 }

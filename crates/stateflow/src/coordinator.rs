@@ -283,8 +283,19 @@ impl Coordinator {
             }
             self.drain_source();
             self.maybe_seal_batches();
-            if let Some(msg) = self.inbox.recv_timeout(Duration::from_micros(500)) {
+            // Drain every due message before blocking: decide rounds for
+            // batch N+1 must not queue behind the apply traffic of batch N
+            // when an exec pool lets many completions land at once. Bounded
+            // per turn — try_recv only yields messages already due.
+            let mut handled = false;
+            while let Some(msg) = self.inbox.try_recv() {
                 self.handle(msg);
+                handled = true;
+            }
+            if !handled {
+                if let Some(msg) = self.inbox.recv_timeout(Duration::from_micros(500)) {
+                    self.handle(msg);
+                }
             }
         }
     }

@@ -28,7 +28,9 @@ pub mod query;
 pub mod runtime;
 pub mod worker;
 
-pub use config::{pipeline_depth_from_env_or, StateflowConfig};
+pub use config::{
+    default_workers, exec_threads_from_env_or, pipeline_depth_from_env_or, StateflowConfig,
+};
 pub use coordinator::CoordStats;
 pub use query::QueryResult;
 pub use runtime::StateflowRuntime;

@@ -15,6 +15,21 @@
 //! execution still reads exactly the snapshot Aria's serial batch order
 //! prescribes.
 //!
+//! Shard-parallel execution (`exec_threads ≥ 2`): each worker owns an
+//! intra-partition work-stealing exec pool. Aria's deterministic batches
+//! make intra-batch execution embarrassingly parallel — every transaction
+//! reads the committed snapshot overlaid with its own private buffer, and
+//! the store is never mutated inside a batch's execution window (the commit
+//! of batch *B* requires every `ExecDone` of *B*, and the watermark defers
+//! batch *B+1*'s executions until that commit applied) — so chain segments
+//! fan out to the pool while the protocol thread keeps exclusive ownership
+//! of all protocol state. A segment checks out the transaction's buffer,
+//! executes hops (including same-partition continuations), and checks back
+//! in via a node-local [`WorkerMsg::SegmentDone`]; the protocol thread then
+//! performs the sends, solo commits and bookkeeping exactly where the
+//! serial path would. At `exec_threads = 1` the pool does not exist and the
+//! pre-pool serial schedule is preserved instruction for instruction.
+//!
 //! Chaos hardening: with a scripted [`se_chaos::ChaosPlan`] armed, any
 //! data-plane message may arrive duplicated, late or not at all (until a
 //! recovery fences it), so the worker's message handling is idempotent:
@@ -33,7 +48,8 @@ use std::time::Duration;
 use se_aria::{BatchId, CommitWatermark, ReservationTable, TxnBuffer, TxnId};
 use se_chaos::{CrashPoint, HistoryEvent, Seam};
 use se_dataflow::{
-    send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, SnapshotStore, StateStore,
+    send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, SharedStateStore, SnapshotStore,
+    StateStore,
 };
 use se_ir::{
     partition_for, process_invocation_with, BodyRunner, DataflowGraph, Invocation, Response,
@@ -42,7 +58,7 @@ use se_ir::{
 use se_lang::LangError;
 
 use crate::config::StateflowConfig;
-use crate::msg::{ConflictFlags, CoordMsg, WorkerMsg};
+use crate::msg::{ConflictFlags, CoordMsg, SegmentOutcome, WorkerMsg};
 
 /// A commit record as applied by a worker: the batch's transactions
 /// (ascending) and the subset whose effects must be discarded.
@@ -66,7 +82,12 @@ pub struct Worker {
     graph: Arc<DataflowGraph>,
     /// Executes split method bodies (interp or VM, per `cfg.backend`).
     runner: Arc<dyn BodyRunner>,
-    store: StateStore,
+    /// The partition store. The protocol thread is the only writer; with an
+    /// exec pool, pool tasks read the committed snapshot through it.
+    store: SharedStateStore,
+    /// The intra-partition exec pool plus the shared context its tasks
+    /// capture; `None` at `exec_threads = 1` (serial schedule).
+    pool: Option<(rayon::ThreadPool, Arc<PoolCtx>)>,
     /// Per-batch buffered accesses: batches overlap under pipelining, so
     /// reservation state must be keyed by batch, not just transaction.
     buffers: HashMap<BatchId, HashMap<TxnId, TxnBuffer>>,
@@ -106,13 +127,35 @@ impl Worker {
         snapshots: Arc<SnapshotStore<StateStore>>,
         timers: Arc<ComponentTimers>,
     ) -> Self {
+        let name = format!("worker{id}");
+        let store = SharedStateStore::new();
+        let pool = (cfg.exec_threads > 1).then(|| {
+            let ctx = Arc::new(PoolCtx {
+                cfg: cfg.clone(),
+                graph: Arc::clone(&graph),
+                runner: Arc::clone(&runner),
+                store: store.clone(),
+                timers: Arc::clone(&timers),
+                home: peers[id].clone(),
+                id,
+                name: name.clone(),
+                n_workers: peers.len(),
+            });
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(cfg.exec_threads)
+                .thread_name(move |t| format!("stateflow-worker{id}-exec{t}"))
+                .build()
+                .expect("build exec pool");
+            (pool, ctx)
+        });
         Self {
-            name: format!("worker{id}"),
+            name,
             id,
             cfg,
             graph,
             runner,
-            store: StateStore::new(),
+            store,
+            pool,
             buffers: HashMap::new(),
             expected_hops: HashMap::new(),
             reserved: BTreeSet::new(),
@@ -165,6 +208,7 @@ impl Worker {
         match m {
             WorkerMsg::Create { gen, .. }
             | WorkerMsg::Exec { gen, .. }
+            | WorkerMsg::SegmentDone { gen, .. }
             | WorkerMsg::Reserve { gen, .. }
             | WorkerMsg::Commit { gen, .. }
             | WorkerMsg::Snapshot { gen, .. }
@@ -197,6 +241,15 @@ impl Worker {
                 solo,
                 ..
             } => self.handle_exec(batch, txn, hop, inv, solo),
+            WorkerMsg::SegmentDone {
+                batch,
+                txn,
+                next_hop,
+                buffer,
+                outcome,
+                solo,
+                ..
+            } => self.handle_segment_done(batch, txn, next_hop, buffer, outcome, solo),
             WorkerMsg::Reserve {
                 batch,
                 txns,
@@ -239,7 +292,7 @@ impl Worker {
                     self.watermark.next_expected()
                 );
                 self.snapshots
-                    .put(epoch, self.node_name(), self.store.clone());
+                    .put(epoch, self.node_name(), self.store.snapshot());
                 self.send_coord_ctl(CoordMsg::SnapshotAck {
                     gen: self.gen,
                     epoch,
@@ -283,7 +336,9 @@ impl Worker {
     ) -> Result<(), LangError> {
         let class_def = &self.graph.program.class_or_err(class)?.class;
         let r = se_lang::EntityRef::new(class, key);
-        self.store.insert(r, class_def.initial_state(key, init));
+        self.store
+            .write()
+            .insert(r, class_def.initial_state(key, init));
         Ok(())
     }
 
@@ -310,7 +365,109 @@ impl Worker {
             // into a buffer nobody will ever apply.
             return;
         }
-        self.run_chain(batch, txn, hop, inv, solo);
+        self.run_or_spawn(batch, txn, hop, inv, solo);
+    }
+
+    /// Routes a runnable exec: inline on the protocol thread (serial
+    /// schedule), or checked out to the exec pool.
+    fn run_or_spawn(&mut self, batch: BatchId, txn: TxnId, hop: u32, inv: Invocation, solo: bool) {
+        if self.pool.is_some() {
+            self.spawn_segment(batch, txn, hop, inv, solo);
+        } else {
+            self.run_chain(batch, txn, hop, inv, solo);
+        }
+    }
+
+    /// Checks a runnable exec out to the intra-partition pool: hop dedup
+    /// happens here (protocol thread), then the transaction's buffer moves
+    /// into the pool task for the duration of the segment. Sound because
+    /// nothing else can need that buffer until the segment checks it back
+    /// in: reservation only starts after every `ExecDone` of the batch, and
+    /// this transaction's `ExecDone` (or its next remote hop) is sent from
+    /// `handle_segment_done`, after reinstalling the buffer.
+    fn spawn_segment(&mut self, batch: BatchId, txn: TxnId, hop: u32, inv: Invocation, solo: bool) {
+        {
+            let expected = self
+                .expected_hops
+                .entry(batch)
+                .or_default()
+                .entry(txn)
+                .or_insert(0);
+            if hop < *expected {
+                return;
+            }
+            *expected = hop + 1;
+        }
+        let buffer = self
+            .buffers
+            .entry(batch)
+            .or_default()
+            .remove(&txn)
+            .unwrap_or_default();
+        let (pool, ctx) = self.pool.as_ref().expect("spawn_segment requires a pool");
+        let ctx = Arc::clone(ctx);
+        let gen = self.gen;
+        pool.spawn(move || run_segment(&ctx, gen, batch, txn, hop, inv, solo, buffer));
+    }
+
+    /// A pool segment finished: check the buffer back in, mirror the
+    /// segment's hop bookkeeping, then perform the protocol action the
+    /// serial path would have performed inline (report/solo-commit, or
+    /// forward the chain to its next partition).
+    fn handle_segment_done(
+        &mut self,
+        batch: BatchId,
+        txn: TxnId,
+        next_hop: u32,
+        buffer: TxnBuffer,
+        outcome: SegmentOutcome,
+        solo: bool,
+    ) {
+        if matches!(outcome, SegmentOutcome::Crashed) {
+            // The scripted crash fired on a pool thread; the "process"
+            // (protocol thread included) dies here.
+            self.crash();
+            return;
+        }
+        if !self.watermark.runnable(batch) {
+            // Safety net: the batch already committed locally (argued
+            // unreachable — dedup prevents duplicate spawns and commits
+            // wait for ExecDone — but reinstalling a buffer into a
+            // committed batch would leak it forever).
+            return;
+        }
+        // Buffer check-in must precede finish_chain: a solo commit applies
+        // this buffer, and the reservation round scans it.
+        self.buffers.entry(batch).or_default().insert(txn, buffer);
+        let expected = self
+            .expected_hops
+            .entry(batch)
+            .or_default()
+            .entry(txn)
+            .or_insert(0);
+        *expected = (*expected).max(next_hop);
+        match outcome {
+            SegmentOutcome::Respond(response) => self.finish_chain(batch, txn, response, solo),
+            SegmentOutcome::Emit { owner, hop, inv } => {
+                let bytes = inv.approx_size();
+                send_with_chaos(
+                    &self.cfg.chaos,
+                    Seam::WorkerToWorker,
+                    &self.cfg.net,
+                    &self.peers[owner],
+                    WorkerMsg::Exec {
+                        gen: self.gen,
+                        batch,
+                        txn,
+                        hop,
+                        inv,
+                        solo,
+                    },
+                    self.cfg.net.f2f_latency(bytes),
+                );
+            }
+            SegmentOutcome::Crashed => unreachable!("handled above"),
+        }
     }
 
     /// Runs execs whose batch became runnable after a watermark advance.
@@ -333,7 +490,7 @@ impl Worker {
                 // which the loop would never revisit (and clean) its key.
                 self.deferred.remove(&batch);
             }
-            self.run_chain(batch, item.txn, item.hop, item.inv, item.solo);
+            self.run_or_spawn(batch, item.txn, item.hop, item.inv, item.solo);
             // A solo commit inside run_chain may have advanced the
             // watermark; re-resolve the runnable batch from scratch. A
             // batch's queue only holds work that arrived before the batch
@@ -388,17 +545,17 @@ impl Worker {
             let target = inv.target;
             let request = inv.request;
             // O(1): entity state is copy-on-write, so "read the committed
-            // snapshot" is a refcount bump, not a deep copy.
-            let committed = match self.store.get(&target) {
-                Some(s) => s.clone(),
-                None => {
-                    let response = Response {
-                        request,
-                        result: Err(LangError::runtime(format!("unknown entity {target}"))),
-                    };
-                    self.finish_chain(batch, txn, response, solo);
-                    return;
-                }
+            // snapshot" is a refcount bump, not a deep copy. The read guard
+            // must drop before finish_chain (a solo commit takes the write
+            // lock), hence the two-step clone.
+            let committed = self.store.read().get(&target).cloned();
+            let Some(committed) = committed else {
+                let response = Response {
+                    request,
+                    result: Err(LangError::runtime(format!("unknown entity {target}"))),
+                };
+                self.finish_chain(batch, txn, response, solo);
+                return;
             };
             let buffer = self
                 .buffers
@@ -650,20 +807,23 @@ impl Worker {
 
     fn apply_writes(&mut self, buffer: TxnBuffer) {
         self.timers.time("state_store", || {
+            let mut store = self.store.write();
             for (entity, writes) in buffer.writes {
                 for (attr, value) in writes {
                     // Entities written here were read from this store
                     // during execute; they exist unless a concurrent
                     // create raced, which batching forbids.
-                    let _ = self.store.apply_write(&entity, attr, value);
+                    let _ = store.apply_write(&entity, attr, value);
                 }
             }
         });
     }
 
     fn crash(&mut self) {
-        // Volatile state dies with the "process".
-        self.store = StateStore::new();
+        // Volatile state dies with the "process". In-flight pool segments
+        // are zombies of the dead incarnation; their completions are fenced
+        // by the generation check (`dead` now, generation after restore).
+        self.store.replace(StateStore::new());
         self.buffers.clear();
         self.expected_hops.clear();
         self.reserved.clear();
@@ -683,9 +843,11 @@ impl Worker {
         self.reserved.clear();
         self.deferred.clear();
         self.watermark.reset(next_batch);
-        self.store = epoch
-            .and_then(|e| self.snapshots.get(e, self.node_name()))
-            .unwrap_or_default();
+        self.store.replace(
+            epoch
+                .and_then(|e| self.snapshots.get(e, self.node_name()))
+                .unwrap_or_default(),
+        );
         self.dead = false;
         // The next incarnation begins: re-arm the chaos plan's per-node
         // counters so a multi-crash script can kill this worker again.
@@ -694,5 +856,117 @@ impl Worker {
             gen,
             worker: self.id,
         });
+    }
+}
+
+/// Everything a pool-executed segment needs, captured once at pool build
+/// time (pool tasks must not borrow the `Worker` — the protocol thread keeps
+/// mutating it while segments run).
+struct PoolCtx {
+    cfg: StateflowConfig,
+    graph: Arc<DataflowGraph>,
+    runner: Arc<dyn BodyRunner>,
+    store: SharedStateStore,
+    timers: Arc<ComponentTimers>,
+    /// The owning worker's own inbox: segment completions are node-local
+    /// (same "process"), so they bypass the simulated network and chaos.
+    home: DelaySender<WorkerMsg>,
+    id: usize,
+    name: String,
+    n_workers: usize,
+}
+
+/// The pool-side half of [`Worker::run_chain`]: executes one chain segment —
+/// the entry hop plus any same-partition continuations — against the
+/// committed snapshot overlaid with the transaction's checked-out buffer,
+/// then reports via [`WorkerMsg::SegmentDone`]. Mirrors the serial path's
+/// hop arithmetic exactly so `exec_threads = 1` and `≥ 2` keep identical
+/// dedup positions.
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    ctx: &PoolCtx,
+    gen: u64,
+    batch: BatchId,
+    txn: TxnId,
+    entry_hop: u32,
+    mut inv: Invocation,
+    solo: bool,
+    mut buffer: TxnBuffer,
+) {
+    let mut hop = entry_hop;
+    // Mirrors `expected_hops`: entry dedup already advanced it to
+    // `entry_hop + 1` on the protocol thread; local continuations advance it
+    // further below.
+    let mut next_hop = entry_hop + 1;
+    let done = |next_hop: u32, buffer: TxnBuffer, outcome: SegmentOutcome| {
+        ctx.home.send_after(
+            WorkerMsg::SegmentDone {
+                gen,
+                batch,
+                txn,
+                next_hop,
+                buffer,
+                outcome,
+                solo,
+            },
+            Duration::ZERO,
+        );
+    };
+    loop {
+        if ctx.cfg.chaos.should_crash(&ctx.name, CrashPoint::Exec) {
+            done(next_hop, buffer, SegmentOutcome::Crashed);
+            return;
+        }
+        se_dataflow::burn(ctx.cfg.net.scaled(ctx.cfg.service_time));
+
+        let target = inv.target;
+        let request = inv.request;
+        // O(1): copy-on-write entity state makes the committed read a
+        // refcount bump under a briefly held read guard.
+        let committed = ctx.store.read().get(&target).cloned();
+        let Some(committed) = committed else {
+            let response = Response {
+                request,
+                result: Err(LangError::runtime(format!("unknown entity {target}"))),
+            };
+            done(next_hop, buffer, SegmentOutcome::Respond(response));
+            return;
+        };
+        let before = ctx
+            .timers
+            .time("state_read", || buffer.overlay_read(&target, &committed));
+        let mut after = before.clone();
+        let effect = ctx.timers.time("function_execution", || {
+            process_invocation_with(&ctx.graph.program, &*ctx.runner, inv, &mut after)
+        });
+        ctx.timers.time("state_write_buffer", || {
+            buffer.record_effects(&target, &before, &after)
+        });
+
+        match effect {
+            StepEffect::Respond(response) => {
+                done(next_hop, buffer, SegmentOutcome::Respond(response));
+                return;
+            }
+            StepEffect::Emit(next) => {
+                hop += 1;
+                let owner = partition_for(next.target.key.as_str(), ctx.n_workers);
+                if owner == ctx.id {
+                    next_hop = hop + 1;
+                    inv = next;
+                    continue;
+                }
+                done(
+                    next_hop,
+                    buffer,
+                    SegmentOutcome::Emit {
+                        owner,
+                        hop,
+                        inv: next,
+                    },
+                );
+                return;
+            }
+        }
     }
 }

@@ -32,6 +32,8 @@ pub struct DriverConfig {
     /// runtime's `NetConfig::time_scale`, so offered load relative to
     /// service capacity is scale-invariant.
     pub time_scale: f64,
+    /// Loop turns of generated `spin` operations (workload C cells).
+    pub spin_iters: i64,
 }
 
 impl Default for DriverConfig {
@@ -42,6 +44,7 @@ impl Default for DriverConfig {
             seed: 0xC0FFEE,
             value_size: 1024,
             time_scale: 1.0,
+            spin_iters: 256,
         }
     }
 }
@@ -116,7 +119,8 @@ pub fn run_open_loop(
     cfg: &DriverConfig,
 ) -> RunReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut gen = OpGenerator::new(spec, dist.chooser(n_keys), cfg.value_size);
+    let mut gen = OpGenerator::new(spec, dist.chooser(n_keys), cfg.value_size)
+        .with_spin_iters(cfg.spin_iters);
     let interval = Duration::from_secs_f64(1.0 / cfg.rps).mul_f64(cfg.time_scale.max(1e-9));
 
     let mut pending: Vec<(Instant, ResponseWaiter)> = Vec::with_capacity(cfg.requests);

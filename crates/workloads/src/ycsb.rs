@@ -53,6 +53,31 @@ pub fn ycsb_program() -> Program {
                     ret(attr("balance")),
                 ]),
         )
+        // spin(iters): a compute-bound body — `iters` arithmetic loop turns,
+        // one attribute read, no writes, no remote calls. Workload C uses it
+        // for scaling benches where per-event CPU (not state movement or
+        // coordination) dominates, the regime where the intra-partition exec
+        // pool should show its parallel speedup.
+        .method(
+            MethodBuilder::new("spin")
+                .param("iters", Type::Int)
+                .returns(Type::Int)
+                .body(vec![
+                    assign_ty("acc", Type::Int, attr("balance")),
+                    assign_ty("i", Type::Int, lit(0)),
+                    while_(
+                        lt(var("i"), var("iters")),
+                        vec![
+                            assign(
+                                "acc",
+                                modulo(add(mul(var("acc"), lit(31)), var("i")), lit(1000003)),
+                            ),
+                            assign("i", add(var("i"), lit(1))),
+                        ],
+                    ),
+                    ret(var("acc")),
+                ]),
+        )
         // transfer: the YCSB+T transaction — 2 reads + 2 writes across two
         // accounts, atomically.
         .method(
@@ -81,7 +106,7 @@ pub fn key_name(i: usize) -> String {
 /// Operation mix of a workload, in percent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadSpec {
-    /// Short name ("A", "B", "T", "M").
+    /// Short name ("A", "B", "T", "M", "C").
     pub name: &'static str,
     /// Percent reads.
     pub read_pct: u8,
@@ -89,6 +114,9 @@ pub struct WorkloadSpec {
     pub update_pct: u8,
     /// Percent transfers (YCSB+T transactions).
     pub transfer_pct: u8,
+    /// Percent compute-bound spins (workload C; not part of the paper's
+    /// mixes, used by the scaling bench).
+    pub spin_pct: u8,
 }
 
 impl WorkloadSpec {
@@ -98,6 +126,7 @@ impl WorkloadSpec {
         read_pct: 50,
         update_pct: 50,
         transfer_pct: 0,
+        spin_pct: 0,
     };
     /// YCSB B: read-heavy (95/5).
     pub const B: WorkloadSpec = WorkloadSpec {
@@ -105,6 +134,7 @@ impl WorkloadSpec {
         read_pct: 95,
         update_pct: 5,
         transfer_pct: 0,
+        spin_pct: 0,
     };
     /// YCSB+T T: transfers only.
     pub const T: WorkloadSpec = WorkloadSpec {
@@ -112,6 +142,7 @@ impl WorkloadSpec {
         read_pct: 0,
         update_pct: 0,
         transfer_pct: 100,
+        spin_pct: 0,
     };
     /// The paper's mixed workload M (45/45/10).
     pub const M: WorkloadSpec = WorkloadSpec {
@@ -119,6 +150,17 @@ impl WorkloadSpec {
         read_pct: 45,
         update_pct: 45,
         transfer_pct: 10,
+        spin_pct: 0,
+    };
+    /// C: compute-bound spins only — single-entity, read-only, loop-heavy
+    /// bodies. With uniform keys it is conflict-free, the regime where
+    /// intra-partition exec-pool scaling is purest.
+    pub const C: WorkloadSpec = WorkloadSpec {
+        name: "C",
+        read_pct: 0,
+        update_pct: 0,
+        transfer_pct: 0,
+        spin_pct: 100,
     };
 
     /// Whether the mix contains multi-entity transactions.
@@ -151,6 +193,13 @@ pub enum Operation {
         /// Amount.
         amount: i64,
     },
+    /// Run record `key`'s compute-bound spin loop for `iters` turns.
+    Spin {
+        /// Record index.
+        key: usize,
+        /// Loop turns.
+        iters: i64,
+    },
 }
 
 impl Operation {
@@ -168,6 +217,7 @@ impl Operation {
                     Value::Int(*amount),
                 ],
             ),
+            Operation::Spin { key, iters } => (*key, "spin", vec![Value::Int(*iters)]),
         }
     }
 }
@@ -177,6 +227,7 @@ pub struct OpGenerator {
     spec: WorkloadSpec,
     chooser: Box<dyn KeyChooser>,
     value_size: usize,
+    spin_iters: i64,
 }
 
 impl OpGenerator {
@@ -187,7 +238,14 @@ impl OpGenerator {
             spec,
             chooser,
             value_size,
+            spin_iters: 256,
         }
+    }
+
+    /// Sets the loop-turn count of generated spins (default 256).
+    pub fn with_spin_iters(mut self, iters: i64) -> Self {
+        self.spin_iters = iters;
+        self
     }
 
     /// Draws the next operation.
@@ -203,7 +261,7 @@ impl OpGenerator {
                 key: self.chooser.next_key(rng),
                 value: vec![fill; self.value_size],
             }
-        } else {
+        } else if roll < self.spec.read_pct + self.spec.update_pct + self.spec.transfer_pct {
             let from = self.chooser.next_key(rng);
             let mut to = self.chooser.next_key(rng);
             if to == from {
@@ -213,6 +271,11 @@ impl OpGenerator {
                 from,
                 to,
                 amount: rng.gen_range(1..10),
+            }
+        } else {
+            Operation::Spin {
+                key: self.chooser.next_key(rng),
+                iters: self.spin_iters,
             }
         }
     }
@@ -256,6 +319,7 @@ mod tests {
                 Operation::Read { .. } => r += 1,
                 Operation::Update { .. } => u += 1,
                 Operation::Transfer { .. } => t += 1,
+                Operation::Spin { .. } => panic!("M generates no spins"),
             }
         }
         let pct = |c: i32| c as f64 / n as f64 * 100.0;
@@ -292,9 +356,63 @@ mod tests {
         assert!(!WorkloadSpec::A.is_transactional());
         assert!(WorkloadSpec::T.is_transactional());
         assert!(WorkloadSpec::M.is_transactional());
+        assert!(!WorkloadSpec::C.is_transactional());
+        for spec in [
+            WorkloadSpec::A,
+            WorkloadSpec::B,
+            WorkloadSpec::T,
+            WorkloadSpec::M,
+            WorkloadSpec::C,
+        ] {
+            assert_eq!(
+                spec.read_pct + spec.update_pct + spec.transfer_pct + spec.spin_pct,
+                100,
+                "workload {} mix must sum to 100%",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn workload_c_generates_only_spins_with_requested_iters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut gen =
+            OpGenerator::new(WorkloadSpec::C, Box::new(Uniform::new(50)), 64).with_spin_iters(512);
+        for _ in 0..1_000 {
+            match gen.next_op(&mut rng) {
+                Operation::Spin { key, iters } => {
+                    assert!(key < 50);
+                    assert_eq!(iters, 512);
+                }
+                other => panic!("workload C generated {other:?}"),
+            }
+        }
+    }
+
+    /// The spin body must be single-entity (no suspension points: it never
+    /// leaves its partition, which is what makes workload C conflict-free
+    /// under uniform keys) and deterministic in its result.
+    #[test]
+    fn spin_method_is_local_and_deterministic() {
+        let p = ycsb_program();
+        se_lang::typecheck::check_program(&p).unwrap();
+        let graph = se_core::compile(&p).unwrap();
         assert_eq!(
-            WorkloadSpec::M.read_pct + WorkloadSpec::M.update_pct + WorkloadSpec::M.transfer_pct,
-            100
+            graph
+                .program
+                .method_or_err("Account", "spin")
+                .unwrap()
+                .suspension_points(),
+            0,
+            "spin must not suspend"
         );
+        let rt = se_core::deploy(&p, se_core::RuntimeChoice::Local).unwrap();
+        let acct = rt
+            .create("Account", "a0", vec![("balance".into(), Value::Int(7))])
+            .unwrap();
+        let one = rt.call(acct, "spin", vec![Value::Int(300)]).unwrap();
+        let two = rt.call(acct, "spin", vec![Value::Int(300)]).unwrap();
+        assert_eq!(one, two, "spin is read-only and deterministic");
+        assert!(one.as_int().unwrap() >= 0);
     }
 }

@@ -2,8 +2,8 @@
 //! the StateFlow engine, with script shrinking on failure.
 //!
 //! Each scenario samples a point in {workload A/T, zipfian/uniform key
-//! popularity, pipeline depth 1/2/4/8, execution backend interp/vm, seeded
-//! fault script} and runs a contended workload (plus, for T, a slice of
+//! popularity, pipeline depth 1/2/4/8, execution backend interp/vm,
+//! exec-pool size 1/4, seeded fault script} and runs a contended workload (plus, for T, a slice of
 //! transfers to a nonexistent "ghost" account, so errored transactions
 //! share batches with healthy ones). The run records its execution history;
 //! a scenario passes only if
@@ -67,19 +67,22 @@ struct Scenario {
     dist: &'static str,
     depth: usize,
     backend: String,
+    exec_threads: usize,
     script: FaultScript,
 }
 
 impl Scenario {
     fn sample(seed: u64) -> Scenario {
         // The workload point comes from the seed's low bits, so the
-        // sequential seeds of one run sweep the whole 32-cell matrix
-        // (A/T × zipfian/uniform × depth {1,2,4,8} × interp/vm)
-        // deterministically; the fault script comes from the full seed.
+        // sequential seeds of one run sweep the whole 64-cell matrix
+        // (A/T × zipfian/uniform × depth {1,2,4,8} × interp/vm ×
+        // exec-pool {1,4}) deterministically; the fault script comes from
+        // the full seed.
         let workload = if seed & 1 == 0 { "A" } else { "T" };
         let dist = if seed & 2 == 0 { "zipfian" } else { "uniform" };
         let depth = [1usize, 2, 4, 8][(seed >> 2) as usize % 4];
         let backend = if seed & 16 == 0 { "interp" } else { "vm" };
+        let exec_threads = if seed & 32 == 0 { 1 } else { 4 };
         let script = FaultScript::generate(seed, &ScriptConfig::stateflow(WORKERS));
         Scenario {
             seed,
@@ -87,6 +90,7 @@ impl Scenario {
             dist,
             depth,
             backend: backend.to_string(),
+            exec_threads,
             script,
         }
     }
@@ -184,6 +188,7 @@ fn run_scenario(
     let mut cfg = StateflowConfig::fast_test(WORKERS);
     cfg.net.time_scale = time_scale;
     cfg.pipeline_depth = sc.depth;
+    cfg.exec_threads = sc.exec_threads;
     cfg.backend = match sc.backend.as_str() {
         "vm" => stateful_entities::ExecBackend::Vm,
         _ => stateful_entities::ExecBackend::Interp,
@@ -365,11 +370,12 @@ fn main() {
         let scenario_seed = seed.wrapping_add(k as u64);
         let sc = Scenario::sample(scenario_seed);
         let label = format!(
-            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} ({} faults)",
+            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} exec {} ({} faults)",
             sc.workload,
             sc.dist,
             sc.depth,
             sc.backend,
+            sc.exec_threads,
             sc.script.fault_count()
         );
         match run_scenario(&sc, &sc.script, time_scale, inject_bug) {

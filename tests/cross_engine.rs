@@ -256,7 +256,7 @@ fn snapshot_retention_bounds_epoch_memory() {
 }
 
 /// Pipelined StateFlow must stay byte-equivalent to the serial Local
-/// oracle, for every pipeline depth × execution backend: a mix of
+/// oracle, for every exec-pool size × pipeline depth × execution backend: a mix of
 /// contended transfers (which exercise abort/solo-fallback/retry across
 /// overlapping batches) and deposits must land on identical final state.
 #[test]
@@ -295,41 +295,45 @@ fn stateflow_pipelined_matches_local_oracle() {
         .collect();
     oracle.shutdown();
 
-    for pipeline_depth in [1usize, 2, 4] {
-        for backend in [ExecBackend::Interp, ExecBackend::Vm] {
-            let mut cfg = StateflowConfig::fast_test(3);
-            cfg.pipeline_depth = pipeline_depth;
-            cfg.backend = backend;
-            let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
-            se_workloads::load_accounts(rt.as_ref(), n, 8, 100);
-            // Issue the ops one at a time (awaiting each) so the commit
-            // order matches the oracle's serial order; the pipeline still
-            // overlaps the protocol phases underneath.
-            for i in 0..60 {
-                if i % 3 == 0 {
-                    rt.call(key(i), "deposit", vec![Value::Int((i % 7) as i64 + 1)])
+    for exec_threads in [1usize, 4] {
+        for pipeline_depth in [1usize, 2, 4] {
+            for backend in [ExecBackend::Interp, ExecBackend::Vm] {
+                let mut cfg = StateflowConfig::fast_test(3);
+                cfg.exec_threads = exec_threads;
+                cfg.pipeline_depth = pipeline_depth;
+                cfg.backend = backend;
+                let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+                se_workloads::load_accounts(rt.as_ref(), n, 8, 100);
+                // Issue the ops one at a time (awaiting each) so the commit
+                // order matches the oracle's serial order; the pipeline still
+                // overlaps the protocol phases underneath.
+                for i in 0..60 {
+                    if i % 3 == 0 {
+                        rt.call(key(i), "deposit", vec![Value::Int((i % 7) as i64 + 1)])
+                            .unwrap();
+                    } else {
+                        rt.call(
+                            key(i),
+                            "transfer",
+                            vec![Value::Ref(key(i + 1)), Value::Int(2)],
+                        )
                         .unwrap();
-                } else {
-                    rt.call(
-                        key(i),
-                        "transfer",
-                        vec![Value::Ref(key(i + 1)), Value::Int(2)],
-                    )
-                    .unwrap();
+                    }
                 }
+                for (i, want) in expected.iter().enumerate() {
+                    let got = rt
+                        .call(key(i), "balance", vec![])
+                        .unwrap()
+                        .as_int()
+                        .unwrap();
+                    assert_eq!(
+                        got, *want,
+                        "[exec {exec_threads}, depth {pipeline_depth}, {backend}] \
+                         account {i} diverged from oracle"
+                    );
+                }
+                rt.shutdown();
             }
-            for (i, want) in expected.iter().enumerate() {
-                let got = rt
-                    .call(key(i), "balance", vec![])
-                    .unwrap()
-                    .as_int()
-                    .unwrap();
-                assert_eq!(
-                    got, *want,
-                    "[depth {pipeline_depth}, {backend}] account {i} diverged from oracle"
-                );
-            }
-            rt.shutdown();
         }
     }
 }
@@ -344,45 +348,48 @@ fn pipelined_concurrent_transfers_conserve_money_all_backends() {
     let program = se_workloads::ycsb_program();
     let n = 4usize;
     let key = |i: usize| EntityRef::new("Account", se_workloads::key_name(i % n));
-    for pipeline_depth in [1usize, 2, 4] {
-        for backend in [ExecBackend::Interp, ExecBackend::Vm] {
-            let mut cfg = StateflowConfig::fast_test(3);
-            cfg.pipeline_depth = pipeline_depth;
-            cfg.backend = backend;
-            let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
-            se_workloads::load_accounts(rt.as_ref(), n, 8, 1000);
-            let waiters: Vec<_> = (0..80)
-                .map(|i| {
-                    rt.call_async(
-                        key(i),
-                        "transfer",
-                        vec![Value::Ref(key(i + 1)), Value::Int(1)],
-                    )
-                })
-                .collect();
-            for w in waiters {
+    for exec_threads in [1usize, 4] {
+        for pipeline_depth in [1usize, 2, 4] {
+            for backend in [ExecBackend::Interp, ExecBackend::Vm] {
+                let mut cfg = StateflowConfig::fast_test(3);
+                cfg.exec_threads = exec_threads;
+                cfg.pipeline_depth = pipeline_depth;
+                cfg.backend = backend;
+                let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+                se_workloads::load_accounts(rt.as_ref(), n, 8, 1000);
+                let waiters: Vec<_> = (0..80)
+                    .map(|i| {
+                        rt.call_async(
+                            key(i),
+                            "transfer",
+                            vec![Value::Ref(key(i + 1)), Value::Int(1)],
+                        )
+                    })
+                    .collect();
+                for w in waiters {
+                    assert_eq!(
+                        w.wait_timeout(std::time::Duration::from_secs(60))
+                            .expect("completes")
+                            .expect("no error"),
+                        Value::Bool(true),
+                        "[exec {exec_threads}, depth {pipeline_depth}, {backend}]"
+                    );
+                }
+                let total: i64 = (0..n)
+                    .map(|i| {
+                        rt.call(key(i), "balance", vec![])
+                            .unwrap()
+                            .as_int()
+                            .unwrap()
+                    })
+                    .sum();
                 assert_eq!(
-                    w.wait_timeout(std::time::Duration::from_secs(60))
-                        .expect("completes")
-                        .expect("no error"),
-                    Value::Bool(true),
-                    "[depth {pipeline_depth}, {backend}]"
+                    total,
+                    1000 * n as i64,
+                    "[exec {exec_threads}, depth {pipeline_depth}, {backend}] conservation"
                 );
+                rt.shutdown();
             }
-            let total: i64 = (0..n)
-                .map(|i| {
-                    rt.call(key(i), "balance", vec![])
-                        .unwrap()
-                        .as_int()
-                        .unwrap()
-                })
-                .sum();
-            assert_eq!(
-                total,
-                1000 * n as i64,
-                "[depth {pipeline_depth}, {backend}] conservation"
-            );
-            rt.shutdown();
         }
     }
 }
@@ -398,61 +405,68 @@ fn recorded_history_is_serializable_and_replays_to_oracle() {
     let program = se_workloads::ycsb_program();
     let n = 4usize;
     let key = |i: usize| EntityRef::new("Account", se_workloads::key_name(i % n));
-    for pipeline_depth in [1usize, 4] {
-        let mut cfg = StateflowConfig::fast_test(3);
-        cfg.pipeline_depth = pipeline_depth;
-        let history = History::new();
-        cfg.history = Some(history.clone());
-        let rule = cfg.commit_rule;
-        let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
-        se_workloads::load_accounts(rt.as_ref(), n, 8, 1000);
-        let waiters: Vec<_> = (0..60)
-            .map(|i| {
-                rt.call_async(
-                    key(i),
-                    "transfer",
-                    vec![Value::Ref(key(i + 1)), Value::Int(1)],
-                )
-            })
-            .collect();
-        for w in waiters {
-            w.wait_timeout(std::time::Duration::from_secs(60))
-                .expect("completes")
-                .expect("no error");
-        }
-        let events = history.events();
-        let summary = check_history(&events, rule)
-            .unwrap_or_else(|e| panic!("[depth {pipeline_depth}] history check: {e}"));
-        assert_eq!(
-            summary.surviving_commits, 60,
-            "[depth {pipeline_depth}] every transfer commits exactly once"
-        );
+    for exec_threads in [1usize, 4] {
+        for pipeline_depth in [1usize, 4] {
+            let mut cfg = StateflowConfig::fast_test(3);
+            cfg.exec_threads = exec_threads;
+            cfg.pipeline_depth = pipeline_depth;
+            let history = History::new();
+            cfg.history = Some(history.clone());
+            let rule = cfg.commit_rule;
+            let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+            se_workloads::load_accounts(rt.as_ref(), n, 8, 1000);
+            let waiters: Vec<_> = (0..60)
+                .map(|i| {
+                    rt.call_async(
+                        key(i),
+                        "transfer",
+                        vec![Value::Ref(key(i + 1)), Value::Int(1)],
+                    )
+                })
+                .collect();
+            for w in waiters {
+                w.wait_timeout(std::time::Duration::from_secs(60))
+                    .expect("completes")
+                    .expect("no error");
+            }
+            let events = history.events();
+            let summary = check_history(&events, rule).unwrap_or_else(|e| {
+                panic!("[exec {exec_threads}, depth {pipeline_depth}] history check: {e}")
+            });
+            assert_eq!(
+                summary.surviving_commits, 60,
+                "[exec {exec_threads}, depth {pipeline_depth}] \
+                 every transfer commits exactly once"
+            );
 
-        // Replay the equivalent serial order through the Local oracle.
-        let order = serial_order(&events).unwrap();
-        assert_eq!(order.len(), 60);
-        let oracle = deploy(&program, RuntimeChoice::Local).unwrap();
-        se_workloads::load_accounts(oracle.as_ref(), n, 8, 1000);
-        for op in &order {
-            let got = oracle
-                .call(op.target, &op.method, op.args.clone())
-                .map_err(|e| e.to_string());
-            assert_eq!(
-                got,
-                op.result.clone(),
-                "[depth {pipeline_depth}] txn {} response diverged in serial replay",
-                op.txn
-            );
+            // Replay the equivalent serial order through the Local oracle.
+            let order = serial_order(&events).unwrap();
+            assert_eq!(order.len(), 60);
+            let oracle = deploy(&program, RuntimeChoice::Local).unwrap();
+            se_workloads::load_accounts(oracle.as_ref(), n, 8, 1000);
+            for op in &order {
+                let got = oracle
+                    .call(op.target, &op.method, op.args.clone())
+                    .map_err(|e| e.to_string());
+                assert_eq!(
+                    got,
+                    op.result.clone(),
+                    "[exec {exec_threads}, depth {pipeline_depth}] \
+                     txn {} response diverged in serial replay",
+                    op.txn
+                );
+            }
+            for i in 0..n {
+                assert_eq!(
+                    rt.call(key(i), "balance", vec![]).unwrap(),
+                    oracle.call(key(i), "balance", vec![]).unwrap(),
+                    "[exec {exec_threads}, depth {pipeline_depth}] \
+                     account {i} final state diverged"
+                );
+            }
+            rt.shutdown();
+            oracle.shutdown();
         }
-        for i in 0..n {
-            assert_eq!(
-                rt.call(key(i), "balance", vec![]).unwrap(),
-                oracle.call(key(i), "balance", vec![]).unwrap(),
-                "[depth {pipeline_depth}] account {i} final state diverged"
-            );
-        }
-        rt.shutdown();
-        oracle.shutdown();
     }
 }
 

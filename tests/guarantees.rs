@@ -63,25 +63,31 @@ fn run_flash_sale(rt: &dyn EntityRuntime, users: usize) -> (i64, usize) {
 #[test]
 fn stateflow_serializability_holds_under_contention() {
     // The guarantee must hold for every coordinator schedule × execution
-    // backend: stop-and-wait and pipelined batches, tree-walk and VM.
+    // backend × exec-pool size: stop-and-wait and pipelined batches,
+    // tree-walk and VM, serial and shard-parallel execution.
     let program = stateful_entities::programs::figure1_program();
-    for pipeline_depth in [1usize, 2, 4] {
-        for backend in [ExecBackend::Interp, ExecBackend::Vm] {
-            let mut cfg = StateflowConfig::fast_test(4);
-            cfg.pipeline_depth = pipeline_depth;
-            cfg.backend = backend;
-            let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
-            let users = 20;
-            let (successes, negative) = run_flash_sale(rt.as_ref(), users);
-            assert_eq!(
-                successes, users as i64,
-                "[depth {pipeline_depth}, {backend}] exactly one purchase per user must commit"
-            );
-            assert_eq!(
-                negative, 0,
-                "[depth {pipeline_depth}, {backend}] serializable execution never overdrafts"
-            );
-            rt.shutdown();
+    for exec_threads in [1usize, 4] {
+        for pipeline_depth in [1usize, 2, 4] {
+            for backend in [ExecBackend::Interp, ExecBackend::Vm] {
+                let mut cfg = StateflowConfig::fast_test(4);
+                cfg.exec_threads = exec_threads;
+                cfg.pipeline_depth = pipeline_depth;
+                cfg.backend = backend;
+                let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+                let users = 20;
+                let (successes, negative) = run_flash_sale(rt.as_ref(), users);
+                assert_eq!(
+                    successes, users as i64,
+                    "[exec {exec_threads}, depth {pipeline_depth}, {backend}] \
+                     exactly one purchase per user must commit"
+                );
+                assert_eq!(
+                    negative, 0,
+                    "[exec {exec_threads}, depth {pipeline_depth}, {backend}] \
+                     serializable execution never overdrafts"
+                );
+                rt.shutdown();
+            }
         }
     }
 }
@@ -219,10 +225,16 @@ fn transfers_with_crash_conserve_money(cfg: StateflowConfig) {
 
 #[test]
 fn transactional_transfers_with_crash_conserve_money() {
-    let mut cfg = StateflowConfig::fast_test(3);
-    cfg.snapshot_every_batches = 2;
-    cfg.chaos = ChaosPlan::single_crash("worker0", 30);
-    transfers_with_crash_conserve_money(cfg);
+    // Conservation under a crash must hold with and without the exec pool:
+    // a pool segment in flight when the protocol thread wipes the partition
+    // becomes a fenced zombie, never a double-applied effect.
+    for exec_threads in [1usize, 4] {
+        let mut cfg = StateflowConfig::fast_test(3);
+        cfg.exec_threads = exec_threads;
+        cfg.snapshot_every_batches = 2;
+        cfg.chaos = ChaosPlan::single_crash("worker0", 30);
+        transfers_with_crash_conserve_money(cfg);
+    }
 }
 
 /// Crash/restore while several batches are in flight: tiny batches + depth
@@ -232,14 +244,86 @@ fn transactional_transfers_with_crash_conserve_money() {
 /// must land exactly once.
 #[test]
 fn pipelined_crash_with_batches_in_flight_conserves_money() {
-    let mut cfg = StateflowConfig::fast_test(3);
-    cfg.pipeline_depth = 4;
-    cfg.max_batch = 4;
-    cfg.snapshot_every_batches = 3;
-    cfg.chaos = ChaosPlan::single_crash("worker1", 35);
-    let chaos = cfg.chaos.clone();
-    transfers_with_crash_conserve_money(cfg);
-    assert_eq!(chaos.crashes_fired(), 1, "the crash must land mid-pipeline");
+    for exec_threads in [1usize, 4] {
+        let mut cfg = StateflowConfig::fast_test(3);
+        cfg.exec_threads = exec_threads;
+        cfg.pipeline_depth = 4;
+        cfg.max_batch = 4;
+        cfg.snapshot_every_batches = 3;
+        cfg.chaos = ChaosPlan::single_crash("worker1", 35);
+        let chaos = cfg.chaos.clone();
+        transfers_with_crash_conserve_money(cfg);
+        assert_eq!(
+            chaos.crashes_fired(),
+            1,
+            "[exec {exec_threads}] the crash must land mid-pipeline"
+        );
+    }
+}
+
+/// The exec pool must be observationally invisible: for the same request
+/// sequence, the recorded history — batch composition, access sets, commit
+/// decisions, every response — must be byte-identical in canonical JSON
+/// whether transactions execute serially or on a 2- or 4-thread pool. A wide
+/// seal window pins batch composition (each burst lands in one batch), so
+/// the only thing varying across runs is pool scheduling — which must not
+/// leak into any recorded outcome.
+#[test]
+fn history_is_byte_identical_across_exec_pool_sizes() {
+    use se_chaos::History;
+    let program = se_workloads::ycsb_program();
+    let n = 8usize;
+    let run = |exec_threads: usize| -> String {
+        let mut cfg = StateflowConfig::fast_test(3);
+        cfg.exec_threads = exec_threads;
+        cfg.pipeline_depth = 1;
+        cfg.snapshot_every_batches = 0;
+        cfg.batch_interval = Duration::from_millis(10);
+        let history = History::new();
+        cfg.history = Some(history.clone());
+        let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+        for i in 0..n {
+            rt.create(
+                "Account",
+                &se_workloads::key_name(i),
+                vec![("balance".into(), Value::Int(100))],
+            )
+            .unwrap();
+        }
+        // Two bursts of disjoint cross-partition transfers: multi-hop
+        // chains run concurrently on the pool, conflict-free, so every
+        // transaction commits and the schedule is fully pinned.
+        for round in 0..2i64 {
+            let waiters: Vec<_> = (0..n / 2)
+                .map(|p| {
+                    rt.call_async(
+                        EntityRef::new("Account", se_workloads::key_name(2 * p)),
+                        "transfer",
+                        vec![
+                            Value::Ref(EntityRef::new(
+                                "Account",
+                                se_workloads::key_name(2 * p + 1),
+                            )),
+                            Value::Int((round + p as i64) % 5 + 1),
+                        ],
+                    )
+                })
+                .collect();
+            for w in waiters {
+                w.wait_timeout(WAIT).expect("completes").expect("no error");
+            }
+        }
+        rt.shutdown();
+        history.to_json_canonical()
+    };
+    let serial = run(1);
+    for exec_threads in [2usize, 4] {
+        assert_eq!(
+            run(exec_threads),
+            serial,
+            "exec pool of {exec_threads} threads changed the recorded history"
+        );
+    }
 }
 
 /// Regression for the snapshot pipeline-drain barrier at depth 4: the crash

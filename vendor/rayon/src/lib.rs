@@ -1,0 +1,331 @@
+//! Offline API-compatible subset of `rayon`.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! slice the workspace uses: [`ThreadPoolBuilder`] and [`ThreadPool::spawn`]
+//! backed by a real work-stealing scheduler — a shared injector queue plus
+//! per-worker deques (LIFO local pop for cache locality, FIFO steal from
+//! victims, matching the real crate's discipline). Parallel iterators belong
+//! here the day a workspace consumer needs them.
+//!
+//! Divergences from the real crate, chosen for a simulation-test codebase:
+//! a panicking job is caught and counted (the pool stays alive) instead of
+//! aborting the process, and dropping the pool drains already-queued jobs
+//! before joining so callers never lose submitted work.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Builder for a [`ThreadPool`], mirroring the real crate's fluent API.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+    thread_name: Option<Box<dyn FnMut(usize) -> String>>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means one per
+    /// available core.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Names worker threads; the closure receives the worker index.
+    pub fn thread_name<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(usize) -> String + 'static,
+    {
+        self.thread_name = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
+    pub fn build(mut self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        };
+        let shared = Arc::new(Shared {
+            sync: Mutex::new(Queues {
+                injector: VecDeque::new(),
+                locals: (0..n).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            panics: AtomicUsize::new(0),
+        });
+        let mut workers = Vec::with_capacity(n);
+        for index in 0..n {
+            let shared = Arc::clone(&shared);
+            let mut builder = std::thread::Builder::new();
+            if let Some(name_fn) = self.thread_name.as_mut() {
+                builder = builder.name(name_fn(index));
+            }
+            let handle = builder
+                .spawn(move || worker_loop(index, &shared))
+                .map_err(|e| ThreadPoolBuildError(format!("spawn worker {index}: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(ThreadPool {
+            shared,
+            workers,
+            num_threads: n,
+        })
+    }
+}
+
+impl fmt::Debug for ThreadPoolBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPoolBuilder")
+            .field("num_threads", &self.num_threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Error building a [`ThreadPool`] (thread spawn failure).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rayon shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+struct Queues {
+    /// Jobs submitted from outside the pool, taken FIFO.
+    injector: VecDeque<Job>,
+    /// Per-worker deques: owner pops LIFO, thieves steal FIFO.
+    locals: Vec<VecDeque<Job>>,
+    shutdown: bool,
+}
+
+impl Queues {
+    fn take_job(&mut self, index: usize) -> Option<Job> {
+        if let Some(job) = self.locals[index].pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.pop_front() {
+            return Some(job);
+        }
+        // Steal round: scan victims starting after self so thieves spread out.
+        let n = self.locals.len();
+        for off in 1..n {
+            if let Some(job) = self.locals[(index + off) % n].pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.injector.is_empty() && self.locals.iter().all(VecDeque::is_empty)
+    }
+}
+
+struct Shared {
+    sync: Mutex<Queues>,
+    work_available: Condvar,
+    panics: AtomicUsize,
+}
+
+std::thread_local! {
+    /// Worker index when the current thread belongs to a pool, used to route
+    /// jobs spawned *from* a worker onto its own deque (the work-stealing
+    /// fast path) instead of the shared injector.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn worker_loop(index: usize, shared: &Shared) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        let job = {
+            let mut q = shared.sync.lock().unwrap();
+            loop {
+                if let Some(job) = q.take_job(index) {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_available.wait(q).unwrap();
+            }
+        };
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Enqueues `job` for execution on some pool thread. From a pool worker
+    /// the job lands on that worker's own deque; from any other thread it
+    /// goes to the shared injector.
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let slot = WORKER_INDEX
+            .with(|w| w.get())
+            .filter(|i| *i < self.num_threads);
+        let mut q = self.shared.sync.lock().unwrap();
+        match slot {
+            Some(i) => q.locals[i].push_back(Box::new(job)),
+            None => q.injector.push_back(Box::new(job)),
+        }
+        drop(q);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Jobs that panicked (caught; the real crate aborts instead).
+    pub fn panicked_jobs(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Drains already-queued jobs, then joins the workers. Divergence from
+    /// the real crate (which leaks queued jobs on drop) so that submitted
+    /// work — e.g. in-flight transaction segments — is never silently lost.
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.sync.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        debug_assert!(self.shared.sync.lock().unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .thread_name(|i| format!("test-pool{i}"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_all_jobs_across_threads() {
+        let p = pool(4);
+        assert_eq!(p.current_num_threads(), 4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..1000u64 {
+            let sum = Arc::clone(&sum);
+            let tx = tx.clone();
+            p.spawn(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..1000 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn jobs_spawned_from_workers_are_stolen() {
+        // One worker seeds jobs onto its own deque; with 4 workers the other
+        // three can only make progress by stealing.
+        let p = Arc::new(pool(4));
+        let (tx, rx) = mpsc::channel::<std::thread::ThreadId>();
+        let p2 = Arc::clone(&p);
+        p.spawn(move || {
+            for _ in 0..64 {
+                let tx = tx.clone();
+                p2.spawn(move || {
+                    // Hold the job long enough that one worker alone can't
+                    // finish the batch before thieves wake up.
+                    std::thread::sleep(Duration::from_millis(2));
+                    tx.send(std::thread::current().id()).unwrap();
+                });
+            }
+        });
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        assert!(seen.len() > 1, "expected stealing across workers: {seen:?}");
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let p = pool(2);
+            for _ in 0..200 {
+                let done = Arc::clone(&done);
+                p.spawn(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // Drop joins after draining.
+        assert_eq!(done.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let p = pool(1);
+        p.spawn(|| panic!("boom"));
+        let (tx, rx) = mpsc::channel();
+        p.spawn(move || tx.send(7).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 7);
+        assert_eq!(p.panicked_jobs(), 1);
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_available_parallelism() {
+        let p = ThreadPoolBuilder::new().build().unwrap();
+        assert!(p.current_num_threads() >= 1);
+    }
+}
