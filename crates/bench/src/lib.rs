@@ -110,6 +110,7 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         history: None,
         inject_reserve_bug: false,
         backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
+        durability: Default::default(),
     }
 }
 

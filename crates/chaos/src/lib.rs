@@ -43,5 +43,8 @@ pub use check::{
     check_history, check_statefun_history, serial_order, CheckError, CheckSummary, SerialOp,
 };
 pub use history::{BatchKindTag, History, HistoryEvent, TxnOutcome};
-pub use plan::{ChaosPlan, CrashPoint, FailurePlan, MsgFaultAction, Seam};
-pub use script::{BrokerOutage, CrashFault, FaultScript, MessageFault, MsgFaultKind, ScriptConfig};
+pub use plan::{ChaosPlan, CrashPoint, FailurePlan, FsyncFaultAction, MsgFaultAction, Seam};
+pub use script::{
+    BrokerOutage, CrashFault, DiskFault, DiskFaultKind, FaultScript, MessageFault, MsgFaultKind,
+    ScriptConfig,
+};

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::script::{CrashFault, FaultScript, MessageFault, MsgFaultKind};
+use crate::script::{CrashFault, DiskFaultKind, FaultScript, MessageFault, MsgFaultKind};
 
 /// Protocol point a crash countdown observes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -102,6 +102,26 @@ struct NodeState {
     /// Events counted per crash point in the current incarnation:
     /// [Exec, Reserve, Commit].
     counts: [u64; 3],
+    /// Crash-time disk faults already consumed (one per crash, in script
+    /// order — the disk analogue of `fired`).
+    disk_consumed: usize,
+    /// Fsyncs observed on this node (counted across the whole run, so a
+    /// script's `nth` is stable under restarts).
+    fsyncs: u64,
+}
+
+/// What to do with one `fsync(2)` (the durable layer interprets this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncFaultAction {
+    /// Sync normally.
+    Proceed,
+    /// Sync, but only after this many extra (unscaled) microseconds.
+    Slow {
+        /// Added latency in microseconds.
+        extra_us: u64,
+    },
+    /// The sync fails: the synced prefix must not advance.
+    Fail,
 }
 
 fn point_index(p: CrashPoint) -> usize {
@@ -125,6 +145,8 @@ struct Inner {
     crashes_fired: std::sync::atomic::AtomicU64,
     /// Message faults fired so far.
     msg_faults_fired: std::sync::atomic::AtomicU64,
+    /// Disk faults fired so far.
+    disk_faults_fired: std::sync::atomic::AtomicU64,
 }
 
 /// A shareable, thread-safe executor of one [`FaultScript`].
@@ -155,6 +177,7 @@ impl ChaosPlan {
                 produces: Mutex::new(0),
                 crashes_fired: std::sync::atomic::AtomicU64::new(0),
                 msg_faults_fired: std::sync::atomic::AtomicU64::new(0),
+                disk_faults_fired: std::sync::atomic::AtomicU64::new(0),
             })),
         }
     }
@@ -197,6 +220,17 @@ impl ChaosPlan {
         self.inner
             .as_ref()
             .map(|i| i.msg_faults_fired.load(std::sync::atomic::Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    /// Disk faults fired so far.
+    pub fn disk_faults_fired(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| {
+                i.disk_faults_fired
+                    .load(std::sync::atomic::Ordering::SeqCst)
+            })
             .unwrap_or(0)
     }
 
@@ -244,6 +278,79 @@ impl ChaosPlan {
             .crashes_fired
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         true
+    }
+
+    /// Called by the durable layer when `node` simulates a crash: returns
+    /// the node's next unconsumed **crash-time** disk fault (torn/lost
+    /// tail, bit flip, missing snapshot), one per crash, in script order —
+    /// mirroring the per-incarnation semantics of [`Self::should_crash`].
+    pub fn crash_disk_fault(&self, node: &str) -> Option<DiskFaultKind> {
+        let inner = self.inner.as_ref()?;
+        if inner.script.disk.is_empty() {
+            return None;
+        }
+        let mut nodes = inner.nodes.lock();
+        let state = match nodes.iter_mut().find(|(n, _)| n == node) {
+            Some((_, s)) => s,
+            None => {
+                nodes.push((node.to_owned(), NodeState::default()));
+                &mut nodes.last_mut().expect("just pushed").1
+            }
+        };
+        let fault = inner
+            .script
+            .disk
+            .iter()
+            .filter(|d| d.node == node && d.kind.is_crash_kind())
+            .nth(state.disk_consumed)?;
+        state.disk_consumed += 1;
+        inner
+            .disk_faults_fired
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Some(fault.kind)
+    }
+
+    /// Called by the durable layer once per `fsync(2)` on `node`; answers
+    /// whether this sync proceeds, stalls, or fails. Counts every consulted
+    /// fsync, so a script's `nth` is stable for a given schedule.
+    pub fn fsync_fault(&self, node: &str) -> FsyncFaultAction {
+        let Some(inner) = &self.inner else {
+            return FsyncFaultAction::Proceed;
+        };
+        if inner.script.disk.is_empty() {
+            return FsyncFaultAction::Proceed;
+        }
+        let mut nodes = inner.nodes.lock();
+        let state = match nodes.iter_mut().find(|(n, _)| n == node) {
+            Some((_, s)) => s,
+            None => {
+                nodes.push((node.to_owned(), NodeState::default()));
+                &mut nodes.last_mut().expect("just pushed").1
+            }
+        };
+        let nth = state.fsyncs;
+        state.fsyncs += 1;
+        let fault = inner.script.disk.iter().find_map(|d| {
+            if d.node != node {
+                return None;
+            }
+            match d.kind {
+                DiskFaultKind::SlowFsync { nth: n, extra_us } if n == nth => {
+                    Some(FsyncFaultAction::Slow { extra_us })
+                }
+                DiskFaultKind::FailedFsync { nth: n } if n == nth => Some(FsyncFaultAction::Fail),
+                _ => None,
+            }
+        });
+        match fault {
+            Some(action) => {
+                inner
+                    .disk_faults_fired
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                action
+            }
+            None => FsyncFaultAction::Proceed,
+        }
     }
 
     /// Called from the engine's restore path: `node` is live again, its
@@ -544,6 +651,53 @@ mod tests {
         assert_eq!(p.broker_delay(), Some(1234)); // produce 1
         assert_eq!(p.broker_delay(), Some(1234)); // produce 2
         assert_eq!(p.broker_delay(), None); // produce 3
+    }
+
+    #[test]
+    fn crash_disk_faults_consume_one_per_crash_in_script_order() {
+        let script = FaultScript {
+            disk: vec![
+                crate::script::DiskFault {
+                    node: "w0".into(),
+                    kind: DiskFaultKind::LostTail,
+                },
+                crate::script::DiskFault {
+                    node: "w0".into(),
+                    kind: DiskFaultKind::FailedFsync { nth: 1 },
+                },
+                crate::script::DiskFault {
+                    node: "w0".into(),
+                    kind: DiskFaultKind::BitFlip,
+                },
+                crate::script::DiskFault {
+                    node: "w1".into(),
+                    kind: DiskFaultKind::MissingSnapshot,
+                },
+            ],
+            ..FaultScript::default()
+        };
+        let p = ChaosPlan::from_script(script);
+        // Crash-time faults skip over the interleaved fsync entry.
+        assert_eq!(p.crash_disk_fault("w0"), Some(DiskFaultKind::LostTail));
+        assert_eq!(p.crash_disk_fault("w0"), Some(DiskFaultKind::BitFlip));
+        assert_eq!(p.crash_disk_fault("w0"), None);
+        assert_eq!(
+            p.crash_disk_fault("w1"),
+            Some(DiskFaultKind::MissingSnapshot)
+        );
+        assert_eq!(p.crash_disk_fault("w2"), None);
+        // The fsync entry keys on w0's own fsync counter (nth = 1).
+        assert_eq!(p.fsync_fault("w0"), FsyncFaultAction::Proceed);
+        assert_eq!(p.fsync_fault("w0"), FsyncFaultAction::Fail);
+        assert_eq!(p.fsync_fault("w0"), FsyncFaultAction::Proceed);
+        assert_eq!(p.disk_faults_fired(), 4);
+    }
+
+    #[test]
+    fn disarmed_plan_disk_hooks_are_noops() {
+        let p = ChaosPlan::none();
+        assert_eq!(p.crash_disk_fault("w0"), None);
+        assert_eq!(p.fsync_fault("w0"), FsyncFaultAction::Proceed);
     }
 
     #[test]

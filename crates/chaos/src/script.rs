@@ -67,6 +67,73 @@ pub struct MessageFault {
     pub kind: MsgFaultKind,
 }
 
+/// What a scripted disk fault does at the durable-storage seam.
+///
+/// The first four kinds are **crash-time** faults with power-loss
+/// semantics: they fire when their node's next crash fires and damage only
+/// the *unsynced* region of the partition's WAL (a plain process crash
+/// keeps everything the OS accepted; only losing power can tear it). The
+/// fsync kinds fire at the node's n-th `fsync(2)` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskFaultKind {
+    /// The unsynced WAL tail is torn mid-record: the last `bytes` written
+    /// bytes vanish (clamped so the synced prefix stays intact).
+    TornTail {
+        /// Bytes cut from the end of the written region.
+        bytes: u64,
+    },
+    /// The entire unsynced tail is gone: the file reverts to its last
+    /// fsynced length.
+    LostTail,
+    /// Silent corruption: one bit flips inside the payload of the last
+    /// complete data record in the unsynced region — the frame stays
+    /// well-formed, so only the checksum can catch it.
+    BitFlip,
+    /// The newest base snapshot file is missing at recovery time (a
+    /// half-finished rename, an operator mistake); recovery must fall back
+    /// to an older base or a full log replay.
+    MissingSnapshot,
+    /// The node's `nth` fsync completes only after `extra_us` extra
+    /// (scaled) microseconds.
+    SlowFsync {
+        /// Which fsync on the node (0-based, counted across the run).
+        nth: u64,
+        /// Added latency, microseconds (scaled).
+        extra_us: u64,
+    },
+    /// The node's `nth` fsync fails: the write stays in the page cache and
+    /// the synced prefix does not advance.
+    FailedFsync {
+        /// Which fsync on the node (0-based, counted across the run).
+        nth: u64,
+    },
+}
+
+impl DiskFaultKind {
+    /// Whether this kind fires at crash time (vs at an fsync).
+    pub fn is_crash_kind(self) -> bool {
+        matches!(
+            self,
+            DiskFaultKind::TornTail { .. }
+                | DiskFaultKind::LostTail
+                | DiskFaultKind::BitFlip
+                | DiskFaultKind::MissingSnapshot
+        )
+    }
+}
+
+/// A disk fault scripted against one node's durable storage. Crash-time
+/// kinds are consumed in list order, one per crash of the node (like
+/// [`CrashFault`] incarnations); fsync kinds key on the node's fsync
+/// counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskFault {
+    /// Node whose storage is faulted (`worker0`, …).
+    pub node: String,
+    /// The fault applied.
+    pub kind: DiskFaultKind,
+}
+
 /// A broker outage window: every produce in `[after_produces,
 /// after_produces + produces)` (counted across all topics) becomes visible
 /// `extra_us` (scaled) later — the broker is unreachable/slow for a while,
@@ -81,7 +148,8 @@ pub struct BrokerOutage {
     pub extra_us: u64,
 }
 
-/// A complete fault script: crashes + message weather + broker outages.
+/// A complete fault script: crashes + message weather + broker outages +
+/// disk faults.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct FaultScript {
     /// Scheduled crashes (per node, list order = incarnation order).
@@ -90,6 +158,9 @@ pub struct FaultScript {
     pub messages: Vec<MessageFault>,
     /// Broker outage windows.
     pub outages: Vec<BrokerOutage>,
+    /// Disk faults at the durable-storage seam (no-ops with durability
+    /// off — the seam is only consulted by the WAL layer).
+    pub disk: Vec<DiskFault>,
 }
 
 impl FaultScript {
@@ -113,7 +184,7 @@ impl FaultScript {
 
     /// Total number of scripted faults (the shrink search space).
     pub fn fault_count(&self) -> usize {
-        self.crashes.len() + self.messages.len() + self.outages.len()
+        self.crashes.len() + self.messages.len() + self.outages.len() + self.disk.len()
     }
 
     /// Whether the script contains no faults at all.
@@ -122,9 +193,9 @@ impl FaultScript {
     }
 
     /// The script with the `i`-th fault removed (crashes first, then
-    /// message faults, then outages) — the shrink step of the scenario
-    /// driver: remove one fault, re-run, keep the removal if the failure
-    /// still reproduces.
+    /// message faults, then outages, then disk faults) — the shrink step of
+    /// the scenario driver: remove one fault, re-run, keep the removal if
+    /// the failure still reproduces.
     ///
     /// # Panics
     /// Panics if `i >= self.fault_count()`.
@@ -140,7 +211,12 @@ impl FaultScript {
             return s;
         }
         let i = i - s.messages.len();
-        s.outages.remove(i);
+        if i < s.outages.len() {
+            s.outages.remove(i);
+            return s;
+        }
+        let i = i - s.outages.len();
+        s.disk.remove(i);
         s
     }
 
@@ -210,6 +286,29 @@ impl FaultScript {
                 });
             }
         }
+
+        if !cfg.nodes.is_empty() && cfg.max_disk_faults > 0 {
+            let n_disk = rng.gen_range(0..=cfg.max_disk_faults);
+            for _ in 0..n_disk {
+                let node = cfg.nodes[rng.gen_range(0..cfg.nodes.len())].clone();
+                let kind = match rng.gen_range(0..6u8) {
+                    0 => DiskFaultKind::TornTail {
+                        bytes: rng.gen_range(1..64),
+                    },
+                    1 => DiskFaultKind::LostTail,
+                    2 => DiskFaultKind::BitFlip,
+                    3 => DiskFaultKind::MissingSnapshot,
+                    4 => DiskFaultKind::SlowFsync {
+                        nth: rng.gen_range(0..24),
+                        extra_us: rng.gen_range(1_000..100_000),
+                    },
+                    _ => DiskFaultKind::FailedFsync {
+                        nth: rng.gen_range(0..24),
+                    },
+                };
+                script.disk.push(DiskFault { node, kind });
+            }
+        }
         script
     }
 }
@@ -238,6 +337,9 @@ impl std::fmt::Display for FaultScript {
                 o.extra_us
             )?;
         }
+        for d in &self.disk {
+            writeln!(f, "disk {}: {:?}", d.node, d.kind)?;
+        }
         Ok(())
     }
 }
@@ -263,6 +365,10 @@ pub struct ScriptConfig {
     /// to be timing-deterministic (the reproducibility property) disable
     /// drops and crashes.
     pub allow_drops: bool,
+    /// Maximum disk faults per script. Defaults to 0 (disk faults are only
+    /// meaningful with durability on, which is opt-in); enable via
+    /// [`ScriptConfig::with_disk_faults`].
+    pub max_disk_faults: usize,
 }
 
 impl ScriptConfig {
@@ -281,6 +387,7 @@ impl ScriptConfig {
             crash_event_range: (5, 60),
             msg_nth_range: (0, 120),
             allow_drops: true,
+            max_disk_faults: 0,
         }
     }
 
@@ -295,7 +402,16 @@ impl ScriptConfig {
             crash_event_range: (5, 40),
             msg_nth_range: (0, 80),
             allow_drops: true,
+            max_disk_faults: 0,
         }
+    }
+
+    /// Enables disk-fault generation (durable deployments only — the seam
+    /// is never consulted with durability off, so the faults would be dead
+    /// weight the shrinker has to remove).
+    pub fn with_disk_faults(mut self, max: usize) -> Self {
+        self.max_disk_faults = max;
+        self
     }
 
     /// Restricts the generator to faults that keep a serial (one request at
@@ -305,6 +421,7 @@ impl ScriptConfig {
         self.max_crashes = 0;
         self.max_outages = 0;
         self.allow_drops = false;
+        self.max_disk_faults = 0;
         self
     }
 }
@@ -358,6 +475,25 @@ mod tests {
                 .iter()
                 .any(|m| matches!(m.kind, MsgFaultKind::Drop { .. })));
         }
+    }
+
+    #[test]
+    fn disk_faults_generate_only_when_enabled_and_shrink() {
+        let plain = ScriptConfig::stateflow(3);
+        for seed in 0..50 {
+            assert!(FaultScript::generate(seed, &plain).disk.is_empty());
+        }
+        let durable = ScriptConfig::stateflow(3).with_disk_faults(3);
+        let script = (0..100)
+            .map(|s| FaultScript::generate(s, &durable))
+            .find(|s| !s.disk.is_empty())
+            .expect("some seed yields disk faults");
+        // The shrinker enumerates disk entries after the other families.
+        let total = script.fault_count();
+        let last = script.without_fault(total - 1);
+        assert_eq!(last.disk.len(), script.disk.len() - 1);
+        assert_eq!(last.crashes, script.crashes);
+        assert_eq!(last.messages, script.messages);
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //! assert_eq!(ok, Value::Bool(true));
 //! ```
 //!
-//! Three environment knobs flip a whole run without touching code:
+//! Four environment knobs flip a whole run without touching code:
 //! `SE_EXEC_BACKEND` (`interp` | `vm`) selects the body-execution backend on
 //! every engine, `SE_PIPELINE_DEPTH` (positive integer, default 1) selects
 //! how many Aria batches the StateFlow coordinator keeps in flight
-//! ([`pipeline_depth_from_env_or`]), and `SE_EXEC_THREADS` (positive
-//! integer, default 1) sizes each StateFlow worker's intra-partition
-//! execution pool ([`exec_threads_from_env_or`]).
+//! ([`pipeline_depth_from_env_or`]), `SE_EXEC_THREADS` (positive integer,
+//! default 1) sizes each StateFlow worker's intra-partition execution pool
+//! ([`exec_threads_from_env_or`]), and `SE_DURABILITY` (`off` | `wal`,
+//! default `off`) puts a per-partition write-ahead log and incremental
+//! snapshots under StateFlow state ([`durability_mode_from_env_or`]).
 
 #![warn(missing_docs)]
 
@@ -38,14 +40,17 @@ pub use local_runtime::LocalRuntime;
 pub use se_aria::{CommitRule, FallbackPolicy};
 pub use se_chaos::{
     check_history, check_statefun_history, serial_order, ChaosPlan, CheckError, CheckSummary,
-    FaultScript, History, ScriptConfig, SerialOp,
+    DiskFault, DiskFaultKind, FaultScript, FsyncFaultAction, History, ScriptConfig, SerialOp,
 };
 pub use se_compiler::{compile, compile_with, stats, CompileOptions, CompileStats};
-pub use se_dataflow::{EntityRuntime, NetConfig, ResponseWaiter};
+pub use se_dataflow::{
+    DurableOptions, DurableStore, EntityRuntime, FsyncPolicy, NetConfig, ResponseWaiter,
+};
 pub use se_ir::{DataflowGraph, ExecBackend, StateMachine};
 pub use se_lang::{builder, programs, typecheck, EntityRef, Type, Value};
 pub use se_stateflow::{
-    default_workers, exec_threads_from_env_or, pipeline_depth_from_env_or, StateflowConfig,
+    default_workers, durability_mode_from_env_or, exec_threads_from_env_or,
+    pipeline_depth_from_env_or, DurabilityConfig, DurabilityMode, StateflowConfig,
     StateflowRuntime,
 };
 pub use se_statefun::{CheckpointMode, StatefunConfig, StatefunRuntime};

@@ -10,24 +10,32 @@
 //! * [`source`] — replayable, offset-addressed ingress logs;
 //! * [`failure`] — scripted fault injection (re-exported from `se-chaos`)
 //!   plus the seam-injection send helper;
+//! * [`wal`] — the per-partition append-only write-ahead log (CRC-framed
+//!   records, group-commit fsync policies, torn-tail-safe reader);
+//! * [`durable`] — the durable layer over [`wal`]: incremental epoch
+//!   persistence, base snapshots, checked recovery and log compaction;
 //! * [`metrics`] — latency histograms and per-component overhead timers.
 
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod delay;
+pub mod durable;
 pub mod failure;
 pub mod metrics;
 pub mod net;
 pub mod snapshot;
 pub mod source;
 pub mod state;
+pub mod wal;
 
 pub use api::{EntityRuntime, ResponseCompleter, ResponseWaiter};
 pub use delay::{delay_channel, DelayReceiver, DelaySender};
+pub use durable::{DurableOptions, DurableStore};
 pub use failure::{send_with_chaos, ChaosPlan, CrashPoint, FailurePlan, MsgFaultAction, Seam};
 pub use metrics::{ComponentTimers, LatencyRecorder, LatencySummary, Throughput};
 pub use net::{burn, NetConfig};
 pub use snapshot::{Epoch, SnapshotStore, DEFAULT_SNAPSHOT_RETENTION};
 pub use source::{ReplayableSource, SourceReader};
 pub use state::{SharedStateStore, StateStore};
+pub use wal::{read_wal, FsyncPolicy, WalRecord, WalScan, WalWriter};

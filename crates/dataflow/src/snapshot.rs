@@ -16,6 +16,13 @@
 //! touched, and the latest complete epoch is always retained, so recovery
 //! semantics are unchanged — without retention the store grows without bound
 //! (every epoch holds a full copy of every node's state).
+//!
+//! **Durable-recovery pinning.** With the durable layer enabled, a lagging
+//! partition's newest on-disk epoch can trail the newest complete epoch by
+//! more than the retention window; that epoch is the *cluster recovery
+//! base* and its source offsets must stay resolvable or a disk recovery
+//! could never rejoin the source. [`SnapshotStore::set_pin_floor`] lowers
+//! the effective prune cutoff to the pinned epoch until the pin advances.
 
 use std::collections::BTreeMap;
 
@@ -51,6 +58,9 @@ pub struct SnapshotStore<S> {
     /// while contributions to a never-begun epoch above the watermark are
     /// still a protocol bug.
     pruned_below: Mutex<Epoch>,
+    /// Epochs at or above this are pinned against pruning: some partition
+    /// may still need them as its durable-recovery base.
+    pin_floor: Mutex<Option<Epoch>>,
 }
 
 impl<S: Clone> Default for SnapshotStore<S> {
@@ -73,12 +83,32 @@ impl<S: Clone> SnapshotStore<S> {
             epochs: Mutex::new(BTreeMap::new()),
             retention: keep_complete,
             pruned_below: Mutex::new(0),
+            pin_floor: Mutex::new(None),
         }
     }
 
     /// The configured retention (complete epochs kept; 0 = unlimited).
     pub fn retention(&self) -> usize {
         self.retention
+    }
+
+    /// Pins epoch `floor` and everything newer against pruning. Called by
+    /// the coordinator with the cluster durable floor (the minimum epoch
+    /// every partition has made durable): a disk recovery may fall back to
+    /// it and must still find its source offsets here. Raising the pin
+    /// releases previously pinned epochs to the normal retention policy;
+    /// the pin never moves backwards (epochs below it may be gone already).
+    pub fn set_pin_floor(&self, floor: Epoch) {
+        let mut pin = self.pin_floor.lock();
+        match *pin {
+            Some(cur) if cur >= floor => {}
+            _ => *pin = Some(floor),
+        }
+    }
+
+    /// The current durable-recovery pin, if any.
+    pub fn pin_floor(&self) -> Option<Epoch> {
+        *self.pin_floor.lock()
     }
 
     /// Drops epochs outside the retention window. Called whenever an epoch
@@ -99,7 +129,12 @@ impl<S: Clone> SnapshotStore<S> {
         // Oldest epoch that stays: the K-th newest complete one. Older
         // incomplete epochs are dead (their snapshot can never be restored
         // in preference to a newer complete one).
-        let cutoff = complete[complete.len() - self.retention];
+        let mut cutoff = complete[complete.len() - self.retention];
+        // A pinned durable-recovery base lowers the cutoff: deleting it
+        // would strand every partition whose disk state reaches back to it.
+        if let Some(pin) = *self.pin_floor.lock() {
+            cutoff = cutoff.min(pin);
+        }
         epochs.retain(|e, _| *e >= cutoff);
         let mut watermark = self.pruned_below.lock();
         *watermark = (*watermark).max(cutoff);
@@ -183,7 +218,12 @@ impl<S: Clone> SnapshotStore<S> {
     }
 
     /// Drops all epochs older than `keep_from` (checkpoint retention).
+    /// A durable-recovery pin below `keep_from` clamps the cut.
     pub fn truncate_before(&self, keep_from: Epoch) {
+        let keep_from = match *self.pin_floor.lock() {
+            Some(pin) => keep_from.min(pin),
+            None => keep_from,
+        };
         self.epochs.lock().retain(|e, _| *e >= keep_from);
     }
 
@@ -322,6 +362,38 @@ mod tests {
             store.put(e, "w0", e as u32);
         }
         assert_eq!(store.epoch_count(), 8);
+    }
+
+    #[test]
+    fn pin_floor_protects_the_durable_recovery_base_from_retention() {
+        // A lagging partition's only durable base is epoch 1. With K=2 and
+        // no pin, completing epochs 2..=5 would delete it — and with it the
+        // source offsets a disk recovery to epoch 1 must rejoin at.
+        let store = SnapshotStore::<u32>::with_retention(2);
+        store.begin_epoch(1, 1);
+        store.put_source_offset(1, "ingress", 10);
+        store.put(1, "w0", 1);
+        store.set_pin_floor(1);
+        for e in 2..=5 {
+            store.begin_epoch(e, 1);
+            store.put_source_offset(e, "ingress", e * 10);
+            store.put(e, "w0", e as u32);
+        }
+        assert_eq!(store.get(1, "w0"), Some(1), "pinned base must survive");
+        assert_eq!(store.source_offset(1, "ingress"), Some(10));
+        // Explicit truncation must not break the pin either.
+        store.truncate_before(4);
+        assert_eq!(store.source_offset(1, "ingress"), Some(10));
+        // Once every partition's durable floor advances, the pin moves and
+        // retention catches up on the next completion.
+        store.set_pin_floor(4);
+        store.begin_epoch(6, 1);
+        store.put(6, "w0", 6);
+        assert_eq!(store.get(1, "w0"), None, "released epoch pruned");
+        assert_eq!(store.source_offset(4, "ingress"), Some(40), "new pin holds");
+        // The pin never moves backwards.
+        store.set_pin_floor(2);
+        assert_eq!(store.pin_floor(), Some(4));
     }
 
     #[test]

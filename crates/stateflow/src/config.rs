@@ -1,11 +1,71 @@
 //! StateFlow runtime configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use se_aria::{CommitRule, FallbackPolicy};
 use se_chaos::{ChaosPlan, History};
-use se_dataflow::NetConfig;
+use se_dataflow::{FsyncPolicy, NetConfig};
 use se_ir::ExecBackend;
+
+/// Whether worker state survives a crash on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Volatile state only (the default): recovery restores the in-memory
+    /// snapshot store's latest complete epoch. Byte-identical behavior to
+    /// a build without the durable layer.
+    Off,
+    /// Per-partition write-ahead log + incremental snapshots: every commit
+    /// is appended to a per-worker WAL, epoch cuts persist the dirty set,
+    /// and recovery replays state from disk (see `se_dataflow::durable`).
+    Wal,
+}
+
+/// Durable-layer configuration (see [`DurabilityMode`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Off (default) or WAL-backed.
+    pub mode: DurabilityMode,
+    /// Directory holding one subdirectory per worker. `None` (the default)
+    /// lets the runtime create a unique temporary directory at deploy time
+    /// and remove it at shutdown.
+    pub dir: Option<PathBuf>,
+    /// Group-commit fsync policy for the per-worker WALs.
+    pub fsync: FsyncPolicy,
+    /// Full base snapshots every this many epoch cuts (≥ 1); between bases
+    /// an epoch costs O(dirty keys), not O(state).
+    pub full_snapshot_every: u64,
+    /// Test-only: skip WAL checksum verification on recovery, re-applying
+    /// silently corrupted records. Exists so the chaos harness can prove
+    /// the checker catches a checksum-skip bug; never enable outside tests.
+    /// The `chaos_explore` driver maps `SE_CHAOS_INJECT_BUG=wal-no-crc`
+    /// onto this flag.
+    #[doc(hidden)]
+    pub inject_wal_no_crc: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            mode: durability_mode_from_env_or(DurabilityMode::Off),
+            dir: None,
+            fsync: FsyncPolicy::OnEpoch,
+            full_snapshot_every: 4,
+            inject_wal_no_crc: false,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// WAL durability in a specific directory with the default knobs.
+    pub fn wal_in(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            mode: DurabilityMode::Wal,
+            dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+}
 
 /// Tunables of the StateFlow deployment.
 ///
@@ -82,6 +142,11 @@ pub struct StateflowConfig {
     /// deploy-time lowering pass for cheaper per-invocation dispatch. The
     /// `SE_EXEC_BACKEND` env var (`interp` | `vm`) overrides the default.
     pub backend: ExecBackend,
+    /// Durable storage under the workers' state stores: `Off` (default,
+    /// byte-identical to no durable layer) or WAL-backed with incremental
+    /// epoch snapshots and disk recovery. The `SE_DURABILITY` env var
+    /// (`off` | `wal`) overrides the default mode.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for StateflowConfig {
@@ -102,6 +167,7 @@ impl Default for StateflowConfig {
             history: None,
             inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -125,6 +191,7 @@ impl StateflowConfig {
             history: None,
             inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -139,6 +206,30 @@ pub fn default_workers() -> usize {
         .map(|p| p.get())
         .unwrap_or(1);
     available.saturating_sub(1).max(5)
+}
+
+/// Reads the `SE_DURABILITY` override (`off` | `wal`), falling back to
+/// `default` when the variable is unset. An unrecognized value also falls
+/// back, but warns on stderr once per process — a typo must not silently
+/// void a "whole suite durable" run (mirrors `SE_EXEC_BACKEND`).
+pub fn durability_mode_from_env_or(default: DurabilityMode) -> DurabilityMode {
+    match std::env::var("SE_DURABILITY") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "off" => DurabilityMode::Off,
+            "wal" => DurabilityMode::Wal,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unrecognized SE_DURABILITY={v:?} \
+                         (expected \"off\" or \"wal\")"
+                    );
+                });
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 /// Reads the `SE_EXEC_THREADS` override (a positive integer), falling back

@@ -135,8 +135,22 @@ impl InFlightBatch {
 /// snapshots and restores require a fully drained pipeline.
 enum Mode {
     Running,
-    Snapshotting { epoch: Epoch, acks: usize },
-    Restoring { gen: u64, acks: usize },
+    Snapshotting {
+        epoch: Epoch,
+        acks: usize,
+    },
+    Restoring {
+        gen: u64,
+        acks: usize,
+        /// The epoch this round asked every worker to restore to.
+        target: Option<Epoch>,
+        /// Minimum epoch actually reached so far (`None` = initial state).
+        /// Volatile workers always reach `target`; durable workers
+        /// recovering from damaged disks may fall short, and when the
+        /// round ends below its target the coordinator runs another round
+        /// at this floor so every partition rejoins at the same cut.
+        floor: Option<Epoch>,
+    },
 }
 
 /// The coordinator thread.
@@ -176,6 +190,15 @@ pub struct Coordinator {
     /// chaos-delayed `ExecDone` can lose the race. Held only for batches
     /// still in flight, drained when the batch finalizes.
     early_acks: BTreeMap<BatchId, BTreeSet<usize>>,
+    /// Per-worker newest durable-on-disk epoch, from snapshot acks. Only
+    /// populated with durability on.
+    durable_epochs: BTreeMap<usize, Option<Epoch>>,
+    /// Cluster durable floor (min over `durable_epochs` at the last
+    /// completed snapshot round): pins the in-memory snapshot store's
+    /// retention (a recovery may fall back here and needs this epoch's
+    /// source offset) and licenses workers to compact their WALs below it.
+    /// Non-decreasing — see the pin-floor invariant in `se_dataflow`.
+    durable_floor: Option<Epoch>,
 }
 
 impl Coordinator {
@@ -213,6 +236,8 @@ impl Coordinator {
             in_flight: BTreeMap::new(),
             pending_acks: BTreeMap::new(),
             early_acks: BTreeMap::new(),
+            durable_epochs: BTreeMap::new(),
+            durable_floor: None,
         }
     }
 
@@ -429,15 +454,40 @@ impl Coordinator {
     fn handle(&mut self, msg: CoordMsg) {
         match msg {
             CoordMsg::WorkerFailed { .. } => self.begin_recovery(),
-            CoordMsg::RestoreAck { gen, worker: _ } => {
+            CoordMsg::RestoreAck {
+                gen,
+                worker: _,
+                reached,
+            } => {
                 if gen != self.gen {
                     return;
                 }
-                if let Mode::Restoring { gen: g, acks } = &mut self.mode {
+                if let Mode::Restoring {
+                    gen: g,
+                    acks,
+                    target,
+                    floor,
+                } = &mut self.mode
+                {
                     if *g == gen {
                         *acks += 1;
+                        // min treating None ("initial state") as lowest.
+                        *floor = match (*floor, reached) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            _ => None,
+                        };
                         if *acks == self.workers.len() {
-                            self.mode = Mode::Running;
+                            let (floor, target) = (*floor, *target);
+                            if floor == target {
+                                self.mode = Mode::Running;
+                            } else {
+                                // Some partition's disk fell short of the
+                                // target: rejoin everyone at the cluster
+                                // minimum. Workers that already restored
+                                // higher truncate down — their re-executed
+                                // suffix replays from the source.
+                                self.start_restore_round(floor);
+                            }
                         }
                     }
                 }
@@ -495,10 +545,16 @@ impl Coordinator {
                 }
                 self.maybe_snapshot();
             }
-            CoordMsg::SnapshotAck { gen, epoch, .. } => {
+            CoordMsg::SnapshotAck {
+                gen,
+                epoch,
+                worker,
+                durable,
+            } => {
                 if gen != self.gen {
                     return;
                 }
+                self.durable_epochs.insert(worker, durable);
                 if let Mode::Snapshotting { epoch: e, acks } = &mut self.mode {
                     if *e == epoch {
                         *acks += 1;
@@ -508,6 +564,7 @@ impl Coordinator {
                             // Old epochs are pruned by the snapshot store's
                             // own retention policy (`snapshot_retention`).
                             self.mode = Mode::Running;
+                            self.update_durable_floor();
                         }
                     }
                 }
@@ -798,21 +855,66 @@ impl Coordinator {
         self.snapshots.begin_epoch(epoch, self.workers.len());
         self.snapshots
             .put_source_offset(epoch, "requests", self.reader.offset());
+        let durable_floor = self.durable_floor;
         self.broadcast(|| WorkerMsg::Snapshot {
             gen: self.gen,
             epoch,
+            durable_floor,
         });
         self.mode = Mode::Snapshotting { epoch, acks: 0 };
     }
 
+    /// Recomputes the cluster durable floor after a completed snapshot
+    /// round: the minimum epoch every worker can recover from its own
+    /// disk. Pins the in-memory store's retention there (a recovery may
+    /// fall back to it and needs its source offset) and licenses WAL
+    /// compaction below it on the next snapshot marker.
+    fn update_durable_floor(&mut self) {
+        if self.durable_epochs.len() < self.workers.len() {
+            return;
+        }
+        let mut min: Option<Epoch> = None;
+        for d in self.durable_epochs.values() {
+            let Some(e) = d else { return };
+            min = Some(match min {
+                Some(m) => m.min(*e),
+                None => *e,
+            });
+        }
+        if let Some(floor) = min {
+            if self.durable_floor.is_none_or(|f| floor > f) {
+                self.durable_floor = Some(floor);
+                self.snapshots.set_pin_floor(floor);
+            }
+        }
+    }
+
     fn begin_recovery(&mut self) {
+        let target = self.snapshots.latest_complete();
+        self.start_restore_round(target);
+    }
+
+    /// One restore round: fence with a fresh generation, roll the request
+    /// cursor back to `target`'s offset, drop all volatile scheduling
+    /// state, and tell every worker to restore to `target`. With
+    /// durability on the round can end below its target (a damaged disk),
+    /// in which case the `RestoreAck` handler starts another round at the
+    /// cluster minimum; each round records its own `Recovery` event, and
+    /// the history checker treats consecutive recoveries as one lineage
+    /// ending at the last.
+    fn start_restore_round(&mut self, target: Option<Epoch>) {
+        // A target whose source offset is gone cannot be replayed to: fall
+        // back to a full restart. Unreachable while the durable floor pins
+        // retention correctly, but silently replaying from offset 0 into
+        // epoch-`target` state would double-apply every earlier request.
+        let target = match target {
+            Some(e) if self.snapshots.source_offset(e, "requests").is_none() => None,
+            t => t,
+        };
         self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
         self.gen += 1;
         let gen = self.gen;
-        let epoch = self.snapshots.latest_complete();
-        // Roll back the request cursor to the snapshot point and drop all
-        // volatile scheduling state; replay rebuilds it.
-        let offset = epoch
+        let offset = target
             .and_then(|e| self.snapshots.source_offset(e, "requests"))
             .unwrap_or(0);
         self.record(|| HistoryEvent::Recovery {
@@ -834,9 +936,14 @@ impl Coordinator {
         let next_batch = self.next_batch;
         self.broadcast(|| WorkerMsg::Restore {
             gen,
-            epoch,
+            epoch: target,
             next_batch,
         });
-        self.mode = Mode::Restoring { gen, acks: 0 };
+        self.mode = Mode::Restoring {
+            gen,
+            acks: 0,
+            target,
+            floor: target,
+        };
     }
 }

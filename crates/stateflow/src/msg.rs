@@ -163,6 +163,12 @@ pub enum WorkerMsg {
         gen: u64,
         /// Epoch to contribute to.
         epoch: Epoch,
+        /// Cluster durable floor: the minimum epoch every partition has
+        /// made durable on disk, per the last completed snapshot round.
+        /// A durable worker may compact its WAL below it — no recovery
+        /// will ever target anything older. `None` with durability off or
+        /// before the first durable epoch.
+        durable_floor: Option<Epoch>,
     },
     /// Reset to the state of `epoch` (0 = empty) and adopt `gen`.
     Restore {
@@ -244,6 +250,10 @@ pub enum CoordMsg {
         epoch: Epoch,
         /// Acknowledging worker.
         worker: usize,
+        /// Newest epoch this worker can recover from its own disk (fsynced
+        /// WAL cut or base snapshot). `None` with durability off — the
+        /// coordinator then skips durable-floor bookkeeping entirely.
+        durable: Option<Epoch>,
     },
     /// Restore finished on this worker.
     RestoreAck {
@@ -251,6 +261,13 @@ pub enum CoordMsg {
         gen: u64,
         /// Acknowledging worker.
         worker: usize,
+        /// The epoch this worker actually restored to (`None` = initial
+        /// empty state). Volatile workers always reach the requested epoch
+        /// (the in-memory snapshot is complete by construction); a durable
+        /// worker recovering from a damaged disk may fall short, and the
+        /// coordinator then runs another restore round at the cluster
+        /// minimum so every partition rejoins at the same cut.
+        reached: Option<Epoch>,
     },
     /// Entity creation finished.
     CreateDone {

@@ -13,7 +13,7 @@ use se_dataflow::{
 use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId};
 use se_lang::{EntityRef, LangError, Value};
 
-use crate::config::StateflowConfig;
+use crate::config::{DurabilityMode, StateflowConfig};
 use crate::coordinator::{CoordStats, Coordinator};
 use crate::msg::{ClientOp, ClientRequest, CoordMsg, WorkerMsg};
 use crate::worker::Worker;
@@ -32,6 +32,10 @@ pub struct StateflowRuntime {
     timers: Arc<ComponentTimers>,
     worker_senders: Vec<DelaySender<WorkerMsg>>,
     coord_sender: DelaySender<CoordMsg>,
+    /// A durability directory this runtime created itself (config left
+    /// `durability.dir` unset): removed at shutdown. User-provided
+    /// directories are never touched.
+    owned_durability_dir: Option<std::path::PathBuf>,
 }
 
 impl StateflowRuntime {
@@ -39,12 +43,27 @@ impl StateflowRuntime {
     ///
     /// `cfg.pipeline_depth` selects the coordinator schedule: 1 is classic
     /// stop-and-wait, ≥ 2 pipelines batches (see [`crate::coordinator`]).
-    pub fn deploy(graph: DataflowGraph, cfg: StateflowConfig) -> Self {
+    pub fn deploy(graph: DataflowGraph, mut cfg: StateflowConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(
             cfg.pipeline_depth >= 1,
             "pipeline_depth 0 would never seal a batch; 1 = stop-and-wait"
         );
+        // WAL durability needs a directory; deployments that did not pick
+        // one get a unique temp dir owned (and removed) by this runtime.
+        let owned_durability_dir = (cfg.durability.mode == DurabilityMode::Wal
+            && cfg.durability.dir.is_none())
+        .then(|| {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "se-wal-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::SeqCst)
+            ));
+            std::fs::create_dir_all(&dir).expect("create durability dir");
+            cfg.durability.dir = Some(dir.clone());
+            dir
+        });
         let graph = Arc::new(graph);
         // Deploy-time backend selection: for the VM backend every method
         // body is lowered to bytecode exactly once, here, and the compiled
@@ -117,6 +136,7 @@ impl StateflowRuntime {
             timers,
             worker_senders: worker_txs,
             coord_sender: coord_tx,
+            owned_durability_dir,
         }
     }
 
@@ -205,6 +225,11 @@ impl EntityRuntime for StateflowRuntime {
         self.waiters.lock().clear();
         // Keep the senders alive until here so late messages don't panic.
         let _ = (&self.worker_senders, &self.coord_sender);
+        // The runtime-owned durability dir dies with the deployment (all
+        // worker threads have joined, so no WAL is still being written).
+        if let Some(dir) = &self.owned_durability_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }
 

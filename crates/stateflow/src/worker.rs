@@ -48,8 +48,8 @@ use std::time::Duration;
 use se_aria::{BatchId, CommitWatermark, ReservationTable, TxnBuffer, TxnId};
 use se_chaos::{CrashPoint, HistoryEvent, Seam};
 use se_dataflow::{
-    send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, SharedStateStore, SnapshotStore,
-    StateStore,
+    send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, DurableOptions, DurableStore,
+    SharedStateStore, SnapshotStore, StateStore,
 };
 use se_ir::{
     partition_for, process_invocation_with, BodyRunner, DataflowGraph, Invocation, Response,
@@ -57,7 +57,7 @@ use se_ir::{
 };
 use se_lang::LangError;
 
-use crate::config::StateflowConfig;
+use crate::config::{DurabilityMode, StateflowConfig};
 use crate::msg::{ConflictFlags, CoordMsg, SegmentOutcome, WorkerMsg};
 
 /// A commit record as applied by a worker: the batch's transactions
@@ -108,6 +108,12 @@ pub struct Worker {
     coord: DelaySender<CoordMsg>,
     snapshots: Arc<SnapshotStore<StateStore>>,
     timers: Arc<ComponentTimers>,
+    /// The partition's durable layer (`DurabilityMode::Wal`): commits and
+    /// creates are logged as they apply, epochs cut on snapshot markers,
+    /// and `Restore` recovers state from disk instead of the in-memory
+    /// snapshot store. `None` with durability off — every durable hook is
+    /// then a skipped `if`, keeping the volatile path byte-identical.
+    durable: Option<DurableStore>,
     gen: u64,
     /// Set after a simulated crash until the next Restore.
     dead: bool,
@@ -129,6 +135,25 @@ impl Worker {
     ) -> Self {
         let name = format!("worker{id}");
         let store = SharedStateStore::new();
+        let durable = (cfg.durability.mode == DurabilityMode::Wal).then(|| {
+            let dir = cfg
+                .durability
+                .dir
+                .as_ref()
+                .expect("runtime fills durability.dir at deploy time")
+                .join(&name);
+            DurableStore::open(
+                dir,
+                name.clone(),
+                cfg.chaos.clone(),
+                DurableOptions {
+                    policy: cfg.durability.fsync,
+                    full_snapshot_every: cfg.durability.full_snapshot_every.max(1),
+                    skip_crc: cfg.durability.inject_wal_no_crc,
+                },
+            )
+            .expect("open durable store")
+        });
         let pool = (cfg.exec_threads > 1).then(|| {
             let ctx = Arc::new(PoolCtx {
                 cfg: cfg.clone(),
@@ -166,6 +191,7 @@ impl Worker {
             coord,
             snapshots,
             timers,
+            durable,
             gen: 0,
             dead: false,
         }
@@ -282,7 +308,11 @@ impl Worker {
                 }
                 self.handle_commit(batch, txns, aborted);
             }
-            WorkerMsg::Snapshot { epoch, .. } => {
+            WorkerMsg::Snapshot {
+                epoch,
+                durable_floor,
+                ..
+            } => {
                 debug_assert!(
                     self.deferred.is_empty(),
                     "snapshots only cut at a drained pipeline \
@@ -291,12 +321,24 @@ impl Worker {
                     self.deferred.keys().collect::<Vec<_>>(),
                     self.watermark.next_expected()
                 );
+                // Durable epoch cut first: the marker append (fsynced per
+                // policy) is what makes the epoch durable, and costs only
+                // the dirty set already in the log — O(dirty), not O(state).
+                let durable = self.durable.as_mut().map(|d| {
+                    d.cut_epoch(epoch, &self.store.read())
+                        .expect("cut durable epoch");
+                    if let Some(floor) = durable_floor {
+                        d.compact_below(floor).expect("compact WAL");
+                    }
+                    d.last_durable_epoch()
+                });
                 self.snapshots
                     .put(epoch, self.node_name(), self.store.snapshot());
                 self.send_coord_ctl(CoordMsg::SnapshotAck {
                     gen: self.gen,
                     epoch,
                     worker: self.id,
+                    durable: durable.flatten(),
                 });
             }
             WorkerMsg::Restore { .. } | WorkerMsg::Shutdown => unreachable!("handled in run()"),
@@ -336,9 +378,11 @@ impl Worker {
     ) -> Result<(), LangError> {
         let class_def = &self.graph.program.class_or_err(class)?.class;
         let r = se_lang::EntityRef::new(class, key);
-        self.store
-            .write()
-            .insert(r, class_def.initial_state(key, init));
+        let state = class_def.initial_state(key, init);
+        if let Some(d) = &mut self.durable {
+            d.log_create(r, &state).expect("log create");
+        }
+        self.store.write().insert(r, state);
         Ok(())
     }
 
@@ -661,7 +705,7 @@ impl Worker {
         self.expected_hops.remove(&batch);
         if !errored {
             if let Some(buffer) = local.and_then(|mut b| b.remove(&txn)) {
-                self.apply_writes(buffer);
+                self.apply_writes(batch, buffer);
             }
         }
         self.watermark.advance_past(batch);
@@ -796,7 +840,7 @@ impl Worker {
             if aborted.contains(txn) {
                 continue;
             }
-            self.apply_writes(buffer);
+            self.apply_writes(batch, buffer);
         }
         self.send_coord(CoordMsg::CommitAck {
             gen: self.gen,
@@ -805,7 +849,14 @@ impl Worker {
         });
     }
 
-    fn apply_writes(&mut self, buffer: TxnBuffer) {
+    fn apply_writes(&mut self, batch: BatchId, buffer: TxnBuffer) {
+        // Write-ahead: the commit record hits the log before the store, so
+        // a crash between the two replays the write instead of losing it.
+        if let Some(d) = &mut self.durable {
+            if !buffer.writes.is_empty() {
+                d.log_commit(batch, &buffer.writes).expect("log commit");
+            }
+        }
         self.timers.time("state_store", || {
             let mut store = self.store.write();
             for (entity, writes) in buffer.writes {
@@ -820,6 +871,12 @@ impl Worker {
     }
 
     fn crash(&mut self) {
+        // Disk outlives the "process": the durable store closes its writer
+        // and applies the chaos script's next crash-time disk fault, if any
+        // (torn/lost tail, bit flip, vanished base snapshot).
+        if let Some(d) = &mut self.durable {
+            d.simulate_crash().expect("simulate disk crash");
+        }
         // Volatile state dies with the "process". In-flight pool segments
         // are zombies of the dead incarnation; their completions are fenced
         // by the generation check (`dead` now, generation after restore).
@@ -843,11 +900,25 @@ impl Worker {
         self.reserved.clear();
         self.deferred.clear();
         self.watermark.reset(next_batch);
-        self.store.replace(
+        let reached = if let Some(d) = &mut self.durable {
+            // Disk recovery: base snapshot + WAL replay to the target cut,
+            // stopping early at corruption. Healthy workers recover from
+            // disk too — truncating their log at the target is exactly
+            // right, since the coordinator replays the source from the
+            // target's offset and re-executed batches re-log from there.
+            let (state, reached) = d.recover(epoch).expect("recover from disk");
+            self.store.replace(state);
+            reached
+        } else {
+            self.store.replace(
+                epoch
+                    .and_then(|e| self.snapshots.get(e, self.node_name()))
+                    .unwrap_or_default(),
+            );
+            // The in-memory snapshot is complete by construction: a
+            // volatile worker always reaches the requested epoch.
             epoch
-                .and_then(|e| self.snapshots.get(e, self.node_name()))
-                .unwrap_or_default(),
-        );
+        };
         self.dead = false;
         // The next incarnation begins: re-arm the chaos plan's per-node
         // counters so a multi-crash script can kill this worker again.
@@ -855,6 +926,7 @@ impl Worker {
         self.send_coord_ctl(CoordMsg::RestoreAck {
             gen,
             worker: self.id,
+            reached,
         });
     }
 }

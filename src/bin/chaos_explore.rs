@@ -3,10 +3,14 @@
 //!
 //! Each scenario samples a point in {workload A/T, zipfian/uniform key
 //! popularity, pipeline depth 1/2/4/8, execution backend interp/vm,
-//! exec-pool size 1/4, seeded fault script} and runs a contended workload (plus, for T, a slice of
+//! exec-pool size 1/4, durability off/wal, seeded fault script} — a
+//! 128-cell matrix — and runs a contended workload (plus, for T, a slice of
 //! transfers to a nonexistent "ghost" account, so errored transactions
-//! share batches with healthy ones). The run records its execution history;
-//! a scenario passes only if
+//! share batches with healthy ones). Durable scenarios additionally sample
+//! an fsync policy and arm disk-fault generation (torn/lost WAL tails, bit
+//! flips, missing base snapshots, slow/failed fsyncs), so recovery runs
+//! from damaged disks. The run records its execution history; a scenario
+//! passes only if
 //!
 //! 1. every request completes (liveness — quarantined messages and scripted
 //!    crashes must never wedge the system),
@@ -23,9 +27,12 @@
 //!
 //! Knobs: `SE_CHAOS_SEED` (master seed), `SE_CHAOS_SCENARIOS` (count,
 //! default 20; `--scenarios N` wins), `SE_TIME_SCALE` (applied to the
-//! simulated network), `SE_CHAOS_INJECT_BUG=reserve-errored` (reverts the
-//! errored-transaction reservation fix — the self-test proving the harness
-//! catches a real historical bug; pair with `--expect-bug`).
+//! simulated network), `SE_CHAOS_INJECT_BUG` (pair with `--expect-bug`):
+//! `reserve-errored` reverts the errored-transaction reservation fix — the
+//! self-test proving the harness catches a real historical bug — and
+//! `wal-no-crc` disables WAL checksum validation at recovery while forcing
+//! durable scenarios with bit-flip disk faults, proving the harness catches
+//! silently corrupted recovery state.
 
 use std::time::Duration;
 
@@ -33,9 +40,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
+use se_chaos::{CrashFault, CrashPoint};
 use stateful_entities::prelude::*;
 use stateful_entities::{
-    check_history, serial_order, ChaosPlan, FaultScript, History, ScriptConfig, StateflowConfig,
+    check_history, serial_order, ChaosPlan, DiskFault, DiskFaultKind, DurabilityMode, FaultScript,
+    FsyncPolicy, History, ScriptConfig, StateflowConfig,
 };
 
 const WORKERS: usize = 3;
@@ -68,22 +77,37 @@ struct Scenario {
     depth: usize,
     backend: String,
     exec_threads: usize,
+    durability: &'static str,
+    /// Fsync policy string for durable scenarios (`"-"` with durability
+    /// off): `every-commit`, `on-epoch`, `every-3` or `never`.
+    fsync: String,
     script: FaultScript,
 }
 
 impl Scenario {
     fn sample(seed: u64) -> Scenario {
         // The workload point comes from the seed's low bits, so the
-        // sequential seeds of one run sweep the whole 64-cell matrix
+        // sequential seeds of one run sweep the whole 128-cell matrix
         // (A/T × zipfian/uniform × depth {1,2,4,8} × interp/vm ×
-        // exec-pool {1,4}) deterministically; the fault script comes from
-        // the full seed.
+        // exec-pool {1,4} × durability off/wal) deterministically; the
+        // fault script comes from the full seed.
         let workload = if seed & 1 == 0 { "A" } else { "T" };
         let dist = if seed & 2 == 0 { "zipfian" } else { "uniform" };
         let depth = [1usize, 2, 4, 8][(seed >> 2) as usize % 4];
         let backend = if seed & 16 == 0 { "interp" } else { "vm" };
         let exec_threads = if seed & 32 == 0 { 1 } else { 4 };
-        let script = FaultScript::generate(seed, &ScriptConfig::stateflow(WORKERS));
+        let durability = if seed & 64 == 0 { "off" } else { "wal" };
+        let mut script_cfg = ScriptConfig::stateflow(WORKERS);
+        let fsync = if durability == "wal" {
+            // Disk faults only make sense against a WAL; the fsync policy
+            // moves the durable/unsynced boundary the faults play against.
+            script_cfg = script_cfg.with_disk_faults(2);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C_F517_AB1E_5EED);
+            ["every-commit", "on-epoch", "every-3", "never"][rng.gen_range(0..4)].to_string()
+        } else {
+            "-".to_string()
+        };
+        let script = FaultScript::generate(seed, &script_cfg);
         Scenario {
             seed,
             workload,
@@ -91,6 +115,8 @@ impl Scenario {
             depth,
             backend: backend.to_string(),
             exec_threads,
+            durability,
+            fsync,
             script,
         }
     }
@@ -177,12 +203,23 @@ fn invocation(op: &Op) -> (EntityRef, &'static str, Vec<Value>) {
     }
 }
 
+/// Which deliberately-reintroduced bug a self-test run injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    None,
+    /// Errored transactions reserve their buffered accesses again.
+    ReserveErrored,
+    /// WAL recovery skips checksum validation, so a flipped bit in a
+    /// replayed record silently corrupts the restored state.
+    WalNoCrc,
+}
+
 /// Runs one scenario under `script`; `Ok` carries a short stats line.
 fn run_scenario(
     sc: &Scenario,
     script: &FaultScript,
     time_scale: f64,
-    inject_bug: bool,
+    bug: Bug,
 ) -> Result<String, String> {
     let program = se_workloads::ycsb_program();
     let mut cfg = StateflowConfig::fast_test(WORKERS);
@@ -194,8 +231,22 @@ fn run_scenario(
         _ => stateful_entities::ExecBackend::Interp,
     };
     cfg.snapshot_every_batches = 4;
+    if sc.durability == "wal" {
+        cfg.durability.mode = DurabilityMode::Wal;
+        cfg.durability.fsync = FsyncPolicy::parse(&sc.fsync).expect("sampled fsync policy");
+    }
+    if bug == Bug::WalNoCrc {
+        // Maximize the odds that the flipped record lands inside the
+        // replayed prefix: lockstep batches, a cut after every batch, and
+        // nothing fsynced (so the bit flip may target any data record).
+        cfg.durability.mode = DurabilityMode::Wal;
+        cfg.durability.inject_wal_no_crc = true;
+        cfg.durability.fsync = FsyncPolicy::Never;
+        cfg.pipeline_depth = 1;
+        cfg.snapshot_every_batches = 1;
+    }
     cfg.chaos = ChaosPlan::from_script(script.clone());
-    cfg.inject_reserve_bug = inject_bug;
+    cfg.inject_reserve_bug = bug == Bug::ReserveErrored;
     let history = History::new();
     cfg.history = Some(history.clone());
     let rule = cfg.commit_rule;
@@ -207,13 +258,24 @@ fn run_scenario(
 
     let ops = ops_for(sc);
     let mut waiters = Vec::with_capacity(ops.len());
+    // The no-CRC self-test paces harder: epoch cuts must exist before the
+    // scripted crash for the corrupted record to land in a replayed prefix.
+    let (pause_every, pause) = if bug == Bug::WalNoCrc {
+        // Long enough for a full pipeline drain, so nearly every pause
+        // completes a snapshot epoch: each batch is then preceded by an
+        // epoch cut, and a mid-execution bit flip lands on the *previous*
+        // batch's commit record — inside the replayed prefix.
+        (5, Duration::from_millis(12))
+    } else {
+        (15, Duration::from_millis(2))
+    };
     for (i, op) in ops.iter().enumerate() {
         let (target, method, args) = invocation(op);
         waiters.push((op.clone(), rt.call_async(target, method, args)));
-        if i % 15 == 14 {
+        if i % pause_every == pause_every - 1 {
             // Short pauses let the pipeline drain now and then, so
             // snapshot cuts (and their barriers) happen mid-run.
-            std::thread::sleep(Duration::from_millis(2));
+            std::thread::sleep(pause);
         }
     }
     // Liveness: every request must complete, whatever the weather.
@@ -267,7 +329,7 @@ fn run_scenario(
     }
     let line = format!(
         "{} commits ({} surviving), {} retries, {} failed, {} recoveries, \
-         {} crashes + {} msg faults fired",
+         {} crashes + {} msg + {} disk faults fired",
         summary.commits,
         summary.surviving_commits,
         summary.retries,
@@ -275,6 +337,7 @@ fn run_scenario(
         summary.recoveries,
         chaos.crashes_fired(),
         chaos.msg_faults_fired(),
+        chaos.disk_faults_fired(),
     );
     rt.shutdown();
     oracle.shutdown();
@@ -284,12 +347,7 @@ fn run_scenario(
 /// Delta-debugs a failing script down to a locally minimal one: repeatedly
 /// remove single faults, keeping any removal under which the failure still
 /// reproduces. Bounded by `max_runs` re-executions.
-fn shrink(
-    sc: &Scenario,
-    time_scale: f64,
-    inject_bug: bool,
-    max_runs: usize,
-) -> (FaultScript, String) {
+fn shrink(sc: &Scenario, time_scale: f64, bug: Bug, max_runs: usize) -> (FaultScript, String) {
     let mut script = sc.script.clone();
     let mut last_error = String::new();
     let mut runs = 0;
@@ -302,7 +360,7 @@ fn shrink(
             }
             let candidate = script.without_fault(i);
             runs += 1;
-            match run_scenario(sc, &candidate, time_scale, inject_bug) {
+            match run_scenario(sc, &candidate, time_scale, bug) {
                 Ok(_) => {} // fault i is load-bearing; keep it
                 Err(e) => {
                     script = candidate;
@@ -350,41 +408,82 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
-    let inject_bug = match std::env::var("SE_CHAOS_INJECT_BUG").ok().as_deref() {
-        None | Some("") => false,
-        Some("reserve-errored") => true,
+    let bug = match std::env::var("SE_CHAOS_INJECT_BUG").ok().as_deref() {
+        None | Some("") => Bug::None,
+        Some("reserve-errored") => Bug::ReserveErrored,
+        Some("wal-no-crc") => Bug::WalNoCrc,
         Some(other) => panic!("unknown SE_CHAOS_INJECT_BUG={other:?}"),
+    };
+    let bug_name = match bug {
+        Bug::None => "",
+        Bug::ReserveErrored => "reserve-errored",
+        Bug::WalNoCrc => "wal-no-crc",
     };
     println!(
         "chaos_explore: {scenarios} scenarios, master seed {seed:#x}, \
-         time scale {time_scale}{}",
-        if inject_bug {
-            ", INJECTED BUG: reserve-errored"
-        } else {
+         time scale {time_scale}{}{}",
+        if bug == Bug::None {
             ""
-        }
+        } else {
+            ", INJECTED BUG: "
+        },
+        bug_name
     );
 
     let mut failures = 0usize;
     for k in 0..scenarios {
         let scenario_seed = seed.wrapping_add(k as u64);
-        let sc = Scenario::sample(scenario_seed);
+        let mut sc = Scenario::sample(scenario_seed);
+        if bug == Bug::WalNoCrc {
+            // The no-CRC self-test needs a corrupted record inside the
+            // replayed prefix, so the sampled script is replaced with a
+            // directed one: an early-execution crash paired with a bit flip
+            // in the crashed worker's unsynced WAL region. Workload T is
+            // forced (multi-hop transfers feed the crash countdown) and the
+            // driver paces requests so snapshots — which need a drained
+            // pipeline — complete; without a completed epoch, recovery
+            // restarts from scratch and masks the corruption.
+            sc.workload = "T";
+            sc.durability = "wal";
+            sc.fsync = "never".into();
+            sc.script = FaultScript {
+                crashes: vec![CrashFault {
+                    node: "worker1".into(),
+                    point: CrashPoint::Exec,
+                    // Mid-run, while batches are paced one per pause: the
+                    // crashed worker's WAL tail is then Commit(b−1)
+                    // followed by an epoch cut, so the flipped last data
+                    // record (that commit) lands inside the replayed
+                    // prefix. Flipping a record from an epoch that never
+                    // cut would be useless — recovery truncates it with or
+                    // without checksums.
+                    after_events: 10 + scenario_seed % 20,
+                }],
+                disk: vec![DiskFault {
+                    node: "worker1".into(),
+                    kind: DiskFaultKind::BitFlip,
+                }],
+                ..FaultScript::default()
+            };
+        }
         let label = format!(
-            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} exec {} ({} faults)",
+            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} exec {} dur {}/{} ({} faults)",
             sc.workload,
             sc.dist,
             sc.depth,
             sc.backend,
             sc.exec_threads,
+            sc.durability,
+            sc.fsync,
             sc.script.fault_count()
         );
-        match run_scenario(&sc, &sc.script, time_scale, inject_bug) {
+        match run_scenario(&sc, &sc.script, time_scale, bug) {
             Ok(stats) => println!("{label}: ok — {stats}"),
             Err(error) => {
                 failures += 1;
                 println!("{label}: FAILED — {error}");
                 println!("      shrinking the fault script…");
-                let (minimized, shrunk_error) = shrink(&sc, time_scale, inject_bug, 30);
+                let (minimized, shrunk_error) = shrink(&sc, time_scale, bug, 30);
                 let final_error = if shrunk_error.is_empty() {
                     error
                 } else {
@@ -406,10 +505,10 @@ fn main() {
                     reproduce: format!(
                         "SE_TIME_SCALE={time_scale} {}SE_CHAOS_SEED={scenario_seed} \
                          cargo run --release --bin chaos_explore -- --scenarios 1",
-                        if inject_bug {
-                            "SE_CHAOS_INJECT_BUG=reserve-errored "
+                        if bug == Bug::None {
+                            String::new()
                         } else {
-                            ""
+                            format!("SE_CHAOS_INJECT_BUG={bug_name} ")
                         }
                     ),
                 };
