@@ -142,6 +142,18 @@ impl ScheduleStats {
         }
         self.aborts as f64 / self.executions as f64
     }
+
+    /// Accumulates this schedule's totals into the shared `se-obs` registry
+    /// (`aria.*` counters) — one snapshot path for all engine stats. Call
+    /// once per completed schedule; counters are monotonic.
+    pub fn publish(&self, obs: &se_obs::Obs) {
+        obs.counter("aria.batches").add(self.batches as u64);
+        obs.counter("aria.executions").add(self.executions as u64);
+        obs.counter("aria.commits").add(self.commits as u64);
+        obs.counter("aria.aborts").add(self.aborts as u64);
+        obs.counter("aria.fallback_commits")
+            .add(self.fallback_commits as u64);
+    }
 }
 
 /// What to do with transactions that abort in a batch.

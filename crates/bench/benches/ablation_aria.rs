@@ -83,6 +83,9 @@ fn main() {
         .unwrap_or(20_000usize);
     let batch_size = 64;
     let thetas = [0.6, 0.9, 0.99, 1.2];
+    // Standalone Aria runs publish their schedule totals as `aria.*`
+    // counters; SE_OBS=metrics|trace gets a run dump at exit.
+    let obs = se_obs::Obs::new(&se_obs::ObsConfig::from_env("ablation-aria"));
 
     println!(
         "ablation_aria: {n_txns} txns (50% transfer / 50% audit), {n_accounts} accounts, \
@@ -132,6 +135,7 @@ fn main() {
                 batch_size,
                 fallback,
             );
+            stats.publish(&obs);
             println!(
                 "| {theta} | {rule:?} | {fallback:?} | {} | {} | {:.4} | {} | {} |",
                 stats.executions,
@@ -175,4 +179,5 @@ fn main() {
             serde_json::to_string_pretty(&json_rows).expect("serialize")
         );
     }
+    let _ = obs.dump();
 }

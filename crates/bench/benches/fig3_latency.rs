@@ -29,6 +29,7 @@ fn main() {
         value_size: 1024,
         time_scale: se_bench::time_scale(),
         spin_iters: 256,
+        ..Default::default()
     };
 
     println!(

@@ -47,6 +47,7 @@ fn main() {
                 value_size: 1024,
                 time_scale: se_bench::time_scale(),
                 spin_iters: 256,
+                ..Default::default()
             };
             let report = run_open_loop(
                 rt.as_ref(),

@@ -165,9 +165,18 @@ fn main() {
                             cfg.exec_threads = forced_exec.unwrap_or(exec_threads);
                             cfg.pipeline_depth = depth;
                             cfg.backend = backend;
+                            // The queue/utilization/fsync columns come from
+                            // the se-obs registry, so this bench records
+                            // metrics even without SE_OBS set (an explicit
+                            // SE_OBS=off|trace still wins).
+                            if std::env::var("SE_OBS").is_err() {
+                                cfg.obs.mode = se_obs::ObsMode::Metrics;
+                            }
+                            let deployed_exec = cfg.exec_threads;
                             let program = se_workloads::ycsb_program();
                             let graph = compile(&program).expect("compile");
                             let rt = StateflowRuntime::deploy(graph, cfg);
+                            let deployed_at = std::time::Instant::now();
                             load_accounts(&rt, n_keys, 1024, 1_000_000);
                             let driver = DriverConfig {
                                 rps: offered,
@@ -176,8 +185,12 @@ fn main() {
                                 value_size: 1024,
                                 time_scale: se_bench::time_scale(),
                                 spin_iters,
+                                latency_hist: rt.obs().histogram("driver.latency"),
                             };
                             let report = run_open_loop(&rt, *spec, *dist, n_keys, &driver);
+                            // Registry counters/hists cover the deployment's
+                            // whole life, so the utilization window must too.
+                            let obs_window = deployed_at.elapsed();
                             let backend_name = match backend {
                                 ExecBackend::Interp => "interp",
                                 ExecBackend::Vm => "vm",
@@ -198,6 +211,7 @@ fn main() {
                             );
                             rows.push(
                                 Row::from_report(label, "stateflow", offered, &report)
+                                    .with_obs(rt.obs(), obs_window, workers * deployed_exec)
                                     .with_param("workers", workers)
                                     .with_param("exec_threads", exec_threads)
                                     .with_param("depth", depth)
@@ -258,6 +272,9 @@ fn main() {
                                 tput_rps: ratio,
                                 count: requests,
                                 errors: 0,
+                                queue_p99_ms: 0.0,
+                                exec_utilization: 0.0,
+                                fsync_p99_ms: 0.0,
                                 commit: String::new(),
                             });
                         }

@@ -66,6 +66,9 @@ struct Cell {
     epoch_ms: Vec<f64>,
     /// Recovery wall times, ms (one per rep).
     recover_ms: Vec<f64>,
+    /// p99 WAL fsync, ms, from the `stage.wal_fsync` histogram (0 when the
+    /// fsync policy issued none).
+    fsync_p99_ms: f64,
 }
 
 fn stats_ms(samples: &[f64]) -> (f64, f64, f64) {
@@ -99,6 +102,15 @@ fn run_cell(
         skip_crc: false,
     };
     let mut store = DurableStore::open(&dir, "bench", ChaosPlan::none(), opts).unwrap();
+    // Metrics-mode obs handle: the fsync_p99_ms column reads the
+    // `stage.wal_fsync` histogram this attaches (no dump is written — the
+    // handle is registry-only until `dump()` is called).
+    let obs = se_obs::Obs::new(&se_obs::ObsConfig {
+        mode: se_obs::ObsMode::Metrics,
+        label: format!("recovery-{mode}-{keys}"),
+        ..Default::default()
+    });
+    store.set_obs(obs.clone());
     let mut state = StateStore::new();
 
     // Epoch 1: load the whole key space (creates are logged like the
@@ -163,6 +175,12 @@ fn run_cell(
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+    let fsync_hist = obs.histogram("stage.wal_fsync");
+    let fsync_p99_ms = if fsync_hist.count() == 0 {
+        0.0
+    } else {
+        fsync_hist.value_at(0.99) as f64 / 1e6
+    };
     Cell {
         mode,
         keys,
@@ -172,6 +190,7 @@ fn run_cell(
         bases,
         epoch_ms,
         recover_ms,
+        fsync_p99_ms,
     }
 }
 
@@ -190,6 +209,9 @@ fn rows_for(cell: &Cell, reps: usize, fsync: &str) -> Vec<Row> {
         tput_rps: 0.0,
         count,
         errors: 0,
+        queue_p99_ms: 0.0,
+        exec_utilization: 0.0,
+        fsync_p99_ms: cell.fsync_p99_ms,
         commit: String::new(),
     };
     let with_cell_params = |row: Row| {

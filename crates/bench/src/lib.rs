@@ -87,6 +87,7 @@ pub fn statefun_bench_config() -> StatefunConfig {
         chaos: Default::default(),
         history: None,
         backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
+        obs: se_obs::ObsConfig::from_env("statefun-bench"),
     }
 }
 
@@ -111,6 +112,7 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         inject_reserve_bug: false,
         backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
         durability: Default::default(),
+        obs: se_obs::ObsConfig::from_env("stateflow-bench"),
     }
 }
 
@@ -146,6 +148,17 @@ pub struct Row {
     pub count: usize,
     /// Errored requests.
     pub errors: usize,
+    /// p99 exec-pool queue wait, ms of *wall-clock* time (segment spawn →
+    /// run start, from the `stage.seg_queue_wait` histogram). 0 when the run
+    /// had no obs registry, no exec pool, or SE_OBS=off.
+    pub queue_p99_ms: f64,
+    /// Fraction of exec-pool slot-time spent running segments
+    /// (`exec.busy_ns` / (elapsed × slots)), in [0, 1]. 0 on the serial
+    /// path (no pool, so no queueing to attribute) or with SE_OBS=off.
+    pub exec_utilization: f64,
+    /// p99 WAL fsync, ms of wall-clock time (`stage.wal_fsync` histogram).
+    /// 0 for non-durable runs or SE_OBS=off.
+    pub fsync_p99_ms: f64,
     /// `git rev-parse --short HEAD` at emit time; stamped by [`emit`].
     pub commit: String,
 }
@@ -170,6 +183,9 @@ impl Row {
             tput_rps: report.throughput_rps(),
             count: report.latency.count,
             errors: report.errors,
+            queue_p99_ms: 0.0,
+            exec_utilization: 0.0,
+            fsync_p99_ms: 0.0,
             commit: String::new(),
         }
     }
@@ -177,6 +193,33 @@ impl Row {
     /// Attaches one sweep coordinate (builder-style).
     pub fn with_param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
         self.params.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Fills the observability columns from a deployment's `se-obs` registry
+    /// (builder-style). `elapsed` is the measured wall-clock window and
+    /// `exec_slots` the total exec-pool slot count (exec_threads × workers);
+    /// these wall-clock stage timings are *not* time-scaled, unlike the
+    /// request-latency columns. All three columns stay 0 when the run was
+    /// started with SE_OBS=off.
+    pub fn with_obs(mut self, obs: &se_obs::Obs, elapsed: Duration, exec_slots: usize) -> Self {
+        let p99_ms = |name: &str| {
+            let h = obs.histogram(name);
+            if h.count() == 0 {
+                0.0
+            } else {
+                h.value_at(0.99) as f64 / 1e6
+            }
+        };
+        self.queue_p99_ms = p99_ms("stage.seg_queue_wait");
+        self.fsync_p99_ms = p99_ms("stage.wal_fsync");
+        let busy_ns = obs.counter("exec.busy_ns").get() as f64;
+        let slot_ns = elapsed.as_secs_f64() * 1e9 * exec_slots as f64;
+        self.exec_utilization = if slot_ns > 0.0 {
+            (busy_ns / slot_ns).min(1.0)
+        } else {
+            0.0
+        };
         self
     }
 }
@@ -217,13 +260,25 @@ pub fn emit(name: &str, title: &str, rows: &[Row]) {
         .collect();
     println!("\n## {title}\n");
     println!(
-        "| label | system | offered rps | mean ms | p50 ms | p99 ms | tput rps | n | errors |"
+        "| label | system | offered rps | mean ms | p50 ms | p99 ms | tput rps | n | errors \
+         | queue p99 ms | exec util | fsync p99 ms |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &rows {
         println!(
-            "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {:.0} | {} | {} |",
-            r.label, r.system, r.rps, r.mean_ms, r.p50_ms, r.p99_ms, r.tput_rps, r.count, r.errors
+            "| {} | {} | {:.0} | {:.2} | {:.2} | {:.2} | {:.0} | {} | {} | {:.2} | {:.2} | {:.2} |",
+            r.label,
+            r.system,
+            r.rps,
+            r.mean_ms,
+            r.p50_ms,
+            r.p99_ms,
+            r.tput_rps,
+            r.count,
+            r.errors,
+            r.queue_p99_ms,
+            r.exec_utilization,
+            r.fsync_p99_ms
         );
     }
     let dir = std::path::Path::new("bench_results");

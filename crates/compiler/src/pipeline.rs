@@ -170,6 +170,21 @@ pub struct CompileStats {
     pub simple_methods: usize,
 }
 
+impl CompileStats {
+    /// Publishes this graph's shape into the shared `se-obs` registry as
+    /// `compiler.*` gauges (idempotent: gauges are set, not accumulated, so
+    /// re-deploying the same graph does not inflate them).
+    pub fn publish(&self, obs: &se_obs::Obs) {
+        obs.gauge("compiler.classes").set(self.classes as i64);
+        obs.gauge("compiler.methods").set(self.methods as i64);
+        obs.gauge("compiler.blocks").set(self.blocks as i64);
+        obs.gauge("compiler.suspension_points")
+            .set(self.suspension_points as i64);
+        obs.gauge("compiler.simple_methods")
+            .set(self.simple_methods as i64);
+    }
+}
+
 /// Computes [`CompileStats`] for a graph.
 pub fn stats(graph: &DataflowGraph) -> CompileStats {
     let mut s = CompileStats {

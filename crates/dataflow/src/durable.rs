@@ -90,6 +90,10 @@ pub struct DurableStore {
     bases: Vec<u64>,
     /// Cuts since the last base snapshot (drives `full_snapshot_every`).
     cuts_since_base: u64,
+    /// Observability handle (noop unless attached via
+    /// [`DurableStore::set_obs`]): epoch-cut spans here, WAL append/fsync
+    /// spans forwarded to the writer.
+    obs: se_obs::Obs,
 }
 
 impl DurableStore {
@@ -114,6 +118,7 @@ impl DurableStore {
             cuts: Vec::new(),
             bases: Vec::new(),
             cuts_since_base: 0,
+            obs: se_obs::Obs::noop(),
         };
         store.bases = store.list_bases()?;
         let wal = store.wal_path();
@@ -125,6 +130,15 @@ impl DurableStore {
             store.writer = Some(WalWriter::create(&wal, 0, store.opts.policy)?);
         }
         Ok(store)
+    }
+
+    /// Attaches an observability handle to the store and its WAL writer.
+    /// Survives crash/recover cycles: reopened writers re-inherit it.
+    pub fn set_obs(&mut self, obs: se_obs::Obs) {
+        if let Some(w) = self.writer.as_mut() {
+            w.set_obs(obs.clone());
+        }
+        self.obs = obs;
     }
 
     fn wal_path(&self) -> PathBuf {
@@ -220,6 +234,7 @@ impl DurableStore {
     /// the epoch is durable exactly when this record is) and writes a full
     /// base snapshot every `full_snapshot_every` cuts.
     pub fn cut_epoch(&mut self, epoch: u64, state: &StateStore) -> io::Result<()> {
+        let t0 = self.obs.now_ns();
         self.append(&WalRecord::EpochCut { epoch })?;
         let end = self.writer()?.written_len();
         self.cuts.push((epoch, end));
@@ -228,6 +243,8 @@ impl DurableStore {
             self.write_base(epoch, state)?;
             self.cuts_since_base = 0;
         }
+        self.obs
+            .stage_span(se_obs::Stage::EpochCut, epoch, t0, self.obs.now_ns());
         Ok(())
     }
 
@@ -434,6 +451,7 @@ impl DurableStore {
             self.writer = Some(WalWriter::create(&wal, 0, self.opts.policy)?);
             self.wal_base = 0;
         }
+        self.set_obs(self.obs.clone());
         Ok(())
     }
 
@@ -447,6 +465,7 @@ impl DurableStore {
         self.cuts_since_base = 0;
         self.wal_base = 0;
         self.writer = Some(WalWriter::create(&self.wal_path(), 0, self.opts.policy)?);
+        self.set_obs(self.obs.clone());
         Ok(())
     }
 
@@ -496,6 +515,7 @@ impl DurableStore {
         self.bases.retain(|&e| e >= keep);
         let len = fs::metadata(&wal)?.len();
         self.writer = Some(WalWriter::reopen(&wal, len, self.opts.policy)?);
+        self.set_obs(self.obs.clone());
         Ok(())
     }
 

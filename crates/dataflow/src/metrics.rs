@@ -85,6 +85,26 @@ impl LatencySummary {
         }
     }
 
+    /// Computes the summary from a shared `se-obs` histogram of nanosecond
+    /// samples. This is the bench drivers' path: workers record latencies
+    /// into one lock-free histogram instead of each bench sorting its own
+    /// `Vec<Duration>`; percentiles are bucket-quantized (≤ ~6% relative
+    /// error), count/mean/max are exact.
+    pub fn from_hist(hist: &se_obs::Histogram) -> Self {
+        let s = hist.summary();
+        if s.count == 0 {
+            return Self::default();
+        }
+        Self {
+            count: s.count as usize,
+            mean: Duration::from_nanos((s.sum as f64 / s.count as f64) as u64),
+            p50: Duration::from_nanos(s.p50),
+            p95: Duration::from_nanos(hist.value_at(0.95)),
+            p99: Duration::from_nanos(s.p99),
+            max: Duration::from_nanos(s.max),
+        }
+    }
+
     /// Divides every statistic by `scale` (for un-scaling simulated time).
     pub fn unscale(&self, scale: f64) -> Self {
         if scale <= 0.0 || (scale - 1.0).abs() < f64::EPSILON {
@@ -231,6 +251,25 @@ mod tests {
         let s = LatencySummary::from_samples(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_from_hist_matches_samples() {
+        let hist = se_obs::Histogram::new();
+        for ms in 1..=100u64 {
+            hist.record(ms * 1_000_000);
+        }
+        let s = LatencySummary::from_hist(&hist);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, Duration::from_millis(100));
+        // Bucket quantization: within one sub-bucket of the exact ranks.
+        let close = |got: Duration, want_ms: u64| {
+            let want = Duration::from_millis(want_ms);
+            (got.as_secs_f64() - want.as_secs_f64()).abs() / want.as_secs_f64() < 0.07
+        };
+        assert!(close(s.p50, 50), "p50 {:?}", s.p50);
+        assert!(close(s.p99, 99), "p99 {:?}", s.p99);
+        assert!(close(s.mean, 50), "mean {:?}", s.mean);
     }
 
     #[test]

@@ -476,6 +476,9 @@ pub struct WalWriter {
     synced: u64,
     policy: FsyncPolicy,
     unsynced_appends: u32,
+    /// Observability handle (noop unless attached via [`WalWriter::set_obs`]):
+    /// times every buffered append (`wal_append`) and fsync (`wal_fsync`).
+    obs: se_obs::Obs,
 }
 
 impl WalWriter {
@@ -495,6 +498,7 @@ impl WalWriter {
             synced: 0,
             policy,
             unsynced_appends: 0,
+            obs: se_obs::Obs::noop(),
         };
         w.append_raw(&WalRecord::BaseRef { epoch: base })?;
         w.force_sync()?;
@@ -517,14 +521,37 @@ impl WalWriter {
             synced: valid_len,
             policy,
             unsynced_appends: 0,
+            obs: se_obs::Obs::noop(),
         })
     }
 
+    /// Attaches an observability handle; spans are recorded from then on.
+    pub fn set_obs(&mut self, obs: se_obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// Correlation id for a record's spans: batch for commits, epoch for
+    /// cuts and base refs, 0 for creates.
+    fn record_span_id(record: &WalRecord) -> u64 {
+        match record {
+            WalRecord::Commit { batch, .. } => *batch,
+            WalRecord::EpochCut { epoch } | WalRecord::BaseRef { epoch } => *epoch,
+            WalRecord::Create { .. } => 0,
+        }
+    }
+
     fn append_raw(&mut self, record: &WalRecord) -> io::Result<()> {
+        let t0 = self.obs.now_ns();
         let frame = record.encode_frame();
         self.file.write_all(&frame)?;
         self.written += frame.len() as u64;
         self.unsynced_appends += 1;
+        self.obs.stage_span(
+            se_obs::Stage::WalAppend,
+            Self::record_span_id(record),
+            t0,
+            self.obs.now_ns(),
+        );
         Ok(())
     }
 
@@ -564,9 +591,13 @@ impl WalWriter {
 
     /// Unconditionally fsyncs and advances the synced prefix.
     pub fn force_sync(&mut self) -> io::Result<()> {
+        let t0 = self.obs.now_ns();
         self.file.sync_data()?;
         self.synced = self.written;
         self.unsynced_appends = 0;
+        // Span id: the byte offset the sync advanced the durable prefix to.
+        self.obs
+            .stage_span(se_obs::Stage::WalFsync, self.written, t0, self.obs.now_ns());
         Ok(())
     }
 

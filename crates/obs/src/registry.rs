@@ -1,0 +1,187 @@
+//! Named metrics registry with typed lock-free handles.
+//!
+//! Registration (name → handle) takes a short mutex once; the returned
+//! [`Counter`] / [`Gauge`] / [`Histogram`] handles are `Arc`-backed atomics,
+//! so the hot path never touches the registry again. Re-registering a name
+//! returns the same underlying metric, which is what lets the coordinator,
+//! workers, and benches all publish into one snapshot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::Histogram;
+
+/// Monotonically increasing event counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (all ops still work).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// Point-in-time signed level (queue depths, in-flight batches).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Name → metric tables. One registry per [`crate::Obs`] handle.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it if new.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.hists
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// All counters as `(name, value)`, name-sorted.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges as `(name, level)`, name-sorted.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms as `(name, handle)`, name-sorted.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.hists
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+
+        let g = r.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge("depth").get(), 3);
+
+        let h = r.histogram("lat");
+        h.record(10);
+        assert_eq!(r.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_are_name_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b").inc();
+        r.counter("a").inc();
+        let names: Vec<String> = r.counter_values().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

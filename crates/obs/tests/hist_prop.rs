@@ -1,0 +1,70 @@
+//! Property: merging two histograms is indistinguishable from recording
+//! the union of both sample streams into one histogram — bucket-for-bucket,
+//! plus count/sum/min/max and therefore every percentile.
+
+use proptest::prelude::*;
+
+use se_obs::Histogram;
+
+/// Sample values spanning every magnitude regime the bucketing handles:
+/// exact low buckets, mid octaves, and the top of the u64 range.
+fn arb_value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..5).prop_map(|(raw, regime)| match regime {
+        0 => raw % 16,                // exact buckets
+        1 => raw % 4096,              // low octaves
+        2 => raw % 10_000_000,        // typical latencies (ns)
+        3 => raw % (1u64 << 40),      // large
+        _ => u64::MAX - (raw % 1024), // near the ceiling
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in proptest::collection::vec(arb_value(), 0..200),
+        b in proptest::collection::vec(arb_value(), 0..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let union = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            union.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            union.record(v);
+        }
+        ha.merge(&hb);
+
+        prop_assert_eq!(ha.nonzero_buckets(), union.nonzero_buckets());
+        prop_assert_eq!(ha.count(), union.count());
+        prop_assert_eq!(ha.sum(), union.sum());
+        let (sa, su) = (ha.summary(), union.summary());
+        prop_assert_eq!(sa.min, su.min);
+        prop_assert_eq!(sa.max, su.max);
+        prop_assert_eq!(sa.p50, su.p50);
+        prop_assert_eq!(sa.p90, su.p90);
+        prop_assert_eq!(sa.p99, su.p99);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_buckets(
+        a in proptest::collection::vec(arb_value(), 0..100),
+        b in proptest::collection::vec(arb_value(), 0..100),
+    ) {
+        let (h1a, h1b) = (Histogram::new(), Histogram::new());
+        let (h2a, h2b) = (Histogram::new(), Histogram::new());
+        for &v in &a {
+            h1a.record(v);
+            h2a.record(v);
+        }
+        for &v in &b {
+            h1b.record(v);
+            h2b.record(v);
+        }
+        h1a.merge(&h1b); // a ← b
+        h2b.merge(&h2a); // b ← a
+        prop_assert_eq!(h1a.nonzero_buckets(), h2b.nonzero_buckets());
+    }
+}

@@ -147,6 +147,11 @@ pub struct StateflowConfig {
     /// epoch snapshots and disk recovery. The `SE_DURABILITY` env var
     /// (`off` | `wal`) overrides the default mode.
     pub durability: DurabilityConfig,
+    /// Observability: `SE_OBS=off|metrics|trace` (default off — byte-
+    /// identical histories, ≈ zero overhead), dump directory via
+    /// `SE_OBS_DIR`, periodic snapshots via `SE_OBS_SNAPSHOT_MS`. See
+    /// `se_obs::ObsConfig`.
+    pub obs: se_obs::ObsConfig,
 }
 
 impl Default for StateflowConfig {
@@ -168,6 +173,7 @@ impl Default for StateflowConfig {
             inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
             durability: DurabilityConfig::default(),
+            obs: se_obs::ObsConfig::from_env("stateflow"),
         }
     }
 }
@@ -192,6 +198,7 @@ impl StateflowConfig {
             inject_reserve_bug: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
             durability: DurabilityConfig::default(),
+            obs: se_obs::ObsConfig::from_env("stateflow-test"),
         }
     }
 }

@@ -48,24 +48,61 @@ use se_lang::Value;
 use crate::config::StateflowConfig;
 use crate::msg::{ClientOp, ClientRequest, ConflictFlags, CoordMsg, WorkerMsg};
 
-/// Shared counters exposed to tests and benchmarks.
-#[derive(Debug, Default)]
+/// Shared counters exposed to tests and benchmarks — registry-backed
+/// `se-obs` handles published under `coord.*`, so the engine's decision
+/// counts and the observability snapshot come from one source (they used to
+/// be a private `AtomicU64` struct the exporters could not see).
+///
+/// Totals are *derived*, never double-tracked: there is deliberately no
+/// separate "finished transactions" counter — use
+/// [`CoordStats::finished_txns`], which is `commits + failed` by
+/// construction and therefore cannot drift from its parts.
+#[derive(Debug, Clone)]
 pub struct CoordStats {
-    /// Batches committed.
-    pub batches: std::sync::atomic::AtomicU64,
+    /// Batches decided (committed or solo-finalized).
+    pub batches: se_obs::Counter,
     /// Transactions committed successfully.
-    pub commits: std::sync::atomic::AtomicU64,
+    pub commits: se_obs::Counter,
     /// Transactions that finished with an application/runtime error: the
     /// error is the client's answer, nothing commits, nothing retries.
     /// Counted apart from `commits` so benchmark throughput is not inflated
     /// by failures.
-    pub failed: std::sync::atomic::AtomicU64,
+    pub failed: se_obs::Counter,
     /// Transaction executions that aborted (and were retried).
-    pub aborts: std::sync::atomic::AtomicU64,
+    pub aborts: se_obs::Counter,
     /// Snapshots completed.
-    pub snapshots: std::sync::atomic::AtomicU64,
+    pub snapshots: se_obs::Counter,
     /// Recoveries performed.
-    pub recoveries: std::sync::atomic::AtomicU64,
+    pub recoveries: se_obs::Counter,
+}
+
+impl CoordStats {
+    /// Registers the counters in `obs`'s metrics registry (idempotent: two
+    /// handles from the same registry share the same underlying counters).
+    pub fn register(obs: &se_obs::Obs) -> CoordStats {
+        CoordStats {
+            batches: obs.counter("coord.batches"),
+            commits: obs.counter("coord.commits"),
+            failed: obs.counter("coord.failed"),
+            aborts: obs.counter("coord.aborts"),
+            snapshots: obs.counter("coord.snapshots"),
+            recoveries: obs.counter("coord.recoveries"),
+        }
+    }
+
+    /// Transactions that reached a final answer (committed or failed).
+    /// Derived from one source so it cannot disagree with its addends.
+    pub fn finished_txns(&self) -> u64 {
+        self.commits.get() + self.failed.get()
+    }
+}
+
+impl Default for CoordStats {
+    /// Detached counters (not visible in any dump) — registry-backed via
+    /// [`CoordStats::register`] in the runtime path.
+    fn default() -> Self {
+        CoordStats::register(&se_obs::Obs::noop())
+    }
 }
 
 /// What kind of batch an in-flight entry is.
@@ -118,6 +155,11 @@ struct InFlightBatch {
     errors: BTreeSet<TxnId>,
     kind: BatchKind,
     stage: BatchStage,
+    /// Obs timestamps (0 with observability off): when the batch was sealed
+    /// and when its last `ExecDone` arrived — the `batch_exec` /
+    /// `batch_decide` span boundaries.
+    sealed_ns: u64,
+    exec_done_ns: u64,
 }
 
 impl InFlightBatch {
@@ -162,6 +204,7 @@ pub struct Coordinator {
     waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
     snapshots: Arc<SnapshotStore<StateStore>>,
     stats: Arc<CoordStats>,
+    obs: se_obs::Obs,
     shutdown: Arc<AtomicBool>,
 
     gen: u64,
@@ -199,6 +242,13 @@ pub struct Coordinator {
     /// source offset) and licenses workers to compact their WALs below it.
     /// Non-decreasing — see the pin-floor invariant in `se_dataflow`.
     durable_floor: Option<Epoch>,
+    /// Obs: when the current pending-batch queue started filling (the
+    /// `batch_seal` span start). `None` while the queue is empty or off.
+    queue_since_ns: Option<u64>,
+    /// Obs: decision timestamp per batch whose commit acks are still
+    /// outstanding (the `batch_commit` span start). Only populated while
+    /// tracing/metrics are on.
+    commit_started_ns: BTreeMap<BatchId, u64>,
 }
 
 impl Coordinator {
@@ -212,6 +262,7 @@ impl Coordinator {
         waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
         snapshots: Arc<SnapshotStore<StateStore>>,
         stats: Arc<CoordStats>,
+        obs: se_obs::Obs,
         shutdown: Arc<AtomicBool>,
     ) -> Self {
         Self {
@@ -222,6 +273,7 @@ impl Coordinator {
             waiters,
             snapshots,
             stats,
+            obs,
             shutdown,
             gen: 0,
             next_txn: 0,
@@ -238,6 +290,8 @@ impl Coordinator {
             early_acks: BTreeMap::new(),
             durable_epochs: BTreeMap::new(),
             durable_floor: None,
+            queue_since_ns: None,
+            commit_started_ns: BTreeMap::new(),
         }
     }
 
@@ -284,6 +338,25 @@ impl Coordinator {
         }
         if !pending.is_empty() {
             self.pending_acks.insert(batch_id, pending);
+        }
+    }
+
+    /// Obs: opens (or immediately closes) the `batch_commit` span for a
+    /// just-decided batch. The span runs decision → last commit ack; if all
+    /// acks raced ahead of the decision it closes as a point.
+    fn track_commit_span(&mut self, batch_id: BatchId, decided_ns: u64) {
+        if !self.obs.enabled() {
+            return;
+        }
+        if self.pending_acks.contains_key(&batch_id) {
+            self.commit_started_ns.insert(batch_id, decided_ns);
+        } else {
+            self.obs.stage_span(
+                se_obs::Stage::BatchCommit,
+                batch_id,
+                decided_ns,
+                self.obs.now_ns(),
+            );
         }
     }
 
@@ -364,6 +437,9 @@ impl Coordinator {
                     if self.batch_deadline.is_none() {
                         self.batch_deadline = Some(Instant::now() + self.cfg.batch_interval);
                     }
+                    if self.obs.enabled() && self.queue_since_ns.is_none() {
+                        self.queue_since_ns = Some(self.obs.now_ns());
+                    }
                 }
             }
         }
@@ -438,6 +514,22 @@ impl Coordinator {
         }
         self.batch_deadline =
             (!self.queue.is_empty()).then(|| Instant::now() + self.cfg.batch_interval);
+        let mut sealed_ns = 0;
+        if self.obs.enabled() {
+            sealed_ns = self.obs.now_ns();
+            // Seal span: queue started filling → dispatched. Fallback
+            // batches skip the accumulation queue; their seal is a point.
+            let opened = match kind {
+                BatchKind::Regular => self.queue_since_ns.take().unwrap_or(sealed_ns),
+                BatchKind::Fallback { .. } => sealed_ns,
+            };
+            self.obs
+                .stage_span(se_obs::Stage::BatchSeal, batch, opened, sealed_ns);
+            if matches!(kind, BatchKind::Regular) && !self.queue.is_empty() {
+                // The queue keeps filling toward the next batch.
+                self.queue_since_ns = Some(sealed_ns);
+            }
+        }
         self.in_flight.insert(
             batch,
             InFlightBatch {
@@ -446,6 +538,8 @@ impl Coordinator {
                 errors: BTreeSet::new(),
                 kind,
                 stage: BatchStage::Executing,
+                sealed_ns,
+                exec_done_ns: 0,
             },
         );
         true
@@ -537,6 +631,14 @@ impl Coordinator {
                     pending.remove(&worker);
                     if pending.is_empty() {
                         self.pending_acks.remove(&batch);
+                        if let Some(start) = self.commit_started_ns.remove(&batch) {
+                            self.obs.stage_span(
+                                se_obs::Stage::BatchCommit,
+                                batch,
+                                start,
+                                self.obs.now_ns(),
+                            );
+                        }
                     }
                 } else if self.in_flight.contains_key(&batch) {
                     // Raced ahead of the batch's ExecDone (solo batches
@@ -559,7 +661,7 @@ impl Coordinator {
                     if *e == epoch {
                         *acks += 1;
                         if *acks == self.workers.len() {
-                            self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+                            self.stats.snapshots.inc();
                             self.batches_since_snapshot = 0;
                             // Old epochs are pruned by the snapshot store's
                             // own retention policy (`snapshot_retention`).
@@ -590,6 +692,15 @@ impl Coordinator {
         batch.responses.insert(txn, response);
         if batch.responses.len() < batch.txns.len() {
             return;
+        }
+        if self.obs.enabled() {
+            batch.exec_done_ns = self.obs.now_ns();
+            self.obs.stage_span(
+                se_obs::Stage::BatchExec,
+                batch_id,
+                batch.sealed_ns,
+                batch.exec_done_ns,
+            );
         }
         match batch.kind {
             BatchKind::Fallback { solo: true } => {
@@ -684,8 +795,17 @@ impl Coordinator {
             mut responses,
             errors,
             kind,
+            exec_done_ns,
             ..
         } = batch;
+        let decided_ns = if self.obs.enabled() {
+            let now = self.obs.now_ns();
+            self.obs
+                .stage_span(se_obs::Stage::BatchDecide, batch_id, exec_done_ns, now);
+            now
+        } else {
+            0
+        };
         let aborted = Arc::new(aborted);
         let txns2 = Arc::clone(&txns);
         let aborted2 = Arc::clone(&aborted);
@@ -697,6 +817,7 @@ impl Coordinator {
             aborted: Arc::clone(&aborted2),
         });
         self.arm_pending_acks(batch_id);
+        self.track_commit_span(batch_id, decided_ns);
         let retry_set: BTreeSet<TxnId> = retry.iter().copied().collect();
 
         // Respond to committed and hard-failed transactions (the latter are
@@ -748,12 +869,10 @@ impl Coordinator {
                 completer.complete(resp.result);
             }
         }
-        self.stats.commits.fetch_add(committed, Ordering::Relaxed);
-        self.stats.failed.fetch_add(failed, Ordering::Relaxed);
-        self.stats
-            .aborts
-            .fetch_add(retry.len() as u64, Ordering::Relaxed);
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.commits.add(committed);
+        self.stats.failed.add(failed);
+        self.stats.aborts.add(retry.len() as u64);
+        self.stats.batches.inc();
 
         // Aborted transactions keep their (lower) ids so the oldest can
         // never lose again — also across overlapping batches: anything
@@ -797,14 +916,25 @@ impl Coordinator {
         // One ack per worker arrives: the deciding worker's own, and one
         // from each peer applying the broadcast record.
         self.arm_pending_acks(batch_id);
+        // A solo batch's decision happened at its final-hop worker; on the
+        // coordinator's timeline it is a point at the commit record.
+        let decided_ns = if self.obs.enabled() {
+            let now = self.obs.now_ns();
+            self.obs
+                .stage_span(se_obs::Stage::BatchDecide, batch_id, now, now);
+            now
+        } else {
+            0
+        };
+        self.track_commit_span(batch_id, decided_ns);
         let txn = txns[0];
         let errored = errors.contains(&txn);
         if errored {
-            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            self.stats.failed.inc();
         } else {
-            self.stats.commits.fetch_add(1, Ordering::Relaxed);
+            self.stats.commits.inc();
         }
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.batches.inc();
         self.roots.remove(&txn);
         if let Some(resp) = responses.remove(&txn) {
             self.record(|| {
@@ -911,7 +1041,7 @@ impl Coordinator {
             Some(e) if self.snapshots.source_offset(e, "requests").is_none() => None,
             t => t,
         };
-        self.stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.stats.recoveries.inc();
         self.gen += 1;
         let gen = self.gen;
         let offset = target

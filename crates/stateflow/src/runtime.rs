@@ -30,6 +30,10 @@ pub struct StateflowRuntime {
     stats: Arc<CoordStats>,
     snapshots: Arc<SnapshotStore<StateStore>>,
     timers: Arc<ComponentTimers>,
+    obs: se_obs::Obs,
+    /// Periodic `metrics.json` snapshot thread, if configured; stopped
+    /// (dropped) at shutdown before the final dump.
+    obs_snapshots: Mutex<Option<se_obs::PeriodicSnapshots>>,
     worker_senders: Vec<DelaySender<WorkerMsg>>,
     coord_sender: DelaySender<CoordMsg>,
     /// A durability directory this runtime created itself (config left
@@ -65,13 +69,21 @@ impl StateflowRuntime {
             dir
         });
         let graph = Arc::new(graph);
+        let obs = se_obs::Obs::new(&cfg.obs);
+        let obs_snapshots = Mutex::new(obs.spawn_periodic_snapshots());
         // Deploy-time backend selection: for the VM backend every method
         // body is lowered to bytecode exactly once, here, and the compiled
         // program is shared by all workers.
+        let compile_start = obs.now_ns();
         let runner = se_vm::runner_for(cfg.backend, &graph.program);
+        obs.stage_span(se_obs::Stage::VmCompile, 0, compile_start, obs.now_ns());
+        obs.counter("vm.compile_runs").inc();
+        if obs.enabled() {
+            se_compiler::stats(&graph).publish(&obs);
+        }
         let snapshots = Arc::new(SnapshotStore::with_retention(cfg.snapshot_retention));
         let timers = Arc::new(ComponentTimers::new());
-        let stats = Arc::new(CoordStats::default());
+        let stats = Arc::new(CoordStats::register(&obs));
         let shutdown = Arc::new(AtomicBool::new(false));
         let source = ReplayableSource::new();
         let waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>> =
@@ -98,6 +110,7 @@ impl StateflowRuntime {
                 coord_tx.clone(),
                 Arc::clone(&snapshots),
                 Arc::clone(&timers),
+                obs.clone(),
             );
             threads.push(
                 std::thread::Builder::new()
@@ -115,6 +128,7 @@ impl StateflowRuntime {
             Arc::clone(&waiters),
             Arc::clone(&snapshots),
             Arc::clone(&stats),
+            obs.clone(),
             Arc::clone(&shutdown),
         );
         threads.push(
@@ -134,6 +148,8 @@ impl StateflowRuntime {
             stats,
             snapshots,
             timers,
+            obs,
+            obs_snapshots,
             worker_senders: worker_txs,
             coord_sender: coord_tx,
             owned_durability_dir,
@@ -152,6 +168,11 @@ impl StateflowRuntime {
     /// Per-component timing breakdown (overhead experiment).
     pub fn timers(&self) -> &ComponentTimers {
         &self.timers
+    }
+
+    /// The observability handle (stage histograms, counters, run dir).
+    pub fn obs(&self) -> &se_obs::Obs {
+        &self.obs
     }
 
     /// The snapshot store (inspected by recovery tests).
@@ -216,10 +237,16 @@ impl EntityRuntime for StateflowRuntime {
     }
 
     fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        let first = !self.shutdown.swap(true, Ordering::SeqCst);
         self.source.close();
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
+        }
+        if first {
+            // Stop the periodic snapshot thread, then write the end-of-run
+            // dump (a no-op returning Ok(None) when SE_OBS=off).
+            drop(self.obs_snapshots.lock().take());
+            let _ = self.obs.dump();
         }
         // Pending waiters error out when their completers drop.
         self.waiters.lock().clear();

@@ -114,6 +114,11 @@ pub struct Worker {
     /// snapshot store. `None` with durability off — every durable hook is
     /// then a skipped `if`, keeping the volatile path byte-identical.
     durable: Option<DurableStore>,
+    /// Observability handle: exec-pool spans and WAL spans flow through it
+    /// (a single predicted branch per probe when `SE_OBS=off`).
+    obs: se_obs::Obs,
+    /// Method bodies executed on the protocol thread (serial schedule).
+    body_runs: se_obs::Counter,
     gen: u64,
     /// Set after a simulated crash until the next Restore.
     dead: bool,
@@ -132,6 +137,7 @@ impl Worker {
         coord: DelaySender<CoordMsg>,
         snapshots: Arc<SnapshotStore<StateStore>>,
         timers: Arc<ComponentTimers>,
+        obs: se_obs::Obs,
     ) -> Self {
         let name = format!("worker{id}");
         let store = SharedStateStore::new();
@@ -142,7 +148,7 @@ impl Worker {
                 .as_ref()
                 .expect("runtime fills durability.dir at deploy time")
                 .join(&name);
-            DurableStore::open(
+            let mut d = DurableStore::open(
                 dir,
                 name.clone(),
                 cfg.chaos.clone(),
@@ -152,7 +158,9 @@ impl Worker {
                     skip_crc: cfg.durability.inject_wal_no_crc,
                 },
             )
-            .expect("open durable store")
+            .expect("open durable store");
+            d.set_obs(obs.clone());
+            d
         });
         let pool = (cfg.exec_threads > 1).then(|| {
             let ctx = Arc::new(PoolCtx {
@@ -165,6 +173,10 @@ impl Worker {
                 id,
                 name: name.clone(),
                 n_workers: peers.len(),
+                busy_ns: obs.counter("exec.busy_ns"),
+                segments: obs.counter("exec.segments"),
+                body_runs: obs.counter("vm.body_runs"),
+                obs: obs.clone(),
             });
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(cfg.exec_threads)
@@ -192,6 +204,8 @@ impl Worker {
             snapshots,
             timers,
             durable,
+            body_runs: obs.counter("vm.body_runs"),
+            obs,
             gen: 0,
             dead: false,
         }
@@ -451,7 +465,10 @@ impl Worker {
         let (pool, ctx) = self.pool.as_ref().expect("spawn_segment requires a pool");
         let ctx = Arc::clone(ctx);
         let gen = self.gen;
-        pool.spawn(move || run_segment(&ctx, gen, batch, txn, hop, inv, solo, buffer));
+        // Queue-wait span start: stamped on the protocol thread so the gap
+        // until a pool thread picks the segment up is visible per se.
+        let spawned_ns = self.obs.now_ns();
+        pool.spawn(move || run_segment(&ctx, gen, batch, txn, hop, inv, solo, buffer, spawned_ns));
     }
 
     /// A pool segment finished: check the buffer back in, mirror the
@@ -616,6 +633,7 @@ impl Worker {
             let effect = self.timers.time("function_execution", || {
                 process_invocation_with(&self.graph.program, &*self.runner, inv, &mut after)
             });
+            self.body_runs.inc();
             self.timers.time("state_write_buffer", || {
                 buffer.record_effects(&target, &before, &after)
             });
@@ -946,6 +964,15 @@ struct PoolCtx {
     id: usize,
     name: String,
     n_workers: usize,
+    /// Nanoseconds pool threads spent running segments (all modes; stays 0
+    /// when `SE_OBS=off` because `now_ns` short-circuits). Feeds the bench
+    /// `exec_utilization` column.
+    busy_ns: se_obs::Counter,
+    /// Segments executed on the pool.
+    segments: se_obs::Counter,
+    /// Method bodies executed on pool threads.
+    body_runs: se_obs::Counter,
+    obs: se_obs::Obs,
 }
 
 /// The pool-side half of [`Worker::run_chain`]: executes one chain segment —
@@ -964,13 +991,22 @@ fn run_segment(
     mut inv: Invocation,
     solo: bool,
     mut buffer: TxnBuffer,
+    spawned_ns: u64,
 ) {
+    let run_start = ctx.obs.now_ns();
+    ctx.obs
+        .stage_span(se_obs::Stage::SegQueueWait, txn, spawned_ns, run_start);
+    ctx.segments.inc();
     let mut hop = entry_hop;
     // Mirrors `expected_hops`: entry dedup already advanced it to
     // `entry_hop + 1` on the protocol thread; local continuations advance it
     // further below.
     let mut next_hop = entry_hop + 1;
     let done = |next_hop: u32, buffer: TxnBuffer, outcome: SegmentOutcome| {
+        let run_end = ctx.obs.now_ns();
+        ctx.obs
+            .stage_span(se_obs::Stage::SegRun, txn, run_start, run_end);
+        ctx.busy_ns.add(run_end.saturating_sub(run_start));
         ctx.home.send_after(
             WorkerMsg::SegmentDone {
                 gen,
@@ -1011,6 +1047,7 @@ fn run_segment(
         let effect = ctx.timers.time("function_execution", || {
             process_invocation_with(&ctx.graph.program, &*ctx.runner, inv, &mut after)
         });
+        ctx.body_runs.inc();
         ctx.timers.time("state_write_buffer", || {
             buffer.record_effects(&target, &before, &after)
         });

@@ -199,7 +199,7 @@ fn contention_causes_aborts_but_everything_commits() {
     }
     assert_eq!(get_balance(&rt, "hot"), 1_000_000 - 100);
     assert_eq!(get_balance(&rt, "cold"), 100);
-    let aborts = rt.stats().aborts.load(std::sync::atomic::Ordering::Relaxed);
+    let aborts = rt.stats().aborts.get();
     assert!(
         aborts > 0,
         "same-key transfers in one batch must conflict (got {aborts} aborts)"
@@ -243,15 +243,14 @@ fn errored_chain_does_not_abort_healthy_transactions() {
         "the deposit must see src untouched by the errored withdraw"
     );
     let stats = rt.stats();
-    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(
-        load(&stats.aborts),
+        stats.aborts.get(),
         0,
         "an errored writer must not conflict-abort healthy transactions"
     );
-    assert_eq!(load(&stats.failed), 1, "the errored chain counts as failed");
+    assert_eq!(stats.failed.get(), 1, "the errored chain counts as failed");
     assert_eq!(
-        load(&stats.commits),
+        stats.commits.get(),
         1,
         "only the deposit commits — hard failures must not inflate commits"
     );
@@ -293,7 +292,7 @@ fn pipelined_hot_key_contention_commits_exactly_once() {
     }
     assert_eq!(get_balance(&rt, "hot"), 1_000_000 - 100);
     assert_eq!(get_balance(&rt, "cold"), 100);
-    let aborts = rt.stats().aborts.load(std::sync::atomic::Ordering::Relaxed);
+    let aborts = rt.stats().aborts.get();
     assert!(aborts > 0, "hot-key batches must conflict (got {aborts})");
     rt.shutdown();
 }
@@ -316,10 +315,7 @@ fn snapshots_are_taken_periodically() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert!(
-        rt.stats()
-            .snapshots
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= 1,
+        rt.stats().snapshots.get() >= 1,
         "periodic snapshots must complete"
     );
     assert!(rt.snapshots().latest_complete().is_some());
@@ -375,12 +371,7 @@ fn exactly_once_scenario(snapshot_every: u64, fail_after: u64) {
         1,
         "the injected failure must actually fire"
     );
-    assert_eq!(
-        rt.stats()
-            .recoveries
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(rt.stats().recoveries.get(), 1);
 
     for (i, want) in expected.iter().enumerate() {
         let got = get_balance(&rt, &format!("a{i}"));
@@ -499,12 +490,7 @@ fn same_worker_crashes_twice_and_recovers_twice() {
         2,
         "both scripted crashes of worker0 must fire"
     );
-    assert_eq!(
-        rt.stats()
-            .recoveries
-            .load(std::sync::atomic::Ordering::Relaxed),
-        2
-    );
+    assert_eq!(rt.stats().recoveries.get(), 2);
     for (i, want) in expected.iter().enumerate() {
         assert_eq!(
             get_balance(&rt, &format!("a{i}")),

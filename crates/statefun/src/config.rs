@@ -64,6 +64,9 @@ pub struct StatefunConfig {
     /// deploy-time lowering pass for cheaper per-invocation dispatch. The
     /// `SE_EXEC_BACKEND` env var (`interp` | `vm`) overrides the default.
     pub backend: ExecBackend,
+    /// Observability: `SE_OBS=off|metrics|trace` (default off), dump
+    /// directory via `SE_OBS_DIR`. See `se_obs::ObsConfig`.
+    pub obs: se_obs::ObsConfig,
 }
 
 impl Default for StatefunConfig {
@@ -78,6 +81,7 @@ impl Default for StatefunConfig {
             chaos: ChaosPlan::none(),
             history: None,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
+            obs: se_obs::ObsConfig::from_env("statefun"),
         }
     }
 }
@@ -95,6 +99,7 @@ impl StatefunConfig {
             chaos: ChaosPlan::none(),
             history: None,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
+            obs: se_obs::ObsConfig::from_env("statefun-test"),
         }
     }
 }

@@ -21,6 +21,7 @@ use crate::record::{RemoteRequest, RemoteResponse};
 
 /// Runs one remote-function worker until shutdown. Multiple workers share
 /// the request queue (`Arc<DelayReceiver>` pops are mutex-serialized).
+#[allow(clippy::too_many_arguments)]
 pub fn run_remote_worker(
     cfg: StatefunConfig,
     graph: Arc<DataflowGraph>,
@@ -28,8 +29,11 @@ pub fn run_remote_worker(
     requests: Arc<DelayReceiver<RemoteRequest>>,
     responders: Vec<DelaySender<RemoteResponse>>,
     timers: Arc<ComponentTimers>,
+    obs: se_obs::Obs,
     shutdown: Arc<AtomicBool>,
 ) {
+    let invocations = obs.counter("statefun.invocations");
+    let body_runs = obs.counter("vm.body_runs");
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -37,6 +41,7 @@ pub fn run_remote_worker(
         let Some(req) = requests.recv_timeout(Duration::from_millis(20)) else {
             continue;
         };
+        let invoke_start = obs.now_ns();
 
         // Service time: dispatch + runtime overhead of the external
         // function process, burned on this worker — remote workers are the
@@ -69,9 +74,18 @@ pub fn run_remote_worker(
         });
 
         let entity = req.inv.target;
+        let request_id = req.inv.request.0;
         let effect = timers.time("function_execution", || {
             process_invocation_with(&graph.program, &*runner, req.inv, &mut state)
         });
+        invocations.inc();
+        body_runs.inc();
+        obs.stage_span(
+            se_obs::Stage::Invoke,
+            request_id,
+            invoke_start,
+            obs.now_ns(),
+        );
         // Serialize the mutated state for the trip back (materialized, as
         // above).
         let new_state = timers.time("state_serialization", || state.deep_clone());

@@ -31,6 +31,8 @@ pub struct StatefunRuntime {
     snapshots: Arc<SnapshotStore<StateStore>>,
     timers: Arc<ComponentTimers>,
     recovery: Arc<RecoveryCtl>,
+    obs: se_obs::Obs,
+    obs_snapshots: Mutex<Option<se_obs::PeriodicSnapshots>>,
 }
 
 impl StatefunRuntime {
@@ -45,10 +47,18 @@ impl StatefunRuntime {
             "crash injection requires CheckpointMode::Transactional"
         );
         let graph = Arc::new(graph);
+        let obs = se_obs::Obs::new(&cfg.obs);
+        let obs_snapshots = Mutex::new(obs.spawn_periodic_snapshots());
         // Deploy-time backend selection: with the VM backend, method bodies
         // are lowered to bytecode once here and shared by all remote
         // function workers.
+        let compile_start = obs.now_ns();
         let runner = se_vm::runner_for(cfg.backend, &graph.program);
+        obs.stage_span(se_obs::Stage::VmCompile, 0, compile_start, obs.now_ns());
+        obs.counter("vm.compile_runs").inc();
+        if obs.enabled() {
+            se_compiler::stats(&graph).publish(&obs);
+        }
         // Outage windows in the chaos script act on broker visibility.
         let broker = Broker::with_chaos(cfg.net.clone(), cfg.chaos.clone());
         broker.create_topic(topics::INGRESS, cfg.partitions);
@@ -104,11 +114,12 @@ impl StatefunRuntime {
             let responders = resp_txs.clone();
             let timers2 = Arc::clone(&timers);
             let sd = Arc::clone(&shutdown);
+            let obs2 = obs.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("statefun-remote{id}"))
                     .spawn(move || {
-                        run_remote_worker(cfg2, graph2, runner2, rx, responders, timers2, sd)
+                        run_remote_worker(cfg2, graph2, runner2, rx, responders, timers2, obs2, sd)
                     })
                     .expect("spawn remote worker"),
             );
@@ -208,6 +219,8 @@ impl StatefunRuntime {
             snapshots,
             timers,
             recovery,
+            obs,
+            obs_snapshots,
         }
     }
 
@@ -233,6 +246,11 @@ impl StatefunRuntime {
     /// Number of recoveries performed so far.
     pub fn recoveries(&self) -> u64 {
         self.recovery.gen.load(Ordering::SeqCst)
+    }
+
+    /// The observability handle (stage histograms, counters, run dir).
+    pub fn obs(&self) -> &se_obs::Obs {
+        &self.obs
     }
 }
 
@@ -296,11 +314,15 @@ impl EntityRuntime for StatefunRuntime {
     }
 
     fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        let first = !self.shutdown.swap(true, Ordering::SeqCst);
         for t in self.threads.lock().drain(..) {
             let _ = t.join();
         }
         self.waiters.lock().clear();
+        if first {
+            drop(self.obs_snapshots.lock().take());
+            let _ = self.obs.dump();
+        }
     }
 }
 

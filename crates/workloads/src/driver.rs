@@ -34,6 +34,14 @@ pub struct DriverConfig {
     pub time_scale: f64,
     /// Loop turns of generated `spin` operations (workload C cells).
     pub spin_iters: i64,
+    /// Histogram that accumulates every completion latency (scaled
+    /// nanoseconds) across runs sharing this config. Defaults to a private
+    /// histogram; benches pass a registry histogram (e.g.
+    /// `obs.histogram("driver.latency")`) so the run dump carries the full
+    /// distribution, not just the summary. Per-run statistics are computed
+    /// from a fresh histogram and merged in, so reuse never skews a run's
+    /// own percentiles.
+    pub latency_hist: std::sync::Arc<se_obs::Histogram>,
 }
 
 impl Default for DriverConfig {
@@ -45,6 +53,7 @@ impl Default for DriverConfig {
             value_size: 1024,
             time_scale: 1.0,
             spin_iters: 256,
+            latency_hist: std::sync::Arc::new(se_obs::Histogram::new()),
         }
     }
 }
@@ -124,7 +133,10 @@ pub fn run_open_loop(
     let interval = Duration::from_secs_f64(1.0 / cfg.rps).mul_f64(cfg.time_scale.max(1e-9));
 
     let mut pending: Vec<(Instant, ResponseWaiter)> = Vec::with_capacity(cfg.requests);
-    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.requests);
+    // Latencies go straight into a log-bucketed histogram (O(1) record, no
+    // end-of-run sort); this run's percentiles come from a fresh histogram,
+    // merged into `cfg.latency_hist` afterwards for the obs dump.
+    let hist = se_obs::Histogram::new();
     let mut errors = 0usize;
 
     let start = Instant::now();
@@ -143,14 +155,14 @@ pub fn run_open_loop(
         next_issue += interval;
 
         // Sweep completions without blocking the schedule.
-        sweep(&mut pending, &mut latencies, &mut errors);
+        sweep(&mut pending, &hist, &mut errors);
     }
     let elapsed = start.elapsed();
 
     // Drain stragglers.
     let drain_deadline = Instant::now() + Duration::from_secs(60);
     while !pending.is_empty() && Instant::now() < drain_deadline {
-        sweep(&mut pending, &mut latencies, &mut errors);
+        sweep(&mut pending, &hist, &mut errors);
         if !pending.is_empty() {
             std::thread::sleep(Duration::from_micros(200));
         }
@@ -158,7 +170,8 @@ pub fn run_open_loop(
     let timed_out = pending.len();
     let total = start.elapsed();
 
-    let summary = LatencySummary::from_samples(&latencies).unscale(cfg.time_scale);
+    cfg.latency_hist.merge(&hist);
+    let summary = LatencySummary::from_hist(&hist).unscale(cfg.time_scale);
     let total_elapsed = if cfg.time_scale > 0.0 {
         total.div_f64(cfg.time_scale)
     } else {
@@ -176,13 +189,13 @@ pub fn run_open_loop(
 
 fn sweep(
     pending: &mut Vec<(Instant, ResponseWaiter)>,
-    latencies: &mut Vec<Duration>,
+    hist: &se_obs::Histogram,
     errors: &mut usize,
 ) {
     pending.retain(|(issued, waiter)| match waiter.try_wait() {
         None => true,
         Some(result) => {
-            latencies.push(issued.elapsed());
+            hist.record(issued.elapsed().as_nanos() as u64);
             if result.is_err() {
                 *errors += 1;
             }

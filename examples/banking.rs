@@ -7,8 +7,6 @@
 //! cargo run --release --example banking
 //! ```
 
-use std::sync::atomic::Ordering;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -88,11 +86,11 @@ fn main() {
     println!("  transfers succeeded: {succeeded}, rejected (insufficient funds): {rejected}");
     println!(
         "  batches: {}, commits: {}, aborts (retried): {}, snapshots: {}, recoveries: {}",
-        stats.batches.load(Ordering::Relaxed),
-        stats.commits.load(Ordering::Relaxed),
-        stats.aborts.load(Ordering::Relaxed),
-        stats.snapshots.load(Ordering::Relaxed),
-        stats.recoveries.load(Ordering::Relaxed),
+        stats.batches.get(),
+        stats.commits.get(),
+        stats.aborts.get(),
+        stats.snapshots.get(),
+        stats.recoveries.get(),
     );
     println!("  worker crash fired: {}", failure.crashes_fired() > 0);
     println!(

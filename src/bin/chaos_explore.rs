@@ -215,14 +215,26 @@ enum Bug {
 }
 
 /// Runs one scenario under `script`; `Ok` carries a short stats line.
+/// `obs_dir`, when set, arms full span tracing and dumps the run's
+/// `metrics.json` + `trace.jsonl` under it (used to re-run a failing
+/// scenario with the flight recorder on).
 fn run_scenario(
     sc: &Scenario,
     script: &FaultScript,
     time_scale: f64,
     bug: Bug,
+    obs_dir: Option<&std::path::Path>,
 ) -> Result<String, String> {
     let program = se_workloads::ycsb_program();
     let mut cfg = StateflowConfig::fast_test(WORKERS);
+    if let Some(dir) = obs_dir {
+        cfg.obs = se_obs::ObsConfig {
+            mode: se_obs::ObsMode::Trace,
+            dir: dir.to_path_buf(),
+            label: format!("chaos-{:#x}", sc.seed),
+            ..se_obs::ObsConfig::default()
+        };
+    }
     cfg.net.time_scale = time_scale;
     cfg.pipeline_depth = sc.depth;
     cfg.exec_threads = sc.exec_threads;
@@ -360,7 +372,7 @@ fn shrink(sc: &Scenario, time_scale: f64, bug: Bug, max_runs: usize) -> (FaultSc
             }
             let candidate = script.without_fault(i);
             runs += 1;
-            match run_scenario(sc, &candidate, time_scale, bug) {
+            match run_scenario(sc, &candidate, time_scale, bug, None) {
                 Ok(_) => {} // fault i is load-bearing; keep it
                 Err(e) => {
                     script = candidate;
@@ -381,6 +393,44 @@ struct FailureReport {
     minimized_script: FaultScript,
     error: String,
     reproduce: String,
+    /// Run directory of the trace-armed re-run (`metrics.json` +
+    /// `trace.jsonl`); empty if the re-run produced no dump.
+    obs_trace: String,
+    /// `obs_report --last-batches 8` over that dump: the last batches'
+    /// waterfall plus stage latencies and protocol counters at failure.
+    obs_summary: String,
+}
+
+/// Re-runs a failing (minimized) scenario with span tracing armed and
+/// renders its flight-recorder summary. Best-effort: a pass on the re-run
+/// (faults can be timing-sensitive) still yields the trace of a clean run,
+/// which is itself informative.
+fn trace_failure(
+    sc: &Scenario,
+    script: &FaultScript,
+    time_scale: f64,
+    bug: Bug,
+) -> (String, String) {
+    let dir = std::path::Path::new("chaos_results").join(format!("obs_{:#x}", sc.seed));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = run_scenario(sc, script, time_scale, bug, Some(&dir));
+    // The runtime dumps at shutdown into a unique subdirectory of `dir`;
+    // find it (one re-run — there is at most one, plus oracle noise-free).
+    let run_dir = std::fs::read_dir(&dir)
+        .ok()
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.join("metrics.json").is_file());
+    let Some(run_dir) = run_dir else {
+        return (String::new(), String::new());
+    };
+    let summary = match se_obs::report::RunData::load(&run_dir) {
+        Ok(run) => se_obs::report::render_text(&run, 8),
+        Err(e) => format!("(obs dump unreadable: {e})"),
+    };
+    (run_dir.display().to_string(), summary)
 }
 
 fn main() {
@@ -477,7 +527,7 @@ fn main() {
             sc.fsync,
             sc.script.fault_count()
         );
-        match run_scenario(&sc, &sc.script, time_scale, bug) {
+        match run_scenario(&sc, &sc.script, time_scale, bug, None) {
             Ok(stats) => println!("{label}: ok — {stats}"),
             Err(error) => {
                 failures += 1;
@@ -494,6 +544,14 @@ fn main() {
                     minimized.fault_count(),
                     minimized
                 );
+                println!("      re-running with SE_OBS=trace for the flight recorder…");
+                let (obs_trace, obs_summary) = trace_failure(&sc, &minimized, time_scale, bug);
+                if !obs_summary.is_empty() {
+                    println!("      obs summary (last 8 batches):");
+                    for line in obs_summary.lines() {
+                        println!("        {line}");
+                    }
+                }
                 let report = FailureReport {
                     scenario: sc.clone(),
                     minimized_script: minimized,
@@ -511,6 +569,8 @@ fn main() {
                             format!("SE_CHAOS_INJECT_BUG={bug_name} ")
                         }
                     ),
+                    obs_trace,
+                    obs_summary,
                 };
                 let dir = std::path::Path::new("chaos_results");
                 let _ = std::fs::create_dir_all(dir);

@@ -1,0 +1,122 @@
+//! Renders a dumped obs run directory (`metrics.json` + `trace.jsonl`)
+//! into a terminal report: per-batch stage waterfall (trace mode), stage
+//! p50/p99 latency table, and the counter/gauge roll-up.
+//!
+//! ```text
+//! obs_report <run-dir> [--last-batches N] [--json]
+//! ```
+//!
+//! `<run-dir>` is the directory an engine printed (or the path embedded in
+//! a chaos_explore failure report) — one of the `<label>-<pid>-<seq>`
+//! subdirectories under `SE_OBS_DIR` (default `obs_results/`). If the
+//! given path has no `metrics.json` but exactly one subdirectory does, the
+//! report descends into it, so `obs_report obs_results` works after a
+//! single run.
+//!
+//! `--last-batches N` limits the waterfall to the most recent N batches
+//! (default 16; 0 = all). `--json` re-emits the parsed metrics document
+//! (for scripting) instead of the text report.
+//!
+//! Exit codes: 0 rendered, 2 usage/load error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use se_obs::report::{render_text, RunData};
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("obs_report: {msg}");
+    eprintln!("usage: obs_report <run-dir> [--last-batches N] [--json]");
+    ExitCode::from(2)
+}
+
+/// Resolves the directory actually holding `metrics.json`: the given path,
+/// or its unique child that has one (convenience for `SE_OBS_DIR` roots).
+fn resolve(dir: PathBuf) -> Result<PathBuf, String> {
+    if dir.join("metrics.json").is_file() {
+        return Ok(dir);
+    }
+    let mut candidates = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.join("metrics.json").is_file() {
+                candidates.push(p);
+            }
+        }
+    }
+    match candidates.len() {
+        0 => Err(format!(
+            "{}: no metrics.json here or in any subdirectory — \
+             was the run started with SE_OBS=metrics or SE_OBS=trace?",
+            dir.display()
+        )),
+        1 => Ok(candidates.remove(0)),
+        n => {
+            candidates.sort();
+            Err(format!(
+                "{}: {n} run directories found; pick one:\n{}",
+                dir.display(),
+                candidates
+                    .iter()
+                    .map(|p| format!("  {}", p.display()))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut last_batches = 16usize;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--last-batches" => {
+                let Some(v) = it.next() else {
+                    return die("--last-batches needs a value");
+                };
+                match v.parse::<usize>() {
+                    Ok(n) => last_batches = n,
+                    Err(_) => return die("--last-batches must be a non-negative integer"),
+                }
+            }
+            "--json" => json = true,
+            other if !other.starts_with("--") => {
+                if dir.is_some() {
+                    return die("expected exactly one run directory");
+                }
+                dir = Some(PathBuf::from(other));
+            }
+            other => return die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return die("expected a run directory");
+    };
+    let dir = match resolve(dir) {
+        Ok(d) => d,
+        Err(e) => return die(&e),
+    };
+    if json {
+        // Re-emit the raw metrics document after checking it parses.
+        let text = match std::fs::read_to_string(dir.join("metrics.json")) {
+            Ok(t) => t,
+            Err(e) => return die(&format!("read metrics.json: {e}")),
+        };
+        if let Err(e) = serde_json::from_str(&text) {
+            return die(&format!("metrics.json: {e}"));
+        }
+        println!("{text}");
+        return ExitCode::SUCCESS;
+    }
+    let run = match RunData::load(&dir) {
+        Ok(r) => r,
+        Err(e) => return die(&e),
+    };
+    print!("{}", render_text(&run, last_batches));
+    ExitCode::SUCCESS
+}

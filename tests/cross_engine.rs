@@ -505,3 +505,74 @@ fn ycsb_program_runs_on_all_engines() {
         rt.shutdown();
     }
 }
+
+/// Observability is read-path-only: tracing every probe in the stack must
+/// not change one byte of the recorded logical history. Runs a
+/// deterministic burst workload at pipeline depth 4 × exec pool 4 with the
+/// WAL on — so batch-lifecycle, exec-pool, WAL *and* VM probes are all
+/// live — once with `SE_OBS=off` and once with `SE_OBS=trace`, and compares
+/// the canonical history serializations byte for byte.
+#[test]
+fn obs_trace_vs_off_histories_are_byte_identical() {
+    use se_chaos::History;
+    use stateful_entities::DurabilityMode;
+    let n = 8usize;
+    let run = |mode: se_obs::ObsMode| {
+        let program = se_workloads::ycsb_program();
+        let mut cfg = StateflowConfig::fast_test(3);
+        cfg.exec_threads = 4;
+        cfg.pipeline_depth = 4;
+        cfg.durability.mode = DurabilityMode::Wal;
+        cfg.snapshot_every_batches = 0;
+        cfg.obs = se_obs::ObsConfig {
+            mode,
+            dir: std::env::temp_dir().join(format!("se-obs-identity-{}", std::process::id())),
+            label: "identity".into(),
+            ..Default::default()
+        };
+        let history = History::new();
+        cfg.history = Some(history.clone());
+        let rt = deploy(&program, RuntimeChoice::Stateflow(cfg)).unwrap();
+        for i in 0..n {
+            rt.create(
+                "Account",
+                &se_workloads::key_name(i),
+                vec![("balance".into(), Value::Int(100))],
+            )
+            .unwrap();
+        }
+        // Bursts of disjoint cross-partition transfers: conflict-free
+        // multi-hop chains, so the schedule is fully pinned and any
+        // divergence is an obs write-path leak, not retry noise.
+        for round in 0..2i64 {
+            let waiters: Vec<_> = (0..n / 2)
+                .map(|p| {
+                    rt.call_async(
+                        EntityRef::new("Account", se_workloads::key_name(2 * p)),
+                        "transfer",
+                        vec![
+                            Value::Ref(EntityRef::new(
+                                "Account",
+                                se_workloads::key_name(2 * p + 1),
+                            )),
+                            Value::Int((round + p as i64) % 5 + 1),
+                        ],
+                    )
+                })
+                .collect();
+            for w in waiters {
+                w.wait_timeout(std::time::Duration::from_secs(60))
+                    .expect("completes")
+                    .expect("no error");
+            }
+        }
+        rt.shutdown();
+        history.to_json_canonical()
+    };
+    let off = run(se_obs::ObsMode::Off);
+    let trace = run(se_obs::ObsMode::Trace);
+    assert_eq!(off, trace, "obs trace mode leaked into logical execution");
+    let _ = std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("se-obs-identity-{}", std::process::id())),
+    );
+}

@@ -68,10 +68,7 @@ fn crashed_durable_run_matches_oracle(cfg: StateflowConfig, ops: usize) {
     }
     assert_eq!(chaos.crashes_fired(), 1, "the scripted crash must fire");
     assert!(
-        rt.stats()
-            .recoveries
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= 1,
+        rt.stats().recoveries.get() >= 1,
         "the crash must trigger at least one restore round"
     );
     check_history(&history.events(), rule).expect("post-crash disk recovery stays serializable");

@@ -384,19 +384,11 @@ fn crash_while_snapshot_barrier_drains_replays_to_oracle_state() {
                 .expect("no error");
         }
         assert_eq!(chaos.crashes_fired(), 1, "the commit-point crash must fire");
-        assert_eq!(
-            rt.stats()
-                .recoveries
-                .load(std::sync::atomic::Ordering::Relaxed),
-            1
-        );
+        assert_eq!(rt.stats().recoveries.get(), 1);
         // Let the final batch's commit acks land so the trailing snapshot
         // completes before the count is read.
         std::thread::sleep(Duration::from_millis(60));
-        snapshots_seen = rt
-            .stats()
-            .snapshots
-            .load(std::sync::atomic::Ordering::Relaxed);
+        snapshots_seen = rt.stats().snapshots.get();
         for i in 0..n {
             let got = rt.call(key(i), "balance", vec![]).unwrap();
             let want = oracle.call(key(i), "balance", vec![]).unwrap();
