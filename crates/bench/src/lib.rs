@@ -110,6 +110,7 @@ pub fn stateflow_bench_config() -> StateflowConfig {
         chaos: Default::default(),
         history: None,
         inject_reserve_bug: false,
+        inject_torn_upgrade: false,
         backend: se_core::ExecBackend::from_env_or(se_core::ExecBackend::Interp),
         durability: Default::default(),
         obs: se_obs::ObsConfig::from_env("stateflow-bench"),

@@ -52,6 +52,8 @@ pub struct CheckSummary {
     pub retries: usize,
     /// Recoveries observed.
     pub recoveries: usize,
+    /// Committed live upgrades observed.
+    pub upgrades: usize,
 }
 
 /// A serializability violation found in a recorded history.
@@ -146,11 +148,24 @@ pub fn check_history(
     // txn -> batch it was aborted in, awaiting its retry.
     let mut pending_retries: BTreeMap<u64, u64> = BTreeMap::new();
     let mut recovery_epoch = 0usize;
+    // Live-upgrade atomicity: the active version, whether an upgrade window
+    // is open (`UpgradeStarted` without its `UpgradeCommitted` yet), and
+    // whether version succession is still strictly `v+1` (a recovery may
+    // legitimately replay upgrades, so strictness relaxes after one).
+    let mut active_version = 1u64;
+    let mut upgrading: Option<u64> = None;
+    let mut strict_versions = true;
 
     for event in events {
         match event {
             HistoryEvent::Root { .. } => {}
             HistoryEvent::Sealed { batch, txns, kind } => {
+                if let Some(v) = upgrading {
+                    return err(format!(
+                        "batch {batch} sealed inside the upgrade-to-{v} window \
+                         (migration not yet acknowledged) — torn upgrade"
+                    ));
+                }
                 if let Some(prev) = last_sealed {
                     if *batch <= prev {
                         return err(format!(
@@ -296,16 +311,68 @@ pub fn check_history(
                 // in-flight retries are re-read from the source, not
                 // re-queued.
                 pending_retries.clear();
+                // An in-flight upgrade died with the window too; its replay
+                // re-records `UpgradeStarted`. Replays may also rewind the
+                // active version, so strict succession no longer holds.
+                upgrading = None;
+                strict_versions = false;
+            }
+            HistoryEvent::UpgradeStarted { version, .. } => {
+                if let Some(open) = upgrading {
+                    return err(format!(
+                        "upgrade to version {version} started while the \
+                         upgrade to {open} is still open — overlapping upgrades"
+                    ));
+                }
+                if strict_versions && *version != active_version + 1 {
+                    return err(format!(
+                        "upgrade to version {version} started at active \
+                         version {active_version}: versions must succeed by 1"
+                    ));
+                }
+                upgrading = Some(*version);
+            }
+            HistoryEvent::UpgradeCommitted { version, .. } => {
+                if upgrading != Some(*version) {
+                    return err(format!(
+                        "upgrade to version {version} committed without a \
+                         matching open UpgradeStarted (open: {upgrading:?})"
+                    ));
+                }
+                upgrading = None;
+                active_version = (*version).max(active_version);
+                summary.upgrades += 1;
+            }
+            HistoryEvent::BatchVersion { batch, version } => {
+                if upgrading.is_some() {
+                    return err(format!(
+                        "batch {batch} stamped version {version} inside an \
+                         open upgrade window — torn upgrade"
+                    ));
+                }
+                if strict_versions && *version != active_version {
+                    return err(format!(
+                        "batch {batch} sealed at version {version} while the \
+                         active version is {active_version} — a root ran on a \
+                         version it must not see"
+                    ));
+                }
             }
             // StateFun events are checked by `check_statefun_history`.
             HistoryEvent::SfDispatch { .. }
             | HistoryEvent::SfInstall { .. }
+            | HistoryEvent::SfUpgrade { .. }
             | HistoryEvent::SfRecovery { .. } => {}
         }
     }
     if !pending_retries.is_empty() {
         return err(format!(
             "quiesced run left dangling retries: {pending_retries:?}"
+        ));
+    }
+    if let Some(v) = upgrading {
+        return err(format!(
+            "quiesced run left the upgrade to version {v} uncommitted"
         ));
     }
     summary.surviving_commits = committed_at.len();
@@ -512,6 +579,8 @@ fn order_within_batch(
 pub fn check_statefun_history(events: &[HistoryEvent]) -> Result<usize, CheckError> {
     // entity -> (task, seq) of the outstanding dispatch.
     let mut outstanding: HashMap<EntityRef, (usize, u64)> = HashMap::new();
+    // task -> active program version (upgrades must strictly increase).
+    let mut task_version: HashMap<usize, u64> = HashMap::new();
     let mut installs = 0usize;
     for event in events {
         match event {
@@ -535,9 +604,34 @@ pub fn check_statefun_history(events: &[HistoryEvent]) -> Result<usize, CheckErr
                     ));
                 }
             },
+            HistoryEvent::SfUpgrade { task, version } => {
+                // A task switches versions only with its in-flight set
+                // drained (the upgrade barrier), and versions only go up.
+                if let Some((entity, (t, s))) = outstanding.iter().find(|(_, (t, _))| t == task) {
+                    return err(format!(
+                        "task {task} upgraded to version {version} while \
+                         dispatch (task {t}, seq {s}) for entity {entity} is \
+                         still in flight — upgrade barrier violated"
+                    ));
+                }
+                let prev = task_version.insert(*task, *version);
+                if let Some(prev) = prev {
+                    if *version <= prev {
+                        return err(format!(
+                            "task {task} upgraded to version {version} after \
+                             already running version {prev} — versions must \
+                             strictly increase"
+                        ));
+                    }
+                }
+            }
             HistoryEvent::SfRecovery { task, .. } => {
-                // The restored task lost its in-flight set.
+                // The restored task lost its in-flight set — and may have
+                // rewound past an applied upgrade, which replay legitimately
+                // re-applies (same version again), so the strict-increase
+                // baseline resets too.
                 outstanding.retain(|_, (t, _)| t != task);
+                task_version.remove(task);
             }
             _ => {}
         }

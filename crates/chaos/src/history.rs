@@ -103,6 +103,34 @@ pub enum HistoryEvent {
         /// Source offset replay restarts from.
         source_offset: u64,
     },
+    /// (Coordinator) A live upgrade sealed its epoch boundary and the
+    /// migration pass was dispatched to the workers. Until the matching
+    /// [`HistoryEvent::UpgradeCommitted`], no batch may seal — a `Sealed`
+    /// inside the window is a torn upgrade.
+    UpgradeStarted {
+        /// The version being activated.
+        version: u64,
+        /// The pre-upgrade epoch cut.
+        epoch: u64,
+    },
+    /// (Coordinator) Every worker acknowledged the migration pass; new
+    /// roots now seal at `version`.
+    UpgradeCommitted {
+        /// The now-active version.
+        version: u64,
+        /// The pre-upgrade epoch cut.
+        epoch: u64,
+    },
+    /// (Coordinator) The program version a batch's roots were stamped
+    /// with at seal time. Recorded only on runs that performed at least
+    /// one redeploy, so upgrade-free histories stay byte-identical to
+    /// builds without the upgrade layer.
+    BatchVersion {
+        /// Batch id.
+        batch: u64,
+        /// Active version at seal time.
+        version: u64,
+    },
     /// (StateFun task) An invocation was dispatched to the remote runtime.
     SfDispatch {
         /// Dispatching partition task.
@@ -122,6 +150,14 @@ pub enum HistoryEvent {
         seq: u64,
         /// Target entity.
         entity: EntityRef,
+    },
+    /// (StateFun task) The task switched to a new program version after
+    /// draining its in-flight invocations and migrating its entities.
+    SfUpgrade {
+        /// Switching partition task.
+        task: usize,
+        /// The now-active version on this task.
+        version: u64,
     },
     /// (StateFun task) The task restored to a checkpoint (recovery).
     SfRecovery {

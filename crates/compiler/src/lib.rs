@@ -25,5 +25,7 @@ pub mod split;
 
 pub use callgraph::CallGraph;
 pub use normalize::{normalize_method, normalize_program};
-pub use pipeline::{compile, compile_with, stats, CompileOptions, CompileStats};
+pub use pipeline::{
+    compile, compile_upgrade, compile_with, stats, CompileOptions, CompileStats, RecompileStats,
+};
 pub use split::split_method;

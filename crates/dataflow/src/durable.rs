@@ -90,6 +90,10 @@ pub struct DurableStore {
     bases: Vec<u64>,
     /// Cuts since the last base snapshot (drives `full_snapshot_every`).
     cuts_since_base: u64,
+    /// Newest `VersionCut` applied by the last [`DurableStore::recover`]
+    /// call: the program version the recovered state was migrated to
+    /// (`None` = no upgrade committed in the replayed prefix).
+    recovered_version: Option<u64>,
     /// Observability handle (noop unless attached via
     /// [`DurableStore::set_obs`]): epoch-cut spans here, WAL append/fsync
     /// spans forwarded to the writer.
@@ -118,6 +122,7 @@ impl DurableStore {
             cuts: Vec::new(),
             bases: Vec::new(),
             cuts_since_base: 0,
+            recovered_version: None,
             obs: se_obs::Obs::noop(),
         };
         store.bases = store.list_bases()?;
@@ -230,6 +235,22 @@ impl DurableStore {
         self.writer()?.append(record, || plan.fsync_fault(&node))
     }
 
+    /// Logs a committed live upgrade to `version`: every record after this
+    /// marker (including it, on replay) executed under the new program. The
+    /// caller appends it *after* the migration pass's commit records, so a
+    /// replay that reaches the marker has the migrated state.
+    pub fn log_version_cut(&mut self, version: u64) -> io::Result<()> {
+        self.append(&WalRecord::VersionCut { version })
+    }
+
+    /// The newest program version the last [`DurableStore::recover`] call
+    /// replayed a `VersionCut` for, if any. Advisory: the coordinator's
+    /// epoch→version map is authoritative across compaction (which may drop
+    /// old cut records with the prefix they sit in).
+    pub fn recovered_version(&self) -> Option<u64> {
+        self.recovered_version
+    }
+
     /// Marks epoch `epoch`'s cut: appends the marker (fsynced per policy —
     /// the epoch is durable exactly when this record is) and writes a full
     /// base snapshot every `full_snapshot_every` cuts.
@@ -335,6 +356,7 @@ impl DurableStore {
     /// of the source; all durable state is reset.
     pub fn recover(&mut self, target: Option<u64>) -> io::Result<(StateStore, Option<u64>)> {
         self.writer = None;
+        self.recovered_version = None;
         let Some(target) = target else {
             self.reset_all()?;
             return Ok((StateStore::new(), None));
@@ -409,6 +431,7 @@ impl DurableStore {
             }
         }
         // Pass 2: apply exactly the records up to that cut.
+        self.recovered_version = None;
         for (end, record) in &scan.records {
             if *end <= start || *end > valid_end {
                 continue;
@@ -423,6 +446,11 @@ impl DurableStore {
                                 .map_err(|e| io::Error::other(format!("WAL replay: {e}")))?;
                         }
                     }
+                }
+                WalRecord::VersionCut { version } => {
+                    // The migration's writes precede the marker, so reaching
+                    // it means the recovered state is already migrated.
+                    self.recovered_version = Some(*version);
                 }
                 WalRecord::EpochCut { .. } | WalRecord::BaseRef { .. } => {}
             }

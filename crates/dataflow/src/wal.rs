@@ -167,6 +167,14 @@ pub enum WalRecord {
         /// The epoch that cut here.
         epoch: u64,
     },
+    /// A live upgrade committed on this partition: every record after this
+    /// marker executed under program `version`. Written at the end of the
+    /// partition's migration pass, so replaying past it implies the
+    /// migration's writes are already applied.
+    VersionCut {
+        /// The program version now active.
+        version: u64,
+    },
 }
 
 /// A record failed to decode (corrupt payload).
@@ -389,6 +397,10 @@ impl WalRecord {
                 out.push(3);
                 put_u64(&mut out, *epoch);
             }
+            WalRecord::VersionCut { version } => {
+                out.push(4);
+                put_u64(&mut out, *version);
+            }
         }
         out
     }
@@ -443,6 +455,9 @@ impl WalRecord {
             }
             3 => WalRecord::EpochCut {
                 epoch: c.u64("cut epoch")?,
+            },
+            4 => WalRecord::VersionCut {
+                version: c.u64("cut version")?,
             },
             _ => return bad("record tag"),
         };
@@ -536,6 +551,7 @@ impl WalWriter {
         match record {
             WalRecord::Commit { batch, .. } => *batch,
             WalRecord::EpochCut { epoch } | WalRecord::BaseRef { epoch } => *epoch,
+            WalRecord::VersionCut { version } => *version,
             WalRecord::Create { .. } => 0,
         }
     }
@@ -568,7 +584,12 @@ impl WalWriter {
         record: &WalRecord,
         fault: impl FnOnce() -> FsyncFaultAction,
     ) -> io::Result<()> {
-        let is_cut = matches!(record, WalRecord::EpochCut { .. });
+        // Version cuts sync like epoch cuts: an upgrade is durable exactly
+        // when its cut record is.
+        let is_cut = matches!(
+            record,
+            WalRecord::EpochCut { .. } | WalRecord::VersionCut { .. }
+        );
         self.append_raw(record)?;
         let should_sync = match self.policy {
             FsyncPolicy::EveryCommit => true,
@@ -705,6 +726,7 @@ mod tests {
                 )],
             },
             WalRecord::EpochCut { epoch: 1 },
+            WalRecord::VersionCut { version: 2 },
         ]
     }
 
@@ -968,6 +990,7 @@ mod proptests {
         prop_oneof![
             any::<u64>().prop_map(|epoch| WalRecord::BaseRef { epoch }),
             any::<u64>().prop_map(|epoch| WalRecord::EpochCut { epoch }),
+            any::<u64>().prop_map(|version| WalRecord::VersionCut { version }),
             (arb_entity(), arb_state())
                 .prop_map(|(entity, state)| WalRecord::Create { entity, state }),
             (

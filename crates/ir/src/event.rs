@@ -70,6 +70,9 @@ pub enum InvocationKind {
     },
 }
 
+/// The program version every deployment starts at.
+pub const INITIAL_VERSION: u64 = 1;
+
 /// A function-invocation event traversing the dataflow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Invocation {
@@ -83,6 +86,11 @@ pub struct Invocation {
     pub kind: InvocationKind,
     /// Suspended callers, innermost last.
     pub stack: Vec<Frame>,
+    /// Program version this event is pinned to. Stamped at the root by the
+    /// engine's active version and inherited by every continuation, so a
+    /// chain in flight across a live upgrade drains on the version it
+    /// started under.
+    pub version: u64,
 }
 
 impl Invocation {
@@ -99,7 +107,14 @@ impl Invocation {
             method: method.into(),
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
+            version: INITIAL_VERSION,
         }
+    }
+
+    /// The same invocation pinned to `version`.
+    pub fn at_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
     }
 
     /// Approximate wire size in bytes; the network simulation charges

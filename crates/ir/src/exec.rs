@@ -366,6 +366,7 @@ fn process_inner(
                         result_var: frame.result_var,
                     },
                     stack,
+                    version: inv.version,
                 })),
             }
         }
@@ -391,6 +392,7 @@ fn process_inner(
                 method: callee,
                 kind: InvocationKind::Start { args },
                 stack,
+                version: inv.version,
             }))
         }
     }

@@ -165,6 +165,9 @@ pub struct DataflowGraph {
     pub operators: Vec<OperatorSpec>,
     /// Topology edges.
     pub edges: Vec<EdgeSpec>,
+    /// Program version: 1 for an initial deploy, incremented by each
+    /// incremental redeploy (see `se_compiler::compile_upgrade`).
+    pub version: u64,
 }
 
 impl DataflowGraph {
@@ -254,6 +257,7 @@ mod tests {
             program: CompiledProgram {
                 classes: vec![compiled],
             },
+            version: 1,
             operators: vec![OperatorSpec {
                 id: OperatorId(0),
                 class_name: "Counter".into(),

@@ -25,9 +25,12 @@ pub mod exec;
 pub mod graph;
 pub mod machine;
 pub mod route;
+pub mod version;
 
 pub use block::{Block, BlockId, CompiledMethod, Terminator};
-pub use event::{EntityOp, Frame, Invocation, InvocationKind, RequestId, Response};
+pub use event::{
+    EntityOp, Frame, Invocation, InvocationKind, RequestId, Response, INITIAL_VERSION,
+};
 pub use exec::{
     drive_chain, drive_chain_with, process_invocation, process_invocation_with, run_from_block,
     Activation, BlockOutcome, BodyOutcome, BodyRunner, ExecBackend, InterpBody, StepEffect,
@@ -38,3 +41,4 @@ pub use graph::{
 };
 pub use machine::{StateMachine, Transition};
 pub use route::{fnv1a, partition_for};
+pub use version::{VersionEntry, VersionRegistry};

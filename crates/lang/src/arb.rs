@@ -324,6 +324,76 @@ pub fn arb_caller_method(callee_class: &'static str) -> BoxedStrategy<Method> {
         .boxed()
 }
 
+/// Strategy for a well-typed `__migrate__` body: the standard prelude plus
+/// random local control flow, ending in an attribute rewrite so the
+/// migration is observable. No remote calls and no return statement, per
+/// the migration-method typing rules (Unit return).
+pub fn arb_migration_body() -> BoxedStrategy<Vec<Stmt>> {
+    let ctx = callee_ctx(&[]);
+    let ints = arb_int_expr(&ctx);
+    let pre = (
+        (-50i64..50, -50i64..50, -50i64..50, -50i64..50),
+        (-9i64..9, -9i64..9),
+    );
+    (pre, arb_stmt_seq(&ctx, 1), ints)
+        .prop_map(|(((a, b, c, d), (x0, x1)), stmts, e)| {
+            let mut full = prelude([a, b, c, d], x0, x1);
+            full.extend(stmts);
+            full.push(attr_assign("acc", e));
+            full
+        })
+        .boxed()
+}
+
+/// Strategy for a live-upgrade program pair `(v1, v2)` over the two-class
+/// shape of [`arb_two_class_program`]: v2 keeps the caller class (and the
+/// callee's `bump`) byte-identical, replaces the callee's `poke` body with a
+/// freshly generated one, and adds a generated `__migrate__` method to the
+/// callee — so one upgrade exercises incremental recompilation (unchanged
+/// methods reuse their artifacts), versioned routing (the changed `poke`)
+/// and checked state migration, all against well-typed programs.
+pub fn arb_upgrade_pair() -> BoxedStrategy<(Program, Program, i64, i64)> {
+    (
+        (
+            arb_callee_method("bump", vec!["x", "y"]),
+            arb_callee_method("poke", vec!["x"]),
+            arb_callee_method("poke", vec!["x"]),
+        ),
+        (
+            arb_caller_method("ArbCallee"),
+            arb_migration_body(),
+            -100i64..100,
+            -100i64..100,
+        ),
+    )
+        .prop_map(
+            |((bump, poke_v1, poke_v2), (go, migrate, callee_acc, caller_acc))| {
+                let callee = |poke: Method, migration: Option<Vec<Stmt>>| {
+                    let mut b = ClassBuilder::new("ArbCallee")
+                        .attr_default("id", Type::Str, Value::Str(String::new()))
+                        .attr_default("acc", Type::Int, Value::Int(callee_acc))
+                        .key("id")
+                        .method(bump.clone())
+                        .method(poke);
+                    if let Some(body) = migration {
+                        b = b.migration(body);
+                    }
+                    b.build()
+                };
+                let caller = ClassBuilder::new("ArbCaller")
+                    .attr_default("id", Type::Str, Value::Str(String::new()))
+                    .attr_default("acc", Type::Int, Value::Int(caller_acc))
+                    .key("id")
+                    .method(go)
+                    .build();
+                let v1 = Program::new(vec![caller.clone(), callee(poke_v1, None)]);
+                let v2 = Program::new(vec![caller, callee(poke_v2, Some(migrate))]);
+                (v1, v2, caller_acc, callee_acc)
+            },
+        )
+        .boxed()
+}
+
 /// Strategy for a whole two-class program: `ArbCallee` (pure int methods
 /// `bump`, `poke`) and `ArbCaller` (method `go` chaining remote calls), plus
 /// generated initial attribute values.

@@ -314,6 +314,17 @@ pub struct AttrDef {
     pub default: Value,
 }
 
+/// The reserved name of a class's state-migration method.
+///
+/// A class that declares a method with this name opts into live upgrades:
+/// when a new program version is deployed, the *new* version's migration
+/// method runs exactly once per existing entity at the switchover boundary,
+/// rewriting state in place (e.g. defaulting a new attribute, re-deriving a
+/// changed representation). Migration methods take no parameters, return
+/// `Unit`, and must not make remote calls — they run inside the engine's
+/// sealed upgrade window where no other traffic flows.
+pub const MIGRATION_METHOD: &str = "__migrate__";
+
 /// An entity class — the unit the paper annotates with `@entity`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EntityClass {
@@ -340,6 +351,12 @@ impl EntityClass {
     pub fn attr(&self, name: impl Into<Symbol>) -> Option<&AttrDef> {
         let name = name.into();
         self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// The class's state-migration method ([`MIGRATION_METHOD`]), if it
+    /// declares one.
+    pub fn migration_method(&self) -> Option<&Method> {
+        self.method(MIGRATION_METHOD)
     }
 
     /// Builds the initial state of a fresh instance: declared defaults,

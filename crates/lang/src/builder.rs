@@ -349,6 +349,20 @@ impl ClassBuilder {
         }
     }
 
+    /// Reopens an existing class for extension — the natural way to author
+    /// a v2 for a live upgrade: start from the deployed class, add
+    /// attributes, methods, and a `__migrate__` body. Methods left
+    /// untouched stay byte-identical, which is what lets the incremental
+    /// redeploy reuse their compiled form.
+    pub fn from_class(class: EntityClass) -> Self {
+        Self {
+            name: class.name,
+            attrs: class.attrs,
+            key_attr: Some(class.key_attr),
+            methods: class.methods,
+        }
+    }
+
     /// Declares an attribute with the type's default initial value.
     pub fn attr(self, name: impl Into<Symbol>, ty: Type) -> Self {
         let default = ty.default_value();
@@ -375,6 +389,17 @@ impl ClassBuilder {
     pub fn method(mut self, m: impl Into<Method>) -> Self {
         self.methods.push(m.into());
         self
+    }
+
+    /// Declares the class's state-migration method
+    /// ([`crate::ast::MIGRATION_METHOD`]): no parameters, `Unit` return,
+    /// runs once per entity at a live-upgrade boundary.
+    pub fn migration(self, body: Vec<Stmt>) -> Self {
+        self.method(
+            MethodBuilder::new(crate::ast::MIGRATION_METHOD)
+                .returns(Type::Unit)
+                .body(body),
+        )
     }
 
     /// Finishes the class.

@@ -47,6 +47,7 @@ pub mod value;
 
 pub use ast::{
     AttrDef, BinOp, Builtin, CallExpr, EntityClass, Expr, Method, Param, Program, Stmt, UnOp,
+    MIGRATION_METHOD,
 };
 pub use error::LangError;
 pub use interp::{CallHandler, DenyRemoteCalls, Env, Flow, Interpreter};

@@ -135,6 +135,46 @@ pub fn counter_program() -> Program {
     Program::new(vec![counter])
 }
 
+/// Version 2 of [`counter_program`] for live-upgrade tests.
+///
+/// Changes relative to v1:
+/// - `incr` counts *double*: `count += by * 2` (observable switchover — a
+///   post-upgrade `incr(3)` adds 6 where v1 added 3);
+/// - a new `shadow` attribute plus a `get_shadow` reader;
+/// - a `__migrate__` method that seeds `shadow = count * 10` exactly once
+///   at the upgrade boundary (migrate-exactly-once tests assert that later
+///   `incr` calls do not touch it);
+/// - `get` is byte-identical to v1, so incremental recompilation reuses it.
+pub fn counter_v2_program() -> Program {
+    let counter = ClassBuilder::new("Counter")
+        .attr_default("counter_id", Type::Str, Value::Str(String::new()))
+        .attr_default("count", Type::Int, Value::Int(0))
+        .attr_default("shadow", Type::Int, Value::Int(0))
+        .key("counter_id")
+        .method(
+            MethodBuilder::new("incr")
+                .param("by", Type::Int)
+                .returns(Type::Int)
+                .body(vec![
+                    attr_add("count", mul(var("by"), int(2))),
+                    ret(attr("count")),
+                ]),
+        )
+        .method(
+            MethodBuilder::new("get")
+                .returns(Type::Int)
+                .body(vec![ret(attr("count"))]),
+        )
+        .method(
+            MethodBuilder::new("get_shadow")
+                .returns(Type::Int)
+                .body(vec![ret(attr("shadow"))]),
+        )
+        .migration(vec![attr_assign("shadow", mul(attr("count"), int(10)))])
+        .build();
+    Program::new(vec![counter])
+}
+
 /// A linear call chain of `depth + 1` classes: `C0.relay(x)` calls
 /// `C1.relay(x + 1)` via a `next` attribute, and so on; the last class
 /// returns its argument.

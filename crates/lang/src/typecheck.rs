@@ -98,7 +98,35 @@ fn check_class(program: &Program, class: &EntityClass, errors: &mut Vec<LangErro
         if !method_names.insert(method.name) {
             errors.push(ctx(format!("duplicate method `{}`", method.name)));
         }
+        if method.name.as_str() == crate::ast::MIGRATION_METHOD {
+            check_migration_method(class, method, errors);
+        }
         check_method(program, class, method, errors);
+    }
+}
+
+/// Extra rules for the reserved [`crate::ast::MIGRATION_METHOD`]: it runs
+/// inside the engine's sealed upgrade window, once per entity, with no other
+/// traffic flowing — so it takes no parameters, returns `Unit`, and must not
+/// make remote calls (there is nothing to suspend on mid-upgrade).
+fn check_migration_method(class: &EntityClass, method: &Method, errors: &mut Vec<LangError>) {
+    let where_ = format!("{}.{}", class.name, method.name);
+    if !method.params.is_empty() {
+        errors.push(LangError::analysis(format!(
+            "{where_}: migration methods take no parameters, found {}",
+            method.params.len()
+        )));
+    }
+    if method.ret != Type::Unit {
+        errors.push(LangError::analysis(format!(
+            "{where_}: migration methods must return unit, found {}",
+            method.ret
+        )));
+    }
+    if method.body.iter().any(Stmt::contains_call) {
+        errors.push(LangError::analysis(format!(
+            "{where_}: migration methods must not make remote calls"
+        )));
     }
 }
 

@@ -261,13 +261,32 @@ pub fn render_waterfall(run: &RunData, last_batches: usize, width: usize) -> Str
         lanes = lanes.split_off(lanes.len() - last_batches);
     }
     let t0 = lanes.iter().map(|l| l.start_ns()).min().unwrap_or(0);
-    let t1 = lanes.iter().map(|l| l.end_ns()).max().unwrap_or(t0 + 1);
+    // Upgrade markers: every worker's migration pass for one switchover
+    // shares the new version as its span id — merge them into one
+    // cluster-wide interval per version, drawn on the batch axis so the
+    // epoch-boundary switchover is visible between the batches it
+    // separates. Markers that end before the shown window are dropped.
+    let mut upgrades: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for ev in &run.events {
+        if ev.stage != Stage::UpgradeMigrate || ev.end_ns < t0 {
+            continue;
+        }
+        let slot = upgrades.entry(ev.id).or_insert((ev.start_ns, ev.end_ns));
+        slot.0 = slot.0.min(ev.start_ns);
+        slot.1 = slot.1.max(ev.end_ns);
+    }
+    let t1 = lanes
+        .iter()
+        .map(|l| l.end_ns())
+        .chain(upgrades.values().map(|(_, e)| *e))
+        .max()
+        .unwrap_or(t0 + 1);
     let span = (t1 - t0).max(1) as f64;
     let width = width.max(20);
     let glyphs = ['s', 'x', 'd', 'c']; // seal, exec, decide, commit
     let mut out = String::new();
     out.push_str(&format!(
-        "batch waterfall — {} batches over {} (s=seal x=exec d=decide c=commit)\n",
+        "batch waterfall — {} batches over {} (s=seal x=exec d=decide c=commit, U=migration)\n",
         lanes.len(),
         fmt_ns(t1 - t0)
     ));
@@ -289,6 +308,24 @@ pub fn render_waterfall(run: &RunData, last_batches: usize, width: usize) -> Str
             lane.id,
             row.iter().collect::<String>(),
             fmt_ns(total)
+        ));
+    }
+    for (version, (s, e)) in &upgrades {
+        let mut row = vec!['·'; width];
+        let a = ((s.saturating_sub(t0) as f64 / span) * width as f64) as usize;
+        let b = ((e.saturating_sub(t0) as f64 / span) * width as f64).ceil() as usize;
+        for cell in row
+            .iter_mut()
+            .take(b.max(a + 1).min(width))
+            .skip(a.min(width - 1))
+        {
+            *cell = 'U';
+        }
+        out.push_str(&format!(
+            "upg v{:>6} |{}| {}\n",
+            version,
+            row.iter().collect::<String>(),
+            fmt_ns(e.saturating_sub(*s))
         ));
     }
     out
@@ -374,6 +411,41 @@ mod tests {
         let text = render_waterfall(&run, 1, 40);
         assert!(!text.contains("batch     1 |"));
         assert!(text.contains("batch     2 |"));
+    }
+
+    #[test]
+    fn upgrade_markers_merge_workers_and_share_the_axis() {
+        let mut run = sample_run();
+        // Three workers' migration passes for the v2 switchover, plus a
+        // marker that ended before the window (dropped when trimming).
+        run.events.extend(
+            RunData::parse_trace(concat!(
+                "{\"stage\":\"upgrade_migrate\",\"id\":2,\"start_ns\":100,\"end_ns\":110,\"tid\":0}\n",
+                "{\"stage\":\"upgrade_migrate\",\"id\":2,\"start_ns\":102,\"end_ns\":118,\"tid\":1}\n",
+                "{\"stage\":\"upgrade_migrate\",\"id\":2,\"start_ns\":101,\"end_ns\":112,\"tid\":2}\n",
+            ))
+            .unwrap(),
+        );
+        let text = render_waterfall(&run, 0, 40);
+        assert!(text.contains("U=migration"), "legend names the marker");
+        assert!(text.contains("upg v     2 |"), "one row per version");
+        assert!(text.contains('U'), "marker glyph drawn");
+        assert_eq!(
+            text.matches("upg v").count(),
+            1,
+            "per-worker spans merge into one cluster-wide row"
+        );
+        // 18ns merged interval (min start 100, max end 118).
+        assert!(
+            text.contains("| 18ns"),
+            "row labelled with merged duration:\n{text}"
+        );
+        // Trimming to the last batch (starts at 120) drops the marker.
+        let trimmed = render_waterfall(&run, 1, 40);
+        assert!(
+            !trimmed.contains("upg v"),
+            "stale markers trimmed:\n{trimmed}"
+        );
     }
 
     #[test]

@@ -48,10 +48,13 @@ pub enum Stage {
     VmCompile,
     /// One function invocation end-to-end (StateFun engine).
     Invoke,
+    /// Live-upgrade migration pass: a worker running `__migrate__` over its
+    /// owned entities at a version switch (id = the new version).
+    UpgradeMigrate,
 }
 
 /// All stages, in declaration order (index = `stage as usize`).
-pub const STAGES: [Stage; 11] = [
+pub const STAGES: [Stage; 12] = [
     Stage::BatchSeal,
     Stage::BatchExec,
     Stage::BatchDecide,
@@ -63,6 +66,7 @@ pub const STAGES: [Stage; 11] = [
     Stage::EpochCut,
     Stage::VmCompile,
     Stage::Invoke,
+    Stage::UpgradeMigrate,
 ];
 
 impl Stage {
@@ -80,6 +84,7 @@ impl Stage {
             Stage::EpochCut => "epoch_cut",
             Stage::VmCompile => "vm_compile",
             Stage::Invoke => "invoke",
+            Stage::UpgradeMigrate => "upgrade_migrate",
         }
     }
 

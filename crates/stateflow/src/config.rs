@@ -136,6 +136,15 @@ pub struct StateflowConfig {
     /// `SE_CHAOS_INJECT_BUG=reserve-errored` onto this flag.
     #[doc(hidden)]
     pub inject_reserve_bug: bool,
+    /// Test-only: break the live-upgrade epoch barrier — the coordinator
+    /// flips to the new version and resumes sealing batches *before* the
+    /// workers acknowledge the migration pass, so post-switch transactions
+    /// race the migration writes (a torn upgrade). Exists so the chaos
+    /// harness can prove the history checker catches version-atomicity
+    /// violations; never enable outside tests. The `chaos_explore` driver
+    /// maps `SE_CHAOS_INJECT_BUG=torn-upgrade` onto this flag.
+    #[doc(hidden)]
+    pub inject_torn_upgrade: bool,
     /// Which execution backend runs split method bodies: tree-walking
     /// interpretation, or bytecode compiled once at deploy time and run on
     /// the `se-vm` register VM. Semantically identical; the VM trades a
@@ -171,6 +180,7 @@ impl Default for StateflowConfig {
             chaos: ChaosPlan::none(),
             history: None,
             inject_reserve_bug: false,
+            inject_torn_upgrade: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
             durability: DurabilityConfig::default(),
             obs: se_obs::ObsConfig::from_env("stateflow"),
@@ -196,6 +206,7 @@ impl StateflowConfig {
             chaos: ChaosPlan::none(),
             history: None,
             inject_reserve_bug: false,
+            inject_torn_upgrade: false,
             backend: ExecBackend::from_env_or(ExecBackend::Interp),
             durability: DurabilityConfig::default(),
             obs: se_obs::ObsConfig::from_env("stateflow-test"),

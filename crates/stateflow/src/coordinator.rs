@@ -42,7 +42,7 @@ use se_dataflow::{
     send_with_chaos, DelayReceiver, DelaySender, Epoch, ResponseCompleter, SnapshotStore,
     SourceReader, StateStore,
 };
-use se_ir::{partition_for, Invocation, InvocationKind, RequestId, Response};
+use se_ir::{partition_for, Invocation, InvocationKind, RequestId, Response, INITIAL_VERSION};
 use se_lang::Value;
 
 use crate::config::StateflowConfig;
@@ -173,11 +173,48 @@ impl InFlightBatch {
     }
 }
 
+/// A live upgrade the coordinator has consumed from the source but not yet
+/// committed. Queued FIFO; at most the front entry is ever in progress.
+struct PendingUpgrade {
+    /// The version to activate.
+    version: u64,
+    /// Client waiter to complete at commit (`None` for an upgrade re-armed
+    /// by recovery — its waiter was answered in the previous lineage).
+    request: Option<RequestId>,
+    /// Source offset of the `Redeploy` record itself. Recovery uses it to
+    /// decide whether the record replays from the source (offset at or
+    /// past the restored cut) or must be re-armed manually.
+    offset: u64,
+    /// Whether the epoch-boundary snapshot for this upgrade has started.
+    started: bool,
+}
+
+/// A committed live upgrade, kept for recovery bookkeeping.
+struct CommittedUpgrade {
+    /// The pre-upgrade epoch cut (migration writes land *after* it).
+    epoch: Epoch,
+    /// The activated version.
+    version: u64,
+    /// Source offset of the `Redeploy` record.
+    offset: u64,
+}
+
 /// Exclusive coordinator modes. Batches are only in flight while `Running`;
-/// snapshots and restores require a fully drained pipeline.
+/// snapshots, migrations and restores require a fully drained pipeline.
 enum Mode {
     Running,
     Snapshotting {
+        epoch: Epoch,
+        acks: usize,
+        /// This snapshot is a live upgrade's epoch boundary: on completion
+        /// the coordinator dispatches the migration pass instead of
+        /// resuming sealing.
+        upgrade: bool,
+    },
+    /// Live-upgrade migration pass in flight: waiting for every worker's
+    /// `MigrateAck` before stamping new roots with the new version.
+    Migrating {
+        version: u64,
         epoch: Epoch,
         acks: usize,
     },
@@ -249,6 +286,23 @@ pub struct Coordinator {
     /// outstanding (the `batch_commit` span start). Only populated while
     /// tracing/metrics are on.
     commit_started_ns: BTreeMap<BatchId, u64>,
+    /// Program version new roots are stamped with at seal time.
+    active_version: u64,
+    /// Consumed-but-uncommitted upgrades, FIFO. While non-empty the
+    /// coordinator stops consuming the source: requests appended after a
+    /// `Redeploy` record must run on the new version.
+    pending_upgrades: VecDeque<PendingUpgrade>,
+    /// Committed upgrades of this run, ascending by version; recovery
+    /// rewinds this list against the restored cut.
+    upgrades: Vec<CommittedUpgrade>,
+    /// True once any `Redeploy` was consumed. Gates the `BatchVersion`
+    /// history events so upgrade-free histories stay byte-identical to
+    /// builds without the upgrade layer.
+    versioned: bool,
+    /// Side state of the `inject_torn_upgrade` bug lever: the upgrade whose
+    /// migration acks are still being counted while the coordinator — the
+    /// bug — already resumed sealing. `(upgrade, epoch, acks)`.
+    injected_migrating: Option<(PendingUpgrade, Epoch, usize)>,
 }
 
 impl Coordinator {
@@ -292,6 +346,11 @@ impl Coordinator {
             durable_floor: None,
             queue_since_ns: None,
             commit_started_ns: BTreeMap::new(),
+            active_version: INITIAL_VERSION,
+            pending_upgrades: VecDeque::new(),
+            upgrades: Vec::new(),
+            versioned: false,
+            injected_migrating: None,
         }
     }
 
@@ -380,6 +439,7 @@ impl Coordinator {
                 return;
             }
             self.drain_source();
+            self.maybe_begin_upgrade();
             self.maybe_seal_batches();
             // Drain every due message before blocking: decide rounds for
             // batch N+1 must not queue behind the apply traffic of batch N
@@ -404,7 +464,16 @@ impl Coordinator {
         if matches!(self.mode, Mode::Restoring { .. }) {
             return;
         }
-        while let Some(req) = self.reader.poll() {
+        loop {
+            // Consumption pauses at a `Redeploy` record: everything
+            // appended after it must run on the new version, so it waits
+            // behind the upgrade's epoch boundary.
+            if !self.pending_upgrades.is_empty() {
+                return;
+            }
+            let Some(req) = self.reader.poll() else {
+                return;
+            };
             match req.op {
                 ClientOp::Create { class, key, init } => {
                     let owner = self.owner_of(&key);
@@ -441,6 +510,102 @@ impl Coordinator {
                         self.queue_since_ns = Some(self.obs.now_ns());
                     }
                 }
+                ClientOp::Redeploy { version } => {
+                    self.versioned = true;
+                    // `poll` already advanced the cursor past this record.
+                    let offset = self.reader.offset().saturating_sub(1);
+                    self.pending_upgrades.push_back(PendingUpgrade {
+                        version,
+                        request: Some(req.request),
+                        offset,
+                        started: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Starts the front pending upgrade once the pipeline has fully
+    /// drained: cuts the pre-upgrade epoch (a normal snapshot round whose
+    /// completion dispatches the migration pass instead of resuming
+    /// sealing). Mirrors [`Coordinator::maybe_snapshot`]'s drain
+    /// conditions — (state, source offset) is a consistent cut here too.
+    fn maybe_begin_upgrade(&mut self) {
+        let can_start = matches!(self.mode, Mode::Running)
+            && self.in_flight.is_empty()
+            && self.queue.is_empty()
+            && self.fallback_queue.is_empty()
+            && self.pending_acks.is_empty();
+        let Some(p) = self.pending_upgrades.front_mut() else {
+            return;
+        };
+        if p.started || !can_start {
+            return;
+        }
+        p.started = true;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.snapshots.begin_epoch(epoch, self.workers.len());
+        self.snapshots
+            .put_source_offset(epoch, "requests", self.reader.offset());
+        let durable_floor = self.durable_floor;
+        self.broadcast(|| WorkerMsg::Snapshot {
+            gen: self.gen,
+            epoch,
+            durable_floor,
+        });
+        self.mode = Mode::Snapshotting {
+            epoch,
+            acks: 0,
+            upgrade: true,
+        };
+    }
+
+    /// Dispatches the migration pass for the front pending upgrade (its
+    /// epoch-boundary snapshot just completed). Under the torn-upgrade bug
+    /// lever the coordinator flips the version and resumes sealing without
+    /// waiting for the workers' acks — the atomicity violation the chaos
+    /// checker must catch.
+    fn start_migration(&mut self, epoch: Epoch) {
+        let Some(p) = self.pending_upgrades.front() else {
+            return;
+        };
+        let version = p.version;
+        self.record(|| HistoryEvent::UpgradeStarted { version, epoch });
+        self.broadcast(|| WorkerMsg::Migrate {
+            gen: self.gen,
+            version,
+            epoch,
+        });
+        if self.cfg.inject_torn_upgrade {
+            let p = self.pending_upgrades.pop_front().expect("front checked");
+            self.active_version = version;
+            self.injected_migrating = Some((p, epoch, 0));
+            // Mode stays Running: sealing resumes while migration races.
+        } else {
+            self.mode = Mode::Migrating {
+                version,
+                epoch,
+                acks: 0,
+            };
+        }
+    }
+
+    /// Commits an upgrade after every worker acknowledged its migration
+    /// pass: new roots stamp the new version from here on.
+    fn commit_upgrade(&mut self, p: PendingUpgrade, epoch: Epoch) {
+        let version = p.version;
+        self.active_version = version;
+        self.obs.gauge("deploy.active_version").set(version as i64);
+        self.upgrades.push(CommittedUpgrade {
+            epoch,
+            version,
+            offset: p.offset,
+        });
+        self.record(|| HistoryEvent::UpgradeCommitted { version, epoch });
+        if let Some(request) = p.request {
+            if let Some(completer) = self.waiters.lock().remove(&request) {
+                completer.complete(Ok(Value::Unit));
             }
         }
     }
@@ -491,9 +656,16 @@ impl Coordinator {
             txns: txns.clone(),
             kind: kind.tag(),
         });
+        if self.versioned {
+            let version = self.active_version;
+            self.record(|| HistoryEvent::BatchVersion { batch, version });
+        }
         let solo = kind == (BatchKind::Fallback { solo: true });
         for txn in &txns {
-            let inv = self.roots[txn].clone();
+            // Roots are stamped with the active version at *seal* time:
+            // continuations inherit it hop by hop, so an in-flight chain
+            // stays on its original version until it drains.
+            let inv = self.roots[txn].clone().at_version(self.active_version);
             let owner = self.owner_of(inv.target.key.as_str());
             let bytes = inv.approx_size();
             send_with_chaos(
@@ -657,16 +829,64 @@ impl Coordinator {
                     return;
                 }
                 self.durable_epochs.insert(worker, durable);
-                if let Mode::Snapshotting { epoch: e, acks } = &mut self.mode {
+                if let Mode::Snapshotting {
+                    epoch: e,
+                    acks,
+                    upgrade,
+                } = &mut self.mode
+                {
                     if *e == epoch {
                         *acks += 1;
                         if *acks == self.workers.len() {
+                            let upgrade = *upgrade;
                             self.stats.snapshots.inc();
                             self.batches_since_snapshot = 0;
                             // Old epochs are pruned by the snapshot store's
                             // own retention policy (`snapshot_retention`).
                             self.mode = Mode::Running;
                             self.update_durable_floor();
+                            if upgrade {
+                                self.start_migration(epoch);
+                            }
+                        }
+                    }
+                }
+            }
+            CoordMsg::MigrateAck {
+                gen,
+                version,
+                worker: _,
+            } => {
+                if gen != self.gen {
+                    return;
+                }
+                if let Mode::Migrating {
+                    version: v,
+                    epoch,
+                    acks,
+                } = &mut self.mode
+                {
+                    if *v == version {
+                        *acks += 1;
+                        if *acks == self.workers.len() {
+                            let epoch = *epoch;
+                            self.mode = Mode::Running;
+                            let p = self
+                                .pending_upgrades
+                                .pop_front()
+                                .expect("migrating implies a pending upgrade");
+                            self.commit_upgrade(p, epoch);
+                        }
+                    }
+                } else if let Some((p, _, acks)) = &mut self.injected_migrating {
+                    // Torn-upgrade bug lever: acks are still counted so the
+                    // upgrade eventually "commits" — after the damage.
+                    if p.version == version {
+                        *acks += 1;
+                        if *acks == self.workers.len() {
+                            let (p, epoch, _) =
+                                self.injected_migrating.take().expect("checked above");
+                            self.commit_upgrade(p, epoch);
                         }
                     }
                 }
@@ -991,7 +1211,11 @@ impl Coordinator {
             epoch,
             durable_floor,
         });
-        self.mode = Mode::Snapshotting { epoch, acks: 0 };
+        self.mode = Mode::Snapshotting {
+            epoch,
+            acks: 0,
+            upgrade: false,
+        };
     }
 
     /// Recomputes the cluster durable floor after a completed snapshot
@@ -1060,6 +1284,7 @@ impl Coordinator {
         self.roots.clear();
         self.batch_deadline = None;
         self.batches_since_snapshot = 0;
+        self.rewind_upgrades(target, offset);
         // Batch numbering continues past the fenced-off window; the workers
         // re-arm their watermarks at `next_batch` so replayed batches run
         // without waiting for commits that died with the old generation.
@@ -1075,5 +1300,64 @@ impl Coordinator {
             target,
             floor: target,
         };
+    }
+
+    /// Rolls the upgrade bookkeeping back to the restored cut, replaying
+    /// the upgrade sequence exactly once per lineage.
+    ///
+    /// An upgrade's migration writes land *after* its pre-upgrade epoch
+    /// `e`, so restoring to `target`:
+    /// * `e < target` — the writes are inside the cut: the upgrade stays
+    ///   committed and the active version keeps reflecting it.
+    /// * `e >= target` (or full restart) — the writes are lost with the
+    ///   state: the upgrade must run again. Its `Redeploy` record sits at
+    ///   offset `o < offset(e+…)`; if `o >= offset` the record replays
+    ///   from the source and re-arms itself, otherwise it is re-armed here
+    ///   manually (without a waiter — the client was answered in the
+    ///   previous lineage; completion of a missing waiter is a no-op).
+    ///
+    /// Not-yet-committed upgrades (including one interrupted mid-migration,
+    /// whose epoch-boundary snapshot is pre-migration by construction)
+    /// follow the same offset rule with `started` reset. Idempotent across
+    /// consecutive restore rounds at decreasing targets.
+    fn rewind_upgrades(&mut self, target: Option<Epoch>, offset: u64) {
+        let mut rearmed: Vec<PendingUpgrade> = Vec::new();
+        let mut kept: Vec<CommittedUpgrade> = Vec::new();
+        for u in self.upgrades.drain(..) {
+            if target.is_some_and(|t| u.epoch < t) {
+                kept.push(u);
+            } else if u.offset < offset {
+                rearmed.push(PendingUpgrade {
+                    version: u.version,
+                    request: None,
+                    offset: u.offset,
+                    started: false,
+                });
+            }
+            // else: the Redeploy record replays from the source.
+        }
+        self.upgrades = kept;
+        let mut pending: Vec<PendingUpgrade> = self.pending_upgrades.drain(..).collect();
+        if let Some((p, _, _)) = self.injected_migrating.take() {
+            pending.push(p);
+        }
+        for mut p in pending {
+            if p.offset < offset {
+                p.started = false;
+                rearmed.push(p);
+            }
+        }
+        rearmed.sort_by_key(|p| p.version);
+        self.pending_upgrades = rearmed.into();
+        self.active_version = self
+            .upgrades
+            .last()
+            .map(|u| u.version)
+            .unwrap_or(INITIAL_VERSION);
+        if self.obs.enabled() {
+            self.obs
+                .gauge("deploy.active_version")
+                .set(self.active_version as i64);
+        }
     }
 }

@@ -35,6 +35,14 @@ pub enum ClientOp {
     },
     /// Invoke a method (becomes one transaction).
     Invoke(Invocation),
+    /// Switch the deployment to an already-registered program version at
+    /// the next epoch boundary (live code upgrade). The runtime registers
+    /// the recompiled version with every worker's `VersionRegistry` before
+    /// appending this record, so replay after recovery finds it too.
+    Redeploy {
+        /// The version to activate.
+        version: u64,
+    },
 }
 
 /// Per-transaction conflict flags computed by one partition; the coordinator
@@ -170,6 +178,20 @@ pub enum WorkerMsg {
         /// before the first durable epoch.
         durable_floor: Option<Epoch>,
     },
+    /// Run the live-upgrade migration pass: with the pipeline drained and
+    /// the upgrade epoch's snapshot cut, every worker runs the new
+    /// version's `__migrate__` method (where defined) over its owned
+    /// entities as one synthetic write batch, logs a `VersionCut` to its
+    /// WAL, and acknowledges with [`CoordMsg::MigrateAck`].
+    Migrate {
+        /// Fencing generation.
+        gen: u64,
+        /// The version being activated.
+        version: u64,
+        /// The epoch cut immediately before this migration (the
+        /// pre-upgrade snapshot recovery falls back to).
+        epoch: Epoch,
+    },
     /// Reset to the state of `epoch` (0 = empty) and adopt `gen`.
     Restore {
         /// New fencing generation (messages below it are dropped).
@@ -254,6 +276,15 @@ pub enum CoordMsg {
         /// WAL cut or base snapshot). `None` with durability off — the
         /// coordinator then skips durable-floor bookkeeping entirely.
         durable: Option<Epoch>,
+    },
+    /// Migration pass finished on this worker (live upgrade).
+    MigrateAck {
+        /// Fencing generation.
+        gen: u64,
+        /// The version whose migration ran.
+        version: u64,
+        /// Acknowledging worker.
+        worker: usize,
     },
     /// Restore finished on this worker.
     RestoreAck {

@@ -10,7 +10,7 @@ use se_dataflow::{
     delay_channel, ComponentTimers, DelaySender, EntityRuntime, ReplayableSource,
     ResponseCompleter, ResponseWaiter, SnapshotStore, SourceReader, StateStore,
 };
-use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId};
+use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId, VersionRegistry};
 use se_lang::{EntityRef, LangError, Value};
 
 use crate::config::{DurabilityMode, StateflowConfig};
@@ -18,10 +18,28 @@ use crate::coordinator::{CoordStats, Coordinator};
 use crate::msg::{ClientOp, ClientRequest, CoordMsg, WorkerMsg};
 use crate::worker::Worker;
 
+/// The newest deployed version, kept by the runtime as the baseline the
+/// *next* [`StateflowRuntime::redeploy`] compiles against: incremental
+/// recompilation diffs against this graph, and the VM reuses this version's
+/// bytecode for unchanged classes.
+struct CurrentDeploy {
+    graph: Arc<DataflowGraph>,
+    vm: Option<Arc<se_vm::VmProgram>>,
+}
+
 /// A deployed StateFlow application: coordinator + workers over the compiled
 /// dataflow graph, with a replayable request source and snapshot store.
 pub struct StateflowRuntime {
     cfg: StateflowConfig,
+    /// All live program versions, shared with every worker. Workers resolve
+    /// invocations through it (pinned to the version stamped at the root);
+    /// [`StateflowRuntime::redeploy`] registers new versions here before
+    /// appending the `Redeploy` record, so replay finds them too.
+    registry: Arc<VersionRegistry>,
+    /// Baseline for the next incremental redeploy (see [`CurrentDeploy`]).
+    /// The lock also serializes concurrent `redeploy` calls: versions must
+    /// be compiled against their immediate predecessor, in order.
+    current: Mutex<CurrentDeploy>,
     source: ReplayableSource<ClientRequest>,
     waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
     next_request: AtomicU64,
@@ -75,12 +93,14 @@ impl StateflowRuntime {
         // body is lowered to bytecode exactly once, here, and the compiled
         // program is shared by all workers.
         let compile_start = obs.now_ns();
-        let runner = se_vm::runner_for(cfg.backend, &graph.program);
+        let (runner, vm) = se_vm::runner_for_upgrade(cfg.backend, &graph.program, None);
         obs.stage_span(se_obs::Stage::VmCompile, 0, compile_start, obs.now_ns());
         obs.counter("vm.compile_runs").inc();
         if obs.enabled() {
             se_compiler::stats(&graph).publish(&obs);
         }
+        let registry = VersionRegistry::new(Arc::clone(&graph), runner);
+        obs.gauge("deploy.active_version").set(graph.version as i64);
         let snapshots = Arc::new(SnapshotStore::with_retention(cfg.snapshot_retention));
         let timers = Arc::new(ComponentTimers::new());
         let stats = Arc::new(CoordStats::register(&obs));
@@ -103,8 +123,7 @@ impl StateflowRuntime {
             let worker = Worker::new(
                 id,
                 cfg.clone(),
-                Arc::clone(&graph),
-                Arc::clone(&runner),
+                Arc::clone(&registry),
                 rx,
                 worker_txs.clone(),
                 coord_tx.clone(),
@@ -140,6 +159,8 @@ impl StateflowRuntime {
 
         Self {
             cfg,
+            registry,
+            current: Mutex::new(CurrentDeploy { graph, vm }),
             source,
             waiters,
             next_request: AtomicU64::new(1),
@@ -192,6 +213,59 @@ impl StateflowRuntime {
         self.source.append(ClientRequest { request, op });
         waiter
     }
+
+    /// The program version new roots are currently stamped with.
+    pub fn active_version(&self) -> u64 {
+        self.registry.active()
+    }
+
+    /// Live code upgrade: compiles `program` as the next version after the
+    /// current deploy (incrementally — unchanged methods reuse the previous
+    /// version's split artifacts and bytecode), registers it with every
+    /// worker's version registry, and appends a `Redeploy` record to the
+    /// replayable source. Blocks until the coordinator commits the switch:
+    /// pipeline drained, pre-upgrade epoch cut, per-entity `__migrate__`
+    /// pass acknowledged by every worker. Returns the now-active version.
+    ///
+    /// Invocations in flight when the upgrade was requested drain on the
+    /// version their root was stamped with; calls submitted after this
+    /// returns run the new version. Once the switch commits, versions
+    /// older than the *previous* deploy are evicted from the registry —
+    /// they have fully drained, and keeping the immediate predecessor
+    /// covers a recovery that rewinds past the upgrade's own epoch cut.
+    pub fn redeploy(&self, program: &se_lang::Program) -> Result<u64, Vec<LangError>> {
+        let mut cur = self.current.lock();
+        let prev_version = cur.graph.version;
+        let compile_start = self.obs.now_ns();
+        let (graph, recompile) = se_compiler::compile_upgrade(
+            &cur.graph,
+            program,
+            &se_compiler::CompileOptions::default(),
+        )?;
+        let graph = Arc::new(graph);
+        let (runner, vm) = se_vm::runner_for_upgrade(
+            self.cfg.backend,
+            &graph.program,
+            cur.vm.as_deref().map(|v| (&cur.graph.program, v)),
+        );
+        let version = graph.version;
+        self.obs.stage_span(
+            se_obs::Stage::VmCompile,
+            version,
+            compile_start,
+            self.obs.now_ns(),
+        );
+        self.obs.counter("vm.compile_runs").inc();
+        if self.obs.enabled() {
+            recompile.publish(&self.obs);
+        }
+        self.registry.insert(version, Arc::clone(&graph), runner);
+        let waiter = self.submit(ClientOp::Redeploy { version });
+        waiter.wait().map_err(|e| vec![e])?;
+        *cur = CurrentDeploy { graph, vm };
+        self.registry.evict_below(prev_version);
+        Ok(version)
+    }
 }
 
 impl EntityRuntime for StateflowRuntime {
@@ -224,6 +298,10 @@ impl EntityRuntime for StateflowRuntime {
             method: method.into(),
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
+            // Roots are stamped with the engine's active version by the
+            // coordinator when their batch is sealed; the client does not
+            // know (and must not race on) the switchover point.
+            version: se_ir::INITIAL_VERSION,
         };
         self.source.append(ClientRequest {
             request,

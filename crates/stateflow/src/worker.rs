@@ -52,8 +52,8 @@ use se_dataflow::{
     SharedStateStore, SnapshotStore, StateStore,
 };
 use se_ir::{
-    partition_for, process_invocation_with, BodyRunner, DataflowGraph, Invocation, Response,
-    StepEffect,
+    partition_for, process_invocation_with, Invocation, RequestId, Response, StepEffect,
+    VersionRegistry,
 };
 use se_lang::LangError;
 
@@ -79,9 +79,11 @@ pub struct Worker {
     /// executed hop, and the hot path must not allocate per call.
     name: String,
     cfg: StateflowConfig,
-    graph: Arc<DataflowGraph>,
-    /// Executes split method bodies (interp or VM, per `cfg.backend`).
-    runner: Arc<dyn BodyRunner>,
+    /// Every deployed program version (graph + body runner), keyed by
+    /// version. Executions resolve through it per invocation, so chains in
+    /// flight across a live upgrade keep running the version they were
+    /// stamped with at their root while new roots pick up the upgrade.
+    registry: Arc<VersionRegistry>,
     /// The partition store. The protocol thread is the only writer; with an
     /// exec pool, pool tasks read the committed snapshot through it.
     store: SharedStateStore,
@@ -130,8 +132,7 @@ impl Worker {
     pub fn new(
         id: usize,
         cfg: StateflowConfig,
-        graph: Arc<DataflowGraph>,
-        runner: Arc<dyn BodyRunner>,
+        registry: Arc<VersionRegistry>,
         inbox: DelayReceiver<WorkerMsg>,
         peers: Vec<DelaySender<WorkerMsg>>,
         coord: DelaySender<CoordMsg>,
@@ -165,8 +166,7 @@ impl Worker {
         let pool = (cfg.exec_threads > 1).then(|| {
             let ctx = Arc::new(PoolCtx {
                 cfg: cfg.clone(),
-                graph: Arc::clone(&graph),
-                runner: Arc::clone(&runner),
+                registry: Arc::clone(&registry),
                 store: store.clone(),
                 timers: Arc::clone(&timers),
                 home: peers[id].clone(),
@@ -189,8 +189,7 @@ impl Worker {
             name,
             id,
             cfg,
-            graph,
-            runner,
+            registry,
             store,
             pool,
             buffers: HashMap::new(),
@@ -252,6 +251,7 @@ impl Worker {
             | WorkerMsg::Reserve { gen, .. }
             | WorkerMsg::Commit { gen, .. }
             | WorkerMsg::Snapshot { gen, .. }
+            | WorkerMsg::Migrate { gen, .. }
             | WorkerMsg::Restore { gen, .. } => *gen,
             WorkerMsg::Shutdown => u64::MAX,
         }
@@ -355,6 +355,7 @@ impl Worker {
                     durable: durable.flatten(),
                 });
             }
+            WorkerMsg::Migrate { version, epoch, .. } => self.handle_migrate(version, epoch),
             WorkerMsg::Restore { .. } | WorkerMsg::Shutdown => unreachable!("handled in run()"),
         }
     }
@@ -390,7 +391,8 @@ impl Worker {
         key: &str,
         init: Vec<(String, se_lang::Value)>,
     ) -> Result<(), LangError> {
-        let class_def = &self.graph.program.class_or_err(class)?.class;
+        let entry = self.registry.active_entry();
+        let class_def = &entry.graph.program.class_or_err(class)?.class;
         let r = se_lang::EntityRef::new(class, key);
         let state = class_def.initial_state(key, init);
         if let Some(d) = &mut self.durable {
@@ -630,8 +632,11 @@ impl Worker {
             // Copy-on-write: `after` shares storage with `before` until the
             // method actually writes an attribute.
             let mut after = before.clone();
+            // Version pinning: the chain runs the program version stamped at
+            // its root (continuations inherit it), not whatever is active.
+            let entry = self.registry.resolve(inv.version);
             let effect = self.timers.time("function_execution", || {
-                process_invocation_with(&self.graph.program, &*self.runner, inv, &mut after)
+                process_invocation_with(&entry.graph.program, &*entry.runner, inv, &mut after)
             });
             self.body_runs.inc();
             self.timers.time("state_write_buffer", || {
@@ -888,6 +893,143 @@ impl Worker {
         });
     }
 
+    /// The live-upgrade migration pass. Runs with the pipeline fully
+    /// drained and the pre-upgrade epoch cut: for every entity this
+    /// partition owns whose class defines `__migrate__` in the new version,
+    /// execute that method as a synthetic single-hop invocation and collect
+    /// its effects into one batch of writes. The WAL sees the writes first
+    /// and then a `VersionCut` marker — a replay that reaches the marker
+    /// recovers post-migration state, one that falls short recovers the
+    /// pre-upgrade cut (and the coordinator re-arms the upgrade). An entity
+    /// whose migration errors keeps its old shape: a bad `__migrate__`
+    /// must not wedge the cluster, and the new version's methods see
+    /// whatever defaults the class declares for attributes never written.
+    fn handle_migrate(&mut self, version: u64, _epoch: se_dataflow::Epoch) {
+        let t0 = self.obs.now_ns();
+        let entry = self.registry.resolve(version);
+        let program = &entry.graph.program;
+        // Collect targets first: the read guard must drop before execution
+        // (migration bodies read the store through the same guard path).
+        // An entity needs the pass when its class declares `__migrate__` OR
+        // gained attributes in the new version — those are backfilled with
+        // their declared defaults so v2 bodies never read a hole.
+        let targets: Vec<se_lang::EntityRef> = {
+            let store = self.store.read();
+            store
+                .iter()
+                .filter(|(r, state)| {
+                    program.class(r.class).is_some_and(|c| {
+                        c.class.migration_method().is_some()
+                            || c.class.attrs.iter().any(|a| !state.contains_key(a.name))
+                    })
+                })
+                .map(|(r, _)| *r)
+                .collect()
+        };
+        let mut buffer = TxnBuffer::default();
+        let mut migrated = 0u64;
+        for target in targets {
+            // Migration executes method bodies, so scripted exec-point
+            // crashes land here too — the crash-mid-upgrade chaos tests
+            // kill a worker with the pass half applied (in memory only:
+            // nothing below logged a commit yet, so recovery rewinds to
+            // the pre-upgrade cut and the coordinator re-arms the upgrade).
+            if self
+                .cfg
+                .chaos
+                .should_crash(self.node_name(), CrashPoint::Exec)
+            {
+                self.crash();
+                return;
+            }
+            let committed = match self.store.read().get(&target) {
+                Some(state) => state.clone(),
+                None => continue,
+            };
+            let before = buffer.overlay_read(&target, &committed);
+            let class = match program.class(target.class) {
+                Some(c) => &c.class,
+                None => continue,
+            };
+            // New-in-this-version attributes first: the entity predates the
+            // class shape, so missing declarations materialize with their
+            // defaults — `__migrate__` (and every v2 body after it) then
+            // sees a complete state.
+            let mut after = before.clone();
+            for attr in &class.attrs {
+                if !after.contains_key(attr.name) {
+                    after.insert(attr.name, attr.default.clone());
+                }
+            }
+            if class.migration_method().is_none() {
+                buffer.record_effects(&target, &before, &after);
+                continue;
+            }
+            let backfilled = after.clone();
+            let inv = Invocation::root(RequestId(0), target, se_lang::MIGRATION_METHOD, Vec::new())
+                .at_version(version);
+            match process_invocation_with(program, &*entry.runner, inv, &mut after) {
+                StepEffect::Respond(resp) => {
+                    if let Err(e) = resp.result {
+                        eprintln!(
+                            "warning: {}: __migrate__ to v{version} failed for {target}: {e}; \
+                             entity keeps its backfilled-but-unmigrated shape",
+                            self.name
+                        );
+                        // The backfill still commits — v2 bodies must not
+                        // read holes even when the migration body is buggy.
+                        buffer.record_effects(&target, &before, &backfilled);
+                        continue;
+                    }
+                    buffer.record_effects(&target, &before, &after);
+                    migrated += 1;
+                }
+                // Typecheck rejects remote calls inside `__migrate__`, so a
+                // suspension here means a stale registry entry; skip rather
+                // than deadlock the drained pipeline on a chain hop.
+                StepEffect::Emit(_) => {
+                    eprintln!(
+                        "warning: {}: __migrate__ to v{version} suspended for {target} \
+                         (remote call); entity keeps its backfilled shape",
+                        self.name
+                    );
+                    buffer.record_effects(&target, &before, &backfilled);
+                }
+            }
+        }
+        if let Some(d) = &mut self.durable {
+            // WAL-first, marker last: the synthetic batch id (`u64::MAX`)
+            // never collides with a sealed batch, and replay does not key
+            // on batch ids anyway — it applies commit records in log order.
+            if !buffer.writes.is_empty() {
+                d.log_commit(u64::MAX, &buffer.writes)
+                    .expect("log migration commit");
+            }
+            d.log_version_cut(version).expect("log version cut");
+        }
+        self.timers.time("state_store", || {
+            let mut store = self.store.write();
+            for (entity, writes) in buffer.writes {
+                for (attr, value) in writes {
+                    let _ = store.apply_write(&entity, attr, value);
+                }
+            }
+        });
+        self.registry.set_active(version);
+        self.obs.counter("upgrade.migrated_entities").add(migrated);
+        self.obs.stage_span(
+            se_obs::Stage::UpgradeMigrate,
+            version,
+            t0,
+            self.obs.now_ns(),
+        );
+        self.send_coord_ctl(CoordMsg::MigrateAck {
+            gen: self.gen,
+            version,
+            worker: self.id,
+        });
+    }
+
     fn crash(&mut self) {
         // Disk outlives the "process": the durable store closes its writer
         // and applies the chaos script's next crash-time disk fault, if any
@@ -954,8 +1096,7 @@ impl Worker {
 /// mutating it while segments run).
 struct PoolCtx {
     cfg: StateflowConfig,
-    graph: Arc<DataflowGraph>,
-    runner: Arc<dyn BodyRunner>,
+    registry: Arc<VersionRegistry>,
     store: SharedStateStore,
     timers: Arc<ComponentTimers>,
     /// The owning worker's own inbox: segment completions are node-local
@@ -1044,8 +1185,10 @@ fn run_segment(
             .timers
             .time("state_read", || buffer.overlay_read(&target, &committed));
         let mut after = before.clone();
+        // Version pinning, mirroring the serial path.
+        let entry = ctx.registry.resolve(inv.version);
         let effect = ctx.timers.time("function_execution", || {
-            process_invocation_with(&ctx.graph.program, &*ctx.runner, inv, &mut after)
+            process_invocation_with(&entry.graph.program, &*entry.runner, inv, &mut after)
         });
         ctx.body_runs.inc();
         ctx.timers.time("state_write_buffer", || {

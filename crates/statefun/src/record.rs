@@ -34,6 +34,15 @@ pub enum SfRecord {
         /// Epoch being snapshotted.
         epoch: Epoch,
     },
+    /// (Ingress) Live-upgrade marker: the partition drains its in-flight
+    /// dispatches (the same aligned sync point a checkpoint barrier uses),
+    /// runs the per-entity `__migrate__` pass, and stamps all later roots
+    /// with `version`. Replay past a pre-upgrade snapshot re-delivers this
+    /// record, so recovery re-applies the switch deterministically.
+    Upgrade {
+        /// The version to switch to.
+        version: u64,
+    },
     /// (Egress) A root request's outcome.
     Response(Response),
 }

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use se_chaos::Seam;
 use se_dataflow::{send_with_chaos, ComponentTimers, DelayReceiver, DelaySender};
-use se_ir::{process_invocation_with, BodyRunner, DataflowGraph, InvocationKind};
+use se_ir::{process_invocation_with, InvocationKind, VersionRegistry};
 use se_lang::Env;
 
 use crate::config::StatefunConfig;
@@ -21,11 +21,15 @@ use crate::record::{RemoteRequest, RemoteResponse};
 
 /// Runs one remote-function worker until shutdown. Multiple workers share
 /// the request queue (`Arc<DelayReceiver>` pops are mutex-serialized).
+///
+/// Each request resolves its program through the version registry at the
+/// version stamped on the invocation — the dispatch-side half of the live
+/// upgrade: chains pinned to an old version keep executing old code while
+/// freshly stamped roots already run the new deploy.
 #[allow(clippy::too_many_arguments)]
 pub fn run_remote_worker(
     cfg: StatefunConfig,
-    graph: Arc<DataflowGraph>,
-    runner: Arc<dyn BodyRunner>,
+    registry: Arc<VersionRegistry>,
     requests: Arc<DelayReceiver<RemoteRequest>>,
     responders: Vec<DelaySender<RemoteResponse>>,
     timers: Arc<ComponentTimers>,
@@ -75,8 +79,9 @@ pub fn run_remote_worker(
 
         let entity = req.inv.target;
         let request_id = req.inv.request.0;
+        let entry = registry.resolve(req.inv.version);
         let effect = timers.time("function_execution", || {
-            process_invocation_with(&graph.program, &*runner, req.inv, &mut state)
+            process_invocation_with(&entry.graph.program, &*entry.runner, req.inv, &mut state)
         });
         invocations.inc();
         body_runs.inc();

@@ -12,18 +12,34 @@ use se_dataflow::{
     delay_channel, ComponentTimers, EntityRuntime, ResponseCompleter, ResponseWaiter,
     SnapshotStore, StateStore,
 };
-use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId};
+use se_ir::{DataflowGraph, Invocation, InvocationKind, RequestId, VersionRegistry};
 use se_lang::{EntityRef, LangError, Value};
 
 use crate::config::{CheckpointMode, StatefunConfig};
 use crate::record::{topics, SfRecord};
 use crate::remote::run_remote_worker;
-use crate::task::{CtlMsg, PartitionTask, RecoveryCtl};
+use crate::task::{CtlMsg, PartitionTask, RecoveryCtl, UpgradeGate};
+
+/// The newest deployed version: the baseline the next
+/// [`StatefunRuntime::redeploy`] compiles against (incremental
+/// recompilation + VM bytecode reuse).
+struct CurrentDeploy {
+    graph: Arc<DataflowGraph>,
+    vm: Option<Arc<se_vm::VmProgram>>,
+}
 
 /// A deployed StateFun-style application.
 pub struct StatefunRuntime {
     cfg: StatefunConfig,
     broker: Broker<SfRecord>,
+    /// All live program versions, shared with every partition task and
+    /// remote worker (see [`VersionRegistry`]).
+    registry: Arc<VersionRegistry>,
+    /// Baseline for the next incremental redeploy; the lock serializes
+    /// concurrent `redeploy` calls.
+    current: Mutex<CurrentDeploy>,
+    /// Partition-count rendezvous for in-flight upgrades.
+    gate: Arc<UpgradeGate>,
     waiters: Arc<Mutex<HashMap<RequestId, ResponseCompleter>>>,
     next_request: AtomicU64,
     shutdown: Arc<AtomicBool>,
@@ -53,12 +69,15 @@ impl StatefunRuntime {
         // are lowered to bytecode once here and shared by all remote
         // function workers.
         let compile_start = obs.now_ns();
-        let runner = se_vm::runner_for(cfg.backend, &graph.program);
+        let (runner, vm) = se_vm::runner_for_upgrade(cfg.backend, &graph.program, None);
         obs.stage_span(se_obs::Stage::VmCompile, 0, compile_start, obs.now_ns());
         obs.counter("vm.compile_runs").inc();
         if obs.enabled() {
             se_compiler::stats(&graph).publish(&obs);
         }
+        let registry = VersionRegistry::new(Arc::clone(&graph), runner);
+        obs.gauge("deploy.active_version").set(graph.version as i64);
+        let gate = Arc::new(UpgradeGate::default());
         // Outage windows in the chaos script act on broker visibility.
         let broker = Broker::with_chaos(cfg.net.clone(), cfg.chaos.clone());
         broker.create_topic(topics::INGRESS, cfg.partitions);
@@ -90,7 +109,8 @@ impl StatefunRuntime {
                 id,
                 cfg.clone(),
                 broker.clone(),
-                Arc::clone(&graph),
+                Arc::clone(&registry),
+                Arc::clone(&gate),
                 pool_tx.clone(),
                 resp_rx,
                 Arc::clone(&snapshots),
@@ -98,6 +118,7 @@ impl StatefunRuntime {
                 Arc::clone(&recovery),
                 ctl_tx.clone(),
                 Arc::clone(&shutdown),
+                obs.clone(),
             );
             threads.push(
                 std::thread::Builder::new()
@@ -108,8 +129,7 @@ impl StatefunRuntime {
         }
         for id in 0..cfg.remote_workers {
             let cfg2 = cfg.clone();
-            let graph2 = Arc::clone(&graph);
-            let runner2 = Arc::clone(&runner);
+            let registry2 = Arc::clone(&registry);
             let rx = Arc::clone(&pool_rx);
             let responders = resp_txs.clone();
             let timers2 = Arc::clone(&timers);
@@ -119,7 +139,7 @@ impl StatefunRuntime {
                 std::thread::Builder::new()
                     .name(format!("statefun-remote{id}"))
                     .spawn(move || {
-                        run_remote_worker(cfg2, graph2, runner2, rx, responders, timers2, obs2, sd)
+                        run_remote_worker(cfg2, registry2, rx, responders, timers2, obs2, sd)
                     })
                     .expect("spawn remote worker"),
             );
@@ -212,6 +232,9 @@ impl StatefunRuntime {
         Self {
             cfg,
             broker,
+            registry,
+            current: Mutex::new(CurrentDeploy { graph, vm }),
+            gate,
             waiters,
             next_request: AtomicU64::new(1),
             shutdown,
@@ -252,6 +275,69 @@ impl StatefunRuntime {
     pub fn obs(&self) -> &se_obs::Obs {
         &self.obs
     }
+
+    /// The program version new roots are stamped with once every partition
+    /// has applied the most recent upgrade.
+    pub fn active_version(&self) -> u64 {
+        self.registry.active()
+    }
+
+    /// Live code upgrade: compiles `program` incrementally against the
+    /// current deploy, registers the new version, and appends an
+    /// [`SfRecord::Upgrade`] marker to every ingress partition. Each
+    /// partition task applies the switch at its aligned drain boundary
+    /// (in-flight dispatches complete first), backfills + migrates its
+    /// slice of entity state, and stamps later roots with the new version;
+    /// this call blocks until all partitions have switched. In-flight
+    /// chains keep the version their root was stamped with until drained.
+    pub fn redeploy(&self, program: &se_lang::Program) -> Result<u64, Vec<LangError>> {
+        let mut cur = self.current.lock();
+        let prev_version = cur.graph.version;
+        let compile_start = self.obs.now_ns();
+        let (graph, recompile) = se_compiler::compile_upgrade(
+            &cur.graph,
+            program,
+            &se_compiler::CompileOptions::default(),
+        )?;
+        let graph = Arc::new(graph);
+        let (runner, vm) = se_vm::runner_for_upgrade(
+            self.cfg.backend,
+            &graph.program,
+            cur.vm.as_deref().map(|v| (&cur.graph.program, v)),
+        );
+        let version = graph.version;
+        self.obs.stage_span(
+            se_obs::Stage::VmCompile,
+            version,
+            compile_start,
+            self.obs.now_ns(),
+        );
+        self.obs.counter("vm.compile_runs").inc();
+        if self.obs.enabled() {
+            recompile.publish(&self.obs);
+        }
+        self.registry.insert(version, Arc::clone(&graph), runner);
+        for p in 0..self.cfg.partitions {
+            self.broker
+                .produce_to(topics::INGRESS, p, "", SfRecord::Upgrade { version }, 0)
+                .map_err(|e| vec![LangError::runtime(e.to_string())])?;
+        }
+        if !self
+            .gate
+            .wait(version, self.cfg.partitions, Duration::from_secs(60))
+        {
+            return Err(vec![LangError::runtime(format!(
+                "upgrade to v{version} timed out waiting for partition switchover"
+            ))]);
+        }
+        self.registry.set_active(version);
+        self.obs.gauge("deploy.active_version").set(version as i64);
+        *cur = CurrentDeploy { graph, vm };
+        // Versions below the immediate predecessor have fully drained (the
+        // predecessor itself stays resolvable for replay after recovery).
+        self.registry.evict_below(prev_version);
+        Ok(version)
+    }
 }
 
 impl EntityRuntime for StatefunRuntime {
@@ -291,6 +377,9 @@ impl EntityRuntime for StatefunRuntime {
             method: method.into(),
             kind: InvocationKind::Start { args },
             stack: Vec::new(),
+            // Roots are stamped with the active version by the partition
+            // task when dispatched; the switchover point is per-partition.
+            version: se_ir::INITIAL_VERSION,
         };
         let bytes = inv.approx_size();
         if let Err(e) = self.broker.produce(

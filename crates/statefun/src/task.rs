@@ -26,7 +26,10 @@ use se_chaos::{CrashPoint, HistoryEvent, Seam};
 use se_dataflow::{
     send_with_chaos, ComponentTimers, DelayReceiver, DelaySender, Epoch, SnapshotStore, StateStore,
 };
-use se_ir::{DataflowGraph, Invocation, Response, StepEffect};
+use se_ir::{
+    process_invocation_with, Invocation, InvocationKind, RequestId, Response, StepEffect,
+    VersionRegistry, INITIAL_VERSION,
+};
 use se_lang::{EntityRef, LangError};
 
 use crate::config::{CheckpointMode, StatefunConfig};
@@ -49,12 +52,56 @@ pub enum CtlMsg {
     TaskFailed(usize),
 }
 
+/// Rendezvous between [`crate::StatefunRuntime::redeploy`] and the
+/// partition tasks: each task bumps the count for a version after applying
+/// its local switch; the redeploy call blocks until every partition has
+/// counted in. Counts only grow — a task that crashes mid-upgrade re-applies
+/// the switch on replay and counts in again, which is harmless.
+#[derive(Debug, Default)]
+pub struct UpgradeGate {
+    applied: Mutex<HashMap<u64, usize>>,
+    cv: parking_lot::Condvar,
+}
+
+impl UpgradeGate {
+    /// Counts one partition in for `version`.
+    pub fn notify(&self, version: u64) {
+        *self.applied.lock().entry(version).or_insert(0) += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `tasks` partitions applied `version`; false on timeout.
+    pub fn wait(&self, version: u64, tasks: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut applied = self.applied.lock();
+        while applied.get(&version).copied().unwrap_or(0) < tasks {
+            if self.cv.wait_until(&mut applied, deadline).timed_out() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// One partition task (run on its own thread).
 pub struct PartitionTask {
     id: usize,
     cfg: StatefunConfig,
     broker: Broker<SfRecord>,
-    graph: Arc<DataflowGraph>,
+    /// All live program versions: roots are stamped with this task's
+    /// [`PartitionTask::active_version`]; in-flight and queued work resolves
+    /// through the registry at whatever version its root was stamped with.
+    registry: Arc<VersionRegistry>,
+    /// The version this partition stamps on newly arriving roots. Bumped by
+    /// [`SfRecord::Upgrade`] after the aligned drain + migration pass;
+    /// rewound on restore to match the replayed prefix.
+    active_version: u64,
+    /// Applied upgrades as `(ingress offset after the record, version)`,
+    /// ascending. Survives crashes (it mirrors what the replayed log will
+    /// redo): restore keeps entries at or below the restored offset and
+    /// replay re-applies the rest.
+    upgrades: Vec<(u64, u64)>,
+    gate: Arc<UpgradeGate>,
     store: StateStore,
     offset: u64,
     /// Outstanding dispatch per entity: the sequence number a response must
@@ -73,6 +120,7 @@ pub struct PartitionTask {
     recovery: Arc<RecoveryCtl>,
     ctl_tx: crossbeam::channel::Sender<CtlMsg>,
     shutdown: Arc<AtomicBool>,
+    obs: se_obs::Obs,
     gen: u64,
     dead: bool,
     last_epoch: Epoch,
@@ -85,7 +133,8 @@ impl PartitionTask {
         id: usize,
         cfg: StatefunConfig,
         broker: Broker<SfRecord>,
-        graph: Arc<DataflowGraph>,
+        registry: Arc<VersionRegistry>,
+        gate: Arc<UpgradeGate>,
         pool_tx: DelaySender<RemoteRequest>,
         resp_rx: DelayReceiver<RemoteResponse>,
         snapshots: Arc<SnapshotStore<StateStore>>,
@@ -93,12 +142,16 @@ impl PartitionTask {
         recovery: Arc<RecoveryCtl>,
         ctl_tx: crossbeam::channel::Sender<CtlMsg>,
         shutdown: Arc<AtomicBool>,
+        obs: se_obs::Obs,
     ) -> Self {
         Self {
             id,
             cfg,
             broker,
-            graph,
+            registry,
+            active_version: INITIAL_VERSION,
+            upgrades: Vec::new(),
+            gate,
             store: StateStore::new(),
             offset: 0,
             inflight: HashMap::new(),
@@ -112,6 +165,7 @@ impl PartitionTask {
             recovery,
             ctl_tx,
             shutdown,
+            obs,
             gen: 0,
             dead: false,
             last_epoch: 0,
@@ -181,7 +235,8 @@ impl PartitionTask {
                 init,
             } => {
                 self.timers.time("routing", || {});
-                let result = match self.graph.program.class_or_err(&class) {
+                let entry = self.registry.resolve(self.active_version);
+                let result = match entry.graph.program.class_or_err(&class) {
                     Ok(c) => {
                         let r = EntityRef::new(&class, &key);
                         self.store.insert(r, c.class.initial_state(r.key, init));
@@ -217,12 +272,34 @@ impl PartitionTask {
                 }
                 self.on_barrier(epoch);
             }
+            SfRecord::Upgrade { version } => {
+                // Crash-mid-upgrade window: the marker consumed but the
+                // switch not yet applied (or applied in memory only, ahead
+                // of the next durable barrier).
+                if self
+                    .cfg
+                    .chaos
+                    .should_crash(&self.node_name(), CrashPoint::Commit)
+                {
+                    self.crash();
+                    return;
+                }
+                self.on_upgrade(version);
+            }
             SfRecord::Response(_) => { /* egress records never reach ingress */ }
         }
     }
 
     /// Per-key serialization: one in-flight invocation per entity.
-    fn dispatch_or_queue(&mut self, inv: Invocation) {
+    fn dispatch_or_queue(&mut self, mut inv: Invocation) {
+        // Version stamping happens at arrival, for roots only: requests
+        // ordered before the `Upgrade` marker in this partition's log run
+        // the old version even if per-key queueing delays their dispatch
+        // past the switch; continuations keep the version their root was
+        // stamped with (the pinning that lets in-flight chains drain).
+        if inv.stack.is_empty() && matches!(inv.kind, InvocationKind::Start { .. }) {
+            inv.version = self.active_version;
+        }
         let target = inv.target;
         if self.inflight.contains_key(&target) {
             self.waiting.entry(target).or_default().push_back(inv);
@@ -365,6 +442,121 @@ impl PartitionTask {
         }
     }
 
+    /// Applies a live upgrade: aligned drain (the same sync point a
+    /// checkpoint barrier uses — the switch lands with zero dispatches in
+    /// flight), per-entity backfill + `__migrate__` over this partition's
+    /// slice of the store, then the root-stamping version bump. The gate
+    /// notification lets the blocked `redeploy` call return once every
+    /// partition has switched.
+    fn on_upgrade(&mut self, version: u64) {
+        // Replayed or duplicated marker for a version this incarnation
+        // already runs (e.g. the restored snapshot post-dates the switch):
+        // nothing to do, and it must not count into the gate again.
+        if version <= self.active_version {
+            return;
+        }
+        let t0 = self.obs.now_ns();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !self.inflight.is_empty() {
+            if std::time::Instant::now() > deadline {
+                break; // avoid wedging the partition on a lost response
+            }
+            if let Some(resp) = self.resp_rx.recv_timeout(Duration::from_millis(5)) {
+                if resp.gen == self.gen {
+                    self.on_response(resp);
+                }
+            }
+        }
+        let entry = self.registry.resolve(version);
+        let program = &entry.graph.program;
+        let targets: Vec<EntityRef> = self
+            .store
+            .iter()
+            .filter(|(r, state)| {
+                program.class(r.class).is_some_and(|c| {
+                    c.class.migration_method().is_some()
+                        || c.class.attrs.iter().any(|a| !state.contains_key(a.name))
+                })
+            })
+            .map(|(r, _)| *r)
+            .collect();
+        let mut migrated = 0u64;
+        for target in targets {
+            // Migration executes method bodies: scripted exec-point crashes
+            // land here too, leaving the pass half applied in memory — the
+            // replayed `Upgrade` record redoes it from the restored state.
+            if self
+                .cfg
+                .chaos
+                .should_crash(&self.node_name(), CrashPoint::Exec)
+            {
+                self.crash();
+                return;
+            }
+            let Some(committed) = self.store.get(&target) else {
+                continue;
+            };
+            let class = match program.class(target.class) {
+                Some(c) => &c.class,
+                None => continue,
+            };
+            // Attributes new in this version materialize with their
+            // declared defaults before anything runs (see the StateFlow
+            // worker's migration pass for the rationale).
+            let mut after = committed.clone();
+            for attr in &class.attrs {
+                if !after.contains_key(attr.name) {
+                    after.insert(attr.name, attr.default.clone());
+                }
+            }
+            if class.migration_method().is_some() {
+                let backfilled = after.clone();
+                let inv =
+                    Invocation::root(RequestId(0), target, se_lang::MIGRATION_METHOD, Vec::new())
+                        .at_version(version);
+                match process_invocation_with(program, &*entry.runner, inv, &mut after) {
+                    StepEffect::Respond(resp) if resp.result.is_ok() => migrated += 1,
+                    StepEffect::Respond(resp) => {
+                        let e = resp.result.unwrap_err();
+                        eprintln!(
+                            "warning: task{}: __migrate__ to v{version} failed for \
+                             {target}: {e}; entity keeps its backfilled shape",
+                            self.id
+                        );
+                        after = backfilled;
+                    }
+                    StepEffect::Emit(_) => {
+                        eprintln!(
+                            "warning: task{}: __migrate__ to v{version} suspended for \
+                             {target} (remote call); entity keeps its backfilled shape",
+                            self.id
+                        );
+                        after = backfilled;
+                    }
+                }
+            }
+            self.timers.time("state_storage", || {
+                self.store.insert(target, after);
+            });
+        }
+        self.active_version = version;
+        self.upgrades.push((self.offset, version));
+        self.obs.counter("upgrade.migrated_entities").add(migrated);
+        self.obs.stage_span(
+            se_obs::Stage::UpgradeMigrate,
+            version,
+            t0,
+            self.obs.now_ns(),
+        );
+        if let Some(h) = &self.cfg.history {
+            h.record(HistoryEvent::SfUpgrade {
+                task: self.id,
+                version,
+            });
+        }
+        self.gate.notify(version);
+    }
+
     fn crash(&mut self) {
         self.store = StateStore::new();
         self.inflight.clear();
@@ -387,6 +579,17 @@ impl PartitionTask {
         self.inflight.clear();
         self.waiting.clear();
         self.staged.clear();
+        // Rewind upgrades past the restored offset: the replayed log will
+        // re-deliver their `Upgrade` records and redo the migration from
+        // the restored (pre-upgrade) state. Upgrades at or below the offset
+        // are inside the snapshot and stay committed.
+        self.upgrades
+            .retain(|(applied_at, _)| *applied_at <= self.offset);
+        self.active_version = self
+            .upgrades
+            .last()
+            .map(|(_, v)| *v)
+            .unwrap_or(INITIAL_VERSION);
         self.gen = gen;
         self.dead = false;
         // The next incarnation begins: re-arm per-node chaos counters so a

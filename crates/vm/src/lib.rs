@@ -65,5 +65,5 @@ pub mod vm;
 pub use disasm::{disasm_class, disasm_method};
 pub use lower::{lower_method, PoolBuilder};
 pub use op::{ConstPool, Op, Reg, SuspendSpec};
-pub use program::{runner_for, VmClass, VmMethod, VmProgram};
+pub use program::{runner_for, runner_for_upgrade, VmClass, VmMethod, VmProgram};
 pub use vm::Vm;

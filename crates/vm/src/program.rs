@@ -127,6 +127,79 @@ impl VmProgram {
         }
     }
 
+    /// Lowers `program`, reusing the previous version's bytecode for every
+    /// class that is structurally unchanged.
+    ///
+    /// Reuse granularity is the *class*, not the method: a [`VmClass`] owns
+    /// one constant pool shared by all its methods, so re-lowering a single
+    /// changed method would intern into a different pool than its unchanged
+    /// siblings index into. A class is carried over verbatim when its whole
+    /// [`se_ir::CompiledClass`] compares equal to the previous version's;
+    /// otherwise every method of that class is re-lowered together.
+    pub fn compile_reusing(
+        program: &CompiledProgram,
+        prev: Option<(&CompiledProgram, &VmProgram)>,
+    ) -> VmProgram {
+        let Some((prev_ir, prev_vm)) = prev else {
+            return VmProgram::compile(program);
+        };
+        let mut classes = Vec::with_capacity(program.classes.len());
+        let mut index = Vec::new();
+        let mut skipped = Vec::new();
+        for compiled in &program.classes {
+            let reusable = prev_ir
+                .class(compiled.class.name)
+                .filter(|pc| *pc == compiled)
+                .and_then(|_| {
+                    prev_vm
+                        .classes
+                        .iter()
+                        .find(|c| c.class == compiled.class.name)
+                });
+            let vm_class = match reusable {
+                Some(prev_class) => prev_class.clone(),
+                None => {
+                    let mut pool = crate::lower::PoolBuilder::default();
+                    let mut methods = Vec::with_capacity(compiled.methods.len());
+                    for method in &compiled.methods {
+                        match crate::lower::lower_method(&mut pool, method) {
+                            Ok(vm_method) => methods.push(vm_method),
+                            Err(e) => {
+                                eprintln!(
+                                    "warning: se-vm could not lower {}.{} ({e}); \
+                                     it will run on the interpreter",
+                                    compiled.class.name, method.name
+                                );
+                                skipped.push((compiled.class.name, method.name, e));
+                            }
+                        }
+                    }
+                    VmClass {
+                        class: compiled.class.name,
+                        pool: pool.finish(),
+                        methods,
+                    }
+                }
+            };
+            // Carried-over classes keep their previous skip records too.
+            for (c, m, e) in &prev_vm.skipped {
+                if reusable.is_some() && *c == compiled.class.name {
+                    skipped.push((*c, *m, e.clone()));
+                }
+            }
+            for (mi, m) in vm_class.methods.iter().enumerate() {
+                index.push(((vm_class.class, m.name), (classes.len() as u32, mi as u32)));
+            }
+            classes.push(vm_class);
+        }
+        index.sort_unstable_by_key(|(k, _)| *k);
+        VmProgram {
+            classes,
+            index,
+            skipped,
+        }
+    }
+
     /// Methods the lowering pass rejected (falling back to the
     /// interpreter), with the rejection reason.
     pub fn skipped_methods(&self) -> &[(ClassName, Symbol, LangError)] {
@@ -186,8 +259,31 @@ pub fn runner_for(
     backend: ExecBackend,
     program: &CompiledProgram,
 ) -> std::sync::Arc<dyn BodyRunner> {
+    runner_for_upgrade(backend, program, None).0
+}
+
+/// [`runner_for`] for a redeploy: reuses the previous version's bytecode for
+/// unchanged classes (see [`VmProgram::compile_reusing`]).
+///
+/// Also returns the typed [`VmProgram`] handle (when the backend is the VM)
+/// so the caller can keep it for the *next* upgrade's reuse baseline — the
+/// `dyn BodyRunner` erasure cannot be undone later.
+pub fn runner_for_upgrade(
+    backend: ExecBackend,
+    program: &CompiledProgram,
+    prev: Option<(&CompiledProgram, &VmProgram)>,
+) -> (
+    std::sync::Arc<dyn BodyRunner>,
+    Option<std::sync::Arc<VmProgram>>,
+) {
     match backend {
-        ExecBackend::Interp => std::sync::Arc::new(se_ir::InterpBody),
-        ExecBackend::Vm => std::sync::Arc::new(VmProgram::compile(program)),
+        ExecBackend::Interp => (std::sync::Arc::new(se_ir::InterpBody), None),
+        ExecBackend::Vm => {
+            let vm = std::sync::Arc::new(VmProgram::compile_reusing(program, prev));
+            (
+                std::sync::Arc::clone(&vm) as std::sync::Arc<dyn BodyRunner>,
+                Some(vm),
+            )
+        }
     }
 }

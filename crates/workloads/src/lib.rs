@@ -21,4 +21,4 @@ pub mod ycsb;
 
 pub use dist::{Distribution, KeyChooser, Uniform, Zipfian};
 pub use driver::{load_accounts, run_open_loop, DriverConfig, RunReport};
-pub use ycsb::{key_name, ycsb_program, OpGenerator, Operation, WorkloadSpec};
+pub use ycsb::{key_name, ycsb_program, ycsb_program_v2, OpGenerator, Operation, WorkloadSpec};

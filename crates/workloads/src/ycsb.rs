@@ -98,6 +98,30 @@ pub fn ycsb_program() -> Program {
     Program::new(vec![account])
 }
 
+/// Version 2 of the YCSB+T account entity, for live-upgrade scenarios: every
+/// v1 method is byte-identical (so an incremental redeploy reuses all of
+/// them), plus a new `audit_epoch` attribute whose `__migrate__` body bumps
+/// it once per applied upgrade and an `audits` probe reading it back.
+/// Workload semantics are untouched, so a run that upgrades mid-stream must
+/// still replay cleanly through the v1 Local oracle.
+pub fn ycsb_program_v2() -> Program {
+    let Program { mut classes, .. } = ycsb_program();
+    let account = classes.remove(0);
+    let account = ClassBuilder::from_class(account)
+        .attr_default("audit_epoch", Type::Int, Value::Int(0))
+        .method(
+            MethodBuilder::new("audits")
+                .returns(Type::Int)
+                .body(vec![ret(attr("audit_epoch"))]),
+        )
+        .migration(vec![attr_assign(
+            "audit_epoch",
+            add(attr("audit_epoch"), int(1)),
+        )])
+        .build();
+    Program::new(vec![account])
+}
+
 /// Key name of record `i`.
 pub fn key_name(i: usize) -> String {
     format!("user{i}")

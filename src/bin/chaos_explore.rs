@@ -3,14 +3,16 @@
 //!
 //! Each scenario samples a point in {workload A/T, zipfian/uniform key
 //! popularity, pipeline depth 1/2/4/8, execution backend interp/vm,
-//! exec-pool size 1/4, durability off/wal, seeded fault script} — a
-//! 128-cell matrix — and runs a contended workload (plus, for T, a slice of
-//! transfers to a nonexistent "ghost" account, so errored transactions
-//! share batches with healthy ones). Durable scenarios additionally sample
-//! an fsync policy and arm disk-fault generation (torn/lost WAL tails, bit
-//! flips, missing base snapshots, slow/failed fsyncs), so recovery runs
-//! from damaged disks. The run records its execution history; a scenario
-//! passes only if
+//! exec-pool size 1/4, durability off/wal, live upgrade on/off, seeded
+//! fault script} — a 256-cell matrix — and runs a contended workload (plus,
+//! for T, a slice of transfers to a nonexistent "ghost" account, so errored
+//! transactions share batches with healthy ones). Durable scenarios
+//! additionally sample an fsync policy and arm disk-fault generation
+//! (torn/lost WAL tails, bit flips, missing base snapshots, slow/failed
+//! fsyncs), so recovery runs from damaged disks. Upgrade scenarios redeploy
+//! a semantics-preserving v2 of the account class mid-stream, so the
+//! epoch-boundary switchover and its migration pass race the fault script.
+//! The run records its execution history; a scenario passes only if
 //!
 //! 1. every request completes (liveness — quarantined messages and scripted
 //!    crashes must never wedge the system),
@@ -29,10 +31,12 @@
 //! default 20; `--scenarios N` wins), `SE_TIME_SCALE` (applied to the
 //! simulated network), `SE_CHAOS_INJECT_BUG` (pair with `--expect-bug`):
 //! `reserve-errored` reverts the errored-transaction reservation fix — the
-//! self-test proving the harness catches a real historical bug — and
+//! self-test proving the harness catches a real historical bug;
 //! `wal-no-crc` disables WAL checksum validation at recovery while forcing
 //! durable scenarios with bit-flip disk faults, proving the harness catches
-//! silently corrupted recovery state.
+//! silently corrupted recovery state; `torn-upgrade` makes the coordinator
+//! resume sealing batches while a live upgrade's migration pass is still in
+//! flight, proving the checker catches a non-atomic version switchover.
 
 use std::time::Duration;
 
@@ -44,7 +48,7 @@ use se_chaos::{CrashFault, CrashPoint};
 use stateful_entities::prelude::*;
 use stateful_entities::{
     check_history, serial_order, ChaosPlan, DiskFault, DiskFaultKind, DurabilityMode, FaultScript,
-    FsyncPolicy, History, ScriptConfig, StateflowConfig,
+    FsyncPolicy, History, ScriptConfig, StateflowConfig, StateflowRuntime,
 };
 
 const WORKERS: usize = 3;
@@ -81,22 +85,26 @@ struct Scenario {
     /// Fsync policy string for durable scenarios (`"-"` with durability
     /// off): `every-commit`, `on-epoch`, `every-3` or `never`.
     fsync: String,
+    /// Whether a semantics-preserving v2 of the account class is
+    /// live-redeployed halfway through the request stream.
+    upgrade: bool,
     script: FaultScript,
 }
 
 impl Scenario {
     fn sample(seed: u64) -> Scenario {
         // The workload point comes from the seed's low bits, so the
-        // sequential seeds of one run sweep the whole 128-cell matrix
+        // sequential seeds of one run sweep the whole 256-cell matrix
         // (A/T × zipfian/uniform × depth {1,2,4,8} × interp/vm ×
-        // exec-pool {1,4} × durability off/wal) deterministically; the
-        // fault script comes from the full seed.
+        // exec-pool {1,4} × durability off/wal × upgrade off/on)
+        // deterministically; the fault script comes from the full seed.
         let workload = if seed & 1 == 0 { "A" } else { "T" };
         let dist = if seed & 2 == 0 { "zipfian" } else { "uniform" };
         let depth = [1usize, 2, 4, 8][(seed >> 2) as usize % 4];
         let backend = if seed & 16 == 0 { "interp" } else { "vm" };
         let exec_threads = if seed & 32 == 0 { 1 } else { 4 };
         let durability = if seed & 64 == 0 { "off" } else { "wal" };
+        let upgrade = seed & 128 != 0;
         let mut script_cfg = ScriptConfig::stateflow(WORKERS);
         let fsync = if durability == "wal" {
             // Disk faults only make sense against a WAL; the fsync policy
@@ -117,6 +125,7 @@ impl Scenario {
             exec_threads,
             durability,
             fsync,
+            upgrade,
             script,
         }
     }
@@ -212,6 +221,10 @@ enum Bug {
     /// WAL recovery skips checksum validation, so a flipped bit in a
     /// replayed record silently corrupts the restored state.
     WalNoCrc,
+    /// The coordinator resumes sealing batches while a live upgrade's
+    /// migration pass is still in flight, so batches commit inside the
+    /// (supposedly sealed) upgrade window — a non-atomic switchover.
+    TornUpgrade,
 }
 
 /// Runs one scenario under `script`; `Ok` carries a short stats line.
@@ -226,6 +239,7 @@ fn run_scenario(
     obs_dir: Option<&std::path::Path>,
 ) -> Result<String, String> {
     let program = se_workloads::ycsb_program();
+    let upgrading = sc.upgrade || bug == Bug::TornUpgrade;
     let mut cfg = StateflowConfig::fast_test(WORKERS);
     if let Some(dir) = obs_dir {
         cfg.obs = se_obs::ObsConfig {
@@ -257,6 +271,18 @@ fn run_scenario(
         cfg.pipeline_depth = 1;
         cfg.snapshot_every_batches = 1;
     }
+    if bug == Bug::TornUpgrade {
+        // The lever only manifests when a batch seals *inside* the open
+        // upgrade window; at test-speed hops the window is microseconds
+        // wide. Real-time slow control-plane hops (the directed scenario
+        // overrides the ambient time scale) stretch the migration round
+        // trip to ~10 ms while a short batch interval keeps records
+        // sealing through it.
+        cfg.inject_torn_upgrade = true;
+        cfg.net.time_scale = 1.0;
+        cfg.net.f2f_hop = Duration::from_millis(5);
+        cfg.batch_interval = Duration::from_millis(1);
+    }
     cfg.chaos = ChaosPlan::from_script(script.clone());
     cfg.inject_reserve_bug = bug == Bug::ReserveErrored;
     let history = History::new();
@@ -264,9 +290,10 @@ fn run_scenario(
     let rule = cfg.commit_rule;
     let chaos = cfg.chaos.clone();
 
-    let rt = deploy(&program, RuntimeChoice::Stateflow(cfg))
-        .map_err(|e| format!("deploy failed: {e:?}"))?;
-    se_workloads::load_accounts(rt.as_ref(), ACCOUNTS, VALUE_SIZE, INITIAL_BALANCE);
+    let graph =
+        stateful_entities::compile(&program).map_err(|e| format!("deploy failed: {e:?}"))?;
+    let rt = std::sync::Arc::new(StateflowRuntime::deploy(graph, cfg));
+    se_workloads::load_accounts(&*rt, ACCOUNTS, VALUE_SIZE, INITIAL_BALANCE);
 
     let ops = ops_for(sc);
     let mut waiters = Vec::with_capacity(ops.len());
@@ -278,10 +305,26 @@ fn run_scenario(
         // epoch cut, and a mid-execution bit flip lands on the *previous*
         // batch's commit record — inside the replayed prefix.
         (5, Duration::from_millis(12))
+    } else if bug == Bug::TornUpgrade {
+        // Space requests out so records keep arriving while the redeploy's
+        // migration round trip is in flight — under the lever those seal
+        // inside the open upgrade window.
+        (1, Duration::from_micros(300))
     } else {
         (15, Duration::from_millis(2))
     };
+    // Upgrade scenarios redeploy the semantics-preserving v2 from a side
+    // thread at the stream's halfway point, so the switchover races both
+    // in-flight traffic and any scripted faults.
+    let mut redeployer: Option<std::thread::JoinHandle<Result<u64, String>>> = None;
     for (i, op) in ops.iter().enumerate() {
+        if upgrading && i == ops.len() / 2 {
+            let rt2 = std::sync::Arc::clone(&rt);
+            redeployer = Some(std::thread::spawn(move || {
+                rt2.redeploy(&se_workloads::ycsb_program_v2())
+                    .map_err(|e| format!("redeploy failed: {e:?}"))
+            }));
+        }
         let (target, method, args) = invocation(op);
         waiters.push((op.clone(), rt.call_async(target, method, args)));
         if i % pause_every == pause_every - 1 {
@@ -306,10 +349,64 @@ fn run_scenario(
             (_, Ok(_)) => {}
         }
     }
+    if let Some(handle) = redeployer {
+        let v2 = handle
+            .join()
+            .map_err(|_| "redeploy thread panicked".to_string())??;
+        if v2 != 2 {
+            return Err(format!(
+                "the mid-run redeploy must produce version 2, got {v2}"
+            ));
+        }
+    }
+
+    // Quiesce before judging. A scripted crash near the end of the client
+    // stream leaves a post-recovery replay still re-executing requests whose
+    // waiters were answered in the previous lineage; capturing the history
+    // mid-replay fabricates dangling retries and truncated serial orders.
+    // The probes double as barriers — the source replays in order, so each
+    // answer proves every earlier record re-decided — and the settle loop
+    // covers the short tail of fallback retries sealed after the last
+    // probe's own batch.
+    let mut probed = Vec::new();
+    for k in 0..ACCOUNTS {
+        for probe in ["balance", "read"] {
+            let got = rt.call(acct(k), probe, vec![]).map_err(|e| e.to_string());
+            probed.push((k, probe, got));
+        }
+    }
+    let settle_deadline = std::time::Instant::now() + WAIT;
+    let mut last_len = history.events().len();
+    let mut stable = 0;
+    while stable < 3 {
+        std::thread::sleep(Duration::from_millis(40));
+        let len = history.events().len();
+        if len == last_len {
+            stable += 1;
+            continue;
+        }
+        if std::time::Instant::now() >= settle_deadline {
+            return Err(format!(
+                "history kept growing while settling ({last_len} -> {len} events)"
+            ));
+        }
+        (last_len, stable) = (len, 0);
+    }
 
     // Verify: history checker, then serial replay through the Local oracle.
     let events = history.events();
+    if std::env::var("SE_CHAOS_DUMP_HISTORY").is_ok() {
+        for e in events.iter().rev().take(40).rev() {
+            eprintln!("HIST {e:?}");
+        }
+    }
     let summary = check_history(&events, rule).map_err(|e| format!("history check: {e}"))?;
+    // At least one committed upgrade must survive; a crash that rewinds
+    // past the upgrade's epoch cut legitimately re-arms and re-commits it
+    // in the new lineage, so the count may exceed one.
+    if upgrading && bug == Bug::None && summary.upgrades == 0 {
+        return Err("the mid-run redeploy never committed an upgrade".to_string());
+    }
     let order = serial_order(&events).map_err(|e| format!("serial order: {e}"))?;
     let oracle =
         deploy(&program, RuntimeChoice::Local).map_err(|e| format!("oracle deploy: {e:?}"))?;
@@ -326,27 +423,25 @@ fn run_scenario(
             ));
         }
     }
-    for k in 0..ACCOUNTS {
-        for probe in ["balance", "read"] {
-            let got = rt.call(acct(k), probe, vec![]).map_err(|e| e.to_string());
-            let want = oracle
-                .call(acct(k), probe, vec![])
-                .map_err(|e| e.to_string());
-            if got != want {
-                return Err(format!(
-                    "final state diverged on account {k} ({probe}): {got:?} != {want:?}"
-                ));
-            }
+    for (k, probe, got) in &probed {
+        let want = oracle
+            .call(acct(*k), probe, vec![])
+            .map_err(|e| e.to_string());
+        if *got != want {
+            return Err(format!(
+                "final state diverged on account {k} ({probe}): {got:?} != {want:?}"
+            ));
         }
     }
     let line = format!(
         "{} commits ({} surviving), {} retries, {} failed, {} recoveries, \
-         {} crashes + {} msg + {} disk faults fired",
+         {} upgrades, {} crashes + {} msg + {} disk faults fired",
         summary.commits,
         summary.surviving_commits,
         summary.retries,
         summary.failed,
         summary.recoveries,
+        summary.upgrades,
         chaos.crashes_fired(),
         chaos.msg_faults_fired(),
         chaos.disk_faults_fired(),
@@ -462,12 +557,14 @@ fn main() {
         None | Some("") => Bug::None,
         Some("reserve-errored") => Bug::ReserveErrored,
         Some("wal-no-crc") => Bug::WalNoCrc,
+        Some("torn-upgrade") => Bug::TornUpgrade,
         Some(other) => panic!("unknown SE_CHAOS_INJECT_BUG={other:?}"),
     };
     let bug_name = match bug {
         Bug::None => "",
         Bug::ReserveErrored => "reserve-errored",
         Bug::WalNoCrc => "wal-no-crc",
+        Bug::TornUpgrade => "torn-upgrade",
     };
     println!(
         "chaos_explore: {scenarios} scenarios, master seed {seed:#x}, \
@@ -496,6 +593,8 @@ fn main() {
             sc.workload = "T";
             sc.durability = "wal";
             sc.fsync = "never".into();
+            // Keep the corruption self-test focused on the WAL path.
+            sc.upgrade = false;
             sc.script = FaultScript {
                 crashes: vec![CrashFault {
                     node: "worker1".into(),
@@ -516,8 +615,19 @@ fn main() {
                 ..FaultScript::default()
             };
         }
+        if bug == Bug::TornUpgrade {
+            // Directed shape: the lever only matters when an upgrade
+            // happens, and the single-entity workload A keeps the
+            // slow-control-plane run short. No scripted faults — the
+            // seeded bug alone must trip the checker.
+            sc.workload = "A";
+            sc.durability = "off";
+            sc.fsync = "-".into();
+            sc.upgrade = true;
+            sc.script = FaultScript::default();
+        }
         let label = format!(
-            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} exec {} dur {}/{} ({} faults)",
+            "[{k:>3}] seed {scenario_seed:#x} {}-{} depth {} {} exec {} dur {}/{}{} ({} faults)",
             sc.workload,
             sc.dist,
             sc.depth,
@@ -525,6 +635,7 @@ fn main() {
             sc.exec_threads,
             sc.durability,
             sc.fsync,
+            if sc.upgrade { " upg" } else { "" },
             sc.script.fault_count()
         );
         match run_scenario(&sc, &sc.script, time_scale, bug, None) {

@@ -276,3 +276,80 @@ fn durability_on_vs_off_histories_are_byte_identical() {
         "the WAL write path leaked into logical execution"
     );
 }
+
+/// Total on-disk `wal.log` bytes across every worker subdirectory.
+fn wal_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    for entry in std::fs::read_dir(dir).expect("read durability dir") {
+        let wal = entry.expect("dir entry").path().join("wal.log");
+        if let Ok(meta) = std::fs::metadata(&wal) {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+/// WAL reclamation: every completed snapshot round advances the cluster
+/// durable floor, and the next snapshot marker compacts each worker's log
+/// below it — so a long run's on-disk WAL stays a fraction of the
+/// never-compacted control's. The compacted run also takes a *late* crash,
+/// proving a partition can still rejoin from its rewritten log, and both
+/// runs must stay oracle-equal.
+#[test]
+fn snapshots_reclaim_wal_space() {
+    let stamp = format!(
+        "se-wal-reclaim-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    );
+    let compacted_dir = std::env::temp_dir().join(format!("{stamp}-compacted"));
+    let control_dir = std::env::temp_dir().join(format!("{stamp}-control"));
+    std::fs::create_dir_all(&compacted_dir).unwrap();
+    std::fs::create_dir_all(&control_dir).unwrap();
+
+    // Compacted run: snapshots every 2 batches, crash after the floor has
+    // had time to advance past several compactions.
+    let mut cfg = durable_cfg(3);
+    cfg.durability.dir = Some(compacted_dir.clone());
+    cfg.chaos = ChaosPlan::from_script(FaultScript {
+        crashes: vec![CrashFault {
+            node: "worker1".into(),
+            point: CrashPoint::Exec,
+            after_events: 40,
+        }],
+        ..FaultScript::default()
+    });
+    crashed_durable_run_matches_oracle(cfg, 200);
+
+    // Control run: durability on, snapshots off — no floor, no compaction,
+    // the log keeps every commit of the run.
+    let mut cfg = durable_cfg(3);
+    cfg.durability.dir = Some(control_dir.clone());
+    cfg.snapshot_every_batches = 0;
+    let program = se_workloads::ycsb_program();
+    let graph = stateful_entities::compile(&program).unwrap();
+    let rt = stateful_entities::StateflowRuntime::deploy(graph, cfg);
+    se_workloads::load_accounts(&rt, 5, 8, 200);
+    let waiters: Vec<_> = (0..200)
+        .map(|i| rt.call_async(acct(i % 5), "deposit", vec![Value::Int((i % 9 + 1) as i64)]))
+        .collect();
+    for w in waiters {
+        w.wait_timeout(WAIT).expect("completes").expect("no error");
+    }
+    rt.shutdown();
+
+    let compacted = wal_bytes(&compacted_dir);
+    let control = wal_bytes(&control_dir);
+    assert!(control > 0, "control run must leave a WAL behind");
+    assert!(compacted > 0, "compacted run must leave a WAL behind");
+    assert!(
+        compacted * 2 < control,
+        "snapshots must reclaim WAL space: compacted {compacted} bytes \
+         vs never-compacted {control} bytes"
+    );
+    std::fs::remove_dir_all(&compacted_dir).ok();
+    std::fs::remove_dir_all(&control_dir).ok();
+}
