@@ -292,6 +292,114 @@ fn main() {
         }
     }
 
+    // Same-run VM-optimization speedup rows: each compute-bound (workload C)
+    // cell runs twice on the VM backend — the full optimization pipeline vs
+    // `SE_VM_OPT=off` — and `tput_rps` holds the on/off throughput ratio.
+    // Same-run pairing cancels run-wide noise exactly like the exec-pool
+    // ratios above; the CI perf gate keys on these rows so a regression in
+    // the VM's lowering optimizations (folding, superinstructions,
+    // quickening) turns the gate red even though both sides still "work".
+    //
+    // The spin count is scaled ×16 over the sweep default (4096 turns at
+    // the canonical config, `SE_VM_OPT_SPIN_ITERS` overrides): at the
+    // default 256 the body costs ≤ ~15 µs either way and the coordinator's
+    // ~90 µs/request floor hides the lowering entirely (on/off ≈ 1.0×, so
+    // a total fusion regression would sit inside the gate tolerance). At
+    // 4096 turns the single exec thread is the bottleneck and the ratio
+    // directly tracks dispatch-loop quality.
+    {
+        let workers = workers_ladder[0];
+        let exec_threads = exec_ladder[0];
+        let depth = depth_ladder[0];
+        let n_keys = keys_ladder[0];
+        let spin_iters = env_usize("SE_VM_OPT_SPIN_ITERS", spin_iters as usize * 16) as i64;
+        let prev_opt = std::env::var("SE_VM_OPT").ok();
+        for (cell_name, spec, dist) in &cells {
+            if spec.name != "C" {
+                continue;
+            }
+            let mut measured = Vec::new();
+            for opt in ["off", "on"] {
+                std::env::set_var("SE_VM_OPT", if opt == "on" { "all" } else { "off" });
+                let mut cfg = se_bench::stateflow_bench_config();
+                cfg.workers = workers;
+                cfg.exec_threads = forced_exec.unwrap_or(exec_threads);
+                cfg.pipeline_depth = depth;
+                cfg.backend = ExecBackend::Vm;
+                let program = se_workloads::ycsb_program();
+                let graph = compile(&program).expect("compile");
+                let rt = StateflowRuntime::deploy(graph, cfg);
+                load_accounts(&rt, n_keys, 1024, 1_000_000);
+                let driver = DriverConfig {
+                    rps: offered,
+                    requests,
+                    seed: 0x51EE9,
+                    value_size: 1024,
+                    time_scale: se_bench::time_scale(),
+                    spin_iters,
+                    latency_hist: rt.obs().histogram("driver.latency"),
+                };
+                let report = run_open_loop(&rt, *spec, *dist, n_keys, &driver);
+                let label = format!("{cell_name}@w{workers}x{exec_threads}d{depth}-vm-opt-{opt}");
+                eprintln!(
+                    "  {label:<34} tput {:>7.0} rps  p99 {:>8.2} ms",
+                    report.throughput_rps(),
+                    se_bench::ms(report.latency.p99),
+                );
+                measured.push((report.throughput_rps(), report.latency.p99));
+                rows.push(
+                    Row::from_report(label, "stateflow", offered, &report)
+                        .with_param("workers", workers)
+                        .with_param("exec_threads", exec_threads)
+                        .with_param("depth", depth)
+                        .with_param("backend", "vm")
+                        .with_param("vm_opt", opt)
+                        .with_param("keys", n_keys)
+                        .with_param("workload", spec.name)
+                        .with_param("dist", dist.label())
+                        .with_param("spin_iters", spin_iters)
+                        .with_param("requests", requests),
+                );
+                rt.shutdown();
+            }
+            let ((off_tput, _), (on_tput, on_p99)) = (measured[0], measured[1]);
+            if off_tput > 0.0 {
+                let ratio = on_tput / off_tput;
+                eprintln!(
+                    "  vm_opt speedup {cell_name}@w{workers}d{depth}: on vs off = {ratio:.2}x"
+                );
+                rows.push(
+                    Row {
+                        bench: String::new(),
+                        label: format!(
+                            "{cell_name}@w{workers}x{exec_threads}d{depth}-vm-opt-speedup"
+                        ),
+                        system: "stateflow".to_string(),
+                        params: Default::default(),
+                        rps: offered,
+                        mean_ms: 0.0,
+                        p50_ms: 0.0,
+                        p99_ms: se_bench::ms(on_p99),
+                        tput_rps: ratio,
+                        count: requests,
+                        errors: 0,
+                        queue_p99_ms: 0.0,
+                        exec_utilization: 0.0,
+                        fsync_p99_ms: 0.0,
+                        commit: String::new(),
+                    }
+                    .with_param("metric", "speedup")
+                    .with_param("vm_opt", "ratio-on-vs-off")
+                    .with_param("requests", requests),
+                );
+            }
+        }
+        match prev_opt {
+            Some(v) => std::env::set_var("SE_VM_OPT", v),
+            None => std::env::remove_var("SE_VM_OPT"),
+        }
+    }
+
     emit(
         "pipeline_sweep",
         "Scaling sweep — saturation throughput across workers × exec_threads × depth × backend",

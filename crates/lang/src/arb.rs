@@ -67,12 +67,44 @@ impl ScopeCtx {
     }
 }
 
+/// Strategy for *constant-foldable* int expressions: trees built from
+/// literals only — no variable, attribute or list reads — so a folding
+/// lowering pass can evaluate them entirely at compile time.
+///
+/// Raw division/modulo are included deliberately: a literal denominator may
+/// be zero, in which case the fold must *fail* and leave the expression for
+/// runtime, where both backends raise the identical `DivisionByZero` in the
+/// identical order. Mixing these subtrees into every generated body keeps
+/// the differential suite honest about fold-vs-run equivalence.
+pub fn arb_foldable_int_expr() -> BoxedStrategy<Expr> {
+    let leaf = (-20i64..100).prop_map(int).boxed();
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..5).prop_map(|(a, b, k)| match k {
+                0 => add(a, b),
+                1 => sub(a, b),
+                2 => mul(a, b),
+                3 => min2(a, b),
+                _ => max2(a, b),
+            }),
+            inner.clone().prop_map(abs),
+            inner.clone().prop_map(neg),
+            // Literal div/mod: folds when the denominator is nonzero,
+            // otherwise must defer to runtime for the error.
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| div(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| modulo(a, b)),
+        ]
+    })
+    .boxed()
+}
+
 /// Strategy for int-typed expressions over the context's scope.
 ///
 /// Includes guarded division (denominator `abs(e) + 1`, never zero), *raw*
 /// division/modulo (runtime `DivisionByZero` coverage — both backends must
-/// produce the identical error), and list indexing via `xs[e % len(xs)]`
-/// (in range by construction, since `xs` never shrinks below 2 elements).
+/// produce the identical error), list indexing via `xs[e % len(xs)]`
+/// (in range by construction, since `xs` never shrinks below 2 elements),
+/// and whole constant-foldable subtrees ([`arb_foldable_int_expr`]).
 pub fn arb_int_expr(ctx: &ScopeCtx) -> BoxedStrategy<Expr> {
     let reads = ctx.reads.clone();
     let attr_name = ctx.attr;
@@ -81,6 +113,7 @@ pub fn arb_int_expr(ctx: &ScopeCtx) -> BoxedStrategy<Expr> {
         select(reads).prop_map(var),
         Just(attr(attr_name)),
         Just(len(var("xs"))),
+        arb_foldable_int_expr(),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
@@ -143,6 +176,19 @@ pub fn arb_stmt_chunk(ctx: &ScopeCtx, depth: u32) -> BoxedStrategy<Vec<Stmt>> {
             .prop_map(move |e| vec![attr_assign(attr_name, e)]),
         ints.clone()
             .prop_map(|e| vec![assign("xs", append(var("xs"), e))]),
+        // Attr-heavy read-modify-write: `self.a = <op>(self.a, e)` — the
+        // exact shape the VM's superinstruction pass fuses
+        // (LoadAttr+Binary, Binary+StoreAttr) and its inline caches
+        // quicken, so the differential suite stresses those paths.
+        (ints.clone(), 0usize..3).prop_map(move |(e, k)| {
+            let a = attr(attr_name);
+            let rmw = match k {
+                0 => add(a, e),
+                1 => sub(a, e),
+                _ => mul(a, e),
+            };
+            vec![attr_assign(attr_name, rmw)]
+        }),
     ];
     if depth == 0 {
         return base.boxed();

@@ -90,6 +90,7 @@ pub enum Value {
 
 impl Value {
     /// Human-readable name of the value's runtime type.
+    #[inline]
     pub fn type_name(&self) -> &'static str {
         match self {
             Value::Unit => "unit",
@@ -106,6 +107,7 @@ impl Value {
 
     /// Returns the boolean interpretation of the value, following Python
     /// truthiness for the types our DSL supports.
+    #[inline]
     pub fn truthy(&self) -> bool {
         match self {
             Value::Unit => false,
@@ -121,6 +123,7 @@ impl Value {
     }
 
     /// Extracts an `i64`, erroring with the expected/actual type names.
+    #[inline]
     pub fn as_int(&self) -> Result<i64, LangError> {
         match self {
             Value::Int(i) => Ok(*i),
@@ -162,6 +165,7 @@ impl Value {
     }
 
     /// Extracts an entity reference.
+    #[inline]
     pub fn as_ref(&self) -> Result<&EntityRef, LangError> {
         match self {
             Value::Ref(r) => Ok(r),
@@ -256,63 +260,150 @@ impl From<EntityRef> for Value {
     }
 }
 
+/// Iterator over a [`SymbolMap`]'s `(name, value)` pairs in interning order.
+pub type SymbolMapIter<'a> = std::iter::Map<
+    std::slice::Iter<'a, (Symbol, Value)>,
+    fn(&'a (Symbol, Value)) -> (&'a Symbol, &'a Value),
+>;
+
+/// Iterator over a [`SymbolMap`]'s names in interning order.
+pub type SymbolMapKeys<'a> =
+    std::iter::Map<std::slice::Iter<'a, (Symbol, Value)>, fn(&'a (Symbol, Value)) -> &'a Symbol>;
+
+/// Iterator over a [`SymbolMap`]'s values in key (interning) order.
+pub type SymbolMapValues<'a> =
+    std::iter::Map<std::slice::Iter<'a, (Symbol, Value)>, fn(&'a (Symbol, Value)) -> &'a Value>;
+
 /// A symbol-keyed, copy-on-write map of [`Value`]s.
 ///
 /// This is the shape of both an entity's attribute map ([`EntityState`]) and
 /// a method activation's local environment (`se_lang::Env`). The map is a
-/// [`BTreeMap`] behind an [`Arc`]:
+/// vector of entries sorted by [`Symbol`] id behind an [`Arc`]:
 ///
 /// * **`clone` is O(1)** — a refcount bump. Snapshots, suspension frames,
 ///   shipped states and Aria's execute-phase reads all clone entity state;
 ///   none of them pay for its size anymore.
 /// * **writes are copy-on-write** — mutating methods go through
-///   [`Arc::make_mut`], which copies the tree only when it is shared. Write
-///   amplification is therefore confined to entities that are actually
+///   [`Arc::make_mut`], which copies the vector only when it is shared.
+///   Write amplification is therefore confined to entities that are actually
 ///   mutated while a snapshot (or other reader) still holds them.
+/// * **lookups are positional** — the maps are small (an entity's
+///   attributes, a method's locals), so a binary search over integer keys in
+///   one contiguous allocation beats a tree; and an entry's *position* is a
+///   cheap inline-cache hint the VM's quickened attribute ops validate in
+///   O(1) ([`SymbolMap::get_hinted`]) instead of re-searching.
 /// * **iteration order is interning order** (see [`Symbol`]); serialization
 ///   sorts entries by name so snapshot/replay artifacts stay byte-stable
 ///   and human-readable regardless of interner state.
 #[derive(Debug, Clone, Default)]
 pub struct SymbolMap {
-    inner: Arc<BTreeMap<Symbol, Value>>,
+    inner: Arc<Vec<(Symbol, Value)>>,
 }
 
 impl SymbolMap {
+    /// Sentinel position hint meaning "no cached position" (see
+    /// [`SymbolMap::get_hinted`]).
+    pub const NO_HINT: u32 = u32::MAX;
+
     /// An empty map.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Position of `key` in the sorted entry vector.
+    #[inline]
+    fn pos(&self, key: Symbol) -> Result<usize, usize> {
+        self.inner.binary_search_by_key(&key, |(k, _)| *k)
+    }
+
     /// Looks up `key`. Accepts anything convertible to a [`Symbol`]
     /// (symbols themselves on the hot path, `&str` in tests and tools).
     pub fn get(&self, key: impl Into<Symbol>) -> Option<&Value> {
-        self.inner.get(&key.into())
+        match self.pos(key.into()) {
+            Ok(i) => Some(&self.inner[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Hint-validated lookup: the inline-cache fast path of the VM's
+    /// quickened attribute loads.
+    ///
+    /// `hint` is a position from a previous lookup of `key` (on this map or
+    /// any map with the same layout, e.g. another entity of the same class).
+    /// If `inner[hint]` still holds `key` the value is returned without
+    /// searching; otherwise this falls back to binary search. The returned
+    /// position is the caller's next hint ([`SymbolMap::NO_HINT`] when the
+    /// key is absent). A stale hint is never unsafe — it can only point at a
+    /// wrong *symbol*, which the equality check rejects.
+    #[inline]
+    pub fn get_hinted(&self, key: Symbol, hint: u32) -> (Option<&Value>, u32) {
+        if let Some((k, v)) = self.inner.get(hint as usize) {
+            if *k == key {
+                return (Some(v), hint);
+            }
+        }
+        match self.pos(key) {
+            Ok(i) => (Some(&self.inner[i].1), i as u32),
+            Err(_) => (None, Self::NO_HINT),
+        }
+    }
+
+    /// Hint-validated write to an *existing* entry (copy-on-write): the
+    /// inline-cache fast path of the VM's quickened attribute stores.
+    ///
+    /// Returns the entry's position (the caller's next hint), or `None` —
+    /// without modifying the map — when `key` is absent.
+    #[inline]
+    pub fn set_existing_hinted(&mut self, key: Symbol, value: Value, hint: u32) -> Option<u32> {
+        let idx = if self
+            .inner
+            .get(hint as usize)
+            .is_some_and(|(k, _)| *k == key)
+        {
+            hint as usize
+        } else {
+            self.pos(key).ok()?
+        };
+        Arc::make_mut(&mut self.inner)[idx].1 = value;
+        Some(idx as u32)
     }
 
     /// Mutable access to the value under `key` (copy-on-write).
     pub fn get_mut(&mut self, key: impl Into<Symbol>) -> Option<&mut Value> {
-        Arc::make_mut(&mut self.inner).get_mut(&key.into())
+        let i = self.pos(key.into()).ok()?;
+        Some(&mut Arc::make_mut(&mut self.inner)[i].1)
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: impl Into<Symbol>) -> bool {
-        self.inner.contains_key(&key.into())
+        self.pos(key.into()).is_ok()
     }
 
     /// Inserts `value` under `key` (copy-on-write), returning the previous
     /// value if any.
     pub fn insert(&mut self, key: impl Into<Symbol>, value: Value) -> Option<Value> {
-        Arc::make_mut(&mut self.inner).insert(key.into(), value)
+        let key = key.into();
+        match self.pos(key) {
+            Ok(i) => Some(std::mem::replace(
+                &mut Arc::make_mut(&mut self.inner)[i].1,
+                value,
+            )),
+            Err(i) => {
+                Arc::make_mut(&mut self.inner).insert(i, (key, value));
+                None
+            }
+        }
     }
 
     /// Removes `key` (copy-on-write), returning its value if present.
     pub fn remove(&mut self, key: impl Into<Symbol>) -> Option<Value> {
-        Arc::make_mut(&mut self.inner).remove(&key.into())
+        let i = self.pos(key.into()).ok()?;
+        Some(Arc::make_mut(&mut self.inner).remove(i).1)
     }
 
     /// Keeps only the entries for which `f` returns true (copy-on-write).
-    pub fn retain(&mut self, f: impl FnMut(&Symbol, &mut Value) -> bool) {
-        Arc::make_mut(&mut self.inner).retain(f);
+    pub fn retain(&mut self, mut f: impl FnMut(&Symbol, &mut Value) -> bool) {
+        Arc::make_mut(&mut self.inner).retain_mut(|(k, v)| f(k, v));
     }
 
     /// Number of entries.
@@ -326,18 +417,27 @@ impl SymbolMap {
     }
 
     /// Iterates `(name, value)` pairs in interning order.
-    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, Symbol, Value> {
-        self.inner.iter()
+    pub fn iter(&self) -> SymbolMapIter<'_> {
+        fn split(e: &(Symbol, Value)) -> (&Symbol, &Value) {
+            (&e.0, &e.1)
+        }
+        self.inner.iter().map(split)
     }
 
     /// Iterates the names in interning order.
-    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, Symbol, Value> {
-        self.inner.keys()
+    pub fn keys(&self) -> SymbolMapKeys<'_> {
+        fn key(e: &(Symbol, Value)) -> &Symbol {
+            &e.0
+        }
+        self.inner.iter().map(key)
     }
 
     /// Iterates the values in key (interning) order.
-    pub fn values(&self) -> std::collections::btree_map::Values<'_, Symbol, Value> {
-        self.inner.values()
+    pub fn values(&self) -> SymbolMapValues<'_> {
+        fn val(e: &(Symbol, Value)) -> &Value {
+            &e.1
+        }
+        self.inner.iter().map(val)
     }
 
     /// Whether two maps share the same underlying storage. A true result
@@ -375,9 +475,13 @@ impl PartialEq for SymbolMap {
 
 impl<S: Into<Symbol>> FromIterator<(S, Value)> for SymbolMap {
     fn from_iter<T: IntoIterator<Item = (S, Value)>>(iter: T) -> Self {
-        Self {
-            inner: Arc::new(iter.into_iter().map(|(k, v)| (k.into(), v)).collect()),
+        // Insert one by one so a duplicate key keeps the *last* value, like
+        // a map collect. The maps are small; quadratic worst case is fine.
+        let mut m = SymbolMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
         }
+        m
     }
 }
 
@@ -389,21 +493,23 @@ impl<S: Into<Symbol>, const N: usize> From<[(S, Value); N]> for SymbolMap {
 
 impl<S: Into<Symbol>> Extend<(S, Value)> for SymbolMap {
     fn extend<T: IntoIterator<Item = (S, Value)>>(&mut self, iter: T) {
-        Arc::make_mut(&mut self.inner).extend(iter.into_iter().map(|(k, v)| (k.into(), v)));
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
     }
 }
 
 impl<'a> IntoIterator for &'a SymbolMap {
     type Item = (&'a Symbol, &'a Value);
-    type IntoIter = std::collections::btree_map::Iter<'a, Symbol, Value>;
+    type IntoIter = SymbolMapIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.inner.iter()
+        self.iter()
     }
 }
 
 impl IntoIterator for SymbolMap {
     type Item = (Symbol, Value);
-    type IntoIter = std::collections::btree_map::IntoIter<Symbol, Value>;
+    type IntoIter = std::vec::IntoIter<(Symbol, Value)>;
     fn into_iter(self) -> Self::IntoIter {
         // Move out when unique; copy out when shared (the shared case is a
         // reader iterating a snapshot, which must not disturb the original).
@@ -417,8 +523,7 @@ impl<K: Into<Symbol>> std::ops::Index<K> for SymbolMap {
     type Output = Value;
     fn index(&self, key: K) -> &Value {
         let key = key.into();
-        self.inner
-            .get(&key)
+        self.get(key)
             .unwrap_or_else(|| panic!("no entry for `{key}`"))
     }
 }

@@ -63,7 +63,7 @@ pub mod program;
 pub mod vm;
 
 pub use disasm::{disasm_class, disasm_method};
-pub use lower::{lower_method, PoolBuilder};
-pub use op::{ConstPool, Op, Reg, SuspendSpec};
+pub use lower::{lower_method, lower_method_with, PoolBuilder, VmOpts};
+pub use op::{CacheCell, ConstPool, Op, Reg, SuspendSpec};
 pub use program::{runner_for, runner_for_upgrade, VmClass, VmMethod, VmProgram};
 pub use vm::Vm;

@@ -6,6 +6,7 @@ use se_ir::{
 };
 use se_lang::{ClassName, EntityState, LangError, Symbol};
 
+use crate::lower::VmOpts;
 use crate::op::{CodeIdx, ConstPool, Op, Reg};
 use crate::vm::Vm;
 
@@ -33,6 +34,9 @@ pub struct VmMethod {
     /// environment: sorted by symbol for binary search (symbol comparisons
     /// are integer comparisons, far cheaper than hashing on a per-hop path).
     pub local_index: Vec<(Symbol, Reg)>,
+    /// Number of declared parameters (a prefix of `locals`); Start
+    /// activations may bind at most this many arguments.
+    pub nparams: u16,
     /// Total register-file size (locals + temporary high-water mark).
     pub nregs: u16,
 }
@@ -74,6 +78,9 @@ pub struct VmProgram {
     /// Methods the lowering pass rejected, with the reason; these bodies
     /// fall back to the interpreter at runtime.
     skipped: Vec<(ClassName, Symbol, LangError)>,
+    /// The optimization settings the bytecode was lowered under; also
+    /// gates runtime quickening in [`BodyRunner::run_body`].
+    opts: VmOpts,
 }
 
 impl VmProgram {
@@ -87,7 +94,15 @@ impl VmProgram {
     /// interp backend would; resource-limit rejections (constant-pool or
     /// register overflow) would otherwise silently forfeit the VM speedup,
     /// hence the warning.
+    ///
+    /// Optimization settings come from the environment
+    /// ([`VmOpts::from_env`], i.e. the `SE_VM_OPT` escape hatch).
     pub fn compile(program: &CompiledProgram) -> VmProgram {
+        VmProgram::compile_with_opts(program, VmOpts::from_env())
+    }
+
+    /// [`VmProgram::compile`] with explicit optimization settings.
+    pub fn compile_with_opts(program: &CompiledProgram, opts: VmOpts) -> VmProgram {
         let mut classes = Vec::with_capacity(program.classes.len());
         let mut index = Vec::new();
         let mut skipped = Vec::new();
@@ -95,7 +110,7 @@ impl VmProgram {
             let mut pool = crate::lower::PoolBuilder::default();
             let mut methods = Vec::with_capacity(compiled.methods.len());
             for method in &compiled.methods {
-                match crate::lower::lower_method(&mut pool, method) {
+                match crate::lower::lower_method_with(&mut pool, method, opts) {
                     Ok(vm_method) => {
                         index.push((
                             (compiled.class.name, method.name),
@@ -124,6 +139,7 @@ impl VmProgram {
             classes,
             index,
             skipped,
+            opts,
         }
     }
 
@@ -140,9 +156,15 @@ impl VmProgram {
         program: &CompiledProgram,
         prev: Option<(&CompiledProgram, &VmProgram)>,
     ) -> VmProgram {
+        let opts = VmOpts::from_env();
         let Some((prev_ir, prev_vm)) = prev else {
-            return VmProgram::compile(program);
+            return VmProgram::compile_with_opts(program, opts);
         };
+        // Bytecode lowered under different optimization settings is not
+        // interchangeable; recompile everything.
+        if prev_vm.opts != opts {
+            return VmProgram::compile_with_opts(program, opts);
+        }
         let mut classes = Vec::with_capacity(program.classes.len());
         let mut index = Vec::new();
         let mut skipped = Vec::new();
@@ -162,7 +184,7 @@ impl VmProgram {
                     let mut pool = crate::lower::PoolBuilder::default();
                     let mut methods = Vec::with_capacity(compiled.methods.len());
                     for method in &compiled.methods {
-                        match crate::lower::lower_method(&mut pool, method) {
+                        match crate::lower::lower_method_with(&mut pool, method, opts) {
                             Ok(vm_method) => methods.push(vm_method),
                             Err(e) => {
                                 eprintln!(
@@ -197,6 +219,7 @@ impl VmProgram {
             classes,
             index,
             skipped,
+            opts,
         }
     }
 
@@ -204,6 +227,11 @@ impl VmProgram {
     /// interpreter), with the rejection reason.
     pub fn skipped_methods(&self) -> &[(ClassName, Symbol, LangError)] {
         &self.skipped
+    }
+
+    /// The optimization settings this program was lowered under.
+    pub fn opts(&self) -> VmOpts {
+        self.opts
     }
 
     /// Looks up the compiled body of `class.method`, if lowering produced
@@ -247,7 +275,9 @@ impl BodyRunner for VmProgram {
         state: &mut EntityState,
     ) -> Result<BodyOutcome, LangError> {
         match self.method(class, method.name) {
-            Some((vm_class, vm_method)) => Vm::new().run(vm_class, vm_method, activation, state),
+            Some((vm_class, vm_method)) => Vm::new()
+                .quickened(self.opts.quicken)
+                .run(vm_class, vm_method, activation, state),
             None => InterpBody.run_body(class, method, activation, state),
         }
     }

@@ -1,0 +1,193 @@
+//! Dynamic op-pair profile of the benchmark-shaped workloads — the data the
+//! superinstruction selection in `se_vm::lower` is derived from (the module
+//! doc there points here).
+//!
+//! Each body is compiled with [`VmOpts::none`] (no folding, no fusion) and
+//! executed under [`Vm::run_profiled`], which counts every dynamically
+//! executed `(previous, current)` opcode pair. The tests pin that the pairs
+//! the lowering pass fuses are in fact the hot ones on these workloads:
+//!
+//! * `spin` (the `micro_interp` / pipeline workload-C body): the loop
+//!   header's `Binary` + `JumpIfFalse` (→ [`Op::BinaryJumpIfFalse`]) and the
+//!   counter bump's `Const` + `Binary` (→ [`Op::ConstBinary`]);
+//! * `pump` (YCSB `deposit`-shaped attribute read-modify-write):
+//!   `LoadAttr` + `Binary` (→ [`Op::LoadAttrBinary`]) and
+//!   `Binary` + `StoreAttr` (→ [`Op::BinaryStoreAttr`]);
+//! * `scan` (list iteration *inside a block body* — the shape the splitter
+//!   leaves to the VM's own iteration protocol; top-level `for` loops are
+//!   desugared to index loops before lowering, where the `spin` pairs
+//!   cover them): the back-edge `Jump` + `IterNext`
+//!   (→ [`Op::IterNextJump`]).
+//!
+//! If a lowering change reshapes the baseline instruction stream so these
+//! pairs stop being hot, these tests fail — the cue to re-derive the
+//! superinstruction set rather than keep fusing stale patterns.
+
+use se_ir::{Activation, Block, BlockId, CompiledMethod, Terminator};
+use se_lang::builder::*;
+use se_lang::{Program, Type, Value};
+use se_vm::vm::OpPairProfile;
+use se_vm::{lower_method_with, PoolBuilder, Vm, VmOpts, VmProgram};
+
+/// One class holding the three benchmark-shaped bodies.
+fn profile_program() -> Program {
+    let cell = ClassBuilder::new("Cell")
+        .attr_default("cell_id", Type::Str, Value::Str(String::new()))
+        .attr_default("acc", Type::Int, Value::Int(0))
+        .key("cell_id")
+        // The micro_interp churn body: local arithmetic in a counted loop.
+        .method(
+            MethodBuilder::new("spin")
+                .param("n", Type::Int)
+                .returns(Type::Int)
+                .body(vec![
+                    assign("i", int(0)),
+                    assign("a", int(1)),
+                    assign("b", int(2)),
+                    while_(
+                        lt(var("i"), var("n")),
+                        vec![
+                            assign("a", add(var("a"), var("b"))),
+                            assign("b", add(var("b"), var("i"))),
+                            assign("i", add(var("i"), int(1))),
+                        ],
+                    ),
+                    attr_assign("acc", var("a")),
+                    ret(var("a")),
+                ]),
+        )
+        // YCSB deposit-shaped body, looped: attribute read-modify-write.
+        .method(
+            MethodBuilder::new("pump")
+                .param("n", Type::Int)
+                .returns(Type::Int)
+                .body(vec![
+                    assign("i", int(0)),
+                    while_(
+                        lt(var("i"), var("n")),
+                        vec![
+                            attr_assign("acc", add(attr("acc"), var("i"))),
+                            assign("i", add(var("i"), int(1))),
+                        ],
+                    ),
+                    ret(attr("acc")),
+                ]),
+        )
+        .build();
+    Program::new(vec![cell])
+}
+
+/// A hand-built single-block CFG with a `for` loop *in statement position* —
+/// the shape the VM lowers through its own iteration protocol
+/// (`IterInit`/`IterNext`) instead of the splitter's index-loop desugaring.
+fn scan_method() -> CompiledMethod {
+    CompiledMethod {
+        name: "scan".into(),
+        params: vec![],
+        ret: Type::Int,
+        transactional: false,
+        blocks: vec![Block {
+            id: BlockId(0),
+            params: vec![],
+            stmts: vec![
+                assign("s", int(0)),
+                assign("xs", list(vec![int(1), int(2), int(3), int(4)])),
+                assign("i", int(0)),
+                while_(
+                    lt(var("i"), int(64)),
+                    vec![
+                        for_list("t", var("xs"), vec![assign("s", add(var("s"), var("t")))]),
+                        assign("i", add(var("i"), int(1))),
+                    ],
+                ),
+            ],
+            terminator: Terminator::Return(var("s")),
+        }],
+        entry: BlockId(0),
+    }
+}
+
+/// Compiles `profile_program` *without* optimizations and profiles one
+/// Start activation of `method`.
+fn profile_method(method: &str, args: Vec<Value>) -> OpPairProfile {
+    let graph = se_compiler::compile(&profile_program()).expect("profile program compiles");
+    let vm = VmProgram::compile_with_opts(&graph.program, VmOpts::none());
+    let (class, m) = vm
+        .method("Cell".into(), method.into())
+        .expect("method lowered");
+    let compiled_class = graph.program.class("Cell").unwrap();
+    let mut state = compiled_class.class.initial_state("c", []);
+    let mut profile = OpPairProfile::new();
+    Vm::with_budget(1_000_000)
+        .run_profiled(
+            class,
+            m,
+            Activation::Start { args },
+            &mut state,
+            &mut profile,
+        )
+        .expect("profiled run succeeds");
+    profile
+}
+
+/// `count(pair)` with a readable failure message listing the whole profile.
+fn assert_hot(profile: &OpPairProfile, pair: (&'static str, &'static str), floor: u64) {
+    let pairs = profile.pairs_by_count();
+    let count = pairs
+        .iter()
+        .find(|(p, _)| *p == pair)
+        .map(|(_, c)| *c)
+        .unwrap_or(0);
+    assert!(
+        count >= floor,
+        "pair {pair:?} executed {count} times (< {floor}); full profile: {pairs:?}"
+    );
+}
+
+/// The spin loop is dominated by the compare-and-branch header and the
+/// constant-operand counter bump — the `BinaryJumpIfFalse` and `ConstBinary`
+/// superinstructions.
+#[test]
+fn spin_hot_pairs_are_the_fused_ones() {
+    let profile = profile_method("spin", vec![Value::Int(256)]);
+    assert_hot(&profile, ("Binary", "JumpIfFalse"), 250);
+    assert_hot(&profile, ("Const", "Binary"), 250);
+    // Paired update statements (`a = a + b; b = b + i`) — the profile
+    // justification for the `BinaryBinary` superinstruction.
+    assert_hot(&profile, ("Binary", "Binary"), 250);
+}
+
+/// The attribute read-modify-write loop is dominated by
+/// `LoadAttr`+`Binary` and `Binary`+`StoreAttr` — the `LoadAttrBinary` and
+/// `BinaryStoreAttr` superinstructions.
+#[test]
+fn pump_hot_pairs_are_the_fused_ones() {
+    let profile = profile_method("pump", vec![Value::Int(256)]);
+    assert_hot(&profile, ("LoadAttr", "Binary"), 250);
+    assert_hot(&profile, ("Binary", "StoreAttr"), 250);
+}
+
+/// Statement-position list iteration executes the back-edge `Jump` +
+/// `IterNext` pair once per element — the `IterNextJump` superinstruction.
+#[test]
+fn scan_hot_pairs_are_the_fused_ones() {
+    let method = scan_method();
+    let mut pool = PoolBuilder::default();
+    let vm_method = lower_method_with(&mut pool, &method, VmOpts::none()).unwrap();
+    let class = se_vm::VmClass {
+        class: "Cell".into(),
+        pool: pool.finish(),
+        methods: vec![vm_method],
+    };
+    let mut profile = OpPairProfile::new();
+    Vm::with_budget(1_000_000)
+        .run_profiled(
+            &class,
+            &class.methods[0],
+            Activation::Start { args: vec![] },
+            &mut se_lang::EntityState::new(),
+            &mut profile,
+        )
+        .expect("profiled run succeeds");
+    assert_hot(&profile, ("Jump", "IterNext"), 250);
+}

@@ -311,8 +311,14 @@ fn snapshots_reclaim_wal_space() {
     std::fs::create_dir_all(&control_dir).unwrap();
 
     // Compacted run: snapshots every 2 batches, crash after the floor has
-    // had time to advance past several compactions.
+    // had time to advance past several compactions. The batch size is
+    // capped well below the request count: `fast_test`'s 256-txn batches
+    // can swallow the whole run in one or two seals on a quiet host, so no
+    // snapshot round completes, the durable floor never advances, and the
+    // "compacted" log equals the control's. Capping at 8 forces ≥ 25
+    // batches → ≥ 12 snapshot rounds regardless of scheduling.
     let mut cfg = durable_cfg(3);
+    cfg.max_batch = 8;
     cfg.durability.dir = Some(compacted_dir.clone());
     cfg.chaos = ChaosPlan::from_script(FaultScript {
         crashes: vec![CrashFault {
@@ -325,8 +331,10 @@ fn snapshots_reclaim_wal_space() {
     crashed_durable_run_matches_oracle(cfg, 200);
 
     // Control run: durability on, snapshots off — no floor, no compaction,
-    // the log keeps every commit of the run.
+    // the log keeps every commit of the run. Same batch cap so the
+    // per-batch record framing overhead is comparable across the two logs.
     let mut cfg = durable_cfg(3);
+    cfg.max_batch = 8;
     cfg.durability.dir = Some(control_dir.clone());
     cfg.snapshot_every_batches = 0;
     let program = se_workloads::ycsb_program();

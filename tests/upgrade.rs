@@ -512,6 +512,83 @@ fn statefun_crash_near_upgrade_recovers_and_commits() {
     }
 }
 
+/// The VM backend's quickened attribute caches across the switchover: heavy
+/// pre-upgrade traffic warms the inline caches for `count`, the upgrade's
+/// `__migrate__` pass then rewrites every entity's state (inserting `shadow`
+/// changes each state map's layout), and carried-over bytecode keeps its
+/// pre-upgrade hints. No post-migration read may serve a stale cached
+/// entry: repeated reads interleaved across entities — the access pattern
+/// that most reshuffles a shared cache cell's hint — must return the exact
+/// migrated values on both engines.
+#[test]
+fn vm_attr_caches_serve_no_stale_entries_after_migration() {
+    let (counters, per) = (4usize, 12usize);
+    // StateFlow engine.
+    {
+        let mut cfg = StateflowConfig::fast_test(3);
+        cfg.backend = ExecBackend::Vm;
+        let rt = upgraded_counter_run(cfg, counters, per);
+        for round in 0..3 {
+            for i in 0..counters {
+                assert_eq!(
+                    rt.call(counter(i), "get", vec![]).unwrap(),
+                    Value::Int(3 * per as i64),
+                    "[stateflow round {round}] counter {i}: `get` served a stale \
+                     cached `count` entry"
+                );
+                assert_eq!(
+                    rt.call(counter(i), "get_shadow", vec![]).unwrap(),
+                    Value::Int(10 * per as i64),
+                    "[stateflow round {round}] counter {i}: `get_shadow` served a \
+                     stale cached entry"
+                );
+            }
+        }
+        rt.shutdown();
+    }
+    // StateFun engine.
+    {
+        use stateful_entities::{StatefunConfig, StatefunRuntime};
+        let mut cfg = StatefunConfig::fast_test(3);
+        cfg.backend = ExecBackend::Vm;
+        let graph = stateful_entities::compile(&se_lang::programs::counter_program()).unwrap();
+        let rt = StatefunRuntime::deploy(graph, cfg);
+        for i in 0..counters {
+            rt.create("Counter", &se_workloads::key_name(i), vec![])
+                .unwrap();
+        }
+        let phase = |rt: &StatefunRuntime| {
+            let waiters: Vec<_> = (0..counters * per)
+                .map(|i| rt.call_async(counter(i % counters), "incr", vec![Value::Int(1)]))
+                .collect();
+            for w in waiters {
+                w.wait_timeout(WAIT).expect("completes").expect("no error");
+            }
+        };
+        phase(&rt);
+        rt.redeploy(&se_lang::programs::counter_v2_program())
+            .expect("v2 redeploys on statefun");
+        phase(&rt);
+        for round in 0..3 {
+            for i in 0..counters {
+                assert_eq!(
+                    rt.call(counter(i), "get", vec![]).unwrap(),
+                    Value::Int(3 * per as i64),
+                    "[statefun round {round}] counter {i}: `get` served a stale \
+                     cached `count` entry"
+                );
+                assert_eq!(
+                    rt.call(counter(i), "get_shadow", vec![]).unwrap(),
+                    Value::Int(10 * per as i64),
+                    "[statefun round {round}] counter {i}: `get_shadow` served a \
+                     stale cached entry"
+                );
+            }
+        }
+        rt.shutdown();
+    }
+}
+
 /// Incremental redeploy cost model: compiling v2 against a live v1 graph
 /// recompiles only the changed/new methods and reuses the rest verbatim
 /// (the paper's "deploy costs O(changed methods)" claim in miniature).
